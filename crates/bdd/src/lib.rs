@@ -1,0 +1,73 @@
+//! # cosynth-bdd — reduced ordered binary decision diagrams
+//!
+//! A small, dependency-free ROBDD engine in the spirit of the JavaBDD
+//! library that Batfish and Minesweeper use for symbolic route analysis.
+//! `policy-symbolic` compiles route maps into predicates over a fixed
+//! variable order (prefix bits, prefix-length bits, community atoms,
+//! protocol tag bits); this crate provides the underlying decision-diagram
+//! algebra.
+//!
+//! ## Design
+//!
+//! * One [`Manager`] owns all nodes. Nodes are hash-consed: each
+//!   `(var, lo, hi)` triple exists at most once, so semantic equality of
+//!   functions is pointer (index) equality of [`Ref`]s.
+//! * Variables are `u32` indices; the variable order *is* the index order.
+//!   Callers allocate variables up front with [`Manager::new_var`] /
+//!   [`Manager::new_vars`].
+//! * All binary operations funnel through a memoized Shannon-expansion
+//!   `apply`; `ite` has its own memo table.
+//! * No garbage collection: the workloads here build a few thousand nodes.
+//!   The node table only grows. This is the smoltcp trade: simplicity and
+//!   predictability over peak memory use.
+//! * No `unsafe`, no clever type tricks.
+//!
+//! ## Supported operations
+//!
+//! Constants, variables, negation, and/or/xor/implies/iff, if-then-else,
+//! existential and universal quantification over variable sets, restriction
+//! (cofactor), satisfiability, model counting, one-solution extraction, and
+//! support computation.
+//!
+//! ## Example
+//!
+//! ```
+//! use bdd::Manager;
+//!
+//! let mut m = Manager::new();
+//! let x = m.new_var();
+//! let y = m.new_var();
+//! let fx = m.var(x);
+//! let fy = m.var(y);
+//! let conj = m.and(fx, fy);
+//! let disj = m.or(fx, fy);
+//! assert!(m.implies_check(conj, disj));
+//! assert_eq!(m.sat_count(conj, 2), 1);
+//! assert_eq!(m.sat_count(disj, 2), 3);
+//! ```
+
+mod manager;
+mod node;
+mod sat;
+
+pub use manager::Manager;
+pub use node::{Ref, Var};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_holds() {
+        let mut m = Manager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let fx = m.var(x);
+        let fy = m.var(y);
+        let conj = m.and(fx, fy);
+        let disj = m.or(fx, fy);
+        assert!(m.implies_check(conj, disj));
+        assert_eq!(m.sat_count(conj, 2), 1);
+        assert_eq!(m.sat_count(disj, 2), 3);
+    }
+}

@@ -1,0 +1,639 @@
+//! The BDD manager: node table, hash-consing, and core operations.
+
+use crate::node::{Node, Ref, Var};
+use std::collections::HashMap;
+
+/// Binary operation codes used as memoization keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// The BDD manager. Owns every node; all operations go through it.
+///
+/// Construction is cheap; variables are allocated with [`Manager::new_var`].
+/// All operations are deterministic for a given call sequence, which keeps
+/// the experiment harness reproducible.
+pub struct Manager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    apply_cache: HashMap<(Op, Ref, Ref), Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    not_cache: HashMap<Ref, Ref>,
+    n_vars: u32,
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Manager {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> Self {
+        // Index 0 and 1 are the constants. They are never looked at as
+        // decision nodes; we store sentinels with an out-of-range var so a
+        // bug that dereferences them is loud in debug assertions.
+        let sentinel = Node {
+            var: u32::MAX,
+            lo: Ref::FALSE,
+            hi: Ref::FALSE,
+        };
+        let sentinel2 = Node {
+            var: u32::MAX,
+            lo: Ref::TRUE,
+            hi: Ref::TRUE,
+        };
+        Manager {
+            nodes: vec![sentinel, sentinel2],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            ite_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            n_vars: 0,
+        }
+    }
+
+    /// Allocates a fresh variable at the end of the order.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.n_vars;
+        self.n_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables, returning their indices in order.
+    pub fn new_vars(&mut self, n: u32) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables allocated.
+    pub fn var_count(&self) -> u32 {
+        self.n_vars
+    }
+
+    /// Number of live nodes (including the two constants).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant true function.
+    pub fn top(&self) -> Ref {
+        Ref::TRUE
+    }
+
+    /// The constant false function.
+    pub fn bot(&self) -> Ref {
+        Ref::FALSE
+    }
+
+    /// The function that is true iff `v` is true.
+    pub fn var(&mut self, v: Var) -> Ref {
+        debug_assert!(v < self.n_vars, "variable {v} not allocated");
+        self.mk(v, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// The function that is true iff `v` is false.
+    pub fn nvar(&mut self, v: Var) -> Ref {
+        debug_assert!(v < self.n_vars, "variable {v} not allocated");
+        self.mk(v, Ref::TRUE, Ref::FALSE)
+    }
+
+    /// A literal: `var(v)` if `positive` else `nvar(v)`.
+    pub fn literal(&mut self, v: Var, positive: bool) -> Ref {
+        if positive {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    fn node(&self, r: Ref) -> Node {
+        self.nodes[r.index()]
+    }
+
+    /// The decision variable of a non-constant node.
+    fn var_of(&self, r: Ref) -> Var {
+        debug_assert!(!r.is_const());
+        self.nodes[r.index()].var
+    }
+
+    /// Hash-consed node construction with the reduction rule.
+    fn mk(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        if f.is_true() {
+            return Ref::FALSE;
+        }
+        if f.is_false() {
+            return Ref::TRUE;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Difference `f ∧ ¬g` — the "behaviour present in f but not g" space
+    /// that Campion-lite reports on.
+    pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Conjunction over many operands.
+    pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
+        let mut acc = Ref::TRUE;
+        for f in items {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction over many operands.
+    pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
+        let mut acc = Ref::FALSE;
+        for f in items {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    fn apply(&mut self, op: Op, f: Ref, g: Ref) -> Ref {
+        // Terminal cases.
+        match op {
+            Op::And => {
+                if f.is_false() || g.is_false() {
+                    return Ref::FALSE;
+                }
+                if f.is_true() {
+                    return g;
+                }
+                if g.is_true() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            Op::Or => {
+                if f.is_true() || g.is_true() {
+                    return Ref::TRUE;
+                }
+                if f.is_false() {
+                    return g;
+                }
+                if g.is_false() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    return Ref::FALSE;
+                }
+                if f.is_false() {
+                    return g;
+                }
+                if g.is_false() {
+                    return f;
+                }
+                if f.is_true() {
+                    return self.not(g);
+                }
+                if g.is_true() {
+                    return self.not(f);
+                }
+            }
+        }
+        // Commutative ops: normalize operand order for cache hits.
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let v = vf.min(vg);
+        let (f_lo, f_hi) = if vf == v {
+            let n = self.node(f);
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        };
+        let (g_lo, g_hi) = if vg == v {
+            let n = self.node(g);
+            (n.lo, n.hi)
+        } else {
+            (g, g)
+        };
+        let lo = self.apply(op, f_lo, g_lo);
+        let hi = self.apply(op, f_hi, g_hi);
+        let r = self.mk(v, lo, hi);
+        self.apply_cache.insert((op, f, g), r);
+        r
+    }
+
+    /// If-then-else: `(c ∧ t) ∨ (¬c ∧ e)`.
+    pub fn ite(&mut self, c: Ref, t: Ref, e: Ref) -> Ref {
+        if c.is_true() {
+            return t;
+        }
+        if c.is_false() {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        if t.is_true() && e.is_false() {
+            return c;
+        }
+        if t.is_false() && e.is_true() {
+            return self.not(c);
+        }
+        if let Some(&r) = self.ite_cache.get(&(c, t, e)) {
+            return r;
+        }
+        let v = [c, t, e]
+            .iter()
+            .filter(|r| !r.is_const())
+            .map(|&r| self.var_of(r))
+            .min()
+            .expect("at least c is non-constant");
+        let split = |m: &Manager, r: Ref| -> (Ref, Ref) {
+            if !r.is_const() && m.var_of(r) == v {
+                let n = m.node(r);
+                (n.lo, n.hi)
+            } else {
+                (r, r)
+            }
+        };
+        let (c_lo, c_hi) = split(self, c);
+        let (t_lo, t_hi) = split(self, t);
+        let (e_lo, e_hi) = split(self, e);
+        let lo = self.ite(c_lo, t_lo, e_lo);
+        let hi = self.ite(c_hi, t_hi, e_hi);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert((c, t, e), r);
+        r
+    }
+
+    /// Restriction (cofactor): substitutes a constant for a variable.
+    pub fn restrict(&mut self, f: Ref, v: Var, value: bool) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > v {
+            return f;
+        }
+        if n.var == v {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, v, value);
+        let hi = self.restrict(n.hi, v, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Existential quantification over a single variable.
+    pub fn exists(&mut self, f: Ref, v: Var) -> Ref {
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        self.or(f0, f1)
+    }
+
+    /// Existential quantification over a set of variables.
+    pub fn exists_all(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        let mut acc = f;
+        for &v in vars {
+            acc = self.exists(acc, v);
+        }
+        acc
+    }
+
+    /// Universal quantification over a single variable.
+    pub fn forall(&mut self, f: Ref, v: Var) -> Ref {
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        self.and(f0, f1)
+    }
+
+    /// Universal quantification over a set of variables.
+    pub fn forall_all(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        let mut acc = f;
+        for &v in vars {
+            acc = self.forall(acc, v);
+        }
+        acc
+    }
+
+    /// Whether the function is satisfiable.
+    pub fn satisfiable(&self, f: Ref) -> bool {
+        !f.is_false()
+    }
+
+    /// Whether the function is a tautology.
+    pub fn tautology(&self, f: Ref) -> bool {
+        f.is_true()
+    }
+
+    /// Semantic equivalence — with hash-consing this is just `==`, exposed
+    /// as a method for readability at call sites.
+    pub fn equivalent(&self, f: Ref, g: Ref) -> bool {
+        f == g
+    }
+
+    /// Whether `f → g` holds for all assignments.
+    pub fn implies_check(&mut self, f: Ref, g: Ref) -> bool {
+        let ng = self.not(g);
+        self.and(f, ng).is_false()
+    }
+
+    /// Evaluates `f` under a total assignment given as a closure from
+    /// variable to value.
+    pub fn eval<A: Fn(Var) -> bool>(&self, f: Ref, assignment: A) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            cur = if assignment(n.var) { n.hi } else { n.lo };
+        }
+        cur.is_true()
+    }
+
+    /// The set of variables the function actually depends on, ascending.
+    pub fn support(&self, f: Ref) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    pub(crate) fn node_children(&self, r: Ref) -> (Var, Ref, Ref) {
+        let n = self.node(r);
+        (n.var, n.lo, n.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: u32) -> (Manager, Vec<Ref>) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(n);
+        let lits: Vec<Ref> = vars.iter().map(|&v| m.var(v)).collect();
+        (m, lits)
+    }
+
+    #[test]
+    fn constants_behave() {
+        let mut m = Manager::new();
+        assert!(m.top().is_true());
+        assert!(m.bot().is_false());
+        let t = m.top();
+        let b = m.bot();
+        assert_eq!(m.and(t, b), Ref::FALSE);
+        assert_eq!(m.or(t, b), Ref::TRUE);
+        assert_eq!(m.not(t), Ref::FALSE);
+    }
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut m = Manager::new();
+        let v = m.new_var();
+        let a = m.var(v);
+        let b = m.var(v);
+        assert_eq!(a, b);
+        let count = m.node_count();
+        let _ = m.var(v);
+        assert_eq!(m.node_count(), count, "no new nodes for repeat var()");
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let (mut m, l) = setup(3);
+        let f = m.and(l[0], l[1]);
+        let g = m.or(f, l[2]);
+        let ng = m.not(g);
+        let nng = m.not(ng);
+        assert_eq!(nng, g);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, l) = setup(2);
+        let conj = m.and(l[0], l[1]);
+        let lhs = m.not(conj);
+        let n0 = m.not(l[0]);
+        let n1 = m.not(l[1]);
+        let rhs = m.or(n0, n1);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let (mut m, l) = setup(2);
+        let x = m.xor(l[0], l[1]);
+        assert!(!m.eval(x, |_| true));
+        assert!(!m.eval(x, |_| false));
+        assert!(m.eval(x, |v| v == 0));
+        assert!(m.eval(x, |v| v == 1));
+    }
+
+    #[test]
+    fn ite_equals_formula() {
+        let (mut m, l) = setup(3);
+        let via_ite = m.ite(l[0], l[1], l[2]);
+        let t1 = m.and(l[0], l[1]);
+        let n0 = m.not(l[0]);
+        let t2 = m.and(n0, l[2]);
+        let via_formula = m.or(t1, t2);
+        assert_eq!(via_ite, via_formula);
+    }
+
+    #[test]
+    fn ite_special_cases() {
+        let (mut m, l) = setup(2);
+        let t = m.top();
+        let b = m.bot();
+        assert_eq!(m.ite(t, l[0], l[1]), l[0]);
+        assert_eq!(m.ite(b, l[0], l[1]), l[1]);
+        assert_eq!(m.ite(l[0], t, b), l[0]);
+        let n0 = m.not(l[0]);
+        assert_eq!(m.ite(l[0], b, t), n0);
+        assert_eq!(m.ite(l[0], l[1], l[1]), l[1]);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let (mut m, l) = setup(2);
+        let f = m.and(l[0], l[1]);
+        assert_eq!(m.restrict(f, 0, true), l[1]);
+        assert_eq!(m.restrict(f, 0, false), Ref::FALSE);
+        // Restricting a variable not in support is identity.
+        let g = m.var(1);
+        assert_eq!(m.restrict(g, 0, true), g);
+    }
+
+    #[test]
+    fn exists_and_forall() {
+        let (mut m, l) = setup(2);
+        let f = m.and(l[0], l[1]);
+        // ∃x0. x0∧x1  ==  x1
+        assert_eq!(m.exists(f, 0), l[1]);
+        // ∀x0. x0∧x1  ==  false
+        assert_eq!(m.forall(f, 0), Ref::FALSE);
+        let g = m.or(l[0], l[1]);
+        // ∀x0. x0∨x1 == x1
+        assert_eq!(m.forall(g, 0), l[1]);
+        // ∃ over everything in a satisfiable function is true.
+        assert_eq!(m.exists_all(f, &[0, 1]), Ref::TRUE);
+        assert_eq!(m.forall_all(g, &[0, 1]), Ref::FALSE);
+    }
+
+    #[test]
+    fn implies_check_works() {
+        let (mut m, l) = setup(2);
+        let conj = m.and(l[0], l[1]);
+        let disj = m.or(l[0], l[1]);
+        assert!(m.implies_check(conj, disj));
+        assert!(!m.implies_check(disj, conj));
+        assert!(m.implies_check(conj, conj));
+    }
+
+    #[test]
+    fn diff_is_relative_complement() {
+        let (mut m, l) = setup(2);
+        let disj = m.or(l[0], l[1]);
+        let d = m.diff(disj, l[0]);
+        // (x0 ∨ x1) ∧ ¬x0 == ¬x0 ∧ x1
+        let n0 = m.not(l[0]);
+        let expect = m.and(n0, l[1]);
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn support_lists_dependencies() {
+        let (mut m, l) = setup(4);
+        let f = m.and(l[1], l[3]);
+        assert_eq!(m.support(f), vec![1, 3]);
+        assert_eq!(m.support(Ref::TRUE), Vec::<Var>::new());
+        // x2 ∨ ¬x2 collapses to true → empty support.
+        let n2 = m.not(l[2]);
+        let taut = m.or(l[2], n2);
+        assert_eq!(m.support(taut), Vec::<Var>::new());
+    }
+
+    #[test]
+    fn eval_walks_correctly() {
+        let (mut m, l) = setup(3);
+        let t0 = m.and(l[0], l[1]);
+        let f = m.or(t0, l[2]);
+        assert!(m.eval(f, |v| v == 2));
+        assert!(m.eval(f, |v| v == 0 || v == 1));
+        assert!(!m.eval(f, |v| v == 0));
+        assert!(!m.eval(f, |_| false));
+    }
+
+    #[test]
+    fn and_or_all_fold() {
+        let (mut m, l) = setup(4);
+        let all = m.and_all(l.iter().copied());
+        assert!(m.eval(all, |_| true));
+        assert!(!m.eval(all, |v| v != 3));
+        let any = m.or_all(l.iter().copied());
+        assert!(m.eval(any, |v| v == 2));
+        assert!(!m.eval(any, |_| false));
+        assert_eq!(m.and_all(std::iter::empty()), Ref::TRUE);
+        assert_eq!(m.or_all(std::iter::empty()), Ref::FALSE);
+    }
+
+    #[test]
+    fn iff_and_implies_algebra() {
+        let (mut m, l) = setup(2);
+        let imp_ab = m.implies(l[0], l[1]);
+        let imp_ba = m.implies(l[1], l[0]);
+        let both = m.and(imp_ab, imp_ba);
+        let iff = m.iff(l[0], l[1]);
+        assert_eq!(both, iff);
+    }
+
+    #[test]
+    fn larger_function_consistency() {
+        // Parity of 8 variables: BDD size is linear, eval must agree with
+        // direct computation on sampled assignments.
+        let (mut m, l) = setup(8);
+        let mut parity = Ref::FALSE;
+        for &lit in &l {
+            parity = m.xor(parity, lit);
+        }
+        for seed in 0u32..64 {
+            let assignment = |v: Var| (seed >> v) & 1 == 1;
+            let expect = (seed & 0xff).count_ones() % 2 == 1;
+            assert_eq!(m.eval(parity, assignment), expect, "seed {seed}");
+        }
+    }
+}

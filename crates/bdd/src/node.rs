@@ -1,0 +1,72 @@
+//! BDD node representation.
+
+/// A variable index. The global variable order is ascending `Var` order.
+pub type Var = u32;
+
+/// A reference to a BDD node (an index into the manager's node table).
+///
+/// Because nodes are hash-consed, two `Ref`s are equal iff the Boolean
+/// functions they denote are equal — the property all the equivalence
+/// checks in `policy-symbolic` rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(pub(crate) u32);
+
+impl Ref {
+    /// The constant-false node.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant-true node.
+    pub const TRUE: Ref = Ref(1);
+
+    /// Whether this is the constant-false node.
+    pub fn is_false(self) -> bool {
+        self == Ref::FALSE
+    }
+
+    /// Whether this is the constant-true node.
+    pub fn is_true(self) -> bool {
+        self == Ref::TRUE
+    }
+
+    /// Whether this is either constant.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// The raw index (stable for the life of the manager).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An internal decision node: `if var then hi else lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    /// Decision variable.
+    pub var: Var,
+    /// Child when `var` is false.
+    pub lo: Ref,
+    /// Child when `var` is true.
+    pub hi: Ref,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_distinct_and_const() {
+        assert_ne!(Ref::FALSE, Ref::TRUE);
+        assert!(Ref::FALSE.is_const());
+        assert!(Ref::TRUE.is_const());
+        assert!(Ref::FALSE.is_false());
+        assert!(Ref::TRUE.is_true());
+        assert!(!Ref::TRUE.is_false());
+    }
+
+    #[test]
+    fn non_const_ref() {
+        let r = Ref(5);
+        assert!(!r.is_const());
+        assert_eq!(r.index(), 5);
+    }
+}

@@ -1,0 +1,236 @@
+//! Satisfying-assignment extraction and model counting.
+//!
+//! These are the queries the verifiers use to turn a symbolic difference
+//! into a *concrete, humanizable* counterexample — the paper's central
+//! requirement of "actionable localized feedback".
+
+use crate::manager::Manager;
+use crate::node::{Ref, Var};
+use std::collections::HashMap;
+
+/// A partial assignment: variables not present may take either value.
+pub type PartialAssignment = Vec<(Var, bool)>;
+
+impl Manager {
+    /// Extracts one satisfying partial assignment, or `None` if `f` is
+    /// unsatisfiable.
+    ///
+    /// The returned assignment fixes exactly the variables on one root-to-
+    /// `TRUE` path; unmentioned variables are don't-cares. The low branch is
+    /// preferred, which yields the numerically smallest counterexample under
+    /// the big-endian bit encodings used by `policy-symbolic` — stable,
+    /// readable counterexamples for the humanizer.
+    pub fn any_sat(&self, f: Ref) -> Option<PartialAssignment> {
+        if f.is_false() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_const() {
+            let (var, lo, hi) = self.node_children(cur);
+            // Prefer the low branch when it can reach TRUE.
+            if !lo.is_false() {
+                path.push((var, false));
+                cur = lo;
+            } else {
+                path.push((var, true));
+                cur = hi;
+            }
+        }
+        debug_assert!(cur.is_true());
+        Some(path)
+    }
+
+    /// Extracts a satisfying assignment totalized over `0..n_vars`, filling
+    /// don't-cares with `false`.
+    pub fn any_sat_total(&self, f: Ref, n_vars: u32) -> Option<Vec<bool>> {
+        let partial = self.any_sat(f)?;
+        let mut out = vec![false; n_vars as usize];
+        for (v, b) in partial {
+            if (v as usize) < out.len() {
+                out[v as usize] = b;
+            }
+        }
+        Some(out)
+    }
+
+    /// Counts satisfying assignments over an ambient space of `n_vars`
+    /// variables (variables `0..n_vars`).
+    ///
+    /// Uses `u128` accumulation; callers in this workspace stay well below
+    /// 2^64 models. Saturates on overflow rather than wrapping.
+    pub fn sat_count(&self, f: Ref, n_vars: u32) -> u128 {
+        let mut memo: HashMap<Ref, u128> = HashMap::new();
+        self.sat_count_rec(f, 0, n_vars, &mut memo)
+    }
+
+    fn sat_count_rec(
+        &self,
+        f: Ref,
+        depth_var: Var,
+        n_vars: u32,
+        memo: &mut HashMap<Ref, u128>,
+    ) -> u128 {
+        // Count models of the sub-function over variables var..n_vars where
+        // var is the node's own variable; then scale for skipped levels.
+        if f.is_false() {
+            return 0;
+        }
+        if f.is_true() {
+            let remaining = n_vars.saturating_sub(depth_var);
+            return 1u128.checked_shl(remaining).unwrap_or(u128::MAX);
+        }
+        let (var, lo, hi) = self.node_children(f);
+        debug_assert!(var >= depth_var, "variable order violated");
+        let below = if let Some(&c) = memo.get(&f) {
+            c
+        } else {
+            let c_lo = self.sat_count_rec(lo, var + 1, n_vars, memo);
+            let c_hi = self.sat_count_rec(hi, var + 1, n_vars, memo);
+            let c = c_lo.saturating_add(c_hi);
+            memo.insert(f, c);
+            c
+        };
+        let skipped = var - depth_var;
+        below
+            .checked_shl(skipped)
+            .unwrap_or(u128::MAX)
+    }
+
+    /// Enumerates up to `limit` satisfying total assignments (don't-cares
+    /// expanded with `false` first). Used by tests and by the repro binary
+    /// to print several example routes.
+    pub fn sat_examples(&mut self, f: Ref, n_vars: u32, limit: usize) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        let mut remaining = f;
+        while out.len() < limit {
+            let Some(total) = self.any_sat_total(remaining, n_vars) else {
+                break;
+            };
+            // Exclude this exact model and continue.
+            let lits: Vec<Ref> = total
+                .iter()
+                .enumerate()
+                .map(|(v, &b)| self.literal(v as Var, b))
+                .collect();
+            let cube = self.and_all(lits);
+            remaining = self.diff(remaining, cube);
+            out.push(total);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsat_yields_none() {
+        let m = Manager::new();
+        assert_eq!(m.any_sat(Ref::FALSE), None);
+    }
+
+    #[test]
+    fn tautology_yields_empty_assignment() {
+        let m = Manager::new();
+        assert_eq!(m.any_sat(Ref::TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn sat_assignment_satisfies() {
+        let mut m = Manager::new();
+        let vars = m.new_vars(4);
+        let lits: Vec<Ref> = vars.iter().map(|&v| m.var(v)).collect();
+        let n3 = m.not(lits[3]);
+        let t0 = m.and(lits[0], n3);
+        let f = m.and(t0, lits[2]);
+        let a = m.any_sat(f).expect("satisfiable");
+        let lookup = |v: Var| a.iter().find(|(w, _)| *w == v).map(|&(_, b)| b).unwrap_or(false);
+        assert!(m.eval(f, lookup));
+    }
+
+    #[test]
+    fn total_assignment_has_right_width() {
+        let mut m = Manager::new();
+        let v = m.new_vars(6);
+        let f = m.var(v[5]);
+        let t = m.any_sat_total(f, 6).unwrap();
+        assert_eq!(t.len(), 6);
+        assert!(t[5]);
+        assert!(m.eval(f, |x| t[x as usize]));
+    }
+
+    #[test]
+    fn sat_count_basic() {
+        let mut m = Manager::new();
+        let v = m.new_vars(3);
+        let x = m.var(v[0]);
+        assert_eq!(m.sat_count(x, 3), 4); // x0 free choice of x1,x2
+        let y = m.var(v[1]);
+        let conj = m.and(x, y);
+        assert_eq!(m.sat_count(conj, 3), 2);
+        let disj = m.or(x, y);
+        assert_eq!(m.sat_count(disj, 3), 6);
+        assert_eq!(m.sat_count(Ref::TRUE, 3), 8);
+        assert_eq!(m.sat_count(Ref::FALSE, 3), 0);
+    }
+
+    #[test]
+    fn sat_count_skipped_levels() {
+        let mut m = Manager::new();
+        let v = m.new_vars(5);
+        // Function depending only on the last variable.
+        let f = m.var(v[4]);
+        assert_eq!(m.sat_count(f, 5), 16);
+    }
+
+    #[test]
+    fn sat_count_parity() {
+        let mut m = Manager::new();
+        let v = m.new_vars(6);
+        let mut parity = Ref::FALSE;
+        for &var in &v {
+            let lit = m.var(var);
+            parity = m.xor(parity, lit);
+        }
+        // Exactly half of assignments have odd parity.
+        assert_eq!(m.sat_count(parity, 6), 32);
+    }
+
+    #[test]
+    fn sat_examples_are_distinct_and_satisfying() {
+        let mut m = Manager::new();
+        let v = m.new_vars(3);
+        let a = m.var(v[0]);
+        let b = m.var(v[1]);
+        let f = m.or(a, b);
+        let examples = m.sat_examples(f, 3, 10);
+        assert_eq!(examples.len(), 6, "x0∨x1 has 6 models over 3 vars");
+        let mut seen = std::collections::HashSet::new();
+        for e in &examples {
+            assert!(m.eval(f, |x| e[x as usize]));
+            assert!(seen.insert(e.clone()), "duplicate example {e:?}");
+        }
+    }
+
+    #[test]
+    fn sat_examples_respects_limit() {
+        let mut m = Manager::new();
+        let _ = m.new_vars(4);
+        let examples = m.sat_examples(Ref::TRUE, 4, 3);
+        assert_eq!(examples.len(), 3);
+    }
+
+    #[test]
+    fn any_sat_prefers_low_branch() {
+        // For var(v), low branch is FALSE so the path must set v=true; for
+        // nvar(v) the low branch reaches TRUE so v=false is chosen.
+        let mut m = Manager::new();
+        let v = m.new_var();
+        let pos = m.var(v);
+        assert_eq!(m.any_sat(pos), Some(vec![(v, true)]));
+        let neg = m.nvar(v);
+        assert_eq!(m.any_sat(neg), Some(vec![(v, false)]));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests: the ROBDD engine satisfies the Boolean-algebra laws
+//! on randomly generated formulas, and canonicity makes semantic equality
+//! pointer equality.
+
+use bdd::{Manager, Ref};
+use proptest::prelude::*;
+
+/// A tiny formula AST to generate random functions.
+#[derive(Debug, Clone)]
+enum Formula {
+    Var(u32),
+    Not(Box<Formula>),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+    Xor(Box<Formula>, Box<Formula>),
+}
+
+const N_VARS: u32 = 6;
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = (0u32..N_VARS).prop_map(Formula::Var);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut Manager, f: &Formula) -> Ref {
+    match f {
+        Formula::Var(v) => m.var(*v),
+        Formula::Not(a) => {
+            let a = build(m, a);
+            m.not(a)
+        }
+        Formula::And(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.and(a, b)
+        }
+        Formula::Or(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.or(a, b)
+        }
+        Formula::Xor(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.xor(a, b)
+        }
+    }
+}
+
+fn eval_formula(f: &Formula, assignment: u32) -> bool {
+    match f {
+        Formula::Var(v) => (assignment >> v) & 1 == 1,
+        Formula::Not(a) => !eval_formula(a, assignment),
+        Formula::And(a, b) => eval_formula(a, assignment) && eval_formula(b, assignment),
+        Formula::Or(a, b) => eval_formula(a, assignment) || eval_formula(b, assignment),
+        Formula::Xor(a, b) => eval_formula(a, assignment) ^ eval_formula(b, assignment),
+    }
+}
+
+fn fresh() -> Manager {
+    let mut m = Manager::new();
+    m.new_vars(N_VARS);
+    m
+}
+
+proptest! {
+    /// The BDD evaluates identically to the formula on all 2^6 points.
+    #[test]
+    fn bdd_matches_truth_table(f in arb_formula()) {
+        let mut m = fresh();
+        let b = build(&mut m, &f);
+        for a in 0u32..(1 << N_VARS) {
+            prop_assert_eq!(m.eval(b, |v| (a >> v) & 1 == 1), eval_formula(&f, a));
+        }
+    }
+
+    /// Canonicity: semantically equal functions get the same node.
+    #[test]
+    fn canonical_forms_coincide(f in arb_formula(), g in arb_formula()) {
+        let mut m = fresh();
+        let (bf, bg) = (build(&mut m, &f), build(&mut m, &g));
+        let semantically_equal = (0u32..(1 << N_VARS))
+            .all(|a| eval_formula(&f, a) == eval_formula(&g, a));
+        prop_assert_eq!(bf == bg, semantically_equal);
+    }
+
+    /// Sat count equals the truth-table count.
+    #[test]
+    fn sat_count_matches(f in arb_formula()) {
+        let mut m = fresh();
+        let b = build(&mut m, &f);
+        let expected = (0u32..(1 << N_VARS)).filter(|&a| eval_formula(&f, a)).count();
+        prop_assert_eq!(m.sat_count(b, N_VARS), expected as u128);
+    }
+
+    /// any_sat returns a genuine model whenever one exists.
+    #[test]
+    fn any_sat_is_sound_and_complete(f in arb_formula()) {
+        let mut m = fresh();
+        let b = build(&mut m, &f);
+        match m.any_sat_total(b, N_VARS) {
+            Some(a) => prop_assert!(m.eval(b, |v| a[v as usize])),
+            None => prop_assert!((0u32..(1 << N_VARS)).all(|a| !eval_formula(&f, a))),
+        }
+    }
+
+    /// Algebra: distribution, De Morgan, double negation, absorption.
+    #[test]
+    fn boolean_laws(f in arb_formula(), g in arb_formula(), h in arb_formula()) {
+        let mut m = fresh();
+        let (a, b, c) = (build(&mut m, &f), build(&mut m, &g), build(&mut m, &h));
+        // a ∧ (b ∨ c) == (a ∧ b) ∨ (a ∧ c)
+        let bc = m.or(b, c);
+        let lhs = m.and(a, bc);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let rhs = m.or(ab, ac);
+        prop_assert_eq!(lhs, rhs);
+        // ¬(a ∧ b) == ¬a ∨ ¬b
+        let nab = m.not(ab);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let n_or = m.or(na, nb);
+        prop_assert_eq!(nab, n_or);
+        // ¬¬a == a
+        let nna = m.not(na);
+        prop_assert_eq!(nna, a);
+        // a ∨ (a ∧ b) == a
+        let absorb = m.or(a, ab);
+        prop_assert_eq!(absorb, a);
+    }
+
+    /// Quantification: ∃v.f is implied by f; ∀v.f implies f.
+    #[test]
+    fn quantifier_laws(f in arb_formula(), v in 0u32..N_VARS) {
+        let mut m = fresh();
+        let b = build(&mut m, &f);
+        let ex = m.exists(b, v);
+        let fa = m.forall(b, v);
+        prop_assert!(m.implies_check(b, ex));
+        prop_assert!(m.implies_check(fa, b));
+        // Neither result depends on v.
+        prop_assert!(!m.support(ex).contains(&v));
+        prop_assert!(!m.support(fa).contains(&v));
+    }
+
+    /// Restriction agrees with conditioned evaluation.
+    #[test]
+    fn restrict_is_cofactor(f in arb_formula(), v in 0u32..N_VARS, val in proptest::bool::ANY) {
+        let mut m = fresh();
+        let b = build(&mut m, &f);
+        let r = m.restrict(b, v, val);
+        for a in 0u32..(1 << N_VARS) {
+            let forced = if val { a | (1 << v) } else { a & !(1 << v) };
+            prop_assert_eq!(m.eval(r, |x| (a >> x) & 1 == 1), eval_formula(&f, forced));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # bf-lite — the Batfish substrate
+//!
+//! Implements the three Batfish "questions" COSYNTH uses, over the shared
+//! vendor-independent model:
+//!
+//! 1. **Parse** ([`parse_config`]): tolerant vendor front ends returning
+//!    parse warnings — the syntax-verifier channel.
+//! 2. **SearchRoutePolicies** ([`questions::search_route_policies_question`]):
+//!    symbolic route-policy queries with counterexamples, used for the
+//!    Lightyear-style local policy checks of use case 2.
+//! 3. **BGP control-plane simulation** ([`sim`]): route propagation to a
+//!    fixed point over a multi-router snapshot, used as the paper's final
+//!    whole-network no-transit check ("we simulate the entire BGP
+//!    communication using Batfish as a final step").
+//!
+//! ## Simulation model (documented scope)
+//!
+//! eBGP only (every session in the paper's topologies is external);
+//! sessions come up iff both sides declare each other consistently on a
+//! shared subnet; best-path selection follows
+//! `net_model::RouteAdvertisement::better_than` (local-pref, AS-path
+//! length, origin, MED, neighbor address); `network` statements originate
+//! unconditionally (the connected route exists whenever the interface
+//! does); redistribution from IGPs is analyzed symbolically
+//! (`policy_symbolic::effective_export_behavior`) rather than simulated —
+//! the paper's multi-router experiments are BGP-only.
+
+pub mod parse_q;
+pub mod questions;
+pub mod sim;
+
+pub use parse_q::{parse_config, ParsedConfig, Vendor};
+pub use questions::{check_local_policy, search_route_policies_question, LocalPolicyCheck};
+pub use sim::{BgpSession, Rib, SimReport, Snapshot};

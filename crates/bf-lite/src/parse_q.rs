@@ -1,0 +1,130 @@
+//! The parse question: vendor detection, parsing, warning collection.
+
+use config_ir::Device;
+use net_model::ParseWarning;
+
+/// Which vendor front end parsed a config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vendor {
+    /// Cisco IOS.
+    Cisco,
+    /// Juniper Junos.
+    Juniper,
+}
+
+/// The result of the parse question.
+#[derive(Debug, Clone)]
+pub struct ParsedConfig {
+    /// Detected (or requested) vendor.
+    pub vendor: Vendor,
+    /// The lowered device model.
+    pub device: Device,
+    /// Parse warnings (syntax findings).
+    pub warnings: Vec<ParseWarning>,
+    /// Lowering notes (IR approximations, none on clean configs).
+    pub notes: Vec<String>,
+}
+
+impl ParsedConfig {
+    /// Whether the config parsed without any syntax findings.
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty()
+    }
+}
+
+/// Detects the vendor from the text shape: Junos configs are brace
+/// structured, IOS configs are line oriented.
+pub fn detect_vendor(text: &str) -> Vendor {
+    let opens = text.matches('{').count();
+    let semis = text.matches(';').count();
+    if opens >= 1 && semis >= 1 {
+        Vendor::Juniper
+    } else {
+        Vendor::Cisco
+    }
+}
+
+/// Parses a config with the given (or detected) vendor front end and
+/// lowers it to the IR.
+pub fn parse_config(text: &str, vendor: Option<Vendor>) -> ParsedConfig {
+    let vendor = vendor.unwrap_or_else(|| detect_vendor(text));
+    match vendor {
+        Vendor::Cisco => {
+            let (ast, warnings) = cisco_cfg::parse(text);
+            let (device, notes) = config_ir::from_cisco(&ast);
+            ParsedConfig {
+                vendor,
+                device,
+                warnings,
+                notes,
+            }
+        }
+        Vendor::Juniper => {
+            let (ast, warnings) = juniper_cfg::parse(text);
+            let (device, notes) = config_ir::from_juniper(&ast);
+            ParsedConfig {
+                vendor,
+                device,
+                warnings,
+                notes,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_cisco() {
+        assert_eq!(
+            detect_vendor("hostname r1\nrouter bgp 1\n neighbor 2.0.0.2 remote-as 2\n"),
+            Vendor::Cisco
+        );
+    }
+
+    #[test]
+    fn detects_juniper() {
+        assert_eq!(
+            detect_vendor("system { host-name r1; }\n"),
+            Vendor::Juniper
+        );
+    }
+
+    #[test]
+    fn parse_cisco_clean() {
+        let p = parse_config("hostname r1\nrouter bgp 1\n neighbor 2.0.0.2 remote-as 2\n", None);
+        assert_eq!(p.vendor, Vendor::Cisco);
+        assert!(p.is_clean());
+        assert_eq!(p.device.name, "r1");
+        assert!(p.device.bgp.is_some());
+    }
+
+    #[test]
+    fn parse_cisco_with_warnings() {
+        let p = parse_config("hostname r1\nexit\n", None);
+        assert!(!p.is_clean());
+        assert_eq!(p.warnings.len(), 1);
+    }
+
+    #[test]
+    fn parse_juniper() {
+        let p = parse_config(
+            "system { host-name r2; }\nrouting-options { autonomous-system 2; }\n",
+            None,
+        );
+        assert_eq!(p.vendor, Vendor::Juniper);
+        assert!(p.is_clean());
+        assert_eq!(p.device.name, "r2");
+    }
+
+    #[test]
+    fn explicit_vendor_overrides_detection() {
+        // Juniper text forced through the Cisco parser yields warnings,
+        // not a crash.
+        let p = parse_config("system { host-name r1; }\n", Some(Vendor::Cisco));
+        assert_eq!(p.vendor, Vendor::Cisco);
+        assert!(!p.is_clean());
+    }
+}

@@ -1,0 +1,277 @@
+//! The `searchRoutePolicies` question and Lightyear-style local policy
+//! checks built on it.
+
+use config_ir::Device;
+use net_model::{Community, RouteAdvertisement};
+use policy_symbolic::{search_route_policies, RouteQuery, RouteSpace};
+
+/// Runs a route-policy search against one device's named policy chain,
+/// building a fresh symbolic space for the query.
+pub fn search_route_policies_question(
+    device: &Device,
+    chain: &[String],
+    query: &RouteQuery,
+) -> Option<RouteAdvertisement> {
+    let mut space = RouteSpace::for_devices(&[device]);
+    search_route_policies(&mut space, device, chain, query)
+}
+
+/// A local policy check in the style of Lightyear's per-router invariants,
+/// expressed as "no counterexample route may exist".
+#[derive(Debug, Clone)]
+pub enum LocalPolicyCheck {
+    /// Every route permitted by the chain must carry this community on
+    /// output (R1's ingress tagging policy).
+    PermittedRoutesCarry {
+        /// The policy chain to check.
+        chain: Vec<String>,
+        /// The community that must be present on output.
+        community: Community,
+    },
+    /// No route carrying this community on input may be permitted (R1's
+    /// egress filtering policy).
+    RoutesWithCommunityDenied {
+        /// The policy chain to check.
+        chain: Vec<String>,
+        /// The community that must cause a deny.
+        community: Community,
+    },
+    /// Routes permitted by the chain must not lose this input community
+    /// (the `additive` check: tagging must not wipe existing communities).
+    PermittedRoutesPreserve {
+        /// The policy chain to check.
+        chain: Vec<String>,
+        /// The community that must survive.
+        community: Community,
+    },
+}
+
+impl LocalPolicyCheck {
+    /// A one-line description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            LocalPolicyCheck::PermittedRoutesCarry { chain, community } => format!(
+                "every route permitted by {} must carry community {community}",
+                chain.join(",")
+            ),
+            LocalPolicyCheck::RoutesWithCommunityDenied { chain, community } => format!(
+                "routes carrying community {community} must be denied by {}",
+                chain.join(",")
+            ),
+            LocalPolicyCheck::PermittedRoutesPreserve { chain, community } => format!(
+                "routes permitted by {} must not lose community {community}",
+                chain.join(",")
+            ),
+        }
+    }
+
+    /// The violation query for this check.
+    fn violation_query(&self) -> (Vec<String>, RouteQuery) {
+        match self {
+            LocalPolicyCheck::PermittedRoutesCarry { chain, community } => (
+                chain.clone(),
+                RouteQuery {
+                    action_permit: true,
+                    output_communities_absent: vec![*community],
+                    ..Default::default()
+                },
+            ),
+            LocalPolicyCheck::RoutesWithCommunityDenied { chain, community } => (
+                chain.clone(),
+                RouteQuery {
+                    action_permit: true,
+                    input_communities_present: vec![*community],
+                    ..Default::default()
+                },
+            ),
+            LocalPolicyCheck::PermittedRoutesPreserve { chain, community } => (
+                chain.clone(),
+                RouteQuery {
+                    action_permit: true,
+                    input_communities_present: vec![*community],
+                    output_communities_absent: vec![*community],
+                    ..Default::default()
+                },
+            ),
+        }
+    }
+}
+
+/// Checks a local policy on a device. Returns `Ok(())` when the invariant
+/// holds, or the violating route (the example Batfish prints and the
+/// humanizer forwards).
+pub fn check_local_policy(
+    device: &Device,
+    check: &LocalPolicyCheck,
+) -> Result<(), RouteAdvertisement> {
+    let (chain, query) = check.violation_query();
+    let mut space = ensure_community_in_space(device, check);
+    match search_route_policies(&mut space, device, &chain, &query) {
+        Some(route) => Err(route),
+        None => Ok(()),
+    }
+}
+
+/// The check's community must be a space variable even if the (possibly
+/// buggy) config never mentions it — otherwise "carries community c"
+/// would be trivially false rather than checkable.
+fn ensure_community_in_space(device: &Device, check: &LocalPolicyCheck) -> RouteSpace {
+    let mut communities = device.community_universe();
+    let c = match check {
+        LocalPolicyCheck::PermittedRoutesCarry { community, .. }
+        | LocalPolicyCheck::RoutesWithCommunityDenied { community, .. }
+        | LocalPolicyCheck::PermittedRoutesPreserve { community, .. } => *community,
+    };
+    communities.insert(c);
+    let mut aspaths = std::collections::BTreeSet::new();
+    for p in &device.policies {
+        for cl in &p.clauses {
+            for cond in &cl.conditions {
+                if let config_ir::Condition::MatchAsPath(re) = cond {
+                    aspaths.insert(re.clone());
+                }
+            }
+        }
+    }
+    RouteSpace::new(communities, aspaths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config_ir::{ClauseAction, Condition, IrClause, IrCommunitySet, IrPolicy, Modifier};
+    use std::collections::BTreeSet;
+
+    fn comm(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    /// A device with R1-style ingress tagging: ADD_COMM adds 100:1
+    /// additively (correct) or non-additively (buggy).
+    fn tagging_device(additive: bool) -> Device {
+        let mut d = Device::named("r1");
+        let mut p = IrPolicy::new("ADD_COMM");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetCommunities {
+                communities: BTreeSet::from([comm("100:1")]),
+                additive,
+            }],
+        });
+        d.policies.push(p);
+        d
+    }
+
+    #[test]
+    fn carry_check_passes_for_tagging_policy() {
+        let d = tagging_device(true);
+        let check = LocalPolicyCheck::PermittedRoutesCarry {
+            chain: vec!["ADD_COMM".into()],
+            community: comm("100:1"),
+        };
+        assert!(check_local_policy(&d, &check).is_ok());
+    }
+
+    #[test]
+    fn carry_check_fails_without_tagging() {
+        let mut d = Device::named("r1");
+        let mut p = IrPolicy::new("NOOP");
+        p.clauses.push(IrClause::permit_all("10"));
+        d.policies.push(p);
+        let check = LocalPolicyCheck::PermittedRoutesCarry {
+            chain: vec!["NOOP".into()],
+            community: comm("100:1"),
+        };
+        let violation = check_local_policy(&d, &check).unwrap_err();
+        assert!(!violation.communities.contains(&comm("100:1")));
+    }
+
+    #[test]
+    fn preserve_check_catches_missing_additive() {
+        // The Section 4.2 "Adding Communities" bug: non-additive set wipes
+        // pre-existing communities.
+        let buggy = tagging_device(false);
+        // The input community that gets wiped must be in the universe;
+        // model a route already carrying 999:9 by including it via a set.
+        let mut buggy = buggy;
+        buggy
+            .community_sets
+            .push(IrCommunitySet::single("other", comm("999:9")));
+        let check = LocalPolicyCheck::PermittedRoutesPreserve {
+            chain: vec!["ADD_COMM".into()],
+            community: comm("999:9"),
+        };
+        let violation = check_local_policy(&buggy, &check).unwrap_err();
+        assert!(violation.communities.contains(&comm("999:9")));
+        // The additive version preserves.
+        let mut good = tagging_device(true);
+        good.community_sets
+            .push(IrCommunitySet::single("other", comm("999:9")));
+        assert!(check_local_policy(&good, &check).is_ok());
+    }
+
+    #[test]
+    fn deny_check_catches_and_semantics() {
+        // Egress filter with AND semantics: one deny clause requiring BOTH
+        // 101:1 and 102:1. Routes with only 101:1 slip through — the
+        // counterexample the paper describes Batfish producing.
+        let mut d = Device::named("r1");
+        d.community_sets
+            .push(IrCommunitySet::single("c2", comm("101:1")));
+        d.community_sets
+            .push(IrCommunitySet::single("c3", comm("102:1")));
+        let mut p = IrPolicy::new("FILTER_COMM_OUT_R2");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Deny,
+            conditions: vec![
+                Condition::community_set("c2"),
+                Condition::community_set("c3"),
+            ],
+            modifiers: vec![],
+        });
+        p.clauses.push(IrClause::permit_all("20"));
+        d.policies.push(p);
+        let check = LocalPolicyCheck::RoutesWithCommunityDenied {
+            chain: vec!["FILTER_COMM_OUT_R2".into()],
+            community: comm("101:1"),
+        };
+        let violation = check_local_policy(&d, &check).unwrap_err();
+        assert!(violation.communities.contains(&comm("101:1")));
+        // The OR-shaped fix: one condition listing both sets.
+        let fixed_policy = {
+            let mut p = IrPolicy::new("FILTER_COMM_OUT_R2");
+            p.clauses.push(IrClause {
+                id: "10".into(),
+                action: ClauseAction::Deny,
+                conditions: vec![Condition::MatchCommunity(vec!["c2".into(), "c3".into()])],
+                modifiers: vec![],
+            });
+            p.clauses.push(IrClause::permit_all("20"));
+            p
+        };
+        d.policies.clear();
+        d.policies.push(fixed_policy);
+        assert!(check_local_policy(&d, &check).is_ok());
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let check = LocalPolicyCheck::RoutesWithCommunityDenied {
+            chain: vec!["X".into()],
+            community: comm("101:1"),
+        };
+        let s = check.describe();
+        assert!(s.contains("101:1"));
+        assert!(s.contains('X'));
+    }
+
+    #[test]
+    fn question_wrapper_builds_space() {
+        let d = tagging_device(true);
+        let q = RouteQuery::any_permitted();
+        assert!(search_route_policies_question(&d, &["ADD_COMM".to_string()], &q).is_some());
+    }
+}

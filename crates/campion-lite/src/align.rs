@@ -1,0 +1,137 @@
+//! Interface alignment across vendor naming schemes.
+
+use config_ir::{Device, IrInterface};
+
+/// A pairing of interfaces between two devices, plus the leftovers.
+#[derive(Debug, Clone)]
+pub struct InterfaceAlignment<'a> {
+    /// Aligned `(original, translated)` pairs.
+    pub pairs: Vec<(&'a IrInterface, &'a IrInterface)>,
+    /// Original interfaces with no counterpart.
+    pub only_original: Vec<&'a IrInterface>,
+    /// Translated interfaces with no counterpart.
+    pub only_translated: Vec<&'a IrInterface>,
+}
+
+/// Aligns interfaces: first by vendor-neutral canonical name, then by
+/// same-subnet address (which pairs `Ethernet0/1` with `ge-0/0/1.0` after
+/// the reference renaming).
+pub fn align_interfaces<'a>(original: &'a Device, translated: &'a Device) -> InterfaceAlignment<'a> {
+    let mut pairs = Vec::new();
+    let mut used_t = vec![false; translated.interfaces.len()];
+    let mut only_original = Vec::new();
+    for o in &original.interfaces {
+        // Pass 1: canonical name.
+        let mut found = None;
+        for (ti, t) in translated.interfaces.iter().enumerate() {
+            if !used_t[ti] && o.name.aligns_with(&t.name) {
+                found = Some(ti);
+                break;
+            }
+        }
+        // Pass 2: same subnet.
+        if found.is_none() {
+            if let Some(oa) = o.address {
+                for (ti, t) in translated.interfaces.iter().enumerate() {
+                    if used_t[ti] {
+                        continue;
+                    }
+                    if let Some(ta) = t.address {
+                        if oa.same_subnet(&ta) {
+                            found = Some(ti);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        match found {
+            Some(ti) => {
+                used_t[ti] = true;
+                pairs.push((o, &translated.interfaces[ti]));
+            }
+            None => only_original.push(o),
+        }
+    }
+    let only_translated = translated
+        .interfaces
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !used_t[*i])
+        .map(|(_, t)| t)
+        .collect();
+    InterfaceAlignment {
+        pairs,
+        only_original,
+        only_translated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(ifaces: &[(&str, Option<&str>)]) -> Device {
+        let mut d = Device::named("d");
+        for (name, addr) in ifaces {
+            let mut i = IrInterface::named(*name);
+            i.address = addr.map(|a| a.parse().unwrap());
+            d.interfaces.push(i);
+        }
+        d
+    }
+
+    #[test]
+    fn aligns_by_canonical_name() {
+        let o = dev(&[("Loopback0", Some("1.2.3.4/32"))]);
+        let t = dev(&[("lo0.0", Some("1.2.3.4/32"))]);
+        let a = align_interfaces(&o, &t);
+        assert_eq!(a.pairs.len(), 1);
+        assert!(a.only_original.is_empty());
+        assert!(a.only_translated.is_empty());
+    }
+
+    #[test]
+    fn aligns_by_subnet_when_names_differ() {
+        let o = dev(&[("Ethernet0/1", Some("10.0.1.1/24"))]);
+        let t = dev(&[("ge-0/0/1.0", Some("10.0.1.1/24"))]);
+        let a = align_interfaces(&o, &t);
+        assert_eq!(a.pairs.len(), 1);
+    }
+
+    #[test]
+    fn leftovers_reported() {
+        let o = dev(&[
+            ("Ethernet0/1", Some("10.0.1.1/24")),
+            ("Ethernet0/2", Some("10.0.2.1/24")),
+        ]);
+        let t = dev(&[("ge-0/0/1.0", Some("10.0.1.1/24"))]);
+        let a = align_interfaces(&o, &t);
+        assert_eq!(a.pairs.len(), 1);
+        assert_eq!(a.only_original.len(), 1);
+        assert_eq!(a.only_original[0].name.as_str(), "Ethernet0/2");
+        assert!(a.only_translated.is_empty());
+    }
+
+    #[test]
+    fn no_double_pairing() {
+        // Two original interfaces on the same subnet can't both claim the
+        // single translated one.
+        let o = dev(&[
+            ("Ethernet0/1", Some("10.0.1.1/24")),
+            ("Ethernet0/9", Some("10.0.1.9/24")),
+        ]);
+        let t = dev(&[("ge-0/0/1.0", Some("10.0.1.1/24"))]);
+        let a = align_interfaces(&o, &t);
+        assert_eq!(a.pairs.len(), 1);
+        assert_eq!(a.only_original.len(), 1);
+    }
+
+    #[test]
+    fn unaddressed_interfaces_align_by_name_only() {
+        let o = dev(&[("Ethernet0/1", None)]);
+        let t = dev(&[("eth0/1", None)]);
+        let a = align_interfaces(&o, &t);
+        assert_eq!(a.pairs.len(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Campion finding types — the localized difference reports.
+
+use net_model::{Asn, InterfaceAddress, InterfaceName, Prefix, Protocol};
+use policy_symbolic::BehaviorDiff;
+use std::net::Ipv4Addr;
+
+/// Direction of a per-neighbor policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Import (route map `in`).
+    Import,
+    /// Export (route map `out`).
+    Export,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Direction::Import => "import",
+            Direction::Export => "export",
+        })
+    }
+}
+
+/// One localized difference between an original config and a translation.
+///
+/// `in_original = true` means the item is present in (or describes) the
+/// original and missing/different in the translation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampionFinding {
+    /// A BGP neighbor exists on one side only.
+    MissingNeighbor {
+        /// The neighbor address.
+        addr: Ipv4Addr,
+        /// Which side has it.
+        in_original: bool,
+    },
+    /// An aligned neighbor has an import/export policy on one side only —
+    /// Table 1's structural-mismatch example.
+    MissingPolicy {
+        /// The neighbor.
+        neighbor: Ipv4Addr,
+        /// Import or export.
+        direction: Direction,
+        /// The policy name on the side that has one.
+        policy: String,
+        /// Which side has the policy.
+        in_original: bool,
+    },
+    /// An interface exists on one side only.
+    MissingInterface {
+        /// Interface name as spelled on the side that has it.
+        name: InterfaceName,
+        /// Which side has it.
+        in_original: bool,
+    },
+    /// An originated network exists on one side only.
+    MissingNetwork {
+        /// The network.
+        prefix: Prefix,
+        /// Which side has it.
+        in_original: bool,
+    },
+    /// A redistribution exists on one side only (structural level; the
+    /// behavioural consequence also shows up as a policy difference).
+    MissingRedistribution {
+        /// Source protocol.
+        protocol: Protocol,
+        /// Which side has it.
+        in_original: bool,
+    },
+    /// Local AS differs.
+    LocalAsMismatch {
+        /// Original AS.
+        original: Asn,
+        /// Translated AS.
+        translated: Asn,
+    },
+    /// Router id differs (compared only when both sides set one).
+    RouterIdMismatch {
+        /// Original id.
+        original: Ipv4Addr,
+        /// Translated id.
+        translated: Ipv4Addr,
+    },
+    /// An aligned neighbor's remote AS differs.
+    RemoteAsMismatch {
+        /// The neighbor.
+        neighbor: Ipv4Addr,
+        /// Original remote AS.
+        original: Option<Asn>,
+        /// Translated remote AS.
+        translated: Option<Asn>,
+    },
+    /// An aligned interface pair has different addresses.
+    InterfaceAddressDiff {
+        /// Original interface name.
+        original_name: InterfaceName,
+        /// Translated interface name.
+        translated_name: InterfaceName,
+        /// Original address.
+        original: Option<InterfaceAddress>,
+        /// Translated address.
+        translated: Option<InterfaceAddress>,
+    },
+    /// An aligned interface pair has different OSPF costs — Table 1's
+    /// attribute-difference example.
+    OspfCostDiff {
+        /// Original interface name.
+        original_name: InterfaceName,
+        /// Translated interface name.
+        translated_name: InterfaceName,
+        /// Original cost (`None` = default).
+        original: Option<u32>,
+        /// Translated cost.
+        translated: Option<u32>,
+    },
+    /// An aligned interface pair differs on OSPF passivity.
+    OspfPassiveDiff {
+        /// Original interface name.
+        original_name: InterfaceName,
+        /// Translated interface name.
+        translated_name: InterfaceName,
+        /// Original passive setting.
+        original: bool,
+        /// Translated passive setting.
+        translated: bool,
+    },
+    /// Aligned per-neighbor policies differ semantically; carries the
+    /// symbolic witness. `original_policy`/`translated_policy` are the
+    /// names for localization (Table 1's policy-difference example).
+    PolicyBehavior {
+        /// The neighbor whose policy differs.
+        neighbor: Ipv4Addr,
+        /// Import or export.
+        direction: Direction,
+        /// Policy name on the original (chain head, if any).
+        original_policy: Option<String>,
+        /// Policy name on the translation.
+        translated_policy: Option<String>,
+        /// The witness difference ("first" = original).
+        diff: BehaviorDiff,
+    },
+}
+
+impl CampionFinding {
+    /// The difference class, in COSYNTH's repair-priority order:
+    /// structural (0) before attribute (1) before behaviour (2) — the
+    /// paper notes earlier classes mask later ones.
+    pub fn class(&self) -> u8 {
+        match self {
+            CampionFinding::MissingNeighbor { .. }
+            | CampionFinding::MissingPolicy { .. }
+            | CampionFinding::MissingInterface { .. }
+            | CampionFinding::MissingNetwork { .. }
+            | CampionFinding::MissingRedistribution { .. } => 0,
+            CampionFinding::LocalAsMismatch { .. }
+            | CampionFinding::RouterIdMismatch { .. }
+            | CampionFinding::RemoteAsMismatch { .. }
+            | CampionFinding::InterfaceAddressDiff { .. }
+            | CampionFinding::OspfCostDiff { .. }
+            | CampionFinding::OspfPassiveDiff { .. } => 1,
+            CampionFinding::PolicyBehavior { .. } => 2,
+        }
+    }
+
+    /// Short class name used in reports.
+    pub fn class_name(&self) -> &'static str {
+        match self.class() {
+            0 => "structural mismatch",
+            1 => "attribute difference",
+            _ => "policy behavior difference",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ordering_matches_paper() {
+        let structural = CampionFinding::MissingNeighbor {
+            addr: "1.2.3.4".parse().unwrap(),
+            in_original: true,
+        };
+        let attribute = CampionFinding::OspfCostDiff {
+            original_name: "Loopback0".into(),
+            translated_name: "lo0.0".into(),
+            original: Some(1),
+            translated: Some(0),
+        };
+        let behavior = CampionFinding::PolicyBehavior {
+            neighbor: "2.3.4.5".parse().unwrap(),
+            direction: Direction::Export,
+            original_policy: Some("to_provider".into()),
+            translated_policy: Some("to_provider".into()),
+            diff: BehaviorDiff::Action {
+                route: net_model::RouteAdvertisement::bgp("1.2.3.0/25".parse().unwrap()),
+                first_permits: true,
+            },
+        };
+        assert!(structural.class() < attribute.class());
+        assert!(attribute.class() < behavior.class());
+        assert_eq!(structural.class_name(), "structural mismatch");
+        assert_eq!(attribute.class_name(), "attribute difference");
+        assert_eq!(behavior.class_name(), "policy behavior difference");
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(Direction::Import.to_string(), "import");
+        assert_eq!(Direction::Export.to_string(), "export");
+    }
+}

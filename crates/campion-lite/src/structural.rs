@@ -1,0 +1,474 @@
+//! The comparison driver: structural, attribute, and behaviour diffing.
+
+use crate::align::align_interfaces;
+use crate::findings::{CampionFinding, Direction};
+use config_ir::Device;
+use policy_symbolic::{behavior_difference, effective_export_behavior, effective_import_behavior, RouteSpace};
+use std::collections::BTreeSet;
+
+/// Compares an original device against its translation and returns all
+/// findings, sorted structural → attribute → behaviour (the repair order
+/// the paper prescribes: earlier classes mask later ones).
+pub fn compare(original: &Device, translated: &Device) -> Vec<CampionFinding> {
+    let mut findings = Vec::new();
+    structural(original, translated, &mut findings);
+    attributes(original, translated, &mut findings);
+    // Behaviour diffs are only meaningful once structure aligns; Campion
+    // still reports them when possible, and COSYNTH repairs in class
+    // order anyway.
+    behavior(original, translated, &mut findings);
+    findings.sort_by_key(|f| f.class());
+    findings
+}
+
+fn structural(original: &Device, translated: &Device, out: &mut Vec<CampionFinding>) {
+    // Neighbors by address.
+    let o_neighbors: Vec<_> = original
+        .bgp
+        .as_ref()
+        .map(|b| b.neighbors.iter().collect())
+        .unwrap_or_default();
+    let t_neighbors: Vec<_> = translated
+        .bgp
+        .as_ref()
+        .map(|b| b.neighbors.iter().collect())
+        .unwrap_or_default();
+    for o in &o_neighbors {
+        match t_neighbors.iter().find(|t| t.addr == o.addr) {
+            None => out.push(CampionFinding::MissingNeighbor {
+                addr: o.addr,
+                in_original: true,
+            }),
+            Some(t) => {
+                // Per-neighbor policy presence (Table 1's example).
+                for (dir, op, tp) in [
+                    (Direction::Import, &o.import_policy, &t.import_policy),
+                    (Direction::Export, &o.export_policy, &t.export_policy),
+                ] {
+                    match (op.first(), tp.first()) {
+                        (Some(p), None) => out.push(CampionFinding::MissingPolicy {
+                            neighbor: o.addr,
+                            direction: dir,
+                            policy: p.clone(),
+                            in_original: true,
+                        }),
+                        (None, Some(p)) => out.push(CampionFinding::MissingPolicy {
+                            neighbor: o.addr,
+                            direction: dir,
+                            policy: p.clone(),
+                            in_original: false,
+                        }),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    for t in &t_neighbors {
+        if !o_neighbors.iter().any(|o| o.addr == t.addr) {
+            out.push(CampionFinding::MissingNeighbor {
+                addr: t.addr,
+                in_original: false,
+            });
+        }
+    }
+    // Interfaces.
+    let alignment = align_interfaces(original, translated);
+    for o in alignment.only_original {
+        out.push(CampionFinding::MissingInterface {
+            name: o.name.clone(),
+            in_original: true,
+        });
+    }
+    for t in alignment.only_translated {
+        out.push(CampionFinding::MissingInterface {
+            name: t.name.clone(),
+            in_original: false,
+        });
+    }
+    // Networks.
+    let o_nets: BTreeSet<_> = original
+        .bgp
+        .as_ref()
+        .map(|b| b.networks.iter().copied().collect())
+        .unwrap_or_default();
+    let t_nets: BTreeSet<_> = translated
+        .bgp
+        .as_ref()
+        .map(|b| b.networks.iter().copied().collect())
+        .unwrap_or_default();
+    for p in o_nets.difference(&t_nets) {
+        out.push(CampionFinding::MissingNetwork {
+            prefix: *p,
+            in_original: true,
+        });
+    }
+    for p in t_nets.difference(&o_nets) {
+        out.push(CampionFinding::MissingNetwork {
+            prefix: *p,
+            in_original: false,
+        });
+    }
+    // Redistributions (by protocol).
+    let o_redist: BTreeSet<_> = original
+        .bgp
+        .as_ref()
+        .map(|b| b.redistributions.iter().map(|(p, _)| *p).collect())
+        .unwrap_or_default();
+    let t_redist: BTreeSet<_> = translated
+        .bgp
+        .as_ref()
+        .map(|b| b.redistributions.iter().map(|(p, _)| *p).collect())
+        .unwrap_or_default();
+    for p in o_redist.difference(&t_redist) {
+        out.push(CampionFinding::MissingRedistribution {
+            protocol: *p,
+            in_original: true,
+        });
+    }
+    for p in t_redist.difference(&o_redist) {
+        out.push(CampionFinding::MissingRedistribution {
+            protocol: *p,
+            in_original: false,
+        });
+    }
+}
+
+fn attributes(original: &Device, translated: &Device, out: &mut Vec<CampionFinding>) {
+    if let (Some(ob), Some(tb)) = (&original.bgp, &translated.bgp) {
+        if ob.asn != tb.asn {
+            out.push(CampionFinding::LocalAsMismatch {
+                original: ob.asn,
+                translated: tb.asn,
+            });
+        }
+        if let (Some(oid), Some(tid)) = (ob.router_id, tb.router_id) {
+            if oid != tid {
+                out.push(CampionFinding::RouterIdMismatch {
+                    original: oid,
+                    translated: tid,
+                });
+            }
+        }
+        for o in &ob.neighbors {
+            if let Some(t) = tb.neighbor(o.addr) {
+                if o.remote_as != t.remote_as {
+                    out.push(CampionFinding::RemoteAsMismatch {
+                        neighbor: o.addr,
+                        original: o.remote_as,
+                        translated: t.remote_as,
+                    });
+                }
+            }
+        }
+    }
+    for (o, t) in align_interfaces(original, translated).pairs {
+        if o.address != t.address {
+            out.push(CampionFinding::InterfaceAddressDiff {
+                original_name: o.name.clone(),
+                translated_name: t.name.clone(),
+                original: o.address,
+                translated: t.address,
+            });
+        }
+        let (oc, tc) = (o.ospf.and_then(|s| s.cost), t.ospf.and_then(|s| s.cost));
+        if oc != tc {
+            out.push(CampionFinding::OspfCostDiff {
+                original_name: o.name.clone(),
+                translated_name: t.name.clone(),
+                original: oc,
+                translated: tc,
+            });
+        }
+        let (op, tp) = (
+            o.ospf.map(|s| s.passive).unwrap_or(false),
+            t.ospf.map(|s| s.passive).unwrap_or(false),
+        );
+        if op != tp {
+            out.push(CampionFinding::OspfPassiveDiff {
+                original_name: o.name.clone(),
+                translated_name: t.name.clone(),
+                original: op,
+                translated: tp,
+            });
+        }
+    }
+}
+
+fn behavior(original: &Device, translated: &Device, out: &mut Vec<CampionFinding>) {
+    let (Some(ob), Some(tb)) = (&original.bgp, &translated.bgp) else {
+        return;
+    };
+    // One shared space across both devices so behaviours are comparable.
+    let mut space = RouteSpace::for_devices(&[original, translated]);
+    for o in &ob.neighbors {
+        let Some(t) = tb.neighbor(o.addr) else { continue };
+        // Export: effective behaviour includes origination/redistribution —
+        // exactly how Campion caught the paper's redistribution bug.
+        let b_o = effective_export_behavior(&mut space, original, o.addr);
+        let b_t = effective_export_behavior(&mut space, translated, o.addr);
+        if let Some(diff) = behavior_difference(&mut space, &b_o, &b_t) {
+            out.push(CampionFinding::PolicyBehavior {
+                neighbor: o.addr,
+                direction: Direction::Export,
+                original_policy: o.export_policy.first().cloned(),
+                translated_policy: t.export_policy.first().cloned(),
+                diff,
+            });
+        }
+        let b_o = effective_import_behavior(&mut space, original, o.addr);
+        let b_t = effective_import_behavior(&mut space, translated, o.addr);
+        if let Some(diff) = behavior_difference(&mut space, &b_o, &b_t) {
+            out.push(CampionFinding::PolicyBehavior {
+                neighbor: o.addr,
+                direction: Direction::Import,
+                original_policy: o.import_policy.first().cloned(),
+                translated_policy: t.import_policy.first().cloned(),
+                diff,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policy_symbolic::BehaviorDiff;
+
+    const ORIG: &str = "\
+hostname border1
+interface Ethernet0/1
+ ip address 10.0.1.1 255.255.255.0
+ ip ospf cost 10
+interface Loopback0
+ ip address 1.2.3.4 255.255.255.255
+ ip ospf cost 1
+router ospf 1
+ network 10.0.1.0 0.0.0.255 area 0
+ network 1.2.3.4 0.0.0.0 area 0
+ passive-interface Loopback0
+router bgp 100
+ network 1.2.3.0 mask 255.255.255.0
+ neighbor 2.3.4.5 remote-as 200
+ neighbor 2.3.4.5 route-map to_provider out
+ neighbor 2.3.4.5 route-map from_provider in
+ redistribute ospf route-map ospf_to_bgp
+ip prefix-list ours seq 5 permit 1.2.3.0/24 ge 24
+route-map to_provider permit 10
+ match ip address prefix-list ours
+ set metric 50
+route-map to_provider deny 100
+route-map from_provider permit 10
+ set local-preference 120
+route-map ospf_to_bgp permit 10
+";
+
+    fn original() -> Device {
+        let (ast, w) = cisco_cfg::parse(ORIG);
+        assert!(w.is_empty(), "{w:?}");
+        config_ir::from_cisco(&ast).0
+    }
+
+    fn reference_translation(d: &Device) -> Device {
+        let (jcfg, _) = config_ir::to_juniper(d);
+        let text = juniper_cfg::print(&jcfg);
+        let (jast, w) = juniper_cfg::parse(&text);
+        assert!(w.is_empty(), "{w:?}");
+        config_ir::from_juniper(&jast).0
+    }
+
+    #[test]
+    fn clean_translation_no_findings() {
+        let o = original();
+        let t = reference_translation(&o);
+        let f = compare(&o, &t);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn missing_export_policy_detected() {
+        let o = original();
+        let mut t = reference_translation(&o);
+        t.bgp.as_mut().unwrap().neighbors[0].export_policy.clear();
+        let f = compare(&o, &t);
+        assert!(
+            f.iter().any(|x| matches!(
+                x,
+                CampionFinding::MissingPolicy {
+                    direction: Direction::Export,
+                    in_original: true,
+                    ..
+                }
+            )),
+            "{f:#?}"
+        );
+        // The structural finding comes before any behavioural one.
+        assert_eq!(f[0].class(), 0);
+    }
+
+    #[test]
+    fn missing_neighbor_detected() {
+        let o = original();
+        let mut t = reference_translation(&o);
+        t.bgp.as_mut().unwrap().neighbors.clear();
+        let f = compare(&o, &t);
+        assert!(f.iter().any(|x| matches!(
+            x,
+            CampionFinding::MissingNeighbor {
+                in_original: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn ospf_cost_difference_detected() {
+        let o = original();
+        let mut t = reference_translation(&o);
+        // Loopback cost 1 → 0 (Table 1's example).
+        for i in t.interfaces.iter_mut() {
+            if i.name.is_loopback() {
+                if let Some(s) = i.ospf.as_mut() {
+                    s.cost = Some(0);
+                }
+            }
+        }
+        let f = compare(&o, &t);
+        let hit = f.iter().find_map(|x| match x {
+            CampionFinding::OspfCostDiff {
+                original, translated, ..
+            } => Some((*original, *translated)),
+            _ => None,
+        });
+        assert_eq!(hit, Some((Some(1), Some(0))), "{f:#?}");
+    }
+
+    #[test]
+    fn passive_difference_detected() {
+        let o = original();
+        let mut t = reference_translation(&o);
+        for i in t.interfaces.iter_mut() {
+            if i.name.is_loopback() {
+                if let Some(s) = i.ospf.as_mut() {
+                    s.passive = false;
+                }
+            }
+        }
+        let f = compare(&o, &t);
+        assert!(f.iter().any(|x| matches!(
+            x,
+            CampionFinding::OspfPassiveDiff {
+                original: true,
+                translated: false,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn med_difference_detected_with_example_prefix() {
+        let o = original();
+        let mut t = reference_translation(&o);
+        // Break the MED in the translated export policy (Table 2's
+        // "Setting wrong BGP MED value").
+        let p = t.policies.iter_mut().find(|p| p.name == "to_provider").unwrap();
+        for c in p.clauses.iter_mut() {
+            for m in c.modifiers.iter_mut() {
+                if let config_ir::Modifier::SetMed(v) = m {
+                    *v = 999;
+                }
+            }
+        }
+        let f = compare(&o, &t);
+        let hit = f.iter().find_map(|x| match x {
+            CampionFinding::PolicyBehavior {
+                direction: Direction::Export,
+                diff: BehaviorDiff::Med { route, first, second },
+                ..
+            } => Some((route.clone(), *first, *second)),
+            _ => None,
+        });
+        let (route, first, second) = hit.expect("MED diff expected");
+        assert_eq!(first, Some(50));
+        assert_eq!(second, Some(999));
+        // The example prefix is inside the policy's matched space.
+        assert!(net_model::PrefixPattern::with_bounds(
+            "1.2.3.0/24".parse().unwrap(),
+            Some(24),
+            None
+        )
+        .unwrap()
+        .matches(&route.prefix));
+    }
+
+    #[test]
+    fn dropped_redistribution_detected_both_ways() {
+        let o = original();
+        let mut t = reference_translation(&o);
+        t.bgp.as_mut().unwrap().redistributions.clear();
+        t.policies.retain(|p| p.name != "redistribute-ospf");
+        let f = compare(&o, &t);
+        // Structural level.
+        assert!(f.iter().any(|x| matches!(
+            x,
+            CampionFinding::MissingRedistribution {
+                protocol: net_model::Protocol::Ospf,
+                in_original: true
+            }
+        )));
+        // Behavioural level: the original exports OSPF routes the
+        // translation doesn't.
+        assert!(f.iter().any(|x| matches!(
+            x,
+            CampionFinding::PolicyBehavior {
+                direction: Direction::Export,
+                diff: BehaviorDiff::Action {
+                    first_permits: true,
+                    ..
+                },
+                ..
+            }
+        )), "{f:#?}");
+    }
+
+    #[test]
+    fn ge24_dropped_detected_as_policy_diff() {
+        // Table 2's "Different prefix lengths match in BGP": the
+        // translation matches 1.2.3.0/24 exact instead of ge 24.
+        let o = original();
+        let mut t = reference_translation(&o);
+        let p = t.policies.iter_mut().find(|p| p.name == "to_provider").unwrap();
+        for c in p.clauses.iter_mut() {
+            for cond in c.conditions.iter_mut() {
+                if let config_ir::Condition::MatchPrefix { patterns, .. } = cond {
+                    for pat in patterns.iter_mut() {
+                        *pat = net_model::PrefixPattern::exact(pat.prefix);
+                    }
+                }
+            }
+        }
+        let f = compare(&o, &t);
+        let hit = f.iter().find_map(|x| match x {
+            CampionFinding::PolicyBehavior {
+                diff: BehaviorDiff::Action { route, first_permits },
+                ..
+            } => Some((route.clone(), *first_permits)),
+            _ => None,
+        });
+        let (route, first_permits) = hit.expect("action diff expected");
+        assert!(first_permits, "original permits more");
+        assert!(route.prefix.len() > 24, "witness is a longer prefix: {route}");
+    }
+
+    #[test]
+    fn local_as_mismatch_detected() {
+        let o = original();
+        let mut t = reference_translation(&o);
+        t.bgp.as_mut().unwrap().asn = net_model::Asn(999);
+        let f = compare(&o, &t);
+        assert!(f.iter().any(|x| matches!(
+            x,
+            CampionFinding::LocalAsMismatch { .. }
+        )));
+    }
+}

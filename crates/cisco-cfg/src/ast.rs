@@ -1,0 +1,473 @@
+//! Typed AST for the supported IOS subset.
+//!
+//! The AST deliberately mirrors IOS's own organization (per-block structs,
+//! source order preserved in `Vec`s) rather than a semantic model — the
+//! vendor-neutral semantics live in `config-ir`. Keeping vendor shape here
+//! lets the printer regenerate configs that look like what an operator (or
+//! an LLM) would write, and lets fault injectors perturb configs at the
+//! same granularity the paper describes.
+
+use net_model::{
+    Asn, Community, CommunityListEntry, InterfaceAddress, InterfaceName, Prefix, PrefixPattern,
+    Protocol,
+};
+use std::net::Ipv4Addr;
+
+/// A parsed IOS configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CiscoConfig {
+    /// `hostname` value, if present.
+    pub hostname: Option<String>,
+    /// `interface` blocks in source order.
+    pub interfaces: Vec<CiscoInterface>,
+    /// The `router bgp` block, if present (IOS allows at most one).
+    pub bgp: Option<BgpProcess>,
+    /// The `router ospf` block, if present.
+    pub ospf: Option<OspfProcess>,
+    /// `ip prefix-list` definitions grouped by name, in first-use order.
+    pub prefix_lists: Vec<PrefixList>,
+    /// `ip community-list` definitions grouped by name.
+    pub community_lists: Vec<CommunityList>,
+    /// `ip as-path access-list` definitions grouped by number.
+    pub as_path_lists: Vec<AsPathList>,
+    /// `route-map` definitions grouped by name.
+    pub route_maps: Vec<RouteMap>,
+    /// Unrecognized lines retained verbatim (tolerant front end).
+    pub extra_lines: Vec<String>,
+}
+
+impl CiscoConfig {
+    /// Looks up a route map by name.
+    pub fn route_map(&self, name: &str) -> Option<&RouteMap> {
+        self.route_maps.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a prefix list by name.
+    pub fn prefix_list(&self, name: &str) -> Option<&PrefixList> {
+        self.prefix_lists.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a community list by name.
+    pub fn community_list(&self, name: &str) -> Option<&CommunityList> {
+        self.community_lists.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up an interface by exact name.
+    pub fn interface(&self, name: &str) -> Option<&CiscoInterface> {
+        self.interfaces.iter().find(|i| i.name.as_str() == name)
+    }
+
+    /// Mutable route-map lookup (used by fault injectors and repairs).
+    pub fn route_map_mut(&mut self, name: &str) -> Option<&mut RouteMap> {
+        self.route_maps.iter_mut().find(|m| m.name == name)
+    }
+}
+
+/// An `interface` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CiscoInterface {
+    /// Interface name as written (`Ethernet0/1`, `Loopback0`).
+    pub name: InterfaceName,
+    /// `ip address`, if configured.
+    pub address: Option<InterfaceAddress>,
+    /// `ip ospf cost`, if configured.
+    pub ospf_cost: Option<u32>,
+    /// Whether the interface is shut down.
+    pub shutdown: bool,
+    /// `description` text.
+    pub description: Option<String>,
+}
+
+impl CiscoInterface {
+    /// A named interface with nothing else configured.
+    pub fn named(name: impl Into<String>) -> Self {
+        CiscoInterface {
+            name: InterfaceName::new(name),
+            address: None,
+            ospf_cost: None,
+            shutdown: false,
+            description: None,
+        }
+    }
+}
+
+/// A `network` statement under `router bgp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkStatement {
+    /// The announced prefix.
+    pub prefix: Prefix,
+}
+
+/// A redistribution statement under `router bgp`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redistribution {
+    /// Source protocol.
+    pub protocol: Protocol,
+    /// Optional filtering route map.
+    pub route_map: Option<String>,
+}
+
+/// A BGP neighbor and its per-neighbor settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpNeighbor {
+    /// Neighbor address.
+    pub addr: Ipv4Addr,
+    /// `remote-as`, if declared (required for a functional session).
+    pub remote_as: Option<Asn>,
+    /// `description`.
+    pub description: Option<String>,
+    /// Import policy: `neighbor X route-map NAME in`.
+    pub route_map_in: Option<String>,
+    /// Export policy: `neighbor X route-map NAME out`.
+    pub route_map_out: Option<String>,
+    /// `send-community` configured.
+    pub send_community: bool,
+    /// `next-hop-self` configured.
+    pub next_hop_self: bool,
+}
+
+impl BgpNeighbor {
+    /// A neighbor with only an address.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        BgpNeighbor {
+            addr,
+            remote_as: None,
+            description: None,
+            route_map_in: None,
+            route_map_out: None,
+            send_community: false,
+            next_hop_self: false,
+        }
+    }
+}
+
+/// The `router bgp <asn>` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpProcess {
+    /// The local AS number.
+    pub asn: Asn,
+    /// `bgp router-id`.
+    pub router_id: Option<Ipv4Addr>,
+    /// `network` statements in order.
+    pub networks: Vec<NetworkStatement>,
+    /// Neighbors in order of first mention.
+    pub neighbors: Vec<BgpNeighbor>,
+    /// `redistribute` statements.
+    pub redistribute: Vec<Redistribution>,
+}
+
+impl BgpProcess {
+    /// An empty process for the given AS.
+    pub fn new(asn: Asn) -> Self {
+        BgpProcess {
+            asn,
+            router_id: None,
+            networks: Vec::new(),
+            neighbors: Vec::new(),
+            redistribute: Vec::new(),
+        }
+    }
+
+    /// Finds a neighbor by address.
+    pub fn neighbor(&self, addr: Ipv4Addr) -> Option<&BgpNeighbor> {
+        self.neighbors.iter().find(|n| n.addr == addr)
+    }
+
+    /// Finds or creates a neighbor entry (IOS semantics: any `neighbor X …`
+    /// line implicitly declares X).
+    pub fn neighbor_mut(&mut self, addr: Ipv4Addr) -> &mut BgpNeighbor {
+        if let Some(pos) = self.neighbors.iter().position(|n| n.addr == addr) {
+            &mut self.neighbors[pos]
+        } else {
+            self.neighbors.push(BgpNeighbor::new(addr));
+            self.neighbors.last_mut().expect("just pushed")
+        }
+    }
+}
+
+/// One OSPF `network` statement: `network <addr> <wildcard> area <n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OspfNetwork {
+    /// The covered prefix (wildcard converted to a mask length).
+    pub prefix: Prefix,
+    /// OSPF area number.
+    pub area: u32,
+}
+
+/// The `router ospf <pid>` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OspfProcess {
+    /// Process id.
+    pub process_id: u32,
+    /// `router-id`.
+    pub router_id: Option<Ipv4Addr>,
+    /// `network ... area ...` statements.
+    pub networks: Vec<OspfNetwork>,
+    /// `passive-interface default` present.
+    pub passive_default: bool,
+    /// Explicit `passive-interface <name>` entries.
+    pub passive_interfaces: Vec<InterfaceName>,
+    /// Explicit `no passive-interface <name>` entries (with default on).
+    pub active_interfaces: Vec<InterfaceName>,
+}
+
+impl OspfProcess {
+    /// An empty process.
+    pub fn new(process_id: u32) -> Self {
+        OspfProcess {
+            process_id,
+            router_id: None,
+            networks: Vec::new(),
+            passive_default: false,
+            passive_interfaces: Vec::new(),
+            active_interfaces: Vec::new(),
+        }
+    }
+
+    /// Effective passivity of an interface under this process.
+    pub fn is_passive(&self, name: &InterfaceName) -> bool {
+        if self.passive_default {
+            !self.active_interfaces.iter().any(|i| i.aligns_with(name))
+        } else {
+            self.passive_interfaces.iter().any(|i| i.aligns_with(name))
+        }
+    }
+}
+
+/// One entry of an `ip prefix-list`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixListEntry {
+    /// Sequence number.
+    pub seq: u32,
+    /// Permit (true) or deny (false).
+    pub permit: bool,
+    /// The matched pattern, including any `ge`/`le`.
+    pub pattern: PrefixPattern,
+}
+
+/// A named prefix list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixList {
+    /// List name.
+    pub name: String,
+    /// Entries sorted by sequence number.
+    pub entries: Vec<PrefixListEntry>,
+}
+
+impl PrefixList {
+    /// Evaluates the list: first matching entry wins; no match → deny
+    /// (IOS's implicit deny).
+    pub fn permits(&self, p: &Prefix) -> bool {
+        for e in &self.entries {
+            if e.pattern.matches(p) {
+                return e.permit;
+            }
+        }
+        false
+    }
+}
+
+/// A named (standard) community list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityList {
+    /// List name or number.
+    pub name: String,
+    /// Entries in order.
+    pub entries: Vec<CommunityListEntry>,
+}
+
+/// An `ip as-path access-list` (number, entries of permit/deny + pattern).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsPathList {
+    /// List number (IOS uses numeric ids).
+    pub name: String,
+    /// `(permit, raw regex)` entries; only the idioms in
+    /// `net_model::aspath::AsPathPattern` are given semantics downstream.
+    pub entries: Vec<(bool, String)>,
+}
+
+/// A `match` clause inside a route-map stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchClause {
+    /// `match ip address prefix-list NAME...` — OR over the named lists.
+    IpAddressPrefixList(Vec<String>),
+    /// `match community LIST...` — OR over the named community lists.
+    Community(Vec<String>),
+    /// `match as-path N`.
+    AsPath(String),
+    /// `match source-protocol <proto>` (used in redistribution policies).
+    SourceProtocol(Protocol),
+}
+
+/// A `set` clause inside a route-map stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetClause {
+    /// `set community C... [additive]`. Without `additive` this *replaces*
+    /// the route's communities — the trap in Section 4.2.
+    Community {
+        /// The communities being set/added.
+        communities: Vec<Community>,
+        /// Whether `additive` was given.
+        additive: bool,
+    },
+    /// `set metric N` (BGP MED).
+    Metric(u32),
+    /// `set local-preference N`.
+    LocalPreference(u32),
+    /// `set as-path prepend A...`.
+    AsPathPrepend(Vec<Asn>),
+    /// `set ip next-hop A.B.C.D`.
+    NextHop(Ipv4Addr),
+    /// `set weight N` (Cisco-local attribute; carried but unused).
+    Weight(u32),
+}
+
+/// One `route-map NAME permit|deny SEQ` stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteMapStanza {
+    /// Sequence number.
+    pub seq: u32,
+    /// Permit (true) or deny (false).
+    pub permit: bool,
+    /// `match` clauses — IOS ANDs distinct clauses; values within one
+    /// clause are ORed. (Exactly the AND/OR distinction of Section 4.2.)
+    pub matches: Vec<MatchClause>,
+    /// `set` clauses, applied on permit.
+    pub sets: Vec<SetClause>,
+}
+
+impl RouteMapStanza {
+    /// A permit stanza with no clauses.
+    pub fn permit(seq: u32) -> Self {
+        RouteMapStanza {
+            seq,
+            permit: true,
+            matches: Vec::new(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// A deny stanza with no clauses.
+    pub fn deny(seq: u32) -> Self {
+        RouteMapStanza {
+            seq,
+            permit: false,
+            matches: Vec::new(),
+            sets: Vec::new(),
+        }
+    }
+}
+
+/// A named route map: ordered stanzas, first match wins, implicit deny.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteMap {
+    /// Route-map name.
+    pub name: String,
+    /// Stanzas sorted by sequence number.
+    pub stanzas: Vec<RouteMapStanza>,
+}
+
+impl RouteMap {
+    /// An empty route map.
+    pub fn new(name: impl Into<String>) -> Self {
+        RouteMap {
+            name: name.into(),
+            stanzas: Vec::new(),
+        }
+    }
+
+    /// Finds a stanza by sequence number.
+    pub fn stanza(&self, seq: u32) -> Option<&RouteMapStanza> {
+        self.stanzas.iter().find(|s| s.seq == seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn neighbor_mut_creates_once() {
+        let mut bgp = BgpProcess::new(Asn(100));
+        let a = Ipv4Addr::new(2, 3, 4, 5);
+        bgp.neighbor_mut(a).remote_as = Some(Asn(200));
+        bgp.neighbor_mut(a).send_community = true;
+        assert_eq!(bgp.neighbors.len(), 1);
+        assert_eq!(bgp.neighbor(a).unwrap().remote_as, Some(Asn(200)));
+        assert!(bgp.neighbor(a).unwrap().send_community);
+    }
+
+    #[test]
+    fn prefix_list_first_match_and_implicit_deny() {
+        let pl = PrefixList {
+            name: "our-networks".into(),
+            entries: vec![
+                PrefixListEntry {
+                    seq: 5,
+                    permit: false,
+                    pattern: PrefixPattern::exact(prefix("1.2.3.0/24")),
+                },
+                PrefixListEntry {
+                    seq: 10,
+                    permit: true,
+                    pattern: PrefixPattern::with_bounds(prefix("1.2.3.0/24"), Some(24), None)
+                        .unwrap(),
+                },
+            ],
+        };
+        assert!(!pl.permits(&prefix("1.2.3.0/24")), "seq 5 denies exact");
+        assert!(pl.permits(&prefix("1.2.3.128/25")), "seq 10 permits longer");
+        assert!(!pl.permits(&prefix("9.9.9.0/24")), "implicit deny");
+    }
+
+    #[test]
+    fn ospf_passivity_default_and_explicit() {
+        let mut o = OspfProcess::new(1);
+        let eth = InterfaceName::from("Ethernet0/1");
+        let lo = InterfaceName::from("Loopback0");
+        assert!(!o.is_passive(&eth));
+        o.passive_interfaces.push(lo.clone());
+        assert!(o.is_passive(&lo));
+        assert!(!o.is_passive(&eth));
+        // With default on, everything is passive unless explicitly active.
+        let mut o2 = OspfProcess::new(1);
+        o2.passive_default = true;
+        assert!(o2.is_passive(&eth));
+        o2.active_interfaces.push(eth.clone());
+        assert!(!o2.is_passive(&eth));
+        assert!(o2.is_passive(&lo));
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let mut cfg = CiscoConfig::default();
+        cfg.route_maps.push(RouteMap::new("to_provider"));
+        cfg.prefix_lists.push(PrefixList {
+            name: "private-ips".into(),
+            entries: vec![],
+        });
+        cfg.interfaces.push(CiscoInterface::named("Ethernet0/1"));
+        assert!(cfg.route_map("to_provider").is_some());
+        assert!(cfg.route_map("nope").is_none());
+        assert!(cfg.prefix_list("private-ips").is_some());
+        assert!(cfg.interface("Ethernet0/1").is_some());
+        cfg.route_map_mut("to_provider")
+            .unwrap()
+            .stanzas
+            .push(RouteMapStanza::permit(10));
+        assert_eq!(cfg.route_map("to_provider").unwrap().stanzas.len(), 1);
+    }
+
+    #[test]
+    fn stanza_constructors() {
+        let p = RouteMapStanza::permit(10);
+        assert!(p.permit);
+        let d = RouteMapStanza::deny(100);
+        assert!(!d.permit);
+        assert_eq!(d.seq, 100);
+    }
+}

@@ -1,0 +1,135 @@
+//! Line-oriented lexing for IOS configurations.
+//!
+//! IOS configs are a sequence of lines; block structure is implied by
+//! leading whitespace and mode-entering commands, with `!` as a comment /
+//! separator. The lexer produces [`ConfigLine`]s: the 1-based line number,
+//! the indentation depth, and the whitespace-split words. The parser never
+//! touches raw text again except to echo offending lines into warnings.
+
+/// One meaningful line of configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigLine {
+    /// 1-based source line number.
+    pub number: usize,
+    /// Count of leading spaces (tabs count as one).
+    pub indent: usize,
+    /// Whitespace-separated words.
+    pub words: Vec<String>,
+    /// The trimmed original text (for warnings and raw retention).
+    pub text: String,
+}
+
+impl ConfigLine {
+    /// The first word, lowercased — the command keyword.
+    pub fn keyword(&self) -> String {
+        self.words.first().map(|w| w.to_ascii_lowercase()).unwrap_or_default()
+    }
+
+    /// Word at index `i`, if present.
+    pub fn word(&self, i: usize) -> Option<&str> {
+        self.words.get(i).map(|s| s.as_str())
+    }
+
+    /// Joins words from index `i` to the end (e.g. description text).
+    pub fn rest(&self, i: usize) -> String {
+        self.words[i.min(self.words.len())..].join(" ")
+    }
+
+    /// Whether the line starts with the given words (case-insensitive).
+    pub fn starts_with(&self, prefix: &[&str]) -> bool {
+        prefix.len() <= self.words.len()
+            && prefix
+                .iter()
+                .zip(&self.words)
+                .all(|(p, w)| w.eq_ignore_ascii_case(p))
+    }
+}
+
+/// Splits input text into meaningful lines, dropping blanks and `!`
+/// comment/separator lines (a `!` line still resets block context in the
+/// parser, so it is reported via [`LexOutput::separators`]).
+#[derive(Debug, Clone)]
+pub struct LexOutput {
+    /// The meaningful lines, in order.
+    pub lines: Vec<ConfigLine>,
+    /// Line numbers that contained a bare `!` separator.
+    pub separators: Vec<usize>,
+}
+
+/// Lexes an IOS config into lines.
+pub fn lex(input: &str) -> LexOutput {
+    let mut lines = Vec::new();
+    let mut separators = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let number = idx + 1;
+        let trimmed_end = raw.trim_end();
+        let trimmed = trimmed_end.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with('!') {
+            separators.push(number);
+            continue;
+        }
+        let indent = trimmed_end.len() - trimmed.len();
+        let words: Vec<String> = trimmed.split_whitespace().map(str::to_string).collect();
+        lines.push(ConfigLine {
+            number,
+            indent,
+            words,
+            text: trimmed.to_string(),
+        });
+    }
+    LexOutput { lines, separators }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_skips_blanks_and_comments() {
+        let out = lex("hostname r1\n\n! comment\n!\ninterface Ethernet0/1\n ip address 1.2.3.4 255.255.255.0\n");
+        assert_eq!(out.lines.len(), 3);
+        assert_eq!(out.separators, vec![3, 4]);
+        assert_eq!(out.lines[0].number, 1);
+        assert_eq!(out.lines[1].number, 5);
+        assert_eq!(out.lines[2].number, 6);
+    }
+
+    #[test]
+    fn indent_is_counted() {
+        let out = lex("a\n b\n\tc\n");
+        assert_eq!(out.lines[0].indent, 0);
+        assert_eq!(out.lines[1].indent, 1);
+        assert_eq!(out.lines[2].indent, 1);
+    }
+
+    #[test]
+    fn keyword_is_lowercased() {
+        let out = lex("Interface Ethernet0/1\n");
+        assert_eq!(out.lines[0].keyword(), "interface");
+        assert_eq!(out.lines[0].word(1), Some("Ethernet0/1"));
+    }
+
+    #[test]
+    fn rest_joins_tail() {
+        let out = lex("description link to ISP core\n");
+        assert_eq!(out.lines[0].rest(1), "link to ISP core");
+        assert_eq!(out.lines[0].rest(99), "");
+    }
+
+    #[test]
+    fn starts_with_is_case_insensitive() {
+        let out = lex("Router BGP 100\n");
+        assert!(out.lines[0].starts_with(&["router", "bgp"]));
+        assert!(!out.lines[0].starts_with(&["router", "ospf"]));
+        assert!(!out.lines[0].starts_with(&["router", "bgp", "100", "x"]));
+    }
+
+    #[test]
+    fn text_preserves_original_spelling() {
+        let out = lex("  Match Community 100:1\n");
+        assert_eq!(out.lines[0].text, "Match Community 100:1");
+    }
+}

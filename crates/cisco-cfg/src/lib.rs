@@ -1,0 +1,68 @@
+//! # cisco-cfg — Cisco IOS configuration front end
+//!
+//! A tolerant, line-oriented lexer/parser/AST/printer for the IOS subset
+//! exercised by the paper's two use cases, modeled on Batfish's front end:
+//! parsing never fails hard; unrecognized or misplaced lines become
+//! [`ParseWarning`]s (the syntax-verifier feedback channel of COSYNTH) and
+//! the rest of the config still parses.
+//!
+//! ## Supported statements
+//!
+//! * `hostname`
+//! * `interface` blocks: `ip address` (mask or CIDR), `ip ospf cost`,
+//!   `shutdown`, `description`
+//! * `router bgp`: `bgp router-id`, `neighbor ... remote-as`,
+//!   `neighbor ... route-map ... in|out`, `neighbor ... send-community`,
+//!   `neighbor ... next-hop-self`, `network ... [mask ...]`,
+//!   `redistribute <proto> [route-map ...]`
+//! * `router ospf`: `router-id`, `network <addr> <wildcard> area <n>`,
+//!   `passive-interface [default | <ifname>]`, `no passive-interface`
+//! * `ip prefix-list NAME [seq N] permit|deny P/L [ge g] [le l]`
+//! * `ip community-list [standard|expanded] NAME permit|deny <communities>`
+//! * `ip as-path access-list N permit|deny <regex>`
+//! * `route-map NAME permit|deny SEQ` stanzas with
+//!   `match ip address prefix-list`, `match community`, `match as-path`,
+//!   `match source-protocol`, and `set community [additive]`, `set metric`,
+//!   `set local-preference`, `set as-path prepend`, `set ip next-hop`,
+//!   `set weight`
+//!
+//! ## Deliberately flagged inputs (the paper's GPT-4 error catalogue)
+//!
+//! * CLI/EXEC keywords inside a config file (`exit`, `end`, `conf t`,
+//!   `configure terminal`, `write`, `ip routing`) → warning.
+//! * `neighbor`/`network` statements outside `router bgp` → warning
+//!   (Section 4.2: "Placing neighbor commands in the wrong location").
+//! * `match community 100:1` (a literal community where a community-list
+//!   name is required) → warning (Section 4.2 "Match Community").
+//! * `ip community-list standard X permit .+` (regex in a standard list)
+//!   → warning (Table 3's syntax-error example).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod warning;
+
+pub use ast::{
+    AsPathList, BgpNeighbor, BgpProcess, CiscoConfig, CiscoInterface, CommunityList,
+    MatchClause, NetworkStatement, OspfNetwork, OspfProcess, PrefixList, PrefixListEntry,
+    Redistribution, RouteMap, RouteMapStanza, SetClause,
+};
+pub use parser::parse;
+pub use printer::print;
+pub use warning::ParseWarning;
+
+/// Convenience: parse then pretty-print (canonicalization).
+pub fn canonicalize(input: &str) -> (String, Vec<ParseWarning>) {
+    let (cfg, warnings) = parse(input);
+    (printer::print(&cfg), warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn canonicalize_empty_is_quiet() {
+        let (_text, warnings) = super::canonicalize("");
+        assert!(warnings.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! Pretty-printer: AST → canonical IOS text.
+//!
+//! The printer emits configurations in the shape an operator would write
+//! (and the shape the Composer hands to Batfish-lite): blocks separated by
+//! `!`, two-space indentation inside blocks, attributes in a fixed order.
+//! `parse ∘ print` is the identity on the supported AST (covered by a
+//! property test), which is what lets the VPP loop round-trip configs
+//! through the simulated LLM without drift.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Prints a configuration to canonical IOS text.
+pub fn print(cfg: &CiscoConfig) -> String {
+    let mut out = String::new();
+    if let Some(h) = &cfg.hostname {
+        writeln!(out, "hostname {h}").unwrap();
+        writeln!(out, "!").unwrap();
+    }
+    for iface in &cfg.interfaces {
+        writeln!(out, "interface {}", iface.name).unwrap();
+        if let Some(d) = &iface.description {
+            writeln!(out, " description {d}").unwrap();
+        }
+        if let Some(a) = &iface.address {
+            writeln!(out, " ip address {} {}", a.addr, a.dotted_mask()).unwrap();
+        }
+        if let Some(c) = iface.ospf_cost {
+            writeln!(out, " ip ospf cost {c}").unwrap();
+        }
+        if iface.shutdown {
+            writeln!(out, " shutdown").unwrap();
+        }
+        writeln!(out, "!").unwrap();
+    }
+    if let Some(ospf) = &cfg.ospf {
+        writeln!(out, "router ospf {}", ospf.process_id).unwrap();
+        if let Some(id) = ospf.router_id {
+            writeln!(out, " router-id {id}").unwrap();
+        }
+        for n in &ospf.networks {
+            writeln!(
+                out,
+                " network {} {} area {}",
+                n.prefix.network(),
+                n.prefix.wildcard_mask(),
+                n.area
+            )
+            .unwrap();
+        }
+        if ospf.passive_default {
+            writeln!(out, " passive-interface default").unwrap();
+        }
+        for i in &ospf.passive_interfaces {
+            writeln!(out, " passive-interface {i}").unwrap();
+        }
+        for i in &ospf.active_interfaces {
+            writeln!(out, " no passive-interface {i}").unwrap();
+        }
+        writeln!(out, "!").unwrap();
+    }
+    if let Some(bgp) = &cfg.bgp {
+        writeln!(out, "router bgp {}", bgp.asn).unwrap();
+        if let Some(id) = bgp.router_id {
+            writeln!(out, " bgp router-id {id}").unwrap();
+        }
+        for n in &bgp.networks {
+            writeln!(
+                out,
+                " network {} mask {}",
+                n.prefix.network(),
+                n.prefix.dotted_mask()
+            )
+            .unwrap();
+        }
+        for r in &bgp.redistribute {
+            match &r.route_map {
+                Some(m) => writeln!(out, " redistribute {} route-map {m}", r.protocol).unwrap(),
+                None => writeln!(out, " redistribute {}", r.protocol).unwrap(),
+            }
+        }
+        for n in &bgp.neighbors {
+            if let Some(asn) = n.remote_as {
+                writeln!(out, " neighbor {} remote-as {asn}", n.addr).unwrap();
+            }
+            if let Some(d) = &n.description {
+                writeln!(out, " neighbor {} description {d}", n.addr).unwrap();
+            }
+            if n.send_community {
+                writeln!(out, " neighbor {} send-community", n.addr).unwrap();
+            }
+            if n.next_hop_self {
+                writeln!(out, " neighbor {} next-hop-self", n.addr).unwrap();
+            }
+            if let Some(m) = &n.route_map_in {
+                writeln!(out, " neighbor {} route-map {m} in", n.addr).unwrap();
+            }
+            if let Some(m) = &n.route_map_out {
+                writeln!(out, " neighbor {} route-map {m} out", n.addr).unwrap();
+            }
+        }
+        writeln!(out, "!").unwrap();
+    }
+    for pl in &cfg.prefix_lists {
+        for e in &pl.entries {
+            writeln!(
+                out,
+                "ip prefix-list {} seq {} {} {}",
+                pl.name,
+                e.seq,
+                if e.permit { "permit" } else { "deny" },
+                e.pattern.cisco_syntax()
+            )
+            .unwrap();
+        }
+    }
+    if !cfg.prefix_lists.is_empty() {
+        writeln!(out, "!").unwrap();
+    }
+    for cl in &cfg.community_lists {
+        for e in &cl.entries {
+            let comms: Vec<String> = e.communities.iter().map(|c| c.to_string()).collect();
+            writeln!(
+                out,
+                "ip community-list standard {} {} {}",
+                cl.name,
+                if e.permit { "permit" } else { "deny" },
+                comms.join(" ")
+            )
+            .unwrap();
+        }
+    }
+    if !cfg.community_lists.is_empty() {
+        writeln!(out, "!").unwrap();
+    }
+    for al in &cfg.as_path_lists {
+        for (permit, regex) in &al.entries {
+            writeln!(
+                out,
+                "ip as-path access-list {} {} {regex}",
+                al.name,
+                if *permit { "permit" } else { "deny" },
+            )
+            .unwrap();
+        }
+    }
+    if !cfg.as_path_lists.is_empty() {
+        writeln!(out, "!").unwrap();
+    }
+    for rm in &cfg.route_maps {
+        for s in &rm.stanzas {
+            writeln!(
+                out,
+                "route-map {} {} {}",
+                rm.name,
+                if s.permit { "permit" } else { "deny" },
+                s.seq
+            )
+            .unwrap();
+            for m in &s.matches {
+                match m {
+                    MatchClause::IpAddressPrefixList(lists) => {
+                        writeln!(out, " match ip address prefix-list {}", lists.join(" ")).unwrap()
+                    }
+                    MatchClause::Community(lists) => {
+                        writeln!(out, " match community {}", lists.join(" ")).unwrap()
+                    }
+                    MatchClause::AsPath(n) => writeln!(out, " match as-path {n}").unwrap(),
+                    MatchClause::SourceProtocol(p) => {
+                        writeln!(out, " match source-protocol {p}").unwrap()
+                    }
+                }
+            }
+            for st in &s.sets {
+                match st {
+                    SetClause::Community { communities, additive } => {
+                        let comms: Vec<String> =
+                            communities.iter().map(|c| c.to_string()).collect();
+                        if *additive {
+                            writeln!(out, " set community {} additive", comms.join(" ")).unwrap()
+                        } else {
+                            writeln!(out, " set community {}", comms.join(" ")).unwrap()
+                        }
+                    }
+                    SetClause::Metric(v) => writeln!(out, " set metric {v}").unwrap(),
+                    SetClause::LocalPreference(v) => {
+                        writeln!(out, " set local-preference {v}").unwrap()
+                    }
+                    SetClause::AsPathPrepend(asns) => {
+                        let s: Vec<String> = asns.iter().map(|a| a.to_string()).collect();
+                        writeln!(out, " set as-path prepend {}", s.join(" ")).unwrap()
+                    }
+                    SetClause::NextHop(a) => writeln!(out, " set ip next-hop {a}").unwrap(),
+                    SetClause::Weight(v) => writeln!(out, " set weight {v}").unwrap(),
+                }
+            }
+        }
+        writeln!(out, "!").unwrap();
+    }
+    for raw in &cfg.extra_lines {
+        writeln!(out, "{raw}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SAMPLE: &str = "\
+hostname border1
+interface Ethernet0/1
+ description uplink
+ ip address 10.0.1.1 255.255.255.0
+ ip ospf cost 10
+router ospf 1
+ router-id 1.2.3.4
+ network 10.0.1.0 0.0.0.255 area 0
+ passive-interface Loopback0
+router bgp 100
+ bgp router-id 1.2.3.4
+ network 1.2.3.0 mask 255.255.255.0
+ redistribute ospf route-map ospf_to_bgp
+ neighbor 2.3.4.5 remote-as 200
+ neighbor 2.3.4.5 send-community
+ neighbor 2.3.4.5 route-map from_provider in
+ neighbor 2.3.4.5 route-map to_provider out
+ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24
+ip community-list standard cl permit 100:1
+ip as-path access-list 1 permit ^$
+route-map to_provider permit 10
+ match ip address prefix-list our-networks
+ set metric 50
+ set community 100:1 additive
+route-map to_provider deny 100
+route-map from_provider permit 10
+ set local-preference 120
+route-map ospf_to_bgp permit 10
+ match source-protocol ospf
+";
+
+    #[test]
+    fn print_parse_is_identity_on_ast() {
+        let (cfg, w) = parse(SAMPLE);
+        assert!(w.is_empty(), "{w:?}");
+        let printed = print(&cfg);
+        let (cfg2, w2) = parse(&printed);
+        assert!(w2.is_empty(), "reprint warnings: {w2:?}\n{printed}");
+        assert_eq!(cfg, cfg2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn print_is_idempotent() {
+        let (cfg, _) = parse(SAMPLE);
+        let once = print(&cfg);
+        let (cfg2, _) = parse(&once);
+        let twice = print(&cfg2);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn printed_neighbor_lines_are_inside_bgp_block() {
+        let (cfg, _) = parse(SAMPLE);
+        let printed = print(&cfg);
+        let bgp_pos = printed.find("router bgp").unwrap();
+        let nbr_pos = printed.find("neighbor 2.3.4.5 remote-as").unwrap();
+        assert!(nbr_pos > bgp_pos);
+        // neighbor lines are indented (block members)
+        for line in printed.lines() {
+            if line.contains("neighbor") {
+                assert!(line.starts_with(' '), "neighbor not in block: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_config_prints_empty() {
+        assert_eq!(print(&CiscoConfig::default()), "");
+    }
+
+    #[test]
+    fn additive_keyword_round_trips() {
+        let input = "route-map m permit 10\n set community 100:1 additive\n";
+        let (cfg, _) = parse(input);
+        let printed = print(&cfg);
+        assert!(printed.contains("set community 100:1 additive"));
+        let input2 = "route-map m permit 10\n set community 100:1\n";
+        let (cfg2, _) = parse(input2);
+        assert!(!print(&cfg2).contains("additive"));
+    }
+}

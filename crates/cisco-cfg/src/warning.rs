@@ -1,0 +1,7 @@
+//! Re-export of the shared diagnostics types.
+//!
+//! The warning vocabulary lives in `net_model::diag` so the verification
+//! suite can treat Cisco and Juniper syntax feedback uniformly; this module
+//! re-exports it under the crate's namespace for convenience.
+
+pub use net_model::diag::{ParseWarning, WarningKind};

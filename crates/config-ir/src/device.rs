@@ -1,0 +1,269 @@
+//! The vendor-neutral device model.
+
+use crate::policy::{IrCommunitySet, IrPolicy, IrPrefixSet};
+use net_model::{Asn, Community, InterfaceAddress, InterfaceName, Prefix, Protocol};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Per-interface OSPF settings, resolved at lowering time (Cisco derives
+/// them from `network`/`passive-interface` statements; Juniper states them
+/// directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OspfIfaceSettings {
+    /// OSPF area the interface participates in.
+    pub area: u32,
+    /// Link cost, if explicitly set.
+    pub cost: Option<u32>,
+    /// Whether the interface is passive.
+    pub passive: bool,
+}
+
+/// An interface with its address and IGP settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrInterface {
+    /// Vendor-shaped name, kept for alignment and emission.
+    pub name: InterfaceName,
+    /// IPv4 address, if configured.
+    pub address: Option<InterfaceAddress>,
+    /// OSPF participation, if any.
+    pub ospf: Option<OspfIfaceSettings>,
+    /// Administratively down.
+    pub shutdown: bool,
+}
+
+impl IrInterface {
+    /// A named interface with nothing configured.
+    pub fn named(name: impl Into<String>) -> Self {
+        IrInterface {
+            name: InterfaceName::new(name),
+            address: None,
+            ospf: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// A BGP neighbor in the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrNeighbor {
+    /// Peer address.
+    pub addr: Ipv4Addr,
+    /// Peer AS, if declared.
+    pub remote_as: Option<Asn>,
+    /// Import policy chain (policy names, applied in order).
+    pub import_policy: Vec<String>,
+    /// Export policy chain.
+    pub export_policy: Vec<String>,
+    /// Whether communities are sent to this peer.
+    pub send_community: bool,
+    /// Next-hop-self.
+    pub next_hop_self: bool,
+    /// Free-text description.
+    pub description: Option<String>,
+}
+
+impl IrNeighbor {
+    /// A neighbor with only an address.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        IrNeighbor {
+            addr,
+            remote_as: None,
+            import_policy: Vec::new(),
+            export_policy: Vec::new(),
+            send_community: false,
+            next_hop_self: false,
+            description: None,
+        }
+    }
+}
+
+/// The BGP process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrBgp {
+    /// Local AS.
+    pub asn: Asn,
+    /// Router id, if set.
+    pub router_id: Option<Ipv4Addr>,
+    /// Originated networks.
+    pub networks: Vec<Prefix>,
+    /// Neighbors.
+    pub neighbors: Vec<IrNeighbor>,
+    /// Redistributions into BGP: `(protocol, optional filter policy)`.
+    pub redistributions: Vec<(Protocol, Option<String>)>,
+}
+
+impl IrBgp {
+    /// An empty process.
+    pub fn new(asn: Asn) -> Self {
+        IrBgp {
+            asn,
+            router_id: None,
+            networks: Vec::new(),
+            neighbors: Vec::new(),
+            redistributions: Vec::new(),
+        }
+    }
+
+    /// Finds a neighbor by address.
+    pub fn neighbor(&self, addr: Ipv4Addr) -> Option<&IrNeighbor> {
+        self.neighbors.iter().find(|n| n.addr == addr)
+    }
+}
+
+/// The OSPF process (per-interface settings live on [`IrInterface`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IrOspf {
+    /// Router id, if set.
+    pub router_id: Option<Ipv4Addr>,
+}
+
+/// A whole device: the unit Campion-lite diffs and the simulator runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Device {
+    /// Host name.
+    pub name: String,
+    /// Interfaces in source order.
+    pub interfaces: Vec<IrInterface>,
+    /// BGP process, if configured.
+    pub bgp: Option<IrBgp>,
+    /// OSPF process, if configured.
+    pub ospf: Option<IrOspf>,
+    /// Named routing policies.
+    pub policies: Vec<IrPolicy>,
+    /// Named prefix sets.
+    pub prefix_sets: Vec<IrPrefixSet>,
+    /// Named community sets.
+    pub community_sets: Vec<IrCommunitySet>,
+}
+
+impl Device {
+    /// An empty named device.
+    pub fn named(name: impl Into<String>) -> Self {
+        Device {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Looks up a policy by name.
+    pub fn policy(&self, name: &str) -> Option<&IrPolicy> {
+        self.policies.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a prefix set by name.
+    pub fn prefix_set(&self, name: &str) -> Option<&IrPrefixSet> {
+        self.prefix_sets.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a community set by name.
+    pub fn community_set(&self, name: &str) -> Option<&IrCommunitySet> {
+        self.community_sets.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up an interface by aligned name (vendor-neutral key).
+    pub fn interface_aligned(&self, name: &InterfaceName) -> Option<&IrInterface> {
+        self.interfaces.iter().find(|i| i.name.aligns_with(name))
+    }
+
+    /// The community universe of this device: every community value
+    /// mentioned in any set or policy. The symbolic analyses allocate one
+    /// BDD variable per member.
+    pub fn community_universe(&self) -> BTreeSet<Community> {
+        let mut out = BTreeSet::new();
+        for s in &self.community_sets {
+            out.extend(s.mentioned());
+        }
+        for p in &self.policies {
+            out.extend(p.mentioned_communities());
+        }
+        out
+    }
+
+    /// Names of policies referenced by neighbors or redistributions but
+    /// not defined — a structural dangling-reference check used by both
+    /// Campion-lite and the topology verifier.
+    pub fn dangling_policy_refs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let defined: BTreeSet<&str> = self.policies.iter().map(|p| p.name.as_str()).collect();
+        if let Some(bgp) = &self.bgp {
+            for n in &bgp.neighbors {
+                for p in n.import_policy.iter().chain(&n.export_policy) {
+                    if !defined.contains(p.as_str()) {
+                        out.push(p.clone());
+                    }
+                }
+            }
+            for (_, p) in &bgp.redistributions {
+                if let Some(p) = p {
+                    if !defined.contains(p.as_str()) {
+                        out.push(p.clone());
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ClauseAction, IrClause, Modifier};
+
+    #[test]
+    fn community_universe_unions_sets_and_policies() {
+        let mut d = Device::named("r1");
+        d.community_sets
+            .push(IrCommunitySet::single("a", "100:1".parse().unwrap()));
+        let mut p = IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetCommunities {
+                communities: BTreeSet::from(["200:2".parse().unwrap()]),
+                additive: true,
+            }],
+        });
+        d.policies.push(p);
+        let u = d.community_universe();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn dangling_refs_detected() {
+        let mut d = Device::named("r1");
+        let mut bgp = IrBgp::new(Asn(100));
+        let mut n = IrNeighbor::new("2.0.0.2".parse().unwrap());
+        n.import_policy.push("exists".into());
+        n.export_policy.push("missing".into());
+        bgp.neighbors.push(n);
+        bgp.redistributions
+            .push((Protocol::Ospf, Some("also-missing".into())));
+        d.bgp = Some(bgp);
+        d.policies.push(IrPolicy::new("exists"));
+        assert_eq!(d.dangling_policy_refs(), vec!["also-missing", "missing"]);
+    }
+
+    #[test]
+    fn interface_alignment_lookup() {
+        let mut d = Device::named("r1");
+        d.interfaces.push(IrInterface::named("Ethernet0/1"));
+        assert!(d
+            .interface_aligned(&InterfaceName::from("eth0/1"))
+            .is_some());
+        assert!(d
+            .interface_aligned(&InterfaceName::from("eth0/2"))
+            .is_none());
+    }
+
+    #[test]
+    fn neighbor_lookup() {
+        let mut bgp = IrBgp::new(Asn(1));
+        bgp.neighbors.push(IrNeighbor::new("9.9.9.9".parse().unwrap()));
+        assert!(bgp.neighbor("9.9.9.9".parse().unwrap()).is_some());
+        assert!(bgp.neighbor("9.9.9.8".parse().unwrap()).is_none());
+    }
+}

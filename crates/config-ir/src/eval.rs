@@ -1,0 +1,456 @@
+//! Concrete single-route policy evaluation.
+//!
+//! This is the interpreter the BGP control-plane simulator uses: given a
+//! route advertisement and a policy (or chain of policies), decide
+//! permit/deny and produce the modified route. The symbolic twin in
+//! `policy-symbolic` must agree with this evaluator on every concrete
+//! route — a property test in that crate checks exactly that.
+
+use crate::device::Device;
+use crate::policy::{ClauseAction, Condition, IrPolicy, Modifier};
+use net_model::aspath::AsPathPattern;
+use net_model::{AsPath, RouteAdvertisement};
+
+/// Resolution environment for named sets, borrowed from a [`Device`].
+pub struct PolicyEnv<'a> {
+    device: &'a Device,
+    /// Neighbor address the route is being exchanged with (for
+    /// `MatchNeighbor`); `None` outside a neighbor context.
+    pub neighbor: Option<std::net::Ipv4Addr>,
+}
+
+impl<'a> PolicyEnv<'a> {
+    /// An environment with no neighbor context.
+    pub fn new(device: &'a Device) -> Self {
+        PolicyEnv {
+            device,
+            neighbor: None,
+        }
+    }
+
+    /// An environment in the context of a specific neighbor.
+    pub fn for_neighbor(device: &'a Device, neighbor: std::net::Ipv4Addr) -> Self {
+        PolicyEnv {
+            device,
+            neighbor: Some(neighbor),
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+}
+
+/// The outcome of evaluating a policy on a route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyOutcome {
+    /// The route is accepted, possibly modified.
+    Permit(RouteAdvertisement),
+    /// The route is rejected.
+    Deny,
+}
+
+impl PolicyOutcome {
+    /// True if permitted.
+    pub fn is_permit(&self) -> bool {
+        matches!(self, PolicyOutcome::Permit(_))
+    }
+
+    /// The resulting route if permitted.
+    pub fn route(&self) -> Option<&RouteAdvertisement> {
+        match self {
+            PolicyOutcome::Permit(r) => Some(r),
+            PolicyOutcome::Deny => None,
+        }
+    }
+}
+
+/// Whether a single condition holds for a route.
+fn condition_holds(env: &PolicyEnv<'_>, cond: &Condition, route: &RouteAdvertisement) -> bool {
+    match cond {
+        Condition::MatchPrefix { sets, patterns } => {
+            let by_set = sets.iter().any(|name| {
+                env.device()
+                    .prefix_set(name)
+                    .map(|s| s.matches(&route.prefix))
+                    // A dangling set reference matches nothing (IOS treats
+                    // an undefined prefix-list as permit-any, but flagging
+                    // the dangle is Campion's job; matching nothing keeps
+                    // the evaluator conservative and deterministic).
+                    .unwrap_or(false)
+            });
+            let by_pattern = patterns.iter().any(|p| p.matches(&route.prefix));
+            by_set || by_pattern
+        }
+        Condition::MatchCommunity(sets) => sets.iter().any(|name| {
+            env.device()
+                .community_set(name)
+                .map(|s| s.matches(&route.communities))
+                .unwrap_or(false)
+        }),
+        Condition::MatchProtocol(ps) => ps.contains(&route.protocol),
+        Condition::MatchAsPath(pattern) => AsPathPattern::parse_ios(pattern)
+            .map(|p| p.matches(&route.as_path))
+            .unwrap_or(false),
+        Condition::MatchNeighbor(a) => env.neighbor == Some(*a),
+    }
+}
+
+/// Applies a modifier to a route in place.
+fn apply_modifier(env: &PolicyEnv<'_>, m: &Modifier, route: &mut RouteAdvertisement) {
+    match m {
+        Modifier::SetCommunities {
+            communities,
+            additive,
+        } => {
+            if !*additive {
+                route.communities.clear();
+            }
+            route.communities.extend(communities.iter().copied());
+        }
+        Modifier::DeleteCommunities(set_name) => {
+            if let Some(set) = env.device().community_set(set_name) {
+                let to_delete: Vec<_> = set
+                    .entries
+                    .iter()
+                    .filter(|(permit, _)| *permit)
+                    .flat_map(|(_, cs)| cs.iter().copied())
+                    .collect();
+                for c in to_delete {
+                    route.communities.remove(&c);
+                }
+            }
+        }
+        Modifier::SetMed(v) => route.med = Some(*v),
+        Modifier::SetLocalPref(v) => route.local_pref = Some(*v),
+        Modifier::PrependAsPath(asns) => {
+            let mut path: Vec<_> = asns.clone();
+            path.extend(route.as_path.0.iter().copied());
+            route.as_path = AsPath(path);
+        }
+        Modifier::SetNextHop(a) => route.next_hop = Some(*a),
+    }
+}
+
+/// Evaluates one policy on a route: first matching terminal clause wins;
+/// `FallThrough` clauses apply modifiers and continue; the policy default
+/// applies when no terminal clause matches.
+pub fn eval_policy(
+    env: &PolicyEnv<'_>,
+    policy: &IrPolicy,
+    route: &RouteAdvertisement,
+) -> PolicyOutcome {
+    let mut current = route.clone();
+    for clause in &policy.clauses {
+        let holds = clause
+            .conditions
+            .iter()
+            .all(|c| condition_holds(env, c, &current));
+        if !holds {
+            continue;
+        }
+        match clause.action {
+            ClauseAction::Permit => {
+                for m in &clause.modifiers {
+                    apply_modifier(env, m, &mut current);
+                }
+                return PolicyOutcome::Permit(current);
+            }
+            ClauseAction::Deny => return PolicyOutcome::Deny,
+            ClauseAction::FallThrough => {
+                for m in &clause.modifiers {
+                    apply_modifier(env, m, &mut current);
+                }
+            }
+        }
+    }
+    match policy.default_action {
+        ClauseAction::Permit | ClauseAction::FallThrough => PolicyOutcome::Permit(current),
+        ClauseAction::Deny => PolicyOutcome::Deny,
+    }
+}
+
+/// Evaluates a chain of policies: each policy's permitted output feeds the
+/// next; a deny anywhere denies the route. Unknown policy names deny (and
+/// are separately reported by the structural checks).
+pub fn eval_policy_chain(
+    env: &PolicyEnv<'_>,
+    chain: &[String],
+    route: &RouteAdvertisement,
+) -> PolicyOutcome {
+    let mut current = route.clone();
+    for name in chain {
+        let Some(policy) = env.device().policy(name) else {
+            return PolicyOutcome::Deny;
+        };
+        match eval_policy(env, policy, &current) {
+            PolicyOutcome::Permit(r) => current = r,
+            PolicyOutcome::Deny => return PolicyOutcome::Deny,
+        }
+    }
+    PolicyOutcome::Permit(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::policy::*;
+    use net_model::{Community, Prefix, PrefixPattern, Protocol};
+    use std::collections::BTreeSet;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn comm(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    /// A device with one prefix set, two community sets, and one policy:
+    ///   clause 10: match prefix-set "ours" → permit, set MED 50, add 100:1
+    ///   clause 100: deny all
+    fn sample_device() -> Device {
+        let mut d = Device::named("r1");
+        d.prefix_sets.push(IrPrefixSet::permitting(
+            "ours",
+            vec![PrefixPattern::with_bounds(pfx("1.2.3.0/24"), Some(24), None).unwrap()],
+        ));
+        d.community_sets
+            .push(IrCommunitySet::single("tag", comm("100:1")));
+        let mut p = IrPolicy::new("to_provider");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::prefix_set("ours")],
+            modifiers: vec![
+                Modifier::SetMed(50),
+                Modifier::SetCommunities {
+                    communities: BTreeSet::from([comm("100:1")]),
+                    additive: true,
+                },
+            ],
+        });
+        p.clauses.push(IrClause::deny_all("100"));
+        d.policies.push(p);
+        d
+    }
+
+    #[test]
+    fn permit_path_applies_modifiers() {
+        let d = sample_device();
+        let env = PolicyEnv::new(&d);
+        let r = RouteAdvertisement::bgp(pfx("1.2.3.0/25"));
+        let out = eval_policy(&env, d.policy("to_provider").unwrap(), &r);
+        let got = out.route().expect("permitted");
+        assert_eq!(got.med, Some(50));
+        assert!(got.communities.contains(&comm("100:1")));
+    }
+
+    #[test]
+    fn non_matching_falls_to_deny() {
+        let d = sample_device();
+        let env = PolicyEnv::new(&d);
+        let r = RouteAdvertisement::bgp(pfx("9.9.9.0/24"));
+        assert_eq!(
+            eval_policy(&env, d.policy("to_provider").unwrap(), &r),
+            PolicyOutcome::Deny
+        );
+    }
+
+    #[test]
+    fn additive_false_replaces_communities() {
+        let mut d = Device::named("r1");
+        let mut p = IrPolicy::new("add");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetCommunities {
+                communities: BTreeSet::from([comm("100:1")]),
+                additive: false,
+            }],
+        });
+        d.policies.push(p);
+        let env = PolicyEnv::new(&d);
+        let r = RouteAdvertisement::bgp(pfx("1.0.0.0/8")).with_community(comm("999:9"));
+        let out = eval_policy(&env, d.policy("add").unwrap(), &r);
+        let got = out.route().unwrap();
+        assert!(!got.communities.contains(&comm("999:9")), "replaced");
+        assert!(got.communities.contains(&comm("100:1")));
+    }
+
+    #[test]
+    fn fallthrough_applies_and_continues() {
+        let mut d = Device::named("r1");
+        let mut p = IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "t1".into(),
+            action: ClauseAction::FallThrough,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetLocalPref(200)],
+        });
+        p.clauses.push(IrClause::permit_all("t2"));
+        d.policies.push(p);
+        let env = PolicyEnv::new(&d);
+        let r = RouteAdvertisement::bgp(pfx("1.0.0.0/8"));
+        let out = eval_policy(&env, d.policy("p").unwrap(), &r);
+        assert_eq!(out.route().unwrap().local_pref, Some(200));
+    }
+
+    #[test]
+    fn default_action_permit() {
+        let mut d = Device::named("r1");
+        let mut p = IrPolicy::new("p");
+        p.default_action = ClauseAction::Permit;
+        d.policies.push(p);
+        let env = PolicyEnv::new(&d);
+        let r = RouteAdvertisement::bgp(pfx("1.0.0.0/8"));
+        assert!(eval_policy(&env, d.policy("p").unwrap(), &r).is_permit());
+    }
+
+    #[test]
+    fn and_semantics_across_conditions() {
+        // One clause matching community A AND community B denies only
+        // routes carrying both — the Section 4.2 bug reproduced at IR level.
+        let mut d = Device::named("r1");
+        d.community_sets
+            .push(IrCommunitySet::single("a", comm("101:1")));
+        d.community_sets
+            .push(IrCommunitySet::single("b", comm("102:1")));
+        let mut p = IrPolicy::new("filter");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Deny,
+            conditions: vec![
+                Condition::community_set("a"),
+                Condition::community_set("b"),
+            ],
+            modifiers: vec![],
+        });
+        p.clauses.push(IrClause::permit_all("20"));
+        d.policies.push(p);
+        let env = PolicyEnv::new(&d);
+        let only_a = RouteAdvertisement::bgp(pfx("1.0.0.0/8")).with_community(comm("101:1"));
+        let both = only_a.clone().with_community(comm("102:1"));
+        assert!(
+            eval_policy(&env, d.policy("filter").unwrap(), &only_a).is_permit(),
+            "route with one community slips through the AND filter"
+        );
+        assert!(!eval_policy(&env, d.policy("filter").unwrap(), &both).is_permit());
+    }
+
+    #[test]
+    fn or_semantics_within_condition() {
+        // One clause with one condition listing both sets denies either.
+        let mut d = Device::named("r1");
+        d.community_sets
+            .push(IrCommunitySet::single("a", comm("101:1")));
+        d.community_sets
+            .push(IrCommunitySet::single("b", comm("102:1")));
+        let mut p = IrPolicy::new("filter");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Deny,
+            conditions: vec![Condition::MatchCommunity(vec!["a".into(), "b".into()])],
+            modifiers: vec![],
+        });
+        p.clauses.push(IrClause::permit_all("20"));
+        d.policies.push(p);
+        let env = PolicyEnv::new(&d);
+        let only_a = RouteAdvertisement::bgp(pfx("1.0.0.0/8")).with_community(comm("101:1"));
+        let only_b = RouteAdvertisement::bgp(pfx("1.0.0.0/8")).with_community(comm("102:1"));
+        assert!(!eval_policy(&env, d.policy("filter").unwrap(), &only_a).is_permit());
+        assert!(!eval_policy(&env, d.policy("filter").unwrap(), &only_b).is_permit());
+    }
+
+    #[test]
+    fn chain_composes_and_denies_on_unknown() {
+        let d = sample_device();
+        let env = PolicyEnv::new(&d);
+        let r = RouteAdvertisement::bgp(pfx("1.2.3.0/25"));
+        let out = eval_policy_chain(&env, &["to_provider".to_string()], &r);
+        assert!(out.is_permit());
+        let out = eval_policy_chain(&env, &["missing".to_string()], &r);
+        assert_eq!(out, PolicyOutcome::Deny);
+        let out = eval_policy_chain(&env, &[], &r);
+        assert!(out.is_permit(), "empty chain permits unchanged");
+    }
+
+    #[test]
+    fn delete_communities_removes_set_members() {
+        let mut d = Device::named("r1");
+        d.community_sets
+            .push(IrCommunitySet::single("kill", comm("100:1")));
+        let mut p = IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![],
+            modifiers: vec![Modifier::DeleteCommunities("kill".into())],
+        });
+        d.policies.push(p);
+        let env = PolicyEnv::new(&d);
+        let r = RouteAdvertisement::bgp(pfx("1.0.0.0/8"))
+            .with_community(comm("100:1"))
+            .with_community(comm("200:2"));
+        let out = eval_policy(&env, d.policy("p").unwrap(), &r);
+        let got = out.route().unwrap();
+        assert!(!got.communities.contains(&comm("100:1")));
+        assert!(got.communities.contains(&comm("200:2")));
+    }
+
+    #[test]
+    fn match_neighbor_requires_context() {
+        let mut d = Device::named("r1");
+        let mut p = IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::MatchNeighbor("9.9.9.9".parse().unwrap())],
+            modifiers: vec![],
+        });
+        d.policies.push(p);
+        let r = RouteAdvertisement::bgp(pfx("1.0.0.0/8"));
+        let env = PolicyEnv::new(&d);
+        assert!(!eval_policy(&env, d.policy("p").unwrap(), &r).is_permit());
+        let env = PolicyEnv::for_neighbor(&d, "9.9.9.9".parse().unwrap());
+        assert!(eval_policy(&env, d.policy("p").unwrap(), &r).is_permit());
+    }
+
+    #[test]
+    fn match_protocol_and_aspath() {
+        let mut d = Device::named("r1");
+        let mut p = IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::MatchProtocol(vec![Protocol::Ospf])],
+            modifiers: vec![],
+        });
+        d.policies.push(p);
+        let env = PolicyEnv::new(&d);
+        let bgp_route = RouteAdvertisement::bgp(pfx("1.0.0.0/8"));
+        let ospf_route = RouteAdvertisement::of_protocol(pfx("1.0.0.0/8"), Protocol::Ospf);
+        assert!(!eval_policy(&env, d.policy("p").unwrap(), &bgp_route).is_permit());
+        assert!(eval_policy(&env, d.policy("p").unwrap(), &ospf_route).is_permit());
+
+        let mut d2 = Device::named("r2");
+        let mut p2 = IrPolicy::new("ap");
+        p2.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::MatchAsPath("_3_".into())],
+            modifiers: vec![],
+        });
+        d2.policies.push(p2);
+        let env2 = PolicyEnv::new(&d2);
+        let with3 = RouteAdvertisement::bgp(pfx("1.0.0.0/8"))
+            .with_as_path([net_model::Asn(2), net_model::Asn(3)].into_iter().collect());
+        let without3 = RouteAdvertisement::bgp(pfx("1.0.0.0/8"))
+            .with_as_path([net_model::Asn(2)].into_iter().collect());
+        assert!(eval_policy(&env2, d2.policy("ap").unwrap(), &with3).is_permit());
+        assert!(!eval_policy(&env2, d2.policy("ap").unwrap(), &without3).is_permit());
+    }
+}

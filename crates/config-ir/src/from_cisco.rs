@@ -1,0 +1,278 @@
+//! Lowering: Cisco IOS AST → vendor-neutral [`Device`].
+
+use crate::device::*;
+use crate::policy::*;
+use cisco_cfg::{CiscoConfig, MatchClause, SetClause};
+use net_model::Protocol;
+use std::collections::BTreeSet;
+
+/// Lowers a parsed IOS config into the IR. Returns the device plus
+/// human-readable lowering notes for constructs that required
+/// approximation (kept for DESIGN.md's honesty contract; none occur on
+/// the paper's configs).
+pub fn from_cisco(cfg: &CiscoConfig) -> (Device, Vec<String>) {
+    let mut notes = Vec::new();
+    let mut d = Device::named(cfg.hostname.clone().unwrap_or_default());
+
+    // Interfaces, with OSPF settings resolved from the process.
+    for i in &cfg.interfaces {
+        let mut ir = IrInterface::named(i.name.as_str());
+        ir.address = i.address;
+        ir.shutdown = i.shutdown;
+        if let Some(ospf) = &cfg.ospf {
+            // An interface participates if some `network` statement covers
+            // its address.
+            if let Some(addr) = i.address {
+                if let Some(net) = ospf
+                    .networks
+                    .iter()
+                    .find(|n| n.prefix.contains_addr(addr.addr))
+                {
+                    ir.ospf = Some(OspfIfaceSettings {
+                        area: net.area,
+                        cost: i.ospf_cost,
+                        passive: ospf.is_passive(&i.name),
+                    });
+                }
+            }
+        }
+        d.interfaces.push(ir);
+    }
+
+    if cfg.ospf.is_some() {
+        d.ospf = Some(IrOspf {
+            router_id: cfg.ospf.as_ref().and_then(|o| o.router_id),
+        });
+    }
+
+    // Prefix lists.
+    for pl in &cfg.prefix_lists {
+        d.prefix_sets.push(IrPrefixSet {
+            name: pl.name.clone(),
+            entries: pl
+                .entries
+                .iter()
+                .map(|e| PrefixSetEntry {
+                    permit: e.permit,
+                    pattern: e.pattern,
+                })
+                .collect(),
+        });
+    }
+
+    // Community lists.
+    for cl in &cfg.community_lists {
+        d.community_sets.push(IrCommunitySet {
+            name: cl.name.clone(),
+            entries: cl
+                .entries
+                .iter()
+                .map(|e| (e.permit, e.communities.clone()))
+                .collect(),
+        });
+    }
+
+    // Route maps.
+    for rm in &cfg.route_maps {
+        let mut policy = IrPolicy::new(rm.name.clone());
+        for s in &rm.stanzas {
+            let mut clause = IrClause {
+                id: s.seq.to_string(),
+                action: if s.permit {
+                    ClauseAction::Permit
+                } else {
+                    ClauseAction::Deny
+                },
+                conditions: Vec::new(),
+                modifiers: Vec::new(),
+            };
+            for m in &s.matches {
+                match m {
+                    MatchClause::IpAddressPrefixList(lists) => {
+                        clause.conditions.push(Condition::MatchPrefix {
+                            sets: lists.clone(),
+                            patterns: Vec::new(),
+                        })
+                    }
+                    MatchClause::Community(lists) => {
+                        clause.conditions.push(Condition::MatchCommunity(lists.clone()))
+                    }
+                    MatchClause::AsPath(list) => {
+                        // Resolve the numbered list to its first permit
+                        // regex; further entries would OR and are noted.
+                        if let Some(al) = cfg.as_path_lists.iter().find(|l| &l.name == list) {
+                            if let Some((_, regex)) = al.entries.iter().find(|(p, _)| *p) {
+                                clause.conditions.push(Condition::MatchAsPath(regex.clone()));
+                                if al.entries.len() > 1 {
+                                    notes.push(format!(
+                                        "as-path list {list}: only the first permit entry \
+                                         was lowered"
+                                    ));
+                                }
+                            }
+                        } else {
+                            notes.push(format!("as-path list {list} is undefined"));
+                        }
+                    }
+                    MatchClause::SourceProtocol(p) => {
+                        clause.conditions.push(Condition::MatchProtocol(vec![*p]))
+                    }
+                }
+            }
+            for st in &s.sets {
+                match st {
+                    SetClause::Community {
+                        communities,
+                        additive,
+                    } => clause.modifiers.push(Modifier::SetCommunities {
+                        communities: communities.iter().copied().collect::<BTreeSet<_>>(),
+                        additive: *additive,
+                    }),
+                    SetClause::Metric(v) => clause.modifiers.push(Modifier::SetMed(*v)),
+                    SetClause::LocalPreference(v) => {
+                        clause.modifiers.push(Modifier::SetLocalPref(*v))
+                    }
+                    SetClause::AsPathPrepend(asns) => {
+                        clause.modifiers.push(Modifier::PrependAsPath(asns.clone()))
+                    }
+                    SetClause::NextHop(a) => clause.modifiers.push(Modifier::SetNextHop(*a)),
+                    SetClause::Weight(_) => notes.push(format!(
+                        "route-map {} seq {}: 'set weight' has no vendor-neutral \
+                         equivalent and was dropped",
+                        rm.name, s.seq
+                    )),
+                }
+            }
+            policy.clauses.push(clause);
+        }
+        d.policies.push(policy);
+    }
+
+    // BGP.
+    if let Some(bgp) = &cfg.bgp {
+        let mut ir = IrBgp::new(bgp.asn);
+        ir.router_id = bgp.router_id;
+        ir.networks = bgp.networks.iter().map(|n| n.prefix).collect();
+        for n in &bgp.neighbors {
+            let mut irn = IrNeighbor::new(n.addr);
+            irn.remote_as = n.remote_as;
+            irn.import_policy = n.route_map_in.iter().cloned().collect();
+            irn.export_policy = n.route_map_out.iter().cloned().collect();
+            irn.send_community = n.send_community;
+            irn.next_hop_self = n.next_hop_self;
+            irn.description = n.description.clone();
+            ir.neighbors.push(irn);
+        }
+        for r in &bgp.redistribute {
+            if r.protocol == Protocol::Bgp {
+                notes.push("redistribute bgp into bgp is meaningless; dropped".into());
+                continue;
+            }
+            ir.redistributions.push((r.protocol, r.route_map.clone()));
+        }
+        d.bgp = Some(ir);
+    }
+
+    (d, notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{Asn, InterfaceName};
+
+    const SAMPLE: &str = "\
+hostname border1
+interface Ethernet0/1
+ ip address 10.0.1.1 255.255.255.0
+ ip ospf cost 10
+interface Loopback0
+ ip address 1.2.3.4 255.255.255.255
+router ospf 1
+ router-id 1.2.3.4
+ network 10.0.1.0 0.0.0.255 area 0
+ network 1.2.3.4 0.0.0.0 area 0
+ passive-interface Loopback0
+router bgp 100
+ network 1.2.3.0 mask 255.255.255.0
+ neighbor 2.3.4.5 remote-as 200
+ neighbor 2.3.4.5 route-map to_provider out
+ redistribute ospf route-map ospf_to_bgp
+ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24
+ip community-list standard tag permit 100:1
+route-map to_provider permit 10
+ match ip address prefix-list our-networks
+ set metric 50
+route-map to_provider deny 100
+route-map ospf_to_bgp permit 10
+";
+
+    fn lower(input: &str) -> (Device, Vec<String>) {
+        let (ast, w) = cisco_cfg::parse(input);
+        assert!(w.is_empty(), "{w:?}");
+        from_cisco(&ast)
+    }
+
+    #[test]
+    fn lowers_sample_completely() {
+        let (d, notes) = lower(SAMPLE);
+        assert!(notes.is_empty(), "{notes:?}");
+        assert_eq!(d.name, "border1");
+        assert_eq!(d.interfaces.len(), 2);
+        let eth = d.interface_aligned(&InterfaceName::from("Ethernet0/1")).unwrap();
+        let ospf = eth.ospf.unwrap();
+        assert_eq!(ospf.area, 0);
+        assert_eq!(ospf.cost, Some(10));
+        assert!(!ospf.passive);
+        let lo = d.interface_aligned(&InterfaceName::from("Loopback0")).unwrap();
+        assert!(lo.ospf.unwrap().passive);
+        let bgp = d.bgp.as_ref().unwrap();
+        assert_eq!(bgp.asn, Asn(100));
+        assert_eq!(bgp.networks.len(), 1);
+        assert_eq!(bgp.redistributions.len(), 1);
+        assert_eq!(
+            bgp.neighbor("2.3.4.5".parse().unwrap()).unwrap().export_policy,
+            vec!["to_provider"]
+        );
+        let p = d.policy("to_provider").unwrap();
+        assert_eq!(p.clauses.len(), 2);
+        assert_eq!(p.clauses[0].action, ClauseAction::Permit);
+        assert_eq!(p.clauses[1].action, ClauseAction::Deny);
+        assert_eq!(p.default_action, ClauseAction::Deny);
+        assert!(d.prefix_set("our-networks").is_some());
+        assert!(d.community_set("tag").is_some());
+    }
+
+    #[test]
+    fn interface_without_ospf_coverage_has_no_settings() {
+        let (d, _) = lower(
+            "interface Ethernet0/2\n ip address 99.0.0.1 255.255.255.0\nrouter ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n",
+        );
+        assert!(d.interfaces[0].ospf.is_none());
+    }
+
+    #[test]
+    fn weight_is_dropped_with_note() {
+        let (_, notes) = lower("route-map m permit 10\n set weight 5\n");
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("weight"));
+    }
+
+    #[test]
+    fn as_path_list_resolution() {
+        let (d, notes) = lower(
+            "ip as-path access-list 1 permit ^$\nroute-map m permit 10\n match as-path 1\n",
+        );
+        assert!(notes.is_empty());
+        assert_eq!(
+            d.policy("m").unwrap().clauses[0].conditions,
+            vec![Condition::MatchAsPath("^$".into())]
+        );
+    }
+
+    #[test]
+    fn dangling_as_path_list_noted() {
+        let (_, notes) = lower("route-map m permit 10\n match as-path 9\n");
+        assert!(notes.iter().any(|n| n.contains("undefined")));
+    }
+}

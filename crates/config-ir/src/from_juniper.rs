@@ -1,0 +1,444 @@
+//! Lowering: Junos AST → vendor-neutral [`Device`].
+
+use crate::device::*;
+use crate::policy::*;
+use juniper_cfg::ast::PrefixListFilterKind;
+use juniper_cfg::{FromCondition, JuniperConfig, ThenAction};
+use net_model::{InterfaceName, PrefixPattern};
+#[cfg(test)]
+use net_model::Asn;
+use std::collections::BTreeSet;
+
+/// Lowers a parsed Junos config into the IR. Returns the device plus
+/// lowering notes.
+pub fn from_juniper(cfg: &JuniperConfig) -> (Device, Vec<String>) {
+    let mut notes = Vec::new();
+    let mut d = Device::named(cfg.hostname.clone().unwrap_or_default());
+
+    // Interfaces: each unit becomes an IR interface named `phys.unit`.
+    for i in &cfg.interfaces {
+        for u in &i.units {
+            let name = format!("{}.{}", i.name, u.number);
+            let mut ir = IrInterface::named(&name);
+            ir.address = u.address;
+            d.interfaces.push(ir);
+        }
+    }
+
+    // OSPF: per-interface settings from areas.
+    if !cfg.ospf_areas.is_empty() {
+        d.ospf = Some(IrOspf {
+            router_id: cfg.router_id,
+        });
+        for area in &cfg.ospf_areas {
+            for oi in &area.interfaces {
+                let iname = InterfaceName::new(&oi.name);
+                if let Some(ir) = d
+                    .interfaces
+                    .iter_mut()
+                    .find(|x| x.name.aligns_with(&iname))
+                {
+                    ir.ospf = Some(OspfIfaceSettings {
+                        area: area.area_number(),
+                        cost: oi.metric,
+                        passive: oi.passive,
+                    });
+                } else {
+                    notes.push(format!(
+                        "ospf area {} references unknown interface {}",
+                        area.id, oi.name
+                    ));
+                }
+            }
+        }
+    }
+
+    // Prefix lists: all-permit exact sets.
+    for pl in &cfg.prefix_lists {
+        d.prefix_sets.push(IrPrefixSet::permitting(
+            pl.name.clone(),
+            pl.prefixes.iter().map(|p| PrefixPattern::exact(*p)).collect(),
+        ));
+    }
+
+    // Community definitions: one all-of entry each (Junos semantics).
+    for c in &cfg.communities {
+        d.community_sets.push(IrCommunitySet::all_of(
+            c.name.clone(),
+            c.members.iter().copied().collect::<BTreeSet<_>>(),
+        ));
+    }
+
+    // Policies.
+    for pol in &cfg.policies {
+        let mut policy = IrPolicy::new(pol.name.clone());
+        for t in &pol.terms {
+            let mut prefix_sets: Vec<String> = Vec::new();
+            let mut patterns: Vec<PrefixPattern> = Vec::new();
+            let mut community_sets: Vec<String> = Vec::new();
+            let mut protocols = Vec::new();
+            let mut extra_conditions: Vec<Condition> = Vec::new();
+            for f in &t.from {
+                match f {
+                    FromCondition::PrefixList(n) => prefix_sets.push(n.clone()),
+                    FromCondition::PrefixListFilter(n, kind) => {
+                        // Inline the referenced list's members with the
+                        // filter kind applied (Junos lists are all-permit,
+                        // so inlining is exact).
+                        if let Some(pl) = cfg.prefix_list(n) {
+                            for p in &pl.prefixes {
+                                let pat = match kind {
+                                    PrefixListFilterKind::Exact => PrefixPattern::exact(*p),
+                                    PrefixListFilterKind::OrLonger => PrefixPattern::orlonger(*p),
+                                    PrefixListFilterKind::Longer => PrefixPattern::with_bounds(
+                                        *p,
+                                        Some(p.len().saturating_add(1).min(32)),
+                                        Some(32),
+                                    )
+                                    .unwrap_or_else(|_| PrefixPattern::orlonger(*p)),
+                                };
+                                patterns.push(pat);
+                            }
+                        } else {
+                            notes.push(format!(
+                                "policy {} term {}: prefix-list-filter references \
+                                 undefined list {n}",
+                                pol.name, t.name
+                            ));
+                        }
+                    }
+                    FromCondition::RouteFilter(p) => patterns.push(*p),
+                    FromCondition::Community(n) => community_sets.push(n.clone()),
+                    FromCondition::Protocol(p) => protocols.push(*p),
+                    FromCondition::Neighbor(a) => {
+                        extra_conditions.push(Condition::MatchNeighbor(*a))
+                    }
+                }
+            }
+            let mut conditions = Vec::new();
+            if !prefix_sets.is_empty() || !patterns.is_empty() {
+                conditions.push(Condition::MatchPrefix {
+                    sets: prefix_sets,
+                    patterns,
+                });
+            }
+            if !community_sets.is_empty() {
+                conditions.push(Condition::MatchCommunity(community_sets));
+            }
+            if !protocols.is_empty() {
+                conditions.push(Condition::MatchProtocol(protocols));
+            }
+            conditions.extend(extra_conditions);
+
+            // Actions: terminal accept/reject decides the clause action;
+            // a term without a terminal action falls through.
+            let mut action = ClauseAction::FallThrough;
+            let mut modifiers = Vec::new();
+            for a in &t.then {
+                match a {
+                    ThenAction::Accept => action = ClauseAction::Permit,
+                    ThenAction::Reject => action = ClauseAction::Deny,
+                    ThenAction::NextTerm => action = ClauseAction::FallThrough,
+                    ThenAction::Metric(v) => modifiers.push(Modifier::SetMed(*v)),
+                    ThenAction::LocalPreference(v) => {
+                        modifiers.push(Modifier::SetLocalPref(*v))
+                    }
+                    ThenAction::CommunityAdd(n) | ThenAction::CommunitySet(n) => {
+                        let additive = matches!(a, ThenAction::CommunityAdd(_));
+                        match cfg.community_def(n) {
+                            Some(def) => modifiers.push(Modifier::SetCommunities {
+                                communities: def.members.iter().copied().collect(),
+                                additive,
+                            }),
+                            None => notes.push(format!(
+                                "policy {} term {}: community action references \
+                                 undefined community {n}",
+                                pol.name, t.name
+                            )),
+                        }
+                    }
+                    ThenAction::CommunityDelete(n) => {
+                        modifiers.push(Modifier::DeleteCommunities(n.clone()))
+                    }
+                    ThenAction::AsPathPrepend(asns) => {
+                        modifiers.push(Modifier::PrependAsPath(asns.clone()))
+                    }
+                    ThenAction::NextHop(a) => modifiers.push(Modifier::SetNextHop(*a)),
+                }
+            }
+            policy.clauses.push(IrClause {
+                id: t.name.clone(),
+                action,
+                conditions,
+                modifiers,
+            });
+        }
+        d.policies.push(policy);
+    }
+
+    // BGP: flatten groups into neighbors; AS from routing-options or the
+    // first group-level local-as.
+    if !cfg.bgp_groups.is_empty() {
+        let asn = cfg
+            .autonomous_system
+            .or_else(|| cfg.bgp_groups.iter().find_map(|g| g.local_as));
+        let Some(asn) = asn else {
+            notes.push(
+                "BGP groups present but no local AS is derivable; BGP process skipped".into(),
+            );
+            return (d, notes);
+        };
+        let mut ir = IrBgp::new(asn);
+        ir.router_id = cfg.router_id;
+        for g in &cfg.bgp_groups {
+            if let Some(local) = g.local_as {
+                if local != asn {
+                    notes.push(format!(
+                        "group {} local-as {local} differs from device AS {asn}; \
+                         using the device AS",
+                        g.name
+                    ));
+                }
+            }
+            for n in &g.neighbors {
+                let mut irn = IrNeighbor::new(n.addr);
+                irn.remote_as = n.peer_as;
+                irn.import_policy = n.effective_import(g).to_vec();
+                irn.export_policy = n.effective_export(g).to_vec();
+                // Junos always sends communities to eBGP peers.
+                irn.send_community = true;
+                irn.description = n.description.clone();
+                ir.neighbors.push(irn);
+            }
+        }
+        // Junos originates networks via export policies rather than
+        // `network` statements; the emitters synthesize an origination
+        // policy, and lowering recovers networks from direct/exact
+        // route-filter accept terms tagged by the well-known name.
+        if let Some(orig) = d.policies.iter().find(|p| p.name == ORIGINATE_POLICY) {
+            for c in &orig.clauses {
+                if c.action != ClauseAction::Permit {
+                    continue;
+                }
+                for cond in &c.conditions {
+                    if let Condition::MatchPrefix { patterns, .. } = cond {
+                        for p in patterns {
+                            if p.is_exact() {
+                                ir.networks.push(p.prefix);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Redistribution carrier policies (see `to_juniper`):
+        // `redistribute-<proto>` with a term named `apply-<map>` or `gate`.
+        for p in &d.policies {
+            let Some(proto_kw) = p.name.strip_prefix(crate::to_juniper::REDISTRIBUTE_PREFIX)
+            else {
+                continue;
+            };
+            let Some(proto) = net_model::Protocol::from_keyword(proto_kw) else {
+                notes.push(format!(
+                    "policy {}: unknown redistribution protocol '{proto_kw}'",
+                    p.name
+                ));
+                continue;
+            };
+            let map = p
+                .clauses
+                .first()
+                .and_then(|c| c.id.strip_prefix("apply-"))
+                .map(str::to_string);
+            ir.redistributions.push((proto, map));
+        }
+        d.bgp = Some(ir);
+    }
+
+    (d, notes)
+}
+
+/// Well-known name for the synthesized origination policy (see
+/// [`mod@crate::to_juniper`]).
+pub const ORIGINATE_POLICY: &str = "originate-networks";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::Protocol;
+
+    const SAMPLE: &str = r#"
+system { host-name border1; }
+interfaces {
+    ge-0/0/1 { unit 0 { family inet { address 10.0.1.1/24; } } }
+    lo0 { unit 0 { family inet { address 1.2.3.4/32; } } }
+}
+routing-options {
+    router-id 1.2.3.4;
+    autonomous-system 100;
+}
+protocols {
+    bgp {
+        group peers {
+            type external;
+            neighbor 2.3.4.5 {
+                peer-as 200;
+                import from_provider;
+                export to_provider;
+            }
+        }
+    }
+    ospf {
+        area 0.0.0.0 {
+            interface ge-0/0/1.0 { metric 10; }
+            interface lo0.0 { passive; }
+        }
+    }
+}
+policy-options {
+    prefix-list ours { 1.2.3.0/24; }
+    policy-statement to_provider {
+        term allow {
+            from {
+                route-filter 1.2.3.0/24 orlonger;
+            }
+            then {
+                metric 50;
+                community add tag;
+                accept;
+            }
+        }
+        term last { then reject; }
+    }
+    policy-statement from_provider {
+        term set-lp {
+            then {
+                local-preference 120;
+            }
+        }
+        term all { then accept; }
+    }
+    community tag members 100:1;
+}
+"#;
+
+    fn lower(input: &str) -> (Device, Vec<String>) {
+        let (ast, w) = juniper_cfg::parse(input);
+        assert!(w.is_empty(), "{w:?}");
+        from_juniper(&ast)
+    }
+
+    #[test]
+    fn lowers_sample_completely() {
+        let (d, notes) = lower(SAMPLE);
+        assert!(notes.is_empty(), "{notes:?}");
+        assert_eq!(d.name, "border1");
+        assert_eq!(d.interfaces.len(), 2);
+        let ge = d
+            .interface_aligned(&InterfaceName::from("ge-0/0/1.0"))
+            .unwrap();
+        assert_eq!(ge.ospf.unwrap().cost, Some(10));
+        let lo = d.interface_aligned(&InterfaceName::from("lo0.0")).unwrap();
+        assert!(lo.ospf.unwrap().passive);
+        let bgp = d.bgp.as_ref().unwrap();
+        assert_eq!(bgp.asn, Asn(100));
+        let n = bgp.neighbor("2.3.4.5".parse().unwrap()).unwrap();
+        assert_eq!(n.import_policy, vec!["from_provider"]);
+        assert_eq!(n.export_policy, vec!["to_provider"]);
+        assert!(n.send_community);
+        let p = d.policy("to_provider").unwrap();
+        assert_eq!(p.clauses[0].action, ClauseAction::Permit);
+        assert_eq!(p.clauses[0].modifiers.len(), 2);
+        assert_eq!(p.clauses[1].action, ClauseAction::Deny);
+        // from_provider's first term has no terminal action → fall-through.
+        let fp = d.policy("from_provider").unwrap();
+        assert_eq!(fp.clauses[0].action, ClauseAction::FallThrough);
+        assert_eq!(fp.clauses[1].action, ClauseAction::Permit);
+    }
+
+    #[test]
+    fn missing_local_as_skips_bgp_with_note() {
+        let input = r#"
+protocols { bgp { group g { neighbor 9.9.9.9 { peer-as 2; } } } }
+"#;
+        // The parser itself also flags MissingLocalAs, so don't use `lower`.
+        let (ast, w) = juniper_cfg::parse(input);
+        assert_eq!(w.len(), 1);
+        let (d, notes) = from_juniper(&ast);
+        assert!(d.bgp.is_none());
+        assert!(notes.iter().any(|n| n.contains("local AS")));
+    }
+
+    #[test]
+    fn prefix_list_filter_inlines_members() {
+        let input = r#"
+policy-options {
+    prefix-list ours { 1.2.3.0/24; 5.6.0.0/16; }
+    policy-statement p {
+        term t {
+            from { prefix-list-filter ours orlonger; }
+            then accept;
+        }
+    }
+}
+"#;
+        let (d, notes) = lower(input);
+        assert!(notes.is_empty());
+        let c = &d.policy("p").unwrap().clauses[0];
+        match &c.conditions[0] {
+            Condition::MatchPrefix { sets, patterns } => {
+                assert!(sets.is_empty());
+                assert_eq!(patterns.len(), 2);
+                assert_eq!(patterns[0].length_range(), (24, 32));
+            }
+            other => panic!("unexpected condition {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocols_merge_into_one_condition() {
+        let input = r#"
+policy-options {
+    policy-statement p {
+        term t {
+            from { protocol bgp; protocol direct; }
+            then accept;
+        }
+    }
+}
+"#;
+        let (d, _) = lower(input);
+        let c = &d.policy("p").unwrap().clauses[0];
+        assert_eq!(
+            c.conditions,
+            vec![Condition::MatchProtocol(vec![
+                Protocol::Bgp,
+                Protocol::Connected
+            ])]
+        );
+    }
+
+    #[test]
+    fn originate_policy_recovers_networks() {
+        let input = r#"
+routing-options { autonomous-system 7; }
+protocols { bgp { group g { neighbor 9.9.9.9 { peer-as 2; } } } }
+policy-options {
+    policy-statement originate-networks {
+        term nets {
+            from {
+                protocol direct;
+                route-filter 7.0.0.0/24 exact;
+            }
+            then accept;
+        }
+    }
+}
+"#;
+        let (d, _) = lower(input);
+        assert_eq!(
+            d.bgp.unwrap().networks,
+            vec!["7.0.0.0/24".parse().unwrap()]
+        );
+    }
+}

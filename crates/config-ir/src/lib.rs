@@ -1,0 +1,91 @@
+//! # config-ir — vendor-independent device model
+//!
+//! The semantic middle layer of the workspace, playing the role of
+//! Batfish's vendor-independent model: both vendor ASTs lower into
+//! [`Device`], all verifiers (`bf-lite`, `campion-lite`) operate on it,
+//! and the *reference translator* — the correct Cisco→Juniper translation
+//! that the simulated GPT-4 perturbs — is just `from_cisco` followed by
+//! `to_juniper`.
+//!
+//! ## Model
+//!
+//! * [`Device`] — interfaces (with per-interface OSPF settings), one BGP
+//!   process, one OSPF process, named routing policies, named prefix sets
+//!   and community sets.
+//! * [`IrPolicy`] — ordered clauses; each clause has AND-ed conditions, an
+//!   action ([`ClauseAction::Permit`], [`Deny`](ClauseAction::Deny), or
+//!   [`FallThrough`](ClauseAction::FallThrough) for Junos terms without a
+//!   terminal action), and modifiers. First matching terminal clause wins;
+//!   the policy's `default_action` applies when nothing matches (IOS's
+//!   implicit deny).
+//! * [`eval`] — the concrete single-route evaluator used by the BGP
+//!   simulator; the symbolic twin lives in `policy-symbolic`.
+//!
+//! ## Semantics preserved across vendors
+//!
+//! The AND/OR structure the paper's Section 4.2 turns on is explicit here:
+//! *distinct* conditions in one clause AND together, while the values
+//! *inside* one condition (several prefix lists, several community lists,
+//! several route filters) OR together.
+//!
+//! ## Known lowering limits (documented, flagged, tested)
+//!
+//! * Emission (`to_juniper`/`to_cisco`) of prefix sets containing `deny`
+//!   entries is approximated by dropping the deny entries after emitting a
+//!   warning; the *verifiers* handle deny entries exactly (the symbolic
+//!   encoding evaluates ordered entries), so any behavioural drift the
+//!   approximation introduced would be caught and reported — this mirrors
+//!   how COSYNTH treats the LLM itself as untrusted.
+//! * IOS `weight` and Junos `next term` have no cross-vendor equivalent
+//!   and are dropped with a warning.
+
+pub mod device;
+pub mod eval;
+pub mod from_cisco;
+pub mod from_juniper;
+pub mod policy;
+pub mod to_cisco;
+pub mod to_juniper;
+
+pub use device::{Device, IrBgp, IrInterface, IrNeighbor, IrOspf, OspfIfaceSettings};
+pub use eval::{eval_policy, eval_policy_chain, PolicyEnv, PolicyOutcome};
+pub use from_cisco::from_cisco;
+pub use from_juniper::from_juniper;
+pub use policy::{
+    ClauseAction, Condition, IrClause, IrCommunitySet, IrPolicy, IrPrefixSet, Modifier,
+    PrefixSetEntry,
+};
+pub use to_cisco::to_cisco;
+pub use to_juniper::to_juniper;
+
+/// The reference Cisco→Juniper translation: parse-lower-emit.
+///
+/// This is the "correct answer" the simulated GPT-4 perturbs, and the
+/// fixed point the VPP loop should converge back to. Returns the Junos
+/// text and any lowering notes.
+pub fn reference_translate_cisco_to_juniper(cisco_text: &str) -> (String, Vec<String>) {
+    let (ast, _warnings) = cisco_cfg::parse(cisco_text);
+    let (device, mut notes) = from_cisco(&ast);
+    let (jcfg, emit_notes) = to_juniper(&device);
+    notes.extend(emit_notes);
+    (juniper_cfg::print(&jcfg), notes)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_translation_produces_parseable_junos() {
+        let cisco = "\
+hostname border1
+interface Ethernet0/1
+ ip address 10.0.1.1 255.255.255.0
+router bgp 100
+ neighbor 2.3.4.5 remote-as 200
+";
+        let (junos, _notes) = super::reference_translate_cisco_to_juniper(cisco);
+        let (cfg, warnings) = juniper_cfg::parse(&junos);
+        assert!(warnings.is_empty(), "{warnings:?}\n{junos}");
+        assert_eq!(cfg.hostname.as_deref(), Some("border1"));
+        assert_eq!(cfg.bgp_groups.len(), 1);
+    }
+}

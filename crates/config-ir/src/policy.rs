@@ -1,0 +1,363 @@
+//! Vendor-neutral routing policies, prefix sets and community sets.
+
+use net_model::{Asn, Community, Prefix, PrefixPattern, Protocol};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// One entry of a named prefix set: ordered permit/deny over patterns
+/// (IOS prefix-list shape; Juniper prefix-lists lower to all-permit sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixSetEntry {
+    /// Permit (true) or deny (false).
+    pub permit: bool,
+    /// The pattern, including length bounds.
+    pub pattern: PrefixPattern,
+}
+
+/// A named, ordered prefix set. First matching entry decides; a prefix
+/// matching no entry is *not matched* (distinct from matched-and-denied
+/// only in that both mean "the condition does not hold").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IrPrefixSet {
+    /// Set name.
+    pub name: String,
+    /// Ordered entries.
+    pub entries: Vec<PrefixSetEntry>,
+}
+
+impl IrPrefixSet {
+    /// An all-permit set over the given patterns.
+    pub fn permitting(name: impl Into<String>, patterns: Vec<PrefixPattern>) -> Self {
+        IrPrefixSet {
+            name: name.into(),
+            entries: patterns
+                .into_iter()
+                .map(|pattern| PrefixSetEntry {
+                    permit: true,
+                    pattern,
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether the set matches (permits) a concrete prefix.
+    pub fn matches(&self, p: &Prefix) -> bool {
+        for e in &self.entries {
+            if e.pattern.matches(p) {
+                return e.permit;
+            }
+        }
+        false
+    }
+
+    /// Whether any entry is a deny (the emission-limit case).
+    pub fn has_deny(&self) -> bool {
+        self.entries.iter().any(|e| !e.permit)
+    }
+}
+
+/// A named community set: ordered permit/deny entries, each an all-of set
+/// of community values (IOS standard community-list shape; a Junos
+/// `community NAME members [...]` lowers to one all-of permit entry).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IrCommunitySet {
+    /// Set name.
+    pub name: String,
+    /// Ordered `(permit, all-of values)` entries.
+    pub entries: Vec<(bool, BTreeSet<Community>)>,
+}
+
+impl IrCommunitySet {
+    /// A single-entry permit set over one community.
+    pub fn single(name: impl Into<String>, c: Community) -> Self {
+        IrCommunitySet {
+            name: name.into(),
+            entries: vec![(true, BTreeSet::from([c]))],
+        }
+    }
+
+    /// A single permit entry requiring *all* of the given values — the
+    /// AND-semantics shape of Section 4.2.
+    pub fn all_of(name: impl Into<String>, cs: BTreeSet<Community>) -> Self {
+        IrCommunitySet {
+            name: name.into(),
+            entries: vec![(true, cs)],
+        }
+    }
+
+    /// Whether a route's community set matches this set.
+    pub fn matches(&self, have: &BTreeSet<Community>) -> bool {
+        for (permit, need) in &self.entries {
+            if need.iter().all(|c| have.contains(c)) {
+                return *permit;
+            }
+        }
+        false
+    }
+
+    /// The union of all community values mentioned (for the symbolic
+    /// community universe).
+    pub fn mentioned(&self) -> BTreeSet<Community> {
+        self.entries
+            .iter()
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect()
+    }
+}
+
+/// A condition inside a clause. Distinct conditions AND; alternatives
+/// inside one condition OR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// Route's prefix matches any of the named sets or inline patterns.
+    MatchPrefix {
+        /// Named prefix sets (ORed).
+        sets: Vec<String>,
+        /// Inline patterns (ORed with the sets).
+        patterns: Vec<PrefixPattern>,
+    },
+    /// Route carries communities matching any of the named sets.
+    MatchCommunity(Vec<String>),
+    /// Route was learned from any of these protocols.
+    MatchProtocol(Vec<Protocol>),
+    /// Route's AS path matches the named as-path set (by list name).
+    MatchAsPath(String),
+    /// Route was received from this neighbor.
+    MatchNeighbor(Ipv4Addr),
+}
+
+impl Condition {
+    /// Convenience: a single named prefix-set condition.
+    pub fn prefix_set(name: impl Into<String>) -> Self {
+        Condition::MatchPrefix {
+            sets: vec![name.into()],
+            patterns: Vec::new(),
+        }
+    }
+
+    /// Convenience: a single named community-set condition.
+    pub fn community_set(name: impl Into<String>) -> Self {
+        Condition::MatchCommunity(vec![name.into()])
+    }
+}
+
+/// A modifier applied when a clause matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Modifier {
+    /// Set or add communities. With `additive=false` this *replaces* the
+    /// route's communities — the Section 4.2 trap.
+    SetCommunities {
+        /// The community values.
+        communities: BTreeSet<Community>,
+        /// Add to (true) vs replace (false) the existing set.
+        additive: bool,
+    },
+    /// Delete communities matching the named set.
+    DeleteCommunities(String),
+    /// Set MED.
+    SetMed(u32),
+    /// Set local preference.
+    SetLocalPref(u32),
+    /// Prepend to the AS path.
+    PrependAsPath(Vec<Asn>),
+    /// Set the next hop.
+    SetNextHop(Ipv4Addr),
+}
+
+/// What a clause does when its conditions all hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClauseAction {
+    /// Accept the route (after modifiers). Terminal.
+    Permit,
+    /// Reject the route. Terminal.
+    Deny,
+    /// Apply modifiers and continue to the next clause (Junos term with no
+    /// terminal action).
+    FallThrough,
+}
+
+/// One clause (IOS stanza / Junos term).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrClause {
+    /// Identifier for localization: IOS sequence number or Junos term name.
+    pub id: String,
+    /// Action on match.
+    pub action: ClauseAction,
+    /// AND-ed conditions; an empty list always matches.
+    pub conditions: Vec<Condition>,
+    /// Modifiers applied on Permit/FallThrough match.
+    pub modifiers: Vec<Modifier>,
+}
+
+impl IrClause {
+    /// A permit-everything clause.
+    pub fn permit_all(id: impl Into<String>) -> Self {
+        IrClause {
+            id: id.into(),
+            action: ClauseAction::Permit,
+            conditions: Vec::new(),
+            modifiers: Vec::new(),
+        }
+    }
+
+    /// A deny-everything clause.
+    pub fn deny_all(id: impl Into<String>) -> Self {
+        IrClause {
+            id: id.into(),
+            action: ClauseAction::Deny,
+            conditions: Vec::new(),
+            modifiers: Vec::new(),
+        }
+    }
+}
+
+/// A named routing policy: ordered clauses with a default action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrPolicy {
+    /// Policy name.
+    pub name: String,
+    /// Ordered clauses.
+    pub clauses: Vec<IrClause>,
+    /// Action when no terminal clause matches (IOS: deny).
+    pub default_action: ClauseAction,
+}
+
+impl IrPolicy {
+    /// An empty policy with the IOS implicit deny.
+    pub fn new(name: impl Into<String>) -> Self {
+        IrPolicy {
+            name: name.into(),
+            clauses: Vec::new(),
+            default_action: ClauseAction::Deny,
+        }
+    }
+
+    /// All community values this policy mentions (for the symbolic
+    /// community universe).
+    pub fn mentioned_communities(&self) -> BTreeSet<Community> {
+        let mut out = BTreeSet::new();
+        for c in &self.clauses {
+            for m in &c.modifiers {
+                if let Modifier::SetCommunities { communities, .. } = m {
+                    out.extend(communities.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Finds a clause by id.
+    pub fn clause(&self, id: &str) -> Option<&IrClause> {
+        self.clauses.iter().find(|c| c.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(s: &str) -> PrefixPattern {
+        let (p, bounds) = match s.split_once(' ') {
+            Some((p, b)) => (p, Some(b)),
+            None => (s, None),
+        };
+        let prefix: Prefix = p.parse().unwrap();
+        match bounds {
+            None => PrefixPattern::exact(prefix),
+            Some(b) => {
+                let ge = b
+                    .split_whitespace()
+                    .skip_while(|w| *w != "ge")
+                    .nth(1)
+                    .and_then(|x| x.parse().ok());
+                let le = b
+                    .split_whitespace()
+                    .skip_while(|w| *w != "le")
+                    .nth(1)
+                    .and_then(|x| x.parse().ok());
+                PrefixPattern::with_bounds(prefix, ge, le).unwrap()
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_set_ordered_semantics() {
+        let set = IrPrefixSet {
+            name: "s".into(),
+            entries: vec![
+                PrefixSetEntry {
+                    permit: false,
+                    pattern: pat("10.0.0.0/8 ge 24"),
+                },
+                PrefixSetEntry {
+                    permit: true,
+                    pattern: pat("10.0.0.0/8 ge 8"),
+                },
+            ],
+        };
+        assert!(!set.matches(&"10.1.1.0/24".parse().unwrap()), "deny first");
+        assert!(set.matches(&"10.1.0.0/16".parse().unwrap()));
+        assert!(!set.matches(&"11.0.0.0/8".parse().unwrap()), "no match");
+        assert!(set.has_deny());
+    }
+
+    #[test]
+    fn permitting_constructor() {
+        let set = IrPrefixSet::permitting("s", vec![pat("1.2.3.0/24 ge 24")]);
+        assert!(!set.has_deny());
+        assert!(set.matches(&"1.2.3.0/25".parse().unwrap()));
+    }
+
+    #[test]
+    fn community_set_any_of_entries_or() {
+        // Two single-community entries = OR semantics (the correct egress
+        // filter shape from Section 4.2).
+        let set = IrCommunitySet {
+            name: "any".into(),
+            entries: vec![
+                (true, BTreeSet::from(["101:1".parse().unwrap()])),
+                (true, BTreeSet::from(["102:1".parse().unwrap()])),
+            ],
+        };
+        assert!(set.matches(&BTreeSet::from(["101:1".parse().unwrap()])));
+        assert!(set.matches(&BTreeSet::from(["102:1".parse().unwrap()])));
+        assert!(!set.matches(&BTreeSet::from(["103:1".parse().unwrap()])));
+    }
+
+    #[test]
+    fn community_set_all_of_entry_and() {
+        // One multi-community entry = AND semantics (the bug shape).
+        let set = IrCommunitySet::all_of(
+            "all",
+            BTreeSet::from(["101:1".parse().unwrap(), "102:1".parse().unwrap()]),
+        );
+        assert!(!set.matches(&BTreeSet::from(["101:1".parse().unwrap()])));
+        assert!(set.matches(&BTreeSet::from([
+            "101:1".parse().unwrap(),
+            "102:1".parse().unwrap()
+        ])));
+    }
+
+    #[test]
+    fn mentioned_communities_aggregates() {
+        let mut p = IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetCommunities {
+                communities: BTreeSet::from(["100:1".parse().unwrap()]),
+                additive: true,
+            }],
+        });
+        assert_eq!(p.mentioned_communities().len(), 1);
+    }
+
+    #[test]
+    fn clause_constructors() {
+        assert_eq!(IrClause::permit_all("10").action, ClauseAction::Permit);
+        assert_eq!(IrClause::deny_all("100").action, ClauseAction::Deny);
+        let p = IrPolicy::new("x");
+        assert_eq!(p.default_action, ClauseAction::Deny);
+    }
+}

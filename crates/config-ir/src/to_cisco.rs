@@ -1,0 +1,365 @@
+//! Emission: vendor-neutral [`Device`] → Cisco IOS AST.
+//!
+//! Used by the synthesis use case (the reference synthesizer produces IR
+//! and emits IOS for the star network's routers) and by the Juniper→Cisco
+//! direction of Campion experiments.
+
+use crate::device::*;
+use crate::policy::*;
+use cisco_cfg::ast as c;
+use net_model::Protocol;
+
+/// Emits a device as an IOS configuration. Returns the AST and notes for
+/// constructs that required approximation.
+pub fn to_cisco(d: &Device) -> (c::CiscoConfig, Vec<String>) {
+    let mut notes = Vec::new();
+    let mut cfg = c::CiscoConfig::default();
+    if !d.name.is_empty() {
+        cfg.hostname = Some(d.name.clone());
+    }
+
+    // Interfaces.
+    for i in &d.interfaces {
+        let mut iface = c::CiscoInterface::named(i.name.as_str());
+        iface.address = i.address;
+        iface.ospf_cost = i.ospf.and_then(|s| s.cost);
+        iface.shutdown = i.shutdown;
+        cfg.interfaces.push(iface);
+    }
+
+    // OSPF process from per-interface settings.
+    let has_ospf = d.ospf.is_some() || d.interfaces.iter().any(|i| i.ospf.is_some());
+    if has_ospf {
+        let mut o = c::OspfProcess::new(1);
+        o.router_id = d.ospf.as_ref().and_then(|x| x.router_id);
+        for i in &d.interfaces {
+            let Some(s) = i.ospf else { continue };
+            if let Some(addr) = i.address {
+                o.networks.push(c::OspfNetwork {
+                    prefix: addr.subnet(),
+                    area: s.area,
+                });
+            }
+            if s.passive {
+                o.passive_interfaces.push(i.name.clone());
+            }
+        }
+        cfg.ospf = Some(o);
+    }
+
+    // Prefix sets are native.
+    for s in &d.prefix_sets {
+        cfg.prefix_lists.push(c::PrefixList {
+            name: s.name.clone(),
+            entries: s
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| c::PrefixListEntry {
+                    seq: (i as u32 + 1) * 5,
+                    permit: e.permit,
+                    pattern: e.pattern,
+                })
+                .collect(),
+        });
+    }
+
+    // Community sets are native.
+    for s in &d.community_sets {
+        cfg.community_lists.push(c::CommunityList {
+            name: s.name.clone(),
+            entries: s
+                .entries
+                .iter()
+                .map(|(permit, cs)| net_model::CommunityListEntry {
+                    permit: *permit,
+                    communities: cs.clone(),
+                })
+                .collect(),
+        });
+    }
+
+    // Policies → route maps. Inline patterns need synthesized prefix lists;
+    // as-path conditions need synthesized as-path access lists.
+    let mut next_aspath_list = 1u32;
+    for p in &d.policies {
+        let mut rm = c::RouteMap::new(p.name.clone());
+        for (idx, clause) in p.clauses.iter().enumerate() {
+            let seq = clause
+                .id
+                .parse::<u32>()
+                .unwrap_or((idx as u32 + 1) * 10);
+            let permit = match clause.action {
+                ClauseAction::Permit => true,
+                ClauseAction::Deny => false,
+                ClauseAction::FallThrough => {
+                    notes.push(format!(
+                        "policy {} clause {}: fall-through has no IOS equivalent; \
+                         emitted as permit",
+                        p.name, clause.id
+                    ));
+                    true
+                }
+            };
+            let mut stanza = c::RouteMapStanza {
+                seq,
+                permit,
+                matches: Vec::new(),
+                sets: Vec::new(),
+            };
+            for cond in &clause.conditions {
+                match cond {
+                    Condition::MatchPrefix { sets, patterns } => {
+                        let mut names = sets.clone();
+                        if !patterns.is_empty() {
+                            let synth = format!("pl-{}-{}", p.name, seq);
+                            cfg.prefix_lists.push(c::PrefixList {
+                                name: synth.clone(),
+                                entries: patterns
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, pat)| c::PrefixListEntry {
+                                        seq: (i as u32 + 1) * 5,
+                                        permit: true,
+                                        pattern: *pat,
+                                    })
+                                    .collect(),
+                            });
+                            names.push(synth);
+                        }
+                        stanza
+                            .matches
+                            .push(c::MatchClause::IpAddressPrefixList(names));
+                    }
+                    Condition::MatchCommunity(sets) => {
+                        stanza.matches.push(c::MatchClause::Community(sets.clone()))
+                    }
+                    Condition::MatchProtocol(ps) => {
+                        if ps.len() > 1 {
+                            notes.push(format!(
+                                "policy {} clause {}: IOS matches a single source \
+                                 protocol; using {}",
+                                p.name,
+                                clause.id,
+                                ps[0]
+                            ));
+                        }
+                        if let Some(proto) = ps.first() {
+                            stanza.matches.push(c::MatchClause::SourceProtocol(*proto));
+                        }
+                    }
+                    Condition::MatchAsPath(regex) => {
+                        let name = next_aspath_list.to_string();
+                        next_aspath_list += 1;
+                        cfg.as_path_lists.push(c::AsPathList {
+                            name: name.clone(),
+                            entries: vec![(true, regex.clone())],
+                        });
+                        stanza.matches.push(c::MatchClause::AsPath(name));
+                    }
+                    Condition::MatchNeighbor(_) => notes.push(format!(
+                        "policy {} clause {}: per-neighbor match has no IOS \
+                         route-map equivalent; dropped",
+                        p.name, clause.id
+                    )),
+                }
+            }
+            for m in &clause.modifiers {
+                match m {
+                    Modifier::SetCommunities {
+                        communities,
+                        additive,
+                    } => stanza.sets.push(c::SetClause::Community {
+                        communities: communities.iter().copied().collect(),
+                        additive: *additive,
+                    }),
+                    Modifier::DeleteCommunities(name) => notes.push(format!(
+                        "policy {} clause {}: 'set comm-list {name} delete' is outside \
+                         the supported IOS subset; dropped",
+                        p.name, clause.id
+                    )),
+                    Modifier::SetMed(v) => stanza.sets.push(c::SetClause::Metric(*v)),
+                    Modifier::SetLocalPref(v) => {
+                        stanza.sets.push(c::SetClause::LocalPreference(*v))
+                    }
+                    Modifier::PrependAsPath(asns) => {
+                        stanza.sets.push(c::SetClause::AsPathPrepend(asns.clone()))
+                    }
+                    Modifier::SetNextHop(a) => stanza.sets.push(c::SetClause::NextHop(*a)),
+                }
+            }
+            rm.stanzas.push(stanza);
+        }
+        if p.default_action == ClauseAction::Permit {
+            // IOS's implicit default is deny; make a permit default explicit.
+            let seq = rm.stanzas.last().map(|s| s.seq + 10).unwrap_or(10);
+            rm.stanzas.push(c::RouteMapStanza::permit(seq));
+        }
+        // Skip emitting carrier policies that IOS expresses natively.
+        let is_carrier = p.name == crate::from_juniper::ORIGINATE_POLICY
+            || p.name.starts_with(crate::to_juniper::REDISTRIBUTE_PREFIX);
+        if !is_carrier {
+            cfg.route_maps.push(rm);
+        }
+    }
+
+    // BGP.
+    if let Some(bgp) = &d.bgp {
+        let mut b = c::BgpProcess::new(bgp.asn);
+        b.router_id = bgp.router_id;
+        for p in &bgp.networks {
+            b.networks.push(c::NetworkStatement { prefix: *p });
+        }
+        for (proto, map) in &bgp.redistributions {
+            if *proto == Protocol::Bgp {
+                continue;
+            }
+            b.redistribute.push(c::Redistribution {
+                protocol: *proto,
+                route_map: map.clone(),
+            });
+        }
+        for n in &bgp.neighbors {
+            let cn = b.neighbor_mut(n.addr);
+            cn.remote_as = n.remote_as;
+            cn.description = n.description.clone();
+            cn.send_community = n.send_community;
+            cn.next_hop_self = n.next_hop_self;
+            cn.route_map_in = n.import_policy.first().cloned();
+            cn.route_map_out = n.export_policy.first().cloned();
+            if n.import_policy.len() > 1 || n.export_policy.len() > 1 {
+                notes.push(format!(
+                    "neighbor {}: IOS attaches a single route-map per direction; \
+                     only the first policy in the chain was emitted",
+                    n.addr
+                ));
+            }
+        }
+        cfg.bgp = Some(b);
+    }
+
+    (cfg, notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_cisco::from_cisco;
+
+    const CISCO: &str = "\
+hostname border1
+interface Ethernet0/1
+ ip address 10.0.1.1 255.255.255.0
+ ip ospf cost 10
+router ospf 1
+ router-id 1.2.3.4
+ network 10.0.1.0 0.0.0.255 area 0
+ passive-interface Loopback0
+router bgp 100
+ network 1.2.3.0 mask 255.255.255.0
+ neighbor 2.3.4.5 remote-as 200
+ neighbor 2.3.4.5 send-community
+ neighbor 2.3.4.5 route-map to_provider out
+ redistribute ospf route-map ospf_to_bgp
+ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24
+ip community-list standard tag permit 100:1
+route-map to_provider permit 10
+ match ip address prefix-list our-networks
+ match community tag
+ set metric 50
+route-map to_provider deny 100
+route-map ospf_to_bgp permit 10
+";
+
+    #[test]
+    fn cisco_ir_cisco_round_trip_is_faithful() {
+        let (ast, w) = cisco_cfg::parse(CISCO);
+        assert!(w.is_empty(), "{w:?}");
+        let (d, notes) = from_cisco(&ast);
+        assert!(notes.is_empty(), "{notes:?}");
+        let (back, notes2) = to_cisco(&d);
+        assert!(notes2.is_empty(), "{notes2:?}");
+        let printed = cisco_cfg::print(&back);
+        let (reparsed, w2) = cisco_cfg::parse(&printed);
+        assert!(w2.is_empty(), "{w2:?}\n{printed}");
+        let (d2, _) = from_cisco(&reparsed);
+        // The IR is preserved (names, policies, bgp, sets).
+        assert_eq!(d.name, d2.name);
+        assert_eq!(d.bgp, d2.bgp);
+        assert_eq!(d.policies, d2.policies);
+        assert_eq!(d.community_sets, d2.community_sets);
+        assert_eq!(d.prefix_sets, d2.prefix_sets);
+        assert_eq!(d.interfaces.len(), d2.interfaces.len());
+    }
+
+    #[test]
+    fn juniper_to_cisco_direction() {
+        let junos = r#"
+system { host-name r2; }
+routing-options { autonomous-system 2; }
+protocols {
+    bgp {
+        group g {
+            neighbor 2.0.0.1 {
+                peer-as 1;
+                export to-hub;
+            }
+        }
+    }
+}
+policy-options {
+    policy-statement to-hub {
+        term nets {
+            from {
+                route-filter 2.0.1.0/24 exact;
+            }
+            then accept;
+        }
+        term last { then reject; }
+    }
+}
+"#;
+        let (jast, w) = juniper_cfg::parse(junos);
+        assert!(w.is_empty(), "{w:?}");
+        let (d, _) = crate::from_juniper::from_juniper(&jast);
+        let (cast, notes) = to_cisco(&d);
+        assert!(notes.is_empty(), "{notes:?}");
+        let text = cisco_cfg::print(&cast);
+        assert!(text.contains("router bgp 2"));
+        assert!(text.contains("neighbor 2.0.0.1 remote-as 1"));
+        assert!(text.contains("route-map to-hub"));
+        // Inline route-filter became a synthesized prefix list.
+        assert!(text.contains("ip prefix-list pl-to-hub-"), "{text}");
+        let (_, w2) = cisco_cfg::parse(&text);
+        assert!(w2.is_empty(), "{w2:?}\n{text}");
+    }
+
+    #[test]
+    fn fallthrough_is_noted() {
+        let mut d = Device::named("r");
+        let mut p = IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "t".into(),
+            action: ClauseAction::FallThrough,
+            conditions: vec![],
+            modifiers: vec![],
+        });
+        d.policies.push(p);
+        let (_, notes) = to_cisco(&d);
+        assert!(notes.iter().any(|n| n.contains("fall-through")));
+    }
+
+    #[test]
+    fn default_permit_becomes_explicit_stanza() {
+        let mut d = Device::named("r");
+        let mut p = IrPolicy::new("p");
+        p.default_action = ClauseAction::Permit;
+        p.clauses.push(IrClause::deny_all("10"));
+        d.policies.push(p);
+        let (cfg, _) = to_cisco(&d);
+        let rm = cfg.route_maps.iter().find(|m| m.name == "p").unwrap();
+        assert_eq!(rm.stanzas.len(), 2);
+        assert!(rm.stanzas[1].permit);
+        assert!(rm.stanzas[1].matches.is_empty());
+    }
+}

@@ -1,0 +1,531 @@
+//! Emission: vendor-neutral [`Device`] → Junos AST.
+//!
+//! Together with [`mod@crate::from_cisco`] this is the *reference translator*.
+//! Two Junos-specific conventions carry IR facts that Junos has no direct
+//! syntax for; both are recovered by [`mod@crate::from_juniper`] so that
+//! `from_juniper ∘ to_juniper` preserves the IR:
+//!
+//! * **Network origination** — IOS `network` statements become a
+//!   well-known policy [`crate::from_juniper::ORIGINATE_POLICY`]
+//!   (`from protocol direct; route-filter <p> exact; then accept`). The
+//!   simulator reads origination from `IrBgp::networks` on both vendors.
+//! * **Redistribution** — each `(protocol, map)` pair becomes a policy
+//!   `redistribute-<proto>` whose single term is named `apply-<map>` (or
+//!   `gate` when unfiltered). Batfish-lite computes effective export
+//!   behaviour from the IR pieces, so a perturbed translation that loses
+//!   redistribution shows up as a Campion behaviour difference — exactly
+//!   Table 2's "Different redistribution into BGP" row.
+
+use crate::device::*;
+use crate::from_juniper::ORIGINATE_POLICY;
+use crate::policy::*;
+use juniper_cfg::ast::*;
+use net_model::{Community, InterfaceName, Protocol};
+use std::collections::BTreeSet;
+
+/// Name prefix for synthesized redistribution carrier policies.
+pub const REDISTRIBUTE_PREFIX: &str = "redistribute-";
+
+/// Emits a device as a Junos configuration. Returns the AST and notes for
+/// constructs that required approximation.
+pub fn to_juniper(d: &Device) -> (JuniperConfig, Vec<String>) {
+    let mut notes = Vec::new();
+    let mut cfg = JuniperConfig::default();
+    if !d.name.is_empty() {
+        cfg.hostname = Some(d.name.clone());
+    }
+
+    // Interfaces.
+    for i in &d.interfaces {
+        let (phys, unit) = junos_interface_name(&i.name);
+        let entry = if let Some(e) = cfg.interfaces.iter_mut().find(|x| x.name == phys) {
+            e
+        } else {
+            cfg.interfaces.push(JuniperInterface::named(&phys));
+            cfg.interfaces.last_mut().expect("just pushed")
+        };
+        entry.units.push(Unit {
+            number: unit,
+            address: i.address,
+        });
+    }
+
+    // Routing options.
+    cfg.router_id = d
+        .bgp
+        .as_ref()
+        .and_then(|b| b.router_id)
+        .or_else(|| d.ospf.as_ref().and_then(|o| o.router_id));
+    cfg.autonomous_system = d.bgp.as_ref().map(|b| b.asn);
+
+    // OSPF.
+    let mut areas: Vec<OspfArea> = Vec::new();
+    for i in &d.interfaces {
+        let Some(s) = i.ospf else { continue };
+        let (phys, unit) = junos_interface_name(&i.name);
+        let logical = format!("{phys}.{unit}");
+        let area_id = format!("0.0.0.{}", s.area); // single-octet areas in scope
+        let area = if let Some(a) = areas.iter_mut().find(|a| a.id == area_id) {
+            a
+        } else {
+            areas.push(OspfArea {
+                id: area_id,
+                interfaces: Vec::new(),
+            });
+            areas.last_mut().expect("just pushed")
+        };
+        area.interfaces.push(OspfInterface {
+            name: logical,
+            metric: s.cost,
+            passive: s.passive,
+        });
+    }
+    cfg.ospf_areas = areas;
+
+    // Named prefix sets that are all-permit/all-exact become Junos
+    // prefix-lists; anything else is inlined at the reference site.
+    for s in &d.prefix_sets {
+        if !s.has_deny() && s.entries.iter().all(|e| e.pattern.is_exact()) {
+            cfg.prefix_lists.push(JuniperPrefixList {
+                name: s.name.clone(),
+                prefixes: s.entries.iter().map(|e| e.pattern.prefix).collect(),
+            });
+        }
+    }
+
+    // Community definitions for the named sets (used by `from community`).
+    let mut emitter = CommunityEmitter::default();
+    for s in &d.community_sets {
+        emitter.define_named_set(s, &mut cfg, &mut notes);
+    }
+
+    // Policies.
+    for p in &d.policies {
+        let ps = emit_policy(d, p, &mut cfg, &mut emitter, &mut notes);
+        cfg.policies.push(ps);
+    }
+
+    // BGP.
+    if let Some(bgp) = &d.bgp {
+        let mut group = BgpGroup::new("ebgp-peers");
+        group.external = true;
+        for n in &bgp.neighbors {
+            let mut jn = JuniperBgpNeighbor::new(n.addr);
+            jn.peer_as = n.remote_as;
+            jn.import = n.import_policy.clone();
+            jn.export = n.export_policy.clone();
+            jn.description = n.description.clone();
+            group.neighbors.push(jn);
+        }
+        cfg.bgp_groups.push(group);
+
+        // Origination carrier policy.
+        if !bgp.networks.is_empty() {
+            let mut pol = PolicyStatement::new(ORIGINATE_POLICY);
+            let mut term = Term::named("nets");
+            term.from.push(FromCondition::Protocol(Protocol::Connected));
+            for p in &bgp.networks {
+                term.from.push(FromCondition::RouteFilter(
+                    net_model::PrefixPattern::exact(*p),
+                ));
+            }
+            term.then.push(ThenAction::Accept);
+            pol.terms.push(term);
+            cfg.policies.push(pol);
+        }
+
+        // Redistribution carrier policies.
+        for (proto, map) in &bgp.redistributions {
+            let mut pol = PolicyStatement::new(format!("{REDISTRIBUTE_PREFIX}{}", proto.keyword()));
+            let term_name = match map {
+                Some(m) => format!("apply-{m}"),
+                None => "gate".to_string(),
+            };
+            let mut term = Term::named(term_name);
+            term.from.push(FromCondition::Protocol(*proto));
+            term.then.push(ThenAction::Accept);
+            pol.terms.push(term);
+            cfg.policies.push(pol);
+        }
+    }
+
+    (cfg, notes)
+}
+
+/// Maps a Cisco-shaped interface name to a Junos physical name and unit.
+///
+/// `Ethernet0/1` → (`ge-0/0/1`, 0); `GigabitEthernet1/2` → (`ge-0/1/2`, 0);
+/// `Loopback0` → (`lo0`, 0); already-Junos names (`ge-0/0/1.0`) split on
+/// the unit dot; anything else is passed through with unit 0.
+pub fn junos_interface_name(name: &InterfaceName) -> (String, u32) {
+    let raw = name.as_str();
+    // Already junos-style with a unit suffix.
+    if let Some((phys, unit)) = raw.rsplit_once('.') {
+        if let Ok(u) = unit.parse::<u32>() {
+            return (phys.to_string(), u);
+        }
+    }
+    let lower = raw.to_ascii_lowercase();
+    for prefix in ["gigabitethernet", "fastethernet", "ethernet", "eth"] {
+        if let Some(rest) = lower.strip_prefix(prefix) {
+            if !rest.is_empty() && rest.chars().next().unwrap().is_ascii_digit() {
+                return (format!("ge-0/{rest}"), 0);
+            }
+        }
+    }
+    if let Some(rest) = lower.strip_prefix("loopback") {
+        return (format!("lo{rest}"), 0);
+    }
+    (raw.to_string(), 0)
+}
+
+/// Tracks synthesized community definitions so repeated value sets share
+/// one definition.
+#[derive(Default)]
+struct CommunityEmitter {
+    /// Member set → definition name.
+    by_members: std::collections::BTreeMap<BTreeSet<Community>, String>,
+}
+
+impl CommunityEmitter {
+    /// Ensures Junos definitions exist for a named IR community set and
+    /// returns the Junos names to reference (one per permit entry; OR).
+    fn names_for_set(
+        &mut self,
+        set: &IrCommunitySet,
+        cfg: &mut JuniperConfig,
+        notes: &mut Vec<String>,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        let permits: Vec<&BTreeSet<Community>> = set
+            .entries
+            .iter()
+            .filter(|(p, _)| *p)
+            .map(|(_, cs)| cs)
+            .collect();
+        if set.entries.iter().any(|(p, _)| !p) {
+            notes.push(format!(
+                "community set {}: deny entries have no Junos equivalent and were dropped",
+                set.name
+            ));
+        }
+        for (i, members) in permits.iter().enumerate() {
+            let name = if permits.len() == 1 {
+                set.name.clone()
+            } else {
+                format!("{}-e{}", set.name, i + 1)
+            };
+            out.push(self.define(name, (*members).clone(), cfg));
+        }
+        out
+    }
+
+    /// Ensures a definition exists for a raw value set (used by community
+    /// add/set modifiers) and returns its name.
+    fn name_for_values(
+        &mut self,
+        values: &BTreeSet<Community>,
+        cfg: &mut JuniperConfig,
+    ) -> String {
+        let fallback = values
+            .iter()
+            .map(|c| format!("{}-{}", c.high, c.low))
+            .collect::<Vec<_>>()
+            .join("-");
+        self.define(format!("cs-{fallback}"), values.clone(), cfg)
+    }
+
+    fn define(
+        &mut self,
+        preferred_name: String,
+        members: BTreeSet<Community>,
+        cfg: &mut JuniperConfig,
+    ) -> String {
+        if let Some(existing) = self.by_members.get(&members) {
+            return existing.clone();
+        }
+        // Avoid name collisions with a different member set.
+        let mut name = preferred_name;
+        while cfg.community_def(&name).is_some() {
+            name.push('x');
+        }
+        cfg.communities.push(CommunityDefinition {
+            name: name.clone(),
+            members: members.iter().copied().collect(),
+        });
+        self.by_members.insert(members, name.clone());
+        name
+    }
+
+    fn define_named_set(
+        &mut self,
+        set: &IrCommunitySet,
+        cfg: &mut JuniperConfig,
+        notes: &mut Vec<String>,
+    ) {
+        let _ = self.names_for_set(set, cfg, notes);
+    }
+}
+
+fn emit_policy(
+    d: &Device,
+    p: &IrPolicy,
+    cfg: &mut JuniperConfig,
+    emitter: &mut CommunityEmitter,
+    notes: &mut Vec<String>,
+) -> PolicyStatement {
+    let mut ps = PolicyStatement::new(p.name.clone());
+    for c in &p.clauses {
+        let term_name = if c.id.chars().all(|ch| ch.is_ascii_digit()) {
+            format!("t{}", c.id)
+        } else {
+            c.id.clone()
+        };
+        let mut term = Term::named(term_name);
+        for cond in &c.conditions {
+            match cond {
+                Condition::MatchPrefix { sets, patterns } => {
+                    for set_name in sets {
+                        match d.prefix_set(set_name) {
+                            Some(s) if !s.has_deny() => {
+                                if s.entries.iter().all(|e| e.pattern.is_exact()) {
+                                    term.from.push(FromCondition::PrefixList(set_name.clone()));
+                                } else {
+                                    // Inline with bounds as route-filters.
+                                    for e in &s.entries {
+                                        term.from.push(FromCondition::RouteFilter(e.pattern));
+                                    }
+                                }
+                            }
+                            Some(s) => {
+                                notes.push(format!(
+                                    "policy {} clause {}: prefix set {} has deny entries; \
+                                     deny entries were dropped in Junos emission",
+                                    p.name, c.id, set_name
+                                ));
+                                for e in s.entries.iter().filter(|e| e.permit) {
+                                    term.from.push(FromCondition::RouteFilter(e.pattern));
+                                }
+                            }
+                            None => notes.push(format!(
+                                "policy {} clause {}: references undefined prefix set {}",
+                                p.name, c.id, set_name
+                            )),
+                        }
+                    }
+                    for pat in patterns {
+                        term.from.push(FromCondition::RouteFilter(*pat));
+                    }
+                }
+                Condition::MatchCommunity(sets) => {
+                    for set_name in sets {
+                        match d.community_set(set_name) {
+                            Some(s) => {
+                                for n in emitter.names_for_set(s, cfg, notes) {
+                                    term.from.push(FromCondition::Community(n));
+                                }
+                            }
+                            None => notes.push(format!(
+                                "policy {} clause {}: references undefined community set {}",
+                                p.name, c.id, set_name
+                            )),
+                        }
+                    }
+                }
+                Condition::MatchProtocol(ps_) => {
+                    for proto in ps_ {
+                        term.from.push(FromCondition::Protocol(*proto));
+                    }
+                }
+                Condition::MatchAsPath(_) => notes.push(format!(
+                    "policy {} clause {}: as-path matching is not emitted to Junos",
+                    p.name, c.id
+                )),
+                Condition::MatchNeighbor(a) => term.from.push(FromCondition::Neighbor(*a)),
+            }
+        }
+        for m in &c.modifiers {
+            match m {
+                Modifier::SetCommunities {
+                    communities,
+                    additive,
+                } => {
+                    let name = emitter.name_for_values(communities, cfg);
+                    term.then.push(if *additive {
+                        ThenAction::CommunityAdd(name)
+                    } else {
+                        ThenAction::CommunitySet(name)
+                    });
+                }
+                Modifier::DeleteCommunities(set_name) => {
+                    match d.community_set(set_name) {
+                        Some(s) => {
+                            for n in emitter.names_for_set(s, cfg, notes) {
+                                term.then.push(ThenAction::CommunityDelete(n));
+                            }
+                        }
+                        None => notes.push(format!(
+                            "policy {} clause {}: delete references undefined community set {}",
+                            p.name, c.id, set_name
+                        )),
+                    }
+                }
+                Modifier::SetMed(v) => term.then.push(ThenAction::Metric(*v)),
+                Modifier::SetLocalPref(v) => term.then.push(ThenAction::LocalPreference(*v)),
+                Modifier::PrependAsPath(asns) => {
+                    term.then.push(ThenAction::AsPathPrepend(asns.clone()))
+                }
+                Modifier::SetNextHop(a) => term.then.push(ThenAction::NextHop(*a)),
+            }
+        }
+        match c.action {
+            ClauseAction::Permit => term.then.push(ThenAction::Accept),
+            ClauseAction::Deny => term.then.push(ThenAction::Reject),
+            ClauseAction::FallThrough => {} // no terminal action = fall through
+        }
+        ps.terms.push(term);
+    }
+    // Explicit default term mirrors IOS's implicit deny (or permit).
+    let mut dflt = Term::named("default-term");
+    dflt.then.push(match p.default_action {
+        ClauseAction::Deny => ThenAction::Reject,
+        _ => ThenAction::Accept,
+    });
+    ps.terms.push(dflt);
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_cisco::from_cisco;
+    use crate::from_juniper::from_juniper;
+
+    const CISCO: &str = "\
+hostname border1
+interface Ethernet0/1
+ ip address 10.0.1.1 255.255.255.0
+ ip ospf cost 10
+interface Loopback0
+ ip address 1.2.3.4 255.255.255.255
+router ospf 1
+ router-id 1.2.3.4
+ network 10.0.1.0 0.0.0.255 area 0
+ network 1.2.3.4 0.0.0.0 area 0
+ passive-interface Loopback0
+router bgp 100
+ network 1.2.3.0 mask 255.255.255.0
+ neighbor 2.3.4.5 remote-as 200
+ neighbor 2.3.4.5 route-map to_provider out
+ neighbor 2.3.4.5 route-map from_provider in
+ redistribute ospf route-map ospf_to_bgp
+ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24
+ip community-list standard tag permit 100:1
+route-map to_provider permit 10
+ match ip address prefix-list our-networks
+ set metric 50
+ set community 100:1 additive
+route-map to_provider deny 100
+route-map from_provider permit 10
+ set local-preference 120
+route-map ospf_to_bgp permit 10
+";
+
+    fn translate(input: &str) -> (JuniperConfig, Vec<String>) {
+        let (ast, w) = cisco_cfg::parse(input);
+        assert!(w.is_empty(), "{w:?}");
+        let (d, notes) = from_cisco(&ast);
+        assert!(notes.is_empty(), "{notes:?}");
+        to_juniper(&d)
+    }
+
+    #[test]
+    fn interface_name_mapping() {
+        let n = |s: &str| junos_interface_name(&InterfaceName::from(s));
+        assert_eq!(n("Ethernet0/1"), ("ge-0/0/1".into(), 0));
+        assert_eq!(n("GigabitEthernet1/2"), ("ge-0/1/2".into(), 0));
+        assert_eq!(n("Loopback0"), ("lo0".into(), 0));
+        assert_eq!(n("ge-0/0/1.0"), ("ge-0/0/1".into(), 0));
+        assert_eq!(n("weird7"), ("weird7".into(), 0));
+    }
+
+    #[test]
+    fn translation_has_expected_structure() {
+        let (cfg, notes) = translate(CISCO);
+        assert!(notes.is_empty(), "{notes:?}");
+        assert_eq!(cfg.hostname.as_deref(), Some("border1"));
+        assert_eq!(cfg.autonomous_system, Some(net_model::Asn(100)));
+        assert_eq!(cfg.router_id.unwrap().to_string(), "1.2.3.4");
+        assert_eq!(cfg.interfaces.len(), 2);
+        assert!(cfg.interface("ge-0/0/1").is_some());
+        assert!(cfg.interface("lo0").is_some());
+        let g = &cfg.bgp_groups[0];
+        let n = g.neighbor("2.3.4.5".parse().unwrap()).unwrap();
+        assert_eq!(n.peer_as, Some(net_model::Asn(200)));
+        assert_eq!(n.export, vec!["to_provider"]);
+        assert_eq!(n.import, vec!["from_provider"]);
+        // OSPF metric and passive carried over.
+        let area = &cfg.ospf_areas[0];
+        let ge = area.interfaces.iter().find(|i| i.name == "ge-0/0/1.0").unwrap();
+        assert_eq!(ge.metric, Some(10));
+        let lo = area.interfaces.iter().find(|i| i.name == "lo0.0").unwrap();
+        assert!(lo.passive);
+        // ge 24 prefix list becomes a route-filter with length range.
+        let to_provider = cfg.policy("to_provider").unwrap();
+        let has_range_filter = to_provider.terms[0].from.iter().any(|f| {
+            matches!(f, FromCondition::RouteFilter(p) if p.length_range() == (24, 32))
+        });
+        assert!(has_range_filter, "{:?}", to_provider.terms[0].from);
+        // Community add uses a definition, not a literal.
+        assert!(to_provider.terms[0]
+            .then
+            .iter()
+            .any(|t| matches!(t, ThenAction::CommunityAdd(_))));
+        // Origination and redistribution carrier policies exist.
+        assert!(cfg.policy("originate-networks").is_some());
+        assert!(cfg.policy("redistribute-ospf").is_some());
+        // Explicit default deny appended.
+        let last = to_provider.terms.last().unwrap();
+        assert_eq!(last.name, "default-term");
+        assert_eq!(last.then, vec![ThenAction::Reject]);
+    }
+
+    #[test]
+    fn translation_parses_cleanly_and_round_trips_ir() {
+        let (cfg, _) = translate(CISCO);
+        let text = juniper_cfg::print(&cfg);
+        let (re, w) = juniper_cfg::parse(&text);
+        assert!(w.is_empty(), "{w:?}\n{text}");
+        let (d2, notes2) = from_juniper(&re);
+        assert!(notes2.is_empty(), "{notes2:?}");
+        // Key IR facts survive the round trip.
+        let bgp = d2.bgp.as_ref().unwrap();
+        assert_eq!(bgp.asn, net_model::Asn(100));
+        assert_eq!(bgp.networks, vec!["1.2.3.0/24".parse().unwrap()]);
+        assert_eq!(
+            bgp.redistributions,
+            vec![(Protocol::Ospf, Some("ospf_to_bgp".to_string()))]
+        );
+        let n = bgp.neighbor("2.3.4.5".parse().unwrap()).unwrap();
+        assert_eq!(n.export_policy, vec!["to_provider"]);
+    }
+
+    #[test]
+    fn community_definitions_are_shared() {
+        // The same value set referenced twice yields a single definition.
+        let cisco = "\
+ip community-list standard tag permit 100:1
+route-map a permit 10
+ set community 100:1 additive
+route-map b permit 10
+ match community tag
+";
+        let (cfg, _) = translate(cisco);
+        let defs: Vec<_> = cfg
+            .communities
+            .iter()
+            .filter(|c| c.members == vec!["100:1".parse().unwrap()])
+            .collect();
+        assert_eq!(defs.len(), 1, "{:?}", cfg.communities);
+    }
+}

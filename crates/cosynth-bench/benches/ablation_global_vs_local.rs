@@ -1,0 +1,28 @@
+//! E8 (§4.1): local vs global specification styles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let local = cosynth_bench::run_synthesis(cosynth_bench::DEFAULT_SEED, 3);
+    let global = cosynth_bench::run_global_style(cosynth_bench::DEFAULT_SEED, 3);
+    println!(
+        "local: converged={} holds={} | global: converged={} holds={}",
+        local.converged,
+        local.global.holds(),
+        global.converged,
+        global.global.holds()
+    );
+    let mut g = c.benchmark_group("ablation_spec_style");
+    g.sample_size(10);
+    g.bench_function("local", |b| {
+        b.iter(|| cosynth_bench::run_synthesis(black_box(7), 3))
+    });
+    g.bench_function("global_until_divergence", |b| {
+        b.iter(|| cosynth_bench::run_global_style(black_box(7), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

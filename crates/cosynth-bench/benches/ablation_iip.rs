@@ -1,0 +1,25 @@
+//! E9 (§4.2): the IIP database on/off ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let with = cosynth_bench::run_synthesis(cosynth_bench::DEFAULT_SEED, 3);
+    let without = cosynth_bench::run_without_iip(cosynth_bench::DEFAULT_SEED, 3);
+    println!(
+        "with IIPs: {} | without IIPs: {}",
+        with.leverage, without.leverage
+    );
+    let mut g = c.benchmark_group("ablation_iip");
+    g.sample_size(10);
+    g.bench_function("with_iips", |b| {
+        b.iter(|| cosynth_bench::run_synthesis(black_box(7), 3))
+    });
+    g.bench_function("without_iips", |b| {
+        b.iter(|| cosynth_bench::run_without_iip(black_box(7), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

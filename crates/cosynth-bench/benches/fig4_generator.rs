@@ -1,0 +1,30 @@
+//! E6 (Figure 4): regenerates the star topology (text + JSON) and
+//! benches the generator and describer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (topology, roles) = topo_model::star(6);
+    println!("{}", topo_model::describe_network(&topology));
+    println!("roles: hub={} edges={:?}", roles.hub, roles.edges);
+
+    let mut g = c.benchmark_group("fig4");
+    for n in [2usize, 6, 20, 50] {
+        g.bench_with_input(BenchmarkId::new("generate", n), &n, |b, &n| {
+            b.iter(|| topo_model::star(black_box(n)))
+        });
+        g.bench_with_input(BenchmarkId::new("describe", n), &n, |b, &n| {
+            let (t, _) = topo_model::star(n);
+            b.iter(|| topo_model::describe_network(black_box(&t)))
+        });
+        g.bench_with_input(BenchmarkId::new("json", n), &n, |b, &n| {
+            let (t, _) = topo_model::star(n);
+            b.iter(|| t.to_json())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

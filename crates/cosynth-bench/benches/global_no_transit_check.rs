@@ -1,0 +1,28 @@
+//! E10 (§4.1 final step): the whole-network BGP simulation + no-transit
+//! check on correct configurations.
+
+use cosynth::Modularizer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llm_sim::synth_task::SynthesisDraft;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("global_no_transit_check");
+    for n in [2usize, 6, 12] {
+        let (topology, roles) = topo_model::star(n);
+        let mut configs = BTreeMap::new();
+        for a in Modularizer::assign(&topology, &roles) {
+            configs.insert(a.name.clone(), SynthesisDraft::new(&a.prompt, BTreeSet::new()).render());
+        }
+        let report = cosynth::compose_and_check(&topology, &roles, &configs);
+        assert!(report.holds(), "{n}: {:?}", report.violations);
+        g.bench_with_input(BenchmarkId::new("compose_and_simulate", n), &n, |b, _| {
+            b.iter(|| cosynth::compose_and_check(black_box(&topology), &roles, &configs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

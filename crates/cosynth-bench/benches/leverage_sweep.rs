@@ -1,0 +1,23 @@
+//! E11 (§6): the leverage distribution behind the paper's "5x to 10x"
+//! claim — a sweep over star sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = cosynth_bench::leverage_sweep(&[3, 6], &[0, 1]);
+    for (n, seed, auto, human, ratio, ok) in &rows {
+        println!("n={n} seed={seed}: {auto}/{human} = {ratio:.1}x verified={ok}");
+    }
+    let mut g = c.benchmark_group("leverage_sweep");
+    g.sample_size(10);
+    for n in [3usize, 6] {
+        g.bench_with_input(BenchmarkId::new("session", n), &n, |b, &n| {
+            b.iter(|| cosynth_bench::run_synthesis(black_box(0), n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

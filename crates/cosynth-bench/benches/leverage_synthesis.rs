@@ -1,0 +1,24 @@
+//! E5 (§4.2): the no-transit synthesis leverage experiment on the
+//! Figure 4 star.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let o = cosynth_bench::run_synthesis(cosynth_bench::DEFAULT_SEED, 6);
+    println!(
+        "no-transit: {} [paper: 12 auto / 2 human = 6x] local_ok={} global_ok={}",
+        o.leverage,
+        o.verified_local,
+        o.global.holds()
+    );
+    let mut g = c.benchmark_group("leverage_synthesis");
+    g.sample_size(10);
+    g.bench_function("full_session_6_isps", |b| {
+        b.iter(|| cosynth_bench::run_synthesis(black_box(7), 6))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E3 (§3.2): the translation leverage experiment — full VPP session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let o = cosynth_bench::run_translation(cosynth_bench::DEFAULT_SEED);
+    println!(
+        "translation: {} [paper: 20 auto / 2 human = 10x] verified={}",
+        o.leverage, o.verified
+    );
+    let mut g = c.benchmark_group("leverage_translation");
+    g.sample_size(10);
+    g.bench_function("full_session", |b| {
+        b.iter(|| cosynth_bench::run_translation(black_box(7)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E1 (Table 1): regenerates the sample rectification prompts for
+//! translation and benches the humanizer's prompt generation.
+
+use campion_lite::{CampionFinding, Direction};
+use cosynth::Humanizer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use net_model::{ParseWarning, RouteAdvertisement, WarningKind};
+use policy_symbolic::BehaviorDiff;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the table once (visible with `cargo bench -- --nocapture`-style runs).
+    let outcome = cosynth_bench::run_translation(cosynth_bench::DEFAULT_SEED);
+    println!("{}", cosynth::report::table1(&outcome));
+
+    let warning = ParseWarning::new(
+        5,
+        "policy-options prefix-list our-networks 1.2.3.0/24-32",
+        "invalid prefix-list syntax",
+        WarningKind::BadPrefixListSyntax,
+    );
+    let structural = CampionFinding::MissingPolicy {
+        neighbor: "2.3.4.5".parse().unwrap(),
+        direction: Direction::Import,
+        policy: "from_provider".into(),
+        in_original: true,
+    };
+    let attribute = CampionFinding::OspfCostDiff {
+        original_name: "Loopback0".into(),
+        translated_name: "lo0.0".into(),
+        original: Some(1),
+        translated: Some(0),
+    };
+    let behavior = CampionFinding::PolicyBehavior {
+        neighbor: "2.3.4.5".parse().unwrap(),
+        direction: Direction::Export,
+        original_policy: Some("to_provider".into()),
+        translated_policy: Some("to_provider".into()),
+        diff: BehaviorDiff::Action {
+            route: RouteAdvertisement::bgp("1.2.3.0/25".parse().unwrap()),
+            first_permits: true,
+        },
+    };
+    c.bench_function("table1/syntax_prompt", |b| {
+        b.iter(|| Humanizer::syntax(black_box(&warning)))
+    });
+    c.bench_function("table1/structural_prompt", |b| {
+        b.iter(|| Humanizer::campion(black_box(&structural)))
+    });
+    c.bench_function("table1/attribute_prompt", |b| {
+        b.iter(|| Humanizer::campion(black_box(&attribute)))
+    });
+    c.bench_function("table1/behavior_prompt", |b| {
+        b.iter(|| Humanizer::campion(black_box(&behavior)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

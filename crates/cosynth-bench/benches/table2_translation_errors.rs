@@ -1,0 +1,31 @@
+//! E2 (Table 2): regenerates the translation error/fixability table and
+//! benches the full error-detection pipeline (parse + Campion compare)
+//! on a faulty draft.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm_sim::translate_task::TranslationDraft;
+use llm_sim::FaultKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let outcome = cosynth_bench::run_translation(cosynth_bench::DEFAULT_SEED);
+    println!("{}", cosynth::report::table2(&outcome.error_rows));
+
+    let (cast, _) = cisco_cfg::parse(cosynth_bench::BORDER_CFG);
+    let (original, _) = config_ir::from_cisco(&cast);
+    let draft = TranslationDraft::new(
+        cosynth_bench::BORDER_CFG,
+        FaultKind::TRANSLATION.into_iter().collect(),
+    );
+    let faulty = draft.render();
+    c.bench_function("table2/detect_all_error_classes", |b| {
+        b.iter(|| {
+            let parsed = bf_lite::parse_config(black_box(&faulty), Some(bf_lite::Vendor::Juniper));
+            let findings = campion_lite::compare(&original, &parsed.device);
+            (parsed.warnings.len(), findings.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

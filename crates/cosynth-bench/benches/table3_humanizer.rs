@@ -1,0 +1,35 @@
+//! E4 (Table 3): regenerates the local-synthesis rectification prompts
+//! and benches the topology verifier + humanizer path.
+
+use cosynth::Humanizer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm_sim::synth_task::SynthesisDraft;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let outcome = cosynth_bench::run_synthesis(cosynth_bench::DEFAULT_SEED, 6);
+    println!("{}", cosynth::report::table3(&outcome));
+
+    let (topology, _) = topo_model::star(6);
+    let desc = topo_model::describe_router(&topology, "R2").unwrap();
+    let draft = SynthesisDraft::new(
+        &desc,
+        BTreeSet::from([
+            llm_sim::FaultKind::WrongIfaceAddress,
+            llm_sim::FaultKind::WrongRouterId,
+            llm_sim::FaultKind::MissingNetwork,
+        ]),
+    );
+    let text = draft.render();
+    c.bench_function("table3/verify_and_humanize", |b| {
+        b.iter(|| {
+            let parsed = bf_lite::parse_config(black_box(&text), None);
+            let findings = topo_model::verify_router(&topology, "R2", &parsed.device);
+            findings.iter().map(|f| Humanizer::topology(f).len()).sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E7 (Figures 1–3): benches one full iteration of the fast inner loop —
+//! verify (parse + Campion) → humanize → model repair — the unit the VPP
+//! architecture repeats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm_sim::prompts::TRANSLATE_TASK;
+use llm_sim::{ErrorModel, FaultKind, LanguageModel, Message, SimulatedGpt4};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (cast, _) = cisco_cfg::parse(cosynth_bench::BORDER_CFG);
+    let (original, _) = config_ir::from_cisco(&cast);
+    c.bench_function("vpp_inner_loop/verify_humanize_repair", |b| {
+        b.iter(|| {
+            let mut gpt = SimulatedGpt4::new(ErrorModel::only(FaultKind::WrongMed), 1);
+            let first = gpt.complete(&[Message::user(format!(
+                "{TRANSLATE_TASK}\n{}",
+                llm_sim::model::fence(cosynth_bench::BORDER_CFG)
+            ))]);
+            let draft = llm_sim::model::last_fenced_block(&first).unwrap();
+            // Verify.
+            let parsed = bf_lite::parse_config(&draft, Some(bf_lite::Vendor::Juniper));
+            let findings = campion_lite::compare(&original, &parsed.device);
+            // Humanize.
+            let prompt = cosynth::Humanizer::campion(&findings[0]);
+            // Repair.
+            let reply = gpt.complete(&[Message::user(black_box(prompt))]);
+            reply.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

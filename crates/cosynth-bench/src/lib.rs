@@ -1,0 +1,101 @@
+//! Shared experiment harness used by the `repro` binary and every
+//! Criterion bench: one function per experiment of the paper's
+//! evaluation, so the benches and the report binary cannot drift apart.
+
+use cosynth::{SpecStyle, SynthesisOutcome, SynthesisSession, TranslationOutcome, TranslationSession};
+use llm_sim::{ErrorModel, SimulatedGpt4};
+
+/// The bundled border-router config: the translation use case's input,
+/// exercising the same feature classes as the Batfish example the paper
+/// used (BGP, OSPF, prefix lists with `ge`, route maps with MED and
+/// local-pref, redistribution).
+pub const BORDER_CFG: &str = include_str!("../../../testdata/ios-border.cfg");
+
+/// Default seed for headline runs (any seed reproduces the shape; this
+/// one is recorded in EXPERIMENTS.md).
+pub const DEFAULT_SEED: u64 = 7;
+
+/// E2/E3: runs the full translation session with the paper-calibrated
+/// model.
+pub fn run_translation(seed: u64) -> TranslationOutcome {
+    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+    TranslationSession::default().run(&mut llm, BORDER_CFG)
+}
+
+/// E4/E5/E10: runs the full no-transit synthesis on a star with `n_isps`
+/// edge routers (the paper's Figure 4 star is `n_isps = 6`).
+pub fn run_synthesis(seed: u64, n_isps: usize) -> SynthesisOutcome {
+    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+    SynthesisSession::default().run(&mut llm, n_isps)
+}
+
+/// E8: the global-specification ablation (expected: non-convergence).
+pub fn run_global_style(seed: u64, n_isps: usize) -> SynthesisOutcome {
+    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+    let s = SynthesisSession {
+        style: SpecStyle::Global,
+        ..Default::default()
+    };
+    s.run(&mut llm, n_isps)
+}
+
+/// E9: the IIP ablation — same task, IIP database disabled and the model
+/// free to make the preventable mistakes.
+pub fn run_without_iip(seed: u64, n_isps: usize) -> SynthesisOutcome {
+    let mut llm = SimulatedGpt4::new(ErrorModel::without_iip(), seed);
+    let s = SynthesisSession {
+        iips: cosynth::IipDatabase::empty(),
+        ..Default::default()
+    };
+    s.run(&mut llm, n_isps)
+}
+
+/// E11: leverage sweep over star sizes and seeds. Returns
+/// `(n_isps, seed, auto, human, ratio, verified)` tuples.
+pub fn leverage_sweep(
+    sizes: &[usize],
+    seeds: &[u64],
+) -> Vec<(usize, u64, usize, usize, f64, bool)> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        for &seed in seeds {
+            let o = run_synthesis(seed, n);
+            out.push((
+                n,
+                seed,
+                o.leverage.auto,
+                o.leverage.human,
+                o.leverage.ratio(),
+                o.verified_local && o.global.holds(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn border_cfg_parses_clean() {
+        let (_, w) = cisco_cfg::parse(BORDER_CFG);
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn headline_runs_verify() {
+        let t = run_translation(DEFAULT_SEED);
+        assert!(t.verified);
+        assert_eq!(t.leverage.human, 2);
+        let s = run_synthesis(DEFAULT_SEED, 3);
+        assert!(s.verified_local);
+        assert!(s.global.holds());
+    }
+
+    #[test]
+    fn global_style_fails() {
+        let g = run_global_style(DEFAULT_SEED, 2);
+        assert!(!g.converged);
+    }
+}

@@ -1,0 +1,245 @@
+//! The Composer: reassembles per-router configs into a Batfish-lite
+//! snapshot and runs the whole-network no-transit check — the paper's
+//! final step ("we simulate the entire BGP communication using Batfish as
+//! a final step, in order to ensure that the global policy is
+//! satisfied").
+
+use bf_lite::sim::{run, Snapshot};
+use config_ir::{Device, IrBgp, IrInterface, IrNeighbor};
+use net_model::Prefix;
+use std::collections::BTreeMap;
+use topo_model::{RouterSpec, StarRoles, Topology};
+
+/// A violation of the global no-transit policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalViolation {
+    /// ISP `to_isp` can reach ISP `from_isp`'s prefix — transit.
+    TransitLeak {
+        /// Prefix owner.
+        from_isp: String,
+        /// The ISP that (wrongly) learned the route.
+        to_isp: String,
+        /// The leaked prefix.
+        prefix: Prefix,
+    },
+    /// The customer prefix never reached an ISP.
+    CustomerUnreachable {
+        /// The ISP missing the route.
+        at_isp: String,
+    },
+    /// An ISP prefix never reached the customer.
+    IspUnreachableFromCustomer {
+        /// The ISP whose prefix is missing.
+        isp: String,
+        /// The missing prefix.
+        prefix: Prefix,
+    },
+}
+
+/// The whole-network check report.
+#[derive(Debug, Clone)]
+pub struct GlobalCheckReport {
+    /// All violations found (empty = the global policy holds).
+    pub violations: Vec<GlobalViolation>,
+    /// Simulation rounds to the fixed point.
+    pub sim_rounds: usize,
+    /// Whether the simulation diverged (policy oscillation).
+    pub diverged: bool,
+    /// Session-establishment problems (configs that broke peering).
+    pub session_problems: Vec<String>,
+}
+
+impl GlobalCheckReport {
+    /// Whether the global no-transit policy is satisfied.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty() && !self.diverged
+    }
+}
+
+/// Builds the IR device for an external stub directly from its topology
+/// spec (stubs are simulated, not synthesized).
+pub fn device_from_spec(spec: &RouterSpec) -> Device {
+    let mut d = Device::named(&spec.name);
+    for i in &spec.interfaces {
+        let mut ir = IrInterface::named(&i.name);
+        ir.address = Some(i.address);
+        d.interfaces.push(ir);
+    }
+    let mut bgp = IrBgp::new(spec.asn);
+    bgp.router_id = Some(spec.router_id);
+    bgp.networks = spec.networks.clone();
+    for n in &spec.neighbors {
+        let mut irn = IrNeighbor::new(n.addr);
+        irn.remote_as = Some(n.asn);
+        irn.send_community = true;
+        bgp.neighbors.push(irn);
+    }
+    d.bgp = Some(bgp);
+    d
+}
+
+/// Composes internal router configs (Cisco text, as returned by the LLM)
+/// with the topology's stubs, runs the BGP simulation, and checks
+/// no-transit.
+pub fn compose_and_check(
+    topology: &Topology,
+    roles: &StarRoles,
+    configs: &BTreeMap<String, String>,
+) -> GlobalCheckReport {
+    let mut devices = Vec::new();
+    for spec in topology.internal_routers() {
+        match configs.get(&spec.name) {
+            Some(text) => {
+                let parsed = bf_lite::parse_config(text, Some(bf_lite::Vendor::Cisco));
+                let mut device = parsed.device;
+                // Config files may omit the hostname; the composer names
+                // devices from the folder layout as Batfish does.
+                if device.name.is_empty() {
+                    device.name = spec.name.clone();
+                }
+                devices.push(device);
+            }
+            None => {
+                // A missing config is an empty device — sessions to it
+                // fail and show up in session_problems.
+                devices.push(Device::named(&spec.name));
+            }
+        }
+    }
+    for spec in topology.stubs() {
+        devices.push(device_from_spec(spec));
+    }
+    let snapshot = Snapshot::new(devices);
+    let report = run(&snapshot);
+    let mut violations = Vec::new();
+    // ISP-side checks.
+    for (j, isp_j) in roles.isps.iter().enumerate() {
+        let Some(jdx) = snapshot.device_index(isp_j) else {
+            continue;
+        };
+        if report.route_at(jdx, &roles.customer_prefix).is_none() {
+            violations.push(GlobalViolation::CustomerUnreachable {
+                at_isp: isp_j.clone(),
+            });
+        }
+        for (i, isp_i) in roles.isps.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let p = roles.isp_prefixes[i];
+            if report.route_at(jdx, &p).is_some() {
+                violations.push(GlobalViolation::TransitLeak {
+                    from_isp: isp_i.clone(),
+                    to_isp: isp_j.clone(),
+                    prefix: p,
+                });
+            }
+        }
+    }
+    // Customer-side checks.
+    if let Some(cdx) = snapshot.device_index(&roles.customer) {
+        for (i, isp) in roles.isps.iter().enumerate() {
+            let p = roles.isp_prefixes[i];
+            if report.route_at(cdx, &p).is_none() {
+                violations.push(GlobalViolation::IspUnreachableFromCustomer {
+                    isp: isp.clone(),
+                    prefix: p,
+                });
+            }
+        }
+    }
+    GlobalCheckReport {
+        violations,
+        sim_rounds: report.rounds,
+        diverged: report.diverged,
+        session_problems: snapshot.session_problems.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularizer::Modularizer;
+    use llm_sim::synth_task::SynthesisDraft;
+    use std::collections::BTreeSet;
+    use topo_model::star;
+
+    /// Builds the reference (correct) configs for all internal routers.
+    fn reference_configs(topology: &Topology, roles: &StarRoles) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        for a in Modularizer::assign(topology, roles) {
+            let draft = SynthesisDraft::new(&a.prompt, BTreeSet::new());
+            out.insert(a.name.clone(), draft.render());
+        }
+        out
+    }
+
+    #[test]
+    fn correct_configs_satisfy_no_transit() {
+        let (t, roles) = star(3);
+        let configs = reference_configs(&t, &roles);
+        let report = compose_and_check(&t, &roles, &configs);
+        assert!(
+            report.holds(),
+            "violations: {:#?}\nsession problems: {:#?}",
+            report.violations,
+            report.session_problems
+        );
+    }
+
+    #[test]
+    fn unfiltered_hub_leaks_transit() {
+        let (t, roles) = star(3);
+        let mut configs = reference_configs(&t, &roles);
+        // Strip the filters from R1 (keep sessions alive): resynthesize
+        // the hub with no egress filters.
+        let assignments = Modularizer::assign(&t, &roles);
+        let hub = &assignments[0];
+        let mut stripped_prompt = String::new();
+        for line in hub.prompt.lines() {
+            if !line.starts_with("At egress to neighbor ") {
+                stripped_prompt.push_str(line);
+                stripped_prompt.push('\n');
+            }
+        }
+        let draft = SynthesisDraft::new(&stripped_prompt, BTreeSet::new());
+        configs.insert(hub.name.clone(), draft.render());
+        let report = compose_and_check(&t, &roles, &configs);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, GlobalViolation::TransitLeak { .. })),
+            "{:#?}",
+            report.violations
+        );
+        // The customer is still reachable (filters only affect ISP↔ISP).
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| matches!(v, GlobalViolation::CustomerUnreachable { .. })));
+    }
+
+    #[test]
+    fn missing_config_breaks_reachability() {
+        let (t, roles) = star(2);
+        let mut configs = reference_configs(&t, &roles);
+        configs.remove("R2");
+        let report = compose_and_check(&t, &roles, &configs);
+        assert!(!report.holds());
+        assert!(!report.session_problems.is_empty());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, GlobalViolation::CustomerUnreachable { .. })));
+    }
+
+    #[test]
+    fn stub_devices_match_their_specs() {
+        let (t, _) = star(2);
+        let stub = t.router("ISP-2").unwrap();
+        let d = device_from_spec(stub);
+        assert_eq!(d.name, "ISP-2");
+        assert_eq!(d.bgp.as_ref().unwrap().networks, stub.networks);
+        assert_eq!(d.interfaces.len(), 1);
+    }
+}

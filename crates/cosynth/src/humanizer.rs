@@ -1,0 +1,530 @@
+//! The humanizer: verifier findings → natural-language rectification
+//! prompts.
+//!
+//! "Since verifier feedback is often cryptic, we use simple code that we
+//! call a humanizer that converts the feedback to natural language
+//! prompts." Each template below reproduces a row of Table 1
+//! (translation) or Table 3 (local synthesis); non-italic text is the
+//! formula, italic fields are filled from the finding.
+
+use campion_lite::{CampionFinding, Direction};
+use net_model::{ParseWarning, RouteAdvertisement};
+#[cfg(test)]
+use net_model::WarningKind;
+use policy_symbolic::BehaviorDiff;
+use topo_model::TopologyFinding;
+
+/// The humanizer. Stateless; templates are fixed formulas per finding
+/// type, so it is a plain namespace struct (kept as a type so an expert-
+/// extensible template database can hang off it later, as the paper
+/// suggests for IIPs).
+pub struct Humanizer;
+
+impl Humanizer {
+    /// Table 1 row 1 / Table 3 row 1: syntax errors quote the offending
+    /// line (Batfish parse warnings "can be reused as prompts").
+    pub fn syntax(warning: &ParseWarning) -> String {
+        if warning.line == 0 {
+            // Whole-config findings (e.g. missing local AS) carry their
+            // message instead of a line.
+            format!(
+                "There is a syntax error: '{}'. {}",
+                warning.text, warning.message
+            )
+        } else {
+            format!("There is a syntax error:\n'{}'", warning.text)
+        }
+    }
+
+    /// Translation findings (Table 1 rows 2–4).
+    pub fn campion(finding: &CampionFinding) -> String {
+        match finding {
+            CampionFinding::MissingPolicy {
+                neighbor,
+                direction,
+                in_original,
+                ..
+            } => {
+                if *in_original {
+                    format!(
+                        "In the original configuration, there is an {direction} route map \
+                         for bgp neighbor {neighbor}, but in the translation, there is no \
+                         corresponding route map"
+                    )
+                } else {
+                    format!(
+                        "In the translation, there is an {direction} route map for bgp \
+                         neighbor {neighbor}, but in the original configuration, there is \
+                         no corresponding route map"
+                    )
+                }
+            }
+            CampionFinding::MissingNeighbor { addr, in_original } => {
+                if *in_original {
+                    format!(
+                        "In the original configuration, there is a BGP neighbor {addr}, \
+                         but in the translation, there is no corresponding neighbor"
+                    )
+                } else {
+                    format!(
+                        "In the translation, there is a BGP neighbor {addr} that does not \
+                         exist in the original configuration"
+                    )
+                }
+            }
+            CampionFinding::MissingInterface { name, in_original } => {
+                if *in_original {
+                    format!(
+                        "In the original configuration, there is an interface {name}, but \
+                         in the translation, there is no corresponding interface"
+                    )
+                } else {
+                    format!(
+                        "In the translation, there is an interface {name} that does not \
+                         exist in the original configuration"
+                    )
+                }
+            }
+            CampionFinding::MissingNetwork { prefix, in_original } => {
+                if *in_original {
+                    format!(
+                        "In the original configuration, the network {prefix} is announced \
+                         in BGP, but in the translation it is not"
+                    )
+                } else {
+                    format!(
+                        "In the translation, the network {prefix} is announced in BGP, but \
+                         in the original configuration it is not"
+                    )
+                }
+            }
+            CampionFinding::MissingRedistribution {
+                protocol,
+                in_original,
+            } => {
+                if *in_original {
+                    format!(
+                        "In the original configuration, routes are redistributed from \
+                         {protocol} into BGP, but in the translation they are not"
+                    )
+                } else {
+                    format!(
+                        "In the translation, routes are redistributed from {protocol} into \
+                         BGP, but in the original configuration they are not"
+                    )
+                }
+            }
+            CampionFinding::LocalAsMismatch {
+                original,
+                translated,
+            } => format!(
+                "In the original configuration, the local AS number is {original}, but in \
+                 the translation it is {translated}"
+            ),
+            CampionFinding::RouterIdMismatch {
+                original,
+                translated,
+            } => format!(
+                "In the original configuration, the router id is {original}, but in the \
+                 translation it is {translated}"
+            ),
+            CampionFinding::RemoteAsMismatch {
+                neighbor,
+                original,
+                translated,
+            } => format!(
+                "In the original configuration, BGP neighbor {neighbor} has remote AS \
+                 {}, but in the translation it has {}",
+                opt(original),
+                opt(translated)
+            ),
+            CampionFinding::InterfaceAddressDiff {
+                original_name,
+                translated_name,
+                original,
+                translated,
+            } => format!(
+                "In the original configuration, interface {original_name} has address {}, \
+                 but in the translation, the corresponding interface {translated_name} has \
+                 address {}",
+                opt(original),
+                opt(translated)
+            ),
+            CampionFinding::OspfCostDiff {
+                original_name,
+                translated_name,
+                original,
+                translated,
+            } => format!(
+                "In the original configuration, the OSPF link for {original_name} has cost \
+                 set to {}, but in the translation, the corresponding link to \
+                 {translated_name} has cost set to {}",
+                opt(original),
+                opt(translated)
+            ),
+            CampionFinding::OspfPassiveDiff {
+                original_name,
+                translated_name,
+                original,
+                translated,
+            } => format!(
+                "In the original configuration, the OSPF interface {original_name} has \
+                 passive set to {original}, but in the translation, the corresponding \
+                 interface {translated_name} has passive set to {translated}"
+            ),
+            CampionFinding::PolicyBehavior {
+                neighbor,
+                direction,
+                original_policy,
+                translated_policy,
+                diff,
+            } => Self::behavior(neighbor, *direction, original_policy, translated_policy, diff),
+        }
+    }
+
+    /// Table 1 row 4: policy behaviour differences get an example prefix.
+    fn behavior(
+        neighbor: &std::net::Ipv4Addr,
+        direction: Direction,
+        original_policy: &Option<String>,
+        translated_policy: &Option<String>,
+        diff: &BehaviorDiff,
+    ) -> String {
+        let op = original_policy.clone().unwrap_or_else(|| "(none)".into());
+        let tp = translated_policy.clone().unwrap_or_else(|| "(none)".into());
+        match diff {
+            BehaviorDiff::Action {
+                route,
+                first_permits,
+            } => {
+                let (a, b) = if *first_permits {
+                    ("ACCEPT", "REJECT")
+                } else {
+                    ("REJECT", "ACCEPT")
+                };
+                format!(
+                    "In the original configuration, for the prefix {}, the BGP {direction} \
+                     policy {op} for BGP neighbor {neighbor} performs the following action: \
+                     {a}. But, in the translation, the corresponding BGP {direction} policy \
+                     {tp} performs the following action: {b}",
+                    route.prefix
+                )
+            }
+            BehaviorDiff::Med {
+                route,
+                first,
+                second,
+            } => format!(
+                "In the original configuration, for the prefix {}, the BGP {direction} \
+                 policy {op} for BGP neighbor {neighbor} sets the BGP MED value to {}. \
+                 But, in the translation, the corresponding policy {tp} sets the MED \
+                 value to {}",
+                route.prefix,
+                opt(first),
+                opt(second)
+            ),
+            BehaviorDiff::LocalPref {
+                route,
+                first,
+                second,
+            } => format!(
+                "In the original configuration, for the prefix {}, the BGP {direction} \
+                 policy {op} for BGP neighbor {neighbor} sets local-preference to {}. \
+                 But, in the translation, the corresponding policy {tp} sets it to {}",
+                route.prefix,
+                opt(first),
+                opt(second)
+            ),
+            BehaviorDiff::Community {
+                route,
+                community,
+                first_has,
+            } => {
+                let (a, b) = if *first_has {
+                    ("attaches", "does not attach")
+                } else {
+                    ("does not attach", "attaches")
+                };
+                format!(
+                    "In the original configuration, for the prefix {}, the BGP {direction} \
+                     policy {op} for BGP neighbor {neighbor} {a} the community {community}. \
+                     But, in the translation, the corresponding policy {tp} {b} it",
+                    route.prefix
+                )
+            }
+        }
+    }
+
+    /// Table 3 topology-error rows.
+    pub fn topology(finding: &TopologyFinding) -> String {
+        match finding {
+            TopologyFinding::InterfaceAddressMismatch {
+                iface,
+                expected,
+                found,
+            } => match found {
+                Some(f) => format!(
+                    "Interface {iface} ip address does not match with given config. \
+                     Expected {}, found {}",
+                    expected.addr, f.addr
+                ),
+                None => format!(
+                    "Interface {iface} ip address does not match with given config. \
+                     Expected {}, found none",
+                    expected.addr
+                ),
+            },
+            TopologyFinding::LocalAsMismatch { expected, found } => format!(
+                "Local AS number does not match. Expected {expected}, found {}",
+                opt(found)
+            ),
+            TopologyFinding::RouterIdMismatch { expected, found } => format!(
+                "Router ID does not match with given config. Expected {expected}, found {}",
+                opt(found)
+            ),
+            TopologyFinding::NeighborNotDeclared { addr, asn } => {
+                format!("Neighbor with IP address {addr} and AS {asn} not declared")
+            }
+            TopologyFinding::NetworkNotDeclared { prefix } => {
+                format!("Network {prefix} not declared")
+            }
+            TopologyFinding::IncorrectNetwork { prefix, router } => format!(
+                "Incorrect network declaration. {prefix} is not directly connected to {router}"
+            ),
+            TopologyFinding::IncorrectNeighbor { addr, asn } => format!(
+                "Incorrect neighbor declaration. No neighbor with IP address {addr} AS {} found",
+                opt(asn)
+            ),
+        }
+    }
+
+    /// Table 3's semantic-error row: a local-policy counterexample.
+    pub fn semantic(map: &str, check: &bf_lite::LocalPolicyCheck, witness: &RouteAdvertisement) -> String {
+        match check {
+            bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied { community, .. } => format!(
+                "The route-map {map} permits routes that have the community {community}. \
+                 However, they should be denied. For example, the route {} with \
+                 communities [{}] is permitted.",
+                witness.prefix,
+                witness
+                    .communities
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            bf_lite::LocalPolicyCheck::PermittedRoutesCarry { community, .. } => format!(
+                "The route-map {map} permits the route {} without adding the community \
+                 {community}. However, every permitted route should carry it.",
+                witness.prefix
+            ),
+            bf_lite::LocalPolicyCheck::PermittedRoutesPreserve { community, .. } => format!(
+                "The route-map {map} removes the existing community {community} from the \
+                 route {}. However, existing communities should be preserved; use the \
+                 'additive' keyword.",
+                witness.prefix
+            ),
+        }
+    }
+
+    /// The human escalation prompt for a finding the automatic loop could
+    /// not fix, mirroring the paper's manual interventions.
+    pub fn human_escalation(finding_kind: HumanFixKind) -> String {
+        match finding_kind {
+            HumanFixKind::PrefixLength => "To match prefixes of length 24 or greater under \
+                 1.2.3.0/24, use 'route-filter 1.2.3.0/24 prefix-length-range /24-/32' \
+                 (or 'orlonger'). Apply this to the translated prefix list."
+                .to_string(),
+            HumanFixKind::Redistribution => "Please add 'from bgp' conditions to the routing \
+                 policies that control exporting, so that redistribution into BGP matches \
+                 the original configuration."
+                .to_string(),
+            HumanFixKind::SeparateStanzas => "Declare each match statement in a separate \
+                 route-map stanza so the filters use OR semantics rather than AND."
+                .to_string(),
+            HumanFixKind::NeighborPlacement => "All network and neighbor commands must be \
+                 placed inside the 'router bgp' block. Move the neighbor route-map \
+                 attachments there."
+                .to_string(),
+        }
+    }
+}
+
+/// The four manual interventions observed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HumanFixKind {
+    /// §3.2: the `ge 24` prefix-length translation.
+    PrefixLength,
+    /// §3.2: redistribution into BGP (`from bgp` conditions).
+    Redistribution,
+    /// §4.2: AND/OR route-map stanza semantics.
+    SeparateStanzas,
+    /// §4.2: neighbor commands outside `router bgp`.
+    NeighborPlacement,
+}
+
+fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "none".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_sim::prompts::{classify, PromptClass};
+
+    #[test]
+    fn syntax_prompt_matches_table1_shape() {
+        let w = ParseWarning::new(
+            5,
+            "policy-options prefix-list our-networks 1.2.3.0/24-32",
+            "invalid",
+            WarningKind::BadPrefixListSyntax,
+        );
+        let p = Humanizer::syntax(&w);
+        assert!(p.starts_with("There is a syntax error:"));
+        assert!(p.contains("1.2.3.0/24-32"));
+        // And the simulated model recognizes it.
+        assert!(matches!(classify(&p), PromptClass::SyntaxError { .. }));
+    }
+
+    #[test]
+    fn missing_policy_prompt_matches_table1_text() {
+        let f = CampionFinding::MissingPolicy {
+            neighbor: "2.3.4.5".parse().unwrap(),
+            direction: Direction::Import,
+            policy: "from_provider".into(),
+            in_original: true,
+        };
+        let p = Humanizer::campion(&f);
+        assert_eq!(
+            p,
+            "In the original configuration, there is an import route map for bgp \
+             neighbor 2.3.4.5, but in the translation, there is no corresponding route map"
+        );
+        assert_eq!(classify(&p), PromptClass::StructuralMissingPolicy);
+    }
+
+    #[test]
+    fn ospf_cost_prompt_matches_table1_text() {
+        let f = CampionFinding::OspfCostDiff {
+            original_name: "Loopback0".into(),
+            translated_name: "lo0.0".into(),
+            original: Some(1),
+            translated: Some(0),
+        };
+        let p = Humanizer::campion(&f);
+        assert_eq!(
+            p,
+            "In the original configuration, the OSPF link for Loopback0 has cost set to 1, \
+             but in the translation, the corresponding link to lo0.0 has cost set to 0"
+        );
+        assert_eq!(classify(&p), PromptClass::AttributeOspfCost);
+    }
+
+    #[test]
+    fn policy_action_prompt_matches_table1_text() {
+        let f = CampionFinding::PolicyBehavior {
+            neighbor: "2.3.4.5".parse().unwrap(),
+            direction: Direction::Export,
+            original_policy: Some("to_provider".into()),
+            translated_policy: Some("to_provider".into()),
+            diff: BehaviorDiff::Action {
+                route: RouteAdvertisement::bgp("1.2.3.0/25".parse().unwrap()),
+                first_permits: true,
+            },
+        };
+        let p = Humanizer::campion(&f);
+        assert!(p.contains("for the prefix 1.2.3.0/25"));
+        assert!(p.contains("the BGP export policy to_provider for BGP neighbor 2.3.4.5"));
+        assert!(p.contains("performs the following action: ACCEPT"));
+        assert!(p.contains("performs the following action: REJECT"));
+        assert_eq!(classify(&p), PromptClass::PolicyCommunity);
+    }
+
+    #[test]
+    fn topology_prompts_match_table3_text() {
+        let f = TopologyFinding::NeighborNotDeclared {
+            addr: "1.0.0.1".parse().unwrap(),
+            asn: net_model::Asn(1),
+        };
+        assert_eq!(
+            Humanizer::topology(&f),
+            "Neighbor with IP address 1.0.0.1 and AS 1 not declared"
+        );
+        let f = TopologyFinding::IncorrectNetwork {
+            prefix: "7.0.0.0/24".parse().unwrap(),
+            router: "R1".into(),
+        };
+        assert_eq!(
+            Humanizer::topology(&f),
+            "Incorrect network declaration. 7.0.0.0/24 is not directly connected to R1"
+        );
+        let f = TopologyFinding::LocalAsMismatch {
+            expected: net_model::Asn(1),
+            found: Some(net_model::Asn(3)),
+        };
+        assert_eq!(
+            Humanizer::topology(&f),
+            "Local AS number does not match. Expected 1, found 3"
+        );
+        for t in [
+            Humanizer::topology(&f),
+            Humanizer::topology(&TopologyFinding::NetworkNotDeclared {
+                prefix: "1.0.0.0/24".parse().unwrap(),
+            }),
+        ] {
+            assert_eq!(classify(&t), PromptClass::TopologyError, "{t}");
+        }
+    }
+
+    #[test]
+    fn semantic_prompt_matches_table3_text() {
+        let check = bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied {
+            chain: vec!["DROP_COMMUNITY".into()],
+            community: "100:1".parse().unwrap(),
+        };
+        let witness = RouteAdvertisement::bgp("9.9.9.0/24".parse().unwrap())
+            .with_community("100:1".parse().unwrap());
+        let p = Humanizer::semantic("DROP_COMMUNITY", &check, &witness);
+        assert!(p.starts_with(
+            "The route-map DROP_COMMUNITY permits routes that have the community 100:1. \
+             However, they should be denied."
+        ));
+        assert_eq!(classify(&p), PromptClass::PolicyCommunity);
+    }
+
+    #[test]
+    fn human_escalations_are_recognized_as_human() {
+        use llm_sim::prompts::PromptClass as PC;
+        assert_eq!(
+            classify(&Humanizer::human_escalation(HumanFixKind::PrefixLength)),
+            PC::HumanPrefixLength
+        );
+        assert_eq!(
+            classify(&Humanizer::human_escalation(HumanFixKind::Redistribution)),
+            PC::HumanFromBgp
+        );
+        assert_eq!(
+            classify(&Humanizer::human_escalation(HumanFixKind::SeparateStanzas)),
+            PC::HumanSeparateStanzas
+        );
+        assert_eq!(
+            classify(&Humanizer::human_escalation(HumanFixKind::NeighborPlacement)),
+            PC::HumanNeighborPlacement
+        );
+    }
+
+    #[test]
+    fn missing_local_as_warning_is_humanized_and_classified() {
+        let w = ParseWarning::global(
+            "BGP group 'ebgp-peers' declares neighbors but no local AS is configured; \
+             add 'routing-options autonomous-system <asn>' or a group-level 'local-as'",
+            WarningKind::MissingLocalAs,
+        );
+        let p = Humanizer::syntax(&w);
+        assert!(matches!(classify(&p), PromptClass::SyntaxError { .. }));
+    }
+}

@@ -1,0 +1,135 @@
+//! The IIP database: initial instruction prompts "for avoiding common
+//! mistakes ... built and added by experts over time" (Section 2).
+
+use llm_sim::gpt4::IIP_MARKER;
+
+/// One initial instruction prompt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Iip {
+    /// Short identifier.
+    pub id: &'static str,
+    /// The instruction text.
+    pub text: String,
+}
+
+/// The expert-curated IIP database.
+#[derive(Debug, Clone, Default)]
+pub struct IipDatabase {
+    entries: Vec<Iip>,
+}
+
+impl IipDatabase {
+    /// An empty database (the IIP-off ablation).
+    pub fn empty() -> Self {
+        IipDatabase::default()
+    }
+
+    /// The paper's four Section 4.2 instructions.
+    pub fn paper_default() -> Self {
+        let mut db = IipDatabase::default();
+        db.add(
+            "no-cli",
+            "Generate the configuration as a .cfg file. Do not produce commands to be \
+             entered on the command line interface.",
+        );
+        db.add(
+            "no-exec-keywords",
+            "Do not use the keywords 'exit', 'end', 'configure terminal', 'ip routing', \
+             'write', or 'conf t' anywhere in the configuration file.",
+        );
+        db.add(
+            "match-community-list",
+            "When matching against a community in a route-map, first declare an \
+             'ip community-list' containing the community, and in the route-map match \
+             using only the list.",
+        );
+        db.add(
+            "additive-community",
+            "When adding a community to a route with 'set community', always use the \
+             'additive' keyword so existing communities are preserved.",
+        );
+        db
+    }
+
+    /// Adds an instruction.
+    pub fn add(&mut self, id: &'static str, text: impl Into<String>) {
+        self.entries.push(Iip {
+            id,
+            text: text.into(),
+        });
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[Iip] {
+        &self.entries
+    }
+
+    /// Renders the database as the system message that starts every chat.
+    /// Returns `None` when empty (no system message at all).
+    pub fn system_message(&self) -> Option<String> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut out = format!(
+            "{IIP_MARKER} Follow these standing instructions when writing router \
+             configurations:\n"
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!("{}. {}\n", i + 1, e.text));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_four_entries() {
+        let db = IipDatabase::paper_default();
+        assert_eq!(db.len(), 4);
+        let ids: Vec<_> = db.entries().iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "no-cli",
+                "no-exec-keywords",
+                "match-community-list",
+                "additive-community"
+            ]
+        );
+    }
+
+    #[test]
+    fn system_message_carries_marker() {
+        let db = IipDatabase::paper_default();
+        let msg = db.system_message().unwrap();
+        assert!(msg.contains(IIP_MARKER));
+        assert!(msg.contains("additive"));
+        assert!(msg.contains("community-list"));
+    }
+
+    #[test]
+    fn empty_database_has_no_message() {
+        assert_eq!(IipDatabase::empty().system_message(), None);
+    }
+
+    #[test]
+    fn extensible() {
+        let mut db = IipDatabase::paper_default();
+        db.add("new-rule", "Always set a router-id explicitly.");
+        assert_eq!(db.len(), 5);
+        assert!(db.system_message().unwrap().contains("router-id"));
+    }
+}

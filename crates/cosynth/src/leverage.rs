@@ -1,0 +1,95 @@
+//! Leverage: the paper's headline metric.
+//!
+//! "Define leverage as the ratio L of the number of automated prompts in
+//! Figure 2 to the number of human prompts." The initial task prompt is
+//! counted as neither: it exists identically in plain pair programming,
+//! and the metric isolates the verifier's contribution.
+
+/// Prompt counts and the leverage ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Leverage {
+    /// Automated (verifier-generated) rectification prompts.
+    pub auto: usize,
+    /// Manual (human) correction prompts.
+    pub human: usize,
+}
+
+impl Leverage {
+    /// Records an automated prompt.
+    pub fn record_auto(&mut self) {
+        self.auto += 1;
+    }
+
+    /// Records a human prompt.
+    pub fn record_human(&mut self) {
+        self.human += 1;
+    }
+
+    /// The ratio `auto / human`. With zero human prompts the paper's
+    /// metric is undefined; we report `auto` as an optimistic bound
+    /// (every automated prompt replaced a would-be human one).
+    pub fn ratio(&self) -> f64 {
+        if self.human == 0 {
+            self.auto as f64
+        } else {
+            self.auto as f64 / self.human as f64
+        }
+    }
+
+    /// Merges counts from a sub-session (per-router loops).
+    pub fn merge(&mut self, other: Leverage) {
+        self.auto += other.auto;
+        self.human += other.human;
+    }
+}
+
+impl std::fmt::Display for Leverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} automated / {} human prompts (leverage {:.1}x)",
+            self.auto,
+            self.human,
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let translation = Leverage { auto: 20, human: 2 };
+        assert!((translation.ratio() - 10.0).abs() < 1e-9);
+        let synthesis = Leverage { auto: 12, human: 2 };
+        assert!((synthesis.ratio() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_human_reports_auto_count() {
+        let l = Leverage { auto: 7, human: 0 };
+        assert_eq!(l.ratio(), 7.0);
+    }
+
+    #[test]
+    fn merge_and_record() {
+        let mut l = Leverage::default();
+        l.record_auto();
+        l.record_auto();
+        l.record_human();
+        l.merge(Leverage { auto: 3, human: 1 });
+        assert_eq!(l.auto, 5);
+        assert_eq!(l.human, 2);
+        assert!((l.ratio() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = Leverage { auto: 20, human: 2 };
+        let s = l.to_string();
+        assert!(s.contains("20 automated"));
+        assert!(s.contains("10.0x"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # cosynth — Verified Prompt Programming for router configurations
+//!
+//! The paper's envisioned system (Figure 3), built in full: the triple
+//! `(A, V, H)` where the verification suite `V` sits between the LLM `A`
+//! and the human `H`, automatically converting verifier findings into
+//! natural-language rectification prompts and only escalating to the
+//! human when automatic correction stalls.
+//!
+//! ## Components (paper name → module)
+//!
+//! * Humanizer (Figure 2's `H` boxes) → [`humanizer`]: formulaic prompt
+//!   templates with typed holes, reproducing Tables 1 and 3.
+//! * IIP database → [`iip`]: initial instruction prompts loaded at the
+//!   start of every chat (Section 4.2's four entries).
+//! * Modularizer → [`modularizer`]: topology JSON → per-router textual
+//!   descriptions + local policy specs (Lightyear-style decomposition).
+//! * Composer → [`composer`]: per-router outputs reassembled into a
+//!   Batfish-lite snapshot for the whole-network check.
+//! * The VPP drivers → [`translation`] (use case 1: Cisco→Juniper on one
+//!   router, verified by Batfish parse + Campion) and [`synthesis`] (use
+//!   case 2: no-transit on a star, verified by Batfish parse + topology
+//!   verifier + Batfish searchRoutePolicies, then whole-network
+//!   simulation).
+//! * Leverage accounting → [`leverage`]: `L = automated / human` prompts.
+//!   The initial task prompt is counted as neither (it exists identically
+//!   in plain pair programming); human prompts are the manual correction
+//!   prompts the verifier loop could not avoid.
+//! * Session reports → [`report`]: regenerates Table 1, Table 2 and
+//!   Table 3 from live runs.
+
+pub mod composer;
+pub mod humanizer;
+pub mod iip;
+pub mod leverage;
+pub mod modularizer;
+pub mod report;
+pub mod session;
+pub mod synthesis;
+pub mod translation;
+
+pub use composer::{compose_and_check, GlobalCheckReport, GlobalViolation};
+pub use humanizer::Humanizer;
+pub use iip::IipDatabase;
+pub use leverage::Leverage;
+pub use modularizer::{LocalPolicySpec, Modularizer, RouterAssignment};
+pub use session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
+pub use synthesis::{SpecStyle, SynthesisOutcome, SynthesisSession};
+pub use translation::{ErrorRow, TranslationOutcome, TranslationSession};

@@ -1,0 +1,218 @@
+//! The Modularizer: topology JSON → per-router prompts and local policy
+//! specs (the Lightyear-style decomposition of the global no-transit
+//! policy).
+
+use bf_lite::LocalPolicyCheck;
+use llm_sim::prompts;
+use net_model::Community;
+use std::net::Ipv4Addr;
+use topo_model::{describe_network, describe_router, StarRoles, Topology};
+
+/// The local policy assigned to one router: R1 tags at ingress from each
+/// edge and filters at egress to each edge; edge routers carry no policy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalPolicySpec {
+    /// `(neighbor, community, route-map name)` ingress tags.
+    pub ingress_tags: Vec<(Ipv4Addr, Community, String)>,
+    /// `(neighbor, communities-to-deny, route-map name)` egress filters.
+    pub egress_filters: Vec<(Ipv4Addr, Vec<Community>, String)>,
+}
+
+/// Everything COSYNTH needs to drive one router's synthesis: the prompt,
+/// the policy spec, and the verifier checks.
+#[derive(Debug, Clone)]
+pub struct RouterAssignment {
+    /// Router name.
+    pub name: String,
+    /// The full synthesis prompt (description + policy + task sentence).
+    pub prompt: String,
+    /// The structured local policy (for building checks).
+    pub policy: LocalPolicySpec,
+    /// The Lightyear-style local checks the verifier runs.
+    pub checks: Vec<LocalPolicyCheck>,
+}
+
+/// The Modularizer.
+pub struct Modularizer;
+
+impl Modularizer {
+    /// The community assigned to edge router `Rk` (R2 → 100:1, R3 →
+    /// 101:1, … exactly the paper's scheme).
+    pub fn edge_community(edge_index: usize) -> Community {
+        Community::new(100 + edge_index as u16, 1)
+    }
+
+    /// Decomposes the global no-transit policy over a star into
+    /// per-router assignments, hub first.
+    pub fn assign(topology: &Topology, roles: &StarRoles) -> Vec<RouterAssignment> {
+        let mut out = Vec::new();
+        let hub_spec = topology.router(&roles.hub).expect("hub exists");
+        // Hub policy: tag per edge at ingress, filter others per edge at
+        // egress.
+        let mut policy = LocalPolicySpec::default();
+        let mut checks = Vec::new();
+        let edge_neighbors: Vec<(usize, Ipv4Addr)> = roles
+            .edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, edge)| {
+                hub_spec
+                    .neighbors
+                    .iter()
+                    .find(|n| &n.peer_router == edge)
+                    .map(|n| (i, n.addr))
+            })
+            .collect();
+        for &(i, addr) in &edge_neighbors {
+            let community = Self::edge_community(i);
+            let map = format!("ADD_COMM_{}", roles.edges[i]);
+            policy.ingress_tags.push((addr, community, map.clone()));
+            checks.push(LocalPolicyCheck::PermittedRoutesCarry {
+                chain: vec![map.clone()],
+                community,
+            });
+            checks.push(LocalPolicyCheck::PermittedRoutesPreserve {
+                chain: vec![map],
+                community: Community::new(65_000, 99),
+            });
+        }
+        for &(i, addr) in &edge_neighbors {
+            let others: Vec<Community> = edge_neighbors
+                .iter()
+                .filter(|&&(j, _)| j != i)
+                .map(|&(j, _)| Self::edge_community(j))
+                .collect();
+            if others.is_empty() {
+                continue;
+            }
+            let map = format!("FILTER_COMM_OUT_{}", roles.edges[i]);
+            policy
+                .egress_filters
+                .push((addr, others.clone(), map.clone()));
+            for c in others {
+                checks.push(LocalPolicyCheck::RoutesWithCommunityDenied {
+                    chain: vec![map.clone()],
+                    community: c,
+                });
+            }
+        }
+        out.push(RouterAssignment {
+            name: roles.hub.clone(),
+            prompt: Self::prompt_for(topology, &roles.hub, &policy),
+            policy,
+            checks,
+        });
+        // Edge routers: plain eBGP forwarding, no policy.
+        for edge in &roles.edges {
+            let policy = LocalPolicySpec::default();
+            out.push(RouterAssignment {
+                name: edge.clone(),
+                prompt: Self::prompt_for(topology, edge, &policy),
+                policy,
+                checks: Vec::new(),
+            });
+        }
+        out
+    }
+
+    /// Builds the synthesis prompt for one router.
+    fn prompt_for(topology: &Topology, name: &str, policy: &LocalPolicySpec) -> String {
+        let mut p = String::new();
+        p.push_str(&describe_router(topology, name).expect("router exists"));
+        for (addr, c, map) in &policy.ingress_tags {
+            p.push_str(&prompts::ingress_tag_sentence(*addr, *c, map));
+            p.push('\n');
+        }
+        for (addr, cs, map) in &policy.egress_filters {
+            p.push_str(&prompts::egress_filter_sentence(*addr, cs, map));
+            p.push('\n');
+        }
+        p.push_str(prompts::SYNTH_TASK);
+        p.push('\n');
+        p
+    }
+
+    /// The global-specification prompt (the ablation's style): network
+    /// description plus the global policy in one shot.
+    pub fn global_prompt(topology: &Topology) -> String {
+        format!("{}\n{}\n", describe_network(topology), prompts::GLOBAL_TASK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_model::star;
+
+    #[test]
+    fn hub_gets_tags_and_filters_edges_get_none() {
+        let (t, roles) = star(3);
+        let assignments = Modularizer::assign(&t, &roles);
+        assert_eq!(assignments.len(), 4);
+        let hub = &assignments[0];
+        assert_eq!(hub.name, "R1");
+        assert_eq!(hub.policy.ingress_tags.len(), 3);
+        assert_eq!(hub.policy.egress_filters.len(), 3);
+        // Each egress filter denies the other two communities.
+        for (_, cs, _) in &hub.policy.egress_filters {
+            assert_eq!(cs.len(), 2);
+        }
+        for a in &assignments[1..] {
+            assert!(a.policy.ingress_tags.is_empty());
+            assert!(a.checks.is_empty());
+        }
+    }
+
+    #[test]
+    fn community_scheme_matches_paper() {
+        assert_eq!(Modularizer::edge_community(0).to_string(), "100:1");
+        assert_eq!(Modularizer::edge_community(1).to_string(), "101:1");
+        assert_eq!(Modularizer::edge_community(4).to_string(), "104:1");
+    }
+
+    #[test]
+    fn hub_checks_cover_tagging_and_filtering() {
+        let (t, roles) = star(2);
+        let assignments = Modularizer::assign(&t, &roles);
+        let hub = &assignments[0];
+        let carry = hub
+            .checks
+            .iter()
+            .filter(|c| matches!(c, LocalPolicyCheck::PermittedRoutesCarry { .. }))
+            .count();
+        let deny = hub
+            .checks
+            .iter()
+            .filter(|c| matches!(c, LocalPolicyCheck::RoutesWithCommunityDenied { .. }))
+            .count();
+        let preserve = hub
+            .checks
+            .iter()
+            .filter(|c| matches!(c, LocalPolicyCheck::PermittedRoutesPreserve { .. }))
+            .count();
+        assert_eq!(carry, 2);
+        assert_eq!(preserve, 2);
+        assert_eq!(deny, 2); // 2 edges × 1 other community each
+    }
+
+    #[test]
+    fn prompts_parse_back_in_the_simulated_model() {
+        let (t, roles) = star(2);
+        let assignments = Modularizer::assign(&t, &roles);
+        let hub = &assignments[0];
+        let u = llm_sim::synth_task::understand_prompt(&hub.prompt);
+        assert_eq!(u.name, "R1");
+        assert_eq!(u.ingress_tags.len(), 2);
+        assert_eq!(u.egress_filters.len(), 2);
+        assert_eq!(u.neighbors.len(), 3); // 2 edges + customer
+        assert!(hub.prompt.contains(prompts::SYNTH_TASK));
+    }
+
+    #[test]
+    fn global_prompt_mentions_policy_and_network() {
+        let (t, _) = star(2);
+        let p = Modularizer::global_prompt(&t);
+        assert!(p.contains("no-transit"));
+        assert!(p.contains("is connected to"));
+    }
+}

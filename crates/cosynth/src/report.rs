@@ -1,0 +1,162 @@
+//! Report rendering: regenerates the paper's tables from live sessions.
+
+use crate::translation::{ErrorRow, TranslationOutcome};
+use crate::SynthesisOutcome;
+
+/// Renders Table 1 (sample rectification prompts for translation) from a
+/// session log: one representative automated prompt per error class.
+pub fn table1(outcome: &TranslationOutcome) -> String {
+    let mut out = String::from("Table 1: Sample rectification prompts for translation\n");
+    let mut seen = std::collections::BTreeSet::new();
+    for p in &outcome.log {
+        if p.kind != crate::session::PromptKind::Auto {
+            continue;
+        }
+        let class = if p.prompt.contains("syntax error") {
+            "Syntax error"
+        } else if p.prompt.contains("no corresponding") {
+            "Structural mismatch"
+        } else if p.prompt.contains("cost set to") || p.prompt.contains("passive set to") {
+            "Attribute difference"
+        } else if p.prompt.contains("performs the following action")
+            || p.prompt.contains("MED value")
+        {
+            "Policy behavior difference"
+        } else {
+            continue;
+        };
+        if seen.insert(class) {
+            out.push_str(&format!("\n[{class}]\n{}\n", p.prompt));
+        }
+    }
+    out
+}
+
+/// Renders Table 2 (translation errors and fixability) from a session.
+pub fn table2(rows: &[ErrorRow]) -> String {
+    let mut out = String::from("Table 2: Translation errors and whether generated prompts fixed them\n");
+    let w = rows.iter().map(|r| r.error.len()).max().unwrap_or(20).max(20);
+    out.push_str(&format!("{:<w$}  {:<18}  Fixed\n", "Error", "Type", w = w));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<w$}  {:<18}  {}\n",
+            r.error,
+            r.error_type,
+            if r.fixed_by_auto { "Yes" } else { "No" },
+            w = w
+        ));
+    }
+    out
+}
+
+/// Renders Table 3 (sample rectification prompts for local synthesis)
+/// from a synthesis session log.
+pub fn table3(outcome: &SynthesisOutcome) -> String {
+    let mut out = String::from("Table 3: Sample rectification prompts for local synthesis\n");
+    let mut syntax = Vec::new();
+    let mut topology = Vec::new();
+    let mut semantic = Vec::new();
+    for p in &outcome.log {
+        if p.kind != crate::session::PromptKind::Auto {
+            continue;
+        }
+        if p.prompt.contains("syntax error") {
+            syntax.push(p.prompt.clone());
+        } else if p.prompt.contains("not declared")
+            || p.prompt.contains("does not match")
+            || p.prompt.contains("Incorrect")
+        {
+            topology.push(p.prompt.clone());
+        } else if p.prompt.contains("route-map") {
+            semantic.push(p.prompt.clone());
+        }
+    }
+    out.push_str("\n[Syntax error]\n");
+    for p in syntax.iter().take(2) {
+        out.push_str(&format!("{p}\n"));
+    }
+    out.push_str("\n[Topology error]\n");
+    for p in topology.iter().take(7) {
+        out.push_str(&format!("{p}\n"));
+    }
+    out.push_str("\n[Semantic error]\n");
+    for p in semantic.iter().take(2) {
+        out.push_str(&format!("{p}\n"));
+    }
+    out
+}
+
+/// Renders a leverage summary line (the Section 3.2 / 4.2 results).
+pub fn leverage_line(name: &str, l: &crate::Leverage) -> String {
+    format!("{name}: {l}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translation::TranslationSession;
+    use crate::{SpecStyle, SynthesisSession};
+    use llm_sim::{ErrorModel, SimulatedGpt4};
+
+    const CFG: &str = "\
+hostname border1
+interface Loopback0
+ ip address 1.2.3.4 255.255.255.255
+ ip ospf cost 1
+router ospf 1
+ network 1.2.3.4 0.0.0.0 area 0
+ passive-interface Loopback0
+router bgp 100
+ network 1.2.3.0 mask 255.255.255.0
+ neighbor 2.3.4.5 remote-as 200
+ neighbor 2.3.4.5 send-community
+ neighbor 2.3.4.5 route-map to_provider out
+ redistribute ospf route-map ospf_to_bgp
+ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24
+route-map to_provider permit 10
+ match ip address prefix-list our-networks
+ set metric 50
+route-map to_provider deny 100
+route-map ospf_to_bgp permit 10
+";
+
+    #[test]
+    fn table2_renders_yes_no_column() {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 3);
+        let outcome = TranslationSession::default().run(&mut llm, CFG);
+        let t = table2(&outcome.error_rows);
+        assert!(t.contains("Yes"));
+        assert!(t.contains("No"));
+        assert!(t.contains("Setting wrong BGP MED value"));
+    }
+
+    #[test]
+    fn table1_has_multiple_classes() {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 3);
+        let outcome = TranslationSession::default().run(&mut llm, CFG);
+        let t = table1(&outcome);
+        assert!(t.contains("[Syntax error]"), "{t}");
+        assert!(t.contains("[Attribute difference]"), "{t}");
+    }
+
+    #[test]
+    fn table3_collects_synthesis_prompt_classes() {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 11);
+        let s = SynthesisSession {
+            style: SpecStyle::Local,
+            ..Default::default()
+        };
+        let outcome = s.run(&mut llm, 3);
+        let t = table3(&outcome);
+        assert!(t.contains("[Semantic error]"));
+        assert!(t.contains("route-map"), "{t}");
+    }
+
+    #[test]
+    fn leverage_line_format() {
+        let l = crate::Leverage { auto: 12, human: 2 };
+        let s = leverage_line("no-transit", &l);
+        assert!(s.contains("no-transit"));
+        assert!(s.contains("6.0x"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared session machinery: transcripts, limits, and the LLM chat
+//! wrapper.
+
+use crate::leverage::Leverage;
+use llm_sim::{LanguageModel, Message};
+
+/// Who issued a prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromptKind {
+    /// The initial task specification (counted as neither for leverage).
+    Task,
+    /// A verifier-generated rectification prompt.
+    Auto,
+    /// A manual correction prompt.
+    Human,
+}
+
+/// One prompt/response exchange in the log.
+#[derive(Debug, Clone)]
+pub struct LoggedPrompt {
+    /// Who issued it.
+    pub kind: PromptKind,
+    /// The prompt text.
+    pub prompt: String,
+    /// The model's response text.
+    pub response: String,
+}
+
+/// Bounds on the automatic loops: "V may abandon automatic correction
+/// after some number of trials, and the human must still correct
+/// manually."
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLimits {
+    /// Automatic attempts per distinct finding before punting to the
+    /// human.
+    pub attempts_per_finding: usize,
+    /// Total rectification rounds before the session gives up entirely.
+    pub max_rounds: usize,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            attempts_per_finding: 2,
+            max_rounds: 200,
+        }
+    }
+}
+
+/// A running chat with the LLM plus the prompt accounting.
+pub struct SessionTranscript<'a, M: LanguageModel + ?Sized> {
+    llm: &'a mut M,
+    messages: Vec<Message>,
+    /// The full prompt/response log.
+    pub log: Vec<LoggedPrompt>,
+    /// Leverage counters.
+    pub leverage: Leverage,
+}
+
+impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
+    /// Starts a session, optionally with an IIP system message.
+    pub fn new(llm: &'a mut M, system: Option<String>) -> Self {
+        let mut messages = Vec::new();
+        if let Some(s) = system {
+            messages.push(Message::system(s));
+        }
+        SessionTranscript {
+            llm,
+            messages,
+            log: Vec::new(),
+            leverage: Leverage::default(),
+        }
+    }
+
+    /// Sends a prompt, records it, and returns the response text.
+    pub fn send(&mut self, kind: PromptKind, prompt: impl Into<String>) -> String {
+        let prompt = prompt.into();
+        match kind {
+            PromptKind::Task => {}
+            PromptKind::Auto => self.leverage.record_auto(),
+            PromptKind::Human => self.leverage.record_human(),
+        }
+        self.messages.push(Message::user(prompt.clone()));
+        let response = self.llm.complete(&self.messages);
+        self.messages.push(Message::assistant(response.clone()));
+        self.log.push(LoggedPrompt {
+            kind,
+            prompt,
+            response: response.clone(),
+        });
+        response
+    }
+
+    /// Sends a prompt and extracts the fenced config from the response,
+    /// falling back to the previous config when the model returns none.
+    pub fn send_expecting_config(
+        &mut self,
+        kind: PromptKind,
+        prompt: impl Into<String>,
+        previous: &str,
+    ) -> String {
+        let response = self.send(kind, prompt);
+        llm_sim::model::last_fenced_block(&response).unwrap_or_else(|| previous.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_sim::ScriptedLlm;
+
+    #[test]
+    fn transcript_counts_by_kind() {
+        let mut llm = ScriptedLlm::new(vec!["ok".to_string()]);
+        let mut t = SessionTranscript::new(&mut llm, None);
+        t.send(PromptKind::Task, "do the thing");
+        t.send(PromptKind::Auto, "fix A");
+        t.send(PromptKind::Auto, "fix B");
+        t.send(PromptKind::Human, "fix C manually");
+        assert_eq!(t.leverage.auto, 2);
+        assert_eq!(t.leverage.human, 1);
+        assert_eq!(t.log.len(), 4);
+        assert_eq!(t.log[0].kind, PromptKind::Task);
+    }
+
+    #[test]
+    fn system_message_precedes_everything() {
+        let mut llm = ScriptedLlm::new(vec!["ok".to_string()]);
+        let mut t = SessionTranscript::new(&mut llm, Some("be careful".into()));
+        t.send(PromptKind::Task, "task");
+        assert_eq!(t.messages.len(), 3); // system + user + assistant
+        assert_eq!(t.messages[0].role, llm_sim::Role::System);
+    }
+
+    #[test]
+    fn expecting_config_falls_back() {
+        let mut llm = ScriptedLlm::new(vec![
+            "no code".to_string(),
+            "```\nhostname r1\n```".to_string(),
+        ]);
+        let mut t = SessionTranscript::new(&mut llm, None);
+        let c1 = t.send_expecting_config(PromptKind::Auto, "p", "old config\n");
+        assert_eq!(c1, "old config\n");
+        let c2 = t.send_expecting_config(PromptKind::Auto, "p", &c1);
+        assert_eq!(c2, "hostname r1\n");
+    }
+
+    #[test]
+    fn default_limits_are_sane() {
+        let l = SessionLimits::default();
+        assert!(l.attempts_per_finding >= 1);
+        assert!(l.max_rounds >= 10);
+    }
+}

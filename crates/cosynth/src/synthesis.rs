@@ -1,0 +1,398 @@
+//! Use case 2: global no-transit policy via local synthesis (Section 4).
+//!
+//! Local style: the Modularizer decomposes the global policy into
+//! per-router prompts and Lightyear-style local checks; each router goes
+//! through syntax → topology → semantics loops; the Composer then runs
+//! the whole-network simulation as the final global check.
+//!
+//! Global style (the ablation of Section 4.1): the whole policy is given
+//! at once and feedback is a whole-network counterexample — which the
+//! paper found leaves GPT-4 "confused and oscillating between incorrect
+//! strategies".
+
+use crate::composer::{compose_and_check, GlobalCheckReport};
+use crate::humanizer::{HumanFixKind, Humanizer};
+use crate::iip::IipDatabase;
+use crate::leverage::Leverage;
+use crate::modularizer::Modularizer;
+use crate::session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
+use bf_lite::Vendor;
+use llm_sim::LanguageModel;
+use net_model::WarningKind;
+use std::collections::BTreeMap;
+use topo_model::{star, StarRoles, Topology};
+
+/// Whether the policy is specified per router (local) or all at once
+/// (global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecStyle {
+    /// Lightyear-style local policies per router.
+    Local,
+    /// One global specification (the oscillation ablation).
+    Global,
+}
+
+/// The outcome of a synthesis session.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// Per-router final configs.
+    pub configs: BTreeMap<String, String>,
+    /// Whether all per-router loops verified (syntax + topology + local
+    /// policies).
+    pub verified_local: bool,
+    /// The whole-network check report.
+    pub global: GlobalCheckReport,
+    /// Whether the session converged at all (the global style may not).
+    pub converged: bool,
+    /// Prompt accounting.
+    pub leverage: Leverage,
+    /// Full prompt log.
+    pub log: Vec<LoggedPrompt>,
+}
+
+/// The synthesis session driver.
+pub struct SynthesisSession {
+    /// Loop bounds.
+    pub limits: SessionLimits,
+    /// The IIP database loaded at chat start.
+    pub iips: IipDatabase,
+    /// Specification style.
+    pub style: SpecStyle,
+    /// Attempt bound for the global style before declaring divergence.
+    pub max_global_attempts: usize,
+}
+
+impl Default for SynthesisSession {
+    fn default() -> Self {
+        SynthesisSession {
+            limits: SessionLimits::default(),
+            iips: IipDatabase::paper_default(),
+            style: SpecStyle::Local,
+            max_global_attempts: 6,
+        }
+    }
+}
+
+impl SynthesisSession {
+    /// Runs the session on a generated star with `n_isps` edge routers.
+    pub fn run<M: LanguageModel + ?Sized>(&self, llm: &mut M, n_isps: usize) -> SynthesisOutcome {
+        let (topology, roles) = star(n_isps);
+        self.run_on(llm, &topology, &roles)
+    }
+
+    /// Runs the session on an existing topology.
+    pub fn run_on<M: LanguageModel + ?Sized>(
+        &self,
+        llm: &mut M,
+        topology: &Topology,
+        roles: &StarRoles,
+    ) -> SynthesisOutcome {
+        match self.style {
+            SpecStyle::Local => self.run_local(llm, topology, roles),
+            SpecStyle::Global => self.run_global(llm, topology, roles),
+        }
+    }
+
+    fn run_local<M: LanguageModel + ?Sized>(
+        &self,
+        llm: &mut M,
+        topology: &Topology,
+        roles: &StarRoles,
+    ) -> SynthesisOutcome {
+        let mut t = SessionTranscript::new(llm, self.iips.system_message());
+        let mut configs = BTreeMap::new();
+        let mut verified_local = true;
+        for assignment in Modularizer::assign(topology, roles) {
+            let mut current =
+                t.send_expecting_config(PromptKind::Task, assignment.prompt.clone(), "");
+            let mut attempts: BTreeMap<String, usize> = BTreeMap::new();
+            let mut rounds = 0usize;
+            let mut router_ok = false;
+            while rounds < self.limits.max_rounds {
+                rounds += 1;
+                // Phase 1: syntax.
+                let parsed = bf_lite::parse_config(&current, Some(Vendor::Cisco));
+                if let Some(w) = parsed.warnings.first() {
+                    let key = format!("syntax:{:?}:{}", w.kind, w.text);
+                    let failed = attempts.get(&key).copied().unwrap_or(0);
+                    let next = if failed < self.limits.attempts_per_finding {
+                        t.send_expecting_config(PromptKind::Auto, Humanizer::syntax(w), &current)
+                    } else {
+                        let human = match w.kind {
+                            WarningKind::MisplacedCommand => {
+                                Humanizer::human_escalation(HumanFixKind::NeighborPlacement)
+                            }
+                            _ => format!(
+                                "The following line is still invalid, please rewrite it \
+                                 correctly: '{}'",
+                                w.text
+                            ),
+                        };
+                        t.send_expecting_config(PromptKind::Human, human, &current)
+                    };
+                    if next == current {
+                        bump(&mut attempts, &key);
+                    }
+                    current = next;
+                    continue;
+                }
+                // Phase 2: topology.
+                let findings =
+                    topo_model::verify_router(topology, &assignment.name, &parsed.device);
+                if let Some(f) = findings.first() {
+                    let key = format!("topo:{f:?}");
+                    let _ = bump(&mut attempts, &key);
+                    // Topology prompts always go through the automated
+                    // channel (the verifier's output is directly usable).
+                    current = t.send_expecting_config(
+                        PromptKind::Auto,
+                        Humanizer::topology(f),
+                        &current,
+                    );
+                    continue;
+                }
+                // Phase 3: local policy semantics (hub only).
+                let mut violation = None;
+                for check in &assignment.checks {
+                    if let Err(witness) = bf_lite::check_local_policy(&parsed.device, check) {
+                        violation = Some((check.clone(), witness));
+                        break;
+                    }
+                }
+                if let Some((check, witness)) = violation {
+                    let map = match &check {
+                        bf_lite::LocalPolicyCheck::PermittedRoutesCarry { chain, .. }
+                        | bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied { chain, .. }
+                        | bf_lite::LocalPolicyCheck::PermittedRoutesPreserve { chain, .. } => {
+                            chain.first().cloned().unwrap_or_default()
+                        }
+                    };
+                    let key = format!("semantic:{}", check.describe());
+                    let failed = attempts.get(&key).copied().unwrap_or(0);
+                    let next = if failed < self.limits.attempts_per_finding {
+                        t.send_expecting_config(
+                            PromptKind::Auto,
+                            Humanizer::semantic(&map, &check, &witness),
+                            &current,
+                        )
+                    } else {
+                        // The AND/OR pathology: the counterexample alone
+                        // fails; a human asks for separate stanzas.
+                        t.send_expecting_config(
+                            PromptKind::Human,
+                            Humanizer::human_escalation(HumanFixKind::SeparateStanzas),
+                            &current,
+                        )
+                    };
+                    if next == current {
+                        bump(&mut attempts, &key);
+                    }
+                    current = next;
+                    continue;
+                }
+                router_ok = true;
+                break;
+            }
+            if !router_ok {
+                verified_local = false;
+            }
+            configs.insert(assignment.name.clone(), current);
+        }
+        // Final step: whole-network simulation.
+        let global = compose_and_check(topology, roles, &configs);
+        SynthesisOutcome {
+            configs,
+            verified_local,
+            global,
+            converged: verified_local,
+            leverage: t.leverage,
+            log: t.log,
+        }
+    }
+
+    fn run_global<M: LanguageModel + ?Sized>(
+        &self,
+        llm: &mut M,
+        topology: &Topology,
+        roles: &StarRoles,
+    ) -> SynthesisOutcome {
+        let mut t = SessionTranscript::new(llm, self.iips.system_message());
+        let prompt = Modularizer::global_prompt(topology);
+        let mut response = t.send(PromptKind::Task, prompt);
+        let mut configs = parse_multi_configs(&response);
+        let mut converged = false;
+        let mut global = compose_and_check(topology, roles, &configs);
+        for _ in 0..self.max_global_attempts {
+            if global.holds() {
+                converged = true;
+                break;
+            }
+            // Whole-network counterexample feedback (Minesweeper-style),
+            // which the paper found unactionable for GPT-4.
+            let feedback = match global.violations.first() {
+                Some(crate::composer::GlobalViolation::TransitLeak {
+                    from_isp,
+                    to_isp,
+                    prefix,
+                }) => format!(
+                    "The no-transit policy is violated: a packet to {prefix} \
+                     (announced by {from_isp}) can be forwarded from {to_isp} through \
+                     the network. Fix the configurations."
+                ),
+                Some(crate::composer::GlobalViolation::CustomerUnreachable { at_isp }) => {
+                    format!(
+                        "The policy is violated: the CUSTOMER prefix is not reachable \
+                         from {at_isp}. Fix the configurations."
+                    )
+                }
+                Some(crate::composer::GlobalViolation::IspUnreachableFromCustomer {
+                    isp, ..
+                }) => format!(
+                    "The policy is violated: {isp}'s prefix is not reachable from the \
+                     CUSTOMER. Fix the configurations."
+                ),
+                None => "The network does not converge. Fix the configurations.".to_string(),
+            };
+            response = t.send(PromptKind::Auto, feedback);
+            configs = parse_multi_configs(&response);
+            global = compose_and_check(topology, roles, &configs);
+        }
+        SynthesisOutcome {
+            configs,
+            verified_local: false,
+            global,
+            converged,
+            leverage: t.leverage,
+            log: t.log,
+        }
+    }
+}
+
+fn bump(attempts: &mut BTreeMap<String, usize>, key: &str) -> usize {
+    let e = attempts.entry(key.to_string()).or_insert(0);
+    *e += 1;
+    *e
+}
+
+/// Parses a multi-router response: `### NAME ###` section headers with
+/// config bodies (fenced or raw).
+fn parse_multi_configs(response: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let body = llm_sim::model::last_fenced_block(response)
+        .unwrap_or_else(|| response.to_string());
+    let mut current_name: Option<String> = None;
+    let mut current_text = String::new();
+    for line in body.lines() {
+        let trimmed = line.trim();
+        if let Some(name) = trimmed
+            .strip_prefix("###")
+            .and_then(|r| r.strip_suffix("###"))
+        {
+            if let Some(n) = current_name.take() {
+                out.insert(n, std::mem::take(&mut current_text));
+            }
+            current_name = Some(name.trim().to_string());
+        } else if current_name.is_some() && !trimmed.starts_with("```") {
+            current_text.push_str(line);
+            current_text.push('\n');
+        }
+    }
+    if let Some(n) = current_name {
+        out.insert(n, current_text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_sim::{ErrorModel, SimulatedGpt4};
+
+    #[test]
+    fn flawless_model_synthesizes_with_zero_prompts() {
+        let mut llm = SimulatedGpt4::new(ErrorModel::flawless(), 42);
+        let s = SynthesisSession::default();
+        let outcome = s.run(&mut llm, 3);
+        assert!(outcome.verified_local);
+        assert!(
+            outcome.global.holds(),
+            "{:#?} / {:#?}",
+            outcome.global.violations,
+            outcome.global.session_problems
+        );
+        assert_eq!(outcome.leverage.auto, 0);
+        assert_eq!(outcome.leverage.human, 0);
+    }
+
+    #[test]
+    fn paper_model_on_figure4_star_converges_with_two_human_prompts() {
+        // The paper's experiment: 7 routers (hub + 6 edges), IIPs loaded.
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 11);
+        let s = SynthesisSession::default();
+        let outcome = s.run(&mut llm, 6);
+        assert!(outcome.verified_local, "{:#?}", outcome.log.last());
+        assert!(
+            outcome.global.holds(),
+            "{:#?} / {:#?}",
+            outcome.global.violations,
+            outcome.global.session_problems
+        );
+        // The two egregious cases: AND/OR stanzas and neighbor placement.
+        assert_eq!(outcome.leverage.human, 2, "{}", outcome.leverage);
+        assert!(outcome.leverage.auto >= 4, "{}", outcome.leverage);
+    }
+
+    #[test]
+    fn global_style_oscillates_and_fails() {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 5);
+        let s = SynthesisSession {
+            style: SpecStyle::Global,
+            ..Default::default()
+        };
+        let outcome = s.run(&mut llm, 3);
+        assert!(!outcome.converged, "global style must not converge");
+        assert!(!outcome.global.holds());
+        assert!(outcome.leverage.auto >= s.max_global_attempts);
+    }
+
+    #[test]
+    fn multi_config_parsing() {
+        let response = "strategy text\n```\n### R1 ###\nhostname R1\nrouter bgp 1\n### R2 ###\nhostname R2\n```\n";
+        let configs = parse_multi_configs(response);
+        assert_eq!(configs.len(), 2);
+        assert!(configs["R1"].contains("router bgp 1"));
+        assert!(configs["R2"].contains("hostname R2"));
+    }
+
+    #[test]
+    fn iip_off_costs_more_auto_prompts() {
+        // Ablation E9: without IIPs the preventable faults appear and
+        // must be repaired, so the automated count grows.
+        let run_with = |model: ErrorModel, seed: u64| {
+            let mut llm = SimulatedGpt4::new(model, seed);
+            let s = SynthesisSession {
+                iips: IipDatabase::paper_default(),
+                ..Default::default()
+            };
+            s.run(&mut llm, 3).leverage
+        };
+        let run_without = |seed: u64| {
+            let mut llm = SimulatedGpt4::new(ErrorModel::without_iip(), seed);
+            let s = SynthesisSession {
+                iips: IipDatabase::empty(),
+                ..Default::default()
+            };
+            s.run(&mut llm, 3).leverage
+        };
+        let mut with_total = 0usize;
+        let mut without_total = 0usize;
+        for seed in 0..3 {
+            with_total += run_with(ErrorModel::paper_default(), seed).auto;
+            without_total += run_without(seed).auto;
+        }
+        assert!(
+            without_total > with_total,
+            "without IIP {without_total} should exceed with IIP {with_total}"
+        );
+    }
+}

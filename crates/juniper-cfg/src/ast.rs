@@ -1,0 +1,427 @@
+//! Typed AST for the supported Junos subset.
+//!
+//! Mirrors the Junos hierarchy (interfaces/units, BGP groups, policy
+//! statements with terms) rather than a semantic model; `config-ir` lowers
+//! both vendors into the shared semantics.
+
+use net_model::{Asn, Community, InterfaceAddress, Prefix, PrefixPattern, Protocol};
+use std::net::Ipv4Addr;
+
+/// A parsed Junos configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JuniperConfig {
+    /// `system host-name`.
+    pub hostname: Option<String>,
+    /// `interfaces` entries in source order.
+    pub interfaces: Vec<JuniperInterface>,
+    /// `routing-options router-id`.
+    pub router_id: Option<Ipv4Addr>,
+    /// `routing-options autonomous-system`.
+    pub autonomous_system: Option<Asn>,
+    /// `protocols bgp group` entries.
+    pub bgp_groups: Vec<BgpGroup>,
+    /// `protocols ospf area` entries.
+    pub ospf_areas: Vec<OspfArea>,
+    /// `policy-options prefix-list` entries.
+    pub prefix_lists: Vec<JuniperPrefixList>,
+    /// `policy-options policy-statement` entries.
+    pub policies: Vec<PolicyStatement>,
+    /// `policy-options community` definitions.
+    pub communities: Vec<CommunityDefinition>,
+    /// Unrecognized statements, rendered back to text.
+    pub extra_statements: Vec<String>,
+}
+
+impl JuniperConfig {
+    /// Looks up a policy statement by name.
+    pub fn policy(&self, name: &str) -> Option<&PolicyStatement> {
+        self.policies.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a prefix list by name.
+    pub fn prefix_list(&self, name: &str) -> Option<&JuniperPrefixList> {
+        self.prefix_lists.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a community definition by name.
+    pub fn community_def(&self, name: &str) -> Option<&CommunityDefinition> {
+        self.communities.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up an interface by name.
+    pub fn interface(&self, name: &str) -> Option<&JuniperInterface> {
+        self.interfaces.iter().find(|i| i.name == name)
+    }
+
+    /// All BGP neighbors across groups, with their effective local AS and
+    /// group name: `(group, neighbor)`.
+    pub fn all_neighbors(&self) -> impl Iterator<Item = (&BgpGroup, &JuniperBgpNeighbor)> {
+        self.bgp_groups
+            .iter()
+            .flat_map(|g| g.neighbors.iter().map(move |n| (g, n)))
+    }
+
+    /// The local AS in effect for a group: group `local-as` else
+    /// `routing-options autonomous-system`.
+    pub fn effective_local_as(&self, group: &BgpGroup) -> Option<Asn> {
+        group.local_as.or(self.autonomous_system)
+    }
+}
+
+/// One `interfaces <name>` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JuniperInterface {
+    /// Physical interface name (`ge-0/0/1`, `lo0`).
+    pub name: String,
+    /// Logical units.
+    pub units: Vec<Unit>,
+}
+
+impl JuniperInterface {
+    /// A named interface with no units.
+    pub fn named(name: impl Into<String>) -> Self {
+        JuniperInterface {
+            name: name.into(),
+            units: Vec::new(),
+        }
+    }
+
+    /// The `family inet` address of unit 0, the common case.
+    pub fn unit0_address(&self) -> Option<InterfaceAddress> {
+        self.units.iter().find(|u| u.number == 0).and_then(|u| u.address)
+    }
+}
+
+/// A logical unit with its inet address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unit {
+    /// Unit number.
+    pub number: u32,
+    /// `family inet address`, if configured.
+    pub address: Option<InterfaceAddress>,
+}
+
+/// A `protocols bgp group` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpGroup {
+    /// Group name.
+    pub name: String,
+    /// `type external` (true) / `type internal` (false); external default.
+    pub external: bool,
+    /// Group-level `local-as`.
+    pub local_as: Option<Asn>,
+    /// Group-level import policy chain.
+    pub import: Vec<String>,
+    /// Group-level export policy chain.
+    pub export: Vec<String>,
+    /// Neighbors in the group.
+    pub neighbors: Vec<JuniperBgpNeighbor>,
+}
+
+impl BgpGroup {
+    /// An empty external group.
+    pub fn new(name: impl Into<String>) -> Self {
+        BgpGroup {
+            name: name.into(),
+            external: true,
+            local_as: None,
+            import: Vec::new(),
+            export: Vec::new(),
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Finds a neighbor by address.
+    pub fn neighbor(&self, addr: Ipv4Addr) -> Option<&JuniperBgpNeighbor> {
+        self.neighbors.iter().find(|n| n.addr == addr)
+    }
+}
+
+/// A `neighbor <addr>` block inside a BGP group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JuniperBgpNeighbor {
+    /// Peer address.
+    pub addr: Ipv4Addr,
+    /// `peer-as`.
+    pub peer_as: Option<Asn>,
+    /// Neighbor-level import policy chain (overrides group's when set).
+    pub import: Vec<String>,
+    /// Neighbor-level export policy chain.
+    pub export: Vec<String>,
+    /// `description`.
+    pub description: Option<String>,
+}
+
+impl JuniperBgpNeighbor {
+    /// A neighbor with only an address.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        JuniperBgpNeighbor {
+            addr,
+            peer_as: None,
+            import: Vec::new(),
+            export: Vec::new(),
+            description: None,
+        }
+    }
+
+    /// Effective import chain: neighbor-level if non-empty, else group's.
+    pub fn effective_import<'a>(&'a self, group: &'a BgpGroup) -> &'a [String] {
+        if self.import.is_empty() {
+            &group.import
+        } else {
+            &self.import
+        }
+    }
+
+    /// Effective export chain: neighbor-level if non-empty, else group's.
+    pub fn effective_export<'a>(&'a self, group: &'a BgpGroup) -> &'a [String] {
+        if self.export.is_empty() {
+            &group.export
+        } else {
+            &self.export
+        }
+    }
+}
+
+/// A `protocols ospf area <id>` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OspfArea {
+    /// Area id as written (`0.0.0.0` or `0`).
+    pub id: String,
+    /// Member interfaces.
+    pub interfaces: Vec<OspfInterface>,
+}
+
+impl OspfArea {
+    /// Numeric area id (dotted form converted).
+    pub fn area_number(&self) -> u32 {
+        if let Ok(n) = self.id.parse::<u32>() {
+            n
+        } else if let Ok(a) = self.id.parse::<Ipv4Addr>() {
+            u32::from(a)
+        } else {
+            0
+        }
+    }
+}
+
+/// An `interface <name>` inside an OSPF area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OspfInterface {
+    /// Logical interface name (`ge-0/0/1.0`, `lo0.0`).
+    pub name: String,
+    /// `metric`, if set.
+    pub metric: Option<u32>,
+    /// `passive` present.
+    pub passive: bool,
+}
+
+/// A `policy-options prefix-list` (plain prefixes; filtering behaviour
+/// comes from how it is referenced: `prefix-list` = exact,
+/// `prefix-list-filter ... orlonger/longer` etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JuniperPrefixList {
+    /// List name.
+    pub name: String,
+    /// Member prefixes.
+    pub prefixes: Vec<Prefix>,
+}
+
+/// How a `prefix-list-filter` reference qualifies matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixListFilterKind {
+    /// `exact`
+    Exact,
+    /// `orlonger`
+    OrLonger,
+    /// `longer` (strictly longer)
+    Longer,
+}
+
+/// A `from` condition in a policy term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromCondition {
+    /// `from prefix-list NAME;` — exact matches against the list.
+    PrefixList(String),
+    /// `from prefix-list-filter NAME exact|orlonger|longer;`
+    PrefixListFilter(String, PrefixListFilterKind),
+    /// `from route-filter P/L exact|orlonger|upto /n|prefix-length-range /a-/b;`
+    RouteFilter(PrefixPattern),
+    /// `from community NAME;`
+    Community(String),
+    /// `from protocol bgp|ospf|direct|static;`
+    Protocol(Protocol),
+    /// `from neighbor A.B.C.D;`
+    Neighbor(Ipv4Addr),
+}
+
+/// A `then` action in a policy term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThenAction {
+    /// `then accept;`
+    Accept,
+    /// `then reject;`
+    Reject,
+    /// `then next term;`
+    NextTerm,
+    /// `then metric N;`
+    Metric(u32),
+    /// `then local-preference N;`
+    LocalPreference(u32),
+    /// `then community add NAME;`
+    CommunityAdd(String),
+    /// `then community set NAME;` — replaces all communities.
+    CommunitySet(String),
+    /// `then community delete NAME;`
+    CommunityDelete(String),
+    /// `then as-path-prepend "N N";`
+    AsPathPrepend(Vec<Asn>),
+    /// `then next-hop A.B.C.D;`
+    NextHop(Ipv4Addr),
+}
+
+/// A term in a policy statement: all `from` conditions of different kinds
+/// must hold (route filters among themselves are alternatives), then the
+/// actions run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Term {
+    /// Term name.
+    pub name: String,
+    /// `from` conditions.
+    pub from: Vec<FromCondition>,
+    /// `then` actions.
+    pub then: Vec<ThenAction>,
+}
+
+impl Term {
+    /// A named empty term.
+    pub fn named(name: impl Into<String>) -> Self {
+        Term {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Whether the term carries a terminal action (accept/reject).
+    pub fn is_terminal(&self) -> bool {
+        self.then
+            .iter()
+            .any(|a| matches!(a, ThenAction::Accept | ThenAction::Reject))
+    }
+}
+
+/// A `policy-statement`: ordered terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyStatement {
+    /// Policy name.
+    pub name: String,
+    /// Terms in order.
+    pub terms: Vec<Term>,
+}
+
+impl PolicyStatement {
+    /// An empty policy.
+    pub fn new(name: impl Into<String>) -> Self {
+        PolicyStatement {
+            name: name.into(),
+            terms: Vec::new(),
+        }
+    }
+
+    /// Finds a term by name.
+    pub fn term(&self, name: &str) -> Option<&Term> {
+        self.terms.iter().find(|t| t.name == name)
+    }
+}
+
+/// A `policy-options community NAME members ...` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityDefinition {
+    /// Community name.
+    pub name: String,
+    /// Member community values.
+    pub members: Vec<Community>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_local_as_prefers_group() {
+        let mut cfg = JuniperConfig::default();
+        cfg.autonomous_system = Some(Asn(100));
+        let mut g = BgpGroup::new("peers");
+        assert_eq!(cfg.effective_local_as(&g), Some(Asn(100)));
+        g.local_as = Some(Asn(65000));
+        assert_eq!(cfg.effective_local_as(&g), Some(Asn(65000)));
+        cfg.autonomous_system = None;
+        let g2 = BgpGroup::new("other");
+        assert_eq!(cfg.effective_local_as(&g2), None);
+    }
+
+    #[test]
+    fn neighbor_effective_chains_fall_back_to_group() {
+        let mut g = BgpGroup::new("peers");
+        g.import = vec!["gi".into()];
+        g.export = vec!["ge".into()];
+        let mut n = JuniperBgpNeighbor::new("1.2.3.4".parse().unwrap());
+        assert_eq!(n.effective_import(&g), &["gi".to_string()][..]);
+        n.import = vec!["ni".into()];
+        assert_eq!(n.effective_import(&g), &["ni".to_string()][..]);
+        assert_eq!(n.effective_export(&g), &["ge".to_string()][..]);
+    }
+
+    #[test]
+    fn area_number_parses_both_forms() {
+        let a = OspfArea {
+            id: "0.0.0.0".into(),
+            interfaces: vec![],
+        };
+        assert_eq!(a.area_number(), 0);
+        let b = OspfArea {
+            id: "5".into(),
+            interfaces: vec![],
+        };
+        assert_eq!(b.area_number(), 5);
+    }
+
+    #[test]
+    fn term_terminality() {
+        let mut t = Term::named("t1");
+        assert!(!t.is_terminal());
+        t.then.push(ThenAction::Metric(5));
+        assert!(!t.is_terminal());
+        t.then.push(ThenAction::Accept);
+        assert!(t.is_terminal());
+    }
+
+    #[test]
+    fn unit0_address() {
+        let mut i = JuniperInterface::named("ge-0/0/1");
+        assert_eq!(i.unit0_address(), None);
+        i.units.push(Unit {
+            number: 0,
+            address: Some("10.0.0.1/24".parse().unwrap()),
+        });
+        assert_eq!(i.unit0_address().unwrap().to_string(), "10.0.0.1/24");
+    }
+
+    #[test]
+    fn lookups() {
+        let mut cfg = JuniperConfig::default();
+        cfg.policies.push(PolicyStatement::new("to_provider"));
+        cfg.prefix_lists.push(JuniperPrefixList {
+            name: "ours".into(),
+            prefixes: vec![],
+        });
+        cfg.communities.push(CommunityDefinition {
+            name: "cl".into(),
+            members: vec!["100:1".parse().unwrap()],
+        });
+        assert!(cfg.policy("to_provider").is_some());
+        assert!(cfg.prefix_list("ours").is_some());
+        assert!(cfg.community_def("cl").is_some());
+        assert!(cfg.policy("nope").is_none());
+    }
+}

@@ -1,0 +1,365 @@
+//! Lexer and generic statement tree for the Junos brace syntax.
+//!
+//! Junos configurations are nested statements: a sequence of words followed
+//! by either `;` (a leaf) or a `{ ... }` block of child statements. The
+//! lexer tokenizes and builds this generic tree; the typed extractor in
+//! [`crate::parser`] gives it meaning. Comments (`/* */`, `#`, `//`) are
+//! stripped. Unbalanced braces and unterminated statements are reported as
+//! warnings and recovery continues, so a partially-mangled LLM draft still
+//! yields a mostly-usable tree.
+
+use net_model::diag::{ParseWarning, WarningKind};
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A bare word (identifier, number, address, etc.).
+    Word(String),
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `;`
+    Semicolon,
+}
+
+/// A node of the generic statement tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The statement's words, e.g. `["neighbor", "2.3.4.5"]`.
+    pub words: Vec<String>,
+    /// Child statements for block statements; `None` for leaves.
+    pub children: Option<Vec<Stmt>>,
+    /// 1-based line of the first word.
+    pub line: usize,
+}
+
+impl Stmt {
+    /// First word, or empty string.
+    pub fn keyword(&self) -> &str {
+        self.words.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// Word at index `i`.
+    pub fn word(&self, i: usize) -> Option<&str> {
+        self.words.get(i).map(String::as_str)
+    }
+
+    /// The statement's words joined with spaces (for warnings).
+    pub fn text(&self) -> String {
+        self.words.join(" ")
+    }
+
+    /// Child statements (empty slice for leaves).
+    pub fn kids(&self) -> &[Stmt] {
+        self.children.as_deref().unwrap_or(&[])
+    }
+
+    /// Whether this is a leaf statement.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+
+    /// Finds the first child whose words start with the given prefix.
+    pub fn child(&self, prefix: &[&str]) -> Option<&Stmt> {
+        self.kids().iter().find(|s| {
+            prefix.len() <= s.words.len()
+                && prefix.iter().zip(&s.words).all(|(p, w)| p == w)
+        })
+    }
+}
+
+/// Tokenizes Junos text. Braces and semicolons are their own tokens even
+/// when glued to words (`address 1.2.3.0/24;`).
+pub fn tokenize(input: &str) -> Vec<(Token, usize)> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw_line;
+        // Strip comments. Block comments in Junos don't nest.
+        let mut cleaned = String::new();
+        loop {
+            if in_block_comment {
+                match line.find("*/") {
+                    Some(end) => {
+                        in_block_comment = false;
+                        line = &line[end + 2..];
+                    }
+                    None => break,
+                }
+            } else {
+                let line_comment = line
+                    .find('#')
+                    .into_iter()
+                    .chain(line.find("//"))
+                    .min();
+                let block_start = line.find("/*");
+                match (line_comment, block_start) {
+                    (Some(lc), Some(bs)) if lc < bs => {
+                        cleaned.push_str(&line[..lc]);
+                        break;
+                    }
+                    (_, Some(bs)) => {
+                        cleaned.push_str(&line[..bs]);
+                        in_block_comment = true;
+                        line = &line[bs + 2..];
+                    }
+                    (Some(lc), None) => {
+                        cleaned.push_str(&line[..lc]);
+                        break;
+                    }
+                    (None, None) => {
+                        cleaned.push_str(line);
+                        break;
+                    }
+                }
+            }
+            if line.is_empty() {
+                break;
+            }
+        }
+        let mut word = String::new();
+        let flush = |w: &mut String, out: &mut Vec<(Token, usize)>| {
+            if !w.is_empty() {
+                out.push((Token::Word(std::mem::take(w)), line_no));
+            }
+        };
+        for ch in cleaned.chars() {
+            match ch {
+                '{' => {
+                    flush(&mut word, &mut out);
+                    out.push((Token::OpenBrace, line_no));
+                }
+                '}' => {
+                    flush(&mut word, &mut out);
+                    out.push((Token::CloseBrace, line_no));
+                }
+                ';' => {
+                    flush(&mut word, &mut out);
+                    out.push((Token::Semicolon, line_no));
+                }
+                c if c.is_whitespace() => flush(&mut word, &mut out),
+                c => word.push(c),
+            }
+        }
+        flush(&mut word, &mut out);
+    }
+    out
+}
+
+/// Parses tokens into a generic statement tree, with brace-balance
+/// recovery: a stray `}` is skipped with a warning; EOF inside a block
+/// closes all open blocks with a warning.
+pub fn build_tree(tokens: &[(Token, usize)]) -> (Vec<Stmt>, Vec<ParseWarning>) {
+    let mut warnings = Vec::new();
+    let mut pos = 0;
+    let stmts = parse_block(tokens, &mut pos, &mut warnings, 0);
+    // Any trailing tokens are stray closers already handled in parse_block;
+    // if tokens remain it means unbalanced closers at top level.
+    while pos < tokens.len() {
+        let (tok, line) = &tokens[pos];
+        if *tok == Token::CloseBrace {
+            warnings.push(ParseWarning::new(
+                *line,
+                "}",
+                "unmatched '}'",
+                WarningKind::Unrecognized,
+            ));
+        }
+        pos += 1;
+    }
+    (stmts, warnings)
+}
+
+fn parse_block(
+    tokens: &[(Token, usize)],
+    pos: &mut usize,
+    warnings: &mut Vec<ParseWarning>,
+    depth: usize,
+) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let mut words: Vec<String> = Vec::new();
+    let mut first_line = 0usize;
+    while *pos < tokens.len() {
+        let (tok, line) = &tokens[*pos];
+        match tok {
+            Token::Word(w) => {
+                if words.is_empty() {
+                    first_line = *line;
+                }
+                words.push(w.clone());
+                *pos += 1;
+            }
+            Token::Semicolon => {
+                *pos += 1;
+                if words.is_empty() {
+                    continue; // stray semicolon, harmless
+                }
+                stmts.push(Stmt {
+                    words: std::mem::take(&mut words),
+                    children: None,
+                    line: first_line,
+                });
+            }
+            Token::OpenBrace => {
+                *pos += 1;
+                let line = *line;
+                let kids = parse_block(tokens, pos, warnings, depth + 1);
+                if words.is_empty() {
+                    warnings.push(ParseWarning::new(
+                        line,
+                        "{",
+                        "block with no statement header",
+                        WarningKind::Unrecognized,
+                    ));
+                    stmts.extend(kids);
+                } else {
+                    stmts.push(Stmt {
+                        words: std::mem::take(&mut words),
+                        children: Some(kids),
+                        line: first_line,
+                    });
+                }
+            }
+            Token::CloseBrace => {
+                if depth == 0 {
+                    // Let the caller report it.
+                    break;
+                }
+                *pos += 1;
+                if !words.is_empty() {
+                    warnings.push(ParseWarning::new(
+                        first_line,
+                        words.join(" "),
+                        format!("statement '{}' not terminated with ';'", words.join(" ")),
+                        WarningKind::Unrecognized,
+                    ));
+                    stmts.push(Stmt {
+                        words: std::mem::take(&mut words),
+                        children: None,
+                        line: first_line,
+                    });
+                }
+                return stmts;
+            }
+        }
+    }
+    if !words.is_empty() {
+        warnings.push(ParseWarning::new(
+            first_line,
+            words.join(" "),
+            format!("statement '{}' not terminated with ';'", words.join(" ")),
+            WarningKind::Unrecognized,
+        ));
+        stmts.push(Stmt {
+            words,
+            children: None,
+            line: first_line,
+        });
+    }
+    if depth > 0 && *pos >= tokens.len() {
+        warnings.push(ParseWarning::new(
+            tokens.last().map(|t| t.1).unwrap_or(0),
+            "",
+            "missing '}' at end of input",
+            WarningKind::Unrecognized,
+        ));
+    }
+    stmts
+}
+
+/// Tokenize + build tree in one call.
+pub fn lex(input: &str) -> (Vec<Stmt>, Vec<ParseWarning>) {
+    let tokens = tokenize(input);
+    build_tree(&tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_glued_punctuation() {
+        let toks = tokenize("address 1.2.3.0/24;\n");
+        assert_eq!(
+            toks.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>(),
+            vec![
+                Token::Word("address".into()),
+                Token::Word("1.2.3.0/24".into()),
+                Token::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenize_strips_comments() {
+        let toks = tokenize("a; # trailing\n/* block\nstill block */ b;\nc; // eol\n");
+        let words: Vec<String> = toks
+            .iter()
+            .filter_map(|(t, _)| match t {
+                Token::Word(w) => Some(w.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(words, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn tree_simple_nesting() {
+        let (stmts, w) = lex("system { host-name r1; }\n");
+        assert!(w.is_empty(), "{w:?}");
+        assert_eq!(stmts.len(), 1);
+        assert_eq!(stmts[0].keyword(), "system");
+        assert_eq!(stmts[0].kids().len(), 1);
+        assert_eq!(stmts[0].kids()[0].words, vec!["host-name", "r1"]);
+        assert!(stmts[0].kids()[0].is_leaf());
+    }
+
+    #[test]
+    fn tree_deep_nesting_with_lines() {
+        let input = "interfaces {\n  ge-0/0/1 {\n    unit 0 {\n      family inet {\n        address 10.0.1.1/24;\n      }\n    }\n  }\n}\n";
+        let (stmts, w) = lex(input);
+        assert!(w.is_empty());
+        let addr = &stmts[0].kids()[0].kids()[0].kids()[0].kids()[0];
+        assert_eq!(addr.words, vec!["address", "10.0.1.1/24"]);
+        assert_eq!(addr.line, 5);
+    }
+
+    #[test]
+    fn missing_semicolon_warns_but_keeps_statement() {
+        let (stmts, w) = lex("system { host-name r1 }\n");
+        assert_eq!(w.len(), 1);
+        assert!(w[0].message.contains("not terminated"));
+        assert_eq!(stmts[0].kids()[0].words, vec!["host-name", "r1"]);
+    }
+
+    #[test]
+    fn missing_close_brace_warns() {
+        let (_stmts, w) = lex("system { host-name r1;\n");
+        assert!(w.iter().any(|x| x.message.contains("missing '}'")));
+    }
+
+    #[test]
+    fn stray_close_brace_warns() {
+        let (_stmts, w) = lex("a;\n}\n");
+        assert!(w.iter().any(|x| x.message.contains("unmatched '}'")));
+    }
+
+    #[test]
+    fn child_lookup() {
+        let (stmts, _) = lex("bgp { group x { neighbor 1.2.3.4 { peer-as 2; } } }\n");
+        let bgp = &stmts[0];
+        let group = bgp.child(&["group", "x"]).unwrap();
+        let n = group.child(&["neighbor"]).unwrap();
+        assert_eq!(n.word(1), Some("1.2.3.4"));
+        assert!(group.child(&["nope"]).is_none());
+    }
+
+    #[test]
+    fn empty_input_is_empty_tree() {
+        let (stmts, w) = lex("");
+        assert!(stmts.is_empty());
+        assert!(w.is_empty());
+    }
+}

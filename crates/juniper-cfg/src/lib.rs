@@ -1,0 +1,60 @@
+//! # juniper-cfg — Juniper Junos configuration front end
+//!
+//! Lexer, parser, typed AST and printer for the Junos subset the paper's
+//! translation use case exercises. Like `cisco-cfg`, the front end is
+//! tolerant: structural problems become [`ParseWarning`]s
+//! (re-exported from `net_model::diag`) and parsing always produces a
+//! config.
+//!
+//! Parsing is two-stage, mirroring how Batfish treats Junos:
+//!
+//! 1. the lexer builds a *generic statement tree* from the brace syntax
+//!    (`a b { c; d { e; } }`), which already validates brace balance and
+//!    statement termination;
+//! 2. the extractor walks the tree into a typed [`JuniperConfig`],
+//!    flagging unknown or malformed subtrees.
+//!
+//! ## Supported hierarchy
+//!
+//! * `system host-name`
+//! * `interfaces <name> unit <n> family inet address <a/p>`
+//! * `routing-options { router-id; autonomous-system; }`
+//! * `protocols bgp group <g> { type; local-as; import; export;
+//!   neighbor <a> { peer-as; import; export; } }`
+//! * `protocols ospf area <a> interface <i> { metric; passive; }`
+//! * `policy-options prefix-list <name> { <prefix>; ... }`
+//! * `policy-options policy-statement <name> term <t> { from { ... }
+//!   then { ... } }` with `prefix-list`, `prefix-list-filter`,
+//!   `route-filter ... exact|orlonger|upto|prefix-length-range`,
+//!   `community`, `protocol`; `accept`, `reject`, `metric`,
+//!   `local-preference`, `community add|set|delete`, `as-path-prepend`,
+//!   `next-hop`
+//! * `policy-options community <name> members <c>`
+//!
+//! ## Deliberately flagged inputs (paper error catalogue)
+//!
+//! * `prefix-list X { 1.2.3.0/24-32; }` — the invalid spelling GPT-4
+//!   invents for "length 24 to 32" (Section 3.2) → `BadPrefixListSyntax`.
+//! * BGP neighbors with no derivable local AS (no
+//!   `routing-options autonomous-system`, no group `local-as`) →
+//!   `MissingLocalAs`, Table 2's first error row.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{
+    BgpGroup, CommunityDefinition, FromCondition, JuniperBgpNeighbor, JuniperConfig,
+    JuniperInterface, JuniperPrefixList, OspfArea, OspfInterface, PolicyStatement, Term,
+    ThenAction, Unit,
+};
+pub use net_model::diag::{ParseWarning, WarningKind};
+pub use parser::parse;
+pub use printer::print;
+
+/// Convenience: parse then pretty-print (canonicalization).
+pub fn canonicalize(input: &str) -> (String, Vec<ParseWarning>) {
+    let (cfg, warnings) = parse(input);
+    (printer::print(&cfg), warnings)
+}

@@ -1,0 +1,979 @@
+//! Typed extraction from the generic Junos statement tree.
+//!
+//! The extractor walks the tree produced by [`crate::lexer`] and fills a
+//! [`JuniperConfig`]. Unknown statements are kept (rendered back to text in
+//! `extra_statements`) and flagged; malformed values are flagged and
+//! dropped. After extraction a post-parse lint reproduces the two Batfish
+//! findings the paper leans on:
+//!
+//! * `MissingLocalAs` — BGP neighbors configured but no local AS derivable
+//!   (Table 2 row 1);
+//! * `BadPrefixListSyntax` — the `1.2.3.0/24-32` spelling inside a prefix
+//!   list or route filter (Section 3.2).
+
+use crate::ast::*;
+use crate::lexer::{lex, Stmt};
+use net_model::diag::{ParseWarning, WarningKind};
+use net_model::{Asn, Community, InterfaceAddress, Prefix, PrefixPattern, Protocol};
+use std::net::Ipv4Addr;
+
+/// Parses a Junos configuration, returning the AST and all warnings.
+pub fn parse(input: &str) -> (JuniperConfig, Vec<ParseWarning>) {
+    let (stmts, mut warnings) = lex(input);
+    let mut cfg = JuniperConfig::default();
+    let mut x = Extractor {
+        cfg: &mut cfg,
+        warnings: &mut warnings,
+    };
+    for s in &stmts {
+        x.top(s);
+    }
+    lint(&cfg, &mut warnings);
+    (cfg, warnings)
+}
+
+/// Post-parse lint: whole-config findings.
+fn lint(cfg: &JuniperConfig, warnings: &mut Vec<ParseWarning>) {
+    for g in &cfg.bgp_groups {
+        if !g.neighbors.is_empty() && cfg.effective_local_as(g).is_none() {
+            warnings.push(ParseWarning::global(
+                format!(
+                    "BGP group '{}' declares neighbors but no local AS is configured; \
+                     add 'routing-options autonomous-system <asn>' or a group-level 'local-as'",
+                    g.name
+                ),
+                WarningKind::MissingLocalAs,
+            ));
+        }
+    }
+}
+
+struct Extractor<'a> {
+    cfg: &'a mut JuniperConfig,
+    warnings: &'a mut Vec<ParseWarning>,
+}
+
+impl Extractor<'_> {
+    fn warn(&mut self, s: &Stmt, kind: WarningKind, message: impl Into<String>) {
+        self.warnings
+            .push(ParseWarning::new(s.line, s.text(), message, kind));
+    }
+
+    fn keep_unknown(&mut self, s: &Stmt, context: &str) {
+        self.cfg.extra_statements.push(s.text());
+        self.warn(
+            s,
+            WarningKind::Unrecognized,
+            format!("unrecognized statement in {context}: '{}'", s.text()),
+        );
+    }
+
+    fn top(&mut self, s: &Stmt) {
+        match s.keyword() {
+            "system" => {
+                for k in s.kids() {
+                    if k.keyword() == "host-name" {
+                        match k.word(1) {
+                            Some(n) => self.cfg.hostname = Some(n.to_string()),
+                            None => self.warn(k, WarningKind::BadValue, "host-name requires a name"),
+                        }
+                    }
+                    // Other system config is irrelevant to routing; ignore silently.
+                }
+            }
+            "interfaces" => {
+                for k in s.kids().to_vec() {
+                    self.interface(&k);
+                }
+            }
+            "routing-options" => {
+                for k in s.kids().to_vec() {
+                    match k.keyword() {
+                        "router-id" => match k.word(1).and_then(|w| w.parse::<Ipv4Addr>().ok()) {
+                            Some(a) => self.cfg.router_id = Some(a),
+                            None => self.warn(&k, WarningKind::BadValue, "router-id requires an address"),
+                        },
+                        "autonomous-system" => {
+                            match k.word(1).and_then(|w| w.parse::<u32>().ok()) {
+                                Some(n) => self.cfg.autonomous_system = Some(Asn(n)),
+                                None => self.warn(
+                                    &k,
+                                    WarningKind::BadValue,
+                                    "autonomous-system requires a number",
+                                ),
+                            }
+                        }
+                        _ => self.keep_unknown(&k, "routing-options"),
+                    }
+                }
+            }
+            "protocols" => {
+                for k in s.kids().to_vec() {
+                    match k.keyword() {
+                        "bgp" => self.bgp(&k),
+                        "ospf" => self.ospf(&k),
+                        _ => self.keep_unknown(&k, "protocols"),
+                    }
+                }
+            }
+            "policy-options" => {
+                for k in s.kids().to_vec() {
+                    match k.keyword() {
+                        "prefix-list" => self.prefix_list(&k),
+                        "policy-statement" => self.policy_statement(&k),
+                        "community" => self.community_def(&k),
+                        _ => self.keep_unknown(&k, "policy-options"),
+                    }
+                }
+            }
+            _ => self.keep_unknown(s, "top level"),
+        }
+    }
+
+    fn interface(&mut self, s: &Stmt) {
+        let name = s.keyword().to_string();
+        if name.is_empty() {
+            return;
+        }
+        let mut iface = JuniperInterface::named(&name);
+        for u in s.kids() {
+            if u.keyword() != "unit" {
+                self.keep_unknown(u, &format!("interface {name}"));
+                continue;
+            }
+            let Some(number) = u.word(1).and_then(|w| w.parse::<u32>().ok()) else {
+                self.warn(u, WarningKind::BadValue, "unit requires a number");
+                continue;
+            };
+            let mut unit = Unit {
+                number,
+                address: None,
+            };
+            if let Some(fam) = u.child(&["family", "inet"]) {
+                for a in fam.kids() {
+                    if a.keyword() == "address" {
+                        match a.word(1).map(InterfaceAddress::parse) {
+                            Some(Ok(addr)) => unit.address = Some(addr),
+                            _ => self.warn(
+                                a,
+                                WarningKind::BadValue,
+                                format!("invalid interface address '{}'", a.rest_text()),
+                            ),
+                        }
+                    }
+                }
+            }
+            iface.units.push(unit);
+        }
+        // Merge with an existing entry of the same name (re-opened block).
+        if let Some(existing) = self.cfg.interfaces.iter_mut().find(|i| i.name == name) {
+            existing.units.extend(iface.units);
+        } else {
+            self.cfg.interfaces.push(iface);
+        }
+    }
+
+    fn bgp(&mut self, s: &Stmt) {
+        for g in s.kids().to_vec() {
+            if g.keyword() != "group" {
+                self.keep_unknown(&g, "protocols bgp");
+                continue;
+            }
+            let Some(name) = g.word(1) else {
+                self.warn(&g, WarningKind::BadValue, "group requires a name");
+                continue;
+            };
+            let mut group = BgpGroup::new(name);
+            for k in g.kids() {
+                match k.keyword() {
+                    "type" => match k.word(1) {
+                        Some("external") => group.external = true,
+                        Some("internal") => group.external = false,
+                        _ => self.warn(k, WarningKind::BadValue, "type must be external or internal"),
+                    },
+                    "local-as" => match k.word(1).and_then(|w| w.parse::<u32>().ok()) {
+                        Some(n) => group.local_as = Some(Asn(n)),
+                        None => self.warn(k, WarningKind::BadValue, "local-as requires a number"),
+                    },
+                    "import" => group.import.extend(policy_chain(k)),
+                    "export" => group.export.extend(policy_chain(k)),
+                    "neighbor" => {
+                        let Some(addr) = k.word(1).and_then(|w| w.parse::<Ipv4Addr>().ok()) else {
+                            self.warn(k, WarningKind::BadValue, "neighbor requires an address");
+                            continue;
+                        };
+                        let mut n = JuniperBgpNeighbor::new(addr);
+                        for nk in k.kids() {
+                            match nk.keyword() {
+                                "peer-as" => {
+                                    match nk.word(1).and_then(|w| w.parse::<u32>().ok()) {
+                                        Some(a) => n.peer_as = Some(Asn(a)),
+                                        None => self.warn(
+                                            nk,
+                                            WarningKind::BadValue,
+                                            "peer-as requires a number",
+                                        ),
+                                    }
+                                }
+                                "import" => n.import.extend(policy_chain(nk)),
+                                "export" => n.export.extend(policy_chain(nk)),
+                                "description" => {
+                                    n.description = Some(nk.words[1..].join(" "));
+                                }
+                                _ => self.keep_unknown(nk, "bgp neighbor"),
+                            }
+                        }
+                        group.neighbors.push(n);
+                    }
+                    _ => self.keep_unknown(k, &format!("bgp group {name}")),
+                }
+            }
+            self.cfg.bgp_groups.push(group);
+        }
+    }
+
+    fn ospf(&mut self, s: &Stmt) {
+        for a in s.kids().to_vec() {
+            if a.keyword() != "area" {
+                self.keep_unknown(&a, "protocols ospf");
+                continue;
+            }
+            let Some(id) = a.word(1) else {
+                self.warn(&a, WarningKind::BadValue, "area requires an id");
+                continue;
+            };
+            let mut area = OspfArea {
+                id: id.to_string(),
+                interfaces: Vec::new(),
+            };
+            for i in a.kids() {
+                if i.keyword() != "interface" {
+                    self.keep_unknown(i, "ospf area");
+                    continue;
+                }
+                let Some(name) = i.word(1) else {
+                    self.warn(i, WarningKind::BadValue, "interface requires a name");
+                    continue;
+                };
+                let mut oi = OspfInterface {
+                    name: name.to_string(),
+                    metric: None,
+                    passive: false,
+                };
+                for k in i.kids() {
+                    match k.keyword() {
+                        "metric" => match k.word(1).and_then(|w| w.parse::<u32>().ok()) {
+                            Some(m) => oi.metric = Some(m),
+                            None => self.warn(k, WarningKind::BadValue, "metric requires a number"),
+                        },
+                        "passive" => oi.passive = true,
+                        _ => self.keep_unknown(k, "ospf interface"),
+                    }
+                }
+                // Inline form: `interface lo0.0 passive;` (leaf with words).
+                if i.is_leaf() && i.words.iter().any(|w| w == "passive") {
+                    oi.passive = true;
+                }
+                area.interfaces.push(oi);
+            }
+            self.cfg.ospf_areas.push(area);
+        }
+    }
+
+    fn prefix_list(&mut self, s: &Stmt) {
+        let Some(name) = s.word(1) else {
+            self.warn(s, WarningKind::BadValue, "prefix-list requires a name");
+            return;
+        };
+        let mut list = JuniperPrefixList {
+            name: name.to_string(),
+            prefixes: Vec::new(),
+        };
+        for p in s.kids() {
+            let text = p.text();
+            // The invalid `/24-32` spelling: GPT-4's favourite (§3.2).
+            if text.split('/').nth(1).map(|t| t.contains('-')) == Some(true) {
+                self.warn(
+                    p,
+                    WarningKind::BadPrefixListSyntax,
+                    format!(
+                        "'{text}' is not valid Juniper syntax; prefix-list entries are plain \
+                         prefixes — use a route-filter with prefix-length-range instead"
+                    ),
+                );
+                continue;
+            }
+            match text.parse::<Prefix>() {
+                Ok(pfx) => list.prefixes.push(pfx),
+                Err(_) => self.warn(
+                    p,
+                    WarningKind::BadValue,
+                    format!("invalid prefix '{text}' in prefix-list {name}"),
+                ),
+            }
+        }
+        self.cfg.prefix_lists.push(list);
+    }
+
+    fn policy_statement(&mut self, s: &Stmt) {
+        let Some(name) = s.word(1) else {
+            self.warn(s, WarningKind::BadValue, "policy-statement requires a name");
+            return;
+        };
+        let mut policy = PolicyStatement::new(name);
+        for t in s.kids() {
+            match t.keyword() {
+                "term" => {
+                    let Some(tname) = t.word(1) else {
+                        self.warn(t, WarningKind::BadValue, "term requires a name");
+                        continue;
+                    };
+                    let mut term = Term::named(tname);
+                    for k in t.kids() {
+                        match k.keyword() {
+                            "from" => {
+                                if k.is_leaf() {
+                                    // inline: `from protocol bgp;`
+                                    self.from_condition_words(&k.words[1..], k, &mut term);
+                                } else {
+                                    for c in k.kids() {
+                                        self.from_condition_words(&c.words, c, &mut term);
+                                    }
+                                }
+                            }
+                            "then" => {
+                                if k.is_leaf() {
+                                    // inline: `then reject;`
+                                    self.then_action_words(&k.words[1..], k, &mut term);
+                                } else {
+                                    for c in k.kids() {
+                                        self.then_action_words(&c.words, c, &mut term);
+                                    }
+                                }
+                            }
+                            _ => self.keep_unknown(k, &format!("term {tname}")),
+                        }
+                    }
+                    policy.terms.push(term);
+                }
+                // Junos also allows unnamed from/then directly under the
+                // policy; wrap them in an implicit term.
+                "from" | "then" => {
+                    let implicit_name = "__implicit";
+                    if policy.terms.last().map(|t| t.name.as_str()) != Some(implicit_name) {
+                        policy.terms.push(Term::named(implicit_name));
+                    }
+                    let term = policy.terms.last_mut().expect("just ensured");
+                    // Clone to appease the borrow checker (warn takes &mut self).
+                    let kw = t.keyword().to_string();
+                    if t.is_leaf() {
+                        let words = t.words[1..].to_vec();
+                        if kw == "from" {
+                            self.from_condition_words_owned(&words, t.line, &t.text(), term);
+                        } else {
+                            self.then_action_words_owned(&words, t.line, &t.text(), term);
+                        }
+                    } else {
+                        for c in t.kids() {
+                            if kw == "from" {
+                                self.from_condition_words_owned(&c.words.clone(), c.line, &c.text(), term);
+                            } else {
+                                self.then_action_words_owned(&c.words.clone(), c.line, &c.text(), term);
+                            }
+                        }
+                    }
+                }
+                _ => self.keep_unknown(t, &format!("policy-statement {name}")),
+            }
+        }
+        self.cfg.policies.push(policy);
+    }
+
+    fn from_condition_words(&mut self, words: &[String], ctx: &Stmt, term: &mut Term) {
+        self.from_condition_words_owned(&words.to_vec(), ctx.line, &ctx.text(), term)
+    }
+
+    fn from_condition_words_owned(
+        &mut self,
+        words: &[String],
+        line: usize,
+        text: &str,
+        term: &mut Term,
+    ) {
+        let warn = |me: &mut Self, kind: WarningKind, msg: String| {
+            me.warnings.push(ParseWarning::new(line, text, msg, kind));
+        };
+        let first = words.first().map(String::as_str).unwrap_or("");
+        match first {
+            "prefix-list" => match words.get(1) {
+                Some(n) => term.from.push(FromCondition::PrefixList(n.clone())),
+                None => warn(self, WarningKind::BadValue, "prefix-list requires a name".into()),
+            },
+            "prefix-list-filter" => {
+                let name = words.get(1).cloned();
+                let kind = match words.get(2).map(String::as_str) {
+                    Some("exact") => Some(PrefixListFilterKind::Exact),
+                    Some("orlonger") => Some(PrefixListFilterKind::OrLonger),
+                    Some("longer") => Some(PrefixListFilterKind::Longer),
+                    _ => None,
+                };
+                match (name, kind) {
+                    (Some(n), Some(k)) => term.from.push(FromCondition::PrefixListFilter(n, k)),
+                    _ => warn(
+                        self,
+                        WarningKind::BadValue,
+                        "prefix-list-filter requires a name and exact|orlonger|longer".into(),
+                    ),
+                }
+            }
+            "route-filter" => {
+                let Some(pfx_text) = words.get(1) else {
+                    warn(self, WarningKind::BadValue, "route-filter requires a prefix".into());
+                    return;
+                };
+                if pfx_text.split('/').nth(1).map(|t| t.contains('-')) == Some(true) {
+                    warn(
+                        self,
+                        WarningKind::BadPrefixListSyntax,
+                        format!(
+                            "'{pfx_text}' is not valid Juniper syntax; use \
+                             'route-filter <prefix> prefix-length-range /a-/b'"
+                        ),
+                    );
+                    return;
+                }
+                let Ok(prefix) = pfx_text.parse::<Prefix>() else {
+                    warn(self, WarningKind::BadValue, format!("invalid prefix '{pfx_text}'"));
+                    return;
+                };
+                let pattern = match words.get(2).map(String::as_str) {
+                    Some("exact") | None => Ok(PrefixPattern::exact(prefix)),
+                    Some("orlonger") => Ok(PrefixPattern::orlonger(prefix)),
+                    Some("longer") => PrefixPattern::with_bounds(
+                        prefix,
+                        Some(prefix.len().saturating_add(1).min(32)),
+                        Some(32),
+                    ),
+                    Some("upto") => {
+                        let hi = words
+                            .get(3)
+                            .and_then(|w| w.strip_prefix('/'))
+                            .and_then(|w| w.parse::<u8>().ok());
+                        match hi {
+                            Some(h) => PrefixPattern::with_bounds(prefix, None, Some(h)),
+                            None => {
+                                warn(self, WarningKind::BadValue, "upto requires /<len>".into());
+                                return;
+                            }
+                        }
+                    }
+                    Some("prefix-length-range") => {
+                        let range = words.get(3).and_then(|w| {
+                            let (a, b) = w.split_once('-')?;
+                            let lo = a.strip_prefix('/')?.parse::<u8>().ok()?;
+                            let hi = b.strip_prefix('/')?.parse::<u8>().ok()?;
+                            Some((lo, hi))
+                        });
+                        match range {
+                            Some((lo, hi)) => {
+                                PrefixPattern::with_bounds(prefix, Some(lo), Some(hi))
+                            }
+                            None => {
+                                warn(
+                                    self,
+                                    WarningKind::BadValue,
+                                    "prefix-length-range requires /a-/b".into(),
+                                );
+                                return;
+                            }
+                        }
+                    }
+                    Some(other) => {
+                        warn(
+                            self,
+                            WarningKind::BadValue,
+                            format!("unknown route-filter modifier '{other}'"),
+                        );
+                        return;
+                    }
+                };
+                match pattern {
+                    Ok(p) => term.from.push(FromCondition::RouteFilter(p)),
+                    Err(e) => warn(self, WarningKind::BadValue, format!("invalid bounds: {e}")),
+                }
+            }
+            "community" => match words.get(1) {
+                Some(n) => term.from.push(FromCondition::Community(n.clone())),
+                None => warn(self, WarningKind::BadValue, "community requires a name".into()),
+            },
+            "protocol" => {
+                match words.get(1).map(String::as_str).and_then(Protocol::from_keyword) {
+                    Some(p) => term.from.push(FromCondition::Protocol(p)),
+                    None => warn(self, WarningKind::BadValue, "unknown protocol".into()),
+                }
+            }
+            "neighbor" => match words.get(1).and_then(|w| w.parse::<Ipv4Addr>().ok()) {
+                Some(a) => term.from.push(FromCondition::Neighbor(a)),
+                None => warn(self, WarningKind::BadValue, "neighbor requires an address".into()),
+            },
+            other => warn(
+                self,
+                WarningKind::Unrecognized,
+                format!("unrecognized from condition '{other}'"),
+            ),
+        }
+    }
+
+    fn then_action_words(&mut self, words: &[String], ctx: &Stmt, term: &mut Term) {
+        self.then_action_words_owned(&words.to_vec(), ctx.line, &ctx.text(), term)
+    }
+
+    fn then_action_words_owned(
+        &mut self,
+        words: &[String],
+        line: usize,
+        text: &str,
+        term: &mut Term,
+    ) {
+        let warn = |me: &mut Self, kind: WarningKind, msg: String| {
+            me.warnings.push(ParseWarning::new(line, text, msg, kind));
+        };
+        let first = words.first().map(String::as_str).unwrap_or("");
+        match first {
+            "accept" => term.then.push(ThenAction::Accept),
+            "reject" => term.then.push(ThenAction::Reject),
+            "next" => {
+                if words.get(1).map(String::as_str) == Some("term") {
+                    term.then.push(ThenAction::NextTerm);
+                } else {
+                    warn(self, WarningKind::BadValue, "expected 'next term'".into());
+                }
+            }
+            "metric" => match words.get(1).and_then(|w| w.parse::<u32>().ok()) {
+                Some(m) => term.then.push(ThenAction::Metric(m)),
+                None => warn(self, WarningKind::BadValue, "metric requires a number".into()),
+            },
+            "local-preference" => match words.get(1).and_then(|w| w.parse::<u32>().ok()) {
+                Some(m) => term.then.push(ThenAction::LocalPreference(m)),
+                None => warn(
+                    self,
+                    WarningKind::BadValue,
+                    "local-preference requires a number".into(),
+                ),
+            },
+            "community" => {
+                let op = words.get(1).map(String::as_str);
+                let name = words.get(2).cloned();
+                match (op, name) {
+                    (Some("add"), Some(n)) => term.then.push(ThenAction::CommunityAdd(n)),
+                    (Some("set"), Some(n)) => term.then.push(ThenAction::CommunitySet(n)),
+                    (Some("delete"), Some(n)) => term.then.push(ThenAction::CommunityDelete(n)),
+                    _ => warn(
+                        self,
+                        WarningKind::BadValue,
+                        "community action requires add|set|delete and a name".into(),
+                    ),
+                }
+            }
+            "as-path-prepend" => {
+                let joined = words[1..].join(" ").replace('"', "");
+                let asns: Result<Vec<Asn>, _> =
+                    joined.split_whitespace().map(|w| w.parse::<Asn>()).collect();
+                match asns {
+                    Ok(v) if !v.is_empty() => term.then.push(ThenAction::AsPathPrepend(v)),
+                    _ => warn(
+                        self,
+                        WarningKind::BadValue,
+                        "as-path-prepend requires AS numbers".into(),
+                    ),
+                }
+            }
+            "next-hop" => match words.get(1).and_then(|w| w.parse::<Ipv4Addr>().ok()) {
+                Some(a) => term.then.push(ThenAction::NextHop(a)),
+                None => warn(self, WarningKind::BadValue, "next-hop requires an address".into()),
+            },
+            other => warn(
+                self,
+                WarningKind::Unrecognized,
+                format!("unrecognized then action '{other}'"),
+            ),
+        }
+    }
+
+    fn community_def(&mut self, s: &Stmt) {
+        // community NAME members C  |  community NAME members [ C C ]
+        let Some(name) = s.word(1) else {
+            self.warn(s, WarningKind::BadValue, "community requires a name");
+            return;
+        };
+        if s.word(2) != Some("members") {
+            self.warn(s, WarningKind::BadValue, "expected 'community <name> members <value>'");
+            return;
+        }
+        let mut members = Vec::new();
+        for w in &s.words[3..] {
+            let w = w.trim_matches(|c| c == '[' || c == ']');
+            if w.is_empty() {
+                continue;
+            }
+            match w.parse::<Community>() {
+                Ok(c) => members.push(c),
+                Err(_) => {
+                    self.warn(
+                        s,
+                        WarningKind::BadValue,
+                        format!("'{w}' is not a community value"),
+                    );
+                    return;
+                }
+            }
+        }
+        if members.is_empty() {
+            self.warn(s, WarningKind::BadValue, "community definition has no members");
+            return;
+        }
+        self.cfg.communities.push(CommunityDefinition {
+            name: name.to_string(),
+            members,
+        });
+    }
+}
+
+/// Extracts a policy chain from `import [ a b ];` or `import a;` forms.
+fn policy_chain(s: &Stmt) -> Vec<String> {
+    s.words[1..]
+        .iter()
+        .map(|w| w.trim_matches(|c| c == '[' || c == ']').to_string())
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+/// Helper so warnings can quote a statement (used by the extractor).
+trait StmtExt {
+    fn rest_text(&self) -> String;
+}
+
+impl StmtExt for Stmt {
+    fn rest_text(&self) -> String {
+        self.words[1..].join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+system {
+    host-name border1;
+}
+interfaces {
+    ge-0/0/1 {
+        unit 0 {
+            family inet {
+                address 10.0.1.1/24;
+            }
+        }
+    }
+    lo0 {
+        unit 0 {
+            family inet {
+                address 1.2.3.4/32;
+            }
+        }
+    }
+}
+routing-options {
+    router-id 1.2.3.4;
+    autonomous-system 100;
+}
+protocols {
+    bgp {
+        group ebgp-peers {
+            type external;
+            neighbor 2.3.4.5 {
+                peer-as 200;
+                import from_provider;
+                export to_provider;
+            }
+        }
+    }
+    ospf {
+        area 0.0.0.0 {
+            interface ge-0/0/1.0 {
+                metric 10;
+            }
+            interface lo0.0 {
+                passive;
+            }
+        }
+    }
+}
+policy-options {
+    prefix-list our-networks {
+        1.2.3.0/24;
+    }
+    policy-statement to_provider {
+        term allow-ours {
+            from {
+                route-filter 1.2.3.0/24 orlonger;
+            }
+            then {
+                metric 50;
+                community add tag-ours;
+                accept;
+            }
+        }
+        term default-deny {
+            then reject;
+        }
+    }
+    policy-statement from_provider {
+        term all {
+            then {
+                local-preference 120;
+                accept;
+            }
+        }
+    }
+    community tag-ours members 100:1;
+}
+"#;
+
+    fn ok(input: &str) -> JuniperConfig {
+        let (cfg, warnings) = parse(input);
+        assert!(warnings.is_empty(), "unexpected warnings: {warnings:#?}");
+        cfg
+    }
+
+    #[test]
+    fn parses_full_sample_without_warnings() {
+        let cfg = ok(SAMPLE);
+        assert_eq!(cfg.hostname.as_deref(), Some("border1"));
+        assert_eq!(cfg.interfaces.len(), 2);
+        assert_eq!(
+            cfg.interface("ge-0/0/1").unwrap().unit0_address().unwrap().to_string(),
+            "10.0.1.1/24"
+        );
+        assert_eq!(cfg.router_id.unwrap().to_string(), "1.2.3.4");
+        assert_eq!(cfg.autonomous_system, Some(Asn(100)));
+        assert_eq!(cfg.bgp_groups.len(), 1);
+        let g = &cfg.bgp_groups[0];
+        assert!(g.external);
+        let n = g.neighbor("2.3.4.5".parse().unwrap()).unwrap();
+        assert_eq!(n.peer_as, Some(Asn(200)));
+        assert_eq!(n.import, vec!["from_provider"]);
+        assert_eq!(n.export, vec!["to_provider"]);
+        assert_eq!(cfg.ospf_areas.len(), 1);
+        let area = &cfg.ospf_areas[0];
+        assert_eq!(area.area_number(), 0);
+        assert_eq!(area.interfaces.len(), 2);
+        assert_eq!(area.interfaces[0].metric, Some(10));
+        assert!(area.interfaces[1].passive);
+        let p = cfg.policy("to_provider").unwrap();
+        assert_eq!(p.terms.len(), 2);
+        assert_eq!(
+            p.terms[0].from,
+            vec![FromCondition::RouteFilter(PrefixPattern::orlonger(
+                "1.2.3.0/24".parse().unwrap()
+            ))]
+        );
+        assert!(p.terms[0].then.contains(&ThenAction::Accept));
+        assert!(p.terms[0].then.contains(&ThenAction::Metric(50)));
+        assert!(p.terms[0]
+            .then
+            .contains(&ThenAction::CommunityAdd("tag-ours".into())));
+        assert_eq!(p.terms[1].then, vec![ThenAction::Reject]);
+        assert_eq!(cfg.communities.len(), 1);
+        assert_eq!(cfg.communities[0].members, vec!["100:1".parse().unwrap()]);
+    }
+
+    #[test]
+    fn missing_local_as_is_flagged() {
+        let input = r#"
+protocols {
+    bgp {
+        group peers {
+            neighbor 2.3.4.5 {
+                peer-as 200;
+            }
+        }
+    }
+}
+"#;
+        let (_, w) = parse(input);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].kind, WarningKind::MissingLocalAs);
+        assert!(w[0].message.contains("autonomous-system"));
+    }
+
+    #[test]
+    fn local_as_on_group_satisfies_lint() {
+        let input = r#"
+protocols {
+    bgp {
+        group peers {
+            local-as 100;
+            neighbor 2.3.4.5 {
+                peer-as 200;
+            }
+        }
+    }
+}
+"#;
+        let (_, w) = parse(input);
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn invalid_prefix_range_spelling_is_flagged() {
+        // The exact output the paper quotes GPT-4 producing.
+        let input = r#"
+policy-options {
+    prefix-list our-networks {
+        1.2.3.0/24-32;
+    }
+}
+"#;
+        let (cfg, w) = parse(input);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, WarningKind::BadPrefixListSyntax);
+        assert!(w[0].message.contains("prefix-length-range"));
+        assert!(cfg.prefix_list("our-networks").unwrap().prefixes.is_empty());
+    }
+
+    #[test]
+    fn route_filter_modifiers() {
+        let input = r#"
+policy-options {
+    policy-statement p {
+        term t {
+            from {
+                route-filter 1.0.0.0/8 exact;
+                route-filter 2.0.0.0/8 orlonger;
+                route-filter 3.0.0.0/8 upto /16;
+                route-filter 4.0.0.0/8 prefix-length-range /12-/16;
+                route-filter 5.0.0.0/8 longer;
+            }
+            then accept;
+        }
+    }
+}
+"#;
+        let cfg = ok(input);
+        let t = &cfg.policy("p").unwrap().terms[0];
+        let pats: Vec<(u8, u8)> = t
+            .from
+            .iter()
+            .map(|f| match f {
+                FromCondition::RouteFilter(p) => p.length_range(),
+                _ => panic!("expected route filters"),
+            })
+            .collect();
+        assert_eq!(pats, vec![(8, 8), (8, 32), (8, 16), (12, 16), (9, 32)]);
+    }
+
+    #[test]
+    fn route_filter_dash_spelling_is_flagged() {
+        let input = r#"
+policy-options {
+    policy-statement p {
+        term t {
+            from {
+                route-filter 1.2.3.0/24-32;
+            }
+            then accept;
+        }
+    }
+}
+"#;
+        let (_, w) = parse(input);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, WarningKind::BadPrefixListSyntax);
+    }
+
+    #[test]
+    fn policy_chain_bracket_form() {
+        let input = r#"
+routing-options {
+    autonomous-system 1;
+}
+protocols {
+    bgp {
+        group g {
+            import [ p1 p2 ];
+            export p3;
+            neighbor 9.9.9.9 {
+                peer-as 2;
+            }
+        }
+    }
+}
+"#;
+        let cfg = ok(input);
+        assert_eq!(cfg.bgp_groups[0].import, vec!["p1", "p2"]);
+        assert_eq!(cfg.bgp_groups[0].export, vec!["p3"]);
+    }
+
+    #[test]
+    fn inline_then_and_from() {
+        let input = r#"
+policy-options {
+    policy-statement p {
+        term t {
+            from protocol bgp;
+            then reject;
+        }
+    }
+}
+"#;
+        let cfg = ok(input);
+        let t = &cfg.policy("p").unwrap().terms[0];
+        assert_eq!(t.from, vec![FromCondition::Protocol(Protocol::Bgp)]);
+        assert_eq!(t.then, vec![ThenAction::Reject]);
+    }
+
+    #[test]
+    fn unknown_statements_are_kept_and_flagged() {
+        let input = "widgets { spin 5; }\n";
+        let (cfg, w) = parse(input);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, WarningKind::Unrecognized);
+        assert_eq!(cfg.extra_statements, vec!["widgets"]);
+    }
+
+    #[test]
+    fn community_members_bracket_form() {
+        let input = "policy-options { community cs members [ 100:1 101:1 ]; }\n";
+        let cfg = ok(input);
+        assert_eq!(cfg.communities[0].members.len(), 2);
+    }
+
+    #[test]
+    fn as_path_prepend_quoted() {
+        let input = r#"policy-options { policy-statement p { term t { then { as-path-prepend "100 100"; accept; } } } }"#;
+        let cfg = ok(input);
+        assert_eq!(
+            cfg.policy("p").unwrap().terms[0].then[0],
+            ThenAction::AsPathPrepend(vec![Asn(100), Asn(100)])
+        );
+    }
+
+    #[test]
+    fn implicit_term_wrapping() {
+        let input = r#"
+policy-options {
+    policy-statement p {
+        from protocol bgp;
+        then accept;
+    }
+}
+"#;
+        let cfg = ok(input);
+        let p = cfg.policy("p").unwrap();
+        assert_eq!(p.terms.len(), 1);
+        assert_eq!(p.terms[0].name, "__implicit");
+        assert_eq!(p.terms[0].from.len(), 1);
+        assert_eq!(p.terms[0].then.len(), 1);
+    }
+}

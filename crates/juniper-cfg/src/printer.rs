@@ -1,0 +1,345 @@
+//! Pretty-printer: AST → canonical Junos text.
+//!
+//! Emits the standard `set`-free hierarchical form with four-space
+//! indentation. `parse ∘ print` is the identity on the supported AST.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Prints a configuration to canonical Junos text.
+pub fn print(cfg: &JuniperConfig) -> String {
+    let mut p = Printer::default();
+    if let Some(h) = &cfg.hostname {
+        p.open("system");
+        p.leaf(&format!("host-name {h}"));
+        p.close();
+    }
+    if !cfg.interfaces.is_empty() {
+        p.open("interfaces");
+        for i in &cfg.interfaces {
+            p.open(&i.name);
+            for u in &i.units {
+                p.open(&format!("unit {}", u.number));
+                if let Some(a) = u.address {
+                    p.open("family inet");
+                    p.leaf(&format!("address {a}"));
+                    p.close();
+                }
+                p.close();
+            }
+            p.close();
+        }
+        p.close();
+    }
+    if cfg.router_id.is_some() || cfg.autonomous_system.is_some() {
+        p.open("routing-options");
+        if let Some(id) = cfg.router_id {
+            p.leaf(&format!("router-id {id}"));
+        }
+        if let Some(asn) = cfg.autonomous_system {
+            p.leaf(&format!("autonomous-system {asn}"));
+        }
+        p.close();
+    }
+    if !cfg.bgp_groups.is_empty() || !cfg.ospf_areas.is_empty() {
+        p.open("protocols");
+        if !cfg.bgp_groups.is_empty() {
+            p.open("bgp");
+            for g in &cfg.bgp_groups {
+                p.open(&format!("group {}", g.name));
+                p.leaf(&format!(
+                    "type {}",
+                    if g.external { "external" } else { "internal" }
+                ));
+                if let Some(a) = g.local_as {
+                    p.leaf(&format!("local-as {a}"));
+                }
+                if !g.import.is_empty() {
+                    p.leaf(&format!("import {}", chain(&g.import)));
+                }
+                if !g.export.is_empty() {
+                    p.leaf(&format!("export {}", chain(&g.export)));
+                }
+                for n in &g.neighbors {
+                    p.open(&format!("neighbor {}", n.addr));
+                    if let Some(d) = &n.description {
+                        p.leaf(&format!("description {d}"));
+                    }
+                    if let Some(a) = n.peer_as {
+                        p.leaf(&format!("peer-as {a}"));
+                    }
+                    if !n.import.is_empty() {
+                        p.leaf(&format!("import {}", chain(&n.import)));
+                    }
+                    if !n.export.is_empty() {
+                        p.leaf(&format!("export {}", chain(&n.export)));
+                    }
+                    p.close();
+                }
+                p.close();
+            }
+            p.close();
+        }
+        if !cfg.ospf_areas.is_empty() {
+            p.open("ospf");
+            for a in &cfg.ospf_areas {
+                p.open(&format!("area {}", a.id));
+                for i in &a.interfaces {
+                    p.open(&format!("interface {}", i.name));
+                    if let Some(m) = i.metric {
+                        p.leaf(&format!("metric {m}"));
+                    }
+                    if i.passive {
+                        p.leaf("passive");
+                    }
+                    p.close();
+                }
+                p.close();
+            }
+            p.close();
+        }
+        p.close();
+    }
+    let has_policy_options =
+        !cfg.prefix_lists.is_empty() || !cfg.policies.is_empty() || !cfg.communities.is_empty();
+    if has_policy_options {
+        p.open("policy-options");
+        for pl in &cfg.prefix_lists {
+            p.open(&format!("prefix-list {}", pl.name));
+            for pfx in &pl.prefixes {
+                p.leaf(&pfx.to_string());
+            }
+            p.close();
+        }
+        for pol in &cfg.policies {
+            p.open(&format!("policy-statement {}", pol.name));
+            for t in &pol.terms {
+                p.open(&format!("term {}", t.name));
+                if !t.from.is_empty() {
+                    p.open("from");
+                    for f in &t.from {
+                        p.leaf(&from_text(f));
+                    }
+                    p.close();
+                }
+                if !t.then.is_empty() {
+                    p.open("then");
+                    for a in &t.then {
+                        p.leaf(&then_text(a));
+                    }
+                    p.close();
+                }
+                p.close();
+            }
+            p.close();
+        }
+        for c in &cfg.communities {
+            let members: Vec<String> = c.members.iter().map(|m| m.to_string()).collect();
+            if members.len() == 1 {
+                p.leaf(&format!("community {} members {}", c.name, members[0]));
+            } else {
+                p.leaf(&format!(
+                    "community {} members [ {} ]",
+                    c.name,
+                    members.join(" ")
+                ));
+            }
+        }
+        p.close();
+    }
+    for raw in &cfg.extra_statements {
+        p.leaf(raw);
+    }
+    p.out
+}
+
+fn chain(policies: &[String]) -> String {
+    if policies.len() == 1 {
+        policies[0].clone()
+    } else {
+        format!("[ {} ]", policies.join(" "))
+    }
+}
+
+fn from_text(f: &FromCondition) -> String {
+    match f {
+        FromCondition::PrefixList(n) => format!("prefix-list {n}"),
+        FromCondition::PrefixListFilter(n, k) => {
+            let kw = match k {
+                PrefixListFilterKind::Exact => "exact",
+                PrefixListFilterKind::OrLonger => "orlonger",
+                PrefixListFilterKind::Longer => "longer",
+            };
+            format!("prefix-list-filter {n} {kw}")
+        }
+        FromCondition::RouteFilter(p) => p.juniper_route_filter(),
+        FromCondition::Community(n) => format!("community {n}"),
+        FromCondition::Protocol(p) => {
+            let kw = match p {
+                net_model::Protocol::Connected => "direct",
+                other => other.keyword(),
+            };
+            format!("protocol {kw}")
+        }
+        FromCondition::Neighbor(a) => format!("neighbor {a}"),
+    }
+}
+
+fn then_text(a: &ThenAction) -> String {
+    match a {
+        ThenAction::Accept => "accept".into(),
+        ThenAction::Reject => "reject".into(),
+        ThenAction::NextTerm => "next term".into(),
+        ThenAction::Metric(m) => format!("metric {m}"),
+        ThenAction::LocalPreference(l) => format!("local-preference {l}"),
+        ThenAction::CommunityAdd(n) => format!("community add {n}"),
+        ThenAction::CommunitySet(n) => format!("community set {n}"),
+        ThenAction::CommunityDelete(n) => format!("community delete {n}"),
+        ThenAction::AsPathPrepend(asns) => {
+            let s: Vec<String> = asns.iter().map(|a| a.to_string()).collect();
+            format!("as-path-prepend \"{}\"", s.join(" "))
+        }
+        ThenAction::NextHop(a) => format!("next-hop {a}"),
+    }
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    depth: usize,
+}
+
+impl Printer {
+    fn indent(&mut self) {
+        for _ in 0..self.depth {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn open(&mut self, header: &str) {
+        self.indent();
+        writeln!(self.out, "{header} {{").unwrap();
+        self.depth += 1;
+    }
+
+    fn close(&mut self) {
+        self.depth -= 1;
+        self.indent();
+        self.out.push_str("}\n");
+    }
+
+    fn leaf(&mut self, text: &str) {
+        self.indent();
+        writeln!(self.out, "{text};").unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SAMPLE: &str = r#"
+system {
+    host-name border1;
+}
+interfaces {
+    ge-0/0/1 {
+        unit 0 {
+            family inet {
+                address 10.0.1.1/24;
+            }
+        }
+    }
+}
+routing-options {
+    router-id 1.2.3.4;
+    autonomous-system 100;
+}
+protocols {
+    bgp {
+        group ebgp-peers {
+            type external;
+            neighbor 2.3.4.5 {
+                peer-as 200;
+                import from_provider;
+                export to_provider;
+            }
+        }
+    }
+    ospf {
+        area 0.0.0.0 {
+            interface ge-0/0/1.0 {
+                metric 10;
+            }
+            interface lo0.0 {
+                passive;
+            }
+        }
+    }
+}
+policy-options {
+    prefix-list our-networks {
+        1.2.3.0/24;
+    }
+    policy-statement to_provider {
+        term allow-ours {
+            from {
+                route-filter 1.2.3.0/24 orlonger;
+                community tag-ours;
+            }
+            then {
+                metric 50;
+                community add tag-ours;
+                accept;
+            }
+        }
+        term default-deny {
+            then {
+                reject;
+            }
+        }
+    }
+    community tag-ours members 100:1;
+}
+"#;
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let (cfg, w) = parse(SAMPLE);
+        assert!(w.is_empty(), "{w:?}");
+        let printed = print(&cfg);
+        let (cfg2, w2) = parse(&printed);
+        assert!(w2.is_empty(), "reprint warnings: {w2:?}\n{printed}");
+        assert_eq!(cfg, cfg2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn print_is_idempotent() {
+        let (cfg, _) = parse(SAMPLE);
+        let once = print(&cfg);
+        let (cfg2, _) = parse(&once);
+        assert_eq!(once, print(&cfg2));
+    }
+
+    #[test]
+    fn braces_balance() {
+        let (cfg, _) = parse(SAMPLE);
+        let printed = print(&cfg);
+        let opens = printed.matches('{').count();
+        let closes = printed.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn route_filter_orlonger_round_trips() {
+        let (cfg, _) = parse(SAMPLE);
+        let printed = print(&cfg);
+        assert!(printed.contains("route-filter 1.2.3.0/24 orlonger;"));
+    }
+
+    #[test]
+    fn empty_config_prints_empty() {
+        assert_eq!(print(&JuniperConfig::default()), "");
+    }
+}

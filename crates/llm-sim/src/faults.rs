@@ -1,0 +1,334 @@
+//! The fault catalogue: one constructor per error class the paper
+//! reports, with injectors and repair behaviour.
+
+use crate::prompts::PromptClass;
+
+/// Every fault class the simulated GPT-4 can exhibit. Translation faults
+/// reproduce Table 2; synthesis faults reproduce Section 4.2 / Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    // ---- Translation (Table 2) ----
+    /// Missing BGP local-as attribute (syntax error via parse warning).
+    MissingLocalAs,
+    /// Invalid syntax for prefix lists (`1.2.3.0/24-32`).
+    BadPrefixListSyntax,
+    /// Missing/extra BGP route policy on a neighbor.
+    MissingExportPolicy,
+    /// Different OSPF link cost.
+    OspfCostWrong,
+    /// Different OSPF passive-interface setting.
+    OspfPassiveDropped,
+    /// Setting wrong BGP MED value.
+    WrongMed,
+    /// Different prefix lengths match in BGP (the dropped `ge 24`).
+    Ge24Dropped,
+    /// Different redistribution into BGP.
+    RedistributionDropped,
+    // ---- Synthesis (Section 4.2 / Table 3) ----
+    /// CLI/EXEC lines in the config file (IIP-preventable).
+    CliPromptLines,
+    /// Misplaced config keywords like `ip routing` (IIP-preventable).
+    WrongKeywordLines,
+    /// `match community 100:1` literal instead of a community list
+    /// (IIP-preventable).
+    MatchCommunityLiteral,
+    /// `set community` without `additive` (IIP-preventable).
+    MissingAdditive,
+    /// `neighbor ... route-map ...` outside the `router bgp` block
+    /// (needs a human prompt; Batfish's warning is "not informative
+    /// enough").
+    MisplacedNeighborCmd,
+    /// AND semantics in the egress community filter (needs a human
+    /// prompt; the counterexample alone fails).
+    AndSemanticsFilter,
+    /// Topology: wrong interface IP.
+    WrongIfaceAddress,
+    /// Topology: wrong local AS.
+    WrongLocalAs,
+    /// Topology: wrong router id.
+    WrongRouterId,
+    /// Topology: a required neighbor not declared.
+    MissingNeighbor,
+    /// Topology: a required network not announced.
+    MissingNetwork,
+    /// Topology: an extra network that is not directly connected.
+    ExtraNetwork,
+    /// Topology: an extra neighbor that does not exist.
+    ExtraNeighbor,
+}
+
+impl FaultKind {
+    /// All translation faults, in Table 2 order.
+    pub const TRANSLATION: [FaultKind; 8] = [
+        FaultKind::MissingLocalAs,
+        FaultKind::BadPrefixListSyntax,
+        FaultKind::MissingExportPolicy,
+        FaultKind::OspfCostWrong,
+        FaultKind::OspfPassiveDropped,
+        FaultKind::WrongMed,
+        FaultKind::Ge24Dropped,
+        FaultKind::RedistributionDropped,
+    ];
+
+    /// All synthesis faults.
+    pub const SYNTHESIS: [FaultKind; 13] = [
+        FaultKind::CliPromptLines,
+        FaultKind::WrongKeywordLines,
+        FaultKind::MatchCommunityLiteral,
+        FaultKind::MissingAdditive,
+        FaultKind::MisplacedNeighborCmd,
+        FaultKind::AndSemanticsFilter,
+        FaultKind::WrongIfaceAddress,
+        FaultKind::WrongLocalAs,
+        FaultKind::WrongRouterId,
+        FaultKind::MissingNeighbor,
+        FaultKind::MissingNetwork,
+        FaultKind::ExtraNetwork,
+        FaultKind::ExtraNeighbor,
+    ];
+
+    /// Whether the IIP database suppresses this fault when loaded
+    /// (Section 4.2's four preventable classes).
+    pub fn iip_preventable(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CliPromptLines
+                | FaultKind::WrongKeywordLines
+                | FaultKind::MatchCommunityLiteral
+                | FaultKind::MissingAdditive
+        )
+    }
+
+    /// The fault's repair behaviour.
+    pub fn repair(self) -> RepairBehavior {
+        match self {
+            // Table 2 "Fixed: Yes" rows.
+            FaultKind::MissingLocalAs
+            | FaultKind::BadPrefixListSyntax
+            | FaultKind::MissingExportPolicy
+            | FaultKind::OspfCostWrong
+            | FaultKind::OspfPassiveDropped
+            | FaultKind::WrongMed => RepairBehavior::AutoFixable,
+            // Table 2 "Fixed: No" rows — and §3.2's note that the ge-24
+            // human fix takes a detour through invalid syntax.
+            FaultKind::Ge24Dropped => RepairBehavior::NeedsHumanWithSyntaxDetour,
+            FaultKind::RedistributionDropped => RepairBehavior::NeedsHuman,
+            // IIP-preventable classes are auto-fixable when they do occur.
+            FaultKind::CliPromptLines
+            | FaultKind::WrongKeywordLines
+            | FaultKind::MatchCommunityLiteral
+            | FaultKind::MissingAdditive => RepairBehavior::AutoFixable,
+            // The two egregious synthesis cases.
+            FaultKind::MisplacedNeighborCmd => RepairBehavior::NeedsHuman,
+            FaultKind::AndSemanticsFilter => RepairBehavior::NeedsHuman,
+            // Topology errors fix on the verifier's prompt.
+            FaultKind::WrongIfaceAddress
+            | FaultKind::WrongLocalAs
+            | FaultKind::WrongRouterId
+            | FaultKind::MissingNeighbor
+            | FaultKind::MissingNetwork
+            | FaultKind::ExtraNetwork
+            | FaultKind::ExtraNeighbor => RepairBehavior::AutoFixable,
+        }
+    }
+
+    /// Which prompt classes address this fault. The simulated model
+    /// repairs a fault when it receives a matching prompt (and the repair
+    /// behaviour allows it).
+    pub fn addressed_by(self, class: &PromptClass) -> bool {
+        match self {
+            FaultKind::MissingLocalAs => matches!(class, PromptClass::SyntaxError { .. }),
+            FaultKind::BadPrefixListSyntax => matches!(
+                class,
+                PromptClass::SyntaxError { quoted } if quoted.contains("-32") || quoted.is_empty()
+            ) || matches!(class, PromptClass::HumanPrefixLength),
+            FaultKind::MissingExportPolicy => {
+                matches!(class, PromptClass::StructuralMissingPolicy)
+            }
+            FaultKind::OspfCostWrong => matches!(class, PromptClass::AttributeOspfCost),
+            FaultKind::OspfPassiveDropped => matches!(class, PromptClass::AttributeOspfPassive),
+            FaultKind::WrongMed => matches!(class, PromptClass::PolicyMed),
+            FaultKind::Ge24Dropped => matches!(
+                class,
+                PromptClass::PolicyPrefixLength
+                    | PromptClass::PolicyCommunity
+                    | PromptClass::HumanPrefixLength
+            ),
+            FaultKind::RedistributionDropped => matches!(
+                class,
+                PromptClass::PolicyRedistribution | PromptClass::HumanFromBgp
+            ),
+            FaultKind::CliPromptLines | FaultKind::WrongKeywordLines => {
+                matches!(class, PromptClass::SyntaxError { .. })
+            }
+            FaultKind::MatchCommunityLiteral => {
+                matches!(class, PromptClass::SyntaxError { .. })
+            }
+            FaultKind::MissingAdditive => matches!(class, PromptClass::PolicyCommunity),
+            FaultKind::MisplacedNeighborCmd => matches!(
+                class,
+                PromptClass::SyntaxError { .. } | PromptClass::HumanNeighborPlacement
+            ),
+            FaultKind::AndSemanticsFilter => matches!(
+                class,
+                PromptClass::PolicyCommunity | PromptClass::HumanSeparateStanzas
+            ),
+            FaultKind::WrongIfaceAddress
+            | FaultKind::WrongLocalAs
+            | FaultKind::WrongRouterId
+            | FaultKind::MissingNeighbor
+            | FaultKind::MissingNetwork
+            | FaultKind::ExtraNetwork
+            | FaultKind::ExtraNeighbor => matches!(class, PromptClass::TopologyError),
+        }
+    }
+
+    /// Which prompt classes are *human* escalations for this fault.
+    pub fn human_class(self, class: &PromptClass) -> bool {
+        matches!(
+            (self, class),
+            (FaultKind::Ge24Dropped, PromptClass::HumanPrefixLength)
+                | (FaultKind::RedistributionDropped, PromptClass::HumanFromBgp)
+                | (
+                    FaultKind::MisplacedNeighborCmd,
+                    PromptClass::HumanNeighborPlacement
+                )
+                | (
+                    FaultKind::AndSemanticsFilter,
+                    PromptClass::HumanSeparateStanzas
+                )
+        )
+    }
+
+    /// Table 2's error-type column for reporting.
+    pub fn error_type(self) -> &'static str {
+        match self {
+            FaultKind::MissingLocalAs | FaultKind::BadPrefixListSyntax => "Syntax error",
+            FaultKind::MissingExportPolicy => "Structure mismatch",
+            FaultKind::OspfCostWrong | FaultKind::OspfPassiveDropped => "Attribute error",
+            FaultKind::WrongMed | FaultKind::Ge24Dropped | FaultKind::RedistributionDropped => {
+                "Policy error"
+            }
+            FaultKind::CliPromptLines
+            | FaultKind::WrongKeywordLines
+            | FaultKind::MatchCommunityLiteral
+            | FaultKind::MisplacedNeighborCmd => "Syntax error",
+            FaultKind::MissingAdditive | FaultKind::AndSemanticsFilter => "Semantic error",
+            FaultKind::WrongIfaceAddress
+            | FaultKind::WrongLocalAs
+            | FaultKind::WrongRouterId
+            | FaultKind::MissingNeighbor
+            | FaultKind::MissingNetwork
+            | FaultKind::ExtraNetwork
+            | FaultKind::ExtraNeighbor => "Topology error",
+        }
+    }
+
+    /// Table 2's error-description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            FaultKind::MissingLocalAs => "Missing BGP local-as attribute",
+            FaultKind::BadPrefixListSyntax => "Invalid syntax for prefix lists",
+            FaultKind::MissingExportPolicy => "Missing/extra BGP route policy",
+            FaultKind::OspfCostWrong => "Different OSPF link cost",
+            FaultKind::OspfPassiveDropped => "Different OSPF passive interface setting",
+            FaultKind::WrongMed => "Setting wrong BGP MED value",
+            FaultKind::Ge24Dropped => "Different prefix lengths match in BGP",
+            FaultKind::RedistributionDropped => "Different redistribution into BGP",
+            FaultKind::CliPromptLines => "CLI commands in config file",
+            FaultKind::WrongKeywordLines => "Misplaced config keywords",
+            FaultKind::MatchCommunityLiteral => "Literal community in match",
+            FaultKind::MissingAdditive => "set community without additive",
+            FaultKind::MisplacedNeighborCmd => "neighbor command outside router bgp",
+            FaultKind::AndSemanticsFilter => "AND semantics in community filter",
+            FaultKind::WrongIfaceAddress => "Wrong interface IP address",
+            FaultKind::WrongLocalAs => "Wrong local AS number",
+            FaultKind::WrongRouterId => "Wrong router ID",
+            FaultKind::MissingNeighbor => "Neighbor not declared",
+            FaultKind::MissingNetwork => "Network not declared",
+            FaultKind::ExtraNetwork => "Network not directly connected",
+            FaultKind::ExtraNeighbor => "Nonexistent neighbor declared",
+        }
+    }
+}
+
+/// How a fault responds to rectification prompts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairBehavior {
+    /// Fixed by the generated (automatic) prompt.
+    AutoFixable,
+    /// Generated prompts do nothing; a targeted human prompt fixes it.
+    NeedsHuman,
+    /// Needs a human prompt, and the attempted fix introduces fresh
+    /// invalid syntax first (the `ge 24` detour of Section 3.2).
+    NeedsHumanWithSyntaxDetour,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_have_expected_fixability() {
+        // Six auto-fixed, two needing humans — Table 2's Yes/No column.
+        let auto: Vec<_> = FaultKind::TRANSLATION
+            .iter()
+            .filter(|f| f.repair() == RepairBehavior::AutoFixable)
+            .collect();
+        assert_eq!(auto.len(), 6);
+        assert_eq!(
+            FaultKind::Ge24Dropped.repair(),
+            RepairBehavior::NeedsHumanWithSyntaxDetour
+        );
+        assert_eq!(
+            FaultKind::RedistributionDropped.repair(),
+            RepairBehavior::NeedsHuman
+        );
+    }
+
+    #[test]
+    fn iip_covers_the_four_preventable_classes() {
+        let preventable: Vec<_> = FaultKind::SYNTHESIS
+            .iter()
+            .filter(|f| f.iip_preventable())
+            .collect();
+        assert_eq!(preventable.len(), 4);
+        assert!(!FaultKind::AndSemanticsFilter.iip_preventable());
+        assert!(!FaultKind::MissingLocalAs.iip_preventable());
+    }
+
+    #[test]
+    fn prompt_matching_is_selective() {
+        let syntax = PromptClass::SyntaxError {
+            quoted: "x/24-32".into(),
+        };
+        assert!(FaultKind::BadPrefixListSyntax.addressed_by(&syntax));
+        assert!(!FaultKind::WrongMed.addressed_by(&syntax));
+        assert!(FaultKind::WrongMed.addressed_by(&PromptClass::PolicyMed));
+        assert!(FaultKind::AndSemanticsFilter.addressed_by(&PromptClass::HumanSeparateStanzas));
+        assert!(!FaultKind::AndSemanticsFilter.addressed_by(&PromptClass::TopologyError));
+    }
+
+    #[test]
+    fn human_classes_match_the_four_hard_cases() {
+        assert!(FaultKind::Ge24Dropped.human_class(&PromptClass::HumanPrefixLength));
+        assert!(FaultKind::RedistributionDropped.human_class(&PromptClass::HumanFromBgp));
+        assert!(FaultKind::MisplacedNeighborCmd.human_class(&PromptClass::HumanNeighborPlacement));
+        assert!(FaultKind::AndSemanticsFilter.human_class(&PromptClass::HumanSeparateStanzas));
+        assert!(!FaultKind::WrongMed.human_class(&PromptClass::PolicyMed));
+    }
+
+    #[test]
+    fn descriptions_match_table2_text() {
+        assert_eq!(
+            FaultKind::Ge24Dropped.description(),
+            "Different prefix lengths match in BGP"
+        );
+        assert_eq!(FaultKind::Ge24Dropped.error_type(), "Policy error");
+        assert_eq!(FaultKind::MissingLocalAs.error_type(), "Syntax error");
+        assert_eq!(
+            FaultKind::MissingExportPolicy.error_type(),
+            "Structure mismatch"
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! `SimulatedGpt4`: the calibrated stand-in for the paper's manual
+//! ChatGPT sessions.
+
+use crate::error_model::ErrorModel;
+use crate::faults::{FaultKind, RepairBehavior};
+use crate::model::{fence, last_fenced_block, LanguageModel, Message, Role};
+use crate::prompts::{self, PromptClass};
+use crate::synth_task::SynthesisDraft;
+use crate::translate_task::TranslationDraft;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Marker included in COSYNTH's IIP system message; its presence (plus the
+/// model's `respect_iip` flag) suppresses the preventable error classes.
+pub const IIP_MARKER: &str = "[IIP]";
+
+enum TaskState {
+    Translation(TranslationDraft),
+    Synthesis(SynthesisDraft),
+    /// The local-vs-global ablation: the model oscillates between
+    /// incorrect whole-network strategies.
+    Global {
+        attempt: usize,
+        router_names: Vec<String>,
+    },
+}
+
+/// A generative model of GPT-4's behaviour on the paper's two tasks. See
+/// the crate docs for the calibration story.
+pub struct SimulatedGpt4 {
+    model: ErrorModel,
+    rng: StdRng,
+    state: Option<TaskState>,
+}
+
+impl SimulatedGpt4 {
+    /// Creates a simulated model with an error model and RNG seed.
+    pub fn new(model: ErrorModel, seed: u64) -> Self {
+        SimulatedGpt4 {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            state: None,
+        }
+    }
+
+    /// The faults a draft can exhibit given what the task actually
+    /// contains (no AND-semantics fault without a multi-community filter,
+    /// etc.).
+    fn applicable_synth_faults(draft: &SynthesisDraft) -> Vec<FaultKind> {
+        let u = &draft.understood;
+        FaultKind::SYNTHESIS
+            .into_iter()
+            .filter(|f| match f {
+                FaultKind::AndSemanticsFilter => {
+                    u.egress_filters.iter().any(|(_, cs, _)| cs.len() >= 2)
+                }
+                FaultKind::MatchCommunityLiteral => !u.egress_filters.is_empty(),
+                FaultKind::MissingAdditive => !u.ingress_tags.is_empty(),
+                FaultKind::MisplacedNeighborCmd => {
+                    !u.ingress_tags.is_empty() || !u.egress_filters.is_empty()
+                }
+                FaultKind::MissingNetwork => !u.networks.is_empty(),
+                FaultKind::MissingNeighbor => !u.neighbors.is_empty(),
+                FaultKind::WrongIfaceAddress => !u.interfaces.is_empty(),
+                FaultKind::WrongRouterId => u.router_id.is_some(),
+                _ => true,
+            })
+            .collect()
+    }
+
+    fn iip_active(&self, transcript: &[Message]) -> bool {
+        self.model.respect_iip
+            && transcript
+                .iter()
+                .any(|m| m.role == Role::System && m.content.contains(IIP_MARKER))
+    }
+
+    fn sample_faults(&mut self, candidates: &[FaultKind], iip: bool) -> BTreeSet<FaultKind> {
+        let mut out = BTreeSet::new();
+        for &f in candidates {
+            let p = if iip && f.iip_preventable() {
+                0.0
+            } else {
+                self.model.p_fault.get(&f).copied().unwrap_or(0.0)
+            };
+            if p >= 1.0 || (p > 0.0 && self.rng.gen::<f64>() < p) {
+                out.insert(f);
+            }
+        }
+        out
+    }
+
+    /// Post-repair regression: maybe introduce a new fault or reintroduce
+    /// a fixed one — but never the fault that was just repaired (that
+    /// pathology, "applies no change", is modeled by `NeedsHuman`
+    /// behaviour instead). Returns the regressed fault, if any.
+    fn maybe_regress(&mut self, iip: bool, just_fixed: FaultKind) -> Option<FaultKind> {
+        // Collect candidates from the current state.
+        let (active, seen, candidates): (BTreeSet<FaultKind>, BTreeSet<FaultKind>, Vec<FaultKind>) =
+            match &self.state {
+                Some(TaskState::Translation(d)) => (
+                    d.active.clone(),
+                    d.seen.clone(),
+                    FaultKind::TRANSLATION.to_vec(),
+                ),
+                Some(TaskState::Synthesis(d)) => (
+                    d.active.clone(),
+                    d.seen.clone(),
+                    Self::applicable_synth_faults(d),
+                ),
+                _ => return None,
+            };
+        let roll: f64 = self.rng.gen();
+        let pick = if roll < self.model.p_reintroduce {
+            // Reintroduce a previously fixed, auto-fixable fault.
+            seen.iter()
+                .copied()
+                .find(|f| {
+                    *f != just_fixed
+                        && !active.contains(f)
+                        && f.repair() == RepairBehavior::AutoFixable
+                })
+        } else if roll < self.model.p_reintroduce + self.model.p_regress_new {
+            // Introduce a brand-new fault.
+            let fresh: Vec<FaultKind> = candidates
+                .into_iter()
+                .filter(|f| {
+                    !seen.contains(f)
+                        && f.repair() == RepairBehavior::AutoFixable
+                        && !(iip && f.iip_preventable())
+                })
+                .collect();
+            if fresh.is_empty() {
+                None
+            } else {
+                let i = self.rng.gen_range(0..fresh.len());
+                Some(fresh[i])
+            }
+        } else {
+            None
+        };
+        if let Some(f) = pick {
+            match self.state.as_mut() {
+                Some(TaskState::Translation(d)) => d.introduce(f),
+                Some(TaskState::Synthesis(d)) => d.introduce(f),
+                _ => {}
+            }
+        }
+        pick
+    }
+
+    fn render_current(&self) -> String {
+        match &self.state {
+            Some(TaskState::Translation(d)) => d.render(),
+            Some(TaskState::Synthesis(d)) => d.render(),
+            Some(TaskState::Global {
+                attempt,
+                router_names,
+            }) => render_global_strategy(*attempt, router_names),
+            None => String::new(),
+        }
+    }
+
+    fn handle_rectification(&mut self, prompt: &str, iip: bool) -> String {
+        let class = prompts::classify(prompt);
+        if class == PromptClass::PrintConfig {
+            return fence(&self.render_current());
+        }
+        // The global task never converges: every feedback just flips the
+        // strategy (the paper's oscillation).
+        if let Some(TaskState::Global { attempt, .. }) = self.state.as_mut() {
+            *attempt += 1;
+            return format!(
+                "I see the issue — let me take a different approach.\n{}",
+                fence(&self.render_current())
+            );
+        }
+        // Find an active fault this prompt addresses, preferring the one
+        // whose signature actually appears in the prompt text (the model
+        // "reads" the feedback rather than fixing an arbitrary problem).
+        let active: Vec<FaultKind> = match &self.state {
+            Some(TaskState::Translation(d)) => d.active.iter().copied().collect(),
+            Some(TaskState::Synthesis(d)) => d.active.iter().copied().collect(),
+            _ => Vec::new(),
+        };
+        let target = active
+            .iter()
+            .copied()
+            .filter(|f| f.addressed_by(&class))
+            .max_by_key(|f| signature_strength(*f, prompt));
+        let Some(fault) = target else {
+            // Nothing matches: apologize and reprint unchanged (a common
+            // GPT-4 behaviour the paper reports).
+            return format!(
+                "I reviewed the configuration but could not find a problem \
+                 related to that feedback.\n{}",
+                fence(&self.render_current())
+            );
+        };
+        let is_human = fault.human_class(&class);
+        let fixed = match fault.repair() {
+            RepairBehavior::AutoFixable => {
+                self.apply_fix(fault);
+                true
+            }
+            RepairBehavior::NeedsHuman => {
+                if is_human {
+                    self.apply_fix(fault);
+                    true
+                } else {
+                    false
+                }
+            }
+            RepairBehavior::NeedsHumanWithSyntaxDetour => {
+                if is_human {
+                    self.apply_fix(fault);
+                    // The fix lands, but through fresh invalid syntax
+                    // (Section 3.2's prefix-list detour).
+                    if let Some(TaskState::Translation(d)) = self.state.as_mut() {
+                        d.introduce(FaultKind::BadPrefixListSyntax);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if !fixed {
+            // Unchanged output — the paper: "it usually does nothing when
+            // asked to fix the error".
+            return format!(
+                "I adjusted the configuration to address the issue.\n{}",
+                fence(&self.render_current())
+            );
+        }
+        let regressed = self.maybe_regress(iip, fault);
+        let mut reply = format!("Fixed: {}.\n", fault.description());
+        if regressed.is_some() {
+            reply.push_str("I also revised some related configuration.\n");
+        }
+        reply.push_str(&fence(&self.render_current()));
+        reply
+    }
+
+    fn apply_fix(&mut self, fault: FaultKind) {
+        match self.state.as_mut() {
+            Some(TaskState::Translation(d)) => {
+                d.fix(fault);
+            }
+            Some(TaskState::Synthesis(d)) => {
+                d.fix(fault);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl LanguageModel for SimulatedGpt4 {
+    fn complete(&mut self, transcript: &[Message]) -> String {
+        let iip = self.iip_active(transcript);
+        let Some(last) = transcript.iter().rev().find(|m| m.role == Role::User) else {
+            return "How can I help with your network configuration?".into();
+        };
+        let content = last.content.clone();
+        if content.contains(prompts::TRANSLATE_TASK) {
+            let cisco = last_fenced_block(&content).unwrap_or_default();
+            let faults = self.sample_faults(&FaultKind::TRANSLATION, iip);
+            let draft = TranslationDraft::new(&cisco, faults);
+            self.state = Some(TaskState::Translation(draft));
+            return format!(
+                "Here is the equivalent Juniper configuration:\n{}",
+                fence(&self.render_current())
+            );
+        }
+        if content.contains(prompts::SYNTH_TASK) {
+            // Sample faults against an understanding-only draft first so
+            // applicability is known.
+            let probe = SynthesisDraft::new(&content, BTreeSet::new());
+            let candidates = Self::applicable_synth_faults(&probe);
+            let faults = self.sample_faults(&candidates, iip);
+            self.state = Some(TaskState::Synthesis(SynthesisDraft::new(&content, faults)));
+            return format!(
+                "Here is the configuration file:\n{}",
+                fence(&self.render_current())
+            );
+        }
+        if content.contains(prompts::GLOBAL_TASK) || content.contains("no-transit policy") && content.contains("all routers") {
+            let router_names: Vec<String> = content
+                .lines()
+                .filter_map(|l| {
+                    l.strip_prefix("Router ")
+                        .and_then(|r| r.split_whitespace().next())
+                        .map(|s| s.trim_end_matches(|c: char| !c.is_alphanumeric()).to_string())
+                })
+                .filter(|s| !s.is_empty())
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            self.state = Some(TaskState::Global {
+                attempt: 0,
+                router_names,
+            });
+            return format!(
+                "I'll use AS-path filtering to implement no-transit.\n{}",
+                fence(&self.render_current())
+            );
+        }
+        self.handle_rectification(&content, iip)
+    }
+
+    fn name(&self) -> &str {
+        "simulated-gpt4"
+    }
+}
+
+/// How strongly a prompt's wording points at a specific fault (0 = only
+/// the class matches; higher = the prompt names the fault's artifact).
+fn signature_strength(fault: FaultKind, prompt: &str) -> u8 {
+    let p = prompt.to_ascii_lowercase();
+    let hit = |needles: &[&str]| needles.iter().any(|n| p.contains(n)) as u8;
+    match fault {
+        FaultKind::MissingLocalAs => 2 * hit(&["local as", "autonomous-system"]),
+        FaultKind::BadPrefixListSyntax => 2 * hit(&["-32", "prefix-list", "route-filter"]),
+        FaultKind::MatchCommunityLiteral => 2 * hit(&["match community"]),
+        FaultKind::CliPromptLines => 2 * hit(&["configure terminal", "'end'", "'write'", "cli"]),
+        FaultKind::WrongKeywordLines => 2 * hit(&["ip routing", "conf t"]),
+        FaultKind::MisplacedNeighborCmd => 2 * hit(&["neighbor"]),
+        FaultKind::OspfCostWrong => 2 * hit(&["cost"]),
+        FaultKind::OspfPassiveDropped => 2 * hit(&["passive"]),
+        FaultKind::WrongMed => 2 * hit(&["med"]),
+        FaultKind::Ge24Dropped => 2 * hit(&["length", "ge 24", "prefix-length-range"]),
+        FaultKind::RedistributionDropped => 2 * hit(&["redistribut", "from bgp"]),
+        FaultKind::MissingAdditive => 2 * hit(&["additive", "preserved"]),
+        FaultKind::AndSemanticsFilter => 2 * hit(&["denied", "separate"]),
+        _ => 0,
+    }
+}
+
+/// The oscillating global-task output: strategy alternates between
+/// "no filtering at all" (transit leaks) and "AS-path filters that block
+/// the customer too" — both globally wrong, as in Section 4.1.
+fn render_global_strategy(attempt: usize, router_names: &[String]) -> String {
+    let mut out = String::new();
+    for (i, name) in router_names.iter().enumerate() {
+        out.push_str(&format!("### {name} ###\n"));
+        let asn = i + 1;
+        if attempt % 2 == 0 {
+            // Strategy A: plain eBGP everywhere — ISPs can transit.
+            out.push_str(&format!(
+                "hostname {name}\nrouter bgp {asn}\n bgp router-id 1.0.0.{asn}\n"
+            ));
+        } else {
+            // Strategy B: deny everything with an AS-path filter — kills
+            // customer reachability as well.
+            out.push_str(&format!(
+                "hostname {name}\nip as-path access-list 1 deny .*\nrouter bgp {asn}\n bgp router-id 1.0.0.{asn}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts::{ingress_tag_sentence, TRANSLATE_TASK};
+
+    const CISCO: &str = "\
+hostname border1
+interface Ethernet0/1
+ ip address 10.0.1.1 255.255.255.0
+router bgp 100
+ network 1.2.3.0 mask 255.255.255.0
+ neighbor 2.3.4.5 remote-as 200
+ neighbor 2.3.4.5 route-map to_provider out
+ redistribute ospf route-map ospf_to_bgp
+ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24
+route-map to_provider permit 10
+ match ip address prefix-list our-networks
+ set metric 50
+route-map to_provider deny 100
+route-map ospf_to_bgp permit 10
+";
+
+    fn translation_prompt() -> String {
+        format!("{TRANSLATE_TASK}\n{}", fence(CISCO))
+    }
+
+    #[test]
+    fn flawless_model_translates_correctly() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::flawless(), 1);
+        let reply = gpt.complete(&[Message::user(translation_prompt())]);
+        let junos = last_fenced_block(&reply).unwrap();
+        let (_, warnings) = juniper_cfg::parse(&junos);
+        assert!(warnings.is_empty(), "{warnings:?}\n{junos}");
+    }
+
+    #[test]
+    fn paper_model_produces_flawed_draft() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::paper_default(), 1);
+        let reply = gpt.complete(&[Message::user(translation_prompt())]);
+        let junos = last_fenced_block(&reply).unwrap();
+        let (_, warnings) = juniper_cfg::parse(&junos);
+        assert!(!warnings.is_empty(), "paper model must produce syntax errors");
+    }
+
+    #[test]
+    fn auto_prompt_fixes_med() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::only(FaultKind::WrongMed), 1);
+        let t = vec![Message::user(translation_prompt())];
+        let first = gpt.complete(&t);
+        assert!(last_fenced_block(&first).unwrap().contains("metric 999"));
+        let fix = gpt.complete(&[Message::user(
+            "In the original configuration, the BGP MED value set is 50, but in \
+             the translation it is 999.",
+        )]);
+        let junos = last_fenced_block(&fix).unwrap();
+        assert!(junos.contains("metric 50"), "{junos}");
+        assert!(!junos.contains("metric 999"));
+    }
+
+    #[test]
+    fn redistribution_resists_auto_prompt_but_yields_to_human() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::only(FaultKind::RedistributionDropped), 1);
+        let _ = gpt.complete(&[Message::user(translation_prompt())]);
+        // Auto prompt: no change.
+        let auto = gpt.complete(&[Message::user(
+            "In the original configuration, routes are redistributed from ospf into \
+             BGP, but in the translation they are not.",
+        )]);
+        let junos = last_fenced_block(&auto).unwrap();
+        assert!(!junos.contains("redistribute-ospf"), "unchanged");
+        // Human prompt: fixed.
+        let human = gpt.complete(&[Message::user(
+            "Please add 'from bgp' conditions to the routing policies so that \
+             redistribution matches the original.",
+        )]);
+        let junos = last_fenced_block(&human).unwrap();
+        assert!(junos.contains("redistribute-ospf"), "{junos}");
+    }
+
+    #[test]
+    fn ge24_human_fix_takes_syntax_detour() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::only(FaultKind::Ge24Dropped), 1);
+        let _ = gpt.complete(&[Message::user(translation_prompt())]);
+        let human = gpt.complete(&[Message::user(
+            "To match prefixes of length 24 to 32, use \
+             'route-filter 1.2.3.0/24 prefix-length-range /24-/32'.",
+        )]);
+        let junos = last_fenced_block(&human).unwrap();
+        // Range restored but spelled invalidly.
+        assert!(junos.contains("-32;"), "{junos}");
+        let (_, w) = juniper_cfg::parse(&junos);
+        assert!(w
+            .iter()
+            .any(|x| x.kind == net_model::WarningKind::BadPrefixListSyntax));
+        // The follow-up syntax prompt fixes it for good.
+        let fixed = gpt.complete(&[Message::user(
+            "There is a syntax error: 'route-filter 1.2.3.0/24-32'",
+        )]);
+        let junos = last_fenced_block(&fixed).unwrap();
+        let (_, w) = juniper_cfg::parse(&junos);
+        assert!(w.is_empty(), "{w:?}\n{junos}");
+        // The reference spells `ge 24` on a /24 as `orlonger` — the range
+        // is restored semantically.
+        assert!(junos.contains("route-filter 1.2.3.0/24 orlonger"), "{junos}");
+    }
+
+    #[test]
+    fn print_config_reprints_without_change() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::only(FaultKind::WrongMed), 1);
+        let first = gpt.complete(&[Message::user(translation_prompt())]);
+        let printed = gpt.complete(&[Message::user("Print the entire configuration.")]);
+        assert_eq!(
+            last_fenced_block(&first).unwrap(),
+            last_fenced_block(&printed).unwrap()
+        );
+    }
+
+    #[test]
+    fn synthesis_with_iip_suppresses_preventable_faults() {
+        let prompt = format!(
+            "{}\nRouter R2 has AS number 2 and BGP router-id 1.0.0.2.\n\
+             Interface Ethernet0/0 has IP address 2.0.0.2 (mask 255.255.255.0) and connects to R1.\n\
+             It has an eBGP neighbor 2.0.0.1 with AS number 1 (R1).\n{}",
+            prompts::SYNTH_TASK,
+            ingress_tag_sentence("2.0.0.1".parse().unwrap(), "100:1".parse().unwrap(), "T")
+        );
+        let mut model = ErrorModel::paper_default();
+        // Force the preventable classes on if IIP were ignored.
+        model.p_fault.insert(FaultKind::CliPromptLines, 1.0);
+        let mut gpt = SimulatedGpt4::new(model.clone(), 7);
+        let with_iip = gpt.complete(&[
+            Message::system(format!("{IIP_MARKER} Do not use CLI commands.")),
+            Message::user(prompt.clone()),
+        ]);
+        let cfg = last_fenced_block(&with_iip).unwrap();
+        assert!(!cfg.contains("configure terminal"), "{cfg}");
+        // Without the IIP system message the fault appears.
+        let mut gpt = SimulatedGpt4::new(model, 7);
+        let without = gpt.complete(&[Message::user(prompt)]);
+        let cfg = last_fenced_block(&without).unwrap();
+        assert!(cfg.contains("configure terminal"), "{cfg}");
+    }
+
+    #[test]
+    fn global_task_oscillates() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::paper_default(), 3);
+        let prompt = format!(
+            "{}\nRouter R1 has AS number 1.\nRouter R2 has AS number 2.",
+            prompts::GLOBAL_TASK
+        );
+        let a = gpt.complete(&[Message::user(prompt)]);
+        let b = gpt.complete(&[Message::user("That fails for packet to 200.2.0.0; fix it.")]);
+        let c = gpt.complete(&[Message::user("Still wrong; a packet from ISP-2 reaches ISP-3.")]);
+        let block = |s: &str| last_fenced_block(s).unwrap();
+        assert_ne!(block(&a), block(&b), "strategy must change");
+        assert_eq!(block(&a), block(&c), "and oscillate back");
+    }
+
+    #[test]
+    fn unmatched_feedback_changes_nothing() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::only(FaultKind::WrongMed), 1);
+        let first = gpt.complete(&[Message::user(translation_prompt())]);
+        let reply = gpt.complete(&[Message::user(
+            "In the original configuration, the OSPF link for Loopback0 has cost set to 1, \
+             but in the translation, the corresponding link to lo0.0 has cost set to 0",
+        )]);
+        assert_eq!(
+            last_fenced_block(&first).unwrap(),
+            last_fenced_block(&reply).unwrap(),
+            "a cost prompt cannot fix a MED fault"
+        );
+    }
+}

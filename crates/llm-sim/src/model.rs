@@ -1,0 +1,166 @@
+//! The language-model trait and a scripted stand-in for tests.
+
+/// Message author role, chat-API style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// System / initial instruction prompt.
+    System,
+    /// The orchestrator or human.
+    User,
+    /// The model.
+    Assistant,
+}
+
+/// One chat message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Author role.
+    pub role: Role,
+    /// Message text.
+    pub content: String,
+}
+
+impl Message {
+    /// A system message.
+    pub fn system(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::System,
+            content: content.into(),
+        }
+    }
+
+    /// A user message.
+    pub fn user(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::User,
+            content: content.into(),
+        }
+    }
+
+    /// An assistant message.
+    pub fn assistant(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::Assistant,
+            content: content.into(),
+        }
+    }
+}
+
+/// A chat-completion language model. COSYNTH drives everything through
+/// this trait; `SimulatedGpt4` implements it here, and a real API client
+/// could implement it elsewhere.
+pub trait LanguageModel {
+    /// Produces the assistant's next message for a transcript.
+    fn complete(&mut self, transcript: &[Message]) -> String;
+
+    /// Model name for reports.
+    fn name(&self) -> &str {
+        "llm"
+    }
+}
+
+/// Extracts the last ``` fenced block from a message, if any — the
+/// convention COSYNTH uses to pass configs in prompts and the simulated
+/// model uses to return them.
+pub fn last_fenced_block(text: &str) -> Option<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            match current.take() {
+                Some(block) => blocks.push(block),
+                None => current = Some(String::new()),
+            }
+        } else if let Some(b) = current.as_mut() {
+            b.push_str(line);
+            b.push('\n');
+        }
+    }
+    blocks.pop()
+}
+
+/// Wraps a config in a fenced block.
+pub fn fence(config: &str) -> String {
+    format!("```\n{}```\n", ensure_trailing_newline(config))
+}
+
+fn ensure_trailing_newline(s: &str) -> String {
+    if s.ends_with('\n') {
+        s.to_string()
+    } else {
+        format!("{s}\n")
+    }
+}
+
+/// A deterministic scripted model for unit tests: pops canned responses.
+pub struct ScriptedLlm {
+    responses: std::collections::VecDeque<String>,
+}
+
+impl ScriptedLlm {
+    /// Builds from responses served in order; repeats the last one when
+    /// exhausted.
+    pub fn new<I: IntoIterator<Item = String>>(responses: I) -> Self {
+        ScriptedLlm {
+            responses: responses.into_iter().collect(),
+        }
+    }
+}
+
+impl LanguageModel for ScriptedLlm {
+    fn complete(&mut self, _transcript: &[Message]) -> String {
+        if self.responses.len() > 1 {
+            self.responses.pop_front().unwrap()
+        } else {
+            self.responses.front().cloned().unwrap_or_default()
+        }
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fenced_block_extraction() {
+        let text = "Here is the config:\n```\nhostname r1\n```\nDone.";
+        assert_eq!(last_fenced_block(text).unwrap(), "hostname r1\n");
+    }
+
+    #[test]
+    fn last_block_wins() {
+        let text = "```\nfirst\n```\nand\n```\nsecond\n```";
+        assert_eq!(last_fenced_block(text).unwrap(), "second\n");
+    }
+
+    #[test]
+    fn no_block_is_none() {
+        assert_eq!(last_fenced_block("no code here"), None);
+    }
+
+    #[test]
+    fn fence_roundtrip() {
+        let cfg = "hostname r1\nrouter bgp 1";
+        let fenced = fence(cfg);
+        assert_eq!(last_fenced_block(&fenced).unwrap(), "hostname r1\nrouter bgp 1\n");
+    }
+
+    #[test]
+    fn scripted_llm_pops_then_repeats() {
+        let mut m = ScriptedLlm::new(vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(m.complete(&[]), "a");
+        assert_eq!(m.complete(&[]), "b");
+        assert_eq!(m.complete(&[]), "b");
+    }
+
+    #[test]
+    fn message_constructors() {
+        assert_eq!(Message::system("x").role, Role::System);
+        assert_eq!(Message::user("x").role, Role::User);
+        assert_eq!(Message::assistant("x").role, Role::Assistant);
+    }
+}

@@ -1,0 +1,341 @@
+//! The prompt-engineering contract: how COSYNTH phrases tasks, policies
+//! and rectifications, and how the simulated model recognizes them.
+//!
+//! COSYNTH's humanizer and modularizer build prompts with these helpers;
+//! [`classify`] is the inverse the simulated GPT-4 uses. Keeping both
+//! sides in one module is the reproduction's stand-in for "GPT-4
+//! understands the formulaic prompt" — the formats are fixed by the IIP
+//! methodology, so recognition is legitimate, and a real LLM behind the
+//! trait would simply read the same text.
+
+use net_model::Community;
+use std::net::Ipv4Addr;
+
+/// Task sentence for the translation use case (Section 3.1).
+pub const TRANSLATE_TASK: &str =
+    "Translate the configuration into an equivalent Juniper configuration.";
+
+/// Task sentence asking for a per-router config (Section 4.1).
+pub const SYNTH_TASK: &str =
+    "Generate the Cisco IOS configuration file (.cfg) for this router.";
+
+/// Request to print the full current config after a fix.
+pub const PRINT_CONFIG: &str = "Print the entire configuration.";
+
+/// The global-policy prompt of the local-vs-global ablation.
+pub const GLOBAL_TASK: &str = "Make the network follow the no-transit policy: no two ISPs \
+     should be able to reach each other, but all ISPs and the CUSTOMER \
+     must be able to reach each other. Generate the Cisco IOS \
+     configuration files for all routers.";
+
+/// Builds the ingress-tagging local policy sentence for one neighbor.
+pub fn ingress_tag_sentence(neighbor: Ipv4Addr, community: Community, map: &str) -> String {
+    format!(
+        "At ingress from neighbor {neighbor}, add community {community} to all \
+         routes using route-map {map}."
+    )
+}
+
+/// Builds the egress-filter local policy sentence for one neighbor.
+pub fn egress_filter_sentence(neighbor: Ipv4Addr, communities: &[Community], map: &str) -> String {
+    let cs: Vec<String> = communities.iter().map(|c| c.to_string()).collect();
+    format!(
+        "At egress to neighbor {neighbor}, deny routes carrying any of the \
+         communities {} and permit all other routes using route-map {map}.",
+        cs.join(", ")
+    )
+}
+
+/// How a rectification prompt is classified by the simulated model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PromptClass {
+    /// "There is a syntax error: `'<line>'`" (Table 1 row 1 / Table 3 row 1).
+    SyntaxError {
+        /// The quoted offending line.
+        quoted: String,
+    },
+    /// Structural mismatch about a missing/extra per-neighbor policy.
+    StructuralMissingPolicy,
+    /// Structural mismatch about a missing/extra neighbor or interface.
+    StructuralMissingComponent,
+    /// Attribute difference: OSPF link cost.
+    AttributeOspfCost,
+    /// Attribute difference: passive-interface setting.
+    AttributeOspfPassive,
+    /// Attribute difference: local AS / remote AS / router id.
+    AttributeAsOrId,
+    /// Policy behaviour: MED value.
+    PolicyMed,
+    /// Policy behaviour: prefix-length matching (the `ge 24` case).
+    PolicyPrefixLength,
+    /// Policy behaviour: redistribution into BGP.
+    PolicyRedistribution,
+    /// Policy behaviour: a community add/filter counterexample.
+    PolicyCommunity,
+    /// Topology verifier finding (any of Table 3's seven).
+    TopologyError,
+    /// Human prompt: add `from bgp` conditions (the redistribution fix).
+    HumanFromBgp,
+    /// Human prompt: translate `ge`/prefix-length ranges properly.
+    HumanPrefixLength,
+    /// Human prompt: put each match in its own route-map stanza.
+    HumanSeparateStanzas,
+    /// Human prompt: move neighbor commands under `router bgp`.
+    HumanNeighborPlacement,
+    /// A request to print the whole config.
+    PrintConfig,
+    /// The initial task or anything unrecognized.
+    Other,
+}
+
+/// Classifies a prompt by the humanizer's formulaic markers.
+pub fn classify(prompt: &str) -> PromptClass {
+    let p = prompt.to_ascii_lowercase();
+    if p.contains("print the entire configuration") {
+        return PromptClass::PrintConfig;
+    }
+    if let Some(idx) = p.find("there is a syntax error") {
+        // Quoted line between the first pair of '...' after the marker.
+        let rest = &prompt[idx..];
+        let quoted = rest
+            .split('\'')
+            .nth(1)
+            .unwrap_or_default()
+            .to_string();
+        return PromptClass::SyntaxError { quoted };
+    }
+    // Human prompts (checked before the generated-prompt markers because
+    // they are imperative and specific).
+    if p.contains("from bgp") && p.contains("condition") {
+        return PromptClass::HumanFromBgp;
+    }
+    if p.contains("separate route-map stanza") || p.contains("separate stanza") {
+        return PromptClass::HumanSeparateStanzas;
+    }
+    if p.contains("under the 'router bgp'") || p.contains("inside the 'router bgp'") {
+        return PromptClass::HumanNeighborPlacement;
+    }
+    if p.contains("prefix-length-range") && p.contains("use") {
+        return PromptClass::HumanPrefixLength;
+    }
+    // Generated prompts.
+    if p.contains("in the original configuration") {
+        if p.contains("no corresponding") && (p.contains("route map") || p.contains("route-map")) {
+            return PromptClass::StructuralMissingPolicy;
+        }
+        if p.contains("ospf link") && p.contains("cost") {
+            return PromptClass::AttributeOspfCost;
+        }
+        if p.contains("passive") {
+            return PromptClass::AttributeOspfPassive;
+        }
+        if p.contains("med") {
+            return PromptClass::PolicyMed;
+        }
+        if p.contains("prefix") && (p.contains("length") || p.contains("ge ")) {
+            return PromptClass::PolicyPrefixLength;
+        }
+        if p.contains("redistribut") {
+            return PromptClass::PolicyRedistribution;
+        }
+        if p.contains("performs the following action") {
+            // Generic policy-difference formula (Table 1 row 4) — checked
+            // before the component markers because the formula itself
+            // names the neighbor.
+            return PromptClass::PolicyCommunity;
+        }
+        if p.contains("neighbor") || p.contains("interface") {
+            return PromptClass::StructuralMissingComponent;
+        }
+        if p.contains("as number") || p.contains("router id") || p.contains("local as") {
+            return PromptClass::AttributeAsOrId;
+        }
+    }
+    if p.contains("does not match with given config")
+        || p.contains("not declared")
+        || p.contains("incorrect network declaration")
+        || p.contains("incorrect neighbor declaration")
+        || p.contains("local as number does not match")
+        || p.contains("router id does not match")
+        || p.contains("not directly connected")
+    {
+        return PromptClass::TopologyError;
+    }
+    if p.contains("route-map")
+        && (p.contains("permits routes")
+            || p.contains("denies routes")
+            || p.contains("without adding the community")
+            || p.contains("should be preserved")
+            || p.contains("additive"))
+    {
+        // Table 3's semantic-error formulas (filter, carry, preserve).
+        return PromptClass::PolicyCommunity;
+    }
+    if p.contains("local as") || p.contains("autonomous-system") {
+        return PromptClass::SyntaxError {
+            quoted: String::new(),
+        };
+    }
+    PromptClass::Other
+}
+
+/// Parses an ingress-tag policy sentence back into its fields.
+pub fn parse_ingress_tag(s: &str) -> Option<(Ipv4Addr, Community, String)> {
+    let s = s.trim();
+    let rest = s.strip_prefix("At ingress from neighbor ")?;
+    let (addr, rest) = rest.split_once(',')?;
+    let addr: Ipv4Addr = addr.trim().parse().ok()?;
+    let rest = rest.trim().strip_prefix("add community ")?;
+    let (comm, rest) = rest.split_once(" to all")?;
+    let community: Community = comm.trim().parse().ok()?;
+    let map = rest.split("route-map ").nth(1)?.trim_end_matches('.').trim();
+    Some((addr, community, map.to_string()))
+}
+
+/// Parses an egress-filter policy sentence back into its fields.
+pub fn parse_egress_filter(s: &str) -> Option<(Ipv4Addr, Vec<Community>, String)> {
+    let s = s.trim();
+    let rest = s.strip_prefix("At egress to neighbor ")?;
+    let (addr, rest) = rest.split_once(',')?;
+    let addr: Ipv4Addr = addr.trim().parse().ok()?;
+    let comms_part = rest.split("communities ").nth(1)?.split(" and permit").next()?;
+    let communities: Option<Vec<Community>> = comms_part
+        .split(',')
+        .map(|c| c.trim().parse().ok())
+        .collect();
+    let map = rest.split("route-map ").nth(1)?.trim_end_matches('.').trim();
+    Some((addr, communities?, map.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ingress_sentence_roundtrip() {
+        let s = ingress_tag_sentence("2.0.0.2".parse().unwrap(), comm("100:1"), "ADD_COMM_R2");
+        let (a, c, m) = parse_ingress_tag(&s).unwrap();
+        assert_eq!(a.to_string(), "2.0.0.2");
+        assert_eq!(c, comm("100:1"));
+        assert_eq!(m, "ADD_COMM_R2");
+    }
+
+    #[test]
+    fn egress_sentence_roundtrip() {
+        let s = egress_filter_sentence(
+            "2.0.0.2".parse().unwrap(),
+            &[comm("101:1"), comm("102:1")],
+            "FILTER_COMM_OUT_R2",
+        );
+        let (a, cs, m) = parse_egress_filter(&s).unwrap();
+        assert_eq!(a.to_string(), "2.0.0.2");
+        assert_eq!(cs, vec![comm("101:1"), comm("102:1")]);
+        assert_eq!(m, "FILTER_COMM_OUT_R2");
+    }
+
+    #[test]
+    fn classify_syntax_error_extracts_quote() {
+        let c = classify(
+            "There is a syntax error: 'policy-options prefix-list our-networks 1.2.3.0/24-32'",
+        );
+        assert_eq!(
+            c,
+            PromptClass::SyntaxError {
+                quoted: "policy-options prefix-list our-networks 1.2.3.0/24-32".into()
+            }
+        );
+    }
+
+    #[test]
+    fn classify_table1_formulas() {
+        assert_eq!(
+            classify(
+                "In the original configuration, there is an import route map for bgp \
+                 neighbor 2.3.4.5, but in the translation, there is no corresponding route map"
+            ),
+            PromptClass::StructuralMissingPolicy
+        );
+        assert_eq!(
+            classify(
+                "In the original configuration, the OSPF link for Loopback0 has cost set \
+                 to 1, but in the translation, the corresponding link to lo0.0 has cost set to 0"
+            ),
+            PromptClass::AttributeOspfCost
+        );
+        assert!(matches!(
+            classify(
+                "In the original configuration, for the prefix 1.2.3.0/25, the BGP export \
+                 policy to_provider for BGP neighbor 2.3.4.5 performs the following action: \
+                 ACCEPT. But, in the translation, the corresponding BGP export policy \
+                 to_provider performs the following action: REJECT"
+            ),
+            PromptClass::PolicyCommunity | PromptClass::PolicyPrefixLength
+        ));
+    }
+
+    #[test]
+    fn classify_topology_formulas() {
+        for p in [
+            "Interface eth0/1 ip address does not match with given config. Expected 2.0.0.1, found 2.0.0.2",
+            "Local AS number does not match. Expected 1, found 3",
+            "Router ID does not match with given config. Expected 1.0.0.2, found 1.0.0.1",
+            "Neighbor with IP address 1.0.0.1 and AS 1 not declared",
+            "Network 1.0.0.0/24 not declared",
+            "Incorrect network declaration. 7.0.0.0/24 is not directly connected to R1",
+            "Incorrect neighbor declaration. No neighbor with IP address 7.0.0.2 AS 7 found",
+        ] {
+            assert_eq!(classify(p), PromptClass::TopologyError, "{p}");
+        }
+    }
+
+    #[test]
+    fn classify_semantic_formula() {
+        assert_eq!(
+            classify(
+                "The route-map DROP_COMMUNITY permits routes that have the community \
+                 100:1. However, they should be denied."
+            ),
+            PromptClass::PolicyCommunity
+        );
+    }
+
+    #[test]
+    fn classify_human_prompts() {
+        assert_eq!(
+            classify("Please add 'from bgp' conditions to the routing policies that control redistribution."),
+            PromptClass::HumanFromBgp
+        );
+        assert_eq!(
+            classify("Declare each match statement in a separate route-map stanza."),
+            PromptClass::HumanSeparateStanzas
+        );
+        assert_eq!(
+            classify("The neighbor commands must be placed inside the 'router bgp' block; move them there."),
+            PromptClass::HumanNeighborPlacement
+        );
+        assert_eq!(
+            classify("To match prefixes of length 24 to 32, use 'route-filter 1.2.3.0/24 prefix-length-range /24-/32'."),
+            PromptClass::HumanPrefixLength
+        );
+    }
+
+    #[test]
+    fn classify_print() {
+        assert_eq!(classify("Print the entire configuration."), PromptClass::PrintConfig);
+    }
+
+    #[test]
+    fn classify_med() {
+        assert_eq!(
+            classify(
+                "In the original configuration, the BGP MED value set by policy \
+                 to_provider is 50, but in the translation it is 999."
+            ),
+            PromptClass::PolicyMed
+        );
+    }
+}

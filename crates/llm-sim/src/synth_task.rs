@@ -1,0 +1,542 @@
+//! The synthesis task: parsing the Modularizer's prompt back into a
+//! router spec + local policies, building the reference config, and
+//! injecting synthesis faults.
+
+use crate::faults::FaultKind;
+use crate::prompts;
+use config_ir::{
+    Condition, Device, IrBgp, IrClause, IrCommunitySet, IrInterface, IrNeighbor, IrPolicy,
+    Modifier,
+};
+use net_model::{Asn, Community, InterfaceAddress, Prefix};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// What the simulated model understood from a synthesis prompt — the
+/// router's connectivity facts plus local policies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnderstoodRouter {
+    /// Router name.
+    pub name: String,
+    /// Local AS.
+    pub asn: Option<Asn>,
+    /// Router id.
+    pub router_id: Option<Ipv4Addr>,
+    /// Interfaces: `(name, address)`.
+    pub interfaces: Vec<(String, InterfaceAddress)>,
+    /// Neighbors: `(addr, asn)`.
+    pub neighbors: Vec<(Ipv4Addr, Asn)>,
+    /// Networks to announce.
+    pub networks: Vec<Prefix>,
+    /// Ingress tagging policies: `(neighbor, community, map name)`.
+    pub ingress_tags: Vec<(Ipv4Addr, Community, String)>,
+    /// Egress filter policies: `(neighbor, communities, map name)`.
+    pub egress_filters: Vec<(Ipv4Addr, Vec<Community>, String)>,
+}
+
+/// Parses a synthesis prompt (the Modularizer's `describe_router` output
+/// plus policy sentences) into the understood facts.
+pub fn understand_prompt(prompt: &str) -> UnderstoodRouter {
+    let mut u = UnderstoodRouter::default();
+    for line in prompt.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("Router ") {
+            // "Router R2 has AS number 2 and BGP router-id 1.0.0.2."
+            if let Some((name, tail)) = rest.split_once(" has AS number ") {
+                u.name = name.trim().to_string();
+                let mut parts = tail.split(" and BGP router-id ");
+                if let Some(asn) = parts.next().and_then(|x| x.trim().parse::<u32>().ok()) {
+                    u.asn = Some(Asn(asn));
+                }
+                if let Some(id) = parts
+                    .next()
+                    .and_then(|x| x.trim_end_matches('.').trim().parse::<Ipv4Addr>().ok())
+                {
+                    u.router_id = Some(id);
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("Interface ") {
+            // "Interface Ethernet0/0 has IP address 2.0.0.2 (mask
+            // 255.255.255.0) and connects to R1."
+            if let Some((name, tail)) = rest.split_once(" has IP address ") {
+                let addr = tail.split_whitespace().next().unwrap_or_default();
+                let mask = tail
+                    .split("(mask ")
+                    .nth(1)
+                    .and_then(|x| x.split(')').next())
+                    .unwrap_or_default();
+                if let Ok(a) = InterfaceAddress::parse(&format!("{addr} {mask}")) {
+                    u.interfaces.push((name.trim().to_string(), a));
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("It has an eBGP neighbor ") {
+            // "It has an eBGP neighbor 2.0.0.1 with AS number 1 (R1)."
+            if let Some((addr, tail)) = rest.split_once(" with AS number ") {
+                let asn = tail
+                    .split_whitespace()
+                    .next()
+                    .and_then(|x| x.parse::<u32>().ok());
+                if let (Ok(a), Some(n)) = (addr.trim().parse::<Ipv4Addr>(), asn) {
+                    u.neighbors.push((a, Asn(n)));
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("It must announce the following networks in BGP: ")
+        {
+            for tok in rest.trim_end_matches('.').split(',') {
+                if let Ok(p) = tok.trim().parse::<Prefix>() {
+                    u.networks.push(p);
+                }
+            }
+        } else if line.starts_with("At ingress from neighbor ") {
+            if let Some(t) = prompts::parse_ingress_tag(line) {
+                u.ingress_tags.push(t);
+            }
+        } else if line.starts_with("At egress to neighbor ") {
+            if let Some(t) = prompts::parse_egress_filter(line) {
+                u.egress_filters.push(t);
+            }
+        }
+    }
+    u
+}
+
+/// Builds the *reference* (correct) device for the understood facts: all
+/// interfaces and sessions, correct policies with OR-semantics filters
+/// and additive tagging.
+pub fn reference_device(u: &UnderstoodRouter) -> Device {
+    let mut d = Device::named(&u.name);
+    for (name, addr) in &u.interfaces {
+        let mut i = IrInterface::named(name);
+        i.address = Some(*addr);
+        d.interfaces.push(i);
+    }
+    let mut bgp = IrBgp::new(u.asn.unwrap_or(Asn::RESERVED));
+    bgp.router_id = u.router_id;
+    bgp.networks = u.networks.clone();
+    for (addr, asn) in &u.neighbors {
+        let mut n = IrNeighbor::new(*addr);
+        n.remote_as = Some(*asn);
+        n.send_community = true;
+        bgp.neighbors.push(n);
+    }
+    // Ingress tagging: per-neighbor import map adding one community
+    // (additively — the correct form).
+    for (addr, community, map) in &u.ingress_tags {
+        let mut p = IrPolicy::new(map.clone());
+        let mut clause = IrClause::permit_all("10");
+        clause.modifiers.push(Modifier::SetCommunities {
+            communities: BTreeSet::from([*community]),
+            additive: true,
+        });
+        p.clauses.push(clause);
+        d.policies.push(p);
+        if let Some(n) = bgp.neighbors.iter_mut().find(|n| n.addr == *addr) {
+            n.import_policy.push(map.clone());
+        }
+    }
+    // Egress filters: per-neighbor export map with one community list per
+    // community (separate stanzas = OR semantics, the correct form).
+    for (addr, communities, map) in &u.egress_filters {
+        let mut p = IrPolicy::new(map.clone());
+        let mut set_names = Vec::new();
+        for c in communities {
+            let set_name = format!("cl-{}-{}", c.high, c.low);
+            if d.community_set(&set_name).is_none() {
+                d.community_sets.push(IrCommunitySet::single(&set_name, *c));
+            }
+            set_names.push(set_name);
+        }
+        for (i, set_name) in set_names.iter().enumerate() {
+            let mut deny = IrClause::deny_all(((i + 1) * 10).to_string());
+            deny.conditions.push(Condition::community_set(set_name));
+            p.clauses.push(deny);
+        }
+        p.clauses
+            .push(IrClause::permit_all(((set_names.len() + 1) * 10).to_string()));
+        d.policies.push(p);
+        if let Some(n) = bgp.neighbors.iter_mut().find(|n| n.addr == *addr) {
+            n.export_policy.push(map.clone());
+        }
+    }
+    d.bgp = Some(bgp);
+    d
+}
+
+/// State of one per-router synthesis conversation.
+#[derive(Debug, Clone)]
+pub struct SynthesisDraft {
+    /// What the model understood.
+    pub understood: UnderstoodRouter,
+    /// Active faults.
+    pub active: BTreeSet<FaultKind>,
+    /// Ever-active faults.
+    pub seen: BTreeSet<FaultKind>,
+}
+
+impl SynthesisDraft {
+    /// Creates the draft with initial faults.
+    pub fn new(prompt: &str, faults: BTreeSet<FaultKind>) -> Self {
+        SynthesisDraft {
+            understood: understand_prompt(prompt),
+            seen: faults.clone(),
+            active: faults,
+        }
+    }
+
+    /// Renders the current Cisco config text.
+    pub fn render(&self) -> String {
+        let mut device = reference_device(&self.understood);
+        for f in &self.active {
+            mutate_device(*f, &mut device, &self.understood);
+        }
+        let (ast, _notes) = config_ir::to_cisco(&device);
+        let mut text = cisco_cfg::print(&ast);
+        for f in &self.active {
+            mutate_text(*f, &mut text, &self.understood);
+        }
+        text
+    }
+
+    /// Marks a fault fixed.
+    pub fn fix(&mut self, f: FaultKind) -> bool {
+        self.active.remove(&f)
+    }
+
+    /// (Re)introduces a fault.
+    pub fn introduce(&mut self, f: FaultKind) {
+        self.active.insert(f);
+        self.seen.insert(f);
+    }
+}
+
+/// IR-level synthesis fault mutations.
+fn mutate_device(f: FaultKind, d: &mut Device, u: &UnderstoodRouter) {
+    match f {
+        FaultKind::MissingAdditive => {
+            for p in &mut d.policies {
+                for c in &mut p.clauses {
+                    for m in &mut c.modifiers {
+                        if let Modifier::SetCommunities { additive, .. } = m {
+                            *additive = false;
+                        }
+                    }
+                }
+            }
+        }
+        FaultKind::AndSemanticsFilter => {
+            // Collapse each egress filter's separate deny stanzas into one
+            // stanza with multiple match conditions (AND).
+            for (_, communities, map) in &u.egress_filters {
+                let Some(p) = d.policies.iter_mut().find(|p| &p.name == map) else {
+                    continue;
+                };
+                let set_names: Vec<String> = communities
+                    .iter()
+                    .map(|c| format!("cl-{}-{}", c.high, c.low))
+                    .collect();
+                let mut deny = IrClause::deny_all("10");
+                for s in &set_names {
+                    deny.conditions.push(Condition::community_set(s));
+                }
+                p.clauses = vec![deny, IrClause::permit_all("20")];
+            }
+        }
+        FaultKind::WrongIfaceAddress => {
+            if let Some(i) = d.interfaces.first_mut() {
+                if let Some(a) = i.address.as_mut() {
+                    // Swap the host part .1 <-> .2 (the Table 3 example:
+                    // expected 2.0.0.1, found 2.0.0.2).
+                    let old = u32::from(a.addr);
+                    let flipped = if old & 1 == 1 { old + 1 } else { old - 1 };
+                    a.addr = Ipv4Addr::from(flipped);
+                }
+            }
+        }
+        FaultKind::WrongLocalAs => {
+            if let Some(b) = d.bgp.as_mut() {
+                b.asn = Asn(b.asn.0 + 2);
+            }
+        }
+        FaultKind::WrongRouterId => {
+            if let Some(b) = d.bgp.as_mut() {
+                if let Some(id) = b.router_id.as_mut() {
+                    let v = u32::from(*id);
+                    *id = Ipv4Addr::from(v ^ 3);
+                }
+            }
+        }
+        FaultKind::MissingNeighbor => {
+            if let Some(b) = d.bgp.as_mut() {
+                b.neighbors.pop();
+            }
+        }
+        FaultKind::MissingNetwork => {
+            if let Some(b) = d.bgp.as_mut() {
+                b.networks.pop();
+            }
+        }
+        FaultKind::ExtraNetwork => {
+            // TEST-NET-2: guaranteed outside every generated topology, so
+            // the phantom network never collides with a real one.
+            if let Some(b) = d.bgp.as_mut() {
+                b.networks.push("198.51.100.0/24".parse().unwrap());
+            }
+        }
+        FaultKind::ExtraNeighbor => {
+            // TEST-NET-3: a phantom peer that cannot collide with a real
+            // neighbor (a collision would silently overwrite the real
+            // neighbor's policy attachments — invisible to local checks).
+            if let Some(b) = d.bgp.as_mut() {
+                let mut n = IrNeighbor::new("203.0.113.2".parse().unwrap());
+                n.remote_as = Some(Asn(65099));
+                b.neighbors.push(n);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Text-level synthesis fault mutations.
+fn mutate_text(f: FaultKind, text: &mut String, u: &UnderstoodRouter) {
+    match f {
+        FaultKind::CliPromptLines => {
+            *text = format!("configure terminal\n{text}end\nwrite\n");
+        }
+        FaultKind::WrongKeywordLines => {
+            // `ip routing` jammed in after the hostname.
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            let at = lines
+                .iter()
+                .position(|l| l.starts_with("hostname"))
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            lines.insert(at, "ip routing".to_string());
+            *text = lines.join("\n");
+            text.push('\n');
+        }
+        FaultKind::MatchCommunityLiteral => {
+            // Replace the first `match community <list>` with the literal
+            // value (Section 4.2's exact mistake).
+            let literal = u
+                .egress_filters
+                .first()
+                .and_then(|(_, cs, _)| cs.first())
+                .or_else(|| {
+                    // fall back to the ingress tag community
+                    u.ingress_tags.first().map(|(_, c, _)| c)
+                })
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "100:1".to_string());
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            if let Some(i) = lines.iter().position(|l| l.trim_start().starts_with("match community "))
+            {
+                lines[i] = format!(" match community {literal}");
+                *text = lines.join("\n");
+                text.push('\n');
+            }
+        }
+        FaultKind::MisplacedNeighborCmd => {
+            // Move the first neighbor route-map attachment to the end of
+            // the file, outside the router bgp block.
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            if let Some(i) = lines.iter().position(|l| {
+                let t = l.trim_start();
+                t.starts_with("neighbor ") && t.contains(" route-map ")
+            }) {
+                let line = lines.remove(i);
+                lines.push(line.trim_start().to_string());
+                *text = lines.join("\n");
+                text.push('\n');
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts::{egress_filter_sentence, ingress_tag_sentence};
+
+    fn sample_prompt() -> String {
+        let mut p = String::from(
+            "Router R1 has AS number 1 and BGP router-id 1.0.0.1.\n\
+             Interface Ethernet0/1 has IP address 2.0.0.1 (mask 255.255.255.0) and connects to R2.\n\
+             Interface Ethernet0/2 has IP address 3.0.0.1 (mask 255.255.255.0) and connects to R3.\n\
+             It has an eBGP neighbor 2.0.0.2 with AS number 2 (R2).\n\
+             It has an eBGP neighbor 3.0.0.2 with AS number 3 (R3).\n\
+             It must announce the following networks in BGP: 2.0.0.0/24, 3.0.0.0/24.\n",
+        );
+        p.push_str(&ingress_tag_sentence(
+            "2.0.0.2".parse().unwrap(),
+            "100:1".parse().unwrap(),
+            "ADD_COMM_R2",
+        ));
+        p.push('\n');
+        p.push_str(&ingress_tag_sentence(
+            "3.0.0.2".parse().unwrap(),
+            "101:1".parse().unwrap(),
+            "ADD_COMM_R3",
+        ));
+        p.push('\n');
+        p.push_str(&egress_filter_sentence(
+            "2.0.0.2".parse().unwrap(),
+            &["101:1".parse().unwrap()],
+            "FILTER_COMM_OUT_R2",
+        ));
+        p.push('\n');
+        p.push_str(&egress_filter_sentence(
+            "3.0.0.2".parse().unwrap(),
+            &["100:1".parse().unwrap()],
+            "FILTER_COMM_OUT_R3",
+        ));
+        p.push('\n');
+        p
+    }
+
+    #[test]
+    fn understands_the_full_prompt() {
+        let u = understand_prompt(&sample_prompt());
+        assert_eq!(u.name, "R1");
+        assert_eq!(u.asn, Some(Asn(1)));
+        assert_eq!(u.router_id.unwrap().to_string(), "1.0.0.1");
+        assert_eq!(u.interfaces.len(), 2);
+        assert_eq!(u.neighbors.len(), 2);
+        assert_eq!(u.networks.len(), 2);
+        assert_eq!(u.ingress_tags.len(), 2);
+        assert_eq!(u.egress_filters.len(), 2);
+    }
+
+    #[test]
+    fn clean_draft_parses_and_satisfies_local_checks() {
+        let d = SynthesisDraft::new(&sample_prompt(), BTreeSet::new());
+        let text = d.render();
+        let parsed = bf_lite::parse_config(&text, None);
+        assert!(parsed.is_clean(), "{:?}\n{text}", parsed.warnings);
+        // Ingress check: permitted routes carry 100:1.
+        let check = bf_lite::LocalPolicyCheck::PermittedRoutesCarry {
+            chain: vec!["ADD_COMM_R2".into()],
+            community: "100:1".parse().unwrap(),
+        };
+        assert!(bf_lite::check_local_policy(&parsed.device, &check).is_ok());
+        // Egress check: routes with 101:1 denied toward R2.
+        let check = bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied {
+            chain: vec!["FILTER_COMM_OUT_R2".into()],
+            community: "101:1".parse().unwrap(),
+        };
+        assert!(bf_lite::check_local_policy(&parsed.device, &check).is_ok());
+    }
+
+    #[test]
+    fn and_semantics_fault_fails_egress_check() {
+        // Use two filtered communities so AND vs OR differs.
+        let mut prompt = sample_prompt();
+        prompt = prompt.replace(
+            &egress_filter_sentence(
+                "2.0.0.2".parse().unwrap(),
+                &["101:1".parse().unwrap()],
+                "FILTER_COMM_OUT_R2",
+            ),
+            &egress_filter_sentence(
+                "2.0.0.2".parse().unwrap(),
+                &["101:1".parse().unwrap(), "102:1".parse().unwrap()],
+                "FILTER_COMM_OUT_R2",
+            ),
+        );
+        let d = SynthesisDraft::new(&prompt, BTreeSet::from([FaultKind::AndSemanticsFilter]));
+        let text = d.render();
+        let parsed = bf_lite::parse_config(&text, None);
+        assert!(parsed.is_clean(), "{:?}", parsed.warnings);
+        let check = bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied {
+            chain: vec!["FILTER_COMM_OUT_R2".into()],
+            community: "101:1".parse().unwrap(),
+        };
+        let violation = bf_lite::check_local_policy(&parsed.device, &check).unwrap_err();
+        assert!(violation
+            .communities
+            .contains(&"101:1".parse().unwrap()));
+    }
+
+    #[test]
+    fn missing_additive_fault_fails_preserve_check() {
+        let d = SynthesisDraft::new(&sample_prompt(), BTreeSet::from([FaultKind::MissingAdditive]));
+        let parsed = bf_lite::parse_config(&d.render(), None);
+        let mut device = parsed.device;
+        device.community_sets.push(IrCommunitySet::single(
+            "probe",
+            "999:9".parse().unwrap(),
+        ));
+        let check = bf_lite::LocalPolicyCheck::PermittedRoutesPreserve {
+            chain: vec!["ADD_COMM_R2".into()],
+            community: "999:9".parse().unwrap(),
+        };
+        assert!(bf_lite::check_local_policy(&device, &check).is_err());
+    }
+
+    #[test]
+    fn cli_lines_fault_triggers_cli_warnings() {
+        let d = SynthesisDraft::new(&sample_prompt(), BTreeSet::from([FaultKind::CliPromptLines]));
+        let parsed = bf_lite::parse_config(&d.render(), None);
+        let cli = parsed
+            .warnings
+            .iter()
+            .filter(|w| w.kind == net_model::WarningKind::CliKeyword)
+            .count();
+        assert_eq!(cli, 3, "{:?}", parsed.warnings);
+    }
+
+    #[test]
+    fn match_literal_fault_triggers_warning() {
+        let d = SynthesisDraft::new(
+            &sample_prompt(),
+            BTreeSet::from([FaultKind::MatchCommunityLiteral]),
+        );
+        let parsed = bf_lite::parse_config(&d.render(), None);
+        assert!(parsed
+            .warnings
+            .iter()
+            .any(|w| w.kind == net_model::WarningKind::MatchCommunityLiteral));
+    }
+
+    #[test]
+    fn misplaced_neighbor_fault_triggers_warning_and_detaches_map() {
+        let d = SynthesisDraft::new(
+            &sample_prompt(),
+            BTreeSet::from([FaultKind::MisplacedNeighborCmd]),
+        );
+        let text = d.render();
+        let parsed = bf_lite::parse_config(&text, None);
+        assert!(parsed
+            .warnings
+            .iter()
+            .any(|w| w.kind == net_model::WarningKind::MisplacedCommand),
+            "{text}");
+    }
+
+    #[test]
+    fn topology_faults_detected_by_verifier() {
+        // Build the star, synthesize R2 from its description, inject each
+        // topology fault, and confirm the verifier sees it.
+        let (topology, _) = topo_model::star(2);
+        let desc = topo_model::describe_router(&topology, "R2").unwrap();
+        for f in [
+            FaultKind::WrongIfaceAddress,
+            FaultKind::WrongLocalAs,
+            FaultKind::WrongRouterId,
+            FaultKind::MissingNeighbor,
+            FaultKind::MissingNetwork,
+            FaultKind::ExtraNetwork,
+            FaultKind::ExtraNeighbor,
+        ] {
+            let d = SynthesisDraft::new(&desc, BTreeSet::from([f]));
+            let parsed = bf_lite::parse_config(&d.render(), None);
+            let findings = topo_model::verify_router(&topology, "R2", &parsed.device);
+            assert!(!findings.is_empty(), "{f:?} must be detected");
+        }
+        // And the clean draft has no findings.
+        let d = SynthesisDraft::new(&desc, BTreeSet::new());
+        let parsed = bf_lite::parse_config(&d.render(), None);
+        let findings = topo_model::verify_router(&topology, "R2", &parsed.device);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

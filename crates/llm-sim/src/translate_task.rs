@@ -1,0 +1,277 @@
+//! The translation task: reference translation plus fault injection.
+
+use crate::faults::FaultKind;
+use config_ir::from_juniper::ORIGINATE_POLICY;
+use config_ir::to_juniper::REDISTRIBUTE_PREFIX;
+use juniper_cfg::{FromCondition, JuniperConfig, ThenAction};
+use std::collections::BTreeSet;
+
+/// State of one translation conversation: the correct translation and the
+/// faults currently present in the draft.
+#[derive(Debug, Clone)]
+pub struct TranslationDraft {
+    /// The reference (correct) Junos AST.
+    pub reference: JuniperConfig,
+    /// Faults currently active.
+    pub active: BTreeSet<FaultKind>,
+    /// Faults that were active at some point (for reintroduction and the
+    /// Table 2 report).
+    pub seen: BTreeSet<FaultKind>,
+}
+
+impl TranslationDraft {
+    /// Builds the reference translation from Cisco text and activates the
+    /// given faults.
+    pub fn new(cisco_text: &str, faults: BTreeSet<FaultKind>) -> Self {
+        let (ast, _warnings) = cisco_cfg::parse(cisco_text);
+        let (device, _notes) = config_ir::from_cisco(&ast);
+        let (reference, _emit_notes) = config_ir::to_juniper(&device);
+        TranslationDraft {
+            reference,
+            seen: faults.clone(),
+            active: faults,
+        }
+    }
+
+    /// Renders the current draft: reference AST, minus fault mutations,
+    /// printed, plus text-level fault mutations.
+    pub fn render(&self) -> String {
+        let mut ast = self.reference.clone();
+        for f in &self.active {
+            mutate_ast(*f, &mut ast);
+        }
+        let mut text = juniper_cfg::print(&ast);
+        for f in &self.active {
+            mutate_text(*f, &mut text);
+        }
+        text
+    }
+
+    /// Marks a fault fixed.
+    pub fn fix(&mut self, f: FaultKind) -> bool {
+        self.active.remove(&f)
+    }
+
+    /// (Re)introduces a fault.
+    pub fn introduce(&mut self, f: FaultKind) {
+        self.active.insert(f);
+        self.seen.insert(f);
+    }
+}
+
+/// AST-level fault mutations on the Junos draft.
+fn mutate_ast(f: FaultKind, ast: &mut JuniperConfig) {
+    match f {
+        FaultKind::MissingLocalAs => {
+            ast.autonomous_system = None;
+            for g in &mut ast.bgp_groups {
+                g.local_as = None;
+            }
+        }
+        FaultKind::MissingExportPolicy => {
+            for g in &mut ast.bgp_groups {
+                g.export.clear();
+                for n in &mut g.neighbors {
+                    n.export.clear();
+                }
+            }
+        }
+        FaultKind::OspfCostWrong => {
+            // Table 1's example: the loopback's cost 1 becomes 0.
+            let mut done = false;
+            for a in &mut ast.ospf_areas {
+                for i in &mut a.interfaces {
+                    if !done && i.metric.is_some() {
+                        i.metric = Some(0);
+                        done = true;
+                    }
+                }
+            }
+        }
+        FaultKind::OspfPassiveDropped => {
+            for a in &mut ast.ospf_areas {
+                for i in &mut a.interfaces {
+                    i.passive = false;
+                }
+            }
+        }
+        FaultKind::WrongMed => {
+            for p in &mut ast.policies {
+                if p.name.starts_with(REDISTRIBUTE_PREFIX) || p.name == ORIGINATE_POLICY {
+                    continue;
+                }
+                for t in &mut p.terms {
+                    for a in &mut t.then {
+                        if let ThenAction::Metric(v) = a {
+                            *v = 999;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        FaultKind::Ge24Dropped => {
+            // Drop the length bounds on the first bounded route filter.
+            for p in &mut ast.policies {
+                for t in &mut p.terms {
+                    for c in &mut t.from {
+                        if let FromCondition::RouteFilter(pat) = c {
+                            if !pat.is_exact() {
+                                *c = FromCondition::RouteFilter(
+                                    net_model::PrefixPattern::exact(pat.prefix),
+                                );
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        FaultKind::RedistributionDropped => {
+            ast.policies.retain(|p| !p.name.starts_with(REDISTRIBUTE_PREFIX));
+        }
+        // Text faults and synthesis faults do nothing at this level.
+        _ => {}
+    }
+}
+
+/// Text-level fault mutations on the rendered Junos draft.
+fn mutate_text(f: FaultKind, text: &mut String) {
+    if f != FaultKind::BadPrefixListSyntax {
+        return;
+    }
+    // Replace the LAST bounded route-filter line with the invalid
+    // `<prefix>-32` spelling the paper quotes GPT-4 inventing.
+    let lines: Vec<&str> = text.lines().collect();
+    let target = lines.iter().rposition(|l| {
+        l.contains("route-filter ")
+            && (l.contains("prefix-length-range") || l.contains("orlonger") || l.contains("upto"))
+    });
+    let Some(idx) = target else { return };
+    let line = lines[idx];
+    let indent: String = line.chars().take_while(|c| c.is_whitespace()).collect();
+    let prefix_token = line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or("1.2.3.0/24")
+        .to_string();
+    let invalid = format!("{indent}route-filter {prefix_token}-32;");
+    let mut out: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+    out[idx] = invalid;
+    *text = out.join("\n");
+    text.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CISCO: &str = "\
+hostname border1
+interface Ethernet0/1
+ ip address 10.0.1.1 255.255.255.0
+ ip ospf cost 10
+interface Loopback0
+ ip address 1.2.3.4 255.255.255.255
+ ip ospf cost 1
+router ospf 1
+ router-id 1.2.3.4
+ network 10.0.1.0 0.0.0.255 area 0
+ network 1.2.3.4 0.0.0.0 area 0
+ passive-interface Loopback0
+router bgp 100
+ network 1.2.3.0 mask 255.255.255.0
+ neighbor 2.3.4.5 remote-as 200
+ neighbor 2.3.4.5 route-map to_provider out
+ neighbor 2.3.4.5 route-map from_provider in
+ redistribute ospf route-map ospf_to_bgp
+ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24
+ip prefix-list private-ips seq 5 permit 10.0.0.0/8 ge 8
+route-map to_provider permit 10
+ match ip address prefix-list our-networks
+ set metric 50
+route-map to_provider deny 100
+route-map from_provider deny 90
+ match ip address prefix-list private-ips
+route-map from_provider permit 100
+ set local-preference 120
+route-map ospf_to_bgp permit 10
+";
+
+    fn draft(faults: &[FaultKind]) -> TranslationDraft {
+        TranslationDraft::new(CISCO, faults.iter().copied().collect())
+    }
+
+    #[test]
+    fn clean_draft_is_reference() {
+        let d = draft(&[]);
+        let text = d.render();
+        let (_, warnings) = juniper_cfg::parse(&text);
+        assert!(warnings.is_empty(), "{warnings:?}\n{text}");
+    }
+
+    #[test]
+    fn missing_local_as_triggers_parse_warning() {
+        let d = draft(&[FaultKind::MissingLocalAs]);
+        let (_, warnings) = juniper_cfg::parse(&d.render());
+        assert!(warnings
+            .iter()
+            .any(|w| w.kind == net_model::WarningKind::MissingLocalAs));
+    }
+
+    #[test]
+    fn bad_prefix_list_syntax_triggers_parse_warning() {
+        let d = draft(&[FaultKind::BadPrefixListSyntax]);
+        let text = d.render();
+        assert!(text.contains("-32;"), "{text}");
+        let (_, warnings) = juniper_cfg::parse(&text);
+        assert!(warnings
+            .iter()
+            .any(|w| w.kind == net_model::WarningKind::BadPrefixListSyntax),
+            "{warnings:?}");
+    }
+
+    #[test]
+    fn semantic_faults_are_campion_visible() {
+        // Lower the original and each faulty render; Campion must find a
+        // difference for every semantic fault class.
+        let (cast, _) = cisco_cfg::parse(CISCO);
+        let (original, _) = config_ir::from_cisco(&cast);
+        for f in [
+            FaultKind::MissingExportPolicy,
+            FaultKind::OspfCostWrong,
+            FaultKind::OspfPassiveDropped,
+            FaultKind::WrongMed,
+            FaultKind::Ge24Dropped,
+            FaultKind::RedistributionDropped,
+        ] {
+            let d = draft(&[f]);
+            let (jast, w) = juniper_cfg::parse(&d.render());
+            assert!(w.is_empty(), "{f:?}: {w:?}");
+            let (translated, _) = config_ir::from_juniper(&jast);
+            let findings = campion_lite::compare(&original, &translated);
+            assert!(!findings.is_empty(), "{f:?} must be detected");
+        }
+    }
+
+    #[test]
+    fn fix_and_reintroduce() {
+        let mut d = draft(&[FaultKind::WrongMed]);
+        assert!(d.fix(FaultKind::WrongMed));
+        assert!(!d.fix(FaultKind::WrongMed), "already fixed");
+        assert!(d.active.is_empty());
+        d.introduce(FaultKind::WrongMed);
+        assert!(d.active.contains(&FaultKind::WrongMed));
+        assert!(d.seen.contains(&FaultKind::WrongMed));
+    }
+
+    #[test]
+    fn ge24_dropped_changes_length_range_only() {
+        let clean = draft(&[]).render();
+        let faulty = draft(&[FaultKind::Ge24Dropped]).render();
+        assert_ne!(clean, faulty);
+        // The faulty draft still parses cleanly — it's a semantic bug.
+        let (_, w) = juniper_cfg::parse(&faulty);
+        assert!(w.is_empty(), "{w:?}");
+    }
+}

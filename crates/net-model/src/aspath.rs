@@ -1,0 +1,216 @@
+//! AS paths.
+//!
+//! Modeled as a simple sequence of ASNs (AS_SEQUENCE only; AS_SET is not
+//! needed by the paper's scenarios). The no-transit use case's "innovative
+//! strategy" that GPT-4 proposed — filtering with AS-path regular
+//! expressions — motivates the small [`AsPathPattern`] matcher, which
+//! supports the `_N_` containment idiom used in IOS `ip as-path access-list`
+//! expressions.
+
+use crate::Asn;
+
+/// A BGP AS path (most recently prepended AS first, as on the wire).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct AsPath(pub Vec<Asn>);
+
+impl AsPath {
+    /// The empty path (a locally originated route).
+    pub fn empty() -> Self {
+        AsPath(Vec::new())
+    }
+
+    /// A path consisting of a single AS.
+    pub fn single(asn: Asn) -> Self {
+        AsPath(vec![asn])
+    }
+
+    /// Path length, the primary BGP tie-breaker.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for a locally originated route.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns a new path with `asn` prepended (as done on eBGP export).
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(asn);
+        v.extend_from_slice(&self.0);
+        AsPath(v)
+    }
+
+    /// Whether the path contains the given AS (loop detection; also the
+    /// `_N_` regex idiom).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// The neighboring (first) AS, if any.
+    pub fn first(&self) -> Option<Asn> {
+        self.0.first().copied()
+    }
+
+    /// The originating (last) AS, if any.
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.0.last().copied()
+    }
+}
+
+impl std::fmt::Display for AsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for asn in &self.0 {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{asn}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Asn> for AsPath {
+    fn from_iter<T: IntoIterator<Item = Asn>>(iter: T) -> Self {
+        AsPath(iter.into_iter().collect())
+    }
+}
+
+/// A tiny AS-path pattern language covering the idioms in IOS as-path
+/// access lists that the paper's scenarios could produce.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AsPathPattern {
+    /// `^$` — locally originated routes only.
+    Empty,
+    /// `_N_` — the path contains AS N anywhere.
+    Contains(Asn),
+    /// `^N_` — the path starts with (neighbor is) AS N.
+    StartsWith(Asn),
+    /// `_N$` — the path originates at AS N.
+    OriginatedBy(Asn),
+    /// `.*` — matches everything.
+    Any,
+}
+
+impl AsPathPattern {
+    /// Whether a path matches this pattern.
+    pub fn matches(&self, path: &AsPath) -> bool {
+        match self {
+            AsPathPattern::Empty => path.is_empty(),
+            AsPathPattern::Contains(a) => path.contains(*a),
+            AsPathPattern::StartsWith(a) => path.first() == Some(*a),
+            AsPathPattern::OriginatedBy(a) => path.origin_as() == Some(*a),
+            AsPathPattern::Any => true,
+        }
+    }
+
+    /// Render in the IOS regex spelling.
+    pub fn ios_regex(&self) -> String {
+        match self {
+            AsPathPattern::Empty => "^$".to_string(),
+            AsPathPattern::Contains(a) => format!("_{a}_"),
+            AsPathPattern::StartsWith(a) => format!("^{a}_"),
+            AsPathPattern::OriginatedBy(a) => format!("_{a}$"),
+            AsPathPattern::Any => ".*".to_string(),
+        }
+    }
+
+    /// Parse the IOS regex spelling for the supported idioms.
+    pub fn parse_ios(s: &str) -> Option<AsPathPattern> {
+        let s = s.trim();
+        if s == "^$" {
+            return Some(AsPathPattern::Empty);
+        }
+        if s == ".*" {
+            return Some(AsPathPattern::Any);
+        }
+        if let Some(inner) = s.strip_prefix('_').and_then(|t| t.strip_suffix('_')) {
+            return inner.parse().ok().map(AsPathPattern::Contains);
+        }
+        if let Some(inner) = s.strip_prefix('^').and_then(|t| t.strip_suffix('_')) {
+            return inner.parse().ok().map(AsPathPattern::StartsWith);
+        }
+        if let Some(inner) = s.strip_prefix('_').and_then(|t| t.strip_suffix('$')) {
+            return inner.parse().ok().map(AsPathPattern::OriginatedBy);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(v: &[u32]) -> AsPath {
+        v.iter().map(|&x| Asn(x)).collect()
+    }
+
+    #[test]
+    fn prepend_preserves_original() {
+        let p = path(&[2, 3]);
+        let q = p.prepend(Asn(1));
+        assert_eq!(q, path(&[1, 2, 3]));
+        assert_eq!(p, path(&[2, 3]), "prepend must not mutate");
+    }
+
+    #[test]
+    fn ends_and_lengths() {
+        let p = path(&[4, 5, 6]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.first(), Some(Asn(4)));
+        assert_eq!(p.origin_as(), Some(Asn(6)));
+        assert!(AsPath::empty().is_empty());
+        assert_eq!(AsPath::empty().first(), None);
+    }
+
+    #[test]
+    fn display_is_space_separated() {
+        assert_eq!(path(&[1, 2, 3]).to_string(), "1 2 3");
+        assert_eq!(AsPath::empty().to_string(), "");
+        assert_eq!(AsPath::single(Asn(7)).to_string(), "7");
+    }
+
+    #[test]
+    fn pattern_empty() {
+        assert!(AsPathPattern::Empty.matches(&AsPath::empty()));
+        assert!(!AsPathPattern::Empty.matches(&path(&[1])));
+    }
+
+    #[test]
+    fn pattern_contains() {
+        let pat = AsPathPattern::Contains(Asn(5));
+        assert!(pat.matches(&path(&[4, 5, 6])));
+        assert!(!pat.matches(&path(&[4, 6])));
+    }
+
+    #[test]
+    fn pattern_starts_and_origin() {
+        assert!(AsPathPattern::StartsWith(Asn(4)).matches(&path(&[4, 5])));
+        assert!(!AsPathPattern::StartsWith(Asn(5)).matches(&path(&[4, 5])));
+        assert!(AsPathPattern::OriginatedBy(Asn(5)).matches(&path(&[4, 5])));
+        assert!(!AsPathPattern::OriginatedBy(Asn(4)).matches(&path(&[4, 5])));
+    }
+
+    #[test]
+    fn pattern_regex_roundtrip() {
+        for pat in [
+            AsPathPattern::Empty,
+            AsPathPattern::Any,
+            AsPathPattern::Contains(Asn(3)),
+            AsPathPattern::StartsWith(Asn(9)),
+            AsPathPattern::OriginatedBy(Asn(12)),
+        ] {
+            let rendered = pat.ios_regex();
+            assert_eq!(AsPathPattern::parse_ios(&rendered), Some(pat), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn pattern_parse_rejects_general_regex() {
+        assert_eq!(AsPathPattern::parse_ios("^(1|2)_"), None);
+        assert_eq!(AsPathPattern::parse_ios("garbage"), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! BGP communities.
+//!
+//! The paper's second use case is built entirely on classic `high:low`
+//! communities: router R1 tags routes at ingress from each ISP with a
+//! distinct community (`100:1`, `101:1`, …) and filters on those communities
+//! at egress. The AND/OR semantics bug (Section 4.2) is about how sets of
+//! these values are matched, so community *sets* and community-list
+//! *entries* are modeled explicitly.
+
+use crate::error::NetModelError;
+use std::collections::BTreeSet;
+
+/// A classic 32-bit BGP community, displayed `high:low`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Community {
+    /// High 16 bits (conventionally the tagging AS).
+    pub high: u16,
+    /// Low 16 bits (operator-chosen tag).
+    pub low: u16,
+}
+
+impl Community {
+    /// Construct from the two 16-bit halves.
+    pub fn new(high: u16, low: u16) -> Self {
+        Community { high, low }
+    }
+
+    /// The packed 32-bit representation.
+    pub fn as_u32(self) -> u32 {
+        ((self.high as u32) << 16) | self.low as u32
+    }
+
+    /// Unpack from the 32-bit representation.
+    pub fn from_u32(v: u32) -> Self {
+        Community {
+            high: (v >> 16) as u16,
+            low: (v & 0xffff) as u16,
+        }
+    }
+}
+
+impl std::fmt::Display for Community {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.high, self.low)
+    }
+}
+
+impl std::str::FromStr for Community {
+    type Err = NetModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (h, l) = s
+            .split_once(':')
+            .ok_or_else(|| NetModelError::InvalidCommunity(s.to_string()))?;
+        let high: u16 = h
+            .parse()
+            .map_err(|_| NetModelError::InvalidCommunity(s.to_string()))?;
+        let low: u16 = l
+            .parse()
+            .map_err(|_| NetModelError::InvalidCommunity(s.to_string()))?;
+        Ok(Community { high, low })
+    }
+}
+
+/// A set of communities carried on a route.
+pub type CommunitySet = BTreeSet<Community>;
+
+/// One entry of a standard community list: an action plus a community
+/// value to match.
+///
+/// IOS community lists are sequences of `permit`/`deny` entries; a route's
+/// community set matches an entry if it contains the entry's community.
+/// (IOS standard lists allow several communities per line with *all-of*
+/// semantics; the paper's configs use one community per line, which is what
+/// the vendor parsers accept, but this type carries a set to model the
+/// all-of case faithfully.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CommunityListEntry {
+    /// Whether a match on this entry permits (true) or denies (false).
+    pub permit: bool,
+    /// All of these communities must be present for the entry to match.
+    pub communities: BTreeSet<Community>,
+}
+
+impl CommunityListEntry {
+    /// A single-community permit entry, the common case in the paper.
+    pub fn permit_one(c: Community) -> Self {
+        CommunityListEntry {
+            permit: true,
+            communities: BTreeSet::from([c]),
+        }
+    }
+
+    /// A single-community deny entry.
+    pub fn deny_one(c: Community) -> Self {
+        CommunityListEntry {
+            permit: false,
+            communities: BTreeSet::from([c]),
+        }
+    }
+
+    /// Whether a route's community set matches this entry (contains all of
+    /// the entry's communities).
+    pub fn matches(&self, set: &CommunitySet) -> bool {
+        self.communities.iter().all(|c| set.contains(c))
+    }
+}
+
+/// Evaluates a standard community list (first matching entry wins) against
+/// a route's community set. Returns `Some(permit)` of the first matching
+/// entry, or `None` if no entry matches (IOS then treats the list as not
+/// matching).
+pub fn eval_community_list(entries: &[CommunityListEntry], set: &CommunitySet) -> Option<bool> {
+    entries.iter().find(|e| e.matches(set)).map(|e| e.permit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["100:1", "0:0", "65535:65535", "101:1"] {
+            assert_eq!(c(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for s in ["", "100", "100:", ":1", "100:1:2", "a:b", "70000:1"] {
+            assert!(s.parse::<Community>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let x = c("100:1");
+        assert_eq!(Community::from_u32(x.as_u32()), x);
+        assert_eq!(x.as_u32(), (100u32 << 16) | 1);
+    }
+
+    #[test]
+    fn ordering_groups_by_high_half() {
+        assert!(c("100:9") < c("101:1"));
+        assert!(c("100:1") < c("100:2"));
+    }
+
+    #[test]
+    fn entry_single_community_match() {
+        let e = CommunityListEntry::permit_one(c("100:1"));
+        let mut set = CommunitySet::new();
+        assert!(!e.matches(&set));
+        set.insert(c("100:1"));
+        assert!(e.matches(&set));
+        set.insert(c("999:9"));
+        assert!(e.matches(&set), "extra communities don't prevent a match");
+    }
+
+    #[test]
+    fn entry_all_of_semantics() {
+        // This is exactly the AND-semantics trap from Section 4.2: one entry
+        // with several communities matches only routes carrying all of them.
+        let e = CommunityListEntry {
+            permit: true,
+            communities: BTreeSet::from([c("101:1"), c("102:1")]),
+        };
+        let one = CommunitySet::from([c("101:1")]);
+        let both = CommunitySet::from([c("101:1"), c("102:1")]);
+        assert!(!e.matches(&one));
+        assert!(e.matches(&both));
+    }
+
+    #[test]
+    fn list_first_match_wins() {
+        let entries = vec![
+            CommunityListEntry::deny_one(c("100:1")),
+            CommunityListEntry::permit_one(c("100:1")),
+        ];
+        let set = CommunitySet::from([c("100:1")]);
+        assert_eq!(eval_community_list(&entries, &set), Some(false));
+    }
+
+    #[test]
+    fn list_no_match_is_none() {
+        let entries = vec![CommunityListEntry::permit_one(c("100:1"))];
+        let set = CommunitySet::from([c("200:2")]);
+        assert_eq!(eval_community_list(&entries, &set), None);
+        assert_eq!(eval_community_list(&[], &set), None);
+    }
+}

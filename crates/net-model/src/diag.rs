@@ -1,0 +1,149 @@
+//! Shared diagnostics vocabulary: parse warnings.
+//!
+//! Both vendor front ends (`cisco-cfg`, `juniper-cfg`) report problems as
+//! [`ParseWarning`]s, Batfish-style: parsing is tolerant and never fails
+//! hard; each suspicious line yields a warning carrying its line number,
+//! original text, a message, and a machine-readable [`WarningKind`] that
+//! the humanizer and the simulated LLM's repair logic dispatch on.
+//!
+//! This lives in `net-model` (rather than in each vendor crate) so that the
+//! verification suite can treat syntax feedback uniformly across vendors.
+
+/// Machine-readable classification of a parse warning.
+///
+/// The kinds map one-to-one onto the GPT-4 error classes the paper
+/// catalogues; the humanizer picks its prompt template from this value and
+/// `llm-sim` keys its repair-success model off it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum WarningKind {
+    /// A line the parser does not recognize at all.
+    Unrecognized,
+    /// A recognized command in the wrong block (e.g. `neighbor` outside
+    /// `router bgp` — Section 4.2's "placing neighbor commands in the
+    /// wrong location").
+    MisplacedCommand,
+    /// An EXEC/CLI keyword inside a configuration file (`exit`, `end`,
+    /// `configure terminal`, `conf t`, `write`, `ip routing`).
+    CliKeyword,
+    /// `match community` given a literal community value instead of a
+    /// community-list reference (Section 4.2 "Match Community").
+    MatchCommunityLiteral,
+    /// A regex in a *standard* community list (Table 3's syntax example:
+    /// `ip community-list standard ... permit .+`).
+    CommunityListRegex,
+    /// A malformed value: bad address, prefix, number, community.
+    BadValue,
+    /// Syntactically invalid prefix-list form, e.g. the Juniper
+    /// `1.2.3.0/24-32` spelling GPT-4 invents (Section 3.2).
+    BadPrefixListSyntax,
+    /// A BGP neighbor without a derivable local AS (Juniper translation
+    /// missing `local-as` / `routing-options autonomous-system` —
+    /// Table 2's "Missing BGP local-as attribute").
+    MissingLocalAs,
+    /// Recognized but unsupported feature (carried verbatim, flagged).
+    Unsupported,
+}
+
+impl std::fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WarningKind::Unrecognized => "unrecognized line",
+            WarningKind::MisplacedCommand => "misplaced command",
+            WarningKind::CliKeyword => "CLI keyword in config",
+            WarningKind::MatchCommunityLiteral => "literal community in match",
+            WarningKind::CommunityListRegex => "regex in standard community list",
+            WarningKind::BadValue => "malformed value",
+            WarningKind::BadPrefixListSyntax => "invalid prefix-list syntax",
+            WarningKind::MissingLocalAs => "missing local AS",
+            WarningKind::Unsupported => "unsupported feature",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single parse warning, tied to a source line.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ParseWarning {
+    /// 1-based line number in the input (0 for whole-config findings).
+    pub line: usize,
+    /// The raw text of the offending line (trimmed), or a synthesized
+    /// description for whole-config findings.
+    pub text: String,
+    /// What is wrong, in verifier (not yet humanized) language.
+    pub message: String,
+    /// Machine-readable classification.
+    pub kind: WarningKind,
+}
+
+impl ParseWarning {
+    /// Constructs a warning for a specific line.
+    pub fn new(
+        line: usize,
+        text: impl Into<String>,
+        message: impl Into<String>,
+        kind: WarningKind,
+    ) -> Self {
+        ParseWarning {
+            line,
+            text: text.into(),
+            message: message.into(),
+            kind,
+        }
+    }
+
+    /// Constructs a whole-config warning (no single offending line).
+    pub fn global(message: impl Into<String>, kind: WarningKind) -> Self {
+        let message = message.into();
+        ParseWarning {
+            line: 0,
+            text: message.clone(),
+            message,
+            kind,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.kind, self.message)
+        } else {
+            write!(f, "line {}: {} [{}]", self.line, self.message, self.text)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_text() {
+        let w = ParseWarning::new(
+            7,
+            "match community 100:1",
+            "expects a community-list",
+            WarningKind::MatchCommunityLiteral,
+        );
+        let s = w.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("match community 100:1"));
+        assert!(s.contains("expects a community-list"));
+    }
+
+    #[test]
+    fn global_warning_has_no_line() {
+        let w = ParseWarning::global("no local AS derivable", WarningKind::MissingLocalAs);
+        assert_eq!(w.line, 0);
+        assert!(w.to_string().contains("missing local AS"));
+    }
+
+    #[test]
+    fn kind_display_is_stable() {
+        assert_eq!(WarningKind::CliKeyword.to_string(), "CLI keyword in config");
+        assert_eq!(
+            WarningKind::BadPrefixListSyntax.to_string(),
+            "invalid prefix-list syntax"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Typed errors for the network model.
+//!
+//! Hand-rolled (no `thiserror` in the offline registry list) but follows the
+//! same conventions: one enum, `Display` gives a human-readable message,
+//! `std::error::Error` implemented for interop with `Box<dyn Error>` users.
+
+/// Errors produced when parsing or constructing network model values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetModelError {
+    /// The string is not a valid IPv4 address.
+    InvalidIpv4(String),
+    /// The string is not a valid `a.b.c.d/len` prefix.
+    InvalidPrefix(String),
+    /// The prefix length is outside `0..=32`.
+    InvalidPrefixLen(u8),
+    /// A `ge`/`le` bound is inconsistent (e.g. `ge 8` on a `/24`, `le < ge`).
+    InvalidLengthBounds {
+        /// Prefix length of the pattern base.
+        len: u8,
+        /// Lower bound, if given.
+        ge: Option<u8>,
+        /// Upper bound, if given.
+        le: Option<u8>,
+    },
+    /// The string is not a valid ASN.
+    InvalidAsn(String),
+    /// The string is not a valid `high:low` community.
+    InvalidCommunity(String),
+    /// The string is not a valid interface address (`a.b.c.d/len` or
+    /// `a.b.c.d mask`).
+    InvalidInterfaceAddress(String),
+}
+
+impl std::fmt::Display for NetModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetModelError::InvalidIpv4(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            NetModelError::InvalidPrefix(s) => write!(f, "invalid IPv4 prefix: {s:?}"),
+            NetModelError::InvalidPrefixLen(l) => {
+                write!(f, "invalid prefix length {l} (must be 0..=32)")
+            }
+            NetModelError::InvalidLengthBounds { len, ge, le } => write!(
+                f,
+                "invalid prefix-length bounds for /{len}: ge={ge:?} le={le:?} \
+                 (need len <= ge <= le <= 32)"
+            ),
+            NetModelError::InvalidAsn(s) => write!(f, "invalid ASN: {s:?}"),
+            NetModelError::InvalidCommunity(s) => {
+                write!(f, "invalid community (expected high:low): {s:?}")
+            }
+            NetModelError::InvalidInterfaceAddress(s) => {
+                write!(f, "invalid interface address: {s:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_input() {
+        let e = NetModelError::InvalidPrefix("1.2.3/99".into());
+        assert!(e.to_string().contains("1.2.3/99"));
+        let e = NetModelError::InvalidCommunity("1-2".into());
+        assert!(e.to_string().contains("1-2"));
+    }
+
+    #[test]
+    fn display_bounds_error_is_descriptive() {
+        let e = NetModelError::InvalidLengthBounds {
+            len: 24,
+            ge: Some(8),
+            le: None,
+        };
+        let s = e.to_string();
+        assert!(s.contains("/24"));
+        assert!(s.contains("ge"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<NetModelError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Interface naming and addressing.
+//!
+//! The topology verifier's first check (Table 3, error 1) is "interface
+//! eth0/1 ip address does not match with given config", so interface names
+//! and addresses are first-class values. Names are kept vendor-shaped
+//! (`Ethernet0/1`, `ge-0/0/0`, `Loopback0`) with a normalization scheme so
+//! Campion-lite can align interfaces across vendors.
+
+use crate::error::NetModelError;
+use crate::prefix::Prefix;
+use std::net::Ipv4Addr;
+
+/// An interface name, e.g. `Ethernet0/1`, `eth0/1`, `ge-0/0/0.0`, `Loopback0`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct InterfaceName(pub String);
+
+impl InterfaceName {
+    /// Construct from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        InterfaceName(s.into())
+    }
+
+    /// The raw name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True for loopback interfaces on either vendor (`Loopback0`, `lo0.0`).
+    pub fn is_loopback(&self) -> bool {
+        let lower = self.0.to_ascii_lowercase();
+        lower.starts_with("loopback") || lower.starts_with("lo0") || lower == "lo"
+    }
+
+    /// A vendor-neutral alignment key: lowercase, common long-form prefixes
+    /// collapsed, unit suffix `.0` dropped. `Ethernet0/1`, `eth0/1` and
+    /// `Ethernet0/1.0` all map to `eth0/1`; `Loopback0` and `lo0.0` both map
+    /// to `lo0`.
+    pub fn canonical_key(&self) -> String {
+        let mut s = self.0.to_ascii_lowercase();
+        if let Some(stripped) = s.strip_suffix(".0") {
+            s = stripped.to_string();
+        }
+        for (long, short) in [
+            ("gigabitethernet", "ge"),
+            ("fastethernet", "fe"),
+            ("ethernet", "eth"),
+            ("loopback", "lo"),
+        ] {
+            if let Some(rest) = s.strip_prefix(long) {
+                s = format!("{short}{rest}");
+                break;
+            }
+        }
+        // `lo0` / `loopback0` both end up as `lo0`.
+        s
+    }
+
+    /// Whether two names refer to the same interface across vendors.
+    pub fn aligns_with(&self, other: &InterfaceName) -> bool {
+        self.canonical_key() == other.canonical_key()
+    }
+}
+
+impl std::fmt::Display for InterfaceName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for InterfaceName {
+    fn from(s: &str) -> Self {
+        InterfaceName(s.to_string())
+    }
+}
+
+/// An IPv4 interface address: host address plus prefix length.
+///
+/// Unlike [`Prefix`], host bits are significant here: `2.0.0.1/24` and
+/// `2.0.0.2/24` are different interface addresses on the same subnet —
+/// exactly the mismatch the topology verifier reports in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct InterfaceAddress {
+    /// The configured host address.
+    pub addr: Ipv4Addr,
+    /// The subnet prefix length.
+    pub len: u8,
+}
+
+impl InterfaceAddress {
+    /// Construct, validating the length.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, NetModelError> {
+        if len > 32 {
+            return Err(NetModelError::InvalidPrefixLen(len));
+        }
+        Ok(InterfaceAddress { addr, len })
+    }
+
+    /// The subnet this address lives in.
+    pub fn subnet(&self) -> Prefix {
+        Prefix::new(self.addr, self.len).expect("len validated at construction")
+    }
+
+    /// The dotted subnet mask, as IOS `ip address A.B.C.D M.M.M.M` wants.
+    pub fn dotted_mask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(Prefix::mask(self.len))
+    }
+
+    /// Whether this address and `other` are on the same subnet (and thus
+    /// can be BGP/OSPF neighbors on a point-to-point link).
+    pub fn same_subnet(&self, other: &InterfaceAddress) -> bool {
+        self.len == other.len && self.subnet() == other.subnet()
+    }
+
+    /// Parse from `a.b.c.d/len` or `a.b.c.d m.m.m.m` (IOS style).
+    pub fn parse(s: &str) -> Result<Self, NetModelError> {
+        let s = s.trim();
+        if let Some((a, l)) = s.split_once('/') {
+            let addr: Ipv4Addr = a
+                .parse()
+                .map_err(|_| NetModelError::InvalidInterfaceAddress(s.to_string()))?;
+            let len: u8 = l
+                .parse()
+                .map_err(|_| NetModelError::InvalidInterfaceAddress(s.to_string()))?;
+            return InterfaceAddress::new(addr, len);
+        }
+        let mut parts = s.split_whitespace();
+        let (Some(a), Some(m), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(NetModelError::InvalidInterfaceAddress(s.to_string()));
+        };
+        let addr: Ipv4Addr = a
+            .parse()
+            .map_err(|_| NetModelError::InvalidInterfaceAddress(s.to_string()))?;
+        let mask: Ipv4Addr = m
+            .parse()
+            .map_err(|_| NetModelError::InvalidInterfaceAddress(s.to_string()))?;
+        let mask_bits = u32::from(mask);
+        let len = mask_bits.count_ones() as u8;
+        if Prefix::mask(len) != mask_bits {
+            // Non-contiguous mask.
+            return Err(NetModelError::InvalidInterfaceAddress(s.to_string()));
+        }
+        InterfaceAddress::new(addr, len)
+    }
+}
+
+impl std::fmt::Display for InterfaceAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl std::str::FromStr for InterfaceAddress {
+    type Err = NetModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        InterfaceAddress::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_detection() {
+        assert!(InterfaceName::from("Loopback0").is_loopback());
+        assert!(InterfaceName::from("lo0.0").is_loopback());
+        assert!(!InterfaceName::from("Ethernet0/1").is_loopback());
+    }
+
+    #[test]
+    fn canonical_key_collapses_vendor_spellings() {
+        let pairs = [
+            ("Ethernet0/1", "eth0/1"),
+            ("GigabitEthernet0/0", "ge0/0"),
+            ("Loopback0", "lo0"),
+            ("Ethernet0/1.0", "eth0/1"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                InterfaceName::from(a).canonical_key(),
+                b,
+                "canonical key of {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn alignment_across_vendors() {
+        assert!(InterfaceName::from("Loopback0").aligns_with(&InterfaceName::from("lo0.0")));
+        assert!(InterfaceName::from("Ethernet0/1").aligns_with(&InterfaceName::from("eth0/1")));
+        assert!(!InterfaceName::from("Ethernet0/1").aligns_with(&InterfaceName::from("eth0/2")));
+    }
+
+    #[test]
+    fn address_parse_cidr_and_mask_forms() {
+        let a = InterfaceAddress::parse("2.0.0.1/24").unwrap();
+        let b = InterfaceAddress::parse("2.0.0.1 255.255.255.0").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "2.0.0.1/24");
+        assert_eq!(a.dotted_mask(), Ipv4Addr::new(255, 255, 255, 0));
+    }
+
+    #[test]
+    fn address_rejects_noncontiguous_mask() {
+        assert!(InterfaceAddress::parse("2.0.0.1 255.0.255.0").is_err());
+        assert!(InterfaceAddress::parse("2.0.0.1/40").is_err());
+        assert!(InterfaceAddress::parse("2.0.0.1").is_err());
+    }
+
+    #[test]
+    fn subnet_and_same_subnet() {
+        let a = InterfaceAddress::parse("2.0.0.1/24").unwrap();
+        let b = InterfaceAddress::parse("2.0.0.2/24").unwrap();
+        let c = InterfaceAddress::parse("2.0.1.2/24").unwrap();
+        assert_eq!(a.subnet().to_string(), "2.0.0.0/24");
+        assert!(a.same_subnet(&b));
+        assert!(!a.same_subnet(&c));
+        assert_ne!(a, b, "host bits are significant");
+    }
+
+    #[test]
+    fn host_bits_preserved_unlike_prefix() {
+        let a = InterfaceAddress::parse("1.2.3.4/24").unwrap();
+        assert_eq!(a.addr, Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(a.subnet().network(), Ipv4Addr::new(1, 2, 3, 0));
+    }
+}

@@ -1,0 +1,115 @@
+//! # net-model — core network types for COSYNTH
+//!
+//! This crate provides the vocabulary types shared by every other crate in
+//! the COSYNTH workspace: IPv4 prefixes and prefix patterns (with the
+//! `ge`/`le` length bounds used by Cisco prefix lists and Juniper route
+//! filters), autonomous system numbers, BGP communities and community
+//! patterns, AS paths, route advertisements, and interface addressing.
+//!
+//! ## Feature coverage
+//!
+//! Implemented (the subset the paper's two use cases exercise):
+//!
+//! * IPv4 prefixes with canonicalization, containment and overlap tests.
+//! * Prefix patterns with lower/upper prefix-length bounds (`ge`/`le`),
+//!   Juniper `orlonger`/`upto`/`prefix-length-range` equivalents.
+//! * 16-bit and 32-bit ASNs (plain notation only).
+//! * Classic `high:low` BGP communities and community lists.
+//! * AS paths as sequences of ASNs, with prepend and membership tests.
+//! * BGP route advertisements carrying prefix, AS path, communities, MED,
+//!   local preference, next hop, origin and originating protocol.
+//!
+//! Not implemented (out of scope for the paper): IPv6, 4-byte AS dot
+//! notation, extended/large communities, route distinguishers, MPLS labels.
+//!
+//! All types are `Clone + Eq + Ord + Hash` where meaningful so they can be
+//! used as keys in the symbolic analyses and simulator RIBs, and implement
+//! `Display` in the vendor-neutral spelling used by the humanizer when it
+//! interpolates fields into natural-language prompts.
+
+pub mod aspath;
+pub mod community;
+pub mod diag;
+pub mod error;
+pub mod iface;
+pub mod prefix;
+pub mod route;
+
+pub use aspath::AsPath;
+pub use community::{Community, CommunityListEntry};
+pub use diag::{ParseWarning, WarningKind};
+pub use error::NetModelError;
+pub use iface::{InterfaceAddress, InterfaceName};
+pub use prefix::{Prefix, PrefixPattern};
+pub use route::{Origin, Protocol, RouteAdvertisement};
+
+/// An autonomous system number.
+///
+/// The paper's experiments use small 16-bit ASNs (AS 1 through AS 7 for the
+/// star network); we store 32 bits as modern BGP does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved ASN 0, used as a sentinel for "unset" in a few vendor
+    /// structures. Never a valid peer AS.
+    pub const RESERVED: Asn = Asn(0);
+
+    /// Returns true if this ASN fits in the classic 16-bit space.
+    pub fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+}
+
+impl std::fmt::Display for Asn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::str::FromStr for Asn {
+    type Err = NetModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetModelError::InvalidAsn(s.to_string()))
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display_roundtrip() {
+        let a: Asn = "65001".parse().unwrap();
+        assert_eq!(a, Asn(65001));
+        assert_eq!(a.to_string(), "65001");
+    }
+
+    #[test]
+    fn asn_16bit_classification() {
+        assert!(Asn(65535).is_16bit());
+        assert!(!Asn(65536).is_16bit());
+        assert!(Asn::RESERVED.is_16bit());
+    }
+
+    #[test]
+    fn asn_rejects_garbage() {
+        assert!("as100".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("-3".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn asn_ordering_is_numeric() {
+        assert!(Asn(2) < Asn(10));
+    }
+}

@@ -1,0 +1,492 @@
+//! IPv4 prefixes and prefix patterns.
+//!
+//! A [`Prefix`] is a canonical CIDR block (`10.0.0.0/8`). A
+//! [`PrefixPattern`] is a prefix plus optional `ge`/`le` prefix-length
+//! bounds, exactly the matching unit of a Cisco `ip prefix-list` entry and
+//! of Juniper `route-filter`/`prefix-list-filter` modifiers. The paper's
+//! translation use case hinges on a pattern (`1.2.3.0/24 ge 24`) that GPT-4
+//! repeatedly failed to carry across vendors, so the semantics here are
+//! load-bearing for reproducing Table 2.
+
+use crate::error::NetModelError;
+use std::net::Ipv4Addr;
+
+/// A canonical IPv4 CIDR prefix.
+///
+/// The address is stored with host bits cleared; `Prefix::new` canonicalizes
+/// so that `1.2.3.4/24` and `1.2.3.0/24` construct the same value. Use
+/// [`Prefix::new_exact`] when stray host bits should be an error instead.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// `0.0.0.0/0`, matching everything.
+    pub const DEFAULT: Prefix = Prefix { bits: 0, len: 0 };
+
+    /// Creates a prefix, clearing any host bits below the mask.
+    ///
+    /// Returns an error if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, NetModelError> {
+        if len > 32 {
+            return Err(NetModelError::InvalidPrefixLen(len));
+        }
+        let bits = u32::from(addr) & Self::mask(len);
+        Ok(Prefix { bits, len })
+    }
+
+    /// Creates a prefix, rejecting addresses with host bits set.
+    pub fn new_exact(addr: Ipv4Addr, len: u8) -> Result<Self, NetModelError> {
+        let p = Self::new(addr, len)?;
+        if p.bits != u32::from(addr) {
+            return Err(NetModelError::InvalidPrefix(format!("{addr}/{len}")));
+        }
+        Ok(p)
+    }
+
+    /// The network mask for a prefix length, as a `u32`.
+    ///
+    /// `mask(0) == 0`, `mask(32) == u32::MAX`.
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits)
+    }
+
+    /// The raw network bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for `0.0.0.0/0`.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The subnet mask in dotted form (`255.255.255.0` for `/24`), as used
+    /// by Cisco `network ... mask ...` statements.
+    pub fn dotted_mask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(Self::mask(self.len))
+    }
+
+    /// The wildcard (inverse) mask (`0.0.0.255` for `/24`), as used by Cisco
+    /// OSPF `network` statements and ACLs.
+    pub fn wildcard_mask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(!Self::mask(self.len))
+    }
+
+    /// Whether `other` is contained in (or equal to) this prefix.
+    pub fn contains(&self, other: &Prefix) -> bool {
+        other.len >= self.len && (other.bits & Self::mask(self.len)) == self.bits
+    }
+
+    /// Whether the given host address falls inside this prefix.
+    pub fn contains_addr(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.len)) == self.bits
+    }
+
+    /// Whether two prefixes overlap (one contains the other).
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The immediate parent prefix (one bit shorter), or `None` at `/0`.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            let len = self.len - 1;
+            Some(Prefix {
+                bits: self.bits & Self::mask(len),
+                len,
+            })
+        }
+    }
+
+    /// The `n`-th host address within the prefix (network + n).
+    ///
+    /// Useful for synthesizing interface/peer addresses in generated
+    /// topologies. Does not guard against exceeding the block size beyond
+    /// wrapping via `u32` addition in debug builds; callers in this
+    /// workspace only use small `n` on `/24`–`/30` blocks.
+    pub fn host(&self, n: u32) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits.wrapping_add(n))
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl std::fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+impl std::str::FromStr for Prefix {
+    type Err = NetModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| NetModelError::InvalidPrefix(s.to_string()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| NetModelError::InvalidPrefix(s.to_string()))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| NetModelError::InvalidPrefix(s.to_string()))?;
+        Prefix::new(addr, len)
+    }
+}
+
+/// A prefix with optional lower (`ge`) and upper (`le`) prefix-length
+/// bounds — the matching unit of prefix lists on both vendors.
+///
+/// Semantics (matching Cisco IOS):
+///
+/// * With neither bound, a route matches iff its prefix equals the pattern's
+///   prefix exactly (same bits, same length).
+/// * With `ge g`, a route matches iff its first `len` bits equal the
+///   pattern's and its length is in `g ..= le.unwrap_or(32)`.
+/// * With only `le l`, the length must be in `len ..= l`.
+///
+/// Juniper equivalents: `exact` (no bounds), `orlonger` (`ge len`),
+/// `upto /l` (`le l`), `prefix-length-range /g-/l` (`ge g le l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PrefixPattern {
+    /// The base prefix whose bits must match.
+    pub prefix: Prefix,
+    /// Minimum matched prefix length (Cisco `ge`).
+    pub ge: Option<u8>,
+    /// Maximum matched prefix length (Cisco `le`).
+    pub le: Option<u8>,
+}
+
+impl PrefixPattern {
+    /// An exact-match pattern.
+    pub fn exact(prefix: Prefix) -> Self {
+        PrefixPattern {
+            prefix,
+            ge: None,
+            le: None,
+        }
+    }
+
+    /// A pattern with bounds, validated: `len <= ge <= le <= 32`.
+    pub fn with_bounds(
+        prefix: Prefix,
+        ge: Option<u8>,
+        le: Option<u8>,
+    ) -> Result<Self, NetModelError> {
+        let len = prefix.len();
+        let lo = ge.unwrap_or(len);
+        let hi = le.unwrap_or(if ge.is_some() { 32 } else { len });
+        // IOS requires len < ge when ge is present and ge <= le; we accept
+        // len == ge too (harmless, same semantics as orlonger at that len).
+        if lo < len || hi < lo || hi > 32 || ge.map_or(false, |g| g > 32) {
+            return Err(NetModelError::InvalidLengthBounds { len, ge, le });
+        }
+        Ok(PrefixPattern { prefix, ge, le })
+    }
+
+    /// Juniper `orlonger`: this prefix and anything more specific.
+    pub fn orlonger(prefix: Prefix) -> Self {
+        PrefixPattern {
+            prefix,
+            ge: Some(prefix.len()),
+            le: Some(32),
+        }
+    }
+
+    /// The effective inclusive length range `[min_len, max_len]` matched.
+    pub fn length_range(&self) -> (u8, u8) {
+        let lo = self.ge.unwrap_or(self.prefix.len());
+        let hi = self.le.unwrap_or(if self.ge.is_some() {
+            32
+        } else {
+            self.prefix.len()
+        });
+        (lo, hi)
+    }
+
+    /// Whether a concrete prefix matches this pattern.
+    pub fn matches(&self, p: &Prefix) -> bool {
+        let (lo, hi) = self.length_range();
+        p.len() >= lo && p.len() <= hi && self.prefix.contains(p)
+    }
+
+    /// Whether this pattern matches exactly one prefix (no length spread).
+    pub fn is_exact(&self) -> bool {
+        let (lo, hi) = self.length_range();
+        lo == self.prefix.len() && hi == self.prefix.len()
+    }
+
+    /// Whether every prefix matched by `other` is matched by `self`.
+    pub fn subsumes(&self, other: &PrefixPattern) -> bool {
+        let (slo, shi) = self.length_range();
+        let (olo, ohi) = other.length_range();
+        self.prefix.contains(&other.prefix) && slo <= olo && shi >= ohi
+    }
+
+    /// A concrete example prefix matched by this pattern, preferring the
+    /// most specific disambiguating length. Used by Campion-lite to print
+    /// representative counterexamples.
+    pub fn example(&self) -> Prefix {
+        let (lo, _hi) = self.length_range();
+        // The base prefix truncated/kept at the lower bound length.
+        Prefix::new(self.prefix.network(), lo.max(self.prefix.len()))
+            .unwrap_or(self.prefix)
+    }
+
+    /// Render in Cisco prefix-list syntax (without seq/action).
+    pub fn cisco_syntax(&self) -> String {
+        let mut s = self.prefix.to_string();
+        if let Some(g) = self.ge {
+            s.push_str(&format!(" ge {g}"));
+        }
+        if let Some(l) = self.le {
+            s.push_str(&format!(" le {l}"));
+        }
+        s
+    }
+
+    /// Render as a Juniper `route-filter` modifier clause.
+    pub fn juniper_route_filter(&self) -> String {
+        let p = self.prefix;
+        let (lo, hi) = self.length_range();
+        if self.is_exact() {
+            format!("route-filter {p} exact")
+        } else if lo == p.len() && hi == 32 {
+            format!("route-filter {p} orlonger")
+        } else if lo == p.len() {
+            format!("route-filter {p} upto /{hi}")
+        } else {
+            format!("route-filter {p} prefix-length-range /{lo}-/{hi}")
+        }
+    }
+}
+
+impl std::fmt::Display for PrefixPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.cisco_syntax())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "1.2.3.0/24", "192.168.1.77/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        assert_eq!(p("1.2.3.4/24"), p("1.2.3.0/24"));
+        assert_eq!(p("1.2.3.4/24").to_string(), "1.2.3.0/24");
+    }
+
+    #[test]
+    fn new_exact_rejects_host_bits() {
+        assert!(Prefix::new_exact(Ipv4Addr::new(1, 2, 3, 4), 24).is_err());
+        assert!(Prefix::new_exact(Ipv4Addr::new(1, 2, 3, 0), 24).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert!("1.2.3.0/33".parse::<Prefix>().is_err());
+        assert!(Prefix::new(Ipv4Addr::new(1, 2, 3, 0), 40).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["", "1.2.3.0", "1.2.3/24", "a.b.c.d/8", "1.2.3.0/2x"] {
+            assert!(s.parse::<Prefix>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(Prefix::mask(0), 0);
+        assert_eq!(Prefix::mask(32), u32::MAX);
+        assert_eq!(Prefix::mask(24), 0xffff_ff00);
+        assert_eq!(Prefix::mask(1), 0x8000_0000);
+    }
+
+    #[test]
+    fn dotted_and_wildcard_masks() {
+        assert_eq!(p("1.2.3.0/24").dotted_mask(), Ipv4Addr::new(255, 255, 255, 0));
+        assert_eq!(p("1.2.3.0/24").wildcard_mask(), Ipv4Addr::new(0, 0, 0, 255));
+        assert_eq!(p("0.0.0.0/0").dotted_mask(), Ipv4Addr::new(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn containment() {
+        assert!(p("10.0.0.0/8").contains(&p("10.1.0.0/16")));
+        assert!(p("10.0.0.0/8").contains(&p("10.0.0.0/8")));
+        assert!(!p("10.1.0.0/16").contains(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").contains(&p("11.0.0.0/16")));
+        assert!(Prefix::DEFAULT.contains(&p("203.0.113.0/24")));
+    }
+
+    #[test]
+    fn contains_addr() {
+        assert!(p("1.2.3.0/24").contains_addr(Ipv4Addr::new(1, 2, 3, 200)));
+        assert!(!p("1.2.3.0/24").contains_addr(Ipv4Addr::new(1, 2, 4, 1)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_containment() {
+        assert!(p("10.0.0.0/8").overlaps(&p("10.2.0.0/16")));
+        assert!(p("10.2.0.0/16").overlaps(&p("10.0.0.0/8")));
+        assert!(!p("10.2.0.0/16").overlaps(&p("10.3.0.0/16")));
+    }
+
+    #[test]
+    fn parent_chain_reaches_default() {
+        let mut q = p("1.2.3.0/24");
+        let mut steps = 0;
+        while let Some(par) = q.parent() {
+            assert!(par.contains(&q));
+            q = par;
+            steps += 1;
+        }
+        assert_eq!(steps, 24);
+        assert_eq!(q, Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn host_addresses() {
+        assert_eq!(p("2.0.0.0/24").host(1), Ipv4Addr::new(2, 0, 0, 1));
+        assert_eq!(p("2.0.0.0/24").host(2), Ipv4Addr::new(2, 0, 0, 2));
+    }
+
+    #[test]
+    fn pattern_exact_match_semantics() {
+        let pat = PrefixPattern::exact(p("1.2.3.0/24"));
+        assert!(pat.matches(&p("1.2.3.0/24")));
+        assert!(!pat.matches(&p("1.2.3.0/25")));
+        assert!(!pat.matches(&p("1.2.0.0/16")));
+        assert!(pat.is_exact());
+    }
+
+    #[test]
+    fn pattern_ge_semantics() {
+        // The paper's pattern: 1.2.3.0/24 ge 24 — length 24..=32 under /24.
+        let pat = PrefixPattern::with_bounds(p("1.2.3.0/24"), Some(24), None).unwrap();
+        assert!(pat.matches(&p("1.2.3.0/24")));
+        assert!(pat.matches(&p("1.2.3.128/25")));
+        assert!(pat.matches(&p("1.2.3.77/32")));
+        assert!(!pat.matches(&p("1.2.0.0/16")));
+        assert!(!pat.matches(&p("1.2.4.0/24")));
+        assert_eq!(pat.length_range(), (24, 32));
+        assert!(!pat.is_exact());
+    }
+
+    #[test]
+    fn pattern_le_semantics() {
+        let pat = PrefixPattern::with_bounds(p("10.0.0.0/8"), None, Some(16)).unwrap();
+        assert!(pat.matches(&p("10.0.0.0/8")));
+        assert!(pat.matches(&p("10.5.0.0/16")));
+        assert!(!pat.matches(&p("10.5.5.0/24")));
+        assert_eq!(pat.length_range(), (8, 16));
+    }
+
+    #[test]
+    fn pattern_ge_le_semantics() {
+        let pat = PrefixPattern::with_bounds(p("10.0.0.0/8"), Some(12), Some(16)).unwrap();
+        assert!(!pat.matches(&p("10.0.0.0/8")));
+        assert!(pat.matches(&p("10.16.0.0/12")));
+        assert!(pat.matches(&p("10.5.0.0/16")));
+        assert!(!pat.matches(&p("10.5.5.0/17")));
+    }
+
+    #[test]
+    fn pattern_bound_validation() {
+        assert!(PrefixPattern::with_bounds(p("1.2.3.0/24"), Some(8), None).is_err());
+        assert!(PrefixPattern::with_bounds(p("1.2.3.0/24"), Some(28), Some(26)).is_err());
+        assert!(PrefixPattern::with_bounds(p("1.2.3.0/24"), None, Some(20)).is_err());
+        assert!(PrefixPattern::with_bounds(p("1.2.3.0/24"), Some(24), Some(32)).is_ok());
+    }
+
+    #[test]
+    fn pattern_subsumption() {
+        let wide = PrefixPattern::with_bounds(p("10.0.0.0/8"), Some(8), Some(32)).unwrap();
+        let narrow = PrefixPattern::with_bounds(p("10.2.0.0/16"), Some(16), Some(24)).unwrap();
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        assert!(wide.subsumes(&wide));
+    }
+
+    #[test]
+    fn pattern_example_is_matched() {
+        let pat = PrefixPattern::with_bounds(p("1.2.3.0/24"), Some(25), Some(32)).unwrap();
+        assert!(pat.matches(&pat.example()));
+        let pat = PrefixPattern::exact(p("10.0.0.0/8"));
+        assert_eq!(pat.example(), p("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn cisco_syntax_rendering() {
+        let pat = PrefixPattern::with_bounds(p("1.2.3.0/24"), Some(24), None).unwrap();
+        assert_eq!(pat.cisco_syntax(), "1.2.3.0/24 ge 24");
+        let pat = PrefixPattern::with_bounds(p("10.0.0.0/8"), Some(12), Some(16)).unwrap();
+        assert_eq!(pat.cisco_syntax(), "10.0.0.0/8 ge 12 le 16");
+        assert_eq!(PrefixPattern::exact(p("5.6.7.0/24")).cisco_syntax(), "5.6.7.0/24");
+    }
+
+    #[test]
+    fn juniper_route_filter_rendering() {
+        assert_eq!(
+            PrefixPattern::exact(p("1.2.3.0/24")).juniper_route_filter(),
+            "route-filter 1.2.3.0/24 exact"
+        );
+        assert_eq!(
+            PrefixPattern::orlonger(p("1.2.3.0/24")).juniper_route_filter(),
+            "route-filter 1.2.3.0/24 orlonger"
+        );
+        let upto = PrefixPattern::with_bounds(p("10.0.0.0/8"), None, Some(16)).unwrap();
+        assert_eq!(
+            upto.juniper_route_filter(),
+            "route-filter 10.0.0.0/8 upto /16"
+        );
+        let plr = PrefixPattern::with_bounds(p("10.0.0.0/8"), Some(12), Some(16)).unwrap();
+        assert_eq!(
+            plr.juniper_route_filter(),
+            "route-filter 10.0.0.0/8 prefix-length-range /12-/16"
+        );
+    }
+
+    #[test]
+    fn orlonger_matches_self_and_longer() {
+        let pat = PrefixPattern::orlonger(p("1.2.3.0/24"));
+        assert!(pat.matches(&p("1.2.3.0/24")));
+        assert!(pat.matches(&p("1.2.3.4/32")));
+        assert!(!pat.matches(&p("1.2.0.0/16")));
+    }
+}

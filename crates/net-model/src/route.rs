@@ -1,0 +1,331 @@
+//! Route advertisements.
+//!
+//! [`RouteAdvertisement`] is the value that flows through route maps,
+//! symbolic analyses, and the BGP simulator: a prefix plus the BGP path
+//! attributes the paper's policies read and write (communities, MED, local
+//! preference, AS path) and the originating protocol (which the
+//! redistribution experiment in Table 2 needs — Campion's finding there was
+//! routes *from bgp* vs. routes from other protocols being redistributed
+//! differently).
+
+use crate::aspath::AsPath;
+use crate::community::CommunitySet;
+use crate::prefix::Prefix;
+use crate::Asn;
+use std::net::Ipv4Addr;
+
+/// The protocol a route was learned from / originated by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Protocol {
+    /// Learned via BGP.
+    Bgp,
+    /// Learned via OSPF.
+    Ospf,
+    /// A directly connected subnet.
+    Connected,
+    /// A static route.
+    Static,
+}
+
+impl Protocol {
+    /// All protocol values, used to enumerate the symbolic protocol space.
+    pub const ALL: [Protocol; 4] = [
+        Protocol::Bgp,
+        Protocol::Ospf,
+        Protocol::Connected,
+        Protocol::Static,
+    ];
+
+    /// The keyword used in vendor `from`/`redistribute` clauses.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Protocol::Bgp => "bgp",
+            Protocol::Ospf => "ospf",
+            Protocol::Connected => "connected",
+            Protocol::Static => "static",
+        }
+    }
+
+    /// Parse a vendor keyword (Juniper says `direct` for connected).
+    pub fn from_keyword(s: &str) -> Option<Protocol> {
+        match s {
+            "bgp" => Some(Protocol::Bgp),
+            "ospf" => Some(Protocol::Ospf),
+            "connected" | "direct" => Some(Protocol::Connected),
+            "static" => Some(Protocol::Static),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// BGP origin attribute. Carried for completeness of best-path selection;
+/// the paper's policies never set it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub enum Origin {
+    /// IGP origin (`i`) — what `network` statements produce.
+    #[default]
+    Igp,
+    /// EGP origin (`e`) — historical.
+    Egp,
+    /// Incomplete (`?`) — what redistribution produces.
+    Incomplete,
+}
+
+impl Origin {
+    /// Preference rank: lower is preferred (IGP < EGP < Incomplete).
+    pub fn rank(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+}
+
+/// A route advertisement with the attributes the paper's policies use.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RouteAdvertisement {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// AS path (empty for locally originated routes).
+    pub as_path: AsPath,
+    /// Communities attached to the route.
+    pub communities: CommunitySet,
+    /// Multi-exit discriminator, if set.
+    pub med: Option<u32>,
+    /// Local preference, if set (defaults to 100 in best-path selection).
+    pub local_pref: Option<u32>,
+    /// Next hop, if known.
+    pub next_hop: Option<Ipv4Addr>,
+    /// BGP origin attribute.
+    pub origin: Origin,
+    /// The protocol this route came from (pre-redistribution).
+    pub protocol: Protocol,
+}
+
+impl RouteAdvertisement {
+    /// The local-pref value used in comparisons when unset.
+    pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+    /// A fresh BGP advertisement for a prefix with no attributes set.
+    pub fn bgp(prefix: Prefix) -> Self {
+        RouteAdvertisement {
+            prefix,
+            as_path: AsPath::empty(),
+            communities: CommunitySet::new(),
+            med: None,
+            local_pref: None,
+            next_hop: None,
+            origin: Origin::Igp,
+            protocol: Protocol::Bgp,
+        }
+    }
+
+    /// A route of the given protocol (for redistribution scenarios).
+    pub fn of_protocol(prefix: Prefix, protocol: Protocol) -> Self {
+        RouteAdvertisement {
+            protocol,
+            origin: if protocol == Protocol::Bgp {
+                Origin::Igp
+            } else {
+                Origin::Incomplete
+            },
+            ..Self::bgp(prefix)
+        }
+    }
+
+    /// Effective local preference (default 100 when unset).
+    pub fn effective_local_pref(&self) -> u32 {
+        self.local_pref.unwrap_or(Self::DEFAULT_LOCAL_PREF)
+    }
+
+    /// Effective MED (default 0 when unset, the common vendor default).
+    pub fn effective_med(&self) -> u32 {
+        self.med.unwrap_or(0)
+    }
+
+    /// Builder-style: add a community.
+    pub fn with_community(mut self, c: crate::Community) -> Self {
+        self.communities.insert(c);
+        self
+    }
+
+    /// Builder-style: set MED.
+    pub fn with_med(mut self, med: u32) -> Self {
+        self.med = Some(med);
+        self
+    }
+
+    /// Builder-style: set local preference.
+    pub fn with_local_pref(mut self, lp: u32) -> Self {
+        self.local_pref = Some(lp);
+        self
+    }
+
+    /// Builder-style: set AS path.
+    pub fn with_as_path(mut self, path: AsPath) -> Self {
+        self.as_path = path;
+        self
+    }
+
+    /// Builder-style: set next hop.
+    pub fn with_next_hop(mut self, nh: Ipv4Addr) -> Self {
+        self.next_hop = Some(nh);
+        self
+    }
+
+    /// BGP decision process comparison: returns `true` if `self` is
+    /// strictly preferred over `other` for the same prefix.
+    ///
+    /// Order: higher local-pref, shorter AS path, lower origin rank, lower
+    /// MED, then lower next hop as a deterministic tie-break (stand-in for
+    /// router-id comparison; the simulator supplies neighbor addresses).
+    pub fn better_than(&self, other: &RouteAdvertisement) -> bool {
+        let key_self = (
+            std::cmp::Reverse(self.effective_local_pref()),
+            self.as_path.len(),
+            self.origin.rank(),
+            self.effective_med(),
+            self.next_hop.map(u32::from).unwrap_or(u32::MAX),
+        );
+        let key_other = (
+            std::cmp::Reverse(other.effective_local_pref()),
+            other.as_path.len(),
+            other.origin.rank(),
+            other.effective_med(),
+            other.next_hop.map(u32::from).unwrap_or(u32::MAX),
+        );
+        key_self < key_other
+    }
+
+    /// Whether the AS path already contains `asn` (eBGP loop prevention).
+    pub fn would_loop(&self, asn: Asn) -> bool {
+        self.as_path.contains(asn)
+    }
+}
+
+impl std::fmt::Display for RouteAdvertisement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [path: {}]", self.prefix, self.as_path)?;
+        if !self.communities.is_empty() {
+            let cs: Vec<String> = self.communities.iter().map(|c| c.to_string()).collect();
+            write!(f, " [communities: {}]", cs.join(" "))?;
+        }
+        if let Some(m) = self.med {
+            write!(f, " [med: {m}]")?;
+        }
+        if let Some(lp) = self.local_pref {
+            write!(f, " [local-pref: {lp}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asn, Community};
+
+    fn pref(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn protocol_keywords_roundtrip() {
+        for p in Protocol::ALL {
+            assert_eq!(Protocol::from_keyword(p.keyword()), Some(p));
+        }
+        assert_eq!(Protocol::from_keyword("direct"), Some(Protocol::Connected));
+        assert_eq!(Protocol::from_keyword("rip"), None);
+    }
+
+    #[test]
+    fn origin_rank_ordering() {
+        assert!(Origin::Igp.rank() < Origin::Egp.rank());
+        assert!(Origin::Egp.rank() < Origin::Incomplete.rank());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let r = RouteAdvertisement::bgp(pref("1.2.3.0/24"))
+            .with_community("100:1".parse().unwrap())
+            .with_med(50)
+            .with_local_pref(200);
+        assert_eq!(r.med, Some(50));
+        assert_eq!(r.local_pref, Some(200));
+        assert!(r.communities.contains(&"100:1".parse::<Community>().unwrap()));
+    }
+
+    #[test]
+    fn defaults_when_unset() {
+        let r = RouteAdvertisement::bgp(pref("1.2.3.0/24"));
+        assert_eq!(r.effective_local_pref(), 100);
+        assert_eq!(r.effective_med(), 0);
+    }
+
+    #[test]
+    fn higher_local_pref_wins() {
+        let base = RouteAdvertisement::bgp(pref("9.9.9.0/24"));
+        let hi = base.clone().with_local_pref(200);
+        let lo = base.with_local_pref(50);
+        assert!(hi.better_than(&lo));
+        assert!(!lo.better_than(&hi));
+    }
+
+    #[test]
+    fn shorter_as_path_wins_at_equal_local_pref() {
+        let base = RouteAdvertisement::bgp(pref("9.9.9.0/24"));
+        let short = base.clone().with_as_path([Asn(1)].into_iter().collect());
+        let long = base.with_as_path([Asn(2), Asn(3)].into_iter().collect());
+        assert!(short.better_than(&long));
+    }
+
+    #[test]
+    fn lower_med_wins_at_equal_path() {
+        let base =
+            RouteAdvertisement::bgp(pref("9.9.9.0/24")).with_as_path(AsPath::single(Asn(1)));
+        let lo = base.clone().with_med(10);
+        let hi = base.with_med(20);
+        assert!(lo.better_than(&hi));
+    }
+
+    #[test]
+    fn better_than_is_a_strict_order() {
+        let r = RouteAdvertisement::bgp(pref("9.9.9.0/24"));
+        assert!(!r.better_than(&r), "irreflexive");
+    }
+
+    #[test]
+    fn loop_detection() {
+        let r = RouteAdvertisement::bgp(pref("9.9.9.0/24"))
+            .with_as_path([Asn(1), Asn(2)].into_iter().collect());
+        assert!(r.would_loop(Asn(2)));
+        assert!(!r.would_loop(Asn(3)));
+    }
+
+    #[test]
+    fn redistribution_origin_defaults() {
+        let r = RouteAdvertisement::of_protocol(pref("7.7.0.0/16"), Protocol::Ospf);
+        assert_eq!(r.origin, Origin::Incomplete);
+        assert_eq!(r.protocol, Protocol::Ospf);
+        let b = RouteAdvertisement::of_protocol(pref("7.7.0.0/16"), Protocol::Bgp);
+        assert_eq!(b.origin, Origin::Igp);
+    }
+
+    #[test]
+    fn display_mentions_key_attributes() {
+        let r = RouteAdvertisement::bgp(pref("1.2.3.0/24"))
+            .with_community("100:1".parse().unwrap())
+            .with_med(5);
+        let s = r.to_string();
+        assert!(s.contains("1.2.3.0/24"));
+        assert!(s.contains("100:1"));
+        assert!(s.contains("med: 5"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # policy-symbolic — BDD-backed symbolic analysis of routing policies
+//!
+//! The symbolic twin of `config_ir::eval`: policies are compiled into
+//! predicates and attribute-outcome maps over a finite route space, giving
+//! exact answers to the questions the paper's verifiers need:
+//!
+//! * **Equivalence / difference** of two policies (Campion's policy
+//!   behaviour diffing), with a concrete example prefix for the humanizer;
+//! * **SearchRoutePolicies** (Batfish's question, used by the Lightyear-
+//!   style local checks): find a route matching given constraints that the
+//!   policy permits/denies, as a counterexample.
+//!
+//! ## Encoding (the Minesweeper/Batfish layout)
+//!
+//! One BDD variable per bit of: destination prefix (32), prefix length
+//! (6), protocol tag (2); plus one variable per community in the
+//! *community universe* and one per distinct AS-path pattern. Attribute
+//! writes (MED, local-pref, prepends) are constant-valued in real configs,
+//! so outputs are tracked as finite value→space maps
+//! ([`transfer::ValueState`]) rather than extra variables —
+//! exact and much smaller.
+//!
+//! Junos fall-through terms make community state *flow-sensitive* (a later
+//! term can match a community set by an earlier one); the walk in
+//! [`transfer`] threads per-community presence functions through the
+//! clauses, so this is handled exactly.
+//!
+//! ## Agreement with the concrete evaluator
+//!
+//! A property test (`tests/` at workspace root and unit tests here) checks
+//! that for random policies and random routes, the symbolic permit space
+//! agrees with `config_ir::eval_policy` — the two interpreters keep each
+//! other honest.
+
+pub mod query;
+pub mod space;
+pub mod transfer;
+
+pub use query::{
+    behavior_difference, effective_export_behavior, effective_import_behavior, policy_behavior,
+    search_route_policies, BehaviorDiff, PolicyBehavior, RouteQuery,
+};
+pub use space::RouteSpace;
+pub use transfer::{walk_policy, SymState, ValueState, WalkResult};

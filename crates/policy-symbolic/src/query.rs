@@ -1,0 +1,680 @@
+//! The verifier-facing queries: policy behaviour extraction, behaviour
+//! diffing with counterexamples, and Batfish's `searchRoutePolicies`.
+
+use crate::space::RouteSpace;
+use crate::transfer::{walk_chain, walk_policy, SymState, WalkResult};
+use bdd::Ref;
+use config_ir::Device;
+use net_model::{Community, PrefixPattern, Protocol, RouteAdvertisement};
+use std::net::Ipv4Addr;
+
+/// A policy's full observable behaviour: its permit space and the
+/// attribute state at permitted points.
+pub struct PolicyBehavior {
+    /// Permitted input space.
+    pub permit: Ref,
+    /// Attribute outcome state (valid within `permit`).
+    pub out: SymState,
+}
+
+/// Computes the behaviour of a named policy (or the identity behaviour for
+/// an empty name list) over the whole space.
+pub fn policy_behavior(space: &mut RouteSpace, device: &Device, chain: &[String]) -> PolicyBehavior {
+    let init = SymState::input(space);
+    let top = space.mgr.top();
+    let r = walk_chain(space, device, chain, top, &init, None);
+    PolicyBehavior {
+        permit: r.permit,
+        out: r.out,
+    }
+}
+
+/// One observable difference between two policies, with a concrete
+/// witness route — the localized, actionable feedback the paper says
+/// verifiers must produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BehaviorDiff {
+    /// One permits a route the other denies.
+    Action {
+        /// Witness route.
+        route: RouteAdvertisement,
+        /// Whether the *first* policy permits it (the second does the
+        /// opposite).
+        first_permits: bool,
+    },
+    /// Both permit a route but disagree on an output community.
+    Community {
+        /// Witness route.
+        route: RouteAdvertisement,
+        /// The community in question.
+        community: Community,
+        /// Whether the first policy's output carries it.
+        first_has: bool,
+    },
+    /// Both permit a route but set different MED values (`None` =
+    /// preserved from input).
+    Med {
+        /// Witness route.
+        route: RouteAdvertisement,
+        /// First policy's MED action.
+        first: Option<u32>,
+        /// Second policy's MED action.
+        second: Option<u32>,
+    },
+    /// Both permit a route but set different local preference.
+    LocalPref {
+        /// Witness route.
+        route: RouteAdvertisement,
+        /// First policy's local-pref action.
+        first: Option<u32>,
+        /// Second policy's local-pref action.
+        second: Option<u32>,
+    },
+}
+
+/// Finds the first observable difference between two behaviours computed
+/// over the *same* [`RouteSpace`]. Returns `None` when the behaviours are
+/// semantically identical.
+pub fn behavior_difference(
+    space: &mut RouteSpace,
+    a: &PolicyBehavior,
+    b: &PolicyBehavior,
+) -> Option<BehaviorDiff> {
+    // 1. Action differences.
+    let action_diff = space.mgr.xor(a.permit, b.permit);
+    if !action_diff.is_false() {
+        // Prefer a witness the first permits (reads better in prompts).
+        let first_only = space.mgr.diff(a.permit, b.permit);
+        let (w, first_permits) = if !first_only.is_false() {
+            (first_only, true)
+        } else {
+            (space.mgr.diff(b.permit, a.permit), false)
+        };
+        let route = space.example(w).expect("non-empty");
+        return Some(BehaviorDiff::Action {
+            route,
+            first_permits,
+        });
+    }
+    let both = a.permit; // == b.permit here
+    // 2. Output community differences.
+    let comms: Vec<Community> = space.communities.clone();
+    for c in comms {
+        let fa = a.out.comm.get(&c).copied().unwrap_or(Ref::FALSE);
+        let fb = b.out.comm.get(&c).copied().unwrap_or(Ref::FALSE);
+        let x = space.mgr.xor(fa, fb);
+        let d = space.mgr.and(x, both);
+        if !d.is_false() {
+            let first_has_space = space.mgr.and(fa, d);
+            let first_has = !first_has_space.is_false();
+            let w = if first_has { first_has_space } else { d };
+            let route = space.example(w).expect("non-empty");
+            return Some(BehaviorDiff::Community {
+                route,
+                community: c,
+                first_has,
+            });
+        }
+    }
+    // 3. MED differences.
+    if let Some((route, first, second)) = value_state_diff(space, both, &a.out.med, &b.out.med) {
+        return Some(BehaviorDiff::Med {
+            route,
+            first,
+            second,
+        });
+    }
+    // 4. Local-pref differences.
+    if let Some((route, first, second)) = value_state_diff(space, both, &a.out.lp, &b.out.lp) {
+        return Some(BehaviorDiff::LocalPref {
+            route,
+            first,
+            second,
+        });
+    }
+    None
+}
+
+/// Finds a point where two value states disagree within `within`, and
+/// reports both values at that point.
+fn value_state_diff(
+    space: &mut RouteSpace,
+    within: Ref,
+    a: &crate::transfer::ValueState<u32>,
+    b: &crate::transfer::ValueState<u32>,
+) -> Option<(RouteAdvertisement, Option<u32>, Option<u32>)> {
+    let mut values: Vec<u32> = a.entries.keys().chain(b.entries.keys()).copied().collect();
+    values.sort_unstable();
+    values.dedup();
+    for v in values {
+        let fa = a.entries.get(&v).copied().unwrap_or(Ref::FALSE);
+        let fb = b.entries.get(&v).copied().unwrap_or(Ref::FALSE);
+        let x = space.mgr.xor(fa, fb);
+        let d = space.mgr.and(x, within);
+        if d.is_false() {
+            continue;
+        }
+        let n = space.var_count();
+        let assignment = space.mgr.any_sat_total(d, n).expect("non-empty");
+        let route = space.decode(&assignment);
+        let val_at = |vs: &crate::transfer::ValueState<u32>, space: &RouteSpace| -> Option<u32> {
+            vs.entries
+                .iter()
+                .find(|(_, s)| space.mgr.eval(**s, |var| assignment[var as usize]))
+                .map(|(v, _)| *v)
+        };
+        let first = val_at(a, space);
+        let second = val_at(b, space);
+        return Some((route, first, second));
+    }
+    None
+}
+
+/// A `searchRoutePolicies`-style query: constraints on the input route,
+/// the expected action, and (for permits) constraints on the output route.
+#[derive(Debug, Clone, Default)]
+pub struct RouteQuery {
+    /// Input prefix constraint.
+    pub input_prefix: Option<PrefixPattern>,
+    /// Communities that must be present on the input route.
+    pub input_communities_present: Vec<Community>,
+    /// Communities that must be absent on the input route.
+    pub input_communities_absent: Vec<Community>,
+    /// Protocol constraint.
+    pub protocol: Option<Protocol>,
+    /// Search in the permitted (true) or denied (false) space.
+    pub action_permit: bool,
+    /// Communities that must be present on the *output* route (permit
+    /// searches only).
+    pub output_communities_present: Vec<Community>,
+    /// Communities that must be absent on the *output* route.
+    pub output_communities_absent: Vec<Community>,
+}
+
+impl RouteQuery {
+    /// A query for any permitted route.
+    pub fn any_permitted() -> Self {
+        RouteQuery {
+            action_permit: true,
+            ..Default::default()
+        }
+    }
+
+    /// A query for any denied route.
+    pub fn any_denied() -> Self {
+        RouteQuery {
+            action_permit: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Batfish's `searchRoutePolicies`: finds a route satisfying the query
+/// against a policy chain, or `None` if the space is empty (the property
+/// holds).
+pub fn search_route_policies(
+    space: &mut RouteSpace,
+    device: &Device,
+    chain: &[String],
+    query: &RouteQuery,
+) -> Option<RouteAdvertisement> {
+    let b = policy_behavior(space, device, chain);
+    let mut f = if query.action_permit {
+        b.permit
+    } else {
+        space.mgr.not(b.permit)
+    };
+    if let Some(p) = &query.input_prefix {
+        let c = space.pattern(p);
+        f = space.mgr.and(f, c);
+    }
+    if let Some(proto) = query.protocol {
+        let c = space.protocol(proto);
+        f = space.mgr.and(f, c);
+    }
+    for c in &query.input_communities_present {
+        let v = space.community(*c);
+        f = space.mgr.and(f, v);
+    }
+    for c in &query.input_communities_absent {
+        let v = space.community(*c);
+        let nv = space.mgr.not(v);
+        f = space.mgr.and(f, nv);
+    }
+    for c in &query.output_communities_present {
+        let v = b.out.comm.get(c).copied().unwrap_or(Ref::FALSE);
+        f = space.mgr.and(f, v);
+    }
+    for c in &query.output_communities_absent {
+        let v = b.out.comm.get(c).copied().unwrap_or(Ref::FALSE);
+        let nv = space.mgr.not(v);
+        f = space.mgr.and(f, nv);
+    }
+    space.example(f)
+}
+
+/// The *effective* export behaviour toward a neighbor: which routes enter
+/// the BGP table (learned BGP routes, `network`-originated connected
+/// routes, redistributed routes filtered by their maps) and what the
+/// export chain then does — including community stripping when
+/// `send-community` is off. This is what Campion compares to catch the
+/// paper's redistribution difference.
+pub fn effective_export_behavior(
+    space: &mut RouteSpace,
+    device: &Device,
+    neighbor: Ipv4Addr,
+) -> PolicyBehavior {
+    let Some(bgp) = &device.bgp else {
+        return PolicyBehavior {
+            permit: Ref::FALSE,
+            out: SymState::empty(space),
+        };
+    };
+    let Some(n) = bgp.neighbor(neighbor) else {
+        return PolicyBehavior {
+            permit: Ref::FALSE,
+            out: SymState::empty(space),
+        };
+    };
+    let input = SymState::input(space);
+    // BGP-learned routes are always in the table.
+    let bgp_space = space.protocol(Protocol::Bgp);
+    // `network` statements originate connected routes matching exactly.
+    let mut net_space = Ref::FALSE;
+    for p in &bgp.networks {
+        let e = space.exact_prefix(p);
+        net_space = space.mgr.or(net_space, e);
+    }
+    let conn = space.protocol(Protocol::Connected);
+    net_space = space.mgr.and(net_space, conn);
+    // Redistribution gates.
+    let mut eligible = space.mgr.or(bgp_space, net_space);
+    let mut state0 = SymState::empty(space);
+    state0.accumulate(space, &input, eligible);
+    for (proto, map) in &bgp.redistributions {
+        let proto_space = space.protocol(*proto);
+        let (gspace, gstate) = match map {
+            Some(name) => match device.policy(name) {
+                Some(policy) => {
+                    let r = walk_policy(space, device, policy, proto_space, &input, Some(neighbor));
+                    (r.permit, r.out)
+                }
+                None => (Ref::FALSE, SymState::empty(space)), // dangling map: nothing redistributed
+            },
+            None => (proto_space, {
+                let mut st = SymState::empty(space);
+                st.accumulate(space, &input, proto_space);
+                st
+            }),
+        };
+        // Routes already eligible (e.g. network-originated) keep their
+        // earlier state; gate only the remainder.
+        let fresh = space.mgr.diff(gspace, eligible);
+        state0.accumulate_masked(space, &gstate, fresh);
+        eligible = space.mgr.or(eligible, gspace);
+    }
+    // Export chain.
+    let r: WalkResult = walk_chain(space, device, &n.export_policy, eligible, &state0, Some(neighbor));
+    let mut out = r.out;
+    // Communities are only propagated with send-community.
+    if !n.send_community {
+        for (_, f) in out.comm.iter_mut() {
+            *f = Ref::FALSE;
+        }
+    }
+    PolicyBehavior {
+        permit: r.permit,
+        out,
+    }
+}
+
+/// The effective import behaviour from a neighbor: the import chain
+/// applied to incoming BGP routes.
+pub fn effective_import_behavior(
+    space: &mut RouteSpace,
+    device: &Device,
+    neighbor: Ipv4Addr,
+) -> PolicyBehavior {
+    let Some(bgp) = &device.bgp else {
+        return PolicyBehavior {
+            permit: Ref::FALSE,
+            out: SymState::empty(space),
+        };
+    };
+    let Some(n) = bgp.neighbor(neighbor) else {
+        return PolicyBehavior {
+            permit: Ref::FALSE,
+            out: SymState::empty(space),
+        };
+    };
+    let input = SymState::input(space);
+    let bgp_space = space.protocol(Protocol::Bgp);
+    let r = walk_chain(space, device, &n.import_policy, bgp_space, &input, Some(neighbor));
+    PolicyBehavior {
+        permit: r.permit,
+        out: r.out,
+    }
+}
+
+impl SymState {
+    /// Like [`SymState::accumulate`] but documents the masking intent at
+    /// redistribution-merge sites.
+    pub(crate) fn accumulate_masked(
+        &mut self,
+        space: &mut RouteSpace,
+        other: &SymState,
+        at: Ref,
+    ) {
+        self.accumulate(space, other, at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config_ir::{
+        ClauseAction, Condition, IrBgp, IrClause, IrNeighbor, IrPolicy,
+        IrPrefixSet, Modifier,
+    };
+    use net_model::{Asn, Prefix};
+    use std::collections::BTreeSet;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn comm(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    fn simple_policy(name: &str, med: u32) -> IrPolicy {
+        let mut p = IrPolicy::new(name);
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::MatchPrefix {
+                sets: vec![],
+                patterns: vec![PrefixPattern::orlonger(pfx("1.2.3.0/24"))],
+            }],
+            modifiers: vec![Modifier::SetMed(med)],
+        });
+        p.clauses.push(IrClause::deny_all("100"));
+        p
+    }
+
+    #[test]
+    fn identical_policies_have_no_diff() {
+        let mut d = Device::named("r");
+        d.policies.push(simple_policy("a", 50));
+        d.policies.push(simple_policy("b", 50));
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let ba = policy_behavior(&mut s, &d, &["a".to_string()]);
+        let bb = policy_behavior(&mut s, &d, &["b".to_string()]);
+        assert_eq!(behavior_difference(&mut s, &ba, &bb), None);
+    }
+
+    #[test]
+    fn action_difference_yields_witness() {
+        let mut d = Device::named("r");
+        d.policies.push(simple_policy("a", 50));
+        // b permits a wider space.
+        let mut b = IrPolicy::new("b");
+        b.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::MatchPrefix {
+                sets: vec![],
+                patterns: vec![PrefixPattern::orlonger(pfx("1.2.0.0/16"))],
+            }],
+            modifiers: vec![Modifier::SetMed(50)],
+        });
+        d.policies.push(b);
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let ba = policy_behavior(&mut s, &d, &["a".to_string()]);
+        let bb = policy_behavior(&mut s, &d, &["b".to_string()]);
+        match behavior_difference(&mut s, &ba, &bb) {
+            Some(BehaviorDiff::Action {
+                route,
+                first_permits,
+            }) => {
+                assert!(!first_permits, "b permits more");
+                assert!(
+                    PrefixPattern::orlonger(pfx("1.2.0.0/16")).matches(&route.prefix),
+                    "{route}"
+                );
+                assert!(
+                    !PrefixPattern::orlonger(pfx("1.2.3.0/24")).matches(&route.prefix),
+                    "witness must be outside a's space: {route}"
+                );
+            }
+            other => panic!("expected action diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn med_difference_detected_with_values() {
+        let mut d = Device::named("r");
+        d.policies.push(simple_policy("a", 50));
+        d.policies.push(simple_policy("b", 70));
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let ba = policy_behavior(&mut s, &d, &["a".to_string()]);
+        let bb = policy_behavior(&mut s, &d, &["b".to_string()]);
+        match behavior_difference(&mut s, &ba, &bb) {
+            Some(BehaviorDiff::Med {
+                route,
+                first,
+                second,
+            }) => {
+                assert_eq!(first, Some(50));
+                assert_eq!(second, Some(70));
+                assert!(PrefixPattern::orlonger(pfx("1.2.3.0/24")).matches(&route.prefix));
+            }
+            other => panic!("expected MED diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn community_difference_detected() {
+        let mut d = Device::named("r");
+        let mut a = simple_policy("a", 50);
+        a.clauses[0].modifiers.push(Modifier::SetCommunities {
+            communities: BTreeSet::from([comm("100:1")]),
+            additive: true,
+        });
+        d.policies.push(a);
+        d.policies.push(simple_policy("b", 50));
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let ba = policy_behavior(&mut s, &d, &["a".to_string()]);
+        let bb = policy_behavior(&mut s, &d, &["b".to_string()]);
+        match behavior_difference(&mut s, &ba, &bb) {
+            Some(BehaviorDiff::Community {
+                community,
+                first_has,
+                ..
+            }) => {
+                assert_eq!(community, comm("100:1"));
+                assert!(first_has);
+            }
+            other => panic!("expected community diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_finds_permitted_route_matching_constraints() {
+        let mut d = Device::named("r");
+        d.policies.push(simple_policy("p", 50));
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let q = RouteQuery {
+            input_prefix: Some(PrefixPattern::with_bounds(pfx("1.2.3.0/24"), Some(25), Some(25)).unwrap()),
+            action_permit: true,
+            ..Default::default()
+        };
+        let r = search_route_policies(&mut s, &d, &["p".to_string()], &q).unwrap();
+        assert_eq!(r.prefix.len(), 25);
+        assert!(pfx("1.2.3.0/24").contains(&r.prefix));
+        // And nothing outside the policy's space is returned for a
+        // contradictory query.
+        let q2 = RouteQuery {
+            input_prefix: Some(PrefixPattern::exact(pfx("9.9.9.0/24"))),
+            action_permit: true,
+            ..Default::default()
+        };
+        assert_eq!(search_route_policies(&mut s, &d, &["p".to_string()], &q2), None);
+    }
+
+    #[test]
+    fn search_with_output_community_constraints() {
+        // Policy adds 100:1 to everything it permits. Searching for a
+        // permitted route whose output LACKS 100:1 must fail — that's the
+        // Lightyear-style local check passing.
+        let mut d = Device::named("r");
+        let mut p = IrPolicy::new("tag-all");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetCommunities {
+                communities: BTreeSet::from([comm("100:1")]),
+                additive: true,
+            }],
+        });
+        d.policies.push(p);
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let violation = RouteQuery {
+            action_permit: true,
+            output_communities_absent: vec![comm("100:1")],
+            ..Default::default()
+        };
+        assert_eq!(
+            search_route_policies(&mut s, &d, &["tag-all".to_string()], &violation),
+            None,
+            "no permitted route escapes tagging"
+        );
+        let ok = RouteQuery {
+            action_permit: true,
+            output_communities_present: vec![comm("100:1")],
+            ..Default::default()
+        };
+        assert!(search_route_policies(&mut s, &d, &["tag-all".to_string()], &ok).is_some());
+    }
+
+    /// Builds a device exporting to 2.3.4.5 with a redistribution of OSPF
+    /// via a filter map, for the effective-export tests.
+    fn export_device(with_redistribution: bool) -> Device {
+        let mut d = Device::named("r");
+        d.prefix_sets.push(IrPrefixSet::permitting(
+            "ospf-nets",
+            vec![PrefixPattern::orlonger(pfx("7.7.0.0/16"))],
+        ));
+        let mut filt = IrPolicy::new("ospf_to_bgp");
+        filt.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::prefix_set("ospf-nets")],
+            modifiers: vec![Modifier::SetMed(77)],
+        });
+        d.policies.push(filt);
+        let mut out_map = IrPolicy::new("to_provider");
+        out_map.clauses.push(IrClause::permit_all("10"));
+        d.policies.push(out_map);
+        let mut bgp = IrBgp::new(Asn(100));
+        bgp.networks.push(pfx("1.2.3.0/24"));
+        if with_redistribution {
+            bgp.redistributions
+                .push((Protocol::Ospf, Some("ospf_to_bgp".into())));
+        }
+        let mut n = IrNeighbor::new("2.3.4.5".parse().unwrap());
+        n.export_policy.push("to_provider".into());
+        n.send_community = true;
+        bgp.neighbors.push(n);
+        d.bgp = Some(bgp);
+        d
+    }
+
+    #[test]
+    fn effective_export_includes_redistributed_space() {
+        let d = export_device(true);
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let b = effective_export_behavior(&mut s, &d, "2.3.4.5".parse().unwrap());
+        // A 7.7/16 OSPF route is exported (with MED 77 from the filter).
+        let ospf77 = s.exact_prefix(&pfx("7.7.1.0/24"));
+        let proto = s.protocol(Protocol::Ospf);
+        let pt = s.mgr.and(ospf77, proto);
+        let inside = s.mgr.and(b.permit, pt);
+        assert!(!inside.is_false());
+        let med77 = b.out.med.entries.get(&77).copied().unwrap_or(Ref::FALSE);
+        let covered = s.mgr.and(med77, pt);
+        let uncovered = s.mgr.diff(pt, covered);
+        assert!(uncovered.is_false(), "all of pt has med 77");
+        // A 9.9/16 OSPF route (outside the filter) is not exported.
+        let other = s.exact_prefix(&pfx("9.9.0.0/16"));
+        let pt2 = s.mgr.and(other, proto);
+        assert!(s.mgr.and(b.permit, pt2).is_false());
+        // The originated network is exported as a connected route.
+        let net = s.exact_prefix(&pfx("1.2.3.0/24"));
+        let conn = s.protocol(Protocol::Connected);
+        let pt3 = s.mgr.and(net, conn);
+        assert!(!s.mgr.and(b.permit, pt3).is_false());
+        // BGP routes flow through.
+        let bgp_p = s.protocol(Protocol::Bgp);
+        let any_bgp = s.mgr.and(b.permit, bgp_p);
+        assert!(!any_bgp.is_false());
+    }
+
+    #[test]
+    fn effective_export_differs_without_redistribution() {
+        let with = export_device(true);
+        let without = export_device(false);
+        let mut s = RouteSpace::for_devices(&[&with, &without]);
+        let bw = effective_export_behavior(&mut s, &with, "2.3.4.5".parse().unwrap());
+        let bo = effective_export_behavior(&mut s, &without, "2.3.4.5".parse().unwrap());
+        let diff = behavior_difference(&mut s, &bw, &bo).expect("must differ");
+        match diff {
+            BehaviorDiff::Action {
+                route,
+                first_permits,
+            } => {
+                assert!(first_permits, "the redistributing device exports more");
+                assert_eq!(route.protocol, Protocol::Ospf, "witness is a redistributed route: {route}");
+            }
+            other => panic!("expected action diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_community_off_strips_output_communities() {
+        let mut d = export_device(false);
+        // Tag everything on export.
+        let p = d.policies.iter_mut().find(|p| p.name == "to_provider").unwrap();
+        p.clauses[0].modifiers.push(Modifier::SetCommunities {
+            communities: BTreeSet::from([comm("100:1")]),
+            additive: true,
+        });
+        d.bgp.as_mut().unwrap().neighbors[0].send_community = false;
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let b = effective_export_behavior(&mut s, &d, "2.3.4.5".parse().unwrap());
+        assert!(!b.permit.is_false());
+        assert!(b.out.comm[&comm("100:1")].is_false(), "stripped");
+    }
+
+    #[test]
+    fn unknown_neighbor_exports_nothing() {
+        let d = export_device(true);
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let b = effective_export_behavior(&mut s, &d, "9.9.9.9".parse().unwrap());
+        assert!(b.permit.is_false());
+    }
+
+    #[test]
+    fn import_behavior_covers_bgp_protocol_only() {
+        let mut d = export_device(false);
+        d.bgp.as_mut().unwrap().neighbors[0]
+            .import_policy
+            .push("to_provider".into());
+        let mut s = RouteSpace::for_devices(&[&d]);
+        let b = effective_import_behavior(&mut s, &d, "2.3.4.5".parse().unwrap());
+        let bgp_p = s.protocol(Protocol::Bgp);
+        assert!(s.mgr.implies_check(b.permit, bgp_p));
+        assert!(!b.permit.is_false());
+    }
+}

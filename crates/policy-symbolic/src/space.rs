@@ -1,0 +1,423 @@
+//! The symbolic route space: variable layout, constraint builders, and
+//! counterexample decoding.
+
+use bdd::{Manager, Ref, Var};
+use config_ir::{Device, IrPrefixSet};
+use net_model::{Community, Prefix, PrefixPattern, Protocol, RouteAdvertisement};
+use std::collections::BTreeSet;
+
+/// Number of destination-prefix bit variables.
+const PREFIX_BITS: u32 = 32;
+/// Number of prefix-length bit variables (values 0..=32 fit in 6 bits).
+const LEN_BITS: u32 = 6;
+/// Number of protocol tag bits (4 protocols).
+const PROTO_BITS: u32 = 2;
+
+/// The symbolic route space shared by all analyses over one or more
+/// devices: owns the BDD manager and the variable layout.
+///
+/// Construction fixes the community universe and AS-path pattern universe;
+/// analyses across *two* devices (Campion) must build the space from both
+/// devices' universes — see [`RouteSpace::for_devices`].
+pub struct RouteSpace {
+    /// The underlying BDD manager.
+    pub mgr: Manager,
+    /// Community universe in variable order.
+    pub communities: Vec<Community>,
+    /// AS-path pattern universe (IOS regex spellings) in variable order.
+    pub aspath_patterns: Vec<String>,
+}
+
+impl RouteSpace {
+    /// Builds a space with explicit universes.
+    pub fn new(communities: BTreeSet<Community>, aspath_patterns: BTreeSet<String>) -> Self {
+        let mut mgr = Manager::new();
+        let communities: Vec<Community> = communities.into_iter().collect();
+        let aspath_patterns: Vec<String> = aspath_patterns.into_iter().collect();
+        let total =
+            PREFIX_BITS + LEN_BITS + PROTO_BITS + communities.len() as u32 + aspath_patterns.len() as u32;
+        mgr.new_vars(total);
+        RouteSpace {
+            mgr,
+            communities,
+            aspath_patterns,
+        }
+    }
+
+    /// Builds a space covering the universes of all given devices.
+    pub fn for_devices(devices: &[&Device]) -> Self {
+        let mut communities = BTreeSet::new();
+        let mut aspaths = BTreeSet::new();
+        for d in devices {
+            communities.extend(d.community_universe());
+            for p in &d.policies {
+                for c in &p.clauses {
+                    for cond in &c.conditions {
+                        if let config_ir::Condition::MatchAsPath(re) = cond {
+                            aspaths.insert(re.clone());
+                        }
+                    }
+                }
+            }
+        }
+        RouteSpace::new(communities, aspaths)
+    }
+
+    /// Total variable count (the ambient space for model counting).
+    pub fn var_count(&self) -> u32 {
+        PREFIX_BITS
+            + LEN_BITS
+            + PROTO_BITS
+            + self.communities.len() as u32
+            + self.aspath_patterns.len() as u32
+    }
+
+    fn prefix_bit_var(&self, i: u32) -> Var {
+        debug_assert!(i < PREFIX_BITS);
+        i
+    }
+
+    fn len_bit_var(&self, i: u32) -> Var {
+        debug_assert!(i < LEN_BITS);
+        PREFIX_BITS + i
+    }
+
+    fn proto_bit_var(&self, i: u32) -> Var {
+        debug_assert!(i < PROTO_BITS);
+        PREFIX_BITS + LEN_BITS + i
+    }
+
+    /// The variable carrying presence of a community, if in the universe.
+    pub fn community_var(&self, c: Community) -> Option<Var> {
+        self.communities
+            .iter()
+            .position(|&x| x == c)
+            .map(|i| PREFIX_BITS + LEN_BITS + PROTO_BITS + i as u32)
+    }
+
+    /// The variable standing for "the AS path matches this pattern".
+    pub fn aspath_var(&self, pattern: &str) -> Option<Var> {
+        self.aspath_patterns.iter().position(|x| x == pattern).map(|i| {
+            PREFIX_BITS + LEN_BITS + PROTO_BITS + self.communities.len() as u32 + i as u32
+        })
+    }
+
+    /// BDD: the route's prefix length equals `len`.
+    pub fn len_eq(&mut self, len: u8) -> Ref {
+        let mut acc = self.mgr.top();
+        for i in 0..LEN_BITS {
+            let bit = (len >> (LEN_BITS - 1 - i)) & 1 == 1;
+            let v = self.len_bit_var(i);
+            let lit = self.mgr.literal(v, bit);
+            acc = self.mgr.and(acc, lit);
+        }
+        acc
+    }
+
+    /// BDD: the route's prefix length is within `lo..=hi`.
+    pub fn len_in(&mut self, lo: u8, hi: u8) -> Ref {
+        let mut acc = self.mgr.bot();
+        for l in lo..=hi.min(32) {
+            let eq = self.len_eq(l);
+            acc = self.mgr.or(acc, eq);
+        }
+        acc
+    }
+
+    /// BDD: the first `n` prefix bits equal those of `bits`.
+    fn prefix_bits_eq(&mut self, bits: u32, n: u8) -> Ref {
+        let mut acc = self.mgr.top();
+        for i in 0..n as u32 {
+            let bit = (bits >> (31 - i)) & 1 == 1;
+            let v = self.prefix_bit_var(i);
+            let lit = self.mgr.literal(v, bit);
+            acc = self.mgr.and(acc, lit);
+        }
+        acc
+    }
+
+    /// BDD: the route's prefix matches a pattern (bits + length bounds).
+    pub fn pattern(&mut self, p: &PrefixPattern) -> Ref {
+        let (lo, hi) = p.length_range();
+        let bits = self.prefix_bits_eq(p.prefix.bits(), p.prefix.len());
+        let len = self.len_in(lo, hi);
+        self.mgr.and(bits, len)
+    }
+
+    /// BDD: the route's prefix equals `p` exactly.
+    pub fn exact_prefix(&mut self, p: &Prefix) -> Ref {
+        let bits = self.prefix_bits_eq(p.bits(), p.len());
+        let len = self.len_eq(p.len());
+        self.mgr.and(bits, len)
+    }
+
+    /// BDD: the route's protocol is `p`.
+    pub fn protocol(&mut self, p: Protocol) -> Ref {
+        let tag = match p {
+            Protocol::Bgp => 0u8,
+            Protocol::Ospf => 1,
+            Protocol::Connected => 2,
+            Protocol::Static => 3,
+        };
+        let mut acc = self.mgr.top();
+        for i in 0..PROTO_BITS {
+            let bit = (tag >> (PROTO_BITS - 1 - i)) & 1 == 1;
+            let v = self.proto_bit_var(i);
+            let lit = self.mgr.literal(v, bit);
+            acc = self.mgr.and(acc, lit);
+        }
+        acc
+    }
+
+    /// BDD: the community is present on the (input) route. Communities
+    /// outside the universe yield `false` (they cannot be present).
+    pub fn community(&mut self, c: Community) -> Ref {
+        match self.community_var(c) {
+            Some(v) => self.mgr.var(v),
+            None => self.mgr.bot(),
+        }
+    }
+
+    /// BDD: the input route matches an ordered prefix set (first match
+    /// wins, no-match = false).
+    pub fn prefix_set(&mut self, set: &IrPrefixSet) -> Ref {
+        // Fold entries from the back: if e matches → permit?, else rest.
+        let mut acc = self.mgr.bot();
+        for e in set.entries.iter().rev() {
+            let m = self.pattern(&e.pattern);
+            let on_match = if e.permit { self.mgr.top() } else { self.mgr.bot() };
+            acc = self.mgr.ite(m, on_match, acc);
+        }
+        acc
+    }
+
+    /// Decodes a total assignment into a route advertisement, masking bits
+    /// beyond the decoded length (assignments are free there).
+    pub fn decode(&self, assignment: &[bool]) -> RouteAdvertisement {
+        let mut bits: u32 = 0;
+        for i in 0..PREFIX_BITS {
+            if assignment[self.prefix_bit_var(i) as usize] {
+                bits |= 1 << (31 - i);
+            }
+        }
+        let mut len: u8 = 0;
+        for i in 0..LEN_BITS {
+            len <<= 1;
+            if assignment[self.len_bit_var(i) as usize] {
+                len |= 1;
+            }
+        }
+        let len = len.min(32);
+        let mut tag: u8 = 0;
+        for i in 0..PROTO_BITS {
+            tag <<= 1;
+            if assignment[self.proto_bit_var(i) as usize] {
+                tag |= 1;
+            }
+        }
+        let protocol = match tag {
+            0 => Protocol::Bgp,
+            1 => Protocol::Ospf,
+            2 => Protocol::Connected,
+            _ => Protocol::Static,
+        };
+        let prefix = Prefix::new(std::net::Ipv4Addr::from(bits), len).expect("len clamped");
+        let mut route = RouteAdvertisement::of_protocol(prefix, protocol);
+        for (i, c) in self.communities.iter().enumerate() {
+            let v = PREFIX_BITS + LEN_BITS + PROTO_BITS + i as u32;
+            if assignment[v as usize] {
+                route.communities.insert(*c);
+            }
+        }
+        route
+    }
+
+    /// Encodes a concrete route as a total assignment (for cross-checking
+    /// against the concrete evaluator). AS-path pattern variables are set
+    /// by evaluating each pattern against the route's path.
+    pub fn encode(&self, route: &RouteAdvertisement) -> Vec<bool> {
+        let mut a = vec![false; self.var_count() as usize];
+        let bits = route.prefix.bits();
+        for i in 0..PREFIX_BITS {
+            a[self.prefix_bit_var(i) as usize] = (bits >> (31 - i)) & 1 == 1;
+        }
+        let len = route.prefix.len();
+        for i in 0..LEN_BITS {
+            a[self.len_bit_var(i) as usize] = (len >> (LEN_BITS - 1 - i)) & 1 == 1;
+        }
+        let tag = match route.protocol {
+            Protocol::Bgp => 0u8,
+            Protocol::Ospf => 1,
+            Protocol::Connected => 2,
+            Protocol::Static => 3,
+        };
+        for i in 0..PROTO_BITS {
+            a[self.proto_bit_var(i) as usize] = (tag >> (PROTO_BITS - 1 - i)) & 1 == 1;
+        }
+        for (i, c) in self.communities.iter().enumerate() {
+            let v = (PREFIX_BITS + LEN_BITS + PROTO_BITS + i as u32) as usize;
+            a[v] = route.communities.contains(c);
+        }
+        for (i, pat) in self.aspath_patterns.iter().enumerate() {
+            let v = (PREFIX_BITS
+                + LEN_BITS
+                + PROTO_BITS
+                + self.communities.len() as u32
+                + i as u32) as usize;
+            a[v] = net_model::aspath::AsPathPattern::parse_ios(pat)
+                .map(|p| p.matches(&route.as_path))
+                .unwrap_or(false);
+        }
+        a
+    }
+
+    /// Extracts one concrete route from a non-empty space.
+    pub fn example(&mut self, f: Ref) -> Option<RouteAdvertisement> {
+        let n = self.var_count();
+        self.mgr.any_sat_total(f, n).map(|a| self.decode(&a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn space() -> RouteSpace {
+        RouteSpace::new(
+            BTreeSet::from(["100:1".parse().unwrap(), "101:1".parse().unwrap()]),
+            BTreeSet::new(),
+        )
+    }
+
+    #[test]
+    fn exact_prefix_has_one_model_over_prefix_vars() {
+        let mut s = space();
+        let f = s.exact_prefix(&pfx("1.2.3.0/24"));
+        let route = s.example(f).unwrap();
+        assert_eq!(route.prefix, pfx("1.2.3.0/24"));
+    }
+
+    #[test]
+    fn pattern_ge_matches_only_in_range() {
+        let mut s = space();
+        let pat = PrefixPattern::with_bounds(pfx("1.2.3.0/24"), Some(25), Some(26)).unwrap();
+        let f = s.pattern(&pat);
+        // A /24 must not be in the space.
+        let exact24 = s.exact_prefix(&pfx("1.2.3.0/24"));
+        let both = s.mgr.and(f, exact24);
+        assert!(both.is_false());
+        // A /25 must be.
+        let exact25 = s.exact_prefix(&pfx("1.2.3.0/25"));
+        let both = s.mgr.and(f, exact25);
+        assert!(!both.is_false());
+        // Example decodes inside the range.
+        let r = s.example(f).unwrap();
+        assert!(pat.matches(&r.prefix), "{r}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut s = space();
+        let r = RouteAdvertisement::of_protocol(pfx("10.20.30.0/24"), Protocol::Ospf)
+            .with_community("100:1".parse().unwrap());
+        let a = s.encode(&r);
+        let back = s.decode(&a);
+        assert_eq!(back.prefix, r.prefix);
+        assert_eq!(back.protocol, r.protocol);
+        assert_eq!(back.communities, r.communities);
+        // Encoding satisfies the corresponding constraints.
+        let f = s.exact_prefix(&pfx("10.20.30.0/24"));
+        assert!(s.mgr.eval(f, |v| a[v as usize]));
+        let p = s.protocol(Protocol::Ospf);
+        assert!(s.mgr.eval(p, |v| a[v as usize]));
+        let c = s.community("100:1".parse().unwrap());
+        assert!(s.mgr.eval(c, |v| a[v as usize]));
+        let c2 = s.community("101:1".parse().unwrap());
+        assert!(!s.mgr.eval(c2, |v| a[v as usize]));
+    }
+
+    #[test]
+    fn protocols_are_disjoint_and_exhaustive() {
+        let mut s = space();
+        let all: Vec<Ref> = Protocol::ALL.iter().map(|&p| s.protocol(p)).collect();
+        for i in 0..all.len() {
+            for j in 0..all.len() {
+                if i != j {
+                    assert!(s.mgr.and(all[i], all[j]).is_false());
+                }
+            }
+        }
+        let union = s.mgr.or_all(all);
+        assert!(union.is_true());
+    }
+
+    #[test]
+    fn out_of_universe_community_is_false() {
+        let mut s = space();
+        assert!(s.community("999:9".parse().unwrap()).is_false());
+    }
+
+    #[test]
+    fn prefix_set_first_match_semantics() {
+        let mut s = space();
+        let set = IrPrefixSet {
+            name: "s".into(),
+            entries: vec![
+                config_ir::PrefixSetEntry {
+                    permit: false,
+                    pattern: PrefixPattern::with_bounds(pfx("10.0.0.0/8"), Some(24), None)
+                        .unwrap(),
+                },
+                config_ir::PrefixSetEntry {
+                    permit: true,
+                    pattern: PrefixPattern::orlonger(pfx("10.0.0.0/8")),
+                },
+            ],
+        };
+        let f = s.prefix_set(&set);
+        let denied = s.exact_prefix(&pfx("10.1.1.0/24"));
+        assert!(s.mgr.and(f, denied).is_false());
+        let permitted = s.exact_prefix(&pfx("10.1.0.0/16"));
+        assert!(!s.mgr.and(f, permitted).is_false());
+        // Agreement with the concrete matcher on a sample of prefixes.
+        for p in ["10.0.0.0/8", "10.9.0.0/16", "10.9.9.0/24", "10.0.0.1/32", "11.0.0.0/8"] {
+            let p = pfx(p);
+            let e = s.exact_prefix(&p);
+            let sym = !s.mgr.and(f, e).is_false();
+            assert_eq!(sym, set.matches(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn len_in_edges() {
+        let mut s = space();
+        // 6 bits encode 0..63 but only 0..=32 are valid lengths, so
+        // len_in(0,32) is not a tautology — it covers exactly the 33 valid
+        // encodings, and every len_eq implies it.
+        let f = s.len_in(0, 32);
+        assert!(!f.is_true());
+        for l in [0u8, 1, 24, 32] {
+            let e = s.len_eq(l);
+            assert!(s.mgr.implies_check(e, f), "len {l}");
+        }
+        let g = s.len_in(33, 40);
+        assert!(g.is_false());
+    }
+
+    #[test]
+    fn decode_masks_junk_bits() {
+        let s = space();
+        // Assignment with length 8 but low bits set.
+        let mut a = vec![false; s.var_count() as usize];
+        a[0] = true; // MSB of prefix
+        a[31] = true; // junk below /8
+        // length = 8 → bits 32..38 encode 0b001000
+        a[34] = true;
+        let r = s.decode(&a);
+        assert_eq!(r.prefix, pfx("128.0.0.0/8"), "junk masked: {r}");
+    }
+}

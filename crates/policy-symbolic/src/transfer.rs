@@ -1,0 +1,587 @@
+//! Symbolic transfer: walking a policy over the route space while
+//! threading attribute state.
+//!
+//! The walk mirrors `config_ir::eval_policy` clause by clause. Community
+//! presence is tracked as one BDD *function* per universe community so
+//! that a later clause can match communities set by an earlier
+//! fall-through clause (Junos flow sensitivity). Constant-valued
+//! attributes (MED, local-pref, prepends, next hop) are tracked as
+//! [`ValueState`] partitions: disjoint spaces where the attribute has been
+//! set to each constant; everywhere else it is preserved from the input.
+
+use crate::space::RouteSpace;
+use bdd::Ref;
+use config_ir::{ClauseAction, Condition, Device, IrPolicy, Modifier};
+use net_model::Community;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Disjoint `value → space` partition for a constant-valued attribute;
+/// points outside every entry keep their input value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValueState<T: Ord + Clone> {
+    /// `(value, space)` entries; spaces are pairwise disjoint.
+    pub entries: BTreeMap<T, Ref>,
+}
+
+impl<T: Ord + Clone> ValueState<T> {
+    /// The empty state (attribute preserved everywhere).
+    pub fn new() -> Self {
+        ValueState {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the attribute to `value` on `space` (overriding earlier sets
+    /// there).
+    pub fn set(&mut self, space: &mut RouteSpace, value: T, at: Ref) {
+        for (_, s) in self.entries.iter_mut() {
+            *s = space.mgr.diff(*s, at);
+        }
+        let entry = self.entries.entry(value).or_insert(Ref::FALSE);
+        *entry = space.mgr.or(*entry, at);
+        self.entries.retain(|_, s| !s.is_false());
+    }
+
+    /// Restricts every entry to `within`.
+    pub fn restricted(&self, space: &mut RouteSpace, within: Ref) -> Self {
+        let mut out = ValueState::new();
+        for (v, s) in &self.entries {
+            let r = space.mgr.and(*s, within);
+            if !r.is_false() {
+                out.entries.insert(v.clone(), r);
+            }
+        }
+        out
+    }
+
+    /// Unions another (disjointly-scoped) state into this one.
+    pub fn union(&mut self, space: &mut RouteSpace, other: &Self) {
+        for (v, s) in &other.entries {
+            let entry = self.entries.entry(v.clone()).or_insert(Ref::FALSE);
+            *entry = space.mgr.or(*entry, *s);
+        }
+    }
+
+    /// The union of all set spaces (complement = preserved).
+    pub fn covered(&self, space: &mut RouteSpace) -> Ref {
+        space.mgr.or_all(self.entries.values().copied())
+    }
+}
+
+/// Symbolic attribute state threaded through a walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymState {
+    /// Per-community presence function over the input space.
+    pub comm: BTreeMap<Community, Ref>,
+    /// MED assignments.
+    pub med: ValueState<u32>,
+    /// Local-pref assignments.
+    pub lp: ValueState<u32>,
+    /// AS-path prepend assignments (whole prepend sequences).
+    pub prepend: ValueState<Vec<u32>>,
+    /// Next-hop assignments (addresses as u32).
+    pub next_hop: ValueState<u32>,
+}
+
+impl SymState {
+    /// The input state: each community's presence is its own variable;
+    /// all constant attributes preserved.
+    pub fn input(space: &mut RouteSpace) -> Self {
+        let mut comm = BTreeMap::new();
+        for c in space.communities.clone() {
+            let v = space.community_var(c).expect("universe member");
+            let f = space.mgr.var(v);
+            comm.insert(c, f);
+        }
+        SymState {
+            comm,
+            med: ValueState::new(),
+            lp: ValueState::new(),
+            prepend: ValueState::new(),
+            next_hop: ValueState::new(),
+        }
+    }
+
+    /// A state that is `false` everywhere (used as an accumulator).
+    pub fn empty(space: &RouteSpace) -> Self {
+        let comm = space.communities.iter().map(|&c| (c, Ref::FALSE)).collect();
+        SymState {
+            comm,
+            med: ValueState::new(),
+            lp: ValueState::new(),
+            prepend: ValueState::new(),
+            next_hop: ValueState::new(),
+        }
+    }
+
+    /// Accumulates `other` restricted to `at` into `self` (states on
+    /// disjoint spaces).
+    pub fn accumulate(&mut self, space: &mut RouteSpace, other: &SymState, at: Ref) {
+        for (c, f) in &other.comm {
+            let restricted = space.mgr.and(*f, at);
+            let entry = self.comm.entry(*c).or_insert(Ref::FALSE);
+            *entry = space.mgr.or(*entry, restricted);
+        }
+        let med = other.med.restricted(space, at);
+        self.med.union(space, &med);
+        let lp = other.lp.restricted(space, at);
+        self.lp.union(space, &lp);
+        let prepend = other.prepend.restricted(space, at);
+        self.prepend.union(space, &prepend);
+        let nh = other.next_hop.restricted(space, at);
+        self.next_hop.union(space, &nh);
+    }
+
+    /// Applies a modifier on the subspace `at`.
+    fn apply(&mut self, space: &mut RouteSpace, device: &Device, m: &Modifier, at: Ref) {
+        match m {
+            Modifier::SetCommunities {
+                communities,
+                additive,
+            } => {
+                if !*additive {
+                    for (_, f) in self.comm.iter_mut() {
+                        *f = space.mgr.diff(*f, at);
+                    }
+                }
+                for c in communities {
+                    if let Some(f) = self.comm.get_mut(c) {
+                        *f = space.mgr.or(*f, at);
+                    }
+                    // Communities outside the universe can't be observed by
+                    // any policy in the space and are ignored.
+                }
+            }
+            Modifier::DeleteCommunities(set_name) => {
+                if let Some(set) = device.community_set(set_name) {
+                    let to_delete: Vec<Community> = set
+                        .entries
+                        .iter()
+                        .filter(|(p, _)| *p)
+                        .flat_map(|(_, cs)| cs.iter().copied())
+                        .collect();
+                    for c in to_delete {
+                        if let Some(f) = self.comm.get_mut(&c) {
+                            *f = space.mgr.diff(*f, at);
+                        }
+                    }
+                }
+            }
+            Modifier::SetMed(v) => self.med.set(space, *v, at),
+            Modifier::SetLocalPref(v) => self.lp.set(space, *v, at),
+            Modifier::PrependAsPath(asns) => {
+                let seq: Vec<u32> = asns.iter().map(|a| a.0).collect();
+                self.prepend.set(space, seq, at);
+            }
+            Modifier::SetNextHop(a) => self.next_hop.set(space, u32::from(*a), at),
+        }
+    }
+}
+
+/// Builds the BDD for a single condition given the current state.
+pub fn condition_bdd(
+    space: &mut RouteSpace,
+    device: &Device,
+    state: &SymState,
+    neighbor: Option<Ipv4Addr>,
+    cond: &Condition,
+) -> Ref {
+    match cond {
+        Condition::MatchPrefix { sets, patterns } => {
+            let mut acc = space.mgr.bot();
+            for name in sets {
+                if let Some(set) = device.prefix_set(name) {
+                    let f = space.prefix_set(set);
+                    acc = space.mgr.or(acc, f);
+                }
+                // Dangling set: matches nothing (agrees with eval.rs).
+            }
+            for p in patterns {
+                let f = space.pattern(p);
+                acc = space.mgr.or(acc, f);
+            }
+            acc
+        }
+        Condition::MatchCommunity(sets) => {
+            let mut acc = space.mgr.bot();
+            for name in sets {
+                let Some(set) = device.community_set(name) else {
+                    continue;
+                };
+                // Ordered entries: first match wins; built over the
+                // *current* community state, not the raw input variables.
+                let mut f = space.mgr.bot();
+                for (permit, need) in set.entries.iter().rev() {
+                    let mut all = space.mgr.top();
+                    for c in need {
+                        let present = state.comm.get(c).copied().unwrap_or(Ref::FALSE);
+                        all = space.mgr.and(all, present);
+                    }
+                    let on_match = if *permit { space.mgr.top() } else { space.mgr.bot() };
+                    f = space.mgr.ite(all, on_match, f);
+                }
+                acc = space.mgr.or(acc, f);
+            }
+            acc
+        }
+        Condition::MatchProtocol(ps) => {
+            let items: Vec<Ref> = ps.iter().map(|&p| space.protocol(p)).collect();
+            space.mgr.or_all(items)
+        }
+        Condition::MatchAsPath(re) => match space.aspath_var(re) {
+            Some(v) => space.mgr.var(v),
+            None => space.mgr.bot(),
+        },
+        Condition::MatchNeighbor(a) => {
+            if neighbor == Some(*a) {
+                space.mgr.top()
+            } else {
+                space.mgr.bot()
+            }
+        }
+    }
+}
+
+/// Result of walking a policy.
+#[derive(Debug, Clone)]
+pub struct WalkResult {
+    /// Input space the policy permits (within the walk's `within`).
+    pub permit: Ref,
+    /// Input space the policy denies.
+    pub deny: Ref,
+    /// Attribute state at permitted points (valid within `permit`).
+    pub out: SymState,
+}
+
+/// Walks one policy over `within`, starting from `state` (attribute
+/// functions from upstream policies in a chain).
+pub fn walk_policy(
+    space: &mut RouteSpace,
+    device: &Device,
+    policy: &IrPolicy,
+    within: Ref,
+    state: &SymState,
+    neighbor: Option<Ipv4Addr>,
+) -> WalkResult {
+    let mut reached = within;
+    let mut state = state.clone();
+    let mut permit = Ref::FALSE;
+    let mut deny = Ref::FALSE;
+    let mut out = SymState::empty(space);
+    for clause in &policy.clauses {
+        if reached.is_false() {
+            break;
+        }
+        let mut cond = space.mgr.top();
+        for c in &clause.conditions {
+            let f = condition_bdd(space, device, &state, neighbor, c);
+            cond = space.mgr.and(cond, f);
+        }
+        let m = space.mgr.and(reached, cond);
+        if m.is_false() {
+            continue;
+        }
+        match clause.action {
+            ClauseAction::Permit => {
+                let mut st = state.clone();
+                for modifier in &clause.modifiers {
+                    st.apply(space, device, modifier, m);
+                }
+                out.accumulate(space, &st, m);
+                permit = space.mgr.or(permit, m);
+                reached = space.mgr.diff(reached, m);
+            }
+            ClauseAction::Deny => {
+                deny = space.mgr.or(deny, m);
+                reached = space.mgr.diff(reached, m);
+            }
+            ClauseAction::FallThrough => {
+                for modifier in &clause.modifiers {
+                    state.apply(space, device, modifier, m);
+                }
+            }
+        }
+    }
+    match policy.default_action {
+        ClauseAction::Permit | ClauseAction::FallThrough => {
+            out.accumulate(space, &state, reached);
+            permit = space.mgr.or(permit, reached);
+        }
+        ClauseAction::Deny => {
+            deny = space.mgr.or(deny, reached);
+        }
+    }
+    WalkResult { permit, deny, out }
+}
+
+/// Walks a chain of policies (each one's permitted output feeds the next).
+/// Unknown policy names deny everything, matching the concrete evaluator.
+pub fn walk_chain(
+    space: &mut RouteSpace,
+    device: &Device,
+    chain: &[String],
+    within: Ref,
+    state: &SymState,
+    neighbor: Option<Ipv4Addr>,
+) -> WalkResult {
+    let mut current_space = within;
+    let mut current_state = state.clone();
+    for name in chain {
+        let Some(policy) = device.policy(name) else {
+            return WalkResult {
+                permit: Ref::FALSE,
+                deny: within,
+                out: SymState::empty(space),
+            };
+        };
+        let r = walk_policy(space, device, policy, current_space, &current_state, neighbor);
+        current_space = r.permit;
+        current_state = r.out;
+    }
+    WalkResult {
+        permit: current_space,
+        deny: space.mgr.diff(within, current_space),
+        out: current_state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config_ir::{IrClause, IrCommunitySet, IrPrefixSet};
+    use net_model::{Prefix, PrefixPattern, RouteAdvertisement};
+    use std::collections::BTreeSet;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn comm(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    /// Device: prefix set "ours" (1.2.3.0/24 ge 24), community sets,
+    /// policy "p": permit ours with med 50 + add 100:1; deny rest.
+    fn device() -> Device {
+        let mut d = Device::named("r1");
+        d.prefix_sets.push(IrPrefixSet::permitting(
+            "ours",
+            vec![PrefixPattern::with_bounds(pfx("1.2.3.0/24"), Some(24), None).unwrap()],
+        ));
+        d.community_sets
+            .push(IrCommunitySet::single("tag", comm("100:1")));
+        let mut p = config_ir::IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::prefix_set("ours")],
+            modifiers: vec![
+                Modifier::SetMed(50),
+                Modifier::SetCommunities {
+                    communities: BTreeSet::from([comm("100:1")]),
+                    additive: true,
+                },
+            ],
+        });
+        p.clauses.push(IrClause::deny_all("100"));
+        d.policies.push(p);
+        d
+    }
+
+    fn space_for(d: &Device) -> RouteSpace {
+        RouteSpace::for_devices(&[d])
+    }
+
+    #[test]
+    fn walk_matches_concrete_eval_on_samples() {
+        let d = device();
+        let mut s = space_for(&d);
+        let init = SymState::input(&mut s);
+        let top = s.mgr.top();
+        let r = walk_policy(&mut s, &d, d.policy("p").unwrap(), top, &init, None);
+        let env = config_ir::PolicyEnv::new(&d);
+        for p in [
+            "1.2.3.0/24",
+            "1.2.3.128/25",
+            "1.2.3.5/32",
+            "1.2.0.0/16",
+            "9.9.9.0/24",
+        ] {
+            let route = RouteAdvertisement::bgp(pfx(p));
+            let a = s.encode(&route);
+            let sym_permit = s.mgr.eval(r.permit, |v| a[v as usize]);
+            let concrete = config_ir::eval_policy(&env, d.policy("p").unwrap(), &route);
+            assert_eq!(sym_permit, concrete.is_permit(), "prefix {p}");
+        }
+    }
+
+    #[test]
+    fn permit_and_deny_partition_the_space() {
+        let d = device();
+        let mut s = space_for(&d);
+        let init = SymState::input(&mut s);
+        let top = s.mgr.top();
+        let r = walk_policy(&mut s, &d, d.policy("p").unwrap(), top, &init, None);
+        assert!(s.mgr.and(r.permit, r.deny).is_false());
+        let union = s.mgr.or(r.permit, r.deny);
+        assert!(union.is_true());
+    }
+
+    #[test]
+    fn out_state_reflects_modifiers() {
+        let d = device();
+        let mut s = space_for(&d);
+        let init = SymState::input(&mut s);
+        let top = s.mgr.top();
+        let r = walk_policy(&mut s, &d, d.policy("p").unwrap(), top, &init, None);
+        // Everywhere permitted, MED is set to 50.
+        let med50 = r.out.med.entries.get(&50).copied().unwrap_or(Ref::FALSE);
+        assert_eq!(med50, r.permit);
+        // Everywhere permitted, community 100:1 is present in the output.
+        let tag = r.out.comm[&comm("100:1")];
+        assert_eq!(tag, r.permit);
+    }
+
+    #[test]
+    fn fall_through_state_is_visible_to_later_match() {
+        // term1 (fall-through) adds 100:1; term2 denies routes with 100:1;
+        // default permit. Everything should be denied — including routes
+        // that did NOT carry 100:1 on input.
+        let mut d = Device::named("r1");
+        d.community_sets
+            .push(IrCommunitySet::single("tag", comm("100:1")));
+        let mut p = config_ir::IrPolicy::new("p");
+        p.default_action = ClauseAction::Permit;
+        p.clauses.push(IrClause {
+            id: "t1".into(),
+            action: ClauseAction::FallThrough,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetCommunities {
+                communities: BTreeSet::from([comm("100:1")]),
+                additive: true,
+            }],
+        });
+        p.clauses.push(IrClause {
+            id: "t2".into(),
+            action: ClauseAction::Deny,
+            conditions: vec![Condition::community_set("tag")],
+            modifiers: vec![],
+        });
+        d.policies.push(p);
+        let mut s = space_for(&d);
+        let init = SymState::input(&mut s);
+        let top = s.mgr.top();
+        let r = walk_policy(&mut s, &d, d.policy("p").unwrap(), top, &init, None);
+        assert!(r.permit.is_false(), "everything reaches the deny");
+        assert!(r.deny.is_true());
+    }
+
+    #[test]
+    fn non_additive_set_clears_other_communities() {
+        let mut d = Device::named("r1");
+        d.community_sets
+            .push(IrCommunitySet::single("a", comm("100:1")));
+        d.community_sets
+            .push(IrCommunitySet::single("b", comm("101:1")));
+        let mut p = config_ir::IrPolicy::new("p");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetCommunities {
+                communities: BTreeSet::from([comm("100:1")]),
+                additive: false,
+            }],
+        });
+        d.policies.push(p);
+        let mut s = space_for(&d);
+        let init = SymState::input(&mut s);
+        let top = s.mgr.top();
+        let r = walk_policy(&mut s, &d, d.policy("p").unwrap(), top, &init, None);
+        assert_eq!(r.out.comm[&comm("100:1")], r.permit);
+        assert!(r.out.comm[&comm("101:1")].is_false(), "101:1 wiped");
+    }
+
+    #[test]
+    fn chain_composes_permits() {
+        // p1 permits 10.0.0.0/8 orlonger and sets lp 200; p2 denies /24s.
+        let mut d = Device::named("r1");
+        let mut p1 = config_ir::IrPolicy::new("p1");
+        p1.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![Condition::MatchPrefix {
+                sets: vec![],
+                patterns: vec![PrefixPattern::orlonger(pfx("10.0.0.0/8"))],
+            }],
+            modifiers: vec![Modifier::SetLocalPref(200)],
+        });
+        d.policies.push(p1);
+        let mut p2 = config_ir::IrPolicy::new("p2");
+        p2.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Deny,
+            conditions: vec![Condition::MatchPrefix {
+                sets: vec![],
+                patterns: vec![
+                    PrefixPattern::with_bounds(pfx("0.0.0.0/0"), Some(24), Some(24)).unwrap(),
+                ],
+            }],
+            modifiers: vec![],
+        });
+        p2.clauses.push(IrClause::permit_all("20"));
+        d.policies.push(p2);
+        let mut s = space_for(&d);
+        let init = SymState::input(&mut s);
+        let top = s.mgr.top();
+        let r = walk_chain(
+            &mut s,
+            &d,
+            &["p1".to_string(), "p2".to_string()],
+            top,
+            &init,
+            None,
+        );
+        // /16 inside 10/8: permitted with lp 200.
+        let in16 = s.exact_prefix(&pfx("10.5.0.0/16"));
+        assert!(!s.mgr.and(r.permit, in16).is_false());
+        // /24 inside 10/8: denied by p2.
+        let in24 = s.exact_prefix(&pfx("10.5.5.0/24"));
+        assert!(s.mgr.and(r.permit, in24).is_false());
+        // Outside 10/8: denied by p1.
+        let out = s.exact_prefix(&pfx("11.0.0.0/8"));
+        assert!(s.mgr.and(r.permit, out).is_false());
+        // LP set everywhere permitted.
+        let lp = r.out.lp.entries.get(&200).copied().unwrap();
+        assert_eq!(lp, r.permit);
+    }
+
+    #[test]
+    fn unknown_chain_policy_denies_all() {
+        let d = Device::named("r1");
+        let mut s = space_for(&d);
+        let init = SymState::input(&mut s);
+        let top = s.mgr.top();
+        let r = walk_chain(&mut s, &d, &["nope".to_string()], top, &init, None);
+        assert!(r.permit.is_false());
+        assert!(r.deny.is_true());
+    }
+
+    #[test]
+    fn value_state_set_overrides() {
+        let d = Device::named("r1");
+        let mut s = space_for(&d);
+        let mut vs: ValueState<u32> = ValueState::new();
+        let a = s.pattern(&PrefixPattern::orlonger(pfx("10.0.0.0/8")));
+        vs.set(&mut s, 1, a);
+        let b = s.pattern(&PrefixPattern::orlonger(pfx("10.1.0.0/16")));
+        vs.set(&mut s, 2, b);
+        // In 10.1/16, value is 2 (overridden); in the rest of 10/8 it's 1.
+        let v1 = vs.entries[&1];
+        let v2 = vs.entries[&2];
+        assert!(s.mgr.and(v1, v2).is_false(), "disjoint");
+        assert!(s.mgr.and(v1, b).is_false(), "b region belongs to 2");
+        assert_eq!(v2, b);
+    }
+}

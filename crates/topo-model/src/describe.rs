@@ -1,0 +1,132 @@
+//! The Modularizer's textual topology descriptions.
+//!
+//! "It is difficult to write a natural language description of the
+//! topology, a task prone to human error. We wrote an automated script
+//! that generates text given the topology as input." (Section 4.1.)
+//! These strings are the prompts the LLM receives; the JSON dictionary is
+//! what the verifier checks against — same source, no drift.
+
+use crate::topology::{RouterSpec, Topology};
+use std::fmt::Write as _;
+
+/// Describes the whole network, one sentence per link and session — the
+/// initial context prompt of use case 2.
+pub fn describe_network(t: &Topology) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "The network has {} routers: {}.",
+        t.routers.len(),
+        t.routers
+            .iter()
+            .map(|r| format!("{} (AS {})", r.name, r.asn))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .unwrap();
+    // Each link once (lexicographically smaller endpoint speaks).
+    for r in &t.routers {
+        for i in &r.interfaces {
+            if r.name < i.peer_router {
+                if let Some(peer) = t.router(&i.peer_router) {
+                    if let Some(back) = peer.iface_to(&r.name) {
+                        writeln!(
+                            out,
+                            "Router {} is connected to Router {} via interface {} \
+                             ({}) at {} and interface {} ({}) at {}.",
+                            r.name,
+                            peer.name,
+                            i.name,
+                            i.address,
+                            r.name,
+                            back.name,
+                            back.address,
+                            peer.name
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Describes one router for a per-router synthesis prompt: its AS, router
+/// id, interfaces, expected BGP sessions and announced networks.
+pub fn describe_router(t: &Topology, name: &str) -> Option<String> {
+    let r: &RouterSpec = t.router(name)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Router {} has AS number {} and BGP router-id {}.",
+        r.name, r.asn, r.router_id
+    )
+    .unwrap();
+    for i in &r.interfaces {
+        writeln!(
+            out,
+            "Interface {} has IP address {} (mask {}) and connects to {}.",
+            i.name,
+            i.address.addr,
+            i.address.dotted_mask(),
+            i.peer_router
+        )
+        .unwrap();
+    }
+    for n in &r.neighbors {
+        writeln!(
+            out,
+            "It has an eBGP neighbor {} with AS number {} ({}).",
+            n.addr, n.asn, n.peer_router
+        )
+        .unwrap();
+    }
+    if !r.networks.is_empty() {
+        writeln!(
+            out,
+            "It must announce the following networks in BGP: {}.",
+            r.networks
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .unwrap();
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::star::star;
+
+    #[test]
+    fn network_description_mentions_every_link_once() {
+        let (t, _) = star(3);
+        let text = super::describe_network(&t);
+        // 3 hub-edge links + 3 edge-isp links + 1 customer link.
+        let count = text.matches("is connected to").count();
+        assert_eq!(count, 7, "{text}");
+        assert!(text.contains("R1"));
+        assert!(text.contains("ISP-2"));
+        assert!(text.contains("CUSTOMER"));
+    }
+
+    #[test]
+    fn router_description_contains_table3_fields() {
+        let (t, _) = star(2);
+        let text = super::describe_router(&t, "R2").unwrap();
+        assert!(text.contains("AS number 2"), "{text}");
+        assert!(text.contains("router-id 1.0.0.2"), "{text}");
+        assert!(text.contains("Ethernet0/0"), "{text}");
+        assert!(text.contains("eBGP neighbor 2.0.0.1 with AS number 1"), "{text}");
+        assert!(text.contains("announce"), "{text}");
+    }
+
+    #[test]
+    fn unknown_router_yields_none() {
+        let (t, _) = star(2);
+        assert!(super::describe_router(&t, "R99").is_none());
+    }
+}

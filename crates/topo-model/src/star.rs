@@ -1,0 +1,252 @@
+//! The Figure 4 star-network generator.
+//!
+//! Deterministic addressing scheme (documented so findings are readable):
+//!
+//! * Hub `R1` has AS 1, router id `1.0.0.1`; edge `Ri` (i = 2..) has AS i,
+//!   router id `1.0.0.i`.
+//! * Link `R1–Ri` uses subnet `i.0.0.0/24`: R1 side `.1` on
+//!   `Ethernet0/{i-1}`, Ri side `.2` on `Ethernet0/0`.
+//! * CUSTOMER (AS 100) connects to R1 on `99.0.0.0/24` (R1 `.1`,
+//!   CUSTOMER `.2`) and announces `100.0.0.0/24`.
+//! * ISP-i (AS 1000+i) connects to Ri on `{100+i}.0.0.0/24` (Ri `.1`,
+//!   ISP `.2`) and announces `200.{i}.0.0/24`.
+//!
+//! Each internal router announces its connected link subnets; stubs
+//! announce their own prefix. `n_isps` is capped at 150 to keep the
+//! scheme inside the IPv4 plan above.
+
+use crate::topology::{IfaceSpec, NeighborSpec, RouterRole, RouterSpec, Topology};
+use net_model::{Asn, Prefix};
+use std::net::Ipv4Addr;
+
+/// Well-known names and prefixes of a generated star, used by the
+/// no-transit checks and the Modularizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarRoles {
+    /// Hub router name (`R1`).
+    pub hub: String,
+    /// Edge router names (`R2`..).
+    pub edges: Vec<String>,
+    /// Customer stub name.
+    pub customer: String,
+    /// ISP stub names, same order as `edges`.
+    pub isps: Vec<String>,
+    /// The customer's announced prefix.
+    pub customer_prefix: Prefix,
+    /// Each ISP's announced prefix, same order as `edges`.
+    pub isp_prefixes: Vec<Prefix>,
+}
+
+/// Generates a star with one hub, `n_isps` edge routers, a customer stub
+/// and one ISP stub per edge. Panics if `n_isps` is 0 or exceeds 150.
+pub fn star(n_isps: usize) -> (Topology, StarRoles) {
+    assert!(n_isps >= 1 && n_isps <= 150, "n_isps must be 1..=150");
+    let mut routers = Vec::new();
+
+    let hub_name = "R1".to_string();
+    let customer_name = "CUSTOMER".to_string();
+    let mut hub = RouterSpec {
+        name: hub_name.clone(),
+        asn: Asn(1),
+        router_id: "1.0.0.1".parse().unwrap(),
+        interfaces: Vec::new(),
+        neighbors: Vec::new(),
+        networks: Vec::new(),
+        role: RouterRole::Hub,
+    };
+    // Customer link.
+    hub.interfaces.push(IfaceSpec {
+        name: "Ethernet1/0".into(),
+        address: "99.0.0.1/24".parse().unwrap(),
+        peer_router: customer_name.clone(),
+    });
+    hub.neighbors.push(NeighborSpec {
+        addr: "99.0.0.2".parse().unwrap(),
+        asn: Asn(100),
+        peer_router: customer_name.clone(),
+    });
+    hub.networks.push("99.0.0.0/24".parse().unwrap());
+
+    let mut edges = Vec::new();
+    let mut isps = Vec::new();
+    let mut isp_prefixes = Vec::new();
+    for k in 0..n_isps {
+        let i = k + 2; // R2..R{n+1}
+        let edge_name = format!("R{i}");
+        let isp_name = format!("ISP-{i}");
+        let link = format!("{i}.0.0.0/24");
+        let link_prefix: Prefix = link.parse().unwrap();
+        let hub_addr = Ipv4Addr::from(u32::from(link_prefix.network()) + 1);
+        let edge_addr = Ipv4Addr::from(u32::from(link_prefix.network()) + 2);
+        // Hub side.
+        hub.interfaces.push(IfaceSpec {
+            name: format!("Ethernet0/{}", i - 1),
+            address: net_model::InterfaceAddress::new(hub_addr, 24).unwrap(),
+            peer_router: edge_name.clone(),
+        });
+        hub.neighbors.push(NeighborSpec {
+            addr: edge_addr,
+            asn: Asn(i as u32),
+            peer_router: edge_name.clone(),
+        });
+        hub.networks.push(link_prefix);
+        // Edge router.
+        let isp_link: Prefix = format!("{}.0.0.0/24", 100 + i).parse().unwrap();
+        let edge_isp_addr = Ipv4Addr::from(u32::from(isp_link.network()) + 1);
+        let isp_addr = Ipv4Addr::from(u32::from(isp_link.network()) + 2);
+        let isp_prefix: Prefix = format!("200.{i}.0.0/24").parse().unwrap();
+        routers.push(RouterSpec {
+            name: edge_name.clone(),
+            asn: Asn(i as u32),
+            router_id: format!("1.0.0.{i}").parse().unwrap(),
+            interfaces: vec![
+                IfaceSpec {
+                    name: "Ethernet0/0".into(),
+                    address: net_model::InterfaceAddress::new(edge_addr, 24).unwrap(),
+                    peer_router: hub_name.clone(),
+                },
+                IfaceSpec {
+                    name: "Ethernet0/1".into(),
+                    address: net_model::InterfaceAddress::new(edge_isp_addr, 24).unwrap(),
+                    peer_router: isp_name.clone(),
+                },
+            ],
+            neighbors: vec![
+                NeighborSpec {
+                    addr: hub_addr,
+                    asn: Asn(1),
+                    peer_router: hub_name.clone(),
+                },
+                NeighborSpec {
+                    addr: isp_addr,
+                    asn: Asn(1000 + i as u32),
+                    peer_router: isp_name.clone(),
+                },
+            ],
+            networks: vec![link_prefix, isp_link],
+            role: RouterRole::IspEdge,
+        });
+        // ISP stub.
+        routers.push(RouterSpec {
+            name: isp_name.clone(),
+            asn: Asn(1000 + i as u32),
+            router_id: format!("9.0.0.{i}").parse().unwrap(),
+            interfaces: vec![IfaceSpec {
+                name: "Ethernet0/0".into(),
+                address: net_model::InterfaceAddress::new(isp_addr, 24).unwrap(),
+                peer_router: edge_name.clone(),
+            }],
+            neighbors: vec![NeighborSpec {
+                addr: edge_isp_addr,
+                asn: Asn(i as u32),
+                peer_router: edge_name.clone(),
+            }],
+            networks: vec![isp_prefix],
+            role: RouterRole::ExternalStub,
+        });
+        edges.push(edge_name);
+        isps.push(isp_name);
+        isp_prefixes.push(isp_prefix);
+    }
+    // Customer stub.
+    routers.push(RouterSpec {
+        name: customer_name.clone(),
+        asn: Asn(100),
+        router_id: "9.0.0.100".parse().unwrap(),
+        interfaces: vec![IfaceSpec {
+            name: "Ethernet0/0".into(),
+            address: "99.0.0.2/24".parse().unwrap(),
+            peer_router: hub_name.clone(),
+        }],
+        neighbors: vec![NeighborSpec {
+            addr: "99.0.0.1".parse().unwrap(),
+            asn: Asn(1),
+            peer_router: hub_name.clone(),
+        }],
+        networks: vec!["100.0.0.0/24".parse().unwrap()],
+        role: RouterRole::ExternalStub,
+    });
+    routers.insert(0, hub);
+    let topology = Topology { routers };
+    let roles = StarRoles {
+        hub: hub_name,
+        edges,
+        customer: customer_name,
+        isps,
+        customer_prefix: "100.0.0.0/24".parse().unwrap(),
+        isp_prefixes,
+    };
+    (topology, roles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_star_shape() {
+        // The paper's network: R1 plus 6 ISP-facing routers.
+        let (t, roles) = star(6);
+        // 1 hub + 6 edges + 6 ISPs + 1 customer.
+        assert_eq!(t.routers.len(), 14);
+        assert_eq!(roles.edges.len(), 6);
+        assert_eq!(roles.isps.len(), 6);
+        assert_eq!(t.internal_routers().count(), 7);
+        assert_eq!(t.stubs().count(), 7);
+        // Hub connects to customer + all edges.
+        let hub = t.router("R1").unwrap();
+        assert_eq!(hub.interfaces.len(), 7);
+        assert_eq!(hub.neighbors.len(), 7);
+    }
+
+    #[test]
+    fn generated_star_validates() {
+        for n in [1, 3, 6, 10] {
+            let (t, _) = star(n);
+            let problems = t.validate();
+            assert!(problems.is_empty(), "n={n}: {problems:?}");
+        }
+    }
+
+    #[test]
+    fn addressing_matches_documented_scheme() {
+        let (t, roles) = star(2);
+        let r2 = t.router("R2").unwrap();
+        assert_eq!(r2.asn, Asn(2));
+        assert_eq!(
+            r2.iface_to("R1").unwrap().address.to_string(),
+            "2.0.0.2/24"
+        );
+        assert_eq!(
+            r2.iface_to("ISP-2").unwrap().address.to_string(),
+            "102.0.0.1/24"
+        );
+        assert_eq!(roles.isp_prefixes[0].to_string(), "200.2.0.0/24");
+        assert_eq!(roles.customer_prefix.to_string(), "100.0.0.0/24");
+        let hub = t.router("R1").unwrap();
+        assert_eq!(
+            hub.iface_to("R2").unwrap().address.to_string(),
+            "2.0.0.1/24"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n_isps")]
+    fn zero_isps_panics() {
+        let _ = star(0);
+    }
+
+    #[test]
+    fn distinct_link_subnets() {
+        let (t, _) = star(10);
+        let mut subnets = std::collections::BTreeSet::new();
+        for r in &t.routers {
+            for i in &r.interfaces {
+                subnets.insert(i.address.subnet());
+            }
+        }
+        // Each link contributes one subnet shared by two endpoints:
+        // hub-customer + 10 hub-edge + 10 edge-isp = 21 subnets.
+        assert_eq!(subnets.len(), 21);
+    }
+}

@@ -1,0 +1,246 @@
+//! The topology model and its JSON form.
+
+use net_model::{Asn, InterfaceAddress, Prefix};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// The role a router plays in an experiment topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterRole {
+    /// The hub of a star (R1 in Figure 4), facing the customer.
+    Hub,
+    /// An edge router facing one ISP (R2..Rn in Figure 4).
+    IspEdge,
+    /// An external stub we simulate but do not synthesize configs for
+    /// (the CUSTOMER and the ISPs themselves).
+    ExternalStub,
+}
+
+/// One interface of a router in the topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IfaceSpec {
+    /// Interface name (Cisco-shaped; the synthesis use case is IOS).
+    pub name: String,
+    /// Address with prefix length.
+    pub address: InterfaceAddress,
+    /// Name of the router on the other end of the link.
+    pub peer_router: String,
+}
+
+/// One expected BGP session of a router.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborSpec {
+    /// The peer's address on the shared subnet.
+    pub addr: Ipv4Addr,
+    /// The peer's AS.
+    pub asn: Asn,
+    /// The peer router's name (for prompts).
+    pub peer_router: String,
+}
+
+/// A router in the topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterSpec {
+    /// Router name (`R1`, `CUSTOMER`, `ISP-2`).
+    pub name: String,
+    /// Local AS number.
+    pub asn: Asn,
+    /// Expected BGP router id.
+    pub router_id: Ipv4Addr,
+    /// Interfaces with addresses.
+    pub interfaces: Vec<IfaceSpec>,
+    /// Expected BGP neighbors.
+    pub neighbors: Vec<NeighborSpec>,
+    /// Networks this router must announce.
+    pub networks: Vec<Prefix>,
+    /// Role in the experiment.
+    pub role: RouterRole,
+}
+
+impl RouterSpec {
+    /// The interface facing a given peer router, if any.
+    pub fn iface_to(&self, peer: &str) -> Option<&IfaceSpec> {
+        self.interfaces.iter().find(|i| i.peer_router == peer)
+    }
+}
+
+/// A whole topology: the JSON dictionary the Modularizer consumes and the
+/// topology verifier checks against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// All routers, internal and stub.
+    pub routers: Vec<RouterSpec>,
+}
+
+impl Topology {
+    /// Looks up a router by name.
+    pub fn router(&self, name: &str) -> Option<&RouterSpec> {
+        self.routers.iter().find(|r| r.name == name)
+    }
+
+    /// Routers we synthesize configs for (non-stub).
+    pub fn internal_routers(&self) -> impl Iterator<Item = &RouterSpec> {
+        self.routers
+            .iter()
+            .filter(|r| r.role != RouterRole::ExternalStub)
+    }
+
+    /// External stubs (customer + ISPs).
+    pub fn stubs(&self) -> impl Iterator<Item = &RouterSpec> {
+        self.routers
+            .iter()
+            .filter(|r| r.role == RouterRole::ExternalStub)
+    }
+
+    /// Serializes to pretty JSON (the generator's second output).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("topology serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Whether every link is consistent: both endpoints exist, address
+    /// each other on the same subnet, and neighbor declarations point at
+    /// real interface addresses. Returns human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for r in &self.routers {
+            for i in &r.interfaces {
+                let Some(peer) = self.router(&i.peer_router) else {
+                    problems.push(format!(
+                        "{}: interface {} names unknown peer {}",
+                        r.name, i.name, i.peer_router
+                    ));
+                    continue;
+                };
+                let Some(back) = peer.iface_to(&r.name) else {
+                    problems.push(format!(
+                        "{}: peer {} has no interface back",
+                        r.name, peer.name
+                    ));
+                    continue;
+                };
+                if !i.address.same_subnet(&back.address) {
+                    problems.push(format!(
+                        "{}–{}: link endpoints on different subnets ({} vs {})",
+                        r.name, peer.name, i.address, back.address
+                    ));
+                }
+            }
+            for n in &r.neighbors {
+                let Some(peer) = self.router(&n.peer_router) else {
+                    problems.push(format!(
+                        "{}: neighbor names unknown router {}",
+                        r.name, n.peer_router
+                    ));
+                    continue;
+                };
+                if peer.asn != n.asn {
+                    problems.push(format!(
+                        "{}: neighbor {} AS {} but {} has AS {}",
+                        r.name, n.addr, n.asn, peer.name, peer.asn
+                    ));
+                }
+                if !peer.interfaces.iter().any(|i| i.address.addr == n.addr) {
+                    problems.push(format!(
+                        "{}: neighbor address {} is not an interface of {}",
+                        r.name, n.addr, peer.name
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        Topology {
+            routers: vec![
+                RouterSpec {
+                    name: "R1".into(),
+                    asn: Asn(1),
+                    router_id: "1.0.0.1".parse().unwrap(),
+                    interfaces: vec![IfaceSpec {
+                        name: "Ethernet0/0".into(),
+                        address: "2.0.0.1/24".parse().unwrap(),
+                        peer_router: "R2".into(),
+                    }],
+                    neighbors: vec![NeighborSpec {
+                        addr: "2.0.0.2".parse().unwrap(),
+                        asn: Asn(2),
+                        peer_router: "R2".into(),
+                    }],
+                    networks: vec!["2.0.0.0/24".parse().unwrap()],
+                    role: RouterRole::Hub,
+                },
+                RouterSpec {
+                    name: "R2".into(),
+                    asn: Asn(2),
+                    router_id: "1.0.0.2".parse().unwrap(),
+                    interfaces: vec![IfaceSpec {
+                        name: "Ethernet0/0".into(),
+                        address: "2.0.0.2/24".parse().unwrap(),
+                        peer_router: "R1".into(),
+                    }],
+                    neighbors: vec![NeighborSpec {
+                        addr: "2.0.0.1".parse().unwrap(),
+                        asn: Asn(1),
+                        peer_router: "R1".into(),
+                    }],
+                    networks: vec![],
+                    role: RouterRole::IspEdge,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = tiny();
+        let json = t.to_json();
+        let back = Topology::from_json(&json).unwrap();
+        assert_eq!(t, back);
+        assert!(json.contains("\"R1\""));
+    }
+
+    #[test]
+    fn valid_topology_has_no_problems() {
+        assert!(tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_asymmetric_link() {
+        let mut t = tiny();
+        t.routers[1].interfaces[0].address = "9.0.0.2/24".parse().unwrap();
+        let p = t.validate();
+        assert!(p.iter().any(|m| m.contains("different subnets")), "{p:?}");
+        // Neighbor address check also fires (2.0.0.2 no longer exists).
+        assert!(p.iter().any(|m| m.contains("not an interface")), "{p:?}");
+    }
+
+    #[test]
+    fn validation_catches_wrong_neighbor_as() {
+        let mut t = tiny();
+        t.routers[0].neighbors[0].asn = Asn(99);
+        let p = t.validate();
+        assert!(p.iter().any(|m| m.contains("AS 99")), "{p:?}");
+    }
+
+    #[test]
+    fn lookups() {
+        let t = tiny();
+        assert!(t.router("R1").is_some());
+        assert!(t.router("R9").is_none());
+        assert_eq!(t.internal_routers().count(), 2);
+        assert_eq!(t.stubs().count(), 0);
+        assert!(t.router("R1").unwrap().iface_to("R2").is_some());
+        assert!(t.router("R1").unwrap().iface_to("R9").is_none());
+    }
+}

@@ -1,0 +1,320 @@
+//! The topology verifier — the authors' bespoke Python checker, in Rust.
+//!
+//! "We use an automated 'topology verifier' that compares the config
+//! against the previously specified JSON dictionary and outputs
+//! inconsistencies." The seven finding types below are exactly Table 3's
+//! topology-error examples.
+
+use crate::topology::Topology;
+use config_ir::Device;
+use net_model::{Asn, InterfaceAddress, Prefix};
+use std::net::Ipv4Addr;
+
+/// One inconsistency between a router's config and the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyFinding {
+    /// Table 3 #1: interface address does not match.
+    InterfaceAddressMismatch {
+        /// Interface name.
+        iface: String,
+        /// Address the topology expects.
+        expected: InterfaceAddress,
+        /// Address found in the config (`None` = unaddressed or missing).
+        found: Option<InterfaceAddress>,
+    },
+    /// Table 3 #2: local AS number does not match.
+    LocalAsMismatch {
+        /// Expected AS.
+        expected: Asn,
+        /// Found AS (`None` = no BGP process).
+        found: Option<Asn>,
+    },
+    /// Table 3 #3: router id does not match.
+    RouterIdMismatch {
+        /// Expected id.
+        expected: Ipv4Addr,
+        /// Found id (`None` = unset).
+        found: Option<Ipv4Addr>,
+    },
+    /// Table 3 #4: an expected neighbor is not declared.
+    NeighborNotDeclared {
+        /// Expected neighbor address.
+        addr: Ipv4Addr,
+        /// Expected neighbor AS.
+        asn: Asn,
+    },
+    /// Table 3 #5: an expected network is not declared.
+    NetworkNotDeclared {
+        /// The missing network.
+        prefix: Prefix,
+    },
+    /// Table 3 #6: a declared network is not directly connected.
+    IncorrectNetwork {
+        /// The bogus network.
+        prefix: Prefix,
+        /// Router name (for the prompt text).
+        router: String,
+    },
+    /// Table 3 #7: a declared neighbor does not exist in the topology.
+    IncorrectNeighbor {
+        /// Declared address.
+        addr: Ipv4Addr,
+        /// Declared AS (`None` = no remote-as).
+        asn: Option<Asn>,
+    },
+}
+
+/// Verifies one router's config (lowered to the IR) against its spec in
+/// the topology. Returns all findings, in Table 3's order.
+pub fn verify_router(topology: &Topology, name: &str, device: &Device) -> Vec<TopologyFinding> {
+    let Some(spec) = topology.router(name) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    // 1. Interface addresses.
+    for i in &spec.interfaces {
+        let found = device
+            .interfaces
+            .iter()
+            .find(|d| d.name.as_str().eq_ignore_ascii_case(&i.name))
+            .and_then(|d| d.address);
+        if found != Some(i.address) {
+            out.push(TopologyFinding::InterfaceAddressMismatch {
+                iface: i.name.clone(),
+                expected: i.address,
+                found,
+            });
+        }
+    }
+    // 2. Local AS.
+    let found_as = device.bgp.as_ref().map(|b| b.asn);
+    if found_as != Some(spec.asn) {
+        out.push(TopologyFinding::LocalAsMismatch {
+            expected: spec.asn,
+            found: found_as,
+        });
+    }
+    // 3. Router id.
+    let found_id = device.bgp.as_ref().and_then(|b| b.router_id);
+    if found_id != Some(spec.router_id) {
+        out.push(TopologyFinding::RouterIdMismatch {
+            expected: spec.router_id,
+            found: found_id,
+        });
+    }
+    // 4. Expected neighbors declared with the right AS.
+    for n in &spec.neighbors {
+        let declared = device.bgp.as_ref().and_then(|b| b.neighbor(n.addr));
+        if declared.and_then(|d| d.remote_as) != Some(n.asn) {
+            out.push(TopologyFinding::NeighborNotDeclared {
+                addr: n.addr,
+                asn: n.asn,
+            });
+        }
+    }
+    // 5. Expected networks declared.
+    let declared_nets: Vec<Prefix> = device
+        .bgp
+        .as_ref()
+        .map(|b| b.networks.clone())
+        .unwrap_or_default();
+    for p in &spec.networks {
+        if !declared_nets.contains(p) {
+            out.push(TopologyFinding::NetworkNotDeclared { prefix: *p });
+        }
+    }
+    // 6. Declared networks must be directly connected subnets.
+    let connected: Vec<Prefix> = spec.interfaces.iter().map(|i| i.address.subnet()).collect();
+    for p in &declared_nets {
+        if !connected.contains(p) {
+            out.push(TopologyFinding::IncorrectNetwork {
+                prefix: *p,
+                router: name.to_string(),
+            });
+        }
+    }
+    // 7. Declared neighbors must exist in the topology.
+    if let Some(bgp) = &device.bgp {
+        for d in &bgp.neighbors {
+            let known = spec
+                .neighbors
+                .iter()
+                .any(|n| n.addr == d.addr && Some(n.asn) == d.remote_as);
+            if !known {
+                out.push(TopologyFinding::IncorrectNeighbor {
+                    addr: d.addr,
+                    asn: d.remote_as,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::star;
+    use config_ir::{IrBgp, IrInterface, IrNeighbor};
+
+    /// Builds the *correct* device for a router spec — the reference
+    /// synthesizer output shape.
+    fn correct_device(topology: &Topology, name: &str) -> Device {
+        let spec = topology.router(name).unwrap();
+        let mut d = Device::named(name);
+        for i in &spec.interfaces {
+            let mut ir = IrInterface::named(&i.name);
+            ir.address = Some(i.address);
+            d.interfaces.push(ir);
+        }
+        let mut bgp = IrBgp::new(spec.asn);
+        bgp.router_id = Some(spec.router_id);
+        bgp.networks = spec.networks.clone();
+        for n in &spec.neighbors {
+            let mut irn = IrNeighbor::new(n.addr);
+            irn.remote_as = Some(n.asn);
+            bgp.neighbors.push(irn);
+        }
+        d.bgp = Some(bgp);
+        d
+    }
+
+    #[test]
+    fn correct_config_has_no_findings() {
+        let (t, _) = star(3);
+        for name in ["R1", "R2", "R3", "R4"] {
+            let d = correct_device(&t, name);
+            let f = verify_router(&t, name, &d);
+            assert!(f.is_empty(), "{name}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_interface_address_detected() {
+        // Table 3 #1: expected 2.0.0.1, found 2.0.0.2.
+        let (t, _) = star(2);
+        let mut d = correct_device(&t, "R1");
+        let idx = d
+            .interfaces
+            .iter()
+            .position(|i| i.address.map(|a| a.addr.to_string()) == Some("2.0.0.1".into()))
+            .unwrap();
+        d.interfaces[idx].address = Some("2.0.0.2/24".parse().unwrap());
+        let f = verify_router(&t, "R1", &d);
+        assert!(matches!(
+            f[0],
+            TopologyFinding::InterfaceAddressMismatch { ref expected, .. }
+                if expected.addr.to_string() == "2.0.0.1"
+        ));
+    }
+
+    #[test]
+    fn wrong_local_as_detected() {
+        // Table 3 #2: expected 1, found 3.
+        let (t, _) = star(2);
+        let mut d = correct_device(&t, "R1");
+        d.bgp.as_mut().unwrap().asn = Asn(3);
+        let f = verify_router(&t, "R1", &d);
+        assert!(f.contains(&TopologyFinding::LocalAsMismatch {
+            expected: Asn(1),
+            found: Some(Asn(3)),
+        }));
+    }
+
+    #[test]
+    fn wrong_router_id_detected() {
+        // Table 3 #3: expected 1.0.0.2, found 1.0.0.1.
+        let (t, _) = star(2);
+        let mut d = correct_device(&t, "R2");
+        d.bgp.as_mut().unwrap().router_id = Some("1.0.0.1".parse().unwrap());
+        let f = verify_router(&t, "R2", &d);
+        assert!(f.contains(&TopologyFinding::RouterIdMismatch {
+            expected: "1.0.0.2".parse().unwrap(),
+            found: Some("1.0.0.1".parse().unwrap()),
+        }));
+    }
+
+    #[test]
+    fn missing_neighbor_detected() {
+        // Table 3 #4: neighbor 1.0.0.1 AS 1 not declared — our scheme's
+        // equivalent is the hub-side neighbor.
+        let (t, _) = star(2);
+        let mut d = correct_device(&t, "R2");
+        d.bgp
+            .as_mut()
+            .unwrap()
+            .neighbors
+            .retain(|n| n.addr.to_string() != "2.0.0.1");
+        let f = verify_router(&t, "R2", &d);
+        assert!(f.iter().any(|x| matches!(
+            x,
+            TopologyFinding::NeighborNotDeclared { addr, asn: Asn(1) }
+                if addr.to_string() == "2.0.0.1"
+        )));
+    }
+
+    #[test]
+    fn missing_network_detected() {
+        // Table 3 #5.
+        let (t, _) = star(2);
+        let mut d = correct_device(&t, "R2");
+        d.bgp.as_mut().unwrap().networks.clear();
+        let f = verify_router(&t, "R2", &d);
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, TopologyFinding::NetworkNotDeclared { .. })));
+    }
+
+    #[test]
+    fn disconnected_network_detected() {
+        // Table 3 #6: 7.0.0.0/24 is not directly connected to R1.
+        let (t, _) = star(2);
+        let mut d = correct_device(&t, "R1");
+        d.bgp
+            .as_mut()
+            .unwrap()
+            .networks
+            .push("7.0.0.0/24".parse().unwrap());
+        let f = verify_router(&t, "R1", &d);
+        assert!(f.contains(&TopologyFinding::IncorrectNetwork {
+            prefix: "7.0.0.0/24".parse().unwrap(),
+            router: "R1".into(),
+        }));
+    }
+
+    #[test]
+    fn phantom_neighbor_detected() {
+        // Table 3 #7: no neighbor with IP 7.0.0.2 AS 7 in the topology.
+        let (t, _) = star(2);
+        let mut d = correct_device(&t, "R1");
+        let mut n = IrNeighbor::new("7.0.0.2".parse().unwrap());
+        n.remote_as = Some(Asn(7));
+        d.bgp.as_mut().unwrap().neighbors.push(n);
+        let f = verify_router(&t, "R1", &d);
+        assert!(f.contains(&TopologyFinding::IncorrectNeighbor {
+            addr: "7.0.0.2".parse().unwrap(),
+            asn: Some(Asn(7)),
+        }));
+    }
+
+    #[test]
+    fn wrong_remote_as_shows_as_both_missing_and_incorrect() {
+        let (t, _) = star(2);
+        let mut d = correct_device(&t, "R2");
+        d.bgp.as_mut().unwrap().neighbors[0].remote_as = Some(Asn(42));
+        let f = verify_router(&t, "R2", &d);
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, TopologyFinding::NeighborNotDeclared { .. })));
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, TopologyFinding::IncorrectNeighbor { .. })));
+    }
+
+    #[test]
+    fn unknown_router_yields_no_findings() {
+        let (t, _) = star(2);
+        let d = Device::named("R99");
+        assert!(verify_router(&t, "R99", &d).is_empty());
+    }
+}

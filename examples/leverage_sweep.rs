@@ -1,0 +1,41 @@
+//! The E11 extension: leverage as a function of network size and seed —
+//! the distribution behind the paper's "5x to 10x" conclusion.
+//!
+//! ```sh
+//! cargo run --release --example leverage_sweep
+//! ```
+
+use cosynth::SynthesisSession;
+use llm_sim::{ErrorModel, SimulatedGpt4};
+
+fn main() {
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} {:>9} {:>9}",
+        "n_isps", "seed", "auto", "human", "leverage", "verified"
+    );
+    let mut ratios = Vec::new();
+    for n in [2usize, 3, 4, 5, 6, 7, 8] {
+        for seed in 0u64..5 {
+            let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+            let o = SynthesisSession::default().run(&mut llm, n);
+            let ok = o.verified_local && o.global.holds();
+            println!(
+                "{n:>6} {seed:>6} {:>6} {:>6} {:>9.2} {ok:>9}",
+                o.leverage.auto,
+                o.leverage.human,
+                o.leverage.ratio()
+            );
+            if ok {
+                ratios.push(o.leverage.ratio());
+            }
+        }
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let median = ratios[ratios.len() / 2];
+    println!("\nverified runs: {}", ratios.len());
+    println!("leverage mean {mean:.1}x | median {median:.1}x | min {:.1}x | max {:.1}x",
+        ratios.first().unwrap(),
+        ratios.last().unwrap());
+    println!("paper's band: 5x-10x");
+}

@@ -1,0 +1,37 @@
+//! The translation use case in detail: prints the full VPP transcript —
+//! every automated and human prompt, the regenerated Table 2, and the
+//! final verified Juniper configuration.
+//!
+//! ```sh
+//! cargo run --example translate_cisco_to_juniper [seed]
+//! ```
+
+use cosynth::{report, PromptKind, TranslationSession};
+use llm_sim::{ErrorModel, SimulatedGpt4};
+
+const CISCO: &str = include_str!("../testdata/ios-border.cfg");
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+    println!("=== Original Cisco configuration ===\n{CISCO}");
+    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+    let outcome = TranslationSession::default().run(&mut llm, CISCO);
+
+    println!("=== VPP transcript (seed {seed}) ===");
+    for (i, p) in outcome.log.iter().enumerate() {
+        let tag = match p.kind {
+            PromptKind::Task => "TASK ",
+            PromptKind::Auto => "AUTO ",
+            PromptKind::Human => "HUMAN",
+        };
+        println!("{i:>3} [{tag}] {}", p.prompt.lines().next().unwrap_or(""));
+    }
+
+    println!("\n=== {} ===", outcome.leverage);
+    println!("\n{}", report::table2(&outcome.error_rows));
+    println!("=== Final verified Juniper configuration ===\n{}", outcome.final_config);
+    assert!(outcome.verified, "session must end verified");
+}

@@ -1,0 +1,35 @@
+//! # cosynth-repro — the reproduction umbrella crate
+//!
+//! Re-exports every workspace crate under one roof so the examples in
+//! `examples/` and the integration tests in `tests/` have a single import
+//! point. Library users should depend on the individual crates
+//! (`cosynth`, `bf-lite`, …) directly; this crate exists for the
+//! reproduction package's own binaries and tests.
+
+pub use bdd;
+pub use bf_lite;
+pub use campion_lite;
+pub use cisco_cfg;
+pub use config_ir;
+pub use cosynth;
+pub use juniper_cfg;
+pub use llm_sim;
+pub use net_model;
+pub use policy_symbolic;
+pub use topo_model;
+
+/// The bundled border-router configuration used by the translation
+/// experiments (same feature classes as the Batfish example the paper
+/// used).
+pub const BORDER_CFG: &str = include_str!("../testdata/ios-border.cfg");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bundled_config_is_clean_cisco() {
+        let parsed = super::bf_lite::parse_config(super::BORDER_CFG, None);
+        assert_eq!(parsed.vendor, super::bf_lite::Vendor::Cisco);
+        assert!(parsed.is_clean(), "{:?}", parsed.warnings);
+        assert!(parsed.device.bgp.is_some());
+    }
+}

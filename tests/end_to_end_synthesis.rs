@@ -1,0 +1,119 @@
+//! End-to-end integration: the no-transit synthesis use case — the
+//! Modularizer, topology verifier, local policy checks, Composer, and
+//! the BGP simulator, driven through the full VPP loop.
+
+use cosynth::{GlobalViolation, SpecStyle, SynthesisSession};
+use llm_sim::{ErrorModel, SimulatedGpt4};
+
+#[test]
+fn stars_of_several_sizes_verify_and_hold_no_transit() {
+    for n in [2usize, 4, 6] {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 3);
+        let outcome = SynthesisSession::default().run(&mut llm, n);
+        assert!(outcome.verified_local, "n={n}");
+        assert!(
+            outcome.global.holds(),
+            "n={n}: {:#?} {:#?}",
+            outcome.global.violations,
+            outcome.global.session_problems
+        );
+    }
+}
+
+#[test]
+fn figure4_star_has_two_human_prompts() {
+    // With ≥2 edges both hard cases (AND/OR stanzas, misplaced neighbor
+    // lines) apply, and only those two escalate.
+    for seed in [0u64, 7, 21] {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+        let outcome = SynthesisSession::default().run(&mut llm, 6);
+        assert!(outcome.verified_local, "seed {seed}");
+        assert_eq!(outcome.leverage.human, 2, "seed {seed}: {}", outcome.leverage);
+    }
+}
+
+#[test]
+fn synthesized_hub_filters_with_or_semantics() {
+    // After the session, R1's egress filters must deny each community
+    // independently — the OR-shaped fix of the paper's AND/OR bug.
+    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 7);
+    let outcome = SynthesisSession::default().run(&mut llm, 3);
+    let parsed = bf_lite::parse_config(&outcome.configs["R1"], None);
+    assert!(parsed.is_clean());
+    for (edge, others) in [("R2", ["101:1", "102:1"]), ("R3", ["100:1", "102:1"])] {
+        for c in others {
+            let check = bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied {
+                chain: vec![format!("FILTER_COMM_OUT_{edge}")],
+                community: c.parse().unwrap(),
+            };
+            assert!(
+                bf_lite::check_local_policy(&parsed.device, &check).is_ok(),
+                "{edge} must deny {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn global_spec_style_oscillates_without_converging() {
+    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 9);
+    let session = SynthesisSession {
+        style: SpecStyle::Global,
+        ..Default::default()
+    };
+    let outcome = session.run(&mut llm, 3);
+    assert!(!outcome.converged);
+    assert!(!outcome.global.holds());
+    // The oscillation produced transit leaks or reachability failures.
+    assert!(!outcome.global.violations.is_empty());
+}
+
+#[test]
+fn violations_identify_the_offending_pair() {
+    // Build correct configs, then break exactly one egress filter and
+    // confirm the composer's violation names the right ISP pair.
+    let (topology, roles) = topo_model::star(3);
+    let mut llm = SimulatedGpt4::new(ErrorModel::flawless(), 0);
+    let outcome = SynthesisSession::default().run_on(&mut llm, &topology, &roles);
+    assert!(outcome.global.holds());
+    let mut configs = outcome.configs.clone();
+    // Remove the filter map attachment toward R2 from R1's config.
+    let r1 = configs["R1"]
+        .lines()
+        .filter(|l| !l.contains("route-map FILTER_COMM_OUT_R2 out"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    configs.insert("R1".into(), r1);
+    let report = cosynth::compose_and_check(&topology, &roles, &configs);
+    assert!(!report.holds());
+    for v in &report.violations {
+        match v {
+            GlobalViolation::TransitLeak { to_isp, .. } => {
+                assert_eq!(to_isp, "ISP-2", "only ISP-2's filter was removed");
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn iip_database_reduces_total_prompts() {
+    let mut with_total = 0usize;
+    let mut without_total = 0usize;
+    for seed in 0u64..4 {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+        let o = SynthesisSession::default().run(&mut llm, 3);
+        with_total += o.leverage.auto + o.leverage.human;
+        let mut llm = SimulatedGpt4::new(ErrorModel::without_iip(), seed);
+        let s = SynthesisSession {
+            iips: cosynth::IipDatabase::empty(),
+            ..Default::default()
+        };
+        let o = s.run(&mut llm, 3);
+        without_total += o.leverage.auto + o.leverage.human;
+    }
+    assert!(
+        without_total > with_total,
+        "IIPs must reduce total prompt count: {without_total} vs {with_total}"
+    );
+}

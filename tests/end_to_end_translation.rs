@@ -1,0 +1,98 @@
+//! End-to-end integration: the translation use case across crates —
+//! vendor front ends, IR, Campion-lite, the humanizer, the simulated
+//! GPT-4, and the session driver.
+
+use cosynth::{PromptKind, TranslationSession};
+use llm_sim::{ErrorModel, FaultKind, SimulatedGpt4};
+
+const CISCO: &str = include_str!("../testdata/ios-border.cfg");
+
+/// Checks that the final config of a verified session is semantically
+/// equivalent to the original under Campion-lite.
+fn assert_equivalent(final_junos: &str) {
+    let (cast, w) = cisco_cfg::parse(CISCO);
+    assert!(w.is_empty());
+    let (original, _) = config_ir::from_cisco(&cast);
+    let parsed = bf_lite::parse_config(final_junos, Some(bf_lite::Vendor::Juniper));
+    assert!(parsed.is_clean(), "{:?}", parsed.warnings);
+    let findings = campion_lite::compare(&original, &parsed.device);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn verified_sessions_end_semantically_equivalent() {
+    for seed in [0u64, 1, 7, 13, 42] {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+        let outcome = TranslationSession::default().run(&mut llm, CISCO);
+        assert!(outcome.verified, "seed {seed} did not verify");
+        assert_equivalent(&outcome.final_config);
+    }
+}
+
+#[test]
+fn table2_shape_holds_across_seeds() {
+    // Table 2's shape: the two policy-error hard cases (prefix lengths,
+    // redistribution) are never fixed by generated prompts; everything
+    // else is.
+    for seed in [0u64, 7, 99] {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+        let outcome = TranslationSession::default().run(&mut llm, CISCO);
+        let by_error = |needle: &str| {
+            outcome
+                .error_rows
+                .iter()
+                .find(|r| r.error.contains(needle))
+                .unwrap_or_else(|| panic!("row '{needle}' missing (seed {seed})"))
+        };
+        assert!(!by_error("prefix lengths").fixed_by_auto, "seed {seed}");
+        assert!(!by_error("redistribution").fixed_by_auto, "seed {seed}");
+        assert!(by_error("MED").fixed_by_auto, "seed {seed}");
+        assert!(by_error("OSPF link cost").fixed_by_auto, "seed {seed}");
+        assert!(by_error("local-as").fixed_by_auto, "seed {seed}");
+    }
+}
+
+#[test]
+fn leverage_in_paper_band() {
+    let mut ratios = Vec::new();
+    for seed in 0u64..8 {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
+        let outcome = TranslationSession::default().run(&mut llm, CISCO);
+        assert!(outcome.verified);
+        assert_eq!(outcome.leverage.human, 2, "seed {seed}: exactly the two hard cases");
+        ratios.push(outcome.leverage.ratio());
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        (4.0..=14.0).contains(&mean),
+        "mean leverage {mean:.1} outside the plausible band ({ratios:?})"
+    );
+}
+
+#[test]
+fn task_prompt_is_not_counted_in_leverage() {
+    let mut llm = SimulatedGpt4::new(ErrorModel::flawless(), 0);
+    let outcome = TranslationSession::default().run(&mut llm, CISCO);
+    assert!(outcome.verified);
+    assert_eq!(outcome.leverage.auto + outcome.leverage.human, 0);
+    assert_eq!(outcome.log.len(), 1, "only the task prompt was sent");
+    assert_eq!(outcome.log[0].kind, PromptKind::Task);
+}
+
+#[test]
+fn single_fault_sessions_converge_for_every_translation_fault() {
+    for fault in FaultKind::TRANSLATION {
+        let mut llm = SimulatedGpt4::new(ErrorModel::only(fault), 5);
+        let outcome = TranslationSession::default().run(&mut llm, CISCO);
+        assert!(outcome.verified, "{fault:?} session failed");
+        assert_equivalent(&outcome.final_config);
+    }
+}
+
+#[test]
+fn reference_translation_needs_no_loop_at_all() {
+    // The reference translator is the fixed point the loop converges to.
+    let (junos, notes) = config_ir::reference_translate_cisco_to_juniper(CISCO);
+    assert!(notes.is_empty(), "{notes:?}");
+    assert_equivalent(&junos);
+}

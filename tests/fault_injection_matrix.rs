@@ -1,0 +1,106 @@
+//! The failure-injection contract, tested as a matrix: every fault class
+//! the simulated GPT-4 can produce is (a) detected by its intended
+//! verifier, (b) humanized into a prompt the model recognizes, and
+//! (c) repaired or escalated exactly per its documented behaviour.
+
+use cosynth::{SynthesisSession, TranslationSession};
+use llm_sim::{ErrorModel, FaultKind, RepairBehavior, SimulatedGpt4};
+use std::collections::BTreeSet;
+
+const CISCO: &str = include_str!("../testdata/ios-border.cfg");
+
+/// (a)+(b)+(c) for every translation fault, one at a time.
+#[test]
+fn every_translation_fault_detected_and_resolved() {
+    for fault in FaultKind::TRANSLATION {
+        // (a) Detection: the faulty draft is distinguishable from clean.
+        let clean = llm_sim::translate_task::TranslationDraft::new(CISCO, BTreeSet::new());
+        let faulty =
+            llm_sim::translate_task::TranslationDraft::new(CISCO, BTreeSet::from([fault]));
+        assert_ne!(clean.render(), faulty.render(), "{fault:?} must change the draft");
+        let parsed = bf_lite::parse_config(&faulty.render(), Some(bf_lite::Vendor::Juniper));
+        let (cast, _) = cisco_cfg::parse(CISCO);
+        let (original, _) = config_ir::from_cisco(&cast);
+        let campion = campion_lite::compare(&original, &parsed.device);
+        assert!(
+            !parsed.warnings.is_empty() || !campion.is_empty(),
+            "{fault:?} must be visible to a verifier"
+        );
+        // (c) Resolution: a session with only this fault ends verified,
+        // with humans involved exactly when the catalogue says so.
+        let mut llm = SimulatedGpt4::new(ErrorModel::only(fault), 17);
+        let outcome = TranslationSession::default().run(&mut llm, CISCO);
+        assert!(outcome.verified, "{fault:?} session must verify");
+        let expected_humans = match fault.repair() {
+            RepairBehavior::AutoFixable => 0,
+            RepairBehavior::NeedsHuman | RepairBehavior::NeedsHumanWithSyntaxDetour => 1,
+        };
+        assert_eq!(
+            outcome.leverage.human, expected_humans,
+            "{fault:?}: human prompt count"
+        );
+    }
+}
+
+/// The same matrix for the synthesis faults, run on the Figure 4 star's
+/// hub (where every synthesis fault class is applicable).
+#[test]
+fn every_synthesis_fault_detected_and_resolved() {
+    for fault in FaultKind::SYNTHESIS {
+        let mut model = ErrorModel::only(fault);
+        // The IIP-preventable classes need the IIP ignored to appear.
+        model.respect_iip = !fault.iip_preventable();
+        let mut llm = SimulatedGpt4::new(model, 23);
+        let session = SynthesisSession::default();
+        let outcome = session.run(&mut llm, 3);
+        assert!(outcome.verified_local, "{fault:?}: local loops must verify");
+        assert!(
+            outcome.global.holds(),
+            "{fault:?}: global policy must hold after repair: {:#?}",
+            outcome.global.violations
+        );
+        let expected_humans = match fault.repair() {
+            RepairBehavior::AutoFixable => 0,
+            _ => 1,
+        };
+        assert_eq!(
+            outcome.leverage.human, expected_humans,
+            "{fault:?}: human prompt count ({})",
+            outcome.leverage
+        );
+    }
+}
+
+/// Regression pathologies: with reintroduction forced on, sessions still
+/// terminate and leverage accounting stays consistent.
+#[test]
+fn heavy_regression_still_converges() {
+    let mut model = ErrorModel::paper_default();
+    model.p_regress_new = 0.6;
+    model.p_reintroduce = 0.4;
+    for seed in 0u64..3 {
+        let mut llm = SimulatedGpt4::new(model.clone(), seed);
+        let outcome = TranslationSession::default().run(&mut llm, CISCO);
+        assert!(outcome.verified, "seed {seed} must still converge");
+        assert_eq!(outcome.leverage.human, 2, "seed {seed}");
+        assert!(
+            outcome.leverage.auto >= 8,
+            "regressions must cost extra automated prompts (seed {seed}: {})",
+            outcome.leverage
+        );
+    }
+}
+
+/// The flawless ablation: no faults → no prompts → leverage structurally
+/// collapses (the paper's "a future GPT-6" remark).
+#[test]
+fn flawless_model_needs_no_verifier_corrections() {
+    let mut llm = SimulatedGpt4::new(ErrorModel::flawless(), 0);
+    let t = TranslationSession::default().run(&mut llm, CISCO);
+    assert!(t.verified);
+    assert_eq!((t.leverage.auto, t.leverage.human), (0, 0));
+    let mut llm = SimulatedGpt4::new(ErrorModel::flawless(), 0);
+    let s = SynthesisSession::default().run(&mut llm, 6);
+    assert!(s.global.holds());
+    assert_eq!((s.leverage.auto, s.leverage.human), (0, 0));
+}

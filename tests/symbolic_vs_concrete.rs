@@ -1,0 +1,194 @@
+//! Property tests: the symbolic policy engine and the concrete evaluator
+//! must agree on every route — the two interpreters keep each other
+//! honest. Policies, routes and devices are generated randomly.
+
+use config_ir::{
+    ClauseAction, Condition, Device, IrClause, IrCommunitySet, IrPolicy, IrPrefixSet, Modifier,
+    PolicyEnv,
+};
+use net_model::{Community, Prefix, PrefixPattern, Protocol, RouteAdvertisement};
+use policy_symbolic::{walk_policy, RouteSpace, SymState};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// The community universe the generators draw from.
+fn universe() -> Vec<Community> {
+    vec![
+        "100:1".parse().unwrap(),
+        "101:1".parse().unwrap(),
+        "200:5".parse().unwrap(),
+    ]
+}
+
+prop_compose! {
+    fn arb_prefix()(bits in any::<u32>(), len in 0u8..=32) -> Prefix {
+        Prefix::new(Ipv4Addr::from(bits), len).unwrap()
+    }
+}
+
+prop_compose! {
+    fn arb_pattern()(p in arb_prefix(), spread in 0u8..=8, from_len in prop::bool::ANY) -> PrefixPattern {
+        let lo = p.len();
+        let hi = (lo + spread).min(32);
+        if from_len {
+            PrefixPattern::with_bounds(p, Some(lo), Some(hi)).unwrap()
+        } else {
+            PrefixPattern::exact(p)
+        }
+    }
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        prop::collection::vec(arb_pattern(), 1..3).prop_map(|patterns| Condition::MatchPrefix {
+            sets: vec![],
+            patterns,
+        }),
+        prop::sample::select(vec![0usize, 1, 2]).prop_map(|i| {
+            Condition::MatchCommunity(vec![format!("cs{i}")])
+        }),
+        prop::sample::select(Protocol::ALL.to_vec())
+            .prop_map(|p| Condition::MatchProtocol(vec![p])),
+    ]
+}
+
+fn arb_modifier() -> impl Strategy<Value = Modifier> {
+    prop_oneof![
+        (prop::sample::select(universe()), prop::bool::ANY).prop_map(|(c, additive)| {
+            Modifier::SetCommunities {
+                communities: BTreeSet::from([c]),
+                additive,
+            }
+        }),
+        (0u32..1000).prop_map(Modifier::SetMed),
+        (0u32..500).prop_map(Modifier::SetLocalPref),
+        prop::sample::select(vec![0usize, 1, 2])
+            .prop_map(|i| Modifier::DeleteCommunities(format!("cs{i}"))),
+    ]
+}
+
+fn arb_clause(id: usize) -> impl Strategy<Value = IrClause> {
+    (
+        prop::sample::select(vec![
+            ClauseAction::Permit,
+            ClauseAction::Deny,
+            ClauseAction::FallThrough,
+        ]),
+        prop::collection::vec(arb_condition(), 0..3),
+        prop::collection::vec(arb_modifier(), 0..3),
+    )
+        .prop_map(move |(action, conditions, modifiers)| IrClause {
+            id: id.to_string(),
+            action,
+            conditions,
+            modifiers,
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = IrPolicy> {
+    (
+        prop::collection::vec(arb_clause(0), 1..5),
+        prop::bool::ANY,
+    )
+        .prop_map(|(mut clauses, default_permit)| {
+            for (i, c) in clauses.iter_mut().enumerate() {
+                c.id = ((i + 1) * 10).to_string();
+            }
+            IrPolicy {
+                name: "p".into(),
+                clauses,
+                default_action: if default_permit {
+                    ClauseAction::Permit
+                } else {
+                    ClauseAction::Deny
+                },
+            }
+        })
+}
+
+/// A device with the fixed named sets the generators reference.
+fn device_with(policy: IrPolicy) -> Device {
+    let mut d = Device::named("r");
+    let u = universe();
+    for (i, c) in u.iter().enumerate() {
+        d.community_sets
+            .push(IrCommunitySet::single(format!("cs{i}"), *c));
+    }
+    d.prefix_sets.push(IrPrefixSet::permitting(
+        "fixed",
+        vec![PrefixPattern::orlonger("10.0.0.0/8".parse().unwrap())],
+    ));
+    d.policies.push(policy);
+    d
+}
+
+prop_compose! {
+    fn arb_route()(
+        bits in any::<u32>(),
+        len in 0u8..=32,
+        carry in prop::collection::btree_set(prop::sample::select(universe()), 0..=3),
+        proto in prop::sample::select(Protocol::ALL.to_vec()),
+    ) -> RouteAdvertisement {
+        let mut r = RouteAdvertisement::of_protocol(
+            Prefix::new(Ipv4Addr::from(bits), len).unwrap(),
+            proto,
+        );
+        r.communities = carry;
+        r
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The headline agreement property: symbolic permit space equals the
+    /// concrete evaluator's verdict on every sampled route.
+    #[test]
+    fn symbolic_and_concrete_agree(policy in arb_policy(), routes in prop::collection::vec(arb_route(), 1..8)) {
+        let d = device_with(policy);
+        let mut space = RouteSpace::for_devices(&[&d]);
+        // All universe communities must be present even if the random
+        // policy doesn't mention them (routes may carry them).
+        let mut full = BTreeSet::new();
+        full.extend(universe());
+        full.extend(d.community_universe());
+        let mut space_full = RouteSpace::new(full, BTreeSet::new());
+        let _ = &mut space; // the narrow space is intentionally unused
+        let init = SymState::input(&mut space_full);
+        let top = space_full.mgr.top();
+        let result = walk_policy(&mut space_full, &d, d.policy("p").unwrap(), top, &init, None);
+        let env = PolicyEnv::new(&d);
+        for route in routes {
+            let a = space_full.encode(&route);
+            let symbolic = space_full.mgr.eval(result.permit, |v| a[v as usize]);
+            let concrete = config_ir::eval_policy(&env, d.policy("p").unwrap(), &route);
+            prop_assert_eq!(symbolic, concrete.is_permit(), "route {}", route);
+            // When permitted, output communities agree too.
+            if let config_ir::PolicyOutcome::Permit(out) = concrete {
+                for c in universe() {
+                    let sym_has = result
+                        .out
+                        .comm
+                        .get(&c)
+                        .map(|f| space_full.mgr.eval(*f, |v| a[v as usize]))
+                        .unwrap_or(false);
+                    prop_assert_eq!(sym_has, out.communities.contains(&c), "community {} on {}", c, route);
+                }
+            }
+        }
+    }
+
+    /// Permit and deny spaces always partition the whole route space.
+    #[test]
+    fn permit_deny_partition(policy in arb_policy()) {
+        let d = device_with(policy);
+        let mut space = RouteSpace::for_devices(&[&d]);
+        let init = SymState::input(&mut space);
+        let top = space.mgr.top();
+        let r = walk_policy(&mut space, &d, d.policy("p").unwrap(), top, &init, None);
+        prop_assert!(space.mgr.and(r.permit, r.deny).is_false());
+        let union = space.mgr.or(r.permit, r.deny);
+        prop_assert!(union.is_true());
+    }
+}
