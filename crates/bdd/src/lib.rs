@@ -9,18 +9,33 @@
 //!
 //! ## Design
 //!
-//! * One [`Manager`] owns all nodes. Nodes are hash-consed: each
-//!   `(var, lo, hi)` triple exists at most once, so semantic equality of
-//!   functions is pointer (index) equality of [`Ref`]s.
+//! * One [`Manager`] owns all nodes in a flat `Vec` arena. Nodes are
+//!   hash-consed: each `(var, lo, hi)` triple exists at most once, so
+//!   semantic equality of functions is pointer (index) equality of
+//!   [`Ref`]s.
+//! * The unique table is **open-addressed** (CUDD-style): a power-of-two
+//!   slot array of node indices, fx multiplicative hashing, linear
+//!   probing without tombstones (nodes are never deleted), amortized
+//!   doubling at 50% load. There is no `HashMap` on the hot path.
+//! * The memo tables for `apply`/`ite`/`not`/`restrict` are fixed-size
+//!   **direct-mapped lossy caches**: a lookup is one index computation
+//!   and one compare; a colliding insert simply overwrites. Commutative
+//!   apply keys are canonicalized by operand order first.
+//! * The original `std::collections::HashMap` tables are kept compiled
+//!   behind the `naive-tables` feature as the A/B baseline for
+//!   `bddbench` (see `crates/bdd/README.md`).
+//! * [`Manager::stats`] reports node counts, byte footprint, and
+//!   per-cache hit/miss/eviction counters; [`Manager::with_capacity`]
+//!   pre-sizes everything for a known workload.
 //! * Variables are `u32` indices; the variable order *is* the index order.
 //!   Callers allocate variables up front with [`Manager::new_var`] /
 //!   [`Manager::new_vars`].
-//! * All binary operations funnel through a memoized Shannon-expansion
-//!   `apply`; `ite` has its own memo table.
-//! * No garbage collection: the workloads here build a few thousand nodes.
-//!   The node table only grows. This is the smoltcp trade: simplicity and
-//!   predictability over peak memory use.
-//! * No `unsafe`, no clever type tricks.
+//! * No garbage collection: the node table only grows. This is the
+//!   smoltcp trade: simplicity and predictability over peak memory use.
+//! * `unsafe` is confined to bounds-check elision on *masked* table
+//!   indices inside `tables.rs` (every index is `hash & (len - 1)`
+//!   with a power-of-two length, so it is in bounds for any input);
+//!   arena reads through caller-supplied `Ref`s stay checked.
 //!
 //! ## Supported operations
 //!
@@ -44,14 +59,19 @@
 //! assert!(m.implies_check(conj, disj));
 //! assert_eq!(m.sat_count(conj, 2), 1);
 //! assert_eq!(m.sat_count(disj, 2), 3);
+//! assert!(m.stats().apply.misses > 0);
 //! ```
 
+mod hash;
 mod manager;
 mod node;
 mod sat;
+mod tables;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use manager::Manager;
 pub use node::{Ref, Var};
+pub use tables::{CacheStats, ManagerStats};
 
 #[cfg(test)]
 mod tests {
@@ -69,5 +89,14 @@ mod tests {
         assert!(m.implies_check(conj, disj));
         assert_eq!(m.sat_count(conj, 2), 1);
         assert_eq!(m.sat_count(disj, 2), 3);
+        assert!(m.stats().apply.misses > 0);
+    }
+
+    #[test]
+    fn engine_name_matches_feature() {
+        #[cfg(feature = "naive-tables")]
+        assert_eq!(Manager::engine(), "naive-hashmap");
+        #[cfg(not(feature = "naive-tables"))]
+        assert_eq!(Manager::engine(), "open-addressed");
     }
 }

@@ -1,29 +1,54 @@
-//! The BDD manager: node table, hash-consing, and core operations.
+//! The BDD manager: node arena, hash-consing, and core operations.
+//!
+//! The hot path is `mk` (hash-consed node construction) and the memoized
+//! Shannon expansions `apply`/`ite`. Both go through the engine selected
+//! in [`crate::tables`]: by default an open-addressed unique table plus
+//! direct-mapped lossy op caches (one index computation per lookup, zero
+//! allocation); with the `naive-tables` feature, the original
+//! SipHash-keyed `HashMap` paths for A/B comparison.
 
 use crate::node::{Node, Ref, Var};
-use std::collections::HashMap;
+use crate::tables::{Cache1, Cache2, Cache3, ManagerStats, Sizing, UniqueTable, ENGINE};
 
 /// Binary operation codes used as memoization keys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The discriminant is the first word of the apply-cache key; it must
+/// never collide with a `Ref` used in the ite cache's first slot, but
+/// the caches are separate arrays so only distinctness among ops
+/// matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Op {
-    And,
-    Or,
-    Xor,
+    And = 0,
+    Or = 1,
+    Xor = 2,
 }
 
 /// The BDD manager. Owns every node; all operations go through it.
 ///
 /// Construction is cheap; variables are allocated with [`Manager::new_var`].
 /// All operations are deterministic for a given call sequence, which keeps
-/// the experiment harness reproducible.
+/// the experiment harness reproducible. Use [`Manager::with_capacity`]
+/// when the rough node count is known (e.g. `policy-symbolic`'s 40+
+/// variable route space) to avoid rehash churn while the table warms up.
 pub struct Manager {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Ref>,
-    apply_cache: HashMap<(Op, Ref, Ref), Ref>,
-    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
-    not_cache: HashMap<Ref, Ref>,
+    unique: UniqueTable,
+    apply_cache: Cache3,
+    ite_cache: Cache3,
+    not_cache: Cache1,
+    restrict_cache: Cache2,
+    /// Projection functions, CUDD's `bddVars`: `lits[v] = [¬v, v]`,
+    /// filled lazily. Route-space constraint builders call
+    /// `var`/`literal` once per conjunct, so resolving them without a
+    /// unique-table probe matters. The `naive-tables` baseline bypasses
+    /// this (the seed resolved every literal through the HashMap).
+    #[cfg_attr(feature = "naive-tables", allow(dead_code))]
+    lits: Vec<[Ref; 2]>,
     n_vars: u32,
 }
+
+/// Sentinel for an unfilled literal-cache entry (no node has this index).
+const NO_REF: Ref = Ref(u32::MAX);
 
 impl Default for Manager {
     fn default() -> Self {
@@ -32,8 +57,23 @@ impl Default for Manager {
 }
 
 impl Manager {
-    /// Creates an empty manager with no variables.
+    /// Creates an empty manager with no variables and default table
+    /// sizes (tuned for a few tens of thousands of nodes).
     pub fn new() -> Self {
+        Self::with_sizing(Sizing::default())
+    }
+
+    /// Creates a manager pre-sized for roughly `nodes_hint` live nodes.
+    ///
+    /// The unique table starts large enough to hold the hint at ≤50%
+    /// load and the op caches scale with it, so a route-space workload
+    /// never pays for table doubling during its hot phase. The hint is
+    /// not a limit — tables still grow past it.
+    pub fn with_capacity(nodes_hint: usize) -> Self {
+        Self::with_sizing(Sizing::for_nodes(nodes_hint))
+    }
+
+    fn with_sizing(s: Sizing) -> Self {
         // Index 0 and 1 are the constants. They are never looked at as
         // decision nodes; we store sentinels with an out-of-range var so a
         // bug that dereferences them is loud in debug assertions.
@@ -47,20 +87,96 @@ impl Manager {
             lo: Ref::TRUE,
             hi: Ref::TRUE,
         };
+        let mut nodes = Vec::with_capacity(s.unique_capacity.saturating_add(2));
+        nodes.push(sentinel);
+        nodes.push(sentinel2);
         Manager {
-            nodes: vec![sentinel, sentinel2],
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            ite_cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            nodes,
+            unique: UniqueTable::with_capacity(s.unique_capacity),
+            apply_cache: Cache3::new(s.apply_bits),
+            ite_cache: Cache3::new(s.ite_bits),
+            not_cache: Cache1::new(s.not_bits),
+            restrict_cache: Cache2::new(s.restrict_bits),
+            lits: Vec::new(),
             n_vars: 0,
         }
+    }
+
+    /// The name of the compiled-in table engine (`"open-addressed"` by
+    /// default, `"naive-hashmap"` under the `naive-tables` feature).
+    pub fn engine() -> &'static str {
+        ENGINE
+    }
+
+    /// A snapshot of node/table sizes and cache hit statistics.
+    pub fn stats(&self) -> ManagerStats {
+        let bytes = self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.unique.bytes()
+            + self.apply_cache.bytes()
+            + self.ite_cache.bytes()
+            + self.not_cache.bytes()
+            + self.restrict_cache.bytes();
+        ManagerStats {
+            engine: ENGINE,
+            node_count: self.nodes.len(),
+            unique_capacity: self.unique.capacity(),
+            bytes,
+            apply: self.apply_cache.stats,
+            ite: self.ite_cache.stats,
+            not: self.not_cache.stats,
+            restrict: self.restrict_cache.stats,
+        }
+    }
+
+    /// Zeroes all cache counters (the tables themselves are untouched).
+    pub fn reset_stats(&mut self) {
+        self.apply_cache.stats = Default::default();
+        self.ite_cache.stats = Default::default();
+        self.not_cache.stats = Default::default();
+        self.restrict_cache.stats = Default::default();
+    }
+
+    /// Verifies the structural invariants hash-consing relies on: no
+    /// duplicate `(var, lo, hi)` triple, no redundant node (`lo == hi`),
+    /// children allocated before parents, and the variable order strictly
+    /// increasing along every edge. O(n); for tests and debugging.
+    pub fn check_canonical(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        if self.unique.len() != self.nodes.len() - 2 {
+            return Err(format!(
+                "unique table holds {} entries for {} non-constant nodes",
+                self.unique.len(),
+                self.nodes.len() - 2
+            ));
+        }
+        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+            if n.lo == n.hi {
+                return Err(format!("node {i} is redundant: lo == hi == {:?}", n.lo));
+            }
+            if n.lo.index() >= i || n.hi.index() >= i {
+                return Err(format!("node {i} references a later node"));
+            }
+            for child in [n.lo, n.hi] {
+                if !child.is_const() && self.nodes[child.index()].var <= n.var {
+                    return Err(format!(
+                        "node {i} (var {}) has child with var {} out of order",
+                        n.var,
+                        self.nodes[child.index()].var
+                    ));
+                }
+            }
+            if !seen.insert((n.var, n.lo, n.hi)) {
+                return Err(format!("duplicate triple at node {i}: {n:?}"));
+            }
+        }
+        Ok(())
     }
 
     /// Allocates a fresh variable at the end of the order.
     pub fn new_var(&mut self) -> Var {
         let v = self.n_vars;
         self.n_vars += 1;
+        self.lits.push([NO_REF, NO_REF]);
         v
     }
 
@@ -90,14 +206,38 @@ impl Manager {
     }
 
     /// The function that is true iff `v` is true.
+    #[inline]
     pub fn var(&mut self, v: Var) -> Ref {
         debug_assert!(v < self.n_vars, "variable {v} not allocated");
+        #[cfg(not(feature = "naive-tables"))]
+        {
+            let cached = self.lits[v as usize][1];
+            if cached != NO_REF {
+                return cached;
+            }
+            let r = self.mk(v, Ref::FALSE, Ref::TRUE);
+            self.lits[v as usize][1] = r;
+            r
+        }
+        #[cfg(feature = "naive-tables")]
         self.mk(v, Ref::FALSE, Ref::TRUE)
     }
 
     /// The function that is true iff `v` is false.
+    #[inline]
     pub fn nvar(&mut self, v: Var) -> Ref {
         debug_assert!(v < self.n_vars, "variable {v} not allocated");
+        #[cfg(not(feature = "naive-tables"))]
+        {
+            let cached = self.lits[v as usize][0];
+            if cached != NO_REF {
+                return cached;
+            }
+            let r = self.mk(v, Ref::TRUE, Ref::FALSE);
+            self.lits[v as usize][0] = r;
+            r
+        }
+        #[cfg(feature = "naive-tables")]
         self.mk(v, Ref::TRUE, Ref::FALSE)
     }
 
@@ -110,29 +250,24 @@ impl Manager {
         }
     }
 
+    /// Checked arena read: a `Ref` is an index, and `Ref`s are `Copy`,
+    /// so a caller could hand us one minted by a *different* manager —
+    /// the bounds check keeps that a panic rather than UB. (The
+    /// unchecked accesses in `tables.rs` are different: their indices
+    /// are masked to the table length and sound for any input.)
+    #[inline]
     fn node(&self, r: Ref) -> Node {
         self.nodes[r.index()]
     }
 
-    /// The decision variable of a non-constant node.
-    fn var_of(&self, r: Ref) -> Var {
-        debug_assert!(!r.is_const());
-        self.nodes[r.index()].var
-    }
-
     /// Hash-consed node construction with the reduction rule.
+    #[inline]
     fn mk(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
         if lo == hi {
             return lo;
         }
-        let node = Node { var, lo, hi };
-        if let Some(&r) = self.unique.get(&node) {
-            return r;
-        }
-        let r = Ref(self.nodes.len() as u32);
-        self.nodes.push(node);
-        self.unique.insert(node, r);
-        r
+        self.unique
+            .get_or_insert(Node { var, lo, hi }, &mut self.nodes)
     }
 
     /// Negation.
@@ -143,15 +278,15 @@ impl Manager {
         if f.is_false() {
             return Ref::TRUE;
         }
-        if let Some(&r) = self.not_cache.get(&f) {
+        if let Some(r) = self.not_cache.get(f.0) {
             return r;
         }
         let n = self.node(f);
         let lo = self.not(n.lo);
         let hi = self.not(n.hi);
         let r = self.mk(n.var, lo, hi);
-        self.not_cache.insert(f, r);
-        self.not_cache.insert(r, f);
+        self.not_cache.put(f.0, r);
+        self.not_cache.put(r.0, f);
         r
     }
 
@@ -262,29 +397,23 @@ impl Manager {
                 }
             }
         }
-        // Commutative ops: normalize operand order for cache hits.
+        // Small-key canonicalization: all three ops are commutative, so
+        // ordering the operands by `Ref` halves the distinct keys and
+        // doubles the effective cache size.
         let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+        if let Some(r) = self.apply_cache.get(op as u32, f.0, g.0) {
             return r;
         }
-        let (vf, vg) = (self.var_of(f), self.var_of(g));
-        let v = vf.min(vg);
-        let (f_lo, f_hi) = if vf == v {
-            let n = self.node(f);
-            (n.lo, n.hi)
-        } else {
-            (f, f)
-        };
-        let (g_lo, g_hi) = if vg == v {
-            let n = self.node(g);
-            (n.lo, n.hi)
-        } else {
-            (g, g)
-        };
+        // One arena load per operand; the node carries both the level
+        // and the cofactors.
+        let (nf, ng) = (self.node(f), self.node(g));
+        let v = nf.var.min(ng.var);
+        let (f_lo, f_hi) = if nf.var == v { (nf.lo, nf.hi) } else { (f, f) };
+        let (g_lo, g_hi) = if ng.var == v { (ng.lo, ng.hi) } else { (g, g) };
         let lo = self.apply(op, f_lo, g_lo);
         let hi = self.apply(op, f_hi, g_hi);
         let r = self.mk(v, lo, hi);
-        self.apply_cache.insert((op, f, g), r);
+        self.apply_cache.put(op as u32, f.0, g.0, r);
         r
     }
 
@@ -305,30 +434,23 @@ impl Manager {
         if t.is_false() && e.is_true() {
             return self.not(c);
         }
-        if let Some(&r) = self.ite_cache.get(&(c, t, e)) {
+        if let Some(r) = self.ite_cache.get(c.0, t.0, e.0) {
             return r;
         }
-        let v = [c, t, e]
-            .iter()
-            .filter(|r| !r.is_const())
-            .map(|&r| self.var_of(r))
-            .min()
-            .expect("at least c is non-constant");
-        let split = |m: &Manager, r: Ref| -> (Ref, Ref) {
-            if !r.is_const() && m.var_of(r) == v {
-                let n = m.node(r);
-                (n.lo, n.hi)
-            } else {
-                (r, r)
-            }
-        };
-        let (c_lo, c_hi) = split(self, c);
-        let (t_lo, t_hi) = split(self, t);
-        let (e_lo, e_hi) = split(self, e);
+        // One arena load per operand. The constant sentinels carry
+        // `var == u32::MAX`, so they never win the `min` and never match
+        // the split level — no is-const branching needed.
+        let nc = self.node(c);
+        let nt = self.node(t);
+        let ne = self.node(e);
+        let v = nc.var.min(nt.var).min(ne.var);
+        let (c_lo, c_hi) = if nc.var == v { (nc.lo, nc.hi) } else { (c, c) };
+        let (t_lo, t_hi) = if nt.var == v { (nt.lo, nt.hi) } else { (t, t) };
+        let (e_lo, e_hi) = if ne.var == v { (ne.lo, ne.hi) } else { (e, e) };
         let lo = self.ite(c_lo, t_lo, e_lo);
         let hi = self.ite(c_hi, t_hi, e_hi);
         let r = self.mk(v, lo, hi);
-        self.ite_cache.insert((c, t, e), r);
+        self.ite_cache.put(c.0, t.0, e.0, r);
         r
     }
 
@@ -344,9 +466,15 @@ impl Manager {
         if n.var == v {
             return if value { n.hi } else { n.lo };
         }
+        let key = v << 1 | value as u32;
+        if let Some(r) = self.restrict_cache.get(f.0, key) {
+            return r;
+        }
         let lo = self.restrict(n.lo, v, value);
         let hi = self.restrict(n.hi, v, value);
-        self.mk(n.var, lo, hi)
+        let r = self.mk(n.var, lo, hi);
+        self.restrict_cache.put(f.0, key, r);
+        r
     }
 
     /// Existential quantification over a single variable.
@@ -635,5 +763,88 @@ mod tests {
             let expect = (seed & 0xff).count_ones() % 2 == 1;
             assert_eq!(m.eval(parity, assignment), expect, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn with_capacity_prereserves_and_behaves_identically() {
+        let mut small = Manager::new();
+        let mut big = Manager::with_capacity(1 << 18);
+        // The naive baseline deliberately ignores capacity hints (the
+        // seed used `HashMap::new()`), so only the default engine is
+        // expected to pre-reserve.
+        if Manager::engine() == "open-addressed" {
+            assert!(big.stats().unique_capacity > small.stats().unique_capacity);
+        }
+        for m in [&mut small, &mut big] {
+            m.new_vars(10);
+        }
+        let build = |m: &mut Manager| {
+            let mut acc = Ref::FALSE;
+            for v in 0..10 {
+                let lit = m.var(v);
+                acc = m.xor(acc, lit);
+            }
+            acc
+        };
+        // Same call sequence → same Refs, regardless of pre-sizing.
+        assert_eq!(build(&mut small), build(&mut big));
+        assert_eq!(small.node_count(), big.node_count());
+    }
+
+    #[test]
+    fn stats_track_cache_traffic() {
+        let (mut m, l) = setup(8);
+        let before = m.stats();
+        assert_eq!(before.apply.hits + before.apply.misses, 0);
+        let mut acc = Ref::FALSE;
+        for &lit in &l {
+            acc = m.xor(acc, lit);
+        }
+        // Repeat the same fold: now the apply cache must hit.
+        let mut acc2 = Ref::FALSE;
+        for &lit in &l {
+            acc2 = m.xor(acc2, lit);
+        }
+        assert_eq!(acc, acc2);
+        let after = m.stats();
+        assert!(after.apply.misses > 0, "{after:?}");
+        assert!(after.apply.hits > 0, "{after:?}");
+        assert!(after.bytes > 0);
+        assert_eq!(after.engine, Manager::engine());
+        m.reset_stats();
+        let reset = m.stats();
+        assert_eq!(reset.apply.hits + reset.apply.misses, 0);
+    }
+
+    #[test]
+    fn canonical_invariants_hold_after_mixed_ops() {
+        let (mut m, l) = setup(8);
+        let mut acc = l[0];
+        for (i, &lit) in l.iter().enumerate() {
+            acc = match i % 3 {
+                0 => m.and(acc, lit),
+                1 => m.or(acc, lit),
+                _ => m.xor(acc, lit),
+            };
+            let na = m.not(acc);
+            acc = m.ite(lit, acc, na);
+            acc = m.exists(acc, (i as u32) % 4);
+        }
+        m.check_canonical().expect("canonical");
+    }
+
+    #[test]
+    fn apply_key_canonicalization_is_order_insensitive() {
+        let (mut m, l) = setup(4);
+        let a = m.and(l[0], l[1]);
+        let b = m.and(l[2], l[3]);
+        let ab = m.or(a, b);
+        let stats_before = m.stats().apply;
+        let ba = m.or(b, a);
+        let stats_after = m.stats().apply;
+        assert_eq!(ab, ba);
+        // The reversed call must be answered from cache or terminal
+        // rules alone: no new misses.
+        assert_eq!(stats_before.misses, stats_after.misses);
     }
 }

@@ -4,9 +4,9 @@
 //! into a *concrete, humanizable* counterexample — the paper's central
 //! requirement of "actionable localized feedback".
 
+use crate::hash::FxHashMap;
 use crate::manager::Manager;
 use crate::node::{Ref, Var};
-use std::collections::HashMap;
 
 /// A partial assignment: variables not present may take either value.
 pub type PartialAssignment = Vec<(Var, bool)>;
@@ -60,7 +60,10 @@ impl Manager {
     /// Uses `u128` accumulation; callers in this workspace stay well below
     /// 2^64 models. Saturates on overflow rather than wrapping.
     pub fn sat_count(&self, f: Ref, n_vars: u32) -> u128 {
-        let mut memo: HashMap<Ref, u128> = HashMap::new();
+        // Keyed with the kernel's fx hasher: the memo is rebuilt per
+        // query, so SipHash setup plus per-key cost dominates it for the
+        // small sub-BDDs the verifiers count.
+        let mut memo: FxHashMap<Ref, u128> = FxHashMap::default();
         self.sat_count_rec(f, 0, n_vars, &mut memo)
     }
 
@@ -69,7 +72,7 @@ impl Manager {
         f: Ref,
         depth_var: Var,
         n_vars: u32,
-        memo: &mut HashMap<Ref, u128>,
+        memo: &mut FxHashMap<Ref, u128>,
     ) -> u128 {
         // Count models of the sub-function over variables var..n_vars where
         // var is the node's own variable; then scale for skipped levels.
@@ -92,9 +95,7 @@ impl Manager {
             c
         };
         let skipped = var - depth_var;
-        below
-            .checked_shl(skipped)
-            .unwrap_or(u128::MAX)
+        below.checked_shl(skipped).unwrap_or(u128::MAX)
     }
 
     /// Enumerates up to `limit` satisfying total assignments (don't-cares
@@ -146,7 +147,12 @@ mod tests {
         let t0 = m.and(lits[0], n3);
         let f = m.and(t0, lits[2]);
         let a = m.any_sat(f).expect("satisfiable");
-        let lookup = |v: Var| a.iter().find(|(w, _)| *w == v).map(|&(_, b)| b).unwrap_or(false);
+        let lookup = |v: Var| {
+            a.iter()
+                .find(|(w, _)| *w == v)
+                .map(|&(_, b)| b)
+                .unwrap_or(false)
+        };
         assert!(m.eval(f, lookup));
     }
 

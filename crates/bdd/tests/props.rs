@@ -1,9 +1,31 @@
 //! Property tests: the ROBDD engine satisfies the Boolean-algebra laws
-//! on randomly generated formulas, and canonicity makes semantic equality
-//! pointer equality.
+//! on randomly generated formulas, canonicity makes semantic equality
+//! pointer equality, and the unique table never holds a duplicate
+//! `(var, lo, hi)` triple.
+//!
+//! These run identically against both table engines — build with
+//! `--features naive-tables` to exercise the HashMap baseline — and use
+//! a self-contained splitmix64 generator instead of an external
+//! property-testing crate (the build is fully offline).
 
 use bdd::{Manager, Ref};
-use proptest::prelude::*;
+
+/// Deterministic splitmix64: good 64-bit avalanche, two lines, no deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 /// A tiny formula AST to generate random functions.
 #[derive(Debug, Clone)]
@@ -15,20 +37,26 @@ enum Formula {
     Xor(Box<Formula>, Box<Formula>),
 }
 
-const N_VARS: u32 = 6;
-
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = (0u32..N_VARS).prop_map(Formula::Var);
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Random formula over `n_vars` variables with bounded depth.
+fn random_formula(rng: &mut Rng, n_vars: u32, depth: u32) -> Formula {
+    if depth == 0 || rng.below(8) == 0 {
+        return Formula::Var(rng.below(n_vars as u64) as u32);
+    }
+    match rng.below(4) {
+        0 => Formula::Not(Box::new(random_formula(rng, n_vars, depth - 1))),
+        1 => Formula::And(
+            Box::new(random_formula(rng, n_vars, depth - 1)),
+            Box::new(random_formula(rng, n_vars, depth - 1)),
+        ),
+        2 => Formula::Or(
+            Box::new(random_formula(rng, n_vars, depth - 1)),
+            Box::new(random_formula(rng, n_vars, depth - 1)),
+        ),
+        _ => Formula::Xor(
+            Box::new(random_formula(rng, n_vars, depth - 1)),
+            Box::new(random_formula(rng, n_vars, depth - 1)),
+        ),
+    }
 }
 
 fn build(m: &mut Manager, f: &Formula) -> Ref {
@@ -63,102 +91,181 @@ fn eval_formula(f: &Formula, assignment: u32) -> bool {
     }
 }
 
-fn fresh() -> Manager {
+fn fresh(n_vars: u32) -> Manager {
     let mut m = Manager::new();
-    m.new_vars(N_VARS);
+    m.new_vars(n_vars);
     m
 }
 
-proptest! {
-    /// The BDD evaluates identically to the formula on all 2^6 points.
-    #[test]
-    fn bdd_matches_truth_table(f in arb_formula()) {
-        let mut m = fresh();
-        let b = build(&mut m, &f);
-        for a in 0u32..(1 << N_VARS) {
-            prop_assert_eq!(m.eval(b, |v| (a >> v) & 1 == 1), eval_formula(&f, a));
+/// The differential test the new kernel is gated on: BDD evaluation and
+/// model counting agree with brute-force truth-table enumeration for
+/// every assignment, up to 12 variables.
+#[test]
+fn differential_vs_truth_table_up_to_12_vars() {
+    let mut rng = Rng(0xb00);
+    for n_vars in [2u32, 6, 12] {
+        let mut m = fresh(n_vars);
+        for _ in 0..24 {
+            let f = random_formula(&mut rng, n_vars, 5);
+            let b = build(&mut m, &f);
+            let mut models = 0u128;
+            for a in 0u32..(1 << n_vars) {
+                let expect = eval_formula(&f, a);
+                models += expect as u128;
+                assert_eq!(
+                    m.eval(b, |v| (a >> v) & 1 == 1),
+                    expect,
+                    "{n_vars} vars, assignment {a:#b}, formula {f:?}"
+                );
+            }
+            assert_eq!(m.sat_count(b, n_vars), models, "{f:?}");
+        }
+        m.check_canonical()
+            .expect("canonical after differential runs");
+    }
+}
+
+/// Canonicity: semantically equal functions get the same node; unequal
+/// ones never do.
+#[test]
+fn canonical_forms_coincide() {
+    let mut rng = Rng(0xc0de);
+    const N_VARS: u32 = 6;
+    let mut m = fresh(N_VARS);
+    for _ in 0..200 {
+        let f = random_formula(&mut rng, N_VARS, 4);
+        let g = random_formula(&mut rng, N_VARS, 4);
+        let (bf, bg) = (build(&mut m, &f), build(&mut m, &g));
+        let semantically_equal =
+            (0u32..(1 << N_VARS)).all(|a| eval_formula(&f, a) == eval_formula(&g, a));
+        assert_eq!(bf == bg, semantically_equal, "{f:?} vs {g:?}");
+    }
+}
+
+/// Structural canonicity: after a long randomized op sequence (including
+/// ite, restrict, and quantification), the table holds no duplicate
+/// `(var, lo, hi)` triple, no redundant node, and respects the variable
+/// order. This is the hash-consing contract every verifier equivalence
+/// check rests on.
+#[test]
+fn no_duplicate_triples_after_randomized_ops() {
+    let mut rng = Rng(0x5eed);
+    const N_VARS: u32 = 10;
+    let mut m = fresh(N_VARS);
+    let mut pool: Vec<Ref> = (0..N_VARS).map(|v| m.var(v)).collect();
+    for round in 0..600 {
+        let a = pool[rng.below(pool.len() as u64) as usize];
+        let b = pool[rng.below(pool.len() as u64) as usize];
+        let c = pool[rng.below(pool.len() as u64) as usize];
+        let r = match rng.below(7) {
+            0 => m.and(a, b),
+            1 => m.or(a, b),
+            2 => m.xor(a, b),
+            3 => m.not(a),
+            4 => m.ite(a, b, c),
+            5 => m.restrict(a, rng.below(N_VARS as u64) as u32, rng.below(2) == 1),
+            _ => m.exists(a, rng.below(N_VARS as u64) as u32),
+        };
+        pool.push(r);
+        if round % 150 == 0 {
+            m.check_canonical()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
     }
+    m.check_canonical().expect("final canonicity");
+}
 
-    /// Canonicity: semantically equal functions get the same node.
-    #[test]
-    fn canonical_forms_coincide(f in arb_formula(), g in arb_formula()) {
-        let mut m = fresh();
-        let (bf, bg) = (build(&mut m, &f), build(&mut m, &g));
-        let semantically_equal = (0u32..(1 << N_VARS))
-            .all(|a| eval_formula(&f, a) == eval_formula(&g, a));
-        prop_assert_eq!(bf == bg, semantically_equal);
-    }
-
-    /// Sat count equals the truth-table count.
-    #[test]
-    fn sat_count_matches(f in arb_formula()) {
-        let mut m = fresh();
-        let b = build(&mut m, &f);
-        let expected = (0u32..(1 << N_VARS)).filter(|&a| eval_formula(&f, a)).count();
-        prop_assert_eq!(m.sat_count(b, N_VARS), expected as u128);
-    }
-
-    /// any_sat returns a genuine model whenever one exists.
-    #[test]
-    fn any_sat_is_sound_and_complete(f in arb_formula()) {
-        let mut m = fresh();
+/// Sat extraction is sound and complete on random formulas.
+#[test]
+fn any_sat_is_sound_and_complete() {
+    let mut rng = Rng(0xa5a5);
+    const N_VARS: u32 = 6;
+    for _ in 0..100 {
+        let mut m = fresh(N_VARS);
+        let f = random_formula(&mut rng, N_VARS, 4);
         let b = build(&mut m, &f);
         match m.any_sat_total(b, N_VARS) {
-            Some(a) => prop_assert!(m.eval(b, |v| a[v as usize])),
-            None => prop_assert!((0u32..(1 << N_VARS)).all(|a| !eval_formula(&f, a))),
+            Some(a) => assert!(m.eval(b, |v| a[v as usize]), "{f:?}"),
+            None => assert!((0u32..(1 << N_VARS)).all(|a| !eval_formula(&f, a)), "{f:?}"),
         }
     }
+}
 
-    /// Algebra: distribution, De Morgan, double negation, absorption.
-    #[test]
-    fn boolean_laws(f in arb_formula(), g in arb_formula(), h in arb_formula()) {
-        let mut m = fresh();
-        let (a, b, c) = (build(&mut m, &f), build(&mut m, &g), build(&mut m, &h));
+/// Algebra: distribution, De Morgan, double negation, absorption.
+#[test]
+fn boolean_laws() {
+    let mut rng = Rng(0x1a75);
+    const N_VARS: u32 = 6;
+    let mut m = fresh(N_VARS);
+    for _ in 0..150 {
+        let a = build_random(&mut m, &mut rng, N_VARS);
+        let b = build_random(&mut m, &mut rng, N_VARS);
+        let c = build_random(&mut m, &mut rng, N_VARS);
         // a ∧ (b ∨ c) == (a ∧ b) ∨ (a ∧ c)
         let bc = m.or(b, c);
         let lhs = m.and(a, bc);
         let ab = m.and(a, b);
         let ac = m.and(a, c);
         let rhs = m.or(ab, ac);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
         // ¬(a ∧ b) == ¬a ∨ ¬b
         let nab = m.not(ab);
         let na = m.not(a);
         let nb = m.not(b);
         let n_or = m.or(na, nb);
-        prop_assert_eq!(nab, n_or);
+        assert_eq!(nab, n_or);
         // ¬¬a == a
         let nna = m.not(na);
-        prop_assert_eq!(nna, a);
+        assert_eq!(nna, a);
         // a ∨ (a ∧ b) == a
         let absorb = m.or(a, ab);
-        prop_assert_eq!(absorb, a);
+        assert_eq!(absorb, a);
     }
+}
 
-    /// Quantification: ∃v.f is implied by f; ∀v.f implies f.
-    #[test]
-    fn quantifier_laws(f in arb_formula(), v in 0u32..N_VARS) {
-        let mut m = fresh();
-        let b = build(&mut m, &f);
+/// Quantification: ∃v.f is implied by f; ∀v.f implies f; neither result
+/// depends on the quantified variable.
+#[test]
+fn quantifier_laws() {
+    let mut rng = Rng(0x9_0210);
+    const N_VARS: u32 = 6;
+    let mut m = fresh(N_VARS);
+    for _ in 0..100 {
+        let b = build_random(&mut m, &mut rng, N_VARS);
+        let v = rng.below(N_VARS as u64) as u32;
         let ex = m.exists(b, v);
         let fa = m.forall(b, v);
-        prop_assert!(m.implies_check(b, ex));
-        prop_assert!(m.implies_check(fa, b));
-        // Neither result depends on v.
-        prop_assert!(!m.support(ex).contains(&v));
-        prop_assert!(!m.support(fa).contains(&v));
+        assert!(m.implies_check(b, ex));
+        assert!(m.implies_check(fa, b));
+        assert!(!m.support(ex).contains(&v));
+        assert!(!m.support(fa).contains(&v));
     }
+}
 
-    /// Restriction agrees with conditioned evaluation.
-    #[test]
-    fn restrict_is_cofactor(f in arb_formula(), v in 0u32..N_VARS, val in proptest::bool::ANY) {
-        let mut m = fresh();
+/// Restriction agrees with conditioned evaluation at every point.
+#[test]
+fn restrict_is_cofactor() {
+    let mut rng = Rng(0xc0fa);
+    const N_VARS: u32 = 6;
+    let mut m = fresh(N_VARS);
+    for _ in 0..60 {
+        let f = random_formula(&mut rng, N_VARS, 4);
         let b = build(&mut m, &f);
+        let v = rng.below(N_VARS as u64) as u32;
+        let val = rng.below(2) == 1;
         let r = m.restrict(b, v, val);
         for a in 0u32..(1 << N_VARS) {
             let forced = if val { a | (1 << v) } else { a & !(1 << v) };
-            prop_assert_eq!(m.eval(r, |x| (a >> x) & 1 == 1), eval_formula(&f, forced));
+            assert_eq!(
+                m.eval(r, |x| (a >> x) & 1 == 1),
+                eval_formula(&f, forced),
+                "{f:?} at {a:#b}"
+            );
         }
     }
+}
+
+fn build_random(m: &mut Manager, rng: &mut Rng, n_vars: u32) -> Ref {
+    let f = random_formula(rng, n_vars, 4);
+    build(m, &f)
 }

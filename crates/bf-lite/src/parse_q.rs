@@ -86,15 +86,15 @@ mod tests {
 
     #[test]
     fn detects_juniper() {
-        assert_eq!(
-            detect_vendor("system { host-name r1; }\n"),
-            Vendor::Juniper
-        );
+        assert_eq!(detect_vendor("system { host-name r1; }\n"), Vendor::Juniper);
     }
 
     #[test]
     fn parse_cisco_clean() {
-        let p = parse_config("hostname r1\nrouter bgp 1\n neighbor 2.0.0.2 remote-as 2\n", None);
+        let p = parse_config(
+            "hostname r1\nrouter bgp 1\n neighbor 2.0.0.2 remote-as 2\n",
+            None,
+        );
         assert_eq!(p.vendor, Vendor::Cisco);
         assert!(p.is_clean());
         assert_eq!(p.device.name, "r1");

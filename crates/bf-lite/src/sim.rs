@@ -77,9 +77,7 @@ impl Snapshot {
                     let Some(a_iface) = a.interfaces.iter().find(|i| {
                         !i.shutdown
                             && i.address
-                                .map(|x| {
-                                    x.same_subnet(&b_iface.address.expect("found by address"))
-                                })
+                                .map(|x| x.same_subnet(&b_iface.address.expect("found by address")))
                                 .unwrap_or(false)
                     }) else {
                         problems.push(format!(
@@ -197,11 +195,14 @@ pub fn run(snapshot: &Snapshot) -> SimReport {
             let nbr = ebgp
                 .neighbor(s.to_addr)
                 .expect("session built from neighbor");
+            // The policy environment is per-session, not per-route;
+            // building it in the inner loop was the simulator's hottest
+            // allocation.
+            let env = PolicyEnv::for_neighbor(exporter, s.to_addr);
             let mut outbox = Vec::new();
             for route in ribs[s.from].values() {
                 // eBGP loop prevention at the exporter (split horizon on
                 // AS path happens at import; exporting is fine).
-                let env = PolicyEnv::for_neighbor(exporter, s.to_addr);
                 match eval_policy_chain(&env, &nbr.export_policy, route) {
                     PolicyOutcome::Permit(mut out) => {
                         if !nbr.send_community {
@@ -220,13 +221,15 @@ pub fn run(snapshot: &Snapshot) -> SimReport {
             }
             // Import side.
             let ibgp = importer.bgp.as_ref().expect("session implies bgp");
-            let inbr = ibgp.neighbor(s.from_addr).expect("session checked both ways");
+            let inbr = ibgp
+                .neighbor(s.from_addr)
+                .expect("session checked both ways");
+            let env = PolicyEnv::for_neighbor(importer, s.from_addr);
             let mut accepted = Vec::new();
             for route in outbox {
                 if route.would_loop(ibgp.asn) {
                     continue;
                 }
-                let env = PolicyEnv::for_neighbor(importer, s.from_addr);
                 match eval_policy_chain(&env, &inbr.import_policy, &route) {
                     PolicyOutcome::Permit(r) => accepted.push(r),
                     PolicyOutcome::Deny => {}
@@ -337,10 +340,14 @@ mod tests {
         assert!(!report.diverged);
         let r1 = snap.device_index("r1").unwrap();
         let r2 = snap.device_index("r2").unwrap();
-        let got = report.route_at(r1, &pfx("2.0.0.0/24")).expect("r1 learns 2/24");
+        let got = report
+            .route_at(r1, &pfx("2.0.0.0/24"))
+            .expect("r1 learns 2/24");
         assert_eq!(got.as_path, AsPath::single(Asn(2)));
         assert_eq!(got.next_hop, Some("10.0.0.2".parse().unwrap()));
-        let got = report.route_at(r2, &pfx("1.0.0.0/24")).expect("r2 learns 1/24");
+        let got = report
+            .route_at(r2, &pfx("1.0.0.0/24"))
+            .expect("r2 learns 1/24");
         assert_eq!(got.as_path, AsPath::single(Asn(1)));
     }
 
@@ -414,8 +421,13 @@ mod tests {
         let report = run(&snap);
         assert!(!report.diverged);
         let r3i = snap.device_index("r3").unwrap();
-        let got = report.route_at(r3i, &pfx("1.0.0.0/24")).expect("transit route");
-        assert_eq!(got.as_path, [Asn(2), Asn(1)].into_iter().collect::<AsPath>());
+        let got = report
+            .route_at(r3i, &pfx("1.0.0.0/24"))
+            .expect("transit route");
+        assert_eq!(
+            got.as_path,
+            [Asn(2), Asn(1)].into_iter().collect::<AsPath>()
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct InterfaceAlignment<'a> {
 /// Aligns interfaces: first by vendor-neutral canonical name, then by
 /// same-subnet address (which pairs `Ethernet0/1` with `ge-0/0/1.0` after
 /// the reference renaming).
-pub fn align_interfaces<'a>(original: &'a Device, translated: &'a Device) -> InterfaceAlignment<'a> {
+pub fn align_interfaces<'a>(
+    original: &'a Device,
+    translated: &'a Device,
+) -> InterfaceAlignment<'a> {
     let mut pairs = Vec::new();
     let mut used_t = vec![false; translated.interfaces.len()];
     let mut only_original = Vec::new();

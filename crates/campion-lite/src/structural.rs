@@ -3,7 +3,9 @@
 use crate::align::align_interfaces;
 use crate::findings::{CampionFinding, Direction};
 use config_ir::Device;
-use policy_symbolic::{behavior_difference, effective_export_behavior, effective_import_behavior, RouteSpace};
+use policy_symbolic::{
+    behavior_difference, effective_export_behavior, effective_import_behavior, RouteSpace,
+};
 use std::collections::BTreeSet;
 
 /// Compares an original device against its translation and returns all
@@ -200,9 +202,14 @@ fn behavior(original: &Device, translated: &Device, out: &mut Vec<CampionFinding
         return;
     };
     // One shared space across both devices so behaviours are comparable.
-    let mut space = RouteSpace::for_devices(&[original, translated]);
+    // Behaviour extraction over two devices' export chains builds the
+    // largest BDDs in the workspace; pre-size so the unique table never
+    // rehashes mid-comparison.
+    let mut space = RouteSpace::for_devices_sized(&[original, translated], 1 << 16);
     for o in &ob.neighbors {
-        let Some(t) = tb.neighbor(o.addr) else { continue };
+        let Some(t) = tb.neighbor(o.addr) else {
+            continue;
+        };
         // Export: effective behaviour includes origination/redistribution —
         // exactly how Campion caught the paper's redistribution bug.
         let b_o = effective_export_behavior(&mut space, original, o.addr);
@@ -336,7 +343,9 @@ route-map ospf_to_bgp permit 10
         let f = compare(&o, &t);
         let hit = f.iter().find_map(|x| match x {
             CampionFinding::OspfCostDiff {
-                original, translated, ..
+                original,
+                translated,
+                ..
             } => Some((*original, *translated)),
             _ => None,
         });
@@ -371,7 +380,11 @@ route-map ospf_to_bgp permit 10
         let mut t = reference_translation(&o);
         // Break the MED in the translated export policy (Table 2's
         // "Setting wrong BGP MED value").
-        let p = t.policies.iter_mut().find(|p| p.name == "to_provider").unwrap();
+        let p = t
+            .policies
+            .iter_mut()
+            .find(|p| p.name == "to_provider")
+            .unwrap();
         for c in p.clauses.iter_mut() {
             for m in c.modifiers.iter_mut() {
                 if let config_ir::Modifier::SetMed(v) = m {
@@ -383,7 +396,12 @@ route-map ospf_to_bgp permit 10
         let hit = f.iter().find_map(|x| match x {
             CampionFinding::PolicyBehavior {
                 direction: Direction::Export,
-                diff: BehaviorDiff::Med { route, first, second },
+                diff:
+                    BehaviorDiff::Med {
+                        route,
+                        first,
+                        second,
+                    },
                 ..
             } => Some((route.clone(), *first, *second)),
             _ => None,
@@ -418,17 +436,20 @@ route-map ospf_to_bgp permit 10
         )));
         // Behavioural level: the original exports OSPF routes the
         // translation doesn't.
-        assert!(f.iter().any(|x| matches!(
-            x,
-            CampionFinding::PolicyBehavior {
-                direction: Direction::Export,
-                diff: BehaviorDiff::Action {
-                    first_permits: true,
+        assert!(
+            f.iter().any(|x| matches!(
+                x,
+                CampionFinding::PolicyBehavior {
+                    direction: Direction::Export,
+                    diff: BehaviorDiff::Action {
+                        first_permits: true,
+                        ..
+                    },
                     ..
-                },
-                ..
-            }
-        )), "{f:#?}");
+                }
+            )),
+            "{f:#?}"
+        );
     }
 
     #[test]
@@ -437,7 +458,11 @@ route-map ospf_to_bgp permit 10
         // translation matches 1.2.3.0/24 exact instead of ge 24.
         let o = original();
         let mut t = reference_translation(&o);
-        let p = t.policies.iter_mut().find(|p| p.name == "to_provider").unwrap();
+        let p = t
+            .policies
+            .iter_mut()
+            .find(|p| p.name == "to_provider")
+            .unwrap();
         for c in p.clauses.iter_mut() {
             for cond in c.conditions.iter_mut() {
                 if let config_ir::Condition::MatchPrefix { patterns, .. } = cond {
@@ -450,14 +475,21 @@ route-map ospf_to_bgp permit 10
         let f = compare(&o, &t);
         let hit = f.iter().find_map(|x| match x {
             CampionFinding::PolicyBehavior {
-                diff: BehaviorDiff::Action { route, first_permits },
+                diff:
+                    BehaviorDiff::Action {
+                        route,
+                        first_permits,
+                    },
                 ..
             } => Some((route.clone(), *first_permits)),
             _ => None,
         });
         let (route, first_permits) = hit.expect("action diff expected");
         assert!(first_permits, "original permits more");
-        assert!(route.prefix.len() > 24, "witness is a longer prefix: {route}");
+        assert!(
+            route.prefix.len() > 24,
+            "witness is a longer prefix: {route}"
+        );
     }
 
     #[test]
@@ -466,9 +498,8 @@ route-map ospf_to_bgp permit 10
         let mut t = reference_translation(&o);
         t.bgp.as_mut().unwrap().asn = net_model::Asn(999);
         let f = compare(&o, &t);
-        assert!(f.iter().any(|x| matches!(
-            x,
-            CampionFinding::LocalAsMismatch { .. }
-        )));
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, CampionFinding::LocalAsMismatch { .. })));
     }
 }

@@ -22,7 +22,10 @@ pub struct ConfigLine {
 impl ConfigLine {
     /// The first word, lowercased — the command keyword.
     pub fn keyword(&self) -> String {
-        self.words.first().map(|w| w.to_ascii_lowercase()).unwrap_or_default()
+        self.words
+            .first()
+            .map(|w| w.to_ascii_lowercase())
+            .unwrap_or_default()
     }
 
     /// Word at index `i`, if present.

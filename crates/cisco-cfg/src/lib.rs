@@ -44,9 +44,9 @@ pub mod printer;
 pub mod warning;
 
 pub use ast::{
-    AsPathList, BgpNeighbor, BgpProcess, CiscoConfig, CiscoInterface, CommunityList,
-    MatchClause, NetworkStatement, OspfNetwork, OspfProcess, PrefixList, PrefixListEntry,
-    Redistribution, RouteMap, RouteMapStanza, SetClause,
+    AsPathList, BgpNeighbor, BgpProcess, CiscoConfig, CiscoInterface, CommunityList, MatchClause,
+    NetworkStatement, OspfNetwork, OspfProcess, PrefixList, PrefixListEntry, Redistribution,
+    RouteMap, RouteMapStanza, SetClause,
 };
 pub use parser::parse;
 pub use printer::print;

@@ -64,8 +64,12 @@ const CLI_KEYWORDS: &[&[&str]] = &[
 
 impl Parser {
     fn warn(&mut self, line: &ConfigLine, kind: WarningKind, message: impl Into<String>) {
-        self.warnings
-            .push(ParseWarning::new(line.number, line.text.clone(), message, kind));
+        self.warnings.push(ParseWarning::new(
+            line.number,
+            line.text.clone(),
+            message,
+            kind,
+        ));
     }
 
     fn line(&mut self, line: &ConfigLine) {
@@ -193,20 +197,32 @@ impl Parser {
                 (Some(a), Some(m)) => InterfaceAddress::parse(&format!("{a} {m}")),
                 (Some(a), None) => InterfaceAddress::parse(a),
                 _ => {
-                    self.warn(line, WarningKind::BadValue, "ip address requires an address and mask");
+                    self.warn(
+                        line,
+                        WarningKind::BadValue,
+                        "ip address requires an address and mask",
+                    );
                     return;
                 }
             };
             match parsed {
                 Ok(addr) => self.cfg.interfaces[idx].address = Some(addr),
-                Err(e) => self.warn(line, WarningKind::BadValue, format!("invalid ip address: {e}")),
+                Err(e) => self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    format!("invalid ip address: {e}"),
+                ),
             }
             return;
         }
         if line.starts_with(&["ip", "ospf", "cost"]) {
             match line.word(3).and_then(|w| w.parse::<u32>().ok()) {
                 Some(c) => self.cfg.interfaces[idx].ospf_cost = Some(c),
-                None => self.warn(line, WarningKind::BadValue, "ip ospf cost requires a number"),
+                None => self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "ip ospf cost requires a number",
+                ),
             }
             return;
         }
@@ -250,7 +266,11 @@ impl Parser {
                     self.mode = Mode::RouterBgp;
                 }
                 None => {
-                    self.warn(line, WarningKind::BadValue, "router bgp requires an AS number");
+                    self.warn(
+                        line,
+                        WarningKind::BadValue,
+                        "router bgp requires an AS number",
+                    );
                     self.mode = Mode::Global;
                 }
             },
@@ -262,7 +282,11 @@ impl Parser {
                     self.mode = Mode::RouterOspf;
                 }
                 None => {
-                    self.warn(line, WarningKind::BadValue, "router ospf requires a process id");
+                    self.warn(
+                        line,
+                        WarningKind::BadValue,
+                        "router ospf requires a process id",
+                    );
                     self.mode = Mode::Global;
                 }
             },
@@ -282,7 +306,11 @@ impl Parser {
         if line.starts_with(&["bgp", "router-id"]) {
             match line.word(2).and_then(|w| w.parse::<Ipv4Addr>().ok()) {
                 Some(id) => bgp.router_id = Some(id),
-                None => self.warn(line, WarningKind::BadValue, "bgp router-id requires an address"),
+                None => self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "bgp router-id requires an address",
+                ),
             }
             return;
         }
@@ -323,21 +351,29 @@ impl Parser {
                 .as_deref()
                 .and_then(Protocol::from_keyword)
             else {
-                self.warn(line, WarningKind::BadValue, "redistribute requires a protocol");
+                self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "redistribute requires a protocol",
+                );
                 return;
             };
-            let route_map = if line.word(2).map(|w| w.eq_ignore_ascii_case("route-map")) == Some(true)
-            {
-                match line.word(3) {
-                    Some(n) => Some(n.to_string()),
-                    None => {
-                        self.warn(line, WarningKind::BadValue, "redistribute route-map requires a name");
-                        return;
+            let route_map =
+                if line.word(2).map(|w| w.eq_ignore_ascii_case("route-map")) == Some(true) {
+                    match line.word(3) {
+                        Some(n) => Some(n.to_string()),
+                        None => {
+                            self.warn(
+                                line,
+                                WarningKind::BadValue,
+                                "redistribute route-map requires a name",
+                            );
+                            return;
+                        }
                     }
-                }
-            } else {
-                None
-            };
+                } else {
+                    None
+                };
             bgp.redistribute.push(Redistribution {
                 protocol: proto,
                 route_map,
@@ -353,19 +389,29 @@ impl Parser {
 
     fn bgp_neighbor_line(&mut self, line: &ConfigLine) {
         let Some(addr) = line.word(1).and_then(|w| w.parse::<Ipv4Addr>().ok()) else {
-            self.warn(line, WarningKind::BadValue, "neighbor requires an IPv4 address");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "neighbor requires an IPv4 address",
+            );
             return;
         };
         let bgp = self.cfg.bgp.as_mut().expect("in RouterBgp mode");
         match line.word(2).map(str::to_ascii_lowercase).as_deref() {
             Some("remote-as") => match line.word(3).and_then(|w| w.parse::<u32>().ok()) {
                 Some(asn) => bgp.neighbor_mut(addr).remote_as = Some(Asn(asn)),
-                None => self.warn(line, WarningKind::BadValue, "remote-as requires an AS number"),
+                None => self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "remote-as requires an AS number",
+                ),
             },
             Some("route-map") => {
                 let (name, dir) = (line.word(3), line.word(4).map(str::to_ascii_lowercase));
                 match (name, dir.as_deref()) {
-                    (Some(n), Some("in")) => bgp.neighbor_mut(addr).route_map_in = Some(n.to_string()),
+                    (Some(n), Some("in")) => {
+                        bgp.neighbor_mut(addr).route_map_in = Some(n.to_string())
+                    }
                     (Some(n), Some("out")) => {
                         bgp.neighbor_mut(addr).route_map_out = Some(n.to_string())
                     }
@@ -420,10 +466,15 @@ impl Parser {
                             return;
                         }
                         match Prefix::new(a, len) {
-                            Ok(p) => ospf.networks.push(OspfNetwork { prefix: p, area: ar }),
-                            Err(e) => {
-                                self.warn(line, WarningKind::BadValue, format!("invalid network: {e}"))
-                            }
+                            Ok(p) => ospf.networks.push(OspfNetwork {
+                                prefix: p,
+                                area: ar,
+                            }),
+                            Err(e) => self.warn(
+                                line,
+                                WarningKind::BadValue,
+                                format!("invalid network: {e}"),
+                            ),
                         }
                     }
                     _ => self.warn(
@@ -436,11 +487,19 @@ impl Parser {
             "passive-interface" => match line.word(1) {
                 Some(w) if w.eq_ignore_ascii_case("default") => ospf.passive_default = true,
                 Some(name) => ospf.passive_interfaces.push(InterfaceName::new(name)),
-                None => self.warn(line, WarningKind::BadValue, "passive-interface requires a name"),
+                None => self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "passive-interface requires a name",
+                ),
             },
             "no" if line.starts_with(&["no", "passive-interface"]) => match line.word(2) {
                 Some(name) => ospf.active_interfaces.push(InterfaceName::new(name)),
-                None => self.warn(line, WarningKind::BadValue, "no passive-interface requires a name"),
+                None => self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "no passive-interface requires a name",
+                ),
             },
             "neighbor" => self.warn(
                 line,
@@ -458,7 +517,11 @@ impl Parser {
     fn ip_prefix_list(&mut self, line: &ConfigLine) {
         // ip prefix-list NAME [seq N] permit|deny P/L [ge g] [le l]
         let Some(name) = line.word(2) else {
-            self.warn(line, WarningKind::BadValue, "ip prefix-list requires a name");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "ip prefix-list requires a name",
+            );
             return;
         };
         let name = name.to_string();
@@ -482,12 +545,17 @@ impl Parser {
         };
         i += 1;
         let Some(pfx_text) = line.word(i) else {
-            self.warn(line, WarningKind::BadValue, "prefix-list entry requires a prefix");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "prefix-list entry requires a prefix",
+            );
             return;
         };
         // The `1.2.3.0/24-32` spelling is the invalid form GPT-4 invents on
         // the Juniper side; flag it specifically if it shows up here too.
-        if pfx_text.matches('/').count() == 1 && pfx_text.split('/').nth(1).map(|t| t.contains('-')) == Some(true)
+        if pfx_text.matches('/').count() == 1
+            && pfx_text.split('/').nth(1).map(|t| t.contains('-')) == Some(true)
         {
             self.warn(
                 line,
@@ -497,7 +565,11 @@ impl Parser {
             return;
         }
         let Ok(prefix) = pfx_text.parse::<Prefix>() else {
-            self.warn(line, WarningKind::BadValue, format!("invalid prefix '{pfx_text}'"));
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                format!("invalid prefix '{pfx_text}'"),
+            );
             return;
         };
         i += 1;
@@ -548,7 +620,11 @@ impl Parser {
             self.cfg.prefix_lists.last_mut().expect("just pushed")
         };
         let seq = seq.unwrap_or_else(|| list.entries.last().map(|e| e.seq + 5).unwrap_or(5));
-        list.entries.push(PrefixListEntry { seq, permit, pattern });
+        list.entries.push(PrefixListEntry {
+            seq,
+            permit,
+            pattern,
+        });
         list.entries.sort_by_key(|e| e.seq);
     }
 
@@ -565,7 +641,11 @@ impl Parser {
             _ => {}
         }
         let Some(name) = line.word(i) else {
-            self.warn(line, WarningKind::BadValue, "ip community-list requires a name");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "ip community-list requires a name",
+            );
             return;
         };
         let name = name.to_string();
@@ -580,7 +660,11 @@ impl Parser {
         };
         i += 1;
         if line.words.len() <= i {
-            self.warn(line, WarningKind::BadValue, "community-list entry requires a community");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "community-list entry requires a community",
+            );
             return;
         }
         let mut communities = BTreeSet::new();
@@ -612,8 +696,7 @@ impl Parser {
                 }
             }
         }
-        let list = if let Some(pos) = self.cfg.community_lists.iter().position(|c| c.name == name)
-        {
+        let list = if let Some(pos) = self.cfg.community_lists.iter().position(|c| c.name == name) {
             &mut self.cfg.community_lists[pos]
         } else {
             self.cfg.community_lists.push(CommunityList {
@@ -622,17 +705,28 @@ impl Parser {
             });
             self.cfg.community_lists.last_mut().expect("just pushed")
         };
-        list.entries.push(CommunityListEntry { permit, communities });
+        list.entries.push(CommunityListEntry {
+            permit,
+            communities,
+        });
     }
 
     fn ip_as_path_list(&mut self, line: &ConfigLine) {
         // ip as-path access-list N permit|deny REGEX
         if line.word(2).map(|w| w.eq_ignore_ascii_case("access-list")) != Some(true) {
-            self.warn(line, WarningKind::BadValue, "expected 'ip as-path access-list'");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "expected 'ip as-path access-list'",
+            );
             return;
         }
         let Some(name) = line.word(3) else {
-            self.warn(line, WarningKind::BadValue, "as-path access-list requires a number");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "as-path access-list requires a number",
+            );
             return;
         };
         let name = name.to_string();
@@ -646,7 +740,11 @@ impl Parser {
         };
         let regex = line.rest(5);
         if regex.is_empty() {
-            self.warn(line, WarningKind::BadValue, "as-path access-list requires a regex");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "as-path access-list requires a regex",
+            );
             return;
         }
         let list = if let Some(pos) = self.cfg.as_path_lists.iter().position(|l| l.name == name) {
@@ -673,13 +771,21 @@ impl Parser {
             Some("permit") => true,
             Some("deny") => false,
             _ => {
-                self.warn(line, WarningKind::BadValue, "route-map requires permit or deny");
+                self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "route-map requires permit or deny",
+                );
                 self.mode = Mode::Global;
                 return;
             }
         };
         let Some(seq) = line.word(3).and_then(|w| w.parse::<u32>().ok()) else {
-            self.warn(line, WarningKind::BadValue, "route-map requires a sequence number");
+            self.warn(
+                line,
+                WarningKind::BadValue,
+                "route-map requires a sequence number",
+            );
             self.mode = Mode::Global;
             return;
         };
@@ -707,10 +813,15 @@ impl Parser {
             Match(MatchClause),
             Set(SetClause),
         }
-        let parsed: Option<Parsed> = if line.starts_with(&["match", "ip", "address", "prefix-list"]) {
-            let lists: Vec<String> = line.words[4..].iter().cloned().collect();
+        let parsed: Option<Parsed> = if line.starts_with(&["match", "ip", "address", "prefix-list"])
+        {
+            let lists: Vec<String> = line.words[4..].to_vec();
             if lists.is_empty() {
-                self.warn(line, WarningKind::BadValue, "prefix-list match requires a list name");
+                self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "prefix-list match requires a list name",
+                );
                 return;
             }
             Some(Parsed::Match(MatchClause::IpAddressPrefixList(lists)))
@@ -722,9 +833,13 @@ impl Parser {
             );
             return;
         } else if line.starts_with(&["match", "community"]) {
-            let args: Vec<String> = line.words[2..].iter().cloned().collect();
+            let args: Vec<String> = line.words[2..].to_vec();
             if args.is_empty() {
-                self.warn(line, WarningKind::BadValue, "match community requires a list reference");
+                self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "match community requires a list reference",
+                );
                 return;
             }
             // The Section 4.2 trap: a literal `high:low` here is invalid —
@@ -745,7 +860,11 @@ impl Parser {
             match line.word(2) {
                 Some(n) => Some(Parsed::Match(MatchClause::AsPath(n.to_string()))),
                 None => {
-                    self.warn(line, WarningKind::BadValue, "match as-path requires a list number");
+                    self.warn(
+                        line,
+                        WarningKind::BadValue,
+                        "match as-path requires a list number",
+                    );
                     return;
                 }
             }
@@ -758,7 +877,11 @@ impl Parser {
             {
                 Some(p) => Some(Parsed::Match(MatchClause::SourceProtocol(p))),
                 None => {
-                    self.warn(line, WarningKind::BadValue, "match source-protocol requires a protocol");
+                    self.warn(
+                        line,
+                        WarningKind::BadValue,
+                        "match source-protocol requires a protocol",
+                    );
                     return;
                 }
             }
@@ -780,10 +903,17 @@ impl Parser {
                 }
             }
             if communities.is_empty() {
-                self.warn(line, WarningKind::BadValue, "set community requires at least one community");
+                self.warn(
+                    line,
+                    WarningKind::BadValue,
+                    "set community requires at least one community",
+                );
                 return;
             }
-            Some(Parsed::Set(SetClause::Community { communities, additive }))
+            Some(Parsed::Set(SetClause::Community {
+                communities,
+                additive,
+            }))
         } else if line.starts_with(&["set", "metric"]) {
             match line.word(2).and_then(|w| w.parse::<u32>().ok()) {
                 Some(m) => Some(Parsed::Set(SetClause::Metric(m))),
@@ -796,16 +926,25 @@ impl Parser {
             match line.word(2).and_then(|w| w.parse::<u32>().ok()) {
                 Some(m) => Some(Parsed::Set(SetClause::LocalPreference(m))),
                 None => {
-                    self.warn(line, WarningKind::BadValue, "set local-preference requires a number");
+                    self.warn(
+                        line,
+                        WarningKind::BadValue,
+                        "set local-preference requires a number",
+                    );
                     return;
                 }
             }
         } else if line.starts_with(&["set", "as-path", "prepend"]) {
-            let asns: Result<Vec<Asn>, _> = line.words[3..].iter().map(|w| w.parse::<Asn>()).collect();
+            let asns: Result<Vec<Asn>, _> =
+                line.words[3..].iter().map(|w| w.parse::<Asn>()).collect();
             match asns {
                 Ok(v) if !v.is_empty() => Some(Parsed::Set(SetClause::AsPathPrepend(v))),
                 _ => {
-                    self.warn(line, WarningKind::BadValue, "set as-path prepend requires AS numbers");
+                    self.warn(
+                        line,
+                        WarningKind::BadValue,
+                        "set as-path prepend requires AS numbers",
+                    );
                     return;
                 }
             }
@@ -813,7 +952,11 @@ impl Parser {
             match line.word(3).and_then(|w| w.parse::<Ipv4Addr>().ok()) {
                 Some(a) => Some(Parsed::Set(SetClause::NextHop(a))),
                 None => {
-                    self.warn(line, WarningKind::BadValue, "set ip next-hop requires an address");
+                    self.warn(
+                        line,
+                        WarningKind::BadValue,
+                        "set ip next-hop requires an address",
+                    );
                     return;
                 }
             }
@@ -932,7 +1075,11 @@ route-map from_provider permit 10
         assert_eq!(cfg.hostname.as_deref(), Some("border1"));
         assert_eq!(cfg.interfaces.len(), 2);
         assert_eq!(
-            cfg.interface("Ethernet0/1").unwrap().address.unwrap().to_string(),
+            cfg.interface("Ethernet0/1")
+                .unwrap()
+                .address
+                .unwrap()
+                .to_string(),
             "10.0.1.1/24"
         );
         assert_eq!(cfg.interface("Ethernet0/1").unwrap().ospf_cost, Some(10));
@@ -947,7 +1094,10 @@ route-map from_provider permit 10
         assert!(n.send_community);
         assert_eq!(bgp.redistribute.len(), 1);
         assert_eq!(bgp.redistribute[0].protocol, Protocol::Ospf);
-        assert_eq!(bgp.redistribute[0].route_map.as_deref(), Some("ospf_to_bgp"));
+        assert_eq!(
+            bgp.redistribute[0].route_map.as_deref(),
+            Some("ospf_to_bgp")
+        );
         let ospf = cfg.ospf.as_ref().unwrap();
         assert_eq!(ospf.networks.len(), 1);
         assert_eq!(ospf.networks[0].prefix.to_string(), "10.0.1.0/24");

@@ -173,7 +173,10 @@ pub fn print(cfg: &CiscoConfig) -> String {
             }
             for st in &s.sets {
                 match st {
-                    SetClause::Community { communities, additive } => {
+                    SetClause::Community {
+                        communities,
+                        additive,
+                    } => {
                         let comms: Vec<String> =
                             communities.iter().map(|c| c.to_string()).collect();
                         if *additive {

@@ -262,7 +262,8 @@ mod tests {
     #[test]
     fn neighbor_lookup() {
         let mut bgp = IrBgp::new(Asn(1));
-        bgp.neighbors.push(IrNeighbor::new("9.9.9.9".parse().unwrap()));
+        bgp.neighbors
+            .push(IrNeighbor::new("9.9.9.9".parse().unwrap()));
         assert!(bgp.neighbor("9.9.9.9".parse().unwrap()).is_some());
         assert!(bgp.neighbor("9.9.9.8".parse().unwrap()).is_none());
     }

@@ -323,10 +323,7 @@ mod tests {
         p.clauses.push(IrClause {
             id: "10".into(),
             action: ClauseAction::Deny,
-            conditions: vec![
-                Condition::community_set("a"),
-                Condition::community_set("b"),
-            ],
+            conditions: vec![Condition::community_set("a"), Condition::community_set("b")],
             modifiers: vec![],
         });
         p.clauses.push(IrClause::permit_all("20"));

@@ -94,15 +94,17 @@ pub fn from_cisco(cfg: &CiscoConfig) -> (Device, Vec<String>) {
                             patterns: Vec::new(),
                         })
                     }
-                    MatchClause::Community(lists) => {
-                        clause.conditions.push(Condition::MatchCommunity(lists.clone()))
-                    }
+                    MatchClause::Community(lists) => clause
+                        .conditions
+                        .push(Condition::MatchCommunity(lists.clone())),
                     MatchClause::AsPath(list) => {
                         // Resolve the numbered list to its first permit
                         // regex; further entries would OR and are noted.
                         if let Some(al) = cfg.as_path_lists.iter().find(|l| &l.name == list) {
                             if let Some((_, regex)) = al.entries.iter().find(|(p, _)| *p) {
-                                clause.conditions.push(Condition::MatchAsPath(regex.clone()));
+                                clause
+                                    .conditions
+                                    .push(Condition::MatchAsPath(regex.clone()));
                                 if al.entries.len() > 1 {
                                     notes.push(format!(
                                         "as-path list {list}: only the first permit entry \
@@ -219,19 +221,25 @@ route-map ospf_to_bgp permit 10
         assert!(notes.is_empty(), "{notes:?}");
         assert_eq!(d.name, "border1");
         assert_eq!(d.interfaces.len(), 2);
-        let eth = d.interface_aligned(&InterfaceName::from("Ethernet0/1")).unwrap();
+        let eth = d
+            .interface_aligned(&InterfaceName::from("Ethernet0/1"))
+            .unwrap();
         let ospf = eth.ospf.unwrap();
         assert_eq!(ospf.area, 0);
         assert_eq!(ospf.cost, Some(10));
         assert!(!ospf.passive);
-        let lo = d.interface_aligned(&InterfaceName::from("Loopback0")).unwrap();
+        let lo = d
+            .interface_aligned(&InterfaceName::from("Loopback0"))
+            .unwrap();
         assert!(lo.ospf.unwrap().passive);
         let bgp = d.bgp.as_ref().unwrap();
         assert_eq!(bgp.asn, Asn(100));
         assert_eq!(bgp.networks.len(), 1);
         assert_eq!(bgp.redistributions.len(), 1);
         assert_eq!(
-            bgp.neighbor("2.3.4.5".parse().unwrap()).unwrap().export_policy,
+            bgp.neighbor("2.3.4.5".parse().unwrap())
+                .unwrap()
+                .export_policy,
             vec!["to_provider"]
         );
         let p = d.policy("to_provider").unwrap();
@@ -260,9 +268,8 @@ route-map ospf_to_bgp permit 10
 
     #[test]
     fn as_path_list_resolution() {
-        let (d, notes) = lower(
-            "ip as-path access-list 1 permit ^$\nroute-map m permit 10\n match as-path 1\n",
-        );
+        let (d, notes) =
+            lower("ip as-path access-list 1 permit ^$\nroute-map m permit 10\n match as-path 1\n");
         assert!(notes.is_empty());
         assert_eq!(
             d.policy("m").unwrap().clauses[0].conditions,

@@ -4,9 +4,9 @@ use crate::device::*;
 use crate::policy::*;
 use juniper_cfg::ast::PrefixListFilterKind;
 use juniper_cfg::{FromCondition, JuniperConfig, ThenAction};
-use net_model::{InterfaceName, PrefixPattern};
 #[cfg(test)]
 use net_model::Asn;
+use net_model::{InterfaceName, PrefixPattern};
 use std::collections::BTreeSet;
 
 /// Lowers a parsed Junos config into the IR. Returns the device plus
@@ -33,11 +33,7 @@ pub fn from_juniper(cfg: &JuniperConfig) -> (Device, Vec<String>) {
         for area in &cfg.ospf_areas {
             for oi in &area.interfaces {
                 let iname = InterfaceName::new(&oi.name);
-                if let Some(ir) = d
-                    .interfaces
-                    .iter_mut()
-                    .find(|x| x.name.aligns_with(&iname))
-                {
+                if let Some(ir) = d.interfaces.iter_mut().find(|x| x.name.aligns_with(&iname)) {
                     ir.ospf = Some(OspfIfaceSettings {
                         area: area.area_number(),
                         cost: oi.metric,
@@ -57,7 +53,10 @@ pub fn from_juniper(cfg: &JuniperConfig) -> (Device, Vec<String>) {
     for pl in &cfg.prefix_lists {
         d.prefix_sets.push(IrPrefixSet::permitting(
             pl.name.clone(),
-            pl.prefixes.iter().map(|p| PrefixPattern::exact(*p)).collect(),
+            pl.prefixes
+                .iter()
+                .map(|p| PrefixPattern::exact(*p))
+                .collect(),
         ));
     }
 
@@ -140,9 +139,7 @@ pub fn from_juniper(cfg: &JuniperConfig) -> (Device, Vec<String>) {
                     ThenAction::Reject => action = ClauseAction::Deny,
                     ThenAction::NextTerm => action = ClauseAction::FallThrough,
                     ThenAction::Metric(v) => modifiers.push(Modifier::SetMed(*v)),
-                    ThenAction::LocalPreference(v) => {
-                        modifiers.push(Modifier::SetLocalPref(*v))
-                    }
+                    ThenAction::LocalPreference(v) => modifiers.push(Modifier::SetLocalPref(*v)),
                     ThenAction::CommunityAdd(n) | ThenAction::CommunitySet(n) => {
                         let additive = matches!(a, ThenAction::CommunityAdd(_));
                         match cfg.community_def(n) {
@@ -234,8 +231,7 @@ pub fn from_juniper(cfg: &JuniperConfig) -> (Device, Vec<String>) {
         // Redistribution carrier policies (see `to_juniper`):
         // `redistribute-<proto>` with a term named `apply-<map>` or `gate`.
         for p in &d.policies {
-            let Some(proto_kw) = p.name.strip_prefix(crate::to_juniper::REDISTRIBUTE_PREFIX)
-            else {
+            let Some(proto_kw) = p.name.strip_prefix(crate::to_juniper::REDISTRIBUTE_PREFIX) else {
                 continue;
             };
             let Some(proto) = net_model::Protocol::from_keyword(proto_kw) else {
@@ -436,9 +432,6 @@ policy-options {
 }
 "#;
         let (d, _) = lower(input);
-        assert_eq!(
-            d.bgp.unwrap().networks,
-            vec!["7.0.0.0/24".parse().unwrap()]
-        );
+        assert_eq!(d.bgp.unwrap().networks, vec!["7.0.0.0/24".parse().unwrap()]);
     }
 }

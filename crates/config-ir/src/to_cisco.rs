@@ -85,10 +85,7 @@ pub fn to_cisco(d: &Device) -> (c::CiscoConfig, Vec<String>) {
     for p in &d.policies {
         let mut rm = c::RouteMap::new(p.name.clone());
         for (idx, clause) in p.clauses.iter().enumerate() {
-            let seq = clause
-                .id
-                .parse::<u32>()
-                .unwrap_or((idx as u32 + 1) * 10);
+            let seq = clause.id.parse::<u32>().unwrap_or((idx as u32 + 1) * 10);
             let permit = match clause.action {
                 ClauseAction::Permit => true,
                 ClauseAction::Deny => false,
@@ -139,9 +136,7 @@ pub fn to_cisco(d: &Device) -> (c::CiscoConfig, Vec<String>) {
                             notes.push(format!(
                                 "policy {} clause {}: IOS matches a single source \
                                  protocol; using {}",
-                                p.name,
-                                clause.id,
-                                ps[0]
+                                p.name, clause.id, ps[0]
                             ));
                         }
                         if let Some(proto) = ps.first() {

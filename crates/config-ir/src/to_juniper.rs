@@ -125,9 +125,10 @@ pub fn to_juniper(d: &Device) -> (JuniperConfig, Vec<String>) {
             let mut term = Term::named("nets");
             term.from.push(FromCondition::Protocol(Protocol::Connected));
             for p in &bgp.networks {
-                term.from.push(FromCondition::RouteFilter(
-                    net_model::PrefixPattern::exact(*p),
-                ));
+                term.from
+                    .push(FromCondition::RouteFilter(net_model::PrefixPattern::exact(
+                        *p,
+                    )));
             }
             term.then.push(ThenAction::Accept);
             pol.terms.push(term);
@@ -222,11 +223,7 @@ impl CommunityEmitter {
 
     /// Ensures a definition exists for a raw value set (used by community
     /// add/set modifiers) and returns its name.
-    fn name_for_values(
-        &mut self,
-        values: &BTreeSet<Community>,
-        cfg: &mut JuniperConfig,
-    ) -> String {
+    fn name_for_values(&mut self, values: &BTreeSet<Community>, cfg: &mut JuniperConfig) -> String {
         let fallback = values
             .iter()
             .map(|c| format!("{}-{}", c.high, c.low))
@@ -357,19 +354,17 @@ fn emit_policy(
                         ThenAction::CommunitySet(name)
                     });
                 }
-                Modifier::DeleteCommunities(set_name) => {
-                    match d.community_set(set_name) {
-                        Some(s) => {
-                            for n in emitter.names_for_set(s, cfg, notes) {
-                                term.then.push(ThenAction::CommunityDelete(n));
-                            }
+                Modifier::DeleteCommunities(set_name) => match d.community_set(set_name) {
+                    Some(s) => {
+                        for n in emitter.names_for_set(s, cfg, notes) {
+                            term.then.push(ThenAction::CommunityDelete(n));
                         }
-                        None => notes.push(format!(
-                            "policy {} clause {}: delete references undefined community set {}",
-                            p.name, c.id, set_name
-                        )),
                     }
-                }
+                    None => notes.push(format!(
+                        "policy {} clause {}: delete references undefined community set {}",
+                        p.name, c.id, set_name
+                    )),
+                },
                 Modifier::SetMed(v) => term.then.push(ThenAction::Metric(*v)),
                 Modifier::SetLocalPref(v) => term.then.push(ThenAction::LocalPreference(*v)),
                 Modifier::PrependAsPath(asns) => {
@@ -466,15 +461,20 @@ route-map ospf_to_bgp permit 10
         assert_eq!(n.import, vec!["from_provider"]);
         // OSPF metric and passive carried over.
         let area = &cfg.ospf_areas[0];
-        let ge = area.interfaces.iter().find(|i| i.name == "ge-0/0/1.0").unwrap();
+        let ge = area
+            .interfaces
+            .iter()
+            .find(|i| i.name == "ge-0/0/1.0")
+            .unwrap();
         assert_eq!(ge.metric, Some(10));
         let lo = area.interfaces.iter().find(|i| i.name == "lo0.0").unwrap();
         assert!(lo.passive);
         // ge 24 prefix list becomes a route-filter with length range.
         let to_provider = cfg.policy("to_provider").unwrap();
-        let has_range_filter = to_provider.terms[0].from.iter().any(|f| {
-            matches!(f, FromCondition::RouteFilter(p) if p.length_range() == (24, 32))
-        });
+        let has_range_filter = to_provider.terms[0]
+            .from
+            .iter()
+            .any(|f| matches!(f, FromCondition::RouteFilter(p) if p.length_range() == (24, 32)));
         assert!(has_range_filter, "{:?}", to_provider.terms[0].from);
         // Community add uses a definition, not a literal.
         assert!(to_provider.terms[0]

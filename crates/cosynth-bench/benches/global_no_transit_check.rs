@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
         let (topology, roles) = topo_model::star(n);
         let mut configs = BTreeMap::new();
         for a in Modularizer::assign(&topology, &roles) {
-            configs.insert(a.name.clone(), SynthesisDraft::new(&a.prompt, BTreeSet::new()).render());
+            configs.insert(
+                a.name.clone(),
+                SynthesisDraft::new(&a.prompt, BTreeSet::new()).render(),
+            );
         }
         let report = cosynth::compose_and_check(&topology, &roles, &configs);
         assert!(report.holds(), "{n}: {:?}", report.violations);

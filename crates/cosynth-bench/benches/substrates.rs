@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(cisco.len() as u64));
     g.bench_function("cisco", |b| b.iter(|| cisco_cfg::parse(black_box(cisco))));
     g.throughput(Throughput::Bytes(junos.len() as u64));
-    g.bench_function("juniper", |b| b.iter(|| juniper_cfg::parse(black_box(&junos))));
+    g.bench_function("juniper", |b| {
+        b.iter(|| juniper_cfg::parse(black_box(&junos)))
+    });
     g.finish();
 
     // Reference translation end to end.

@@ -26,7 +26,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let parsed = bf_lite::parse_config(black_box(&text), None);
             let findings = topo_model::verify_router(&topology, "R2", &parsed.device);
-            findings.iter().map(|f| Humanizer::topology(f).len()).sum::<usize>()
+            findings
+                .iter()
+                .map(|f| Humanizer::topology(f).len())
+                .sum::<usize>()
         })
     });
 }

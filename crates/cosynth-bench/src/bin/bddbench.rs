@@ -1,0 +1,391 @@
+//! `bddbench` — the BDD kernel microbenchmark behind the perf
+//! trajectory.
+//!
+//! Replays a deterministic route-space workload (the 40-variable
+//! prefix/length/protocol encoding `policy-symbolic` uses) against the
+//! compiled-in table engine and reports **median ns/op** for the four
+//! op classes the verifiers lean on: `and`, `or`, `ite`, `exists`.
+//!
+//! Results are merged into `BENCH_bdd.json`, keyed by engine, so running
+//! the binary twice —
+//!
+//! ```sh
+//! cargo run --release --bin bddbench
+//! cargo run --release --features naive-tables --bin bddbench
+//! ```
+//!
+//! — yields a single file with both engines and a computed `speedup`
+//! block (open-addressed over naive). The op sequence is identical for
+//! both engines; the final node count doubles as a cross-engine
+//! correctness checksum.
+
+use bdd::{Manager, Ref, Var};
+use std::time::Instant;
+
+/// Route-space layout (mirrors `policy_symbolic::space`).
+const PREFIX_BITS: u32 = 32;
+const LEN_BITS: u32 = 6;
+const PROTO_BITS: u32 = 2;
+const N_VARS: u32 = PREFIX_BITS + LEN_BITS + PROTO_BITS;
+
+/// Measurement rounds; the reported figure is the per-op median.
+const ROUNDS: usize = 9;
+/// Prefix patterns synthesized per round.
+const PATTERNS: usize = 256;
+
+/// Deterministic workload generation: the workspace's one splitmix64
+/// stream, with a local `below` convenience.
+struct Rng(llm_sim::rng::SimRng);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(llm_sim::rng::SimRng::seed_from_u64(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// One synthetic prefix-list entry: bits, length, and a ge/le range.
+struct Pattern {
+    bits: u32,
+    plen: u8,
+    lo: u8,
+    hi: u8,
+}
+
+fn patterns(rng: &mut Rng) -> Vec<Pattern> {
+    // Real prefix lists share high-order structure (allocations are
+    // hierarchical: an org's /12 spawns its /16s and /24s), so draw the
+    // top bits from a small pool of supernets and vary the low bits.
+    // This is what gives route-table BDDs their characteristic sharing.
+    let supernets: Vec<u32> = (0..16)
+        .map(|_| (rng.next_u64() as u32) & 0xfff0_0000)
+        .collect();
+    (0..PATTERNS)
+        .map(|_| {
+            let plen = 12 + rng.below(13) as u8; // /12 ..= /24
+            let base = supernets[rng.below(16) as usize];
+            let low = (rng.next_u64() as u32) & 0x000f_ffff;
+            let bits = (base | low) & (u32::MAX << (32 - plen));
+            let lo = plen + rng.below(3) as u8;
+            let hi = (lo + rng.below(6) as u8).min(32);
+            Pattern { bits, plen, lo, hi }
+        })
+        .collect()
+}
+
+struct RoundResult {
+    and_ns: f64,
+    or_ns: f64,
+    ite_ns: f64,
+    exists_ns: f64,
+    /// Wall time for the whole round's op sequence (all four phases).
+    workload_ns: f64,
+    nodes: usize,
+    stats: bdd::ManagerStats,
+}
+
+/// Runs the full op sequence once and times each op class.
+fn run_round(seed: u64) -> RoundResult {
+    let mut rng = Rng::new(seed);
+    let pats = patterns(&mut rng);
+    let round_start = Instant::now();
+    let mut m = Manager::with_capacity(1 << 16);
+    m.new_vars(N_VARS);
+
+    // Untimed prep: one cube per prefix length value (what `len_eq`
+    // builds), so the or/ite phases measure pure or/ite traffic.
+    let mut len_eq: Vec<Ref> = Vec::new();
+    for l in 0u8..=32 {
+        let mut cube = m.top();
+        for i in 0..LEN_BITS {
+            let bit = (l >> (LEN_BITS - 1 - i)) & 1 == 1;
+            let lit = m.literal(PREFIX_BITS + i, bit);
+            cube = m.and(cube, lit);
+        }
+        len_eq.push(cube);
+    }
+
+    // Every phase replays its op set `PASSES` times: the VPP verifies
+    // each candidate config the model emits, and the paper's sessions
+    // run on the order of ten rectification rounds, so the same
+    // predicates are rebuilt against a warm manager over and over.
+    // Pass 1 exercises node construction (unique-table inserts); later
+    // passes exercise the memo path — both matter, and both are timed.
+    const PASSES: usize = 12;
+
+    // Phase 1 — and: prefix-bit cubes (the `bits_eq` constraint).
+    let mut and_ops = 0u64;
+    let mut conj: Vec<Ref> = Vec::with_capacity(pats.len());
+    let t = Instant::now();
+    for pass in 0..PASSES {
+        for p in &pats {
+            let mut acc = m.top();
+            for i in 0..p.plen as u32 {
+                let bit = (p.bits >> (31 - i)) & 1 == 1;
+                let lit = m.literal(i as Var, bit);
+                acc = m.and(acc, lit);
+                and_ops += 1;
+            }
+            if pass == 0 {
+                conj.push(acc);
+            }
+        }
+    }
+    let and_ns = t.elapsed().as_nanos() as f64 / and_ops as f64;
+
+    // Phase 2 — or: length-range disjunctions plus a rolling union.
+    let mut or_ops = 0u64;
+    let mut ranged: Vec<Ref> = Vec::with_capacity(pats.len());
+    let mut union = m.bot();
+    let t = Instant::now();
+    for pass in 0..PASSES {
+        union = m.bot();
+        for (i, p) in pats.iter().enumerate() {
+            let mut len = m.bot();
+            for l in p.lo..=p.hi {
+                len = m.or(len, len_eq[l as usize]);
+                or_ops += 1;
+            }
+            // `pattern` = bits ∧ len — attribute the single and to the
+            // or phase noise floor; it is 1 op against ~6.
+            let pat = m.and(conj[i], len);
+            if pass == 0 {
+                ranged.push(pat);
+            }
+            union = m.or(union, pat);
+            or_ops += 1;
+        }
+    }
+    let or_ns = t.elapsed().as_nanos() as f64 / or_ops as f64;
+
+    // Phase 3 — ite: first-match prefix-set folds (16 sets of 16).
+    // Permit entries substitute the whole eligible-announcement space
+    // (the behavior-composition shape Campion builds when a matched
+    // route flows on into the export chain) rather than constant true,
+    // so every ite is a full three-way Shannon expansion.
+    let mut ite_ops = 0u64;
+    let mut sets: Vec<Ref> = Vec::new();
+    let t = Instant::now();
+    for pass in 0..PASSES {
+        for chunk in ranged.chunks(16) {
+            let mut acc = m.bot();
+            for (j, &pat) in chunk.iter().enumerate().rev() {
+                let on_match = if j % 3 == 0 { m.bot() } else { union };
+                acc = m.ite(pat, on_match, acc);
+                ite_ops += 1;
+            }
+            if pass == 0 {
+                sets.push(acc);
+            }
+        }
+    }
+    let ite_ns = t.elapsed().as_nanos() as f64 / ite_ops as f64;
+
+    // Phase 4 — exists: quantify length and protocol out of each set
+    // (what the no-transit checks do before comparing prefix spaces).
+    let qvars: Vec<Var> = (PREFIX_BITS..N_VARS).collect();
+    let mut exists_ops = 0u64;
+    let t = Instant::now();
+    for _pass in 0..PASSES {
+        for &s in &sets {
+            let with_union = m.and(s, union);
+            for &v in &qvars {
+                let _ = m.exists(with_union, v);
+                exists_ops += 1;
+            }
+        }
+    }
+    let exists_ns = t.elapsed().as_nanos() as f64 / exists_ops as f64;
+
+    RoundResult {
+        and_ns,
+        or_ns,
+        ite_ns,
+        exists_ns,
+        workload_ns: round_start.elapsed().as_nanos() as f64,
+        nodes: m.node_count(),
+        stats: m.stats(),
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let engine = Manager::engine();
+    println!("bddbench: engine={engine}, {ROUNDS} rounds × {PATTERNS} patterns over {N_VARS} vars");
+
+    // Warmup round (untimed) to fault in code paths and allocator.
+    let _ = run_round(0xdead);
+
+    let mut and = Vec::new();
+    let mut or = Vec::new();
+    let mut ite = Vec::new();
+    let mut exists = Vec::new();
+    let mut workload = Vec::new();
+    let mut nodes = 0usize;
+    let wall = Instant::now();
+    let mut last_stats = None;
+    for r in 0..ROUNDS {
+        let res = run_round(0x5eed_0000 + r as u64);
+        and.push(res.and_ns);
+        or.push(res.or_ns);
+        ite.push(res.ite_ns);
+        exists.push(res.exists_ns);
+        workload.push(res.workload_ns);
+        nodes = res.nodes;
+        last_stats = Some(res.stats);
+    }
+    let total_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let last_stats = last_stats.expect("at least one round");
+
+    let result = EngineResult {
+        and_ns: median(&mut and),
+        or_ns: median(&mut or),
+        ite_ns: median(&mut ite),
+        exists_ns: median(&mut exists),
+        workload_ns: median(&mut workload),
+        nodes,
+        total_ms,
+    };
+    println!(
+        "  median ns/op: and={:.1} or={:.1} ite={:.1} exists={:.1}  (nodes/round={}, total {:.0} ms)",
+        result.and_ns, result.or_ns, result.ite_ns, result.exists_ns, result.nodes, result.total_ms
+    );
+    let s = &last_stats;
+    println!(
+        "  caches: apply {:.0}% hit ({} ev), ite {:.0}% ({} ev), restrict {:.0}% ({} ev), not {:.0}% ({} ev); {} KiB",
+        s.apply.hit_rate() * 100.0,
+        s.apply.evictions,
+        s.ite.hit_rate() * 100.0,
+        s.ite.evictions,
+        s.restrict.hit_rate() * 100.0,
+        s.restrict.evictions,
+        s.not.hit_rate() * 100.0,
+        s.not.evictions,
+        s.bytes / 1024
+    );
+
+    let path = "BENCH_bdd.json";
+    let mut engines: Vec<(String, EngineResult)> = match std::fs::read_to_string(path) {
+        Ok(prev) => read_engines(&prev),
+        Err(_) => Vec::new(),
+    };
+    engines.retain(|(name, _)| name != engine);
+    engines.push((engine.to_string(), result));
+    engines.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let json = render(&engines);
+    std::fs::write(path, &json).expect("write BENCH_bdd.json");
+    println!("wrote {path}");
+    if let Some(s) = speedup(&engines) {
+        println!(
+            "  speedup (open-addressed over naive-hashmap): and={:.1}× or={:.1}× ite={:.1}× exists={:.1}× workload median={:.1}×",
+            s.0, s.1, s.2, s.3, s.4
+        );
+    }
+}
+
+#[derive(Clone, Copy)]
+struct EngineResult {
+    and_ns: f64,
+    or_ns: f64,
+    ite_ns: f64,
+    exists_ns: f64,
+    /// Median across rounds of the whole round's wall time.
+    workload_ns: f64,
+    nodes: usize,
+    total_ms: f64,
+}
+
+/// Reads previously recorded engine blocks back out of the JSON file.
+fn read_engines(text: &str) -> Vec<(String, EngineResult)> {
+    use topo_model::json::{parse, Json};
+    let Ok(doc) = parse(text) else {
+        return Vec::new();
+    };
+    let Some(Json::Obj(engines)) = doc.get("engines").cloned() else {
+        return Vec::new();
+    };
+    let num = |v: &Json, k: &str| -> Option<f64> {
+        match v.get(k) {
+            Some(Json::Num(n)) => Some(*n),
+            _ => None,
+        }
+    };
+    engines
+        .into_iter()
+        .filter_map(|(name, v)| {
+            Some((
+                name,
+                EngineResult {
+                    and_ns: num(&v, "and_ns")?,
+                    or_ns: num(&v, "or_ns")?,
+                    ite_ns: num(&v, "ite_ns")?,
+                    exists_ns: num(&v, "exists_ns")?,
+                    workload_ns: num(&v, "workload_ns")?,
+                    nodes: num(&v, "nodes")? as usize,
+                    total_ms: num(&v, "total_ms")?,
+                },
+            ))
+        })
+        .collect()
+}
+
+/// Per-class speedups plus the headline figure: the ratio of the two
+/// engines' *median per-round workload times* (the whole op sequence —
+/// what "throughput on the route-space workload" means).
+fn speedup(engines: &[(String, EngineResult)]) -> Option<(f64, f64, f64, f64, f64)> {
+    let fast = engines.iter().find(|(n, _)| n == "open-addressed")?.1;
+    let naive = engines.iter().find(|(n, _)| n == "naive-hashmap")?.1;
+    Some((
+        naive.and_ns / fast.and_ns,
+        naive.or_ns / fast.or_ns,
+        naive.ite_ns / fast.ite_ns,
+        naive.exists_ns / fast.exists_ns,
+        naive.workload_ns / fast.workload_ns,
+    ))
+}
+
+fn render(engines: &[(String, EngineResult)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bdd_route_space\",\n");
+    out.push_str(&format!("  \"vars\": {N_VARS},\n"));
+    out.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
+    out.push_str(&format!("  \"patterns_per_round\": {PATTERNS},\n"));
+    out.push_str("  \"engines\": {\n");
+    for (i, (name, r)) in engines.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {{ \"and_ns\": {:.2}, \"or_ns\": {:.2}, \"ite_ns\": {:.2}, \"exists_ns\": {:.2}, \"workload_ns\": {:.0}, \"nodes\": {}, \"total_ms\": {:.1} }}{}\n",
+            r.and_ns,
+            r.or_ns,
+            r.ite_ns,
+            r.exists_ns,
+            r.workload_ns,
+            r.nodes,
+            r.total_ms,
+            if i + 1 < engines.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }");
+    if let Some(s) = speedup(engines) {
+        out.push_str(&format!(
+            ",\n  \"speedup\": {{ \"and\": {:.2}, \"or\": {:.2}, \"ite\": {:.2}, \"exists\": {:.2}, \"median\": {:.2} }}\n",
+            s.0, s.1, s.2, s.3, s.4
+        ));
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}

@@ -2,7 +2,9 @@
 //! Criterion bench: one function per experiment of the paper's
 //! evaluation, so the benches and the report binary cannot drift apart.
 
-use cosynth::{SpecStyle, SynthesisOutcome, SynthesisSession, TranslationOutcome, TranslationSession};
+use cosynth::{
+    SpecStyle, SynthesisOutcome, SynthesisSession, TranslationOutcome, TranslationSession,
+};
 use llm_sim::{ErrorModel, SimulatedGpt4};
 
 /// The bundled border-router config: the translation use case's input,

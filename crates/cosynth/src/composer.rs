@@ -205,10 +205,11 @@ mod tests {
         let draft = SynthesisDraft::new(&stripped_prompt, BTreeSet::new());
         configs.insert(hub.name.clone(), draft.render());
         let report = compose_and_check(&t, &roles, &configs);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, GlobalViolation::TransitLeak { .. })),
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, GlobalViolation::TransitLeak { .. })),
             "{:#?}",
             report.violations
         );

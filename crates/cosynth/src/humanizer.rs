@@ -8,9 +8,9 @@
 //! formula, italic fields are filled from the finding.
 
 use campion_lite::{CampionFinding, Direction};
-use net_model::{ParseWarning, RouteAdvertisement};
 #[cfg(test)]
 use net_model::WarningKind;
+use net_model::{ParseWarning, RouteAdvertisement};
 use policy_symbolic::BehaviorDiff;
 use topo_model::TopologyFinding;
 
@@ -85,7 +85,10 @@ impl Humanizer {
                     )
                 }
             }
-            CampionFinding::MissingNetwork { prefix, in_original } => {
+            CampionFinding::MissingNetwork {
+                prefix,
+                in_original,
+            } => {
                 if *in_original {
                     format!(
                         "In the original configuration, the network {prefix} is announced \
@@ -178,7 +181,13 @@ impl Humanizer {
                 original_policy,
                 translated_policy,
                 diff,
-            } => Self::behavior(neighbor, *direction, original_policy, translated_policy, diff),
+            } => Self::behavior(
+                neighbor,
+                *direction,
+                original_policy,
+                translated_policy,
+                diff,
+            ),
         }
     }
 
@@ -299,7 +308,11 @@ impl Humanizer {
     }
 
     /// Table 3's semantic-error row: a local-policy counterexample.
-    pub fn semantic(map: &str, check: &bf_lite::LocalPolicyCheck, witness: &RouteAdvertisement) -> String {
+    pub fn semantic(
+        map: &str,
+        check: &bf_lite::LocalPolicyCheck,
+        witness: &RouteAdvertisement,
+    ) -> String {
         match check {
             bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied { community, .. } => format!(
                 "The route-map {map} permits routes that have the community {community}. \
@@ -512,7 +525,9 @@ mod tests {
             PC::HumanSeparateStanzas
         );
         assert_eq!(
-            classify(&Humanizer::human_escalation(HumanFixKind::NeighborPlacement)),
+            classify(&Humanizer::human_escalation(
+                HumanFixKind::NeighborPlacement
+            )),
             PC::HumanNeighborPlacement
         );
     }

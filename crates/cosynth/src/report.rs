@@ -34,8 +34,14 @@ pub fn table1(outcome: &TranslationOutcome) -> String {
 
 /// Renders Table 2 (translation errors and fixability) from a session.
 pub fn table2(rows: &[ErrorRow]) -> String {
-    let mut out = String::from("Table 2: Translation errors and whether generated prompts fixed them\n");
-    let w = rows.iter().map(|r| r.error.len()).max().unwrap_or(20).max(20);
+    let mut out =
+        String::from("Table 2: Translation errors and whether generated prompts fixed them\n");
+    let w = rows
+        .iter()
+        .map(|r| r.error.len())
+        .max()
+        .unwrap_or(20)
+        .max(20);
     out.push_str(&format!("{:<w$}  {:<18}  Fixed\n", "Error", "Type", w = w));
     for r in rows {
         out.push_str(&format!(

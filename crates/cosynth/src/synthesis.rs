@@ -144,11 +144,8 @@ impl SynthesisSession {
                     let _ = bump(&mut attempts, &key);
                     // Topology prompts always go through the automated
                     // channel (the verifier's output is directly usable).
-                    current = t.send_expecting_config(
-                        PromptKind::Auto,
-                        Humanizer::topology(f),
-                        &current,
-                    );
+                    current =
+                        t.send_expecting_config(PromptKind::Auto, Humanizer::topology(f), &current);
                     continue;
                 }
                 // Phase 3: local policy semantics (hub only).
@@ -278,8 +275,7 @@ fn bump(attempts: &mut BTreeMap<String, usize>, key: &str) -> usize {
 /// config bodies (fenced or raw).
 fn parse_multi_configs(response: &str) -> BTreeMap<String, String> {
     let mut out = BTreeMap::new();
-    let body = llm_sim::model::last_fenced_block(response)
-        .unwrap_or_else(|| response.to_string());
+    let body = llm_sim::model::last_fenced_block(response).unwrap_or_else(|| response.to_string());
     let mut current_name: Option<String> = None;
     let mut current_text = String::new();
     for line in body.lines() {

@@ -50,17 +50,10 @@ pub struct TranslationOutcome {
 }
 
 /// The translation session driver.
+#[derive(Default)]
 pub struct TranslationSession {
     /// Loop bounds.
     pub limits: SessionLimits,
-}
-
-impl Default for TranslationSession {
-    fn default() -> Self {
-        TranslationSession {
-            limits: SessionLimits::default(),
-        }
-    }
 }
 
 impl TranslationSession {
@@ -233,7 +226,10 @@ fn finding_key(f: &CampionFinding) -> String {
         CampionFinding::MissingInterface { name, in_original } => {
             format!("iface:{}:{in_original}", name.canonical_key())
         }
-        CampionFinding::MissingNetwork { prefix, in_original } => {
+        CampionFinding::MissingNetwork {
+            prefix,
+            in_original,
+        } => {
             format!("network:{prefix}:{in_original}")
         }
         CampionFinding::MissingRedistribution { protocol, .. } => {
@@ -284,17 +280,13 @@ fn finding_summary(f: &CampionFinding) -> String {
         CampionFinding::MissingNeighbor { .. } => "Missing/extra BGP neighbor".into(),
         CampionFinding::MissingInterface { .. } => "Missing/extra interface".into(),
         CampionFinding::MissingNetwork { .. } => "Missing/extra BGP network".into(),
-        CampionFinding::MissingRedistribution { .. } => {
-            "Different redistribution into BGP".into()
-        }
+        CampionFinding::MissingRedistribution { .. } => "Different redistribution into BGP".into(),
         CampionFinding::LocalAsMismatch { .. } => "Missing BGP local-as attribute".into(),
         CampionFinding::RouterIdMismatch { .. } => "Different router id".into(),
         CampionFinding::RemoteAsMismatch { .. } => "Different remote AS".into(),
         CampionFinding::InterfaceAddressDiff { .. } => "Different interface address".into(),
         CampionFinding::OspfCostDiff { .. } => "Different OSPF link cost".into(),
-        CampionFinding::OspfPassiveDiff { .. } => {
-            "Different OSPF passive interface setting".into()
-        }
+        CampionFinding::OspfPassiveDiff { .. } => "Different OSPF passive interface setting".into(),
         CampionFinding::PolicyBehavior { diff, .. } => match diff {
             BehaviorDiff::Med { .. } => "Setting wrong BGP MED value".into(),
             BehaviorDiff::Action { route, .. } if route.protocol != Protocol::Bgp => {
@@ -402,8 +394,7 @@ route-map ospf_to_bgp permit 10
 
     #[test]
     fn redistribution_fault_needs_one_human_prompt() {
-        let mut llm =
-            SimulatedGpt4::new(ErrorModel::only(FaultKind::RedistributionDropped), 42);
+        let mut llm = SimulatedGpt4::new(ErrorModel::only(FaultKind::RedistributionDropped), 42);
         let outcome = TranslationSession::default().run(&mut llm, BORDER_CFG);
         assert!(outcome.verified, "{:#?}", outcome.log.last());
         assert_eq!(outcome.leverage.human, 1);
@@ -441,13 +432,22 @@ route-map ospf_to_bgp permit 10
     fn full_paper_model_reaches_verification() {
         let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 7);
         let outcome = TranslationSession::default().run(&mut llm, BORDER_CFG);
-        assert!(outcome.verified, "rounds={} log tail={:#?}", outcome.rounds, outcome.log.last());
+        assert!(
+            outcome.verified,
+            "rounds={} log tail={:#?}",
+            outcome.rounds,
+            outcome.log.last()
+        );
         // Exactly the two hard cases need humans.
         assert_eq!(outcome.leverage.human, 2, "{:#?}", outcome.error_rows);
         assert!(outcome.leverage.auto >= 6, "{}", outcome.leverage);
         // Table 2's shape: ≥6 distinct error rows, exactly 2 not fixed by
         // generated prompts.
-        let not_auto = outcome.error_rows.iter().filter(|r| !r.fixed_by_auto).count();
+        let not_auto = outcome
+            .error_rows
+            .iter()
+            .filter(|r| !r.fixed_by_auto)
+            .count();
         assert_eq!(not_auto, 2, "{:#?}", outcome.error_rows);
         assert!(outcome.error_rows.len() >= 6);
     }

@@ -1,0 +1,337 @@
+//! A dependency-free, drop-in shim for the subset of the Criterion
+//! benchmarking API this workspace uses.
+//!
+//! The container this repository builds in has no network access to
+//! crates.io, so the real `criterion` crate cannot be vendored. The
+//! benches under `crates/cosynth-bench/benches/` only exercise a small
+//! slice of its surface (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with throughput and
+//! per-input ids); this crate implements exactly that slice with plain
+//! `std::time::Instant` timing and median-of-samples reporting.
+//!
+//! Semantics match Criterion closely enough for trend tracking:
+//!
+//! * every benchmark is warmed up, then measured over `sample_size`
+//!   samples (default 20), each sample batching enough iterations to
+//!   run for at least ~2ms;
+//! * the reported figure is the **median** per-iteration time, along
+//!   with min/max across samples;
+//! * when invoked by `cargo bench` the harness receives `--bench`; any
+//!   other non-flag CLI argument is treated as a name filter, exactly
+//!   like Criterion's substring filtering.
+
+use std::time::{Duration, Instant};
+
+/// Re-export: benches import `std::hint::black_box` directly, but some
+/// Criterion users spell it `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered as `name/param`.
+    pub fn new<P: std::fmt::Display>(function_id: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (used inside groups).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size,
+        }
+    }
+
+    /// Times the routine: calibrates a batch size, then records
+    /// `sample_size` samples of wall-clock time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: grow the batch until one batch takes >= 2ms, so
+        // Instant overhead is negligible even for nanosecond routines.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = iters.saturating_mul(4).max(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median per-iteration time, or `None` if `iter` was never called.
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+        Some(ns[ns.len() / 2])
+    }
+
+    fn min_max_ns(&self) -> (f64, f64) {
+        let per = |d: &Duration| d.as_nanos() as f64 / self.iters_per_sample as f64;
+        let min = self.samples.iter().map(per).fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().map(per).fold(0.0f64, f64::max);
+        (min, max)
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror Criterion: `cargo bench` passes `--bench`; a bare
+        // positional argument filters benchmarks by substring.
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            if !a.starts_with('-') {
+                filter = Some(a);
+            }
+        }
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Criterion's builder entry point; configuration is taken from the
+    /// command line in [`Criterion::default`], so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if !self.selected(id) {
+            return;
+        }
+        let mut b = Bencher::new(sample_size);
+        f(&mut b);
+        let Some(median) = b.median_ns() else {
+            println!("{id:<48} (no measurement)");
+            return;
+        };
+        let (min, max) = b.min_max_ns();
+        let mut line = format!(
+            "{id:<48} time: [{} {} {}]",
+            human_time(min),
+            human_time(median),
+            human_time(max)
+        );
+        if let Some(Throughput::Bytes(bytes)) = throughput {
+            let gib = bytes as f64 / median * 1_000_000_000.0 / (1u64 << 30) as f64;
+            line.push_str(&format!(" thrpt: {gib:.3} GiB/s"));
+        }
+        if let Some(Throughput::Elements(n)) = throughput {
+            let meps = n as f64 / median * 1_000.0;
+            line.push_str(&format!(" thrpt: {meps:.3} Melem/s"));
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let n = self.default_sample_size;
+        self.run_one(id, n, None, f);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Prints the final summary line (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a function under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let t = self.throughput;
+        self.criterion.run_one(&full, n, t, f);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let t = self.throughput;
+        self.criterion.run_one(&full, n, t, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| std::hint::black_box(21u64 * 2));
+        let m = b.median_ns().unwrap();
+        assert!(m > 0.0 && m < 1_000_000.0, "{m}");
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("gen", 5).to_string(), "gen/5");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn group_runs_and_respects_filter() {
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+            default_sample_size: 2,
+        };
+        let mut ran = false;
+        c.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(!ran, "filtered out");
+    }
+}

@@ -88,7 +88,10 @@ impl JuniperInterface {
 
     /// The `family inet` address of unit 0, the common case.
     pub fn unit0_address(&self) -> Option<InterfaceAddress> {
-        self.units.iter().find(|u| u.number == 0).and_then(|u| u.address)
+        self.units
+            .iter()
+            .find(|u| u.number == 0)
+            .and_then(|u| u.address)
     }
 }
 
@@ -349,8 +352,10 @@ mod tests {
 
     #[test]
     fn effective_local_as_prefers_group() {
-        let mut cfg = JuniperConfig::default();
-        cfg.autonomous_system = Some(Asn(100));
+        let mut cfg = JuniperConfig {
+            autonomous_system: Some(Asn(100)),
+            ..Default::default()
+        };
         let mut g = BgpGroup::new("peers");
         assert_eq!(cfg.effective_local_as(&g), Some(Asn(100)));
         g.local_as = Some(Asn(65000));

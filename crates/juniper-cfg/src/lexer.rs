@@ -63,8 +63,7 @@ impl Stmt {
     /// Finds the first child whose words start with the given prefix.
     pub fn child(&self, prefix: &[&str]) -> Option<&Stmt> {
         self.kids().iter().find(|s| {
-            prefix.len() <= s.words.len()
-                && prefix.iter().zip(&s.words).all(|(p, w)| p == w)
+            prefix.len() <= s.words.len() && prefix.iter().zip(&s.words).all(|(p, w)| p == w)
         })
     }
 }
@@ -89,11 +88,7 @@ pub fn tokenize(input: &str) -> Vec<(Token, usize)> {
                     None => break,
                 }
             } else {
-                let line_comment = line
-                    .find('#')
-                    .into_iter()
-                    .chain(line.find("//"))
-                    .min();
+                let line_comment = line.find('#').into_iter().chain(line.find("//")).min();
                 let block_start = line.find("/*");
                 match (line_comment, block_start) {
                     (Some(lc), Some(bs)) if lc < bs => {

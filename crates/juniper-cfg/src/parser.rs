@@ -75,7 +75,9 @@ impl Extractor<'_> {
                     if k.keyword() == "host-name" {
                         match k.word(1) {
                             Some(n) => self.cfg.hostname = Some(n.to_string()),
-                            None => self.warn(k, WarningKind::BadValue, "host-name requires a name"),
+                            None => {
+                                self.warn(k, WarningKind::BadValue, "host-name requires a name")
+                            }
                         }
                     }
                     // Other system config is irrelevant to routing; ignore silently.
@@ -91,7 +93,11 @@ impl Extractor<'_> {
                     match k.keyword() {
                         "router-id" => match k.word(1).and_then(|w| w.parse::<Ipv4Addr>().ok()) {
                             Some(a) => self.cfg.router_id = Some(a),
-                            None => self.warn(&k, WarningKind::BadValue, "router-id requires an address"),
+                            None => self.warn(
+                                &k,
+                                WarningKind::BadValue,
+                                "router-id requires an address",
+                            ),
                         },
                         "autonomous-system" => {
                             match k.word(1).and_then(|w| w.parse::<u32>().ok()) {
@@ -189,7 +195,11 @@ impl Extractor<'_> {
                     "type" => match k.word(1) {
                         Some("external") => group.external = true,
                         Some("internal") => group.external = false,
-                        _ => self.warn(k, WarningKind::BadValue, "type must be external or internal"),
+                        _ => self.warn(
+                            k,
+                            WarningKind::BadValue,
+                            "type must be external or internal",
+                        ),
                     },
                     "local-as" => match k.word(1).and_then(|w| w.parse::<u32>().ok()) {
                         Some(n) => group.local_as = Some(Asn(n)),
@@ -205,16 +215,14 @@ impl Extractor<'_> {
                         let mut n = JuniperBgpNeighbor::new(addr);
                         for nk in k.kids() {
                             match nk.keyword() {
-                                "peer-as" => {
-                                    match nk.word(1).and_then(|w| w.parse::<u32>().ok()) {
-                                        Some(a) => n.peer_as = Some(Asn(a)),
-                                        None => self.warn(
-                                            nk,
-                                            WarningKind::BadValue,
-                                            "peer-as requires a number",
-                                        ),
-                                    }
-                                }
+                                "peer-as" => match nk.word(1).and_then(|w| w.parse::<u32>().ok()) {
+                                    Some(a) => n.peer_as = Some(Asn(a)),
+                                    None => self.warn(
+                                        nk,
+                                        WarningKind::BadValue,
+                                        "peer-as requires a number",
+                                    ),
+                                },
                                 "import" => n.import.extend(policy_chain(nk)),
                                 "export" => n.export.extend(policy_chain(nk)),
                                 "description" => {
@@ -334,10 +342,10 @@ impl Extractor<'_> {
                             "from" => {
                                 if k.is_leaf() {
                                     // inline: `from protocol bgp;`
-                                    self.from_condition_words(&k.words[1..], k, &mut term);
+                                    self.parse_condition_words(&k.words[1..], k, &mut term);
                                 } else {
                                     for c in k.kids() {
-                                        self.from_condition_words(&c.words, c, &mut term);
+                                        self.parse_condition_words(&c.words, c, &mut term);
                                     }
                                 }
                             }
@@ -369,16 +377,26 @@ impl Extractor<'_> {
                     if t.is_leaf() {
                         let words = t.words[1..].to_vec();
                         if kw == "from" {
-                            self.from_condition_words_owned(&words, t.line, &t.text(), term);
+                            self.parse_condition_words_at(&words, t.line, &t.text(), term);
                         } else {
                             self.then_action_words_owned(&words, t.line, &t.text(), term);
                         }
                     } else {
                         for c in t.kids() {
                             if kw == "from" {
-                                self.from_condition_words_owned(&c.words.clone(), c.line, &c.text(), term);
+                                self.parse_condition_words_at(
+                                    &c.words.clone(),
+                                    c.line,
+                                    &c.text(),
+                                    term,
+                                );
                             } else {
-                                self.then_action_words_owned(&c.words.clone(), c.line, &c.text(), term);
+                                self.then_action_words_owned(
+                                    &c.words.clone(),
+                                    c.line,
+                                    &c.text(),
+                                    term,
+                                );
                             }
                         }
                     }
@@ -389,11 +407,11 @@ impl Extractor<'_> {
         self.cfg.policies.push(policy);
     }
 
-    fn from_condition_words(&mut self, words: &[String], ctx: &Stmt, term: &mut Term) {
-        self.from_condition_words_owned(&words.to_vec(), ctx.line, &ctx.text(), term)
+    fn parse_condition_words(&mut self, words: &[String], ctx: &Stmt, term: &mut Term) {
+        self.parse_condition_words_at(words, ctx.line, &ctx.text(), term)
     }
 
-    fn from_condition_words_owned(
+    fn parse_condition_words_at(
         &mut self,
         words: &[String],
         line: usize,
@@ -407,7 +425,11 @@ impl Extractor<'_> {
         match first {
             "prefix-list" => match words.get(1) {
                 Some(n) => term.from.push(FromCondition::PrefixList(n.clone())),
-                None => warn(self, WarningKind::BadValue, "prefix-list requires a name".into()),
+                None => warn(
+                    self,
+                    WarningKind::BadValue,
+                    "prefix-list requires a name".into(),
+                ),
             },
             "prefix-list-filter" => {
                 let name = words.get(1).cloned();
@@ -428,7 +450,11 @@ impl Extractor<'_> {
             }
             "route-filter" => {
                 let Some(pfx_text) = words.get(1) else {
-                    warn(self, WarningKind::BadValue, "route-filter requires a prefix".into());
+                    warn(
+                        self,
+                        WarningKind::BadValue,
+                        "route-filter requires a prefix".into(),
+                    );
                     return;
                 };
                 if pfx_text.split('/').nth(1).map(|t| t.contains('-')) == Some(true) {
@@ -443,7 +469,11 @@ impl Extractor<'_> {
                     return;
                 }
                 let Ok(prefix) = pfx_text.parse::<Prefix>() else {
-                    warn(self, WarningKind::BadValue, format!("invalid prefix '{pfx_text}'"));
+                    warn(
+                        self,
+                        WarningKind::BadValue,
+                        format!("invalid prefix '{pfx_text}'"),
+                    );
                     return;
                 };
                 let pattern = match words.get(2).map(String::as_str) {
@@ -504,17 +534,29 @@ impl Extractor<'_> {
             }
             "community" => match words.get(1) {
                 Some(n) => term.from.push(FromCondition::Community(n.clone())),
-                None => warn(self, WarningKind::BadValue, "community requires a name".into()),
+                None => warn(
+                    self,
+                    WarningKind::BadValue,
+                    "community requires a name".into(),
+                ),
             },
             "protocol" => {
-                match words.get(1).map(String::as_str).and_then(Protocol::from_keyword) {
+                match words
+                    .get(1)
+                    .map(String::as_str)
+                    .and_then(Protocol::from_keyword)
+                {
                     Some(p) => term.from.push(FromCondition::Protocol(p)),
                     None => warn(self, WarningKind::BadValue, "unknown protocol".into()),
                 }
             }
             "neighbor" => match words.get(1).and_then(|w| w.parse::<Ipv4Addr>().ok()) {
                 Some(a) => term.from.push(FromCondition::Neighbor(a)),
-                None => warn(self, WarningKind::BadValue, "neighbor requires an address".into()),
+                None => warn(
+                    self,
+                    WarningKind::BadValue,
+                    "neighbor requires an address".into(),
+                ),
             },
             other => warn(
                 self,
@@ -525,7 +567,7 @@ impl Extractor<'_> {
     }
 
     fn then_action_words(&mut self, words: &[String], ctx: &Stmt, term: &mut Term) {
-        self.then_action_words_owned(&words.to_vec(), ctx.line, &ctx.text(), term)
+        self.then_action_words_owned(words, ctx.line, &ctx.text(), term)
     }
 
     fn then_action_words_owned(
@@ -551,7 +593,11 @@ impl Extractor<'_> {
             }
             "metric" => match words.get(1).and_then(|w| w.parse::<u32>().ok()) {
                 Some(m) => term.then.push(ThenAction::Metric(m)),
-                None => warn(self, WarningKind::BadValue, "metric requires a number".into()),
+                None => warn(
+                    self,
+                    WarningKind::BadValue,
+                    "metric requires a number".into(),
+                ),
             },
             "local-preference" => match words.get(1).and_then(|w| w.parse::<u32>().ok()) {
                 Some(m) => term.then.push(ThenAction::LocalPreference(m)),
@@ -577,8 +623,10 @@ impl Extractor<'_> {
             }
             "as-path-prepend" => {
                 let joined = words[1..].join(" ").replace('"', "");
-                let asns: Result<Vec<Asn>, _> =
-                    joined.split_whitespace().map(|w| w.parse::<Asn>()).collect();
+                let asns: Result<Vec<Asn>, _> = joined
+                    .split_whitespace()
+                    .map(|w| w.parse::<Asn>())
+                    .collect();
                 match asns {
                     Ok(v) if !v.is_empty() => term.then.push(ThenAction::AsPathPrepend(v)),
                     _ => warn(
@@ -590,7 +638,11 @@ impl Extractor<'_> {
             }
             "next-hop" => match words.get(1).and_then(|w| w.parse::<Ipv4Addr>().ok()) {
                 Some(a) => term.then.push(ThenAction::NextHop(a)),
-                None => warn(self, WarningKind::BadValue, "next-hop requires an address".into()),
+                None => warn(
+                    self,
+                    WarningKind::BadValue,
+                    "next-hop requires an address".into(),
+                ),
             },
             other => warn(
                 self,
@@ -607,7 +659,11 @@ impl Extractor<'_> {
             return;
         };
         if s.word(2) != Some("members") {
-            self.warn(s, WarningKind::BadValue, "expected 'community <name> members <value>'");
+            self.warn(
+                s,
+                WarningKind::BadValue,
+                "expected 'community <name> members <value>'",
+            );
             return;
         }
         let mut members = Vec::new();
@@ -629,7 +685,11 @@ impl Extractor<'_> {
             }
         }
         if members.is_empty() {
-            self.warn(s, WarningKind::BadValue, "community definition has no members");
+            self.warn(
+                s,
+                WarningKind::BadValue,
+                "community definition has no members",
+            );
             return;
         }
         self.cfg.communities.push(CommunityDefinition {
@@ -752,7 +812,11 @@ policy-options {
         assert_eq!(cfg.hostname.as_deref(), Some("border1"));
         assert_eq!(cfg.interfaces.len(), 2);
         assert_eq!(
-            cfg.interface("ge-0/0/1").unwrap().unit0_address().unwrap().to_string(),
+            cfg.interface("ge-0/0/1")
+                .unwrap()
+                .unit0_address()
+                .unwrap()
+                .to_string(),
             "10.0.1.1/24"
         );
         assert_eq!(cfg.router_id.unwrap().to_string(), "1.2.3.4");

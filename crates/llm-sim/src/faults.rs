@@ -138,10 +138,12 @@ impl FaultKind {
     pub fn addressed_by(self, class: &PromptClass) -> bool {
         match self {
             FaultKind::MissingLocalAs => matches!(class, PromptClass::SyntaxError { .. }),
-            FaultKind::BadPrefixListSyntax => matches!(
-                class,
-                PromptClass::SyntaxError { quoted } if quoted.contains("-32") || quoted.is_empty()
-            ) || matches!(class, PromptClass::HumanPrefixLength),
+            FaultKind::BadPrefixListSyntax => {
+                matches!(
+                    class,
+                    PromptClass::SyntaxError { quoted } if quoted.contains("-32") || quoted.is_empty()
+                ) || matches!(class, PromptClass::HumanPrefixLength)
+            }
             FaultKind::MissingExportPolicy => {
                 matches!(class, PromptClass::StructuralMissingPolicy)
             }

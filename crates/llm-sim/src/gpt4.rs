@@ -5,10 +5,9 @@ use crate::error_model::ErrorModel;
 use crate::faults::{FaultKind, RepairBehavior};
 use crate::model::{fence, last_fenced_block, LanguageModel, Message, Role};
 use crate::prompts::{self, PromptClass};
+use crate::rng::SimRng;
 use crate::synth_task::SynthesisDraft;
 use crate::translate_task::TranslationDraft;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Marker included in COSYNTH's IIP system message; its presence (plus the
@@ -30,7 +29,7 @@ enum TaskState {
 /// the crate docs for the calibration story.
 pub struct SimulatedGpt4 {
     model: ErrorModel,
-    rng: StdRng,
+    rng: SimRng,
     state: Option<TaskState>,
 }
 
@@ -39,7 +38,7 @@ impl SimulatedGpt4 {
     pub fn new(model: ErrorModel, seed: u64) -> Self {
         SimulatedGpt4 {
             model,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             state: None,
         }
     }
@@ -84,7 +83,7 @@ impl SimulatedGpt4 {
             } else {
                 self.model.p_fault.get(&f).copied().unwrap_or(0.0)
             };
-            if p >= 1.0 || (p > 0.0 && self.rng.gen::<f64>() < p) {
+            if p >= 1.0 || (p > 0.0 && self.rng.next_f64() < p) {
                 out.insert(f);
             }
         }
@@ -111,16 +110,12 @@ impl SimulatedGpt4 {
                 ),
                 _ => return None,
             };
-        let roll: f64 = self.rng.gen();
+        let roll: f64 = self.rng.next_f64();
         let pick = if roll < self.model.p_reintroduce {
             // Reintroduce a previously fixed, auto-fixable fault.
-            seen.iter()
-                .copied()
-                .find(|f| {
-                    *f != just_fixed
-                        && !active.contains(f)
-                        && f.repair() == RepairBehavior::AutoFixable
-                })
+            seen.iter().copied().find(|f| {
+                *f != just_fixed && !active.contains(f) && f.repair() == RepairBehavior::AutoFixable
+            })
         } else if roll < self.model.p_reintroduce + self.model.p_regress_new {
             // Introduce a brand-new fault.
             let fresh: Vec<FaultKind> = candidates
@@ -134,7 +129,7 @@ impl SimulatedGpt4 {
             if fresh.is_empty() {
                 None
             } else {
-                let i = self.rng.gen_range(0..fresh.len());
+                let i = self.rng.index(fresh.len());
                 Some(fresh[i])
             }
         } else {
@@ -285,13 +280,18 @@ impl LanguageModel for SimulatedGpt4 {
                 fence(&self.render_current())
             );
         }
-        if content.contains(prompts::GLOBAL_TASK) || content.contains("no-transit policy") && content.contains("all routers") {
+        if content.contains(prompts::GLOBAL_TASK)
+            || content.contains("no-transit policy") && content.contains("all routers")
+        {
             let router_names: Vec<String> = content
                 .lines()
                 .filter_map(|l| {
                     l.strip_prefix("Router ")
                         .and_then(|r| r.split_whitespace().next())
-                        .map(|s| s.trim_end_matches(|c: char| !c.is_alphanumeric()).to_string())
+                        .map(|s| {
+                            s.trim_end_matches(|c: char| !c.is_alphanumeric())
+                                .to_string()
+                        })
                 })
                 .filter(|s| !s.is_empty())
                 .collect::<BTreeSet<_>>()
@@ -345,7 +345,7 @@ fn render_global_strategy(attempt: usize, router_names: &[String]) -> String {
     for (i, name) in router_names.iter().enumerate() {
         out.push_str(&format!("### {name} ###\n"));
         let asn = i + 1;
-        if attempt % 2 == 0 {
+        if attempt.is_multiple_of(2) {
             // Strategy A: plain eBGP everywhere — ISPs can transit.
             out.push_str(&format!(
                 "hostname {name}\nrouter bgp {asn}\n bgp router-id 1.0.0.{asn}\n"
@@ -402,7 +402,10 @@ route-map ospf_to_bgp permit 10
         let reply = gpt.complete(&[Message::user(translation_prompt())]);
         let junos = last_fenced_block(&reply).unwrap();
         let (_, warnings) = juniper_cfg::parse(&junos);
-        assert!(!warnings.is_empty(), "paper model must produce syntax errors");
+        assert!(
+            !warnings.is_empty(),
+            "paper model must produce syntax errors"
+        );
     }
 
     #[test]
@@ -464,7 +467,10 @@ route-map ospf_to_bgp permit 10
         assert!(w.is_empty(), "{w:?}\n{junos}");
         // The reference spells `ge 24` on a /24 as `orlonger` — the range
         // is restored semantically.
-        assert!(junos.contains("route-filter 1.2.3.0/24 orlonger"), "{junos}");
+        assert!(
+            junos.contains("route-filter 1.2.3.0/24 orlonger"),
+            "{junos}"
+        );
     }
 
     #[test]
@@ -513,7 +519,9 @@ route-map ospf_to_bgp permit 10
         );
         let a = gpt.complete(&[Message::user(prompt)]);
         let b = gpt.complete(&[Message::user("That fails for packet to 200.2.0.0; fix it.")]);
-        let c = gpt.complete(&[Message::user("Still wrong; a packet from ISP-2 reaches ISP-3.")]);
+        let c = gpt.complete(&[Message::user(
+            "Still wrong; a packet from ISP-2 reaches ISP-3.",
+        )]);
         let block = |s: &str| last_fenced_block(s).unwrap();
         assert_ne!(block(&a), block(&b), "strategy must change");
         assert_eq!(block(&a), block(&c), "and oscillate back");

@@ -33,6 +33,7 @@ pub mod faults;
 pub mod gpt4;
 pub mod model;
 pub mod prompts;
+pub mod rng;
 pub mod synth_task;
 pub mod translate_task;
 

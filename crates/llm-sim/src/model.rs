@@ -146,7 +146,10 @@ mod tests {
     fn fence_roundtrip() {
         let cfg = "hostname r1\nrouter bgp 1";
         let fenced = fence(cfg);
-        assert_eq!(last_fenced_block(&fenced).unwrap(), "hostname r1\nrouter bgp 1\n");
+        assert_eq!(
+            last_fenced_block(&fenced).unwrap(),
+            "hostname r1\nrouter bgp 1\n"
+        );
     }
 
     #[test]

@@ -16,8 +16,7 @@ pub const TRANSLATE_TASK: &str =
     "Translate the configuration into an equivalent Juniper configuration.";
 
 /// Task sentence asking for a per-router config (Section 4.1).
-pub const SYNTH_TASK: &str =
-    "Generate the Cisco IOS configuration file (.cfg) for this router.";
+pub const SYNTH_TASK: &str = "Generate the Cisco IOS configuration file (.cfg) for this router.";
 
 /// Request to print the full current config after a fix.
 pub const PRINT_CONFIG: &str = "Print the entire configuration.";
@@ -97,11 +96,7 @@ pub fn classify(prompt: &str) -> PromptClass {
     if let Some(idx) = p.find("there is a syntax error") {
         // Quoted line between the first pair of '...' after the marker.
         let rest = &prompt[idx..];
-        let quoted = rest
-            .split('\'')
-            .nth(1)
-            .unwrap_or_default()
-            .to_string();
+        let quoted = rest.split('\'').nth(1).unwrap_or_default().to_string();
         return PromptClass::SyntaxError { quoted };
     }
     // Human prompts (checked before the generated-prompt markers because
@@ -188,7 +183,11 @@ pub fn parse_ingress_tag(s: &str) -> Option<(Ipv4Addr, Community, String)> {
     let rest = rest.trim().strip_prefix("add community ")?;
     let (comm, rest) = rest.split_once(" to all")?;
     let community: Community = comm.trim().parse().ok()?;
-    let map = rest.split("route-map ").nth(1)?.trim_end_matches('.').trim();
+    let map = rest
+        .split("route-map ")
+        .nth(1)?
+        .trim_end_matches('.')
+        .trim();
     Some((addr, community, map.to_string()))
 }
 
@@ -198,12 +197,20 @@ pub fn parse_egress_filter(s: &str) -> Option<(Ipv4Addr, Vec<Community>, String)
     let rest = s.strip_prefix("At egress to neighbor ")?;
     let (addr, rest) = rest.split_once(',')?;
     let addr: Ipv4Addr = addr.trim().parse().ok()?;
-    let comms_part = rest.split("communities ").nth(1)?.split(" and permit").next()?;
+    let comms_part = rest
+        .split("communities ")
+        .nth(1)?
+        .split(" and permit")
+        .next()?;
     let communities: Option<Vec<Community>> = comms_part
         .split(',')
         .map(|c| c.trim().parse().ok())
         .collect();
-    let map = rest.split("route-map ").nth(1)?.trim_end_matches('.').trim();
+    let map = rest
+        .split("route-map ")
+        .nth(1)?
+        .trim_end_matches('.')
+        .trim();
     Some((addr, communities?, map.to_string()))
 }
 
@@ -325,7 +332,10 @@ mod tests {
 
     #[test]
     fn classify_print() {
-        assert_eq!(classify("Print the entire configuration."), PromptClass::PrintConfig);
+        assert_eq!(
+            classify("Print the entire configuration."),
+            PromptClass::PrintConfig
+        );
     }
 
     #[test]

@@ -5,8 +5,7 @@
 use crate::faults::FaultKind;
 use crate::prompts;
 use config_ir::{
-    Condition, Device, IrBgp, IrClause, IrCommunitySet, IrInterface, IrNeighbor, IrPolicy,
-    Modifier,
+    Condition, Device, IrBgp, IrClause, IrCommunitySet, IrInterface, IrNeighbor, IrPolicy, Modifier,
 };
 use net_model::{Asn, Community, InterfaceAddress, Prefix};
 use std::collections::BTreeSet;
@@ -80,7 +79,8 @@ pub fn understand_prompt(prompt: &str) -> UnderstoodRouter {
                     u.neighbors.push((a, Asn(n)));
                 }
             }
-        } else if let Some(rest) = line.strip_prefix("It must announce the following networks in BGP: ")
+        } else if let Some(rest) =
+            line.strip_prefix("It must announce the following networks in BGP: ")
         {
             for tok in rest.trim_end_matches('.').split(',') {
                 if let Ok(p) = tok.trim().parse::<Prefix>() {
@@ -151,8 +151,9 @@ pub fn reference_device(u: &UnderstoodRouter) -> Device {
             deny.conditions.push(Condition::community_set(set_name));
             p.clauses.push(deny);
         }
-        p.clauses
-            .push(IrClause::permit_all(((set_names.len() + 1) * 10).to_string()));
+        p.clauses.push(IrClause::permit_all(
+            ((set_names.len() + 1) * 10).to_string(),
+        ));
         d.policies.push(p);
         if let Some(n) = bgp.neighbors.iter_mut().find(|n| n.addr == *addr) {
             n.export_policy.push(map.clone());
@@ -328,7 +329,9 @@ fn mutate_text(f: FaultKind, text: &mut String, u: &UnderstoodRouter) {
                 .map(|c| c.to_string())
                 .unwrap_or_else(|| "100:1".to_string());
             let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
-            if let Some(i) = lines.iter().position(|l| l.trim_start().starts_with("match community "))
+            if let Some(i) = lines
+                .iter()
+                .position(|l| l.trim_start().starts_with("match community "))
             {
                 lines[i] = format!(" match community {literal}");
                 *text = lines.join("\n");
@@ -452,20 +455,20 @@ mod tests {
             community: "101:1".parse().unwrap(),
         };
         let violation = bf_lite::check_local_policy(&parsed.device, &check).unwrap_err();
-        assert!(violation
-            .communities
-            .contains(&"101:1".parse().unwrap()));
+        assert!(violation.communities.contains(&"101:1".parse().unwrap()));
     }
 
     #[test]
     fn missing_additive_fault_fails_preserve_check() {
-        let d = SynthesisDraft::new(&sample_prompt(), BTreeSet::from([FaultKind::MissingAdditive]));
+        let d = SynthesisDraft::new(
+            &sample_prompt(),
+            BTreeSet::from([FaultKind::MissingAdditive]),
+        );
         let parsed = bf_lite::parse_config(&d.render(), None);
         let mut device = parsed.device;
-        device.community_sets.push(IrCommunitySet::single(
-            "probe",
-            "999:9".parse().unwrap(),
-        ));
+        device
+            .community_sets
+            .push(IrCommunitySet::single("probe", "999:9".parse().unwrap()));
         let check = bf_lite::LocalPolicyCheck::PermittedRoutesPreserve {
             chain: vec!["ADD_COMM_R2".into()],
             community: "999:9".parse().unwrap(),
@@ -475,7 +478,10 @@ mod tests {
 
     #[test]
     fn cli_lines_fault_triggers_cli_warnings() {
-        let d = SynthesisDraft::new(&sample_prompt(), BTreeSet::from([FaultKind::CliPromptLines]));
+        let d = SynthesisDraft::new(
+            &sample_prompt(),
+            BTreeSet::from([FaultKind::CliPromptLines]),
+        );
         let parsed = bf_lite::parse_config(&d.render(), None);
         let cli = parsed
             .warnings
@@ -506,11 +512,13 @@ mod tests {
         );
         let text = d.render();
         let parsed = bf_lite::parse_config(&text, None);
-        assert!(parsed
-            .warnings
-            .iter()
-            .any(|w| w.kind == net_model::WarningKind::MisplacedCommand),
-            "{text}");
+        assert!(
+            parsed
+                .warnings
+                .iter()
+                .any(|w| w.kind == net_model::WarningKind::MisplacedCommand),
+            "{text}"
+        );
     }
 
     #[test]

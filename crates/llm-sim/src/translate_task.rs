@@ -117,9 +117,9 @@ fn mutate_ast(f: FaultKind, ast: &mut JuniperConfig) {
                     for c in &mut t.from {
                         if let FromCondition::RouteFilter(pat) = c {
                             if !pat.is_exact() {
-                                *c = FromCondition::RouteFilter(
-                                    net_model::PrefixPattern::exact(pat.prefix),
-                                );
+                                *c = FromCondition::RouteFilter(net_model::PrefixPattern::exact(
+                                    pat.prefix,
+                                ));
                                 return;
                             }
                         }
@@ -128,7 +128,8 @@ fn mutate_ast(f: FaultKind, ast: &mut JuniperConfig) {
             }
         }
         FaultKind::RedistributionDropped => {
-            ast.policies.retain(|p| !p.name.starts_with(REDISTRIBUTE_PREFIX));
+            ast.policies
+                .retain(|p| !p.name.starts_with(REDISTRIBUTE_PREFIX));
         }
         // Text faults and synthesis faults do nothing at this level.
         _ => {}
@@ -225,10 +226,12 @@ route-map ospf_to_bgp permit 10
         let text = d.render();
         assert!(text.contains("-32;"), "{text}");
         let (_, warnings) = juniper_cfg::parse(&text);
-        assert!(warnings
-            .iter()
-            .any(|w| w.kind == net_model::WarningKind::BadPrefixListSyntax),
-            "{warnings:?}");
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.kind == net_model::WarningKind::BadPrefixListSyntax),
+            "{warnings:?}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::Asn;
 
 /// A BGP AS path (most recently prepended AS first, as on the wire).
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AsPath(pub Vec<Asn>);
 
 impl AsPath {
@@ -81,7 +81,7 @@ impl FromIterator<Asn> for AsPath {
 
 /// A tiny AS-path pattern language covering the idioms in IOS as-path
 /// access lists that the paper's scenarios could produce.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AsPathPattern {
     /// `^$` — locally originated routes only.
     Empty,

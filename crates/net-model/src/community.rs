@@ -11,7 +11,7 @@ use crate::error::NetModelError;
 use std::collections::BTreeSet;
 
 /// A classic 32-bit BGP community, displayed `high:low`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Community {
     /// High 16 bits (conventionally the tagging AS).
     pub high: u16,
@@ -74,7 +74,7 @@ pub type CommunitySet = BTreeSet<Community>;
 /// semantics; the paper's configs use one community per line, which is what
 /// the vendor parsers accept, but this type carries a set to model the
 /// all-of case faithfully.)
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CommunityListEntry {
     /// Whether a match on this entry permits (true) or denies (false).
     pub permit: bool,

@@ -14,7 +14,7 @@
 /// The kinds map one-to-one onto the GPT-4 error classes the paper
 /// catalogues; the humanizer picks its prompt template from this value and
 /// `llm-sim` keys its repair-success model off it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WarningKind {
     /// A line the parser does not recognize at all.
     Unrecognized,
@@ -62,7 +62,7 @@ impl std::fmt::Display for WarningKind {
 }
 
 /// A single parse warning, tied to a source line.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ParseWarning {
     /// 1-based line number in the input (0 for whole-config findings).
     pub line: usize,

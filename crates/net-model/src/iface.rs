@@ -11,7 +11,7 @@ use crate::prefix::Prefix;
 use std::net::Ipv4Addr;
 
 /// An interface name, e.g. `Ethernet0/1`, `eth0/1`, `ge-0/0/0.0`, `Loopback0`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InterfaceName(pub String);
 
 impl InterfaceName {
@@ -78,7 +78,7 @@ impl From<&str> for InterfaceName {
 /// Unlike [`Prefix`], host bits are significant here: `2.0.0.1/24` and
 /// `2.0.0.2/24` are different interface addresses on the same subnet —
 /// exactly the mismatch the topology verifier reports in Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InterfaceAddress {
     /// The configured host address.
     pub addr: Ipv4Addr,

@@ -47,7 +47,7 @@ pub use route::{Origin, Protocol, RouteAdvertisement};
 ///
 /// The paper's experiments use small 16-bit ASNs (AS 1 through AS 7 for the
 /// star network); we store 32 bits as modern BGP does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Asn(pub u32);
 
 impl Asn {

@@ -16,7 +16,7 @@ use std::net::Ipv4Addr;
 /// The address is stored with host bits cleared; `Prefix::new` canonicalizes
 /// so that `1.2.3.4/24` and `1.2.3.0/24` construct the same value. Use
 /// [`Prefix::new_exact`] when stray host bits should be an error instead.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Prefix {
     bits: u32,
     len: u8,
@@ -67,7 +67,9 @@ impl Prefix {
         self.bits
     }
 
-    /// The prefix length.
+    /// The prefix length. (Not a container length — a /0 prefix is not
+    /// "empty" — so no `is_empty` counterpart exists.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -170,7 +172,7 @@ impl std::str::FromStr for Prefix {
 ///
 /// Juniper equivalents: `exact` (no bounds), `orlonger` (`ge len`),
 /// `upto /l` (`le l`), `prefix-length-range /g-/l` (`ge g le l`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PrefixPattern {
     /// The base prefix whose bits must match.
     pub prefix: Prefix,
@@ -201,7 +203,7 @@ impl PrefixPattern {
         let hi = le.unwrap_or(if ge.is_some() { 32 } else { len });
         // IOS requires len < ge when ge is present and ge <= le; we accept
         // len == ge too (harmless, same semantics as orlonger at that len).
-        if lo < len || hi < lo || hi > 32 || ge.map_or(false, |g| g > 32) {
+        if lo < len || hi < lo || hi > 32 || ge.is_some_and(|g| g > 32) {
             return Err(NetModelError::InvalidLengthBounds { len, ge, le });
         }
         Ok(PrefixPattern { prefix, ge, le })
@@ -252,8 +254,7 @@ impl PrefixPattern {
     pub fn example(&self) -> Prefix {
         let (lo, _hi) = self.length_range();
         // The base prefix truncated/kept at the lower bound length.
-        Prefix::new(self.prefix.network(), lo.max(self.prefix.len()))
-            .unwrap_or(self.prefix)
+        Prefix::new(self.prefix.network(), lo.max(self.prefix.len())).unwrap_or(self.prefix)
     }
 
     /// Render in Cisco prefix-list syntax (without seq/action).
@@ -340,7 +341,10 @@ mod tests {
 
     #[test]
     fn dotted_and_wildcard_masks() {
-        assert_eq!(p("1.2.3.0/24").dotted_mask(), Ipv4Addr::new(255, 255, 255, 0));
+        assert_eq!(
+            p("1.2.3.0/24").dotted_mask(),
+            Ipv4Addr::new(255, 255, 255, 0)
+        );
         assert_eq!(p("1.2.3.0/24").wildcard_mask(), Ipv4Addr::new(0, 0, 0, 255));
         assert_eq!(p("0.0.0.0/0").dotted_mask(), Ipv4Addr::new(0, 0, 0, 0));
     }
@@ -457,7 +461,10 @@ mod tests {
         assert_eq!(pat.cisco_syntax(), "1.2.3.0/24 ge 24");
         let pat = PrefixPattern::with_bounds(p("10.0.0.0/8"), Some(12), Some(16)).unwrap();
         assert_eq!(pat.cisco_syntax(), "10.0.0.0/8 ge 12 le 16");
-        assert_eq!(PrefixPattern::exact(p("5.6.7.0/24")).cisco_syntax(), "5.6.7.0/24");
+        assert_eq!(
+            PrefixPattern::exact(p("5.6.7.0/24")).cisco_syntax(),
+            "5.6.7.0/24"
+        );
     }
 
     #[test]

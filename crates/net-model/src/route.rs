@@ -15,7 +15,7 @@ use crate::Asn;
 use std::net::Ipv4Addr;
 
 /// The protocol a route was learned from / originated by.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Protocol {
     /// Learned via BGP.
     Bgp,
@@ -66,7 +66,7 @@ impl std::fmt::Display for Protocol {
 
 /// BGP origin attribute. Carried for completeness of best-path selection;
 /// the paper's policies never set it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Origin {
     /// IGP origin (`i`) — what `network` statements produce.
     #[default]
@@ -89,7 +89,7 @@ impl Origin {
 }
 
 /// A route advertisement with the attributes the paper's policies use.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RouteAdvertisement {
     /// The destination prefix.
     pub prefix: Prefix,
@@ -259,7 +259,9 @@ mod tests {
             .with_local_pref(200);
         assert_eq!(r.med, Some(50));
         assert_eq!(r.local_pref, Some(200));
-        assert!(r.communities.contains(&"100:1".parse::<Community>().unwrap()));
+        assert!(r
+            .communities
+            .contains(&"100:1".parse::<Community>().unwrap()));
     }
 
     #[test]
@@ -288,8 +290,7 @@ mod tests {
 
     #[test]
     fn lower_med_wins_at_equal_path() {
-        let base =
-            RouteAdvertisement::bgp(pref("9.9.9.0/24")).with_as_path(AsPath::single(Asn(1)));
+        let base = RouteAdvertisement::bgp(pref("9.9.9.0/24")).with_as_path(AsPath::single(Asn(1)));
         let lo = base.clone().with_med(10);
         let hi = base.with_med(20);
         assert!(lo.better_than(&hi));

@@ -19,7 +19,11 @@ pub struct PolicyBehavior {
 
 /// Computes the behaviour of a named policy (or the identity behaviour for
 /// an empty name list) over the whole space.
-pub fn policy_behavior(space: &mut RouteSpace, device: &Device, chain: &[String]) -> PolicyBehavior {
+pub fn policy_behavior(
+    space: &mut RouteSpace,
+    device: &Device,
+    chain: &[String],
+) -> PolicyBehavior {
     let init = SymState::input(space);
     let top = space.mgr.top();
     let r = walk_chain(space, device, chain, top, &init, None);
@@ -97,7 +101,7 @@ pub fn behavior_difference(
         });
     }
     let both = a.permit; // == b.permit here
-    // 2. Output community differences.
+                         // 2. Output community differences.
     let comms: Vec<Community> = space.communities.clone();
     for c in comms {
         let fa = a.out.comm.get(&c).copied().unwrap_or(Ref::FALSE);
@@ -280,11 +284,8 @@ pub fn effective_export_behavior(
     // BGP-learned routes are always in the table.
     let bgp_space = space.protocol(Protocol::Bgp);
     // `network` statements originate connected routes matching exactly.
-    let mut net_space = Ref::FALSE;
-    for p in &bgp.networks {
-        let e = space.exact_prefix(p);
-        net_space = space.mgr.or(net_space, e);
-    }
+    let nets: Vec<Ref> = bgp.networks.iter().map(|p| space.exact_prefix(p)).collect();
+    let mut net_space = space.mgr.or_all(nets);
     let conn = space.protocol(Protocol::Connected);
     net_space = space.mgr.and(net_space, conn);
     // Redistribution gates.
@@ -314,7 +315,14 @@ pub fn effective_export_behavior(
         eligible = space.mgr.or(eligible, gspace);
     }
     // Export chain.
-    let r: WalkResult = walk_chain(space, device, &n.export_policy, eligible, &state0, Some(neighbor));
+    let r: WalkResult = walk_chain(
+        space,
+        device,
+        &n.export_policy,
+        eligible,
+        &state0,
+        Some(neighbor),
+    );
     let mut out = r.out;
     // Communities are only propagated with send-community.
     if !n.send_community {
@@ -349,7 +357,14 @@ pub fn effective_import_behavior(
     };
     let input = SymState::input(space);
     let bgp_space = space.protocol(Protocol::Bgp);
-    let r = walk_chain(space, device, &n.import_policy, bgp_space, &input, Some(neighbor));
+    let r = walk_chain(
+        space,
+        device,
+        &n.import_policy,
+        bgp_space,
+        &input,
+        Some(neighbor),
+    );
     PolicyBehavior {
         permit: r.permit,
         out: r.out,
@@ -359,12 +374,7 @@ pub fn effective_import_behavior(
 impl SymState {
     /// Like [`SymState::accumulate`] but documents the masking intent at
     /// redistribution-merge sites.
-    pub(crate) fn accumulate_masked(
-        &mut self,
-        space: &mut RouteSpace,
-        other: &SymState,
-        at: Ref,
-    ) {
+    pub(crate) fn accumulate_masked(&mut self, space: &mut RouteSpace, other: &SymState, at: Ref) {
         self.accumulate(space, other, at);
     }
 }
@@ -373,8 +383,7 @@ impl SymState {
 mod tests {
     use super::*;
     use config_ir::{
-        ClauseAction, Condition, IrBgp, IrClause, IrNeighbor, IrPolicy,
-        IrPrefixSet, Modifier,
+        ClauseAction, Condition, IrBgp, IrClause, IrNeighbor, IrPolicy, IrPrefixSet, Modifier,
     };
     use net_model::{Asn, Prefix};
     use std::collections::BTreeSet;
@@ -505,7 +514,9 @@ mod tests {
         d.policies.push(simple_policy("p", 50));
         let mut s = RouteSpace::for_devices(&[&d]);
         let q = RouteQuery {
-            input_prefix: Some(PrefixPattern::with_bounds(pfx("1.2.3.0/24"), Some(25), Some(25)).unwrap()),
+            input_prefix: Some(
+                PrefixPattern::with_bounds(pfx("1.2.3.0/24"), Some(25), Some(25)).unwrap(),
+            ),
             action_permit: true,
             ..Default::default()
         };
@@ -519,7 +530,10 @@ mod tests {
             action_permit: true,
             ..Default::default()
         };
-        assert_eq!(search_route_policies(&mut s, &d, &["p".to_string()], &q2), None);
+        assert_eq!(
+            search_route_policies(&mut s, &d, &["p".to_string()], &q2),
+            None
+        );
     }
 
     #[test]
@@ -635,7 +649,11 @@ mod tests {
                 first_permits,
             } => {
                 assert!(first_permits, "the redistributing device exports more");
-                assert_eq!(route.protocol, Protocol::Ospf, "witness is a redistributed route: {route}");
+                assert_eq!(
+                    route.protocol,
+                    Protocol::Ospf,
+                    "witness is a redistributed route: {route}"
+                );
             }
             other => panic!("expected action diff, got {other:?}"),
         }
@@ -645,7 +663,11 @@ mod tests {
     fn send_community_off_strips_output_communities() {
         let mut d = export_device(false);
         // Tag everything on export.
-        let p = d.policies.iter_mut().find(|p| p.name == "to_provider").unwrap();
+        let p = d
+            .policies
+            .iter_mut()
+            .find(|p| p.name == "to_provider")
+            .unwrap();
         p.clauses[0].modifiers.push(Modifier::SetCommunities {
             communities: BTreeSet::from([comm("100:1")]),
             additive: true,

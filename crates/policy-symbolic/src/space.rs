@@ -29,13 +29,32 @@ pub struct RouteSpace {
 }
 
 impl RouteSpace {
+    /// Default node-capacity hint: a single device's policies over the
+    /// 40+ variable route space stay in the low tens of thousands of
+    /// nodes.
+    const DEFAULT_NODE_CAPACITY: usize = 1 << 14;
+
     /// Builds a space with explicit universes.
     pub fn new(communities: BTreeSet<Community>, aspath_patterns: BTreeSet<String>) -> Self {
-        let mut mgr = Manager::new();
+        Self::with_node_capacity(communities, aspath_patterns, Self::DEFAULT_NODE_CAPACITY)
+    }
+
+    /// Builds a space with explicit universes and a node-capacity hint
+    /// for the underlying [`Manager`], pre-sizing its unique table and
+    /// op caches so multi-device analyses never rehash mid-walk.
+    pub fn with_node_capacity(
+        communities: BTreeSet<Community>,
+        aspath_patterns: BTreeSet<String>,
+        nodes_hint: usize,
+    ) -> Self {
+        let mut mgr = Manager::with_capacity(nodes_hint);
         let communities: Vec<Community> = communities.into_iter().collect();
         let aspath_patterns: Vec<String> = aspath_patterns.into_iter().collect();
-        let total =
-            PREFIX_BITS + LEN_BITS + PROTO_BITS + communities.len() as u32 + aspath_patterns.len() as u32;
+        let total = PREFIX_BITS
+            + LEN_BITS
+            + PROTO_BITS
+            + communities.len() as u32
+            + aspath_patterns.len() as u32;
         mgr.new_vars(total);
         RouteSpace {
             mgr,
@@ -44,8 +63,16 @@ impl RouteSpace {
         }
     }
 
-    /// Builds a space covering the universes of all given devices.
-    pub fn for_devices(devices: &[&Device]) -> Self {
+    /// Kernel statistics for this space's manager (node count, table
+    /// bytes, cache hit rates) — the observability hook the benches and
+    /// Campion's instrumentation read.
+    pub fn stats(&self) -> bdd::ManagerStats {
+        self.mgr.stats()
+    }
+
+    /// Builds a space covering the universes of all given devices, with
+    /// a capacity hint scaled to the device count.
+    pub fn for_devices_sized(devices: &[&Device], nodes_hint: usize) -> Self {
         let mut communities = BTreeSet::new();
         let mut aspaths = BTreeSet::new();
         for d in devices {
@@ -60,7 +87,12 @@ impl RouteSpace {
                 }
             }
         }
-        RouteSpace::new(communities, aspaths)
+        RouteSpace::with_node_capacity(communities, aspaths, nodes_hint)
+    }
+
+    /// Builds a space covering the universes of all given devices.
+    pub fn for_devices(devices: &[&Device]) -> Self {
+        Self::for_devices_sized(devices, Self::DEFAULT_NODE_CAPACITY * devices.len().max(1))
     }
 
     /// Total variable count (the ambient space for model counting).
@@ -97,9 +129,10 @@ impl RouteSpace {
 
     /// The variable standing for "the AS path matches this pattern".
     pub fn aspath_var(&self, pattern: &str) -> Option<Var> {
-        self.aspath_patterns.iter().position(|x| x == pattern).map(|i| {
-            PREFIX_BITS + LEN_BITS + PROTO_BITS + self.communities.len() as u32 + i as u32
-        })
+        self.aspath_patterns
+            .iter()
+            .position(|x| x == pattern)
+            .map(|i| PREFIX_BITS + LEN_BITS + PROTO_BITS + self.communities.len() as u32 + i as u32)
     }
 
     /// BDD: the route's prefix length equals `len`.
@@ -185,7 +218,11 @@ impl RouteSpace {
         let mut acc = self.mgr.bot();
         for e in set.entries.iter().rev() {
             let m = self.pattern(&e.pattern);
-            let on_match = if e.permit { self.mgr.top() } else { self.mgr.bot() };
+            let on_match = if e.permit {
+                self.mgr.top()
+            } else {
+                self.mgr.bot()
+            };
             acc = self.mgr.ite(m, on_match, acc);
         }
         acc
@@ -259,11 +296,8 @@ impl RouteSpace {
             a[v] = route.communities.contains(c);
         }
         for (i, pat) in self.aspath_patterns.iter().enumerate() {
-            let v = (PREFIX_BITS
-                + LEN_BITS
-                + PROTO_BITS
-                + self.communities.len() as u32
-                + i as u32) as usize;
+            let v = (PREFIX_BITS + LEN_BITS + PROTO_BITS + self.communities.len() as u32 + i as u32)
+                as usize;
             a[v] = net_model::aspath::AsPathPattern::parse_ios(pat)
                 .map(|p| p.matches(&route.as_path))
                 .unwrap_or(false);
@@ -369,8 +403,7 @@ mod tests {
             entries: vec![
                 config_ir::PrefixSetEntry {
                     permit: false,
-                    pattern: PrefixPattern::with_bounds(pfx("10.0.0.0/8"), Some(24), None)
-                        .unwrap(),
+                    pattern: PrefixPattern::with_bounds(pfx("10.0.0.0/8"), Some(24), None).unwrap(),
                 },
                 config_ir::PrefixSetEntry {
                     permit: true,
@@ -384,7 +417,13 @@ mod tests {
         let permitted = s.exact_prefix(&pfx("10.1.0.0/16"));
         assert!(!s.mgr.and(f, permitted).is_false());
         // Agreement with the concrete matcher on a sample of prefixes.
-        for p in ["10.0.0.0/8", "10.9.0.0/16", "10.9.9.0/24", "10.0.0.1/32", "11.0.0.0/8"] {
+        for p in [
+            "10.0.0.0/8",
+            "10.9.0.0/16",
+            "10.9.9.0/24",
+            "10.0.0.1/32",
+            "11.0.0.0/8",
+        ] {
             let p = pfx(p);
             let e = s.exact_prefix(&p);
             let sym = !s.mgr.and(f, e).is_false();
@@ -415,7 +454,7 @@ mod tests {
         let mut a = vec![false; s.var_count() as usize];
         a[0] = true; // MSB of prefix
         a[31] = true; // junk below /8
-        // length = 8 → bits 32..38 encode 0b001000
+                      // length = 8 → bits 32..38 encode 0b001000
         a[34] = true;
         let r = s.decode(&a);
         assert_eq!(r.prefix, pfx("128.0.0.0/8"), "junk masked: {r}");

@@ -218,7 +218,11 @@ pub fn condition_bdd(
                         let present = state.comm.get(c).copied().unwrap_or(Ref::FALSE);
                         all = space.mgr.and(all, present);
                     }
-                    let on_match = if *permit { space.mgr.top() } else { space.mgr.bot() };
+                    let on_match = if *permit {
+                        space.mgr.top()
+                    } else {
+                        space.mgr.bot()
+                    };
                     f = space.mgr.ite(all, on_match, f);
                 }
                 acc = space.mgr.or(acc, f);
@@ -277,6 +281,11 @@ pub fn walk_policy(
         for c in &clause.conditions {
             let f = condition_bdd(space, device, &state, neighbor, c);
             cond = space.mgr.and(cond, f);
+            if cond.is_false() {
+                // Contradictory condition set: no point compiling the
+                // remaining matches of this clause.
+                break;
+            }
         }
         let m = space.mgr.and(reached, cond);
         if m.is_false() {
@@ -335,7 +344,14 @@ pub fn walk_chain(
                 out: SymState::empty(space),
             };
         };
-        let r = walk_policy(space, device, policy, current_space, &current_state, neighbor);
+        let r = walk_policy(
+            space,
+            device,
+            policy,
+            current_space,
+            &current_state,
+            neighbor,
+        );
         current_space = r.permit;
         current_state = r.out;
     }

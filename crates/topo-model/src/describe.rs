@@ -120,7 +120,10 @@ mod tests {
         assert!(text.contains("AS number 2"), "{text}");
         assert!(text.contains("router-id 1.0.0.2"), "{text}");
         assert!(text.contains("Ethernet0/0"), "{text}");
-        assert!(text.contains("eBGP neighbor 2.0.0.1 with AS number 1"), "{text}");
+        assert!(
+            text.contains("eBGP neighbor 2.0.0.1 with AS number 1"),
+            "{text}"
+        );
         assert!(text.contains("announce"), "{text}");
     }
 

@@ -3,7 +3,8 @@
 //! Implements the "network generator" and "topology verifier" of the
 //! paper's second use case:
 //!
-//! * [`Topology`] — a machine-readable (JSON, via serde) description of
+//! * [`Topology`] — a machine-readable (JSON, via the dependency-free
+//!   reader/writer in [`json`]) description of
 //!   routers, interfaces, links, BGP sessions and announced networks; the
 //!   "JSON dictionary" of Section 4.1.
 //! * [`star()`](star::star) — the Figure 4 generator: one hub router facing a CUSTOMER
@@ -18,6 +19,7 @@
 //!   types of Table 3.
 
 pub mod describe;
+pub mod json;
 pub mod star;
 pub mod topology;
 pub mod verifier;

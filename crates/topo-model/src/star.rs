@@ -40,7 +40,7 @@ pub struct StarRoles {
 /// Generates a star with one hub, `n_isps` edge routers, a customer stub
 /// and one ISP stub per edge. Panics if `n_isps` is 0 or exceeds 150.
 pub fn star(n_isps: usize) -> (Topology, StarRoles) {
-    assert!(n_isps >= 1 && n_isps <= 150, "n_isps must be 1..=150");
+    assert!((1..=150).contains(&n_isps), "n_isps must be 1..=150");
     let mut routers = Vec::new();
 
     let hub_name = "R1".to_string();
@@ -213,10 +213,7 @@ mod tests {
         let (t, roles) = star(2);
         let r2 = t.router("R2").unwrap();
         assert_eq!(r2.asn, Asn(2));
-        assert_eq!(
-            r2.iface_to("R1").unwrap().address.to_string(),
-            "2.0.0.2/24"
-        );
+        assert_eq!(r2.iface_to("R1").unwrap().address.to_string(), "2.0.0.2/24");
         assert_eq!(
             r2.iface_to("ISP-2").unwrap().address.to_string(),
             "102.0.0.1/24"

@@ -1,11 +1,12 @@
 //! The topology model and its JSON form.
 
+use crate::json::{self, quote, Json};
 use net_model::{Asn, InterfaceAddress, Prefix};
-use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
 /// The role a router plays in an experiment topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterRole {
     /// The hub of a star (R1 in Figure 4), facing the customer.
     Hub,
@@ -16,8 +17,27 @@ pub enum RouterRole {
     ExternalStub,
 }
 
+impl RouterRole {
+    fn as_json_str(self) -> &'static str {
+        match self {
+            RouterRole::Hub => "Hub",
+            RouterRole::IspEdge => "IspEdge",
+            RouterRole::ExternalStub => "ExternalStub",
+        }
+    }
+
+    fn from_json_str(s: &str) -> Result<RouterRole, String> {
+        match s {
+            "Hub" => Ok(RouterRole::Hub),
+            "IspEdge" => Ok(RouterRole::IspEdge),
+            "ExternalStub" => Ok(RouterRole::ExternalStub),
+            other => Err(format!("unknown router role {other:?}")),
+        }
+    }
+}
+
 /// One interface of a router in the topology.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IfaceSpec {
     /// Interface name (Cisco-shaped; the synthesis use case is IOS).
     pub name: String,
@@ -28,7 +48,7 @@ pub struct IfaceSpec {
 }
 
 /// One expected BGP session of a router.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeighborSpec {
     /// The peer's address on the shared subnet.
     pub addr: Ipv4Addr,
@@ -39,7 +59,7 @@ pub struct NeighborSpec {
 }
 
 /// A router in the topology.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouterSpec {
     /// Router name (`R1`, `CUSTOMER`, `ISP-2`).
     pub name: String,
@@ -66,7 +86,7 @@ impl RouterSpec {
 
 /// A whole topology: the JSON dictionary the Modularizer consumes and the
 /// topology verifier checks against.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     /// All routers, internal and stub.
     pub routers: Vec<RouterSpec>,
@@ -94,12 +114,81 @@ impl Topology {
 
     /// Serializes to pretty JSON (the generator's second output).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("topology serializes")
+        let mut out = String::new();
+        out.push_str("{\n  \"routers\": [");
+        for (i, r) in self.routers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"name\": {},", quote(&r.name));
+            let _ = writeln!(out, "      \"asn\": {},", r.asn.0);
+            let _ = writeln!(
+                out,
+                "      \"router_id\": {},",
+                quote(&r.router_id.to_string())
+            );
+            out.push_str("      \"interfaces\": [");
+            for (j, iface) in r.interfaces.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{ \"name\": {}, \"address\": {}, \"peer_router\": {} }}",
+                    quote(&iface.name),
+                    quote(&iface.address.to_string()),
+                    quote(&iface.peer_router)
+                );
+            }
+            out.push_str(if r.interfaces.is_empty() {
+                "],\n"
+            } else {
+                "\n      ],\n"
+            });
+            out.push_str("      \"neighbors\": [");
+            for (j, n) in r.neighbors.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{ \"addr\": {}, \"asn\": {}, \"peer_router\": {} }}",
+                    quote(&n.addr.to_string()),
+                    n.asn.0,
+                    quote(&n.peer_router)
+                );
+            }
+            out.push_str(if r.neighbors.is_empty() {
+                "],\n"
+            } else {
+                "\n      ],\n"
+            });
+            let nets: Vec<String> = r.networks.iter().map(|p| quote(&p.to_string())).collect();
+            let _ = writeln!(out, "      \"networks\": [{}],", nets.join(", "));
+            let _ = writeln!(out, "      \"role\": {}", quote(r.role.as_json_str()));
+            out.push_str("    }");
+        }
+        out.push_str(if self.routers.is_empty() {
+            "]\n}"
+        } else {
+            "\n  ]\n}"
+        });
+        out
     }
 
-    /// Parses from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parses from JSON (the inverse of [`Topology::to_json`]).
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let doc = json::parse(s)?;
+        let routers = doc
+            .get("routers")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"routers\" array")?;
+        let mut out = Vec::with_capacity(routers.len());
+        for r in routers {
+            out.push(router_from_json(r)?);
+        }
+        Ok(Topology { routers: out })
     }
 
     /// Whether every link is consistent: both endpoints exist, address
@@ -156,6 +245,67 @@ impl Topology {
     }
 }
 
+fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn parse_field<T: std::str::FromStr>(v: &Json, key: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    str_field(v, key)?
+        .parse()
+        .map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn arr_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field {key:?}"))
+}
+
+fn router_from_json(v: &Json) -> Result<RouterSpec, String> {
+    let mut interfaces = Vec::new();
+    for i in arr_field(v, "interfaces")? {
+        interfaces.push(IfaceSpec {
+            name: str_field(i, "name")?.to_string(),
+            address: parse_field(i, "address")?,
+            peer_router: str_field(i, "peer_router")?.to_string(),
+        });
+    }
+    let mut neighbors = Vec::new();
+    for n in arr_field(v, "neighbors")? {
+        neighbors.push(NeighborSpec {
+            addr: parse_field(n, "addr")?,
+            asn: Asn(n
+                .get("asn")
+                .and_then(Json::as_u32)
+                .ok_or("bad neighbor asn")?),
+            peer_router: str_field(n, "peer_router")?.to_string(),
+        });
+    }
+    let mut networks = Vec::new();
+    for p in arr_field(v, "networks")? {
+        networks.push(
+            p.as_str()
+                .ok_or("network must be a string")?
+                .parse::<Prefix>()
+                .map_err(|e| format!("bad network: {e}"))?,
+        );
+    }
+    Ok(RouterSpec {
+        name: str_field(v, "name")?.to_string(),
+        asn: Asn(v.get("asn").and_then(Json::as_u32).ok_or("bad asn")?),
+        router_id: parse_field(v, "router_id")?,
+        interfaces,
+        neighbors,
+        networks,
+        role: RouterRole::from_json_str(str_field(v, "role")?)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +349,15 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn from_json_rejects_missing_array_fields() {
+        let json = tiny().to_json();
+        // Dropping a required array key (e.g. a misspelled "neighbors")
+        // must fail to parse, not produce a router with zero sessions.
+        let broken = json.replace("\"neighbors\"", "\"neighbours\"");
+        assert!(Topology::from_json(&broken).is_err());
     }
 
     #[test]

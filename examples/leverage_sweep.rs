@@ -34,8 +34,10 @@ fn main() {
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let median = ratios[ratios.len() / 2];
     println!("\nverified runs: {}", ratios.len());
-    println!("leverage mean {mean:.1}x | median {median:.1}x | min {:.1}x | max {:.1}x",
+    println!(
+        "leverage mean {mean:.1}x | median {median:.1}x | min {:.1}x | max {:.1}x",
         ratios.first().unwrap(),
-        ratios.last().unwrap());
+        ratios.last().unwrap()
+    );
     println!("paper's band: 5x-10x");
 }

@@ -43,6 +43,9 @@ fn main() {
         println!("violation: {v:?}");
     }
 
-    println!("\n=== R1's final configuration ===\n{}", outcome.configs["R1"]);
+    println!(
+        "\n=== R1's final configuration ===\n{}",
+        outcome.configs["R1"]
+    );
     assert!(outcome.global.holds(), "global policy must hold");
 }

@@ -20,7 +20,11 @@ fn main() {
     println!("  {}", outcome.leverage);
     println!(
         "  errors fixed by generated prompts: {}/{}",
-        outcome.error_rows.iter().filter(|r| r.fixed_by_auto).count(),
+        outcome
+            .error_rows
+            .iter()
+            .filter(|r| r.fixed_by_auto)
+            .count(),
         outcome.error_rows.len()
     );
 
@@ -29,7 +33,10 @@ fn main() {
     // whole-network BGP simulation.
     let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 7);
     let outcome = SynthesisSession::default().run(&mut llm, 6);
-    println!("\nno-transit synthesis verified: {}", outcome.verified_local);
+    println!(
+        "\nno-transit synthesis verified: {}",
+        outcome.verified_local
+    );
     println!("  {}", outcome.leverage);
     println!("  global no-transit holds: {}", outcome.global.holds());
     println!(

@@ -32,6 +32,9 @@ fn main() {
 
     println!("\n=== {} ===", outcome.leverage);
     println!("\n{}", report::table2(&outcome.error_rows));
-    println!("=== Final verified Juniper configuration ===\n{}", outcome.final_config);
+    println!(
+        "=== Final verified Juniper configuration ===\n{}",
+        outcome.final_config
+    );
     assert!(outcome.verified, "session must end verified");
 }

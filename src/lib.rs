@@ -23,6 +23,45 @@ pub use topo_model;
 /// used).
 pub const BORDER_CFG: &str = include_str!("../testdata/ios-border.cfg");
 
+/// Deterministic randomness for the integration property tests in
+/// `tests/` — a self-contained splitmix64 stream, since the offline
+/// build has no property-testing crate. Not a public API.
+#[doc(hidden)]
+pub mod testrand {
+    /// A seeded generator for test-case synthesis: convenience wrapper
+    /// over the workspace's one splitmix64 implementation
+    /// ([`llm_sim::rng::SimRng`]), so the stream definition lives in
+    /// exactly one place.
+    pub struct Rng(llm_sim::rng::SimRng);
+
+    impl Rng {
+        /// Seeds the stream.
+        pub fn new(seed: u64) -> Rng {
+            Rng(llm_sim::rng::SimRng::seed_from_u64(seed))
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform draw in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform draw in `[lo, hi)`.
+        pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.below(hi - lo)
+        }
+
+        /// Fair coin.
+        pub fn coin(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

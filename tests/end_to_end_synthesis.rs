@@ -28,7 +28,11 @@ fn figure4_star_has_two_human_prompts() {
         let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
         let outcome = SynthesisSession::default().run(&mut llm, 6);
         assert!(outcome.verified_local, "seed {seed}");
-        assert_eq!(outcome.leverage.human, 2, "seed {seed}: {}", outcome.leverage);
+        assert_eq!(
+            outcome.leverage.human, 2,
+            "seed {seed}: {}",
+            outcome.leverage
+        );
     }
 }
 

@@ -59,7 +59,10 @@ fn leverage_in_paper_band() {
         let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), seed);
         let outcome = TranslationSession::default().run(&mut llm, CISCO);
         assert!(outcome.verified);
-        assert_eq!(outcome.leverage.human, 2, "seed {seed}: exactly the two hard cases");
+        assert_eq!(
+            outcome.leverage.human, 2,
+            "seed {seed}: exactly the two hard cases"
+        );
         ratios.push(outcome.leverage.ratio());
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;

@@ -15,9 +15,12 @@ fn every_translation_fault_detected_and_resolved() {
     for fault in FaultKind::TRANSLATION {
         // (a) Detection: the faulty draft is distinguishable from clean.
         let clean = llm_sim::translate_task::TranslationDraft::new(CISCO, BTreeSet::new());
-        let faulty =
-            llm_sim::translate_task::TranslationDraft::new(CISCO, BTreeSet::from([fault]));
-        assert_ne!(clean.render(), faulty.render(), "{fault:?} must change the draft");
+        let faulty = llm_sim::translate_task::TranslationDraft::new(CISCO, BTreeSet::from([fault]));
+        assert_ne!(
+            clean.render(),
+            faulty.render(),
+            "{fault:?} must change the draft"
+        );
         let parsed = bf_lite::parse_config(&faulty.render(), Some(bf_lite::Vendor::Juniper));
         let (cast, _) = cisco_cfg::parse(CISCO);
         let (original, _) = config_ir::from_cisco(&cast);

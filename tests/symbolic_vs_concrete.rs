@@ -1,14 +1,15 @@
 //! Property tests: the symbolic policy engine and the concrete evaluator
 //! must agree on every route — the two interpreters keep each other
-//! honest. Policies, routes and devices are generated randomly.
+//! honest. Policies, routes and devices are generated from a seeded PRNG
+//! (the build is offline, so no external property-testing crate).
 
 use config_ir::{
     ClauseAction, Condition, Device, IrClause, IrCommunitySet, IrPolicy, IrPrefixSet, Modifier,
     PolicyEnv,
 };
+use cosynth_repro::testrand::Rng;
 use net_model::{Community, Prefix, PrefixPattern, Protocol, RouteAdvertisement};
 use policy_symbolic::{walk_policy, RouteSpace, SymState};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
@@ -21,90 +22,75 @@ fn universe() -> Vec<Community> {
     ]
 }
 
-prop_compose! {
-    fn arb_prefix()(bits in any::<u32>(), len in 0u8..=32) -> Prefix {
-        Prefix::new(Ipv4Addr::from(bits), len).unwrap()
+fn random_prefix(rng: &mut Rng) -> Prefix {
+    let bits = rng.next_u64() as u32;
+    let len = rng.below(33) as u8;
+    Prefix::new(Ipv4Addr::from(bits), len).unwrap()
+}
+
+fn random_pattern(rng: &mut Rng) -> PrefixPattern {
+    let p = random_prefix(rng);
+    let spread = rng.below(9) as u8;
+    let lo = p.len();
+    let hi = (lo + spread).min(32);
+    if rng.coin() {
+        PrefixPattern::with_bounds(p, Some(lo), Some(hi)).unwrap()
+    } else {
+        PrefixPattern::exact(p)
     }
 }
 
-prop_compose! {
-    fn arb_pattern()(p in arb_prefix(), spread in 0u8..=8, from_len in prop::bool::ANY) -> PrefixPattern {
-        let lo = p.len();
-        let hi = (lo + spread).min(32);
-        if from_len {
-            PrefixPattern::with_bounds(p, Some(lo), Some(hi)).unwrap()
-        } else {
-            PrefixPattern::exact(p)
-        }
-    }
-}
-
-fn arb_condition() -> impl Strategy<Value = Condition> {
-    prop_oneof![
-        prop::collection::vec(arb_pattern(), 1..3).prop_map(|patterns| Condition::MatchPrefix {
+fn random_condition(rng: &mut Rng) -> Condition {
+    match rng.below(3) {
+        0 => Condition::MatchPrefix {
             sets: vec![],
-            patterns,
-        }),
-        prop::sample::select(vec![0usize, 1, 2]).prop_map(|i| {
-            Condition::MatchCommunity(vec![format!("cs{i}")])
-        }),
-        prop::sample::select(Protocol::ALL.to_vec())
-            .prop_map(|p| Condition::MatchProtocol(vec![p])),
-    ]
-}
-
-fn arb_modifier() -> impl Strategy<Value = Modifier> {
-    prop_oneof![
-        (prop::sample::select(universe()), prop::bool::ANY).prop_map(|(c, additive)| {
-            Modifier::SetCommunities {
-                communities: BTreeSet::from([c]),
-                additive,
-            }
-        }),
-        (0u32..1000).prop_map(Modifier::SetMed),
-        (0u32..500).prop_map(Modifier::SetLocalPref),
-        prop::sample::select(vec![0usize, 1, 2])
-            .prop_map(|i| Modifier::DeleteCommunities(format!("cs{i}"))),
-    ]
-}
-
-fn arb_clause(id: usize) -> impl Strategy<Value = IrClause> {
-    (
-        prop::sample::select(vec![
-            ClauseAction::Permit,
-            ClauseAction::Deny,
-            ClauseAction::FallThrough,
+            patterns: (0..rng.range(1, 3)).map(|_| random_pattern(rng)).collect(),
+        },
+        1 => Condition::MatchCommunity(vec![format!("cs{}", rng.below(3))]),
+        _ => Condition::MatchProtocol(vec![
+            Protocol::ALL[rng.below(Protocol::ALL.len() as u64) as usize],
         ]),
-        prop::collection::vec(arb_condition(), 0..3),
-        prop::collection::vec(arb_modifier(), 0..3),
-    )
-        .prop_map(move |(action, conditions, modifiers)| IrClause {
-            id: id.to_string(),
-            action,
-            conditions,
-            modifiers,
-        })
+    }
 }
 
-fn arb_policy() -> impl Strategy<Value = IrPolicy> {
-    (
-        prop::collection::vec(arb_clause(0), 1..5),
-        prop::bool::ANY,
-    )
-        .prop_map(|(mut clauses, default_permit)| {
-            for (i, c) in clauses.iter_mut().enumerate() {
-                c.id = ((i + 1) * 10).to_string();
-            }
-            IrPolicy {
-                name: "p".into(),
-                clauses,
-                default_action: if default_permit {
-                    ClauseAction::Permit
-                } else {
-                    ClauseAction::Deny
-                },
-            }
-        })
+fn random_modifier(rng: &mut Rng) -> Modifier {
+    let u = universe();
+    match rng.below(4) {
+        0 => Modifier::SetCommunities {
+            communities: BTreeSet::from([u[rng.below(3) as usize]]),
+            additive: rng.coin(),
+        },
+        1 => Modifier::SetMed(rng.below(1000) as u32),
+        2 => Modifier::SetLocalPref(rng.below(500) as u32),
+        _ => Modifier::DeleteCommunities(format!("cs{}", rng.below(3))),
+    }
+}
+
+fn random_policy(rng: &mut Rng) -> IrPolicy {
+    let n_clauses = rng.range(1, 5);
+    let mut clauses = Vec::new();
+    for i in 0..n_clauses {
+        let action = match rng.below(3) {
+            0 => ClauseAction::Permit,
+            1 => ClauseAction::Deny,
+            _ => ClauseAction::FallThrough,
+        };
+        clauses.push(IrClause {
+            id: ((i + 1) * 10).to_string(),
+            action,
+            conditions: (0..rng.below(3)).map(|_| random_condition(rng)).collect(),
+            modifiers: (0..rng.below(3)).map(|_| random_modifier(rng)).collect(),
+        });
+    }
+    IrPolicy {
+        name: "p".into(),
+        clauses,
+        default_action: if rng.coin() {
+            ClauseAction::Permit
+        } else {
+            ClauseAction::Deny
+        },
+    }
 }
 
 /// A device with the fixed named sets the generators reference.
@@ -123,47 +109,44 @@ fn device_with(policy: IrPolicy) -> Device {
     d
 }
 
-prop_compose! {
-    fn arb_route()(
-        bits in any::<u32>(),
-        len in 0u8..=32,
-        carry in prop::collection::btree_set(prop::sample::select(universe()), 0..=3),
-        proto in prop::sample::select(Protocol::ALL.to_vec()),
-    ) -> RouteAdvertisement {
-        let mut r = RouteAdvertisement::of_protocol(
-            Prefix::new(Ipv4Addr::from(bits), len).unwrap(),
-            proto,
-        );
-        r.communities = carry;
-        r
+fn random_route(rng: &mut Rng) -> RouteAdvertisement {
+    let u = universe();
+    let mut r = RouteAdvertisement::of_protocol(
+        random_prefix(rng),
+        Protocol::ALL[rng.below(Protocol::ALL.len() as u64) as usize],
+    );
+    for c in u {
+        if rng.coin() {
+            r.communities.insert(c);
+        }
     }
+    r
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The headline agreement property: symbolic permit space equals the
-    /// concrete evaluator's verdict on every sampled route.
-    #[test]
-    fn symbolic_and_concrete_agree(policy in arb_policy(), routes in prop::collection::vec(arb_route(), 1..8)) {
-        let d = device_with(policy);
-        let mut space = RouteSpace::for_devices(&[&d]);
+/// The headline agreement property: symbolic permit space equals the
+/// concrete evaluator's verdict on every sampled route, and output
+/// communities agree on permitted routes.
+#[test]
+fn symbolic_and_concrete_agree() {
+    let mut rng = Rng::new(0xa9ee);
+    for case in 0..128 {
+        let d = device_with(random_policy(&mut rng));
         // All universe communities must be present even if the random
         // policy doesn't mention them (routes may carry them).
         let mut full = BTreeSet::new();
         full.extend(universe());
         full.extend(d.community_universe());
-        let mut space_full = RouteSpace::new(full, BTreeSet::new());
-        let _ = &mut space; // the narrow space is intentionally unused
-        let init = SymState::input(&mut space_full);
-        let top = space_full.mgr.top();
-        let result = walk_policy(&mut space_full, &d, d.policy("p").unwrap(), top, &init, None);
+        let mut space = RouteSpace::new(full, BTreeSet::new());
+        let init = SymState::input(&mut space);
+        let top = space.mgr.top();
+        let result = walk_policy(&mut space, &d, d.policy("p").unwrap(), top, &init, None);
         let env = PolicyEnv::new(&d);
-        for route in routes {
-            let a = space_full.encode(&route);
-            let symbolic = space_full.mgr.eval(result.permit, |v| a[v as usize]);
+        for _ in 0..rng.range(1, 8) {
+            let route = random_route(&mut rng);
+            let a = space.encode(&route);
+            let symbolic = space.mgr.eval(result.permit, |v| a[v as usize]);
             let concrete = config_ir::eval_policy(&env, d.policy("p").unwrap(), &route);
-            prop_assert_eq!(symbolic, concrete.is_permit(), "route {}", route);
+            assert_eq!(symbolic, concrete.is_permit(), "case {case}: route {route}");
             // When permitted, output communities agree too.
             if let config_ir::PolicyOutcome::Permit(out) = concrete {
                 for c in universe() {
@@ -171,24 +154,34 @@ proptest! {
                         .out
                         .comm
                         .get(&c)
-                        .map(|f| space_full.mgr.eval(*f, |v| a[v as usize]))
+                        .map(|f| space.mgr.eval(*f, |v| a[v as usize]))
                         .unwrap_or(false);
-                    prop_assert_eq!(sym_has, out.communities.contains(&c), "community {} on {}", c, route);
+                    assert_eq!(
+                        sym_has,
+                        out.communities.contains(&c),
+                        "case {case}: community {c} on {route}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Permit and deny spaces always partition the whole route space.
-    #[test]
-    fn permit_deny_partition(policy in arb_policy()) {
-        let d = device_with(policy);
+/// Permit and deny spaces always partition the whole route space.
+#[test]
+fn permit_deny_partition() {
+    let mut rng = Rng::new(0x9a27);
+    for case in 0..128 {
+        let d = device_with(random_policy(&mut rng));
         let mut space = RouteSpace::for_devices(&[&d]);
         let init = SymState::input(&mut space);
         let top = space.mgr.top();
         let r = walk_policy(&mut space, &d, d.policy("p").unwrap(), top, &init, None);
-        prop_assert!(space.mgr.and(r.permit, r.deny).is_false());
+        assert!(
+            space.mgr.and(r.permit, r.deny).is_false(),
+            "case {case}: overlap"
+        );
         let union = space.mgr.or(r.permit, r.deny);
-        prop_assert!(union.is_true());
+        assert!(union.is_true(), "case {case}: not exhaustive");
     }
 }

@@ -1,129 +1,135 @@
 //! Property tests on the vendor front ends and the cross-vendor
 //! translation path: parse∘print identity, translation invariance, and
 //! the full Cisco → IR → Junos → IR equivalence under Campion-lite.
+//! Devices are generated from a seeded PRNG (the build is offline, so no
+//! external property-testing crate).
 
 use config_ir::{from_cisco, from_juniper, to_cisco, to_juniper, Device, IrBgp, IrNeighbor};
+use cosynth_repro::testrand::Rng;
 use net_model::{Asn, Community, Prefix, PrefixPattern};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
-prop_compose! {
-    fn arb_prefix24()(a in 1u8..=200, b in 0u8..=255) -> Prefix {
-        format!("{a}.{b}.0.0/24").parse().unwrap()
-    }
+const CASES: usize = 64;
+
+fn prefix24(rng: &mut Rng) -> Prefix {
+    let a = rng.range(1, 201);
+    let b = rng.below(256);
+    format!("{a}.{b}.0.0/24").parse().unwrap()
 }
 
-prop_compose! {
-    fn arb_community()(h in 1u16..1000, l in 0u16..10) -> Community {
-        Community::new(h, l)
-    }
+fn community(rng: &mut Rng) -> Community {
+    Community::new(rng.range(1, 1000) as u16, rng.below(10) as u16)
 }
 
 /// Generates a random but well-formed device in the supported feature
 /// space: interfaces, a BGP process with neighbors and policies over
 /// prefix sets / community sets with ge/le bounds and MED/LP modifiers.
-fn arb_device() -> impl Strategy<Value = Device> {
-    (
-        prop::collection::vec(arb_prefix24(), 1..4),
-        prop::collection::vec(arb_community(), 1..3),
-        1u32..60000,
-        prop::collection::vec((0u8..9, prop::bool::ANY), 1..4),
-        0u32..500,
-        prop::bool::ANY,
-    )
-        .prop_map(|(prefixes, communities, asn, spreads, med, additive)| {
-            let mut d = Device::named("gen");
-            // Prefix set with bounds derived from the generator.
-            let patterns: Vec<PrefixPattern> = prefixes
-                .iter()
-                .zip(spreads.iter().cycle())
-                .map(|(p, (spread, exact))| {
-                    if *exact {
-                        PrefixPattern::exact(*p)
-                    } else {
-                        let hi = (p.len() + spread).min(32);
-                        PrefixPattern::with_bounds(*p, Some(p.len()), Some(hi)).unwrap()
-                    }
-                })
-                .collect();
-            d.prefix_sets
-                .push(config_ir::IrPrefixSet::permitting("nets", patterns));
-            for (i, c) in communities.iter().enumerate() {
-                d.community_sets
-                    .push(config_ir::IrCommunitySet::single(format!("cs{i}"), *c));
+fn random_device(rng: &mut Rng) -> Device {
+    let prefixes: Vec<Prefix> = (0..rng.range(1, 4)).map(|_| prefix24(rng)).collect();
+    let communities: Vec<Community> = (0..rng.range(1, 3)).map(|_| community(rng)).collect();
+    let asn = rng.range(1, 60000) as u32;
+    let med = rng.below(500) as u32;
+    let additive = rng.coin();
+
+    let mut d = Device::named("gen");
+    // Prefix set with bounds derived from the generator.
+    let patterns: Vec<PrefixPattern> = prefixes
+        .iter()
+        .map(|p| {
+            let spread = rng.below(9) as u8;
+            if rng.coin() {
+                PrefixPattern::exact(*p)
+            } else {
+                let hi = (p.len() + spread).min(32);
+                PrefixPattern::with_bounds(*p, Some(p.len()), Some(hi)).unwrap()
             }
-            let mut p = config_ir::IrPolicy::new("export-map");
-            let mut clause = config_ir::IrClause {
-                id: "10".into(),
-                action: config_ir::ClauseAction::Permit,
-                conditions: vec![config_ir::Condition::prefix_set("nets")],
-                modifiers: vec![config_ir::Modifier::SetMed(med)],
-            };
-            clause.modifiers.push(config_ir::Modifier::SetCommunities {
-                communities: BTreeSet::from([communities[0]]),
-                additive,
-            });
-            p.clauses.push(clause);
-            p.clauses.push(config_ir::IrClause::deny_all("100"));
-            d.policies.push(p);
-            let mut iface = config_ir::IrInterface::named("Ethernet0/0");
-            iface.address = Some("10.0.0.1/24".parse().unwrap());
-            d.interfaces.push(iface);
-            let mut bgp = IrBgp::new(Asn(asn));
-            bgp.router_id = Some(Ipv4Addr::new(1, 0, 0, 1));
-            bgp.networks.push("10.0.0.0/24".parse().unwrap());
-            let mut n = IrNeighbor::new("10.0.0.2".parse().unwrap());
-            n.remote_as = Some(Asn(asn % 100 + 1));
-            n.send_community = true;
-            n.export_policy.push("export-map".into());
-            bgp.neighbors.push(n);
-            d.bgp = Some(bgp);
-            d
         })
+        .collect();
+    d.prefix_sets
+        .push(config_ir::IrPrefixSet::permitting("nets", patterns));
+    for (i, c) in communities.iter().enumerate() {
+        d.community_sets
+            .push(config_ir::IrCommunitySet::single(format!("cs{i}"), *c));
+    }
+    let mut p = config_ir::IrPolicy::new("export-map");
+    let mut clause = config_ir::IrClause {
+        id: "10".into(),
+        action: config_ir::ClauseAction::Permit,
+        conditions: vec![config_ir::Condition::prefix_set("nets")],
+        modifiers: vec![config_ir::Modifier::SetMed(med)],
+    };
+    clause.modifiers.push(config_ir::Modifier::SetCommunities {
+        communities: BTreeSet::from([communities[0]]),
+        additive,
+    });
+    p.clauses.push(clause);
+    p.clauses.push(config_ir::IrClause::deny_all("100"));
+    d.policies.push(p);
+    let mut iface = config_ir::IrInterface::named("Ethernet0/0");
+    iface.address = Some("10.0.0.1/24".parse().unwrap());
+    d.interfaces.push(iface);
+    let mut bgp = IrBgp::new(Asn(asn));
+    bgp.router_id = Some(Ipv4Addr::new(1, 0, 0, 1));
+    bgp.networks.push("10.0.0.0/24".parse().unwrap());
+    let mut n = IrNeighbor::new("10.0.0.2".parse().unwrap());
+    n.remote_as = Some(Asn(asn % 100 + 1));
+    n.send_community = true;
+    n.export_policy.push("export-map".into());
+    bgp.neighbors.push(n);
+    d.bgp = Some(bgp);
+    d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Cisco emission → parse → lower is the identity on the IR.
-    #[test]
-    fn cisco_roundtrip_preserves_ir(d in arb_device()) {
+/// Cisco emission → parse → lower is the identity on the IR.
+#[test]
+fn cisco_roundtrip_preserves_ir() {
+    let mut rng = Rng::new(0xc15c0);
+    for case in 0..CASES {
+        let d = random_device(&mut rng);
         let (ast, notes) = to_cisco(&d);
-        prop_assert!(notes.is_empty(), "{notes:?}");
+        assert!(notes.is_empty(), "case {case}: {notes:?}");
         let text = cisco_cfg::print(&ast);
         let (reparsed, warnings) = cisco_cfg::parse(&text);
-        prop_assert!(warnings.is_empty(), "{warnings:?}\n{text}");
+        assert!(warnings.is_empty(), "case {case}: {warnings:?}\n{text}");
         let (d2, _) = from_cisco(&reparsed);
-        prop_assert_eq!(&d.bgp, &d2.bgp);
-        prop_assert_eq!(&d.policies, &d2.policies);
-        prop_assert_eq!(&d.prefix_sets, &d2.prefix_sets);
-        prop_assert_eq!(&d.community_sets, &d2.community_sets);
+        assert_eq!(&d.bgp, &d2.bgp, "case {case}");
+        assert_eq!(&d.policies, &d2.policies, "case {case}");
+        assert_eq!(&d.prefix_sets, &d2.prefix_sets, "case {case}");
+        assert_eq!(&d.community_sets, &d2.community_sets, "case {case}");
     }
+}
 
-    /// Junos emission → parse → lower preserves behaviour: the reference
-    /// translation shows no Campion differences against the original.
-    #[test]
-    fn translation_has_no_campion_findings(d in arb_device()) {
+/// Junos emission → parse → lower preserves behaviour: the reference
+/// translation shows no Campion differences against the original.
+#[test]
+fn translation_has_no_campion_findings() {
+    let mut rng = Rng::new(0x10005);
+    for case in 0..CASES {
+        let d = random_device(&mut rng);
         let (jcfg, _) = to_juniper(&d);
         let text = juniper_cfg::print(&jcfg);
         let (reparsed, warnings) = juniper_cfg::parse(&text);
-        prop_assert!(warnings.is_empty(), "{warnings:?}\n{text}");
+        assert!(warnings.is_empty(), "case {case}: {warnings:?}\n{text}");
         let (d2, _) = from_juniper(&reparsed);
         let findings = campion_lite::compare(&d, &d2);
-        prop_assert!(findings.is_empty(), "{findings:#?}\n{text}");
+        assert!(findings.is_empty(), "case {case}: {findings:#?}\n{text}");
     }
+}
 
-    /// Printing is idempotent for both vendors.
-    #[test]
-    fn printers_are_idempotent(d in arb_device()) {
+/// Printing is idempotent for both vendors.
+#[test]
+fn printers_are_idempotent() {
+    let mut rng = Rng::new(0x1de4);
+    for case in 0..CASES {
+        let d = random_device(&mut rng);
         let (cast, _) = to_cisco(&d);
         let once = cisco_cfg::print(&cast);
         let (re, _) = cisco_cfg::parse(&once);
-        prop_assert_eq!(&once, &cisco_cfg::print(&re));
+        assert_eq!(&once, &cisco_cfg::print(&re), "case {case}");
         let (jast, _) = to_juniper(&d);
         let jonce = juniper_cfg::print(&jast);
         let (jre, _) = juniper_cfg::parse(&jonce);
-        prop_assert_eq!(&jonce, &juniper_cfg::print(&jre));
+        assert_eq!(&jonce, &juniper_cfg::print(&jre), "case {case}");
     }
 }
