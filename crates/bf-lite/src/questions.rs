@@ -44,6 +44,15 @@ pub enum LocalPolicyCheck {
         /// The community that must survive.
         community: Community,
     },
+    /// Every route permitted by the chain must come out with this
+    /// local-preference (the prefer-customer intent's ingress policy).
+    /// Checked concretely — local-pref is not a symbolic space variable.
+    PermittedRoutesSetLocalPref {
+        /// The policy chain to check.
+        chain: Vec<String>,
+        /// The required local-preference value.
+        value: u32,
+    },
 }
 
 impl LocalPolicyCheck {
@@ -62,29 +71,35 @@ impl LocalPolicyCheck {
                 "routes permitted by {} must not lose community {community}",
                 chain.join(",")
             ),
+            LocalPolicyCheck::PermittedRoutesSetLocalPref { chain, value } => format!(
+                "routes permitted by {} must carry local-preference {value}",
+                chain.join(",")
+            ),
         }
     }
 
-    /// The violation query for this check.
-    fn violation_query(&self) -> (Vec<String>, RouteQuery) {
+    /// The violation query for this check (symbolic variants only; the
+    /// local-pref check is concrete and handled in
+    /// [`check_local_policy`] directly).
+    fn violation_query(&self) -> Option<(Vec<String>, RouteQuery)> {
         match self {
-            LocalPolicyCheck::PermittedRoutesCarry { chain, community } => (
+            LocalPolicyCheck::PermittedRoutesCarry { chain, community } => Some((
                 chain.clone(),
                 RouteQuery {
                     action_permit: true,
                     output_communities_absent: vec![*community],
                     ..Default::default()
                 },
-            ),
-            LocalPolicyCheck::RoutesWithCommunityDenied { chain, community } => (
+            )),
+            LocalPolicyCheck::RoutesWithCommunityDenied { chain, community } => Some((
                 chain.clone(),
                 RouteQuery {
                     action_permit: true,
                     input_communities_present: vec![*community],
                     ..Default::default()
                 },
-            ),
-            LocalPolicyCheck::PermittedRoutesPreserve { chain, community } => (
+            )),
+            LocalPolicyCheck::PermittedRoutesPreserve { chain, community } => Some((
                 chain.clone(),
                 RouteQuery {
                     action_permit: true,
@@ -92,7 +107,8 @@ impl LocalPolicyCheck {
                     output_communities_absent: vec![*community],
                     ..Default::default()
                 },
-            ),
+            )),
+            LocalPolicyCheck::PermittedRoutesSetLocalPref { .. } => None,
         }
     }
 }
@@ -104,7 +120,23 @@ pub fn check_local_policy(
     device: &Device,
     check: &LocalPolicyCheck,
 ) -> Result<(), RouteAdvertisement> {
-    let (chain, query) = check.violation_query();
+    if let LocalPolicyCheck::PermittedRoutesSetLocalPref { chain, value } = check {
+        // Concrete probe: a preference map must permit and must stamp the
+        // value (a deny would starve the session of the neighbor's
+        // routes). The contract matches the prompt sentence — "set
+        // local-preference N on ALL routes" — so an unconditional
+        // permit+set chain is expected; a map that discriminates by
+        // prefix/community is judged only on this one probe
+        // (local-pref is not a symbolic space variable).
+        let probe = RouteAdvertisement::bgp("192.0.2.0/24".parse().expect("TEST-NET-1"));
+        let env = config_ir::PolicyEnv::new(device);
+        return match config_ir::eval_policy_chain(&env, chain, &probe) {
+            config_ir::PolicyOutcome::Permit(out) if out.local_pref == Some(*value) => Ok(()),
+            config_ir::PolicyOutcome::Permit(out) => Err(out),
+            config_ir::PolicyOutcome::Deny => Err(probe),
+        };
+    }
+    let (chain, query) = check.violation_query().expect("symbolic variant");
     let mut space = ensure_community_in_space(device, check);
     match search_route_policies(&mut space, device, &chain, &query) {
         Some(route) => Err(route),
@@ -121,6 +153,9 @@ fn ensure_community_in_space(device: &Device, check: &LocalPolicyCheck) -> Route
         LocalPolicyCheck::PermittedRoutesCarry { community, .. }
         | LocalPolicyCheck::RoutesWithCommunityDenied { community, .. }
         | LocalPolicyCheck::PermittedRoutesPreserve { community, .. } => *community,
+        LocalPolicyCheck::PermittedRoutesSetLocalPref { .. } => {
+            unreachable!("local-pref checks are concrete, not symbolic")
+        }
     };
     communities.insert(c);
     let mut aspaths = std::collections::BTreeSet::new();
@@ -255,6 +290,34 @@ mod tests {
         d.policies.clear();
         d.policies.push(fixed_policy);
         assert!(check_local_policy(&d, &check).is_ok());
+    }
+
+    #[test]
+    fn local_pref_check_is_concrete() {
+        let mut d = Device::named("r1");
+        let mut p = IrPolicy::new("PREF_CUST");
+        let mut clause = IrClause::permit_all("10");
+        clause.modifiers.push(Modifier::SetLocalPref(200));
+        p.clauses.push(clause);
+        d.policies.push(p);
+        let check = LocalPolicyCheck::PermittedRoutesSetLocalPref {
+            chain: vec!["PREF_CUST".into()],
+            value: 200,
+        };
+        assert!(check_local_policy(&d, &check).is_ok());
+        // Wrong value is a violation carrying the evaluated route.
+        let wrong = LocalPolicyCheck::PermittedRoutesSetLocalPref {
+            chain: vec!["PREF_CUST".into()],
+            value: 50,
+        };
+        let witness = check_local_policy(&d, &wrong).unwrap_err();
+        assert_eq!(witness.local_pref, Some(200));
+        // A missing map denies the probe — also a violation.
+        let missing = LocalPolicyCheck::PermittedRoutesSetLocalPref {
+            chain: vec!["NOPE".into()],
+            value: 200,
+        };
+        assert!(check_local_policy(&d, &missing).is_err());
     }
 
     #[test]

@@ -166,106 +166,156 @@ fn originated(device: &Device) -> Vec<RouteAdvertisement> {
         .collect()
 }
 
-/// Runs synchronous rounds of export→import until RIBs stop changing.
-pub fn run(snapshot: &Snapshot) -> SimReport {
-    let n = snapshot.devices.len();
-    // Adj-RIB-in per (to, from): routes learned on each session.
-    let mut learned: Vec<BTreeMap<usize, Vec<RouteAdvertisement>>> = vec![BTreeMap::new(); n];
-    let mut ribs: Vec<Rib> = vec![BTreeMap::new(); n];
-    // Seed with originations.
-    for (i, d) in snapshot.devices.iter().enumerate() {
-        for r in originated(d) {
-            ribs[i].insert(r.prefix, r);
+/// Recomputes one session's accepted routes (export policy → eBGP
+/// attribute rewrite → loop check → import policy) from the exporter's
+/// current RIB.
+fn session_accepted(
+    snapshot: &Snapshot,
+    s: &BgpSession,
+    exporter_rib: &Rib,
+) -> Vec<RouteAdvertisement> {
+    let exporter = &snapshot.devices[s.from];
+    let importer = &snapshot.devices[s.to];
+    let ebgp = exporter.bgp.as_ref().expect("session implies bgp");
+    let nbr = ebgp
+        .neighbor(s.to_addr)
+        .expect("session built from neighbor");
+    // The policy environment is per-session, not per-route; building it
+    // in the inner loop was the simulator's hottest allocation.
+    let env = PolicyEnv::for_neighbor(exporter, s.to_addr);
+    let ibgp = importer.bgp.as_ref().expect("session implies bgp");
+    let inbr = ibgp
+        .neighbor(s.from_addr)
+        .expect("session checked both ways");
+    let ienv = PolicyEnv::for_neighbor(importer, s.from_addr);
+    let mut accepted = Vec::new();
+    for route in exporter_rib.values() {
+        // eBGP loop prevention at the exporter (split horizon on AS path
+        // happens at import; exporting is fine).
+        match eval_policy_chain(&env, &nbr.export_policy, route) {
+            PolicyOutcome::Permit(mut out) => {
+                if !nbr.send_community {
+                    out.communities.clear();
+                }
+                // eBGP export: prepend own AS, set next hop, strip
+                // local-pref and (one hop) keep MED.
+                out.as_path = out.as_path.prepend(ebgp.asn);
+                out.next_hop = Some(s.from_addr);
+                out.local_pref = None;
+                out.protocol = Protocol::Bgp;
+                if out.would_loop(ibgp.asn) {
+                    continue;
+                }
+                match eval_policy_chain(&ienv, &inbr.import_policy, &out) {
+                    PolicyOutcome::Permit(r) => accepted.push(r),
+                    PolicyOutcome::Deny => {}
+                }
+            }
+            PolicyOutcome::Deny => {}
         }
     }
+    accepted
+}
+
+/// Best-path RIB for one device from its originations and the accepted
+/// routes of its incoming sessions. Originations (Connected protocol,
+/// empty AS path) always win.
+fn best_rib(device: &Device, incoming: &[usize], accepted: &[Vec<RouteAdvertisement>]) -> Rib {
+    let mut rib: Rib = BTreeMap::new();
+    for r in originated(device) {
+        rib.insert(r.prefix, r);
+    }
+    for &si in incoming {
+        for r in &accepted[si] {
+            match rib.get(&r.prefix) {
+                Some(cur) => {
+                    let cur_local = cur.protocol == Protocol::Connected;
+                    if !cur_local && r.better_than(cur) {
+                        rib.insert(r.prefix, r.clone());
+                    }
+                }
+                None => {
+                    rib.insert(r.prefix, r.clone());
+                }
+            }
+        }
+    }
+    rib
+}
+
+/// Runs synchronous rounds of export→import until RIBs stop changing.
+///
+/// Convergence tracking is incremental: each round only re-exports the
+/// sessions of devices whose RIB changed in the previous round (the
+/// dirty set) and only rebuilds the RIBs of devices whose adj-RIB-in
+/// actually changed. The seed implementation cloned and compared every
+/// device's full RIB map every round — fine at star sizes, quadratic
+/// pain at fleet sizes.
+pub fn run(snapshot: &Snapshot) -> SimReport {
+    let n = snapshot.devices.len();
+    // Accepted routes per directed session (the adj-RIB-in, sliced by
+    // session rather than keyed by exporter so parallel sessions between
+    // the same pair cannot collide).
+    let mut accepted: Vec<Vec<RouteAdvertisement>> = vec![Vec::new(); snapshot.sessions.len()];
+    let mut by_exporter: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut by_importer: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (si, s) in snapshot.sessions.iter().enumerate() {
+        by_exporter[s.from].push(si);
+        by_importer[s.to].push(si);
+    }
+    // Seed with originations; every device starts dirty.
+    let mut ribs: Vec<Rib> = snapshot
+        .devices
+        .iter()
+        .map(|d| {
+            let mut rib = BTreeMap::new();
+            for r in originated(d) {
+                rib.insert(r.prefix, r);
+            }
+            rib
+        })
+        .collect();
+    let mut dirty: Vec<bool> = vec![true; n];
     let max_rounds = 4 * n + 8;
     let mut rounds = 0;
     let mut diverged = false;
-    loop {
+    while dirty.iter().any(|&d| d) {
         rounds += 1;
         if rounds > max_rounds {
             diverged = true;
             break;
         }
-        let mut new_learned = learned.clone();
-        for s in &snapshot.sessions {
-            let exporter = &snapshot.devices[s.from];
-            let importer = &snapshot.devices[s.to];
-            let ebgp = exporter.bgp.as_ref().expect("session implies bgp");
-            let nbr = ebgp
-                .neighbor(s.to_addr)
-                .expect("session built from neighbor");
-            // The policy environment is per-session, not per-route;
-            // building it in the inner loop was the simulator's hottest
-            // allocation.
-            let env = PolicyEnv::for_neighbor(exporter, s.to_addr);
-            let mut outbox = Vec::new();
-            for route in ribs[s.from].values() {
-                // eBGP loop prevention at the exporter (split horizon on
-                // AS path happens at import; exporting is fine).
-                match eval_policy_chain(&env, &nbr.export_policy, route) {
-                    PolicyOutcome::Permit(mut out) => {
-                        if !nbr.send_community {
-                            out.communities.clear();
-                        }
-                        // eBGP export: prepend own AS, set next hop, strip
-                        // local-pref and (one hop) keep MED.
-                        out.as_path = out.as_path.prepend(ebgp.asn);
-                        out.next_hop = Some(s.from_addr);
-                        out.local_pref = None;
-                        out.protocol = Protocol::Bgp;
-                        outbox.push(out);
-                    }
-                    PolicyOutcome::Deny => {}
-                }
+        // Phase 1: re-export from dirty devices; note importers whose
+        // adj-RIB-in changed. Reads `ribs` only, so rounds stay
+        // synchronous.
+        let mut touched = vec![false; n];
+        for from in 0..n {
+            if !dirty[from] {
+                continue;
             }
-            // Import side.
-            let ibgp = importer.bgp.as_ref().expect("session implies bgp");
-            let inbr = ibgp
-                .neighbor(s.from_addr)
-                .expect("session checked both ways");
-            let env = PolicyEnv::for_neighbor(importer, s.from_addr);
-            let mut accepted = Vec::new();
-            for route in outbox {
-                if route.would_loop(ibgp.asn) {
-                    continue;
-                }
-                match eval_policy_chain(&env, &inbr.import_policy, &route) {
-                    PolicyOutcome::Permit(r) => accepted.push(r),
-                    PolicyOutcome::Deny => {}
-                }
-            }
-            new_learned[s.to].insert(s.from, accepted);
-        }
-        // Recompute RIBs: originations beat learned routes (AS path 0 and
-        // Connected protocol), then best-path among learned.
-        let mut new_ribs: Vec<Rib> = vec![BTreeMap::new(); n];
-        for (i, d) in snapshot.devices.iter().enumerate() {
-            for r in originated(d) {
-                new_ribs[i].insert(r.prefix, r);
-            }
-            for routes in new_learned[i].values() {
-                for r in routes {
-                    match new_ribs[i].get(&r.prefix) {
-                        Some(cur) => {
-                            // Locally originated (Connected) always wins.
-                            let cur_local = cur.protocol == Protocol::Connected;
-                            if !cur_local && r.better_than(cur) {
-                                new_ribs[i].insert(r.prefix, r.clone());
-                            }
-                        }
-                        None => {
-                            new_ribs[i].insert(r.prefix, r.clone());
-                        }
-                    }
+            for &si in &by_exporter[from] {
+                let s = &snapshot.sessions[si];
+                let fresh = session_accepted(snapshot, s, &ribs[from]);
+                if fresh != accepted[si] {
+                    accepted[si] = fresh;
+                    touched[s.to] = true;
                 }
             }
         }
-        if new_ribs == ribs && new_learned == learned {
-            break;
+        // Phase 2: rebuild RIBs of touched devices; changed RIBs form
+        // the next round's dirty set.
+        let mut next_dirty = vec![false; n];
+        for (to, was_touched) in touched.into_iter().enumerate() {
+            if !was_touched {
+                continue;
+            }
+            let rib = best_rib(&snapshot.devices[to], &by_importer[to], &accepted);
+            if rib != ribs[to] {
+                ribs[to] = rib;
+                next_dirty[to] = true;
+            }
         }
-        ribs = new_ribs;
-        learned = new_learned;
+        dirty = next_dirty;
     }
     SimReport {
         ribs,

@@ -1,0 +1,96 @@
+//! `fleet` — run N generated scenarios through the full VPP loop on a
+//! work-stealing thread pool and write `BENCH_scenarios.json`.
+//!
+//! ```sh
+//! cargo run --release --bin fleet -- --sessions 64 --seed 1
+//! ```
+//!
+//! Flags: `--sessions N` (default 16), `--seed S` (default 1),
+//! `--threads T` (default: machine parallelism clamped to [2, 8]),
+//! `--families a,b,c` (filter to those topology families),
+//! `--out PATH` (default `BENCH_scenarios.json`),
+//! `--dump-scenario I` (print scenario I's JSON and exit).
+//!
+//! Exit status is non-zero if any session fails to converge or panics —
+//! the CI smoke contract.
+
+use cosynth_fleet::{bench_json, run_fleet, scenario_for, FleetConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    if let Some(i) = arg_value(&args, "--dump-scenario").and_then(|s| s.parse::<usize>().ok()) {
+        println!("{}", scenario_for(seed, i).to_json());
+        return;
+    }
+    let cfg = FleetConfig {
+        sessions: arg_value(&args, "--sessions")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(16),
+        seed,
+        threads: arg_value(&args, "--threads")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(cosynth_fleet::default_threads),
+        families: arg_value(&args, "--families")
+            .map(|s| s.split(',').map(|f| f.trim().to_string()).collect()),
+    };
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".into());
+
+    eprintln!(
+        "fleet: {} sessions, seed {}, {} workers",
+        cfg.sessions, cfg.seed, cfg.threads
+    );
+    let report = run_fleet(&cfg);
+
+    println!("{}", cosynth::scenario_table(&report.rows));
+    println!(
+        "{} sessions in {:.1} ms on {} workers ({:.2} sessions/s)",
+        report.results.len(),
+        report.wall_ms,
+        report.threads,
+        report.throughput()
+    );
+
+    if report.results.len() < cfg.sessions {
+        eprintln!(
+            "fleet: only {} of {} requested sessions ran (does --families name a real \
+             family? known: {:?})",
+            report.results.len(),
+            cfg.sessions,
+            cosynth_fleet::family_names()
+        );
+        std::process::exit(1);
+    }
+
+    let mut failed = 0usize;
+    for r in &report.results {
+        if !r.converged() {
+            failed += 1;
+            eprintln!(
+                "FAILED session {} ({}): panicked={} local_ok={} global_ok={} violations={}",
+                r.index, r.scenario, r.panicked, r.local_ok, r.global_ok, r.violations
+            );
+        }
+    }
+
+    let json = bench_json(&report, cfg.sessions);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("fleet: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+
+    if failed > 0 {
+        eprintln!("fleet: {failed} session(s) failed");
+        std::process::exit(1);
+    }
+}

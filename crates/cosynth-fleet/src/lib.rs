@@ -1,0 +1,429 @@
+//! # cosynth-fleet — the parallel VPP fleet runner
+//!
+//! Executes N generated verification scenarios end-to-end through the
+//! full VPP loop (generate → modularize → simulated-LLM drafts → verify
+//! → rectify → compose → simulate) across a fixed pool of `std::thread`
+//! workers with a work-stealing queue, then aggregates leverage ratios,
+//! fault-survival counts, and convergence rounds per topology family.
+//!
+//! Determinism: session `i` of seed `s` always runs the same scenario
+//! against the same simulated-model stream, regardless of worker count
+//! or scheduling — only wall-clock figures vary between runs.
+
+use cosynth::{FamilyRow, Modularizer, SynthesisSession};
+use criterion::SampleStats;
+use llm_sim::{ErrorModel, SimulatedGpt4};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+use topo_model::Scenario;
+
+/// Fleet run parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Sessions to run.
+    pub sessions: usize,
+    /// Scenario/model stream seed.
+    pub seed: u64,
+    /// Worker threads (min 2 — the fleet is a parallelism harness).
+    pub threads: usize,
+    /// Optional family filter (names from [`family_names`]).
+    pub families: Option<Vec<String>>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            sessions: 16,
+            seed: 1,
+            threads: default_threads(),
+            families: None,
+        }
+    }
+}
+
+/// Default worker count: the machine's parallelism, clamped to [2, 8].
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+/// The family rotation the fleet draws from: the five generated families
+/// plus the paper's star.
+pub fn family_names() -> Vec<&'static str> {
+    let mut v = scenario_gen::FAMILIES.to_vec();
+    v.push("star");
+    v
+}
+
+/// The family session `index` runs — purely positional (star occupies
+/// index ≡ 5 (mod 6); the rest follow the generator's rotation), so the
+/// label is available without building the scenario.
+pub fn family_of(index: usize) -> &'static str {
+    let n_families = scenario_gen::FAMILIES.len() + 1;
+    if index % n_families == scenario_gen::FAMILIES.len() {
+        "star"
+    } else {
+        scenario_gen::FAMILIES[(index - index / n_families) % scenario_gen::FAMILIES.len()]
+    }
+}
+
+/// The scenario session `index` of stream `seed` runs. Indices rotate
+/// through all six families; the star family sizes its edge count from
+/// the same per-index stream the generator uses.
+pub fn scenario_for(seed: u64, index: usize) -> Scenario {
+    let n_families = scenario_gen::FAMILIES.len() + 1;
+    if index % n_families == scenario_gen::FAMILIES.len() {
+        // The star: 3..=8 edges, seeded like the generated families.
+        let n = 3 + llm_sim::rng::SimRng::seed_from_u64(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(index as u64),
+        )
+        .index(6);
+        let (topology, roles) = topo_model::star(n);
+        let mut s = Modularizer::star_scenario(&topology, &roles);
+        s.name = format!("star-no-transit-s{seed}-i{index}");
+        s
+    } else {
+        // Collapse the index space onto the generator's 5-family
+        // rotation: star slots sit at index ≡ 5 (mod 6), so dropping
+        // one index per completed window keeps `gen_index % 5` equal to
+        // `index % 6` while staying unique per fleet index.
+        let gen_index = index - index / n_families;
+        scenario_gen::generate(seed, gen_index)
+    }
+}
+
+/// One session's outcome, reduced to the fleet's metrics.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// Session index in the stream.
+    pub index: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// Topology family.
+    pub family: String,
+    /// Intent family.
+    pub intent: String,
+    /// Automated prompts issued.
+    pub auto: usize,
+    /// Human prompts issued.
+    pub human: usize,
+    /// Whether all per-router loops verified.
+    pub local_ok: bool,
+    /// Whether the whole-network expectations held.
+    pub global_ok: bool,
+    /// BGP simulation rounds to the fixed point.
+    pub sim_rounds: usize,
+    /// Global violations found.
+    pub violations: usize,
+    /// Session wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Whether the session panicked (counted as failed).
+    pub panicked: bool,
+}
+
+impl SessionResult {
+    /// Converged = locally verified and globally clean.
+    pub fn converged(&self) -> bool {
+        self.local_ok && self.global_ok && !self.panicked
+    }
+}
+
+/// Runs one session: scenario `index` of stream `seed` through the full
+/// VPP loop with the paper-calibrated simulated model.
+pub fn run_session(seed: u64, index: usize) -> SessionResult {
+    let scenario = scenario_for(seed, index);
+    let llm_seed = seed
+        .wrapping_mul(0xA24B_AED4_963E_E407)
+        .wrapping_add((index as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), llm_seed);
+    let session = SynthesisSession::default();
+    let t0 = Instant::now();
+    let outcome = session.run_scenario(&mut llm, &scenario);
+    SessionResult {
+        index,
+        scenario: scenario.name,
+        family: scenario.family,
+        intent: scenario.intent,
+        auto: outcome.leverage.auto,
+        human: outcome.leverage.human,
+        local_ok: outcome.verified_local,
+        global_ok: outcome.global.holds(),
+        sim_rounds: outcome.global.sim_rounds,
+        violations: outcome.global.violations.len(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        panicked: false,
+    }
+}
+
+/// The whole fleet's outcome.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-session results, in index order.
+    pub results: Vec<SessionResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Total wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Per-family aggregates, family-name order.
+    pub rows: Vec<FamilyRow>,
+}
+
+impl FleetReport {
+    /// Sessions per second of wall-clock.
+    pub fn throughput(&self) -> f64 {
+        self.results.len() as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+
+    /// Whether every session converged and none panicked.
+    pub fn all_converged(&self) -> bool {
+        self.results.iter().all(SessionResult::converged)
+    }
+}
+
+/// Runs the fleet: distributes session indices round-robin over
+/// per-worker deques; each worker pops its own queue from the front and
+/// steals from the back of the others when dry.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let threads = cfg.threads.max(2);
+    // Resolve the job list up front (applying the family filter by
+    // probing the deterministic scenario stream).
+    let mut jobs = Vec::with_capacity(cfg.sessions);
+    let mut index = 0usize;
+    while jobs.len() < cfg.sessions {
+        let keep = match &cfg.families {
+            None => true,
+            Some(allow) => allow.iter().any(|f| f == family_of(index)),
+        };
+        if keep {
+            jobs.push(index);
+        }
+        index += 1;
+        // A filter naming no real family would loop forever; probe a
+        // bounded window instead.
+        if index > cfg.sessions * 64 + 64 {
+            break;
+        }
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in jobs.iter().enumerate() {
+        queues[i % threads].lock().unwrap().push_back(*job);
+    }
+    let results: Mutex<Vec<SessionResult>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = &queues;
+            let results = &results;
+            let seed = cfg.seed;
+            scope.spawn(move || loop {
+                // Own queue first (front), then steal from the back of
+                // the busiest-looking victim.
+                let job = {
+                    let mine = queues[me].lock().unwrap().pop_front();
+                    mine.or_else(|| {
+                        (0..queues.len())
+                            .filter(|&v| v != me)
+                            .find_map(|v| queues[v].lock().unwrap().pop_back())
+                    })
+                };
+                let Some(index) = job else { break };
+                // The fallback must not touch the scenario generator —
+                // if generation is what panicked, a second call would
+                // re-panic and abort the whole fleet.
+                let result =
+                    std::panic::catch_unwind(|| run_session(seed, index)).unwrap_or_else(|_| {
+                        SessionResult {
+                            index,
+                            scenario: format!("panic-i{index}"),
+                            family: family_of(index).to_string(),
+                            intent: String::new(),
+                            auto: 0,
+                            human: 0,
+                            local_ok: false,
+                            global_ok: false,
+                            sim_rounds: 0,
+                            violations: 0,
+                            wall_ms: 0.0,
+                            panicked: true,
+                        }
+                    });
+                results.lock().unwrap().push(result);
+            });
+        }
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut results = results.into_inner().unwrap();
+    results.sort_by_key(|r| r.index);
+    let rows = aggregate(&results);
+    FleetReport {
+        results,
+        threads,
+        seed: cfg.seed,
+        wall_ms,
+        rows,
+    }
+}
+
+/// Reduces session results to one [`FamilyRow`] per topology family.
+pub fn aggregate(results: &[SessionResult]) -> Vec<FamilyRow> {
+    let mut by_family: BTreeMap<&str, Vec<&SessionResult>> = BTreeMap::new();
+    for r in results {
+        by_family.entry(&r.family).or_default().push(r);
+    }
+    by_family
+        .into_iter()
+        .map(|(family, rs)| {
+            let walls: Vec<f64> = rs.iter().map(|r| r.wall_ms).collect();
+            let stats = SampleStats::from_samples(&walls).expect("non-empty family");
+            FamilyRow {
+                family: family.to_string(),
+                sessions: rs.len(),
+                converged: rs.iter().filter(|r| r.converged()).count(),
+                fault_survivals: rs.iter().filter(|r| r.local_ok && !r.global_ok).count(),
+                auto: rs.iter().map(|r| r.auto).sum(),
+                human: rs.iter().map(|r| r.human).sum(),
+                mean_sim_rounds: rs.iter().map(|r| r.sim_rounds as f64).sum::<f64>()
+                    / rs.len() as f64,
+                p10_ms: stats.p10,
+                median_ms: stats.median,
+                p90_ms: stats.p90,
+            }
+        })
+        .collect()
+}
+
+/// Renders `BENCH_scenarios.json`: run metadata, throughput, and the
+/// per-family aggregates (extending the `BENCH_*.json` trajectory begun
+/// by `BENCH_bdd.json`, not replacing it).
+pub fn bench_json(report: &FleetReport, sessions_requested: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"cosynth_fleet\",");
+    let _ = writeln!(out, "  \"seed\": {},", report.seed);
+    let _ = writeln!(out, "  \"sessions_requested\": {sessions_requested},");
+    let _ = writeln!(out, "  \"sessions_run\": {},", report.results.len());
+    let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(out, "  \"wall_ms\": {:.1},", report.wall_ms);
+    let _ = writeln!(
+        out,
+        "  \"throughput_sessions_per_s\": {:.2},",
+        report.throughput()
+    );
+    let _ = writeln!(out, "  \"all_converged\": {},", report.all_converged());
+    out.push_str("  \"families\": {\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    \"{}\": {{ \"sessions\": {}, \"converged\": {}, \"fault_survivals\": {}, \
+             \"auto\": {}, \"human\": {}, \"leverage\": {:.2}, \"mean_sim_rounds\": {:.1}, \
+             \"session_ms\": {{ \"p10\": {:.2}, \"median\": {:.2}, \"p90\": {:.2} }} }}",
+            r.family,
+            r.sessions,
+            r.converged,
+            r.fault_survivals,
+            r.auto,
+            r.human,
+            r.leverage(),
+            r.mean_sim_rounds,
+            r.p10_ms,
+            r.median_ms,
+            r.p90_ms
+        );
+        out.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_stream_is_deterministic_and_covers_families() {
+        let families: std::collections::BTreeSet<String> =
+            (0..6).map(|i| scenario_for(5, i).family).collect();
+        assert_eq!(families.len(), 6, "{families:?}");
+        for i in 0..8 {
+            assert_eq!(scenario_for(5, i), scenario_for(5, i));
+        }
+        // The positional family label agrees with the built scenario.
+        for i in 0..13 {
+            assert_eq!(scenario_for(5, i).family, family_of(i), "index {i}");
+        }
+        // Same family slot, different index → different scenario name.
+        assert_ne!(scenario_for(5, 0).name, scenario_for(5, 6).name);
+    }
+
+    #[test]
+    fn single_session_runs_end_to_end() {
+        let r = run_session(1, 0);
+        assert!(r.converged(), "{r:?}");
+        assert!(r.auto > 0, "paper model must need rectification: {r:?}");
+        assert!(r.sim_rounds > 0);
+    }
+
+    #[test]
+    fn star_sessions_flow_through_the_fleet() {
+        let n_families = scenario_gen::FAMILIES.len() + 1;
+        let star_index = scenario_gen::FAMILIES.len(); // first star slot
+        assert_eq!(star_index % n_families, scenario_gen::FAMILIES.len());
+        let s = scenario_for(3, star_index);
+        assert_eq!(s.family, "star");
+        let r = run_session(3, star_index);
+        assert!(r.converged(), "{r:?}");
+    }
+
+    #[test]
+    fn fleet_runs_in_parallel_and_aggregates() {
+        let cfg = FleetConfig {
+            sessions: 8,
+            seed: 1,
+            threads: 3,
+            families: None,
+        };
+        let report = run_fleet(&cfg);
+        assert_eq!(report.results.len(), 8);
+        assert!(report.all_converged(), "{:#?}", report.results);
+        // Deterministic content under a different thread count.
+        let report2 = run_fleet(&FleetConfig {
+            threads: 2,
+            ..cfg.clone()
+        });
+        for (a, b) in report.results.iter().zip(&report2.results) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.auto, b.auto);
+            assert_eq!(a.human, b.human);
+            assert_eq!(a.sim_rounds, b.sim_rounds);
+        }
+        let json = bench_json(&report, 8);
+        assert!(json.contains("\"cosynth_fleet\""), "{json}");
+        assert!(json.contains("\"families\""), "{json}");
+        let total: usize = report.rows.iter().map(|r| r.sessions).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn family_filter_selects_only_that_family() {
+        let report = run_fleet(&FleetConfig {
+            sessions: 3,
+            seed: 2,
+            threads: 2,
+            families: Some(vec!["ring".into()]),
+        });
+        assert_eq!(report.results.len(), 3);
+        assert!(report.results.iter().all(|r| r.family == "ring"));
+    }
+}

@@ -6,11 +6,11 @@
 
 use bf_lite::sim::{run, Snapshot};
 use config_ir::{Device, IrBgp, IrInterface, IrNeighbor};
-use net_model::Prefix;
+use net_model::{Asn, Prefix};
 use std::collections::BTreeMap;
-use topo_model::{RouterSpec, StarRoles, Topology};
+use topo_model::{Expectation, RouterSpec, Scenario, StarRoles, Topology};
 
-/// A violation of the global no-transit policy.
+/// A violation of the global policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GlobalViolation {
     /// ISP `to_isp` can reach ISP `from_isp`'s prefix — transit.
@@ -33,6 +33,33 @@ pub enum GlobalViolation {
         isp: String,
         /// The missing prefix.
         prefix: Prefix,
+    },
+    /// A scenario expectation `Reachable { at, prefix }` failed.
+    MissingRoute {
+        /// The device missing the route.
+        at: String,
+        /// The expected prefix.
+        prefix: Prefix,
+    },
+    /// A scenario expectation `Unreachable { at, prefix }` failed.
+    ForbiddenRoute {
+        /// The device that (wrongly) learned the route.
+        at: String,
+        /// The forbidden prefix.
+        prefix: Prefix,
+    },
+    /// A scenario expectation `PreferVia` failed: the winning route does
+    /// not originate from the required AS.
+    WrongPreference {
+        /// The observing device.
+        at: String,
+        /// The contested prefix.
+        prefix: Prefix,
+        /// The required origin AS.
+        expected_origin: Asn,
+        /// The origin AS of the route actually installed (`None` = no
+        /// route at all).
+        found_origin: Option<Asn>,
     },
 }
 
@@ -78,14 +105,9 @@ pub fn device_from_spec(spec: &RouterSpec) -> Device {
     d
 }
 
-/// Composes internal router configs (Cisco text, as returned by the LLM)
-/// with the topology's stubs, runs the BGP simulation, and checks
-/// no-transit.
-pub fn compose_and_check(
-    topology: &Topology,
-    roles: &StarRoles,
-    configs: &BTreeMap<String, String>,
-) -> GlobalCheckReport {
+/// Assembles the simulation snapshot: internal routers from their
+/// (parsed) configs, stubs straight from their topology specs.
+fn build_snapshot(topology: &Topology, configs: &BTreeMap<String, String>) -> Snapshot {
     let mut devices = Vec::new();
     for spec in topology.internal_routers() {
         match configs.get(&spec.name) {
@@ -109,7 +131,84 @@ pub fn compose_and_check(
     for spec in topology.stubs() {
         devices.push(device_from_spec(spec));
     }
-    let snapshot = Snapshot::new(devices);
+    Snapshot::new(devices)
+}
+
+/// Composes a scenario's configs, runs the simulation, and evaluates the
+/// scenario's expectations — the whole-network check for any generated
+/// scenario.
+pub fn check_scenario(
+    scenario: &Scenario,
+    configs: &BTreeMap<String, String>,
+) -> GlobalCheckReport {
+    let snapshot = build_snapshot(&scenario.topology, configs);
+    let report = run(&snapshot);
+    let mut violations = Vec::new();
+    for e in &scenario.expectations {
+        match e {
+            Expectation::Reachable { at, prefix } => {
+                let present = snapshot
+                    .device_index(at)
+                    .and_then(|i| report.route_at(i, prefix))
+                    .is_some();
+                if !present {
+                    violations.push(GlobalViolation::MissingRoute {
+                        at: at.clone(),
+                        prefix: *prefix,
+                    });
+                }
+            }
+            Expectation::Unreachable { at, prefix } => {
+                let present = snapshot
+                    .device_index(at)
+                    .and_then(|i| report.route_at(i, prefix))
+                    .is_some();
+                if present {
+                    violations.push(GlobalViolation::ForbiddenRoute {
+                        at: at.clone(),
+                        prefix: *prefix,
+                    });
+                }
+            }
+            Expectation::PreferVia { at, prefix, origin } => {
+                let found = snapshot
+                    .device_index(at)
+                    .and_then(|i| report.route_at(i, prefix));
+                // A locally originated route has an empty AS path: its
+                // origin is the observing device's own AS.
+                let found_origin = found.and_then(|r| {
+                    r.as_path
+                        .origin_as()
+                        .or_else(|| scenario.topology.router(at).map(|s| s.asn))
+                });
+                if found.is_none() || found_origin != Some(*origin) {
+                    violations.push(GlobalViolation::WrongPreference {
+                        at: at.clone(),
+                        prefix: *prefix,
+                        expected_origin: *origin,
+                        found_origin,
+                    });
+                }
+            }
+        }
+    }
+    GlobalCheckReport {
+        violations,
+        sim_rounds: report.rounds,
+        diverged: report.diverged,
+        session_problems: snapshot.session_problems.clone(),
+    }
+}
+
+/// Composes internal router configs (Cisco text, as returned by the LLM)
+/// with the topology's stubs, runs the BGP simulation, and checks
+/// no-transit.
+pub fn compose_and_check(
+    topology: &Topology,
+    roles: &StarRoles,
+    configs: &BTreeMap<String, String>,
+) -> GlobalCheckReport {
+    let snapshot = build_snapshot(topology, configs);
     let report = run(&snapshot);
     let mut violations = Vec::new();
     // ISP-side checks.
@@ -232,6 +331,30 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, GlobalViolation::CustomerUnreachable { .. })));
+    }
+
+    #[test]
+    fn scenario_check_matches_star_check() {
+        let (t, roles) = star(3);
+        let scenario = Modularizer::star_scenario(&t, &roles);
+        let configs = reference_configs(&t, &roles);
+        let report = check_scenario(&scenario, &configs);
+        assert!(
+            report.holds(),
+            "{:#?} / {:#?}",
+            report.violations,
+            report.session_problems
+        );
+        // A dropped edge config surfaces as generic missing-route
+        // violations (the star check's CustomerUnreachable analogue).
+        let mut broken = configs.clone();
+        broken.remove("R2");
+        let report = check_scenario(&scenario, &broken);
+        assert!(!report.holds());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, GlobalViolation::MissingRoute { .. })));
     }
 
     #[test]

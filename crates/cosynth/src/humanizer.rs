@@ -337,6 +337,19 @@ impl Humanizer {
                  'additive' keyword.",
                 witness.prefix
             ),
+            bf_lite::LocalPolicyCheck::PermittedRoutesSetLocalPref { value, .. } => {
+                // The check also fails when the map denies the probe (or
+                // is missing), so state both halves of the contract.
+                let observed = match witness.local_pref {
+                    Some(lp) => format!("comes out with local-preference {lp}"),
+                    None => "is denied or left at the default preference".to_string(),
+                };
+                format!(
+                    "The route-map {map} should permit all routes from this neighbor \
+                     and set local-preference {value} on them, but the route {} {observed}.",
+                    witness.prefix
+                )
+            }
         }
     }
 

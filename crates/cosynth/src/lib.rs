@@ -38,11 +38,12 @@ pub mod session;
 pub mod synthesis;
 pub mod translation;
 
-pub use composer::{compose_and_check, GlobalCheckReport, GlobalViolation};
+pub use composer::{check_scenario, compose_and_check, GlobalCheckReport, GlobalViolation};
 pub use humanizer::Humanizer;
 pub use iip::IipDatabase;
 pub use leverage::Leverage;
 pub use modularizer::{LocalPolicySpec, Modularizer, RouterAssignment};
+pub use report::{scenario_table, FamilyRow};
 pub use session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
 pub use synthesis::{SpecStyle, SynthesisOutcome, SynthesisSession};
 pub use translation::{ErrorRow, TranslationOutcome, TranslationSession};

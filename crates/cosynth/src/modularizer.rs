@@ -1,22 +1,20 @@
 //! The Modularizer: topology JSON → per-router prompts and local policy
 //! specs (the Lightyear-style decomposition of the global no-transit
-//! policy).
+//! policy). Works over any [`Scenario`]; the paper's star is one
+//! instance, built by [`Modularizer::star_scenario`].
 
 use bf_lite::LocalPolicyCheck;
 use llm_sim::prompts;
 use net_model::Community;
 use std::net::Ipv4Addr;
-use topo_model::{describe_network, describe_router, StarRoles, Topology};
+use topo_model::{
+    describe_network, describe_router, Expectation, RouterPolicy, Scenario, StarRoles, Topology,
+};
 
-/// The local policy assigned to one router: R1 tags at ingress from each
-/// edge and filters at egress to each edge; edge routers carry no policy.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct LocalPolicySpec {
-    /// `(neighbor, community, route-map name)` ingress tags.
-    pub ingress_tags: Vec<(Ipv4Addr, Community, String)>,
-    /// `(neighbor, communities-to-deny, route-map name)` egress filters.
-    pub egress_filters: Vec<(Ipv4Addr, Vec<Community>, String)>,
-}
+/// The local policy assigned to one router (re-exported from
+/// `topo_model::scenario` so the generator, the Modularizer and the
+/// fleet share one vocabulary).
+pub type LocalPolicySpec = RouterPolicy;
 
 /// Everything COSYNTH needs to drive one router's synthesis: the prompt,
 /// the policy spec, and the verifier checks.
@@ -36,6 +34,13 @@ pub struct RouterAssignment {
 pub struct Modularizer;
 
 impl Modularizer {
+    /// The community probed by the preserve (additive) check — never a
+    /// community any policy actually sets.
+    pub const PRESERVE_PROBE: Community = Community {
+        high: 65_000,
+        low: 99,
+    };
+
     /// The community assigned to edge router `Rk` (R2 → 100:1, R3 →
     /// 101:1, … exactly the paper's scheme).
     pub fn edge_community(edge_index: usize) -> Community {
@@ -43,14 +48,70 @@ impl Modularizer {
     }
 
     /// Decomposes the global no-transit policy over a star into
-    /// per-router assignments, hub first.
+    /// per-router assignments, hub first. Equivalent to
+    /// `assign_scenario(&star_scenario(topology, roles))`.
     pub fn assign(topology: &Topology, roles: &StarRoles) -> Vec<RouterAssignment> {
-        let mut out = Vec::new();
-        let hub_spec = topology.router(&roles.hub).expect("hub exists");
-        // Hub policy: tag per edge at ingress, filter others per edge at
-        // egress.
-        let mut policy = LocalPolicySpec::default();
+        Self::assign_scenario(&Self::star_scenario(topology, roles))
+    }
+
+    /// Decomposes any scenario into per-router assignments, one per
+    /// internal router in topology order (routers without a policy get a
+    /// plain-forwarding prompt and no checks).
+    pub fn assign_scenario(scenario: &Scenario) -> Vec<RouterAssignment> {
+        scenario
+            .topology
+            .internal_routers()
+            .map(|r| {
+                let policy = scenario.policy_for(&r.name).cloned().unwrap_or_default();
+                RouterAssignment {
+                    prompt: Self::prompt_for(&scenario.topology, &r.name, &policy),
+                    checks: Self::checks_for(&policy),
+                    name: r.name.clone(),
+                    policy,
+                }
+            })
+            .collect()
+    }
+
+    /// The Lightyear-style local checks implied by a policy: a carry and
+    /// a preserve check per ingress tag, a value check per ingress
+    /// preference, a deny check per filtered community.
+    pub fn checks_for(policy: &LocalPolicySpec) -> Vec<LocalPolicyCheck> {
         let mut checks = Vec::new();
+        for (_, community, map) in &policy.ingress_tags {
+            checks.push(LocalPolicyCheck::PermittedRoutesCarry {
+                chain: vec![map.clone()],
+                community: *community,
+            });
+            checks.push(LocalPolicyCheck::PermittedRoutesPreserve {
+                chain: vec![map.clone()],
+                community: Self::PRESERVE_PROBE,
+            });
+        }
+        for (_, value, map) in &policy.ingress_prefs {
+            checks.push(LocalPolicyCheck::PermittedRoutesSetLocalPref {
+                chain: vec![map.clone()],
+                value: *value,
+            });
+        }
+        for (_, communities, map) in &policy.egress_filters {
+            for c in communities {
+                checks.push(LocalPolicyCheck::RoutesWithCommunityDenied {
+                    chain: vec![map.clone()],
+                    community: *c,
+                });
+            }
+        }
+        checks
+    }
+
+    /// The paper's star experiment as a [`Scenario`]: the hub tags each
+    /// edge's routes at ingress and filters the other edges' tags at
+    /// egress; the expectations are the no-transit triple (ISPs
+    /// mutually unreachable, customer reachable everywhere).
+    pub fn star_scenario(topology: &Topology, roles: &StarRoles) -> Scenario {
+        let hub_spec = topology.router(&roles.hub).expect("hub exists");
+        let mut policy = LocalPolicySpec::default();
         let edge_neighbors: Vec<(usize, Ipv4Addr)> = roles
             .edges
             .iter()
@@ -64,17 +125,10 @@ impl Modularizer {
             })
             .collect();
         for &(i, addr) in &edge_neighbors {
-            let community = Self::edge_community(i);
             let map = format!("ADD_COMM_{}", roles.edges[i]);
-            policy.ingress_tags.push((addr, community, map.clone()));
-            checks.push(LocalPolicyCheck::PermittedRoutesCarry {
-                chain: vec![map.clone()],
-                community,
-            });
-            checks.push(LocalPolicyCheck::PermittedRoutesPreserve {
-                chain: vec![map],
-                community: Community::new(65_000, 99),
-            });
+            policy
+                .ingress_tags
+                .push((addr, Self::edge_community(i), map));
         }
         for &(i, addr) in &edge_neighbors {
             let others: Vec<Community> = edge_neighbors
@@ -86,33 +140,37 @@ impl Modularizer {
                 continue;
             }
             let map = format!("FILTER_COMM_OUT_{}", roles.edges[i]);
-            policy
-                .egress_filters
-                .push((addr, others.clone(), map.clone()));
-            for c in others {
-                checks.push(LocalPolicyCheck::RoutesWithCommunityDenied {
-                    chain: vec![map.clone()],
-                    community: c,
-                });
+            policy.egress_filters.push((addr, others, map));
+        }
+        let mut expectations = Vec::new();
+        for (j, isp_j) in roles.isps.iter().enumerate() {
+            expectations.push(Expectation::Reachable {
+                at: isp_j.clone(),
+                prefix: roles.customer_prefix,
+            });
+            for (i, _) in roles.isps.iter().enumerate() {
+                if i != j {
+                    expectations.push(Expectation::Unreachable {
+                        at: isp_j.clone(),
+                        prefix: roles.isp_prefixes[i],
+                    });
+                }
             }
         }
-        out.push(RouterAssignment {
-            name: roles.hub.clone(),
-            prompt: Self::prompt_for(topology, &roles.hub, &policy),
-            policy,
-            checks,
-        });
-        // Edge routers: plain eBGP forwarding, no policy.
-        for edge in &roles.edges {
-            let policy = LocalPolicySpec::default();
-            out.push(RouterAssignment {
-                name: edge.clone(),
-                prompt: Self::prompt_for(topology, edge, &policy),
-                policy,
-                checks: Vec::new(),
+        for p in &roles.isp_prefixes {
+            expectations.push(Expectation::Reachable {
+                at: roles.customer.clone(),
+                prefix: *p,
             });
         }
-        out
+        Scenario {
+            name: format!("star-{}", roles.edges.len()),
+            family: "star".into(),
+            intent: "no-transit".into(),
+            topology: topology.clone(),
+            policies: vec![(roles.hub.clone(), policy)],
+            expectations,
+        }
     }
 
     /// Builds the synthesis prompt for one router.
@@ -121,6 +179,10 @@ impl Modularizer {
         p.push_str(&describe_router(topology, name).expect("router exists"));
         for (addr, c, map) in &policy.ingress_tags {
             p.push_str(&prompts::ingress_tag_sentence(*addr, *c, map));
+            p.push('\n');
+        }
+        for (addr, v, map) in &policy.ingress_prefs {
+            p.push_str(&prompts::ingress_pref_sentence(*addr, *v, map));
             p.push('\n');
         }
         for (addr, cs, map) in &policy.egress_filters {

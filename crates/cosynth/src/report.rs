@@ -97,6 +97,87 @@ pub fn leverage_line(name: &str, l: &crate::Leverage) -> String {
     format!("{name}: {l}")
 }
 
+/// One aggregate row of the fleet report: every session of one topology
+/// family, reduced to the paper's metrics plus wall-clock spread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyRow {
+    /// Topology family (`star`, `ring`, `chain`, …).
+    pub family: String,
+    /// Sessions run.
+    pub sessions: usize,
+    /// Sessions whose local loops verified AND whose global expectations
+    /// held.
+    pub converged: usize,
+    /// Sessions where local verification passed but a fault survived to
+    /// the whole-network check (the composition gap the paper's final
+    /// simulation step exists to catch).
+    pub fault_survivals: usize,
+    /// Total automated prompts across the family's sessions.
+    pub auto: usize,
+    /// Total human prompts.
+    pub human: usize,
+    /// Mean BGP simulation rounds to the fixed point.
+    pub mean_sim_rounds: f64,
+    /// Per-session wall-clock percentiles, milliseconds.
+    pub p10_ms: f64,
+    /// Median session wall-clock, milliseconds.
+    pub median_ms: f64,
+    /// 90th-percentile session wall-clock, milliseconds.
+    pub p90_ms: f64,
+}
+
+impl FamilyRow {
+    /// The family's aggregate leverage ratio (auto/human; bare auto when
+    /// no session needed a human, as in [`crate::Leverage::ratio`]).
+    pub fn leverage(&self) -> f64 {
+        crate::Leverage {
+            auto: self.auto,
+            human: self.human,
+        }
+        .ratio()
+    }
+}
+
+/// Renders the fleet's per-family aggregate — a Table-3-style summary of
+/// scenario-generator sessions, one row per topology family.
+pub fn scenario_table(rows: &[FamilyRow]) -> String {
+    let mut out = String::from(
+        "Table S: VPP fleet aggregate per topology family\n\
+         (leverage = automated/human prompts; surv = faults surviving local checks)\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>5} {:>5} {:>5} {:>6} {:>6} {:>9} {:>7} {:>9} {:>9} {:>9}\n",
+        "family",
+        "runs",
+        "conv",
+        "surv",
+        "auto",
+        "human",
+        "leverage",
+        "rounds",
+        "p10 ms",
+        "med ms",
+        "p90 ms"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>5} {:>5} {:>6} {:>6} {:>8.1}x {:>7.1} {:>9.1} {:>9.1} {:>9.1}\n",
+            r.family,
+            r.sessions,
+            r.converged,
+            r.fault_survivals,
+            r.auto,
+            r.human,
+            r.leverage(),
+            r.mean_sim_rounds,
+            r.p10_ms,
+            r.median_ms,
+            r.p90_ms
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +237,26 @@ route-map ospf_to_bgp permit 10
         let t = table3(&outcome);
         assert!(t.contains("[Semantic error]"));
         assert!(t.contains("route-map"), "{t}");
+    }
+
+    #[test]
+    fn scenario_table_renders_rows() {
+        let rows = vec![FamilyRow {
+            family: "ring".into(),
+            sessions: 8,
+            converged: 8,
+            fault_survivals: 0,
+            auto: 40,
+            human: 5,
+            mean_sim_rounds: 6.5,
+            p10_ms: 1.0,
+            median_ms: 2.0,
+            p90_ms: 4.0,
+        }];
+        let t = scenario_table(&rows);
+        assert!(t.contains("ring"), "{t}");
+        assert!(t.contains("8.0x"), "{t}");
+        assert!(t.contains("p90 ms"), "{t}");
     }
 
     #[test]

@@ -10,17 +10,17 @@
 //! paper found leaves GPT-4 "confused and oscillating between incorrect
 //! strategies".
 
-use crate::composer::{compose_and_check, GlobalCheckReport};
+use crate::composer::{check_scenario, compose_and_check, GlobalCheckReport};
 use crate::humanizer::{HumanFixKind, Humanizer};
 use crate::iip::IipDatabase;
 use crate::leverage::Leverage;
-use crate::modularizer::Modularizer;
+use crate::modularizer::{Modularizer, RouterAssignment};
 use crate::session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
 use bf_lite::Vendor;
 use llm_sim::LanguageModel;
 use net_model::WarningKind;
 use std::collections::BTreeMap;
-use topo_model::{star, StarRoles, Topology};
+use topo_model::{star, Scenario, StarRoles, Topology};
 
 /// Whether the policy is specified per router (local) or all at once
 /// (global).
@@ -93,6 +93,35 @@ impl SynthesisSession {
         }
     }
 
+    /// Runs the session on any generated scenario: the same per-router
+    /// VPP loop as the star experiment, followed by the scenario's own
+    /// whole-network expectations.
+    pub fn run_scenario<M: LanguageModel + ?Sized>(
+        &self,
+        llm: &mut M,
+        scenario: &Scenario,
+    ) -> SynthesisOutcome {
+        let mut t = SessionTranscript::new(llm, self.iips.system_message());
+        let mut configs = BTreeMap::new();
+        let mut verified_local = true;
+        for assignment in Modularizer::assign_scenario(scenario) {
+            let (config, ok) = self.rectify_router(&mut t, &scenario.topology, &assignment);
+            if !ok {
+                verified_local = false;
+            }
+            configs.insert(assignment.name.clone(), config);
+        }
+        let global = check_scenario(scenario, &configs);
+        SynthesisOutcome {
+            configs,
+            verified_local,
+            global,
+            converged: verified_local,
+            leverage: t.leverage,
+            log: t.log,
+        }
+    }
+
     fn run_local<M: LanguageModel + ?Sized>(
         &self,
         llm: &mut M,
@@ -103,97 +132,11 @@ impl SynthesisSession {
         let mut configs = BTreeMap::new();
         let mut verified_local = true;
         for assignment in Modularizer::assign(topology, roles) {
-            let mut current =
-                t.send_expecting_config(PromptKind::Task, assignment.prompt.clone(), "");
-            let mut attempts: BTreeMap<String, usize> = BTreeMap::new();
-            let mut rounds = 0usize;
-            let mut router_ok = false;
-            while rounds < self.limits.max_rounds {
-                rounds += 1;
-                // Phase 1: syntax.
-                let parsed = bf_lite::parse_config(&current, Some(Vendor::Cisco));
-                if let Some(w) = parsed.warnings.first() {
-                    let key = format!("syntax:{:?}:{}", w.kind, w.text);
-                    let failed = attempts.get(&key).copied().unwrap_or(0);
-                    let next = if failed < self.limits.attempts_per_finding {
-                        t.send_expecting_config(PromptKind::Auto, Humanizer::syntax(w), &current)
-                    } else {
-                        let human = match w.kind {
-                            WarningKind::MisplacedCommand => {
-                                Humanizer::human_escalation(HumanFixKind::NeighborPlacement)
-                            }
-                            _ => format!(
-                                "The following line is still invalid, please rewrite it \
-                                 correctly: '{}'",
-                                w.text
-                            ),
-                        };
-                        t.send_expecting_config(PromptKind::Human, human, &current)
-                    };
-                    if next == current {
-                        bump(&mut attempts, &key);
-                    }
-                    current = next;
-                    continue;
-                }
-                // Phase 2: topology.
-                let findings =
-                    topo_model::verify_router(topology, &assignment.name, &parsed.device);
-                if let Some(f) = findings.first() {
-                    let key = format!("topo:{f:?}");
-                    let _ = bump(&mut attempts, &key);
-                    // Topology prompts always go through the automated
-                    // channel (the verifier's output is directly usable).
-                    current =
-                        t.send_expecting_config(PromptKind::Auto, Humanizer::topology(f), &current);
-                    continue;
-                }
-                // Phase 3: local policy semantics (hub only).
-                let mut violation = None;
-                for check in &assignment.checks {
-                    if let Err(witness) = bf_lite::check_local_policy(&parsed.device, check) {
-                        violation = Some((check.clone(), witness));
-                        break;
-                    }
-                }
-                if let Some((check, witness)) = violation {
-                    let map = match &check {
-                        bf_lite::LocalPolicyCheck::PermittedRoutesCarry { chain, .. }
-                        | bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied { chain, .. }
-                        | bf_lite::LocalPolicyCheck::PermittedRoutesPreserve { chain, .. } => {
-                            chain.first().cloned().unwrap_or_default()
-                        }
-                    };
-                    let key = format!("semantic:{}", check.describe());
-                    let failed = attempts.get(&key).copied().unwrap_or(0);
-                    let next = if failed < self.limits.attempts_per_finding {
-                        t.send_expecting_config(
-                            PromptKind::Auto,
-                            Humanizer::semantic(&map, &check, &witness),
-                            &current,
-                        )
-                    } else {
-                        // The AND/OR pathology: the counterexample alone
-                        // fails; a human asks for separate stanzas.
-                        t.send_expecting_config(
-                            PromptKind::Human,
-                            Humanizer::human_escalation(HumanFixKind::SeparateStanzas),
-                            &current,
-                        )
-                    };
-                    if next == current {
-                        bump(&mut attempts, &key);
-                    }
-                    current = next;
-                    continue;
-                }
-                router_ok = true;
-                break;
-            }
-            if !router_ok {
+            let (config, ok) = self.rectify_router(&mut t, topology, &assignment);
+            if !ok {
                 verified_local = false;
             }
-            configs.insert(assignment.name.clone(), current);
+            configs.insert(assignment.name.clone(), config);
         }
         // Final step: whole-network simulation.
         let global = compose_and_check(topology, roles, &configs);
@@ -205,6 +148,103 @@ impl SynthesisSession {
             leverage: t.leverage,
             log: t.log,
         }
+    }
+
+    /// Drives one router's syntax → topology → semantics loop. Returns
+    /// the final config text and whether all three phases verified.
+    fn rectify_router<M: LanguageModel + ?Sized>(
+        &self,
+        t: &mut SessionTranscript<'_, M>,
+        topology: &Topology,
+        assignment: &RouterAssignment,
+    ) -> (String, bool) {
+        let mut current = t.send_expecting_config(PromptKind::Task, assignment.prompt.clone(), "");
+        let mut attempts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut rounds = 0usize;
+        let mut router_ok = false;
+        while rounds < self.limits.max_rounds {
+            rounds += 1;
+            // Phase 1: syntax.
+            let parsed = bf_lite::parse_config(&current, Some(Vendor::Cisco));
+            if let Some(w) = parsed.warnings.first() {
+                let key = format!("syntax:{:?}:{}", w.kind, w.text);
+                let failed = attempts.get(&key).copied().unwrap_or(0);
+                let next = if failed < self.limits.attempts_per_finding {
+                    t.send_expecting_config(PromptKind::Auto, Humanizer::syntax(w), &current)
+                } else {
+                    let human = match w.kind {
+                        WarningKind::MisplacedCommand => {
+                            Humanizer::human_escalation(HumanFixKind::NeighborPlacement)
+                        }
+                        _ => format!(
+                            "The following line is still invalid, please rewrite it \
+                             correctly: '{}'",
+                            w.text
+                        ),
+                    };
+                    t.send_expecting_config(PromptKind::Human, human, &current)
+                };
+                if next == current {
+                    bump(&mut attempts, &key);
+                }
+                current = next;
+                continue;
+            }
+            // Phase 2: topology.
+            let findings = topo_model::verify_router(topology, &assignment.name, &parsed.device);
+            if let Some(f) = findings.first() {
+                let key = format!("topo:{f:?}");
+                let _ = bump(&mut attempts, &key);
+                // Topology prompts always go through the automated
+                // channel (the verifier's output is directly usable).
+                current =
+                    t.send_expecting_config(PromptKind::Auto, Humanizer::topology(f), &current);
+                continue;
+            }
+            // Phase 3: local policy semantics (policy routers only).
+            let mut violation = None;
+            for check in &assignment.checks {
+                if let Err(witness) = bf_lite::check_local_policy(&parsed.device, check) {
+                    violation = Some((check.clone(), witness));
+                    break;
+                }
+            }
+            if let Some((check, witness)) = violation {
+                let map = match &check {
+                    bf_lite::LocalPolicyCheck::PermittedRoutesCarry { chain, .. }
+                    | bf_lite::LocalPolicyCheck::RoutesWithCommunityDenied { chain, .. }
+                    | bf_lite::LocalPolicyCheck::PermittedRoutesPreserve { chain, .. }
+                    | bf_lite::LocalPolicyCheck::PermittedRoutesSetLocalPref { chain, .. } => {
+                        chain.first().cloned().unwrap_or_default()
+                    }
+                };
+                let key = format!("semantic:{}", check.describe());
+                let failed = attempts.get(&key).copied().unwrap_or(0);
+                let next = if failed < self.limits.attempts_per_finding {
+                    t.send_expecting_config(
+                        PromptKind::Auto,
+                        Humanizer::semantic(&map, &check, &witness),
+                        &current,
+                    )
+                } else {
+                    // The AND/OR pathology: the counterexample alone
+                    // fails; a human asks for separate stanzas.
+                    t.send_expecting_config(
+                        PromptKind::Human,
+                        Humanizer::human_escalation(HumanFixKind::SeparateStanzas),
+                        &current,
+                    )
+                };
+                if next == current {
+                    bump(&mut attempts, &key);
+                }
+                current = next;
+                continue;
+            }
+            router_ok = true;
+            break;
+        }
+        (current, router_ok)
     }
 
     fn run_global<M: LanguageModel + ?Sized>(
@@ -247,6 +287,23 @@ impl SynthesisSession {
                 }) => format!(
                     "The policy is violated: {isp}'s prefix is not reachable from the \
                      CUSTOMER. Fix the configurations."
+                ),
+                Some(crate::composer::GlobalViolation::MissingRoute { at, prefix }) => format!(
+                    "The policy is violated: {prefix} is not reachable from {at}. \
+                     Fix the configurations."
+                ),
+                Some(crate::composer::GlobalViolation::ForbiddenRoute { at, prefix }) => format!(
+                    "The policy is violated: a packet to {prefix} can be forwarded \
+                     from {at} through the network. Fix the configurations."
+                ),
+                Some(crate::composer::GlobalViolation::WrongPreference {
+                    at,
+                    prefix,
+                    expected_origin,
+                    ..
+                }) => format!(
+                    "The policy is violated: {at} does not prefer the route to {prefix} \
+                     originating from AS {expected_origin}. Fix the configurations."
                 ),
                 None => "The network does not converge. Fix the configurations.".to_string(),
             };
@@ -336,6 +393,28 @@ mod tests {
         // The two egregious cases: AND/OR stanzas and neighbor placement.
         assert_eq!(outcome.leverage.human, 2, "{}", outcome.leverage);
         assert!(outcome.leverage.auto >= 4, "{}", outcome.leverage);
+    }
+
+    #[test]
+    fn scenario_run_matches_star_run() {
+        // The scenario path issues byte-identical prompts to the star
+        // path, so the same seed must produce the same leverage.
+        let (t, roles) = star(3);
+        let scenario = Modularizer::star_scenario(&t, &roles);
+        let s = SynthesisSession::default();
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 11);
+        let o = s.run_scenario(&mut llm, &scenario);
+        assert!(o.verified_local, "{:#?}", o.log.last());
+        assert!(
+            o.global.holds(),
+            "{:#?} / {:#?}",
+            o.global.violations,
+            o.global.session_problems
+        );
+        let mut llm2 = SimulatedGpt4::new(ErrorModel::paper_default(), 11);
+        let o2 = s.run(&mut llm2, 3);
+        assert_eq!(o.leverage, o2.leverage);
+        assert_eq!(o.configs, o2.configs);
     }
 
     #[test]

@@ -26,6 +26,58 @@ use std::time::{Duration, Instant};
 /// Criterion users spell it `criterion::black_box`.
 pub use std::hint::black_box;
 
+/// Summary statistics over a set of samples: median with p10/p90 spread
+/// (plus the extremes). Used by the shim's own reporting and exported
+/// for `BENCH_*.json` writers (the fleet runner's per-session wall-clock
+/// spread), so every bench file carries the same notion of spread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Computes the stats over the samples (any unit). Returns `None`
+    /// for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+        Some(SampleStats {
+            min: sorted[0],
+            p10: percentile_of_sorted(&sorted, 0.10),
+            median: percentile_of_sorted(&sorted, 0.50),
+            p90: percentile_of_sorted(&sorted, 0.90),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// Linear-interpolated percentile over an ascending-sorted slice.
+/// `q` in `[0, 1]`. Panics on an empty slice.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
 /// A benchmark identifier: `function_id/parameter`.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -107,25 +159,14 @@ impl Bencher {
         }
     }
 
-    /// Median per-iteration time, or `None` if `iter` was never called.
-    fn median_ns(&self) -> Option<f64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut ns: Vec<f64> = self
+    /// Per-iteration timing stats, or `None` if `iter` was never called.
+    fn stats_ns(&self) -> Option<SampleStats> {
+        let ns: Vec<f64> = self
             .samples
             .iter()
             .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
             .collect();
-        ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
-        Some(ns[ns.len() / 2])
-    }
-
-    fn min_max_ns(&self) -> (f64, f64) {
-        let per = |d: &Duration| d.as_nanos() as f64 / self.iters_per_sample as f64;
-        let min = self.samples.iter().map(per).fold(f64::INFINITY, f64::min);
-        let max = self.samples.iter().map(per).fold(0.0f64, f64::max);
-        (min, max)
+        SampleStats::from_samples(&ns)
     }
 }
 
@@ -187,16 +228,18 @@ impl Criterion {
         }
         let mut b = Bencher::new(sample_size);
         f(&mut b);
-        let Some(median) = b.median_ns() else {
+        let Some(stats) = b.stats_ns() else {
             println!("{id:<48} (no measurement)");
             return;
         };
-        let (min, max) = b.min_max_ns();
+        let median = stats.median;
         let mut line = format!(
-            "{id:<48} time: [{} {} {}]",
-            human_time(min),
+            "{id:<48} time: [{} {} {}] p10: {} p90: {}",
+            human_time(stats.min),
             human_time(median),
-            human_time(max)
+            human_time(stats.max),
+            human_time(stats.p10),
+            human_time(stats.p90)
         );
         if let Some(Throughput::Bytes(bytes)) = throughput {
             let gib = bytes as f64 / median * 1_000_000_000.0 / (1u64 << 30) as f64;
@@ -311,8 +354,24 @@ mod tests {
     fn bencher_measures_something() {
         let mut b = Bencher::new(3);
         b.iter(|| std::hint::black_box(21u64 * 2));
-        let m = b.median_ns().unwrap();
-        assert!(m > 0.0 && m < 1_000_000.0, "{m}");
+        let s = b.stats_ns().unwrap();
+        assert!(s.median > 0.0 && s.median < 1_000_000.0, "{}", s.median);
+        assert!(s.p10 <= s.median && s.median <= s.p90);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&sorted, 0.5), 3.0);
+        assert_eq!(percentile_of_sorted(&sorted, 1.0), 5.0);
+        assert!((percentile_of_sorted(&sorted, 0.9) - 4.6).abs() < 1e-9);
+        let s = SampleStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!(s.p10 < s.median && s.median < s.p90);
+        assert!(SampleStats::from_samples(&[]).is_none());
     }
 
     #[test]

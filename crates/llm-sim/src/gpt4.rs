@@ -57,7 +57,9 @@ impl SimulatedGpt4 {
                 FaultKind::MatchCommunityLiteral => !u.egress_filters.is_empty(),
                 FaultKind::MissingAdditive => !u.ingress_tags.is_empty(),
                 FaultKind::MisplacedNeighborCmd => {
-                    !u.ingress_tags.is_empty() || !u.egress_filters.is_empty()
+                    !u.ingress_tags.is_empty()
+                        || !u.ingress_prefs.is_empty()
+                        || !u.egress_filters.is_empty()
                 }
                 FaultKind::MissingNetwork => !u.networks.is_empty(),
                 FaultKind::MissingNeighbor => !u.neighbors.is_empty(),

@@ -35,6 +35,15 @@ pub fn ingress_tag_sentence(neighbor: Ipv4Addr, community: Community, map: &str)
     )
 }
 
+/// Builds the ingress local-preference policy sentence for one neighbor
+/// (the prefer-customer intent).
+pub fn ingress_pref_sentence(neighbor: Ipv4Addr, value: u32, map: &str) -> String {
+    format!(
+        "At ingress from neighbor {neighbor}, set local-preference {value} on all \
+         routes using route-map {map}."
+    )
+}
+
 /// Builds the egress-filter local policy sentence for one neighbor.
 pub fn egress_filter_sentence(neighbor: Ipv4Addr, communities: &[Community], map: &str) -> String {
     let cs: Vec<String> = communities.iter().map(|c| c.to_string()).collect();
@@ -161,7 +170,8 @@ pub fn classify(prompt: &str) -> PromptClass {
             || p.contains("denies routes")
             || p.contains("without adding the community")
             || p.contains("should be preserved")
-            || p.contains("additive"))
+            || p.contains("additive")
+            || p.contains("local-preference"))
     {
         // Table 3's semantic-error formulas (filter, carry, preserve).
         return PromptClass::PolicyCommunity;
@@ -189,6 +199,23 @@ pub fn parse_ingress_tag(s: &str) -> Option<(Ipv4Addr, Community, String)> {
         .trim_end_matches('.')
         .trim();
     Some((addr, community, map.to_string()))
+}
+
+/// Parses an ingress local-preference sentence back into its fields.
+pub fn parse_ingress_pref(s: &str) -> Option<(Ipv4Addr, u32, String)> {
+    let s = s.trim();
+    let rest = s.strip_prefix("At ingress from neighbor ")?;
+    let (addr, rest) = rest.split_once(',')?;
+    let addr: Ipv4Addr = addr.trim().parse().ok()?;
+    let rest = rest.trim().strip_prefix("set local-preference ")?;
+    let (value, rest) = rest.split_once(" on all")?;
+    let value: u32 = value.trim().parse().ok()?;
+    let map = rest
+        .split("route-map ")
+        .nth(1)?
+        .trim_end_matches('.')
+        .trim();
+    Some((addr, value, map.to_string()))
 }
 
 /// Parses an egress-filter policy sentence back into its fields.
@@ -229,6 +256,19 @@ mod tests {
         assert_eq!(a.to_string(), "2.0.0.2");
         assert_eq!(c, comm("100:1"));
         assert_eq!(m, "ADD_COMM_R2");
+    }
+
+    #[test]
+    fn pref_sentence_roundtrip() {
+        let s = ingress_pref_sentence("10.0.0.2".parse().unwrap(), 200, "PREF_CUST");
+        let (a, v, m) = parse_ingress_pref(&s).unwrap();
+        assert_eq!(a.to_string(), "10.0.0.2");
+        assert_eq!(v, 200);
+        assert_eq!(m, "PREF_CUST");
+        // The tag parser must not claim the pref sentence, and vice versa.
+        assert!(parse_ingress_tag(&s).is_none());
+        let tag = ingress_tag_sentence("10.0.0.2".parse().unwrap(), comm("100:1"), "T");
+        assert!(parse_ingress_pref(&tag).is_none());
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub struct UnderstoodRouter {
     pub networks: Vec<Prefix>,
     /// Ingress tagging policies: `(neighbor, community, map name)`.
     pub ingress_tags: Vec<(Ipv4Addr, Community, String)>,
+    /// Ingress local-preference policies: `(neighbor, value, map name)`.
+    pub ingress_prefs: Vec<(Ipv4Addr, u32, String)>,
     /// Egress filter policies: `(neighbor, communities, map name)`.
     pub egress_filters: Vec<(Ipv4Addr, Vec<Community>, String)>,
 }
@@ -90,6 +92,8 @@ pub fn understand_prompt(prompt: &str) -> UnderstoodRouter {
         } else if line.starts_with("At ingress from neighbor ") {
             if let Some(t) = prompts::parse_ingress_tag(line) {
                 u.ingress_tags.push(t);
+            } else if let Some(p) = prompts::parse_ingress_pref(line) {
+                u.ingress_prefs.push(p);
             }
         } else if line.starts_with("At egress to neighbor ") {
             if let Some(t) = prompts::parse_egress_filter(line) {
@@ -128,6 +132,17 @@ pub fn reference_device(u: &UnderstoodRouter) -> Device {
             communities: BTreeSet::from([*community]),
             additive: true,
         });
+        p.clauses.push(clause);
+        d.policies.push(p);
+        if let Some(n) = bgp.neighbors.iter_mut().find(|n| n.addr == *addr) {
+            n.import_policy.push(map.clone());
+        }
+    }
+    // Ingress preference: per-neighbor import map stamping the value.
+    for (addr, value, map) in &u.ingress_prefs {
+        let mut p = IrPolicy::new(map.clone());
+        let mut clause = IrClause::permit_all("10");
+        clause.modifiers.push(Modifier::SetLocalPref(*value));
         p.clauses.push(clause);
         d.policies.push(p);
         if let Some(n) = bgp.neighbors.iter_mut().find(|n| n.addr == *addr) {
@@ -408,6 +423,36 @@ mod tests {
         assert_eq!(u.networks.len(), 2);
         assert_eq!(u.ingress_tags.len(), 2);
         assert_eq!(u.egress_filters.len(), 2);
+    }
+
+    #[test]
+    fn pref_sentence_understood_and_rendered() {
+        let mut prompt = String::from(
+            "Router R9 has AS number 9 and BGP router-id 1.0.0.9.\n\
+             Interface Ethernet0/0 has IP address 7.0.0.1 (mask 255.255.255.0) and connects to PROV.\n\
+             It has an eBGP neighbor 7.0.0.2 with AS number 70 (PROV).\n\
+             It must announce the following networks in BGP: 7.0.0.0/24.\n",
+        );
+        prompt.push_str(&crate::prompts::ingress_pref_sentence(
+            "7.0.0.2".parse().unwrap(),
+            50,
+            "PREF_PROV",
+        ));
+        prompt.push('\n');
+        let u = understand_prompt(&prompt);
+        assert_eq!(u.ingress_prefs.len(), 1);
+        assert!(u.ingress_tags.is_empty());
+        let d = SynthesisDraft::new(&prompt, BTreeSet::new());
+        let text = d.render();
+        assert!(text.contains("set local-preference 50"), "{text}");
+        assert!(text.contains("route-map PREF_PROV in"), "{text}");
+        let parsed = bf_lite::parse_config(&text, None);
+        assert!(parsed.is_clean(), "{:?}\n{text}", parsed.warnings);
+        let check = bf_lite::LocalPolicyCheck::PermittedRoutesSetLocalPref {
+            chain: vec!["PREF_PROV".into()],
+            value: 50,
+        };
+        assert!(bf_lite::check_local_policy(&parsed.device, &check).is_ok());
     }
 
     #[test]

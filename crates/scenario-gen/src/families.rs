@@ -1,0 +1,224 @@
+//! Topology families beyond the paper's star.
+//!
+//! Every family builds with [`topo_model::TopologyBuilder`] (automatic
+//! addressing, AS assignment, router ids) and returns a [`StubSet`]
+//! naming the customer stub and the peer stubs — the handle the intent
+//! synthesizers work from. All internal routers use
+//! [`RouterRole::Core`]; stubs are [`RouterRole::ExternalStub`].
+
+use net_model::Prefix;
+use topo_model::builder::TopologyBuilder;
+use topo_model::{RouterRole, Topology};
+
+/// The stubs of a generated topology, by role in the intent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StubSet {
+    /// The designated customer stub (reachable under every intent).
+    pub customer: String,
+    /// The customer's announced prefix.
+    pub customer_prefix: Prefix,
+    /// Peer stubs `(name, announced prefix)` — the ISPs/peers the
+    /// intents tag, filter, or block.
+    pub peers: Vec<(String, Prefix)>,
+}
+
+impl StubSet {
+    /// All stubs, customer first.
+    pub fn all(&self) -> Vec<(String, Prefix)> {
+        let mut v = vec![(self.customer.clone(), self.customer_prefix)];
+        v.extend(self.peers.iter().cloned());
+        v
+    }
+}
+
+/// A line `R1 — R2 — … — Rn`, customer stub on `R1`, one peer stub per
+/// remaining router. `n >= 3`.
+pub fn chain(n: usize) -> (Topology, StubSet) {
+    assert!(n >= 3, "chain needs n >= 3");
+    let mut b = TopologyBuilder::new();
+    let routers: Vec<usize> = (1..=n)
+        .map(|i| b.router(format!("R{i}"), RouterRole::Core))
+        .collect();
+    for w in routers.windows(2) {
+        b.link(w[0], w[1]);
+    }
+    finish_with_stub_per_router(b, &routers)
+}
+
+/// A cycle of `n` routers, customer stub on `R1`, one peer stub per
+/// remaining router. `n >= 3`.
+pub fn ring(n: usize) -> (Topology, StubSet) {
+    assert!(n >= 3, "ring needs n >= 3");
+    let mut b = TopologyBuilder::new();
+    let routers: Vec<usize> = (1..=n)
+        .map(|i| b.router(format!("R{i}"), RouterRole::Core))
+        .collect();
+    for w in routers.windows(2) {
+        b.link(w[0], w[1]);
+    }
+    b.link(routers[n - 1], routers[0]);
+    finish_with_stub_per_router(b, &routers)
+}
+
+/// A full mesh of `n` routers, customer stub on `R1`, one peer stub per
+/// remaining router. `n >= 3`.
+pub fn full_mesh(n: usize) -> (Topology, StubSet) {
+    assert!(n >= 3, "full mesh needs n >= 3");
+    let mut b = TopologyBuilder::new();
+    let routers: Vec<usize> = (1..=n)
+        .map(|i| b.router(format!("R{i}"), RouterRole::Core))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.link(routers[i], routers[j]);
+        }
+    }
+    finish_with_stub_per_router(b, &routers)
+}
+
+/// One pod of a `k`-ary fat tree (`k` even, `k >= 4`): `k/2` aggregation
+/// routers fully bipartite-connected to `k/2` edge routers. The customer
+/// stub hangs off `E1`; peer stubs hang off the other edge routers and
+/// off `A1` (the pod's uplink stand-in — and, being adjacent to `E1`,
+/// the provider the prefer-customer intent needs).
+pub fn fat_tree_pod(k: usize) -> (Topology, StubSet) {
+    assert!(
+        k >= 4 && k.is_multiple_of(2),
+        "fat-tree pod needs even k >= 4"
+    );
+    let mut b = TopologyBuilder::new();
+    let aggs: Vec<usize> = (1..=k / 2)
+        .map(|i| b.router(format!("A{i}"), RouterRole::Core))
+        .collect();
+    let edges: Vec<usize> = (1..=k / 2)
+        .map(|i| b.router(format!("E{i}"), RouterRole::Core))
+        .collect();
+    for &a in &aggs {
+        for &e in &edges {
+            b.link(a, e);
+        }
+    }
+    let (_, customer_prefix) = b.stub("CUSTOMER", edges[0]);
+    let mut peers = Vec::new();
+    let (_, p) = b.stub("PEER-A1", aggs[0]);
+    peers.push(("PEER-A1".to_string(), p));
+    for (i, &e) in edges.iter().enumerate().skip(1) {
+        let name = format!("PEER-E{}", i + 1);
+        let (_, p) = b.stub(name.clone(), e);
+        peers.push((name, p));
+    }
+    (
+        b.build(),
+        StubSet {
+            customer: "CUSTOMER".into(),
+            customer_prefix,
+            peers,
+        },
+    )
+}
+
+/// A multi-homed customer stub on two border routers, both uplinked to a
+/// two-router ISP core carrying `n_isps >= 2` ISP stubs (alternating
+/// between the core routers).
+pub fn multi_homed(n_isps: usize) -> (Topology, StubSet) {
+    assert!(n_isps >= 2, "multi-homed needs >= 2 ISPs");
+    let mut b = TopologyBuilder::new();
+    let b1 = b.router("B1", RouterRole::Core);
+    let b2 = b.router("B2", RouterRole::Core);
+    let c1 = b.router("C1", RouterRole::Core);
+    let c2 = b.router("C2", RouterRole::Core);
+    b.link(b1, c1);
+    b.link(b2, c2);
+    b.link(c1, c2);
+    let (cust, customer_prefix) = b.stub("CUSTOMER", b1);
+    b.multihome(cust, b2);
+    let mut peers = Vec::new();
+    for i in 1..=n_isps {
+        let name = format!("ISP-{i}");
+        let attach = if i % 2 == 1 { c1 } else { c2 };
+        let (_, p) = b.stub(name.clone(), attach);
+        peers.push((name, p));
+    }
+    (
+        b.build(),
+        StubSet {
+            customer: "CUSTOMER".into(),
+            customer_prefix,
+            peers,
+        },
+    )
+}
+
+/// Shared tail for the uniform families: CUSTOMER on the first router,
+/// `PEER-i` on each other router.
+fn finish_with_stub_per_router(mut b: TopologyBuilder, routers: &[usize]) -> (Topology, StubSet) {
+    let (_, customer_prefix) = b.stub("CUSTOMER", routers[0]);
+    let mut peers = Vec::new();
+    for (i, &r) in routers.iter().enumerate().skip(1) {
+        let name = format!("PEER-{}", i + 1);
+        let (_, p) = b.stub(name.clone(), r);
+        peers.push((name, p));
+    }
+    (
+        b.build(),
+        StubSet {
+            customer: "CUSTOMER".into(),
+            customer_prefix,
+            peers,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_validate() {
+        let cases: Vec<(&str, Topology, StubSet)> = vec![
+            ("chain", chain(4).0, chain(4).1),
+            ("ring", ring(5).0, ring(5).1),
+            ("mesh", full_mesh(4).0, full_mesh(4).1),
+            ("fat-tree", fat_tree_pod(4).0, fat_tree_pod(4).1),
+            ("multi-homed", multi_homed(3).0, multi_homed(3).1),
+        ];
+        for (name, t, stubs) in cases {
+            assert!(t.validate().is_empty(), "{name}: {:?}", t.validate());
+            assert!(stubs.peers.len() >= 2, "{name} needs >= 2 peers");
+            assert!(t.router(&stubs.customer).is_some(), "{name}");
+            for (p, _) in &stubs.peers {
+                assert!(t.router(p).is_some(), "{name}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_are_right() {
+        let (t, _) = ring(5);
+        // 5 internal + 5 stubs; each internal has 2 ring links + 1 stub.
+        assert_eq!(t.internal_routers().count(), 5);
+        assert_eq!(t.stubs().count(), 5);
+        for r in t.internal_routers() {
+            assert_eq!(r.interfaces.len(), 3, "{}", r.name);
+        }
+        let (t, _) = full_mesh(4);
+        for r in t.internal_routers() {
+            assert_eq!(r.interfaces.len(), 4, "{}", r.name); // 3 mesh + stub
+        }
+        let (t, _) = fat_tree_pod(4);
+        assert_eq!(t.internal_routers().count(), 4);
+        assert_eq!(t.stubs().count(), 3); // customer + PEER-A1 + PEER-E2
+        assert!(t.has_link("A1", "E1"));
+        assert!(t.has_link("A2", "E2"));
+        assert!(!t.has_link("E1", "E2"));
+        let (t, _) = multi_homed(2);
+        let cust = t.router("CUSTOMER").unwrap();
+        assert_eq!(cust.interfaces.len(), 2); // multi-homed
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(chain(4).0, chain(4).0);
+        assert_eq!(multi_homed(3).0, multi_homed(3).0);
+    }
+}

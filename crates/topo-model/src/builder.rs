@@ -1,0 +1,204 @@
+//! A general topology builder for non-star experiment networks.
+//!
+//! The star generator ([`crate::star`]) hard-codes the paper's Figure 4
+//! addressing; every other topology family (chain, ring, mesh, fat-tree
+//! pod, multi-homed stub) is built with this allocator instead. The
+//! builder owns the addressing plan so generated topologies are valid by
+//! construction:
+//!
+//! * link `k` gets subnet `10.{k/256}.{k%256}.0/24`, `.1` on the
+//!   first-named endpoint and `.2` on the second;
+//! * stub `k` announces `172.{16 + k/256}.{k%256}.0/24`;
+//! * internal router `k` gets AS `k+1` and router id `1.0.{k/256}.{k%256+1}`;
+//! * stub `k` gets AS `64512+k` and router id `9.0.{k/256}.{k%256+1}`;
+//! * interface names count up per router: `Ethernet0/0`, `Ethernet0/1`, …
+//!
+//! Internal endpoints announce every connected link subnet (the star's
+//! convention); stubs announce only their allocated prefix.
+
+use crate::topology::{IfaceSpec, NeighborSpec, RouterRole, RouterSpec, Topology};
+use net_model::{Asn, InterfaceAddress, Prefix};
+use std::net::Ipv4Addr;
+
+/// Base AS number for external stubs (private-use range).
+pub const STUB_AS_BASE: u32 = 64_512;
+
+/// Incrementally builds a [`Topology`] with automatic addressing.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    routers: Vec<RouterSpec>,
+    links: u32,
+    stubs: u32,
+    internals: u32,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an internal router (one we synthesize a config for) and
+    /// returns its index.
+    pub fn router(&mut self, name: impl Into<String>, role: RouterRole) -> usize {
+        assert_ne!(role, RouterRole::ExternalStub, "use stub() for stubs");
+        let k = self.internals;
+        self.internals += 1;
+        self.routers.push(RouterSpec {
+            name: name.into(),
+            asn: Asn(k + 1),
+            router_id: Ipv4Addr::new(1, 0, (k / 256) as u8, (k % 256 + 1) as u8),
+            interfaces: Vec::new(),
+            neighbors: Vec::new(),
+            networks: Vec::new(),
+            role,
+        });
+        self.routers.len() - 1
+    }
+
+    /// Connects two routers with a fresh /24, adding interfaces, the
+    /// bidirectional eBGP neighbor declarations, and (for internal
+    /// endpoints) the link subnet to `networks`. Returns the subnet.
+    pub fn link(&mut self, a: usize, b: usize) -> Prefix {
+        assert_ne!(a, b, "self-links are not allowed");
+        let k = self.links;
+        self.links += 1;
+        let subnet: Prefix = format!("10.{}.{}.0/24", k / 256, k % 256).parse().unwrap();
+        let base = u32::from(subnet.network());
+        let addr_a = Ipv4Addr::from(base + 1);
+        let addr_b = Ipv4Addr::from(base + 2);
+        let (asn_a, name_a) = (self.routers[a].asn, self.routers[a].name.clone());
+        let (asn_b, name_b) = (self.routers[b].asn, self.routers[b].name.clone());
+        for (i, peer_name, my_addr, peer_addr, peer_asn) in [
+            (a, name_b, addr_a, addr_b, asn_b),
+            (b, name_a, addr_b, addr_a, asn_a),
+        ] {
+            let r = &mut self.routers[i];
+            let iface = format!("Ethernet0/{}", r.interfaces.len());
+            r.interfaces.push(IfaceSpec {
+                name: iface,
+                address: InterfaceAddress::new(my_addr, 24).unwrap(),
+                peer_router: peer_name.clone(),
+            });
+            r.neighbors.push(NeighborSpec {
+                addr: peer_addr,
+                asn: peer_asn,
+                peer_router: peer_name,
+            });
+            if r.role != RouterRole::ExternalStub {
+                r.networks.push(subnet);
+            }
+        }
+        subnet
+    }
+
+    /// Adds an external stub attached to router `attach`, announcing a
+    /// freshly allocated prefix. Returns `(stub index, announced prefix)`.
+    pub fn stub(&mut self, name: impl Into<String>, attach: usize) -> (usize, Prefix) {
+        let k = self.stubs;
+        self.stubs += 1;
+        let prefix: Prefix = format!("172.{}.{}.0/24", 16 + k / 256, k % 256)
+            .parse()
+            .unwrap();
+        self.routers.push(RouterSpec {
+            name: name.into(),
+            asn: Asn(STUB_AS_BASE + k),
+            router_id: Ipv4Addr::new(9, 0, (k / 256) as u8, (k % 256 + 1) as u8),
+            interfaces: Vec::new(),
+            neighbors: Vec::new(),
+            networks: vec![prefix],
+            role: RouterRole::ExternalStub,
+        });
+        let idx = self.routers.len() - 1;
+        self.link(attach, idx);
+        (idx, prefix)
+    }
+
+    /// Attaches an existing stub to an additional router (multi-homing).
+    pub fn multihome(&mut self, stub: usize, attach: usize) {
+        assert_eq!(self.routers[stub].role, RouterRole::ExternalStub);
+        self.link(attach, stub);
+    }
+
+    /// Finalizes the topology. Debug-asserts internal consistency — a
+    /// builder bug, not an input error, if it fires.
+    pub fn build(self) -> Topology {
+        let t = Topology {
+            routers: self.routers,
+        };
+        debug_assert!(t.validate().is_empty(), "{:?}", t.validate());
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// R0 — R1 — R2 with a stub on each end.
+    fn small_chain() -> (Topology, Prefix, Prefix) {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.router("R0", RouterRole::Core);
+        let r1 = b.router("R1", RouterRole::Core);
+        let r2 = b.router("R2", RouterRole::Core);
+        b.link(r0, r1);
+        b.link(r1, r2);
+        let (_, p_left) = b.stub("LEFT", r0);
+        let (_, p_right) = b.stub("RIGHT", r2);
+        (b.build(), p_left, p_right)
+    }
+
+    #[test]
+    fn built_topology_validates() {
+        let (t, _, _) = small_chain();
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+        assert_eq!(t.internal_routers().count(), 3);
+        assert_eq!(t.stubs().count(), 2);
+    }
+
+    #[test]
+    fn addressing_is_deterministic_and_disjoint() {
+        let (t, p_left, p_right) = small_chain();
+        assert_eq!(p_left.to_string(), "172.16.0.0/24");
+        assert_eq!(p_right.to_string(), "172.16.1.0/24");
+        let r0 = t.router("R0").unwrap();
+        assert_eq!(r0.asn, Asn(1));
+        assert_eq!(r0.router_id.to_string(), "1.0.0.1");
+        assert_eq!(
+            r0.iface_to("R1").unwrap().address.to_string(),
+            "10.0.0.1/24"
+        );
+        // Every link subnet is unique.
+        let mut subnets = std::collections::BTreeSet::new();
+        for r in &t.routers {
+            for i in &r.interfaces {
+                subnets.insert(i.address.subnet());
+            }
+        }
+        assert_eq!(subnets.len(), 4); // 2 internal links + 2 stub links
+    }
+
+    #[test]
+    fn internal_endpoints_announce_link_subnets_stubs_do_not() {
+        let (t, p_left, _) = small_chain();
+        let r1 = t.router("R1").unwrap();
+        assert_eq!(r1.networks.len(), 2); // its two links
+        let left = t.router("LEFT").unwrap();
+        assert_eq!(left.networks, vec![p_left]);
+    }
+
+    #[test]
+    fn multihomed_stub_has_two_uplinks() {
+        let mut b = TopologyBuilder::new();
+        let b1 = b.router("B1", RouterRole::Core);
+        let b2 = b.router("B2", RouterRole::Core);
+        b.link(b1, b2);
+        let (cust, _) = b.stub("CUST", b1);
+        b.multihome(cust, b2);
+        let t = b.build();
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+        let c = t.router("CUST").unwrap();
+        assert_eq!(c.interfaces.len(), 2);
+        assert_eq!(c.neighbors.len(), 2);
+    }
+}

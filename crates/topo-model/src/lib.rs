@@ -16,15 +16,26 @@
 //!   per-router natural-language topology descriptions used as prompts.
 //! * [`verifier`] — the topology verifier: compares a parsed config
 //!   against the JSON dictionary and reports the seven inconsistency
-//!   types of Table 3.
+//!   types of Table 3. The checks are structural, not star-specific:
+//!   they hold on any [`Topology`], generated or hand-built.
+//! * [`builder`] — a general topology builder with automatic addressing,
+//!   used by the `scenario-gen` families (chain, ring, mesh, fat-tree
+//!   pod, multi-homed stub) that go beyond the paper's star.
+//! * [`scenario`] — a [`Scenario`](scenario::Scenario): topology +
+//!   per-router policy intents + whole-network expectations, the
+//!   generalized input the VPP loop runs on.
 
+pub mod builder;
 pub mod describe;
 pub mod json;
+pub mod scenario;
 pub mod star;
 pub mod topology;
 pub mod verifier;
 
+pub use builder::TopologyBuilder;
 pub use describe::{describe_network, describe_router};
+pub use scenario::{Expectation, RouterPolicy, Scenario};
 pub use star::{star, StarRoles};
 pub use topology::{IfaceSpec, NeighborSpec, RouterRole, RouterSpec, Topology};
 pub use verifier::{verify_router, TopologyFinding};

@@ -12,6 +12,10 @@ pub enum RouterRole {
     Hub,
     /// An edge router facing one ISP (R2..Rn in Figure 4).
     IspEdge,
+    /// An internal router of a generated (non-star) topology: chain,
+    /// ring, mesh, fat-tree pod, … Synthesized like any internal router;
+    /// carries no hub-and-spoke meaning.
+    Core,
     /// An external stub we simulate but do not synthesize configs for
     /// (the CUSTOMER and the ISPs themselves).
     ExternalStub,
@@ -22,6 +26,7 @@ impl RouterRole {
         match self {
             RouterRole::Hub => "Hub",
             RouterRole::IspEdge => "IspEdge",
+            RouterRole::Core => "Core",
             RouterRole::ExternalStub => "ExternalStub",
         }
     }
@@ -30,6 +35,7 @@ impl RouterRole {
         match s {
             "Hub" => Ok(RouterRole::Hub),
             "IspEdge" => Ok(RouterRole::IspEdge),
+            "Core" => Ok(RouterRole::Core),
             "ExternalStub" => Ok(RouterRole::ExternalStub),
             other => Err(format!("unknown router role {other:?}")),
         }
@@ -110,6 +116,25 @@ impl Topology {
         self.routers
             .iter()
             .filter(|r| r.role == RouterRole::ExternalStub)
+    }
+
+    /// Whether routers `a` and `b` share a direct link.
+    pub fn has_link(&self, a: &str, b: &str) -> bool {
+        self.router(a).is_some_and(|r| r.iface_to(b).is_some())
+    }
+
+    /// Names of the internal (non-stub) routers directly linked to
+    /// `name`, in topology order.
+    pub fn internal_neighbors_of(&self, name: &str) -> Vec<String> {
+        let Some(r) = self.router(name) else {
+            return Vec::new();
+        };
+        self.routers
+            .iter()
+            .filter(|p| p.role != RouterRole::ExternalStub)
+            .filter(|p| r.iface_to(&p.name).is_some())
+            .map(|p| p.name.clone())
+            .collect()
     }
 
     /// Serializes to pretty JSON (the generator's second output).
@@ -390,6 +415,24 @@ mod tests {
         t.routers[0].neighbors[0].asn = Asn(99);
         let p = t.validate();
         assert!(p.iter().any(|m| m.contains("AS 99")), "{p:?}");
+    }
+
+    #[test]
+    fn core_role_roundtrips_in_json() {
+        let mut t = tiny();
+        t.routers[1].role = RouterRole::Core;
+        let back = Topology::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.router("R2").unwrap().role, RouterRole::Core);
+        assert_eq!(back.internal_routers().count(), 2);
+    }
+
+    #[test]
+    fn link_and_neighbor_queries() {
+        let t = tiny();
+        assert!(t.has_link("R1", "R2"));
+        assert!(!t.has_link("R1", "R9"));
+        assert_eq!(t.internal_neighbors_of("R1"), vec!["R2".to_string()]);
+        assert!(t.internal_neighbors_of("R9").is_empty());
     }
 
     #[test]

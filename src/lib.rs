@@ -12,10 +12,12 @@ pub use campion_lite;
 pub use cisco_cfg;
 pub use config_ir;
 pub use cosynth;
+pub use cosynth_fleet;
 pub use juniper_cfg;
 pub use llm_sim;
 pub use net_model;
 pub use policy_symbolic;
+pub use scenario_gen;
 pub use topo_model;
 
 /// The bundled border-router configuration used by the translation
