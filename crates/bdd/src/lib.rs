@@ -10,17 +10,29 @@
 //! ## Design
 //!
 //! * One [`Manager`] owns all nodes in a flat `Vec` arena. Nodes are
-//!   hash-consed: each `(var, lo, hi)` triple exists at most once, so
-//!   semantic equality of functions is pointer (index) equality of
-//!   [`Ref`]s.
+//!   hash-consed and edges carry **complement marks** (the low bit of a
+//!   [`Ref`] means "negated"): each canonical `(var, lo, hi)` triple
+//!   exists at most once and a function shares every node with its
+//!   negation, so semantic equality of functions is equality of tagged
+//!   [`Ref`]s and negation is a single xor.
+//! * Canonical form: there is one terminal (TRUE; FALSE is its
+//!   complement edge) and the then-edge of a stored node is never
+//!   complemented — `mk` pushes a complemented then-edge onto both
+//!   children and the result. `Manager::check_canonical` verifies this.
+//! * Binary ops normalize complement marks out of their cache keys:
+//!   `or` is the De Morgan dual sharing the `and` cache, `xor` strips
+//!   operand marks and re-applies the parity, `ite` canonicalizes to a
+//!   regular condition and then-branch. A predicate and its negation
+//!   therefore hit the same cache lines.
 //! * The unique table is **open-addressed** (CUDD-style): a power-of-two
 //!   slot array of node indices, fx multiplicative hashing, linear
 //!   probing without tombstones (nodes are never deleted), amortized
 //!   doubling at 50% load. There is no `HashMap` on the hot path.
-//! * The memo tables for `apply`/`ite`/`not`/`restrict` are fixed-size
+//! * The memo tables for `apply`/`ite`/`restrict` are fixed-size
 //!   **direct-mapped lossy caches**: a lookup is one index computation
 //!   and one compare; a colliding insert simply overwrites. Commutative
-//!   apply keys are canonicalized by operand order first.
+//!   apply keys are canonicalized by operand order first. (`not` needs
+//!   no cache — it is O(1).)
 //! * The original `std::collections::HashMap` tables are kept compiled
 //!   behind the `naive-tables` feature as the A/B baseline for
 //!   `bddbench` (see `crates/bdd/README.md`).

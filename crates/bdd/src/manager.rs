@@ -1,27 +1,37 @@
 //! The BDD manager: node arena, hash-consing, and core operations.
 //!
-//! The hot path is `mk` (hash-consed node construction) and the memoized
-//! Shannon expansions `apply`/`ite`. Both go through the engine selected
-//! in [`crate::tables`]: by default an open-addressed unique table plus
-//! direct-mapped lossy op caches (one index computation per lookup, zero
-//! allocation); with the `naive-tables` feature, the original
-//! SipHash-keyed `HashMap` paths for A/B comparison.
+//! The kernel uses **complement edges** (CUDD-fashion): a [`Ref`] tags
+//! the low bit as a negation mark, there is a single terminal node
+//! (TRUE), and `FALSE` is its complemented edge. Negation is O(1) — one
+//! xor — and every binary operation canonicalizes complement marks out
+//! of its cache key so a function and its negation share cache lines:
+//!
+//! * `or(f, g) = ¬and(¬f, ¬g)` — one And cache serves both ops;
+//! * `xor` strips both operands' marks and re-applies the parity to the
+//!   result (`f ⊕ g`, `¬f ⊕ g`, `f ⊕ ¬g`, `¬f ⊕ ¬g` are one key);
+//! * `ite` swaps branches to make the condition regular and complements
+//!   the result to make the then-branch regular;
+//! * `restrict` caches on the regular operand and re-applies the mark.
+//!
+//! The hot path is `mk` (hash-consed node construction under the
+//! then-edge-regular rule) and the memoized Shannon expansions
+//! `apply`/`ite`. Both go through the engine selected in
+//! [`crate::tables`]: by default an open-addressed unique table plus
+//! direct-mapped lossy op caches; with the `naive-tables` feature, the
+//! original SipHash-keyed `HashMap` tables for A/B comparison.
 
 use crate::node::{Node, Ref, Var};
-use crate::tables::{Cache1, Cache2, Cache3, ManagerStats, Sizing, UniqueTable, ENGINE};
+use crate::tables::{Cache2, Cache3, ManagerStats, Sizing, UniqueTable, ENGINE};
 
 /// Binary operation codes used as memoization keys.
 ///
-/// The discriminant is the first word of the apply-cache key; it must
-/// never collide with a `Ref` used in the ite cache's first slot, but
-/// the caches are separate arrays so only distinctness among ops
-/// matters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
-    And = 0,
-    Or = 1,
-    Xor = 2,
-}
+/// Only And and Xor exist at the cache level: Or is derived through De
+/// Morgan (`¬and(¬f, ¬g)`) so that disjunctions and conjunctions of the
+/// same operands populate the same cache lines. Each op has its own
+/// specialized recursion (`and_rec`/`xor_rec`) so the codes are folded
+/// into the call sites rather than dispatched per level.
+const OP_AND: u32 = 0;
+const OP_XOR: u32 = 1;
 
 /// The BDD manager. Owns every node; all operations go through it.
 ///
@@ -35,19 +45,22 @@ pub struct Manager {
     unique: UniqueTable,
     apply_cache: Cache3,
     ite_cache: Cache3,
-    not_cache: Cache1,
     restrict_cache: Cache2,
-    /// Projection functions, CUDD's `bddVars`: `lits[v] = [¬v, v]`,
-    /// filled lazily. Route-space constraint builders call
-    /// `var`/`literal` once per conjunct, so resolving them without a
-    /// unique-table probe matters. The `naive-tables` baseline bypasses
-    /// this (the seed resolved every literal through the HashMap).
+    /// Positive projection functions, CUDD's `bddVars`: `lits[v] = v`,
+    /// filled lazily (the negative literal is its complement edge, so a
+    /// single entry covers both polarities). Route-space constraint
+    /// builders call `var`/`literal` once per conjunct, so resolving
+    /// them without a unique-table probe matters. The `naive-tables`
+    /// baseline bypasses this (the seed resolved every literal through
+    /// the HashMap).
     #[cfg_attr(feature = "naive-tables", allow(dead_code))]
-    lits: Vec<[Ref; 2]>,
+    lits: Vec<Ref>,
     n_vars: u32,
 }
 
-/// Sentinel for an unfilled literal-cache entry (no node has this index).
+/// Sentinel for an unfilled literal-cache entry (no edge has this value:
+/// it would be the complement edge of node `(u32::MAX >> 1)`, far beyond
+/// any real arena).
 const NO_REF: Ref = Ref(u32::MAX);
 
 impl Default for Manager {
@@ -74,28 +87,23 @@ impl Manager {
     }
 
     fn with_sizing(s: Sizing) -> Self {
-        // Index 0 and 1 are the constants. They are never looked at as
-        // decision nodes; we store sentinels with an out-of-range var so a
-        // bug that dereferences them is loud in debug assertions.
+        // Index 0 is the single TRUE terminal; FALSE is its complement
+        // edge. It is never looked at as a decision node; we store a
+        // sentinel with an out-of-range var so a bug that dereferences
+        // it is loud (the out-of-range var also keeps it from ever
+        // winning the `min` level comparison in apply/ite).
         let sentinel = Node {
-            var: u32::MAX,
-            lo: Ref::FALSE,
-            hi: Ref::FALSE,
-        };
-        let sentinel2 = Node {
             var: u32::MAX,
             lo: Ref::TRUE,
             hi: Ref::TRUE,
         };
-        let mut nodes = Vec::with_capacity(s.unique_capacity.saturating_add(2));
+        let mut nodes = Vec::with_capacity(s.unique_capacity.saturating_add(1));
         nodes.push(sentinel);
-        nodes.push(sentinel2);
         Manager {
             nodes,
             unique: UniqueTable::with_capacity(s.unique_capacity),
             apply_cache: Cache3::new(s.apply_bits),
             ite_cache: Cache3::new(s.ite_bits),
-            not_cache: Cache1::new(s.not_bits),
             restrict_cache: Cache2::new(s.restrict_bits),
             lits: Vec::new(),
             n_vars: 0,
@@ -114,7 +122,6 @@ impl Manager {
             + self.unique.bytes()
             + self.apply_cache.bytes()
             + self.ite_cache.bytes()
-            + self.not_cache.bytes()
             + self.restrict_cache.bytes();
         ManagerStats {
             engine: ENGINE,
@@ -123,7 +130,6 @@ impl Manager {
             bytes,
             apply: self.apply_cache.stats,
             ite: self.ite_cache.stats,
-            not: self.not_cache.stats,
             restrict: self.restrict_cache.stats,
         }
     }
@@ -132,24 +138,28 @@ impl Manager {
     pub fn reset_stats(&mut self) {
         self.apply_cache.stats = Default::default();
         self.ite_cache.stats = Default::default();
-        self.not_cache.stats = Default::default();
         self.restrict_cache.stats = Default::default();
     }
 
-    /// Verifies the structural invariants hash-consing relies on: no
-    /// duplicate `(var, lo, hi)` triple, no redundant node (`lo == hi`),
-    /// children allocated before parents, and the variable order strictly
-    /// increasing along every edge. O(n); for tests and debugging.
+    /// Verifies the structural invariants hash-consing with complement
+    /// edges relies on: no duplicate `(var, lo, hi)` triple, no
+    /// redundant node (`lo == hi`), **no complemented then-edge**,
+    /// children allocated before parents, and the variable order
+    /// strictly increasing along every edge. O(n); for tests and
+    /// debugging.
     pub fn check_canonical(&self) -> Result<(), String> {
         let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
-        if self.unique.len() != self.nodes.len() - 2 {
+        if self.unique.len() != self.nodes.len() - 1 {
             return Err(format!(
-                "unique table holds {} entries for {} non-constant nodes",
+                "unique table holds {} entries for {} non-terminal nodes",
                 self.unique.len(),
-                self.nodes.len() - 2
+                self.nodes.len() - 1
             ));
         }
-        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            if n.hi.is_complemented() {
+                return Err(format!("node {i} has a complemented then-edge {:?}", n.hi));
+            }
             if n.lo == n.hi {
                 return Err(format!("node {i} is redundant: lo == hi == {:?}", n.lo));
             }
@@ -176,7 +186,7 @@ impl Manager {
     pub fn new_var(&mut self) -> Var {
         let v = self.n_vars;
         self.n_vars += 1;
-        self.lits.push([NO_REF, NO_REF]);
+        self.lits.push(NO_REF);
         v
     }
 
@@ -190,7 +200,10 @@ impl Manager {
         self.n_vars
     }
 
-    /// Number of live nodes (including the two constants).
+    /// Number of live nodes (including the terminal). With complement
+    /// edges a function and its negation share all their nodes, so this
+    /// runs roughly half the pre-complement kernel's count on
+    /// negation-heavy workloads.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
@@ -211,117 +224,111 @@ impl Manager {
         debug_assert!(v < self.n_vars, "variable {v} not allocated");
         #[cfg(not(feature = "naive-tables"))]
         {
-            let cached = self.lits[v as usize][1];
+            let cached = self.lits[v as usize];
             if cached != NO_REF {
                 return cached;
             }
             let r = self.mk(v, Ref::FALSE, Ref::TRUE);
-            self.lits[v as usize][1] = r;
+            self.lits[v as usize] = r;
             r
         }
         #[cfg(feature = "naive-tables")]
         self.mk(v, Ref::FALSE, Ref::TRUE)
     }
 
-    /// The function that is true iff `v` is false.
+    /// The function that is true iff `v` is false: the complement edge
+    /// of [`Manager::var`] — no separate node is allocated.
     #[inline]
     pub fn nvar(&mut self, v: Var) -> Ref {
-        debug_assert!(v < self.n_vars, "variable {v} not allocated");
-        #[cfg(not(feature = "naive-tables"))]
-        {
-            let cached = self.lits[v as usize][0];
-            if cached != NO_REF {
-                return cached;
-            }
-            let r = self.mk(v, Ref::TRUE, Ref::FALSE);
-            self.lits[v as usize][0] = r;
-            r
-        }
-        #[cfg(feature = "naive-tables")]
-        self.mk(v, Ref::TRUE, Ref::FALSE)
+        !self.var(v)
     }
 
     /// A literal: `var(v)` if `positive` else `nvar(v)`.
     pub fn literal(&mut self, v: Var, positive: bool) -> Ref {
+        let r = self.var(v);
         if positive {
-            self.var(v)
+            r
         } else {
-            self.nvar(v)
+            !r
         }
     }
 
-    /// Checked arena read: a `Ref` is an index, and `Ref`s are `Copy`,
-    /// so a caller could hand us one minted by a *different* manager —
-    /// the bounds check keeps that a panic rather than UB. (The
-    /// unchecked accesses in `tables.rs` are different: their indices
-    /// are masked to the table length and sound for any input.)
+    /// Checked arena read resolving the complement mark: the cofactors
+    /// of `¬f` are the negated cofactors of `f`, so a complemented
+    /// reference pushes its mark onto both children (one xor each).
+    ///
+    /// The bounds check stays: a `Ref` is `Copy`, so a caller could hand
+    /// us one minted by a *different* manager — the check keeps that a
+    /// panic rather than UB. (The unchecked accesses in `tables.rs` are
+    /// different: their indices are masked to the table length and sound
+    /// for any input.)
     #[inline]
-    fn node(&self, r: Ref) -> Node {
-        self.nodes[r.index()]
+    fn cofactors(&self, r: Ref) -> (Var, Ref, Ref) {
+        let n = self.nodes[r.index()];
+        let mark = r.0 & 1;
+        (n.var, Ref(n.lo.0 ^ mark), Ref(n.hi.0 ^ mark))
     }
 
-    /// Hash-consed node construction with the reduction rule.
+    /// Hash-consed node construction with the reduction rule and the
+    /// complement-edge canonicalization: a triple whose then-edge is
+    /// complemented is stored with both children negated and returned
+    /// through a complemented edge, so the then-edge of every *stored*
+    /// node is regular and each function/negation pair owns exactly one
+    /// node. The canonicalization is branchless: xor the then-edge's
+    /// mark onto both children and back onto the (regular) result.
     #[inline]
     fn mk(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
         if lo == hi {
             return lo;
         }
-        self.unique
-            .get_or_insert(Node { var, lo, hi }, &mut self.nodes)
+        let mark = hi.0 & 1;
+        let node = Node {
+            var,
+            lo: Ref(lo.0 ^ mark),
+            hi: Ref(hi.0 ^ mark),
+        };
+        let r = self.unique.get_or_insert(node, &mut self.nodes);
+        Ref(r.0 | mark)
     }
 
-    /// Negation.
-    pub fn not(&mut self, f: Ref) -> Ref {
-        if f.is_true() {
-            return Ref::FALSE;
-        }
-        if f.is_false() {
-            return Ref::TRUE;
-        }
-        if let Some(r) = self.not_cache.get(f.0) {
-            return r;
-        }
-        let n = self.node(f);
-        let lo = self.not(n.lo);
-        let hi = self.not(n.hi);
-        let r = self.mk(n.var, lo, hi);
-        self.not_cache.put(f.0, r);
-        self.not_cache.put(r.0, f);
-        r
+    /// Negation: O(1) — flip the complement mark. No traversal, no
+    /// cache, no allocation.
+    #[inline]
+    pub fn not(&self, f: Ref) -> Ref {
+        !f
     }
 
     /// Conjunction.
     pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
-        self.apply(Op::And, f, g)
+        self.and_rec(f, g)
     }
 
-    /// Disjunction.
+    /// Disjunction, via De Morgan: `¬(¬f ∧ ¬g)`. Negation is free, so
+    /// Or shares the And cache — `and(a, b)` and `or(¬a, ¬b)` are the
+    /// same cache line.
     pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
-        self.apply(Op::Or, f, g)
+        !self.and_rec(!f, !g)
     }
 
     /// Exclusive or.
     pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
-        self.apply(Op::Xor, f, g)
+        self.xor_rec(f, g)
     }
 
     /// Implication `f → g`.
     pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
-        let nf = self.not(f);
-        self.or(nf, g)
+        !self.and_rec(f, !g)
     }
 
     /// Biconditional `f ↔ g`.
     pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
-        let x = self.xor(f, g);
-        self.not(x)
+        !self.xor_rec(f, g)
     }
 
     /// Difference `f ∧ ¬g` — the "behaviour present in f but not g" space
     /// that Campion-lite reports on.
     pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
-        let ng = self.not(g);
-        self.and(f, ng)
+        self.and_rec(f, !g)
     }
 
     /// Conjunction over many operands.
@@ -348,133 +355,169 @@ impl Manager {
         acc
     }
 
-    fn apply(&mut self, op: Op, f: Ref, g: Ref) -> Ref {
-        // Terminal cases.
-        match op {
-            Op::And => {
-                if f.is_false() || g.is_false() {
-                    return Ref::FALSE;
-                }
-                if f.is_true() {
-                    return g;
-                }
-                if g.is_true() {
-                    return f;
-                }
-                if f == g {
-                    return f;
-                }
-            }
-            Op::Or => {
-                if f.is_true() || g.is_true() {
-                    return Ref::TRUE;
-                }
-                if f.is_false() {
-                    return g;
-                }
-                if g.is_false() {
-                    return f;
-                }
-                if f == g {
-                    return f;
-                }
-            }
-            Op::Xor => {
-                if f == g {
-                    return Ref::FALSE;
-                }
-                if f.is_false() {
-                    return g;
-                }
-                if g.is_false() {
-                    return f;
-                }
-                if f.is_true() {
-                    return self.not(g);
-                }
-                if g.is_true() {
-                    return self.not(f);
-                }
-            }
+    /// The And recursion. Terminal cases exploit complement edges: the
+    /// common both-operands-internal path is two compares (const check,
+    /// same-node check via `f.0 ^ g.0 ≤ 1`) before the cache probe.
+    fn and_rec(&mut self, f: Ref, g: Ref) -> Ref {
+        if f.is_const() || g.is_const() {
+            return if f.is_false() || g.is_false() {
+                Ref::FALSE
+            } else if f.is_true() {
+                g
+            } else {
+                f
+            };
         }
-        // Small-key canonicalization: all three ops are commutative, so
-        // ordering the operands by `Ref` halves the distinct keys and
-        // doubles the effective cache size.
+        let x = f.0 ^ g.0;
+        if x <= 1 {
+            // Same node: x == 0 is f == g (→ f); x == 1 is f == ¬g
+            // (→ ⊥) — a rule the pre-complement kernel could not see
+            // without a traversal.
+            return if x == 0 { f } else { Ref::FALSE };
+        }
+        // Commutative: order the operands, halving the key space.
         let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        if let Some(r) = self.apply_cache.get(op as u32, f.0, g.0) {
+        if let Some(r) = self.apply_cache.get(OP_AND, f.0, g.0) {
             return r;
         }
         // One arena load per operand; the node carries both the level
-        // and the cofactors.
-        let (nf, ng) = (self.node(f), self.node(g));
-        let v = nf.var.min(ng.var);
-        let (f_lo, f_hi) = if nf.var == v { (nf.lo, nf.hi) } else { (f, f) };
-        let (g_lo, g_hi) = if ng.var == v { (ng.lo, ng.hi) } else { (g, g) };
-        let lo = self.apply(op, f_lo, g_lo);
-        let hi = self.apply(op, f_hi, g_hi);
+        // and the cofactors (complement marks resolved by `cofactors`).
+        let (vf, f_lo0, f_hi0) = self.cofactors(f);
+        let (vg, g_lo0, g_hi0) = self.cofactors(g);
+        let v = vf.min(vg);
+        let (f_lo, f_hi) = if vf == v { (f_lo0, f_hi0) } else { (f, f) };
+        let (g_lo, g_hi) = if vg == v { (g_lo0, g_hi0) } else { (g, g) };
+        let lo = self.and_rec(f_lo, g_lo);
+        let hi = self.and_rec(f_hi, g_hi);
         let r = self.mk(v, lo, hi);
-        self.apply_cache.put(op as u32, f.0, g.0, r);
+        self.apply_cache.put(OP_AND, f.0, g.0, r);
         r
+    }
+
+    /// The Xor recursion. Complement marks factor out of xor entirely
+    /// (`¬a ⊕ b = ¬(a ⊕ b)`), so the parity of the operands' marks is
+    /// xor-folded onto the result and the cache sees only regular
+    /// operands: all four polarity combinations of a pair share one
+    /// cache line, and the fold is a bit-xor, not a branch.
+    fn xor_rec(&mut self, f: Ref, g: Ref) -> Ref {
+        let mark = (f.0 ^ g.0) & 1;
+        let (f, g) = (f.regular(), g.regular());
+        if f == g {
+            // Same polarity → ⊥, opposite → ⊤, i.e. `Ref(1 ^ mark)`.
+            return Ref(1 ^ mark);
+        }
+        if f.is_true() {
+            return Ref(g.0 ^ 1 ^ mark);
+        }
+        if g.is_true() {
+            return Ref(f.0 ^ 1 ^ mark);
+        }
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(r) = self.apply_cache.get(OP_XOR, f.0, g.0) {
+            return Ref(r.0 ^ mark);
+        }
+        let (vf, f_lo0, f_hi0) = self.cofactors(f);
+        let (vg, g_lo0, g_hi0) = self.cofactors(g);
+        let v = vf.min(vg);
+        let (f_lo, f_hi) = if vf == v { (f_lo0, f_hi0) } else { (f, f) };
+        let (g_lo, g_hi) = if vg == v { (g_lo0, g_hi0) } else { (g, g) };
+        let lo = self.xor_rec(f_lo, g_lo);
+        let hi = self.xor_rec(f_hi, g_hi);
+        let r = self.mk(v, lo, hi);
+        self.apply_cache.put(OP_XOR, f.0, g.0, r);
+        Ref(r.0 ^ mark)
     }
 
     /// If-then-else: `(c ∧ t) ∨ (¬c ∧ e)`.
     pub fn ite(&mut self, c: Ref, t: Ref, e: Ref) -> Ref {
-        if c.is_true() {
-            return t;
+        if c.is_const() {
+            return if c.is_true() { t } else { e };
         }
-        if c.is_false() {
-            return e;
-        }
+        // Branch collapses: inside the then-branch c is true, inside the
+        // else-branch it is false, so a branch equal to ±c reduces to a
+        // constant. `x ≤ 1` detects "same node as c" and the low bit of
+        // `x` is the polarity, which with `TRUE = 0`/`FALSE = 1` makes
+        // the collapsed constant a one-xor rewrite.
+        let xt = t.0 ^ c.0;
+        let t = if xt <= 1 { Ref(xt) } else { t };
+        let xe = e.0 ^ c.0;
+        let e = if xe <= 1 { Ref(xe ^ 1) } else { e };
         if t == e {
             return t;
         }
-        if t.is_true() && e.is_false() {
-            return c;
+        if t.is_const() || e.is_const() {
+            // Constant branches are binary ops; delegating lands them in
+            // the shared And cache instead of burning ite-cache lines.
+            return if t.is_true() {
+                self.or(c, e)
+            } else if t.is_false() {
+                self.and_rec(!c, e)
+            } else if e.is_false() {
+                self.and_rec(c, t)
+            } else {
+                self.implies(c, t)
+            };
         }
-        if t.is_false() && e.is_true() {
-            return self.not(c);
+        // Key canonicalization: make the condition regular (swap the
+        // branches) and the then-branch regular (complement the result),
+        // so all four mark placements of a triple share one cache line.
+        let (mut c, mut t, mut e) = (c, t, e);
+        if c.is_complemented() {
+            c = !c;
+            std::mem::swap(&mut t, &mut e);
+        }
+        let mark = t.0 & 1;
+        if mark == 1 {
+            t = !t;
+            e = !e;
         }
         if let Some(r) = self.ite_cache.get(c.0, t.0, e.0) {
-            return r;
+            return Ref(r.0 ^ mark);
         }
-        // One arena load per operand. The constant sentinels carry
-        // `var == u32::MAX`, so they never win the `min` and never match
-        // the split level — no is-const branching needed.
-        let nc = self.node(c);
-        let nt = self.node(t);
-        let ne = self.node(e);
-        let v = nc.var.min(nt.var).min(ne.var);
-        let (c_lo, c_hi) = if nc.var == v { (nc.lo, nc.hi) } else { (c, c) };
-        let (t_lo, t_hi) = if nt.var == v { (nt.lo, nt.hi) } else { (t, t) };
-        let (e_lo, e_hi) = if ne.var == v { (ne.lo, ne.hi) } else { (e, e) };
+        // One arena load per operand; all three are non-constant here.
+        let (vc, c_lo0, c_hi0) = self.cofactors(c);
+        let (vt, t_lo0, t_hi0) = self.cofactors(t);
+        let (ve, e_lo0, e_hi0) = self.cofactors(e);
+        let v = vc.min(vt).min(ve);
+        let (c_lo, c_hi) = if vc == v { (c_lo0, c_hi0) } else { (c, c) };
+        let (t_lo, t_hi) = if vt == v { (t_lo0, t_hi0) } else { (t, t) };
+        let (e_lo, e_hi) = if ve == v { (e_lo0, e_hi0) } else { (e, e) };
         let lo = self.ite(c_lo, t_lo, e_lo);
         let hi = self.ite(c_hi, t_hi, e_hi);
         let r = self.mk(v, lo, hi);
         self.ite_cache.put(c.0, t.0, e.0, r);
-        r
+        Ref(r.0 ^ mark)
     }
 
     /// Restriction (cofactor): substitutes a constant for a variable.
+    ///
+    /// Restriction commutes with complement, so the memo is keyed on the
+    /// regular reference (its dense node index) and the mark is
+    /// xor-folded onto the result — `f` and `¬f` share their
+    /// restrict-cache lines.
     pub fn restrict(&mut self, f: Ref, v: Var, value: bool) -> Ref {
         if f.is_const() {
             return f;
         }
-        let n = self.node(f);
+        let mark = f.0 & 1;
+        let fr = f.regular();
+        let n = self.nodes[fr.index()];
         if n.var > v {
             return f;
         }
         if n.var == v {
-            return if value { n.hi } else { n.lo };
+            let child = if value { n.hi } else { n.lo };
+            return Ref(child.0 ^ mark);
         }
         let key = v << 1 | value as u32;
-        if let Some(r) = self.restrict_cache.get(f.0, key) {
-            return r;
+        if let Some(r) = self.restrict_cache.get(fr.0 >> 1, key) {
+            return Ref(r.0 ^ mark);
         }
         let lo = self.restrict(n.lo, v, value);
         let hi = self.restrict(n.hi, v, value);
         let r = self.mk(n.var, lo, hi);
-        self.restrict_cache.put(f.0, key, r);
-        r
+        self.restrict_cache.put(fr.0 >> 1, key, r);
+        Ref(r.0 ^ mark)
     }
 
     /// Existential quantification over a single variable.
@@ -527,8 +570,7 @@ impl Manager {
 
     /// Whether `f → g` holds for all assignments.
     pub fn implies_check(&mut self, f: Ref, g: Ref) -> bool {
-        let ng = self.not(g);
-        self.and(f, ng).is_false()
+        self.and_rec(f, !g).is_false()
     }
 
     /// Evaluates `f` under a total assignment given as a closure from
@@ -536,8 +578,8 @@ impl Manager {
     pub fn eval<A: Fn(Var) -> bool>(&self, f: Ref, assignment: A) -> bool {
         let mut cur = f;
         while !cur.is_const() {
-            let n = self.node(cur);
-            cur = if assignment(n.var) { n.hi } else { n.lo };
+            let (var, lo, hi) = self.cofactors(cur);
+            cur = if assignment(var) { hi } else { lo };
         }
         cur.is_true()
     }
@@ -546,22 +588,25 @@ impl Manager {
     pub fn support(&self, f: Ref) -> Vec<Var> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new();
-        let mut stack = vec![f];
+        // Complement marks do not change support; walking regular
+        // references halves the visited set for mixed-polarity graphs.
+        let mut stack = vec![f.regular()];
         while let Some(r) = stack.pop() {
             if r.is_const() || !seen.insert(r) {
                 continue;
             }
-            let n = self.node(r);
+            let n = self.nodes[r.index()];
             vars.insert(n.var);
-            stack.push(n.lo);
+            stack.push(n.lo.regular());
             stack.push(n.hi);
         }
         vars.into_iter().collect()
     }
 
+    /// The cofactors of `r` with complement marks resolved (for the
+    /// sat/model-counting walkers in `sat.rs`).
     pub(crate) fn node_children(&self, r: Ref) -> (Var, Ref, Ref) {
-        let n = self.node(r);
-        (n.var, n.lo, n.hi)
+        self.cofactors(r)
     }
 }
 
@@ -601,6 +646,34 @@ mod tests {
     }
 
     #[test]
+    fn negation_is_node_free() {
+        let (mut m, l) = setup(3);
+        let f = m.and(l[0], l[1]);
+        let count = m.node_count();
+        let nf = m.not(f);
+        assert_eq!(m.node_count(), count, "not() must not allocate");
+        assert_ne!(nf, f);
+        assert_eq!(nf.index(), f.index(), "f and ¬f share their node");
+        // nvar shares var's node through the complement edge.
+        let pos = m.var(2);
+        let neg = m.nvar(2);
+        assert_eq!(neg, !pos);
+        assert_eq!(m.node_count(), count);
+    }
+
+    #[test]
+    fn complement_terminal_rules() {
+        let (mut m, l) = setup(2);
+        let f = m.or(l[0], l[1]);
+        let nf = m.not(f);
+        assert_eq!(m.and(f, nf), Ref::FALSE);
+        assert_eq!(m.or(f, nf), Ref::TRUE);
+        assert_eq!(m.xor(f, nf), Ref::TRUE);
+        assert_eq!(m.iff(f, nf), Ref::FALSE);
+        assert!(m.implies_check(Ref::FALSE, f));
+    }
+
+    #[test]
     fn double_negation_is_identity() {
         let (mut m, l) = setup(3);
         let f = m.and(l[0], l[1]);
@@ -632,6 +705,37 @@ mod tests {
     }
 
     #[test]
+    fn xor_complement_parity_shares_cache() {
+        let (mut m, l) = setup(2);
+        let x = m.xor(l[0], l[1]);
+        let n0 = m.not(l[0]);
+        let n1 = m.not(l[1]);
+        // All four polarity combinations resolve without new misses
+        // beyond the first: ¬a⊕b = a⊕¬b = ¬(a⊕b), ¬a⊕¬b = a⊕b.
+        let before = m.stats().apply.misses;
+        assert_eq!(m.xor(n0, n1), x);
+        let nx = m.not(x);
+        assert_eq!(m.xor(n0, l[1]), nx);
+        assert_eq!(m.xor(l[0], n1), nx);
+        assert_eq!(m.stats().apply.misses, before, "polarity variants must hit");
+    }
+
+    #[test]
+    fn or_shares_the_and_cache() {
+        let (mut m, l) = setup(4);
+        let a = m.and(l[0], l[1]);
+        let b = m.and(l[2], l[3]);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let union = m.or(a, b);
+        // ¬a ∧ ¬b is the De Morgan dual the or() above just computed.
+        let before = m.stats().apply.misses;
+        let dual = m.and(na, nb);
+        assert_eq!(dual, !union);
+        assert_eq!(m.stats().apply.misses, before, "De Morgan dual must hit");
+    }
+
+    #[test]
     fn ite_equals_formula() {
         let (mut m, l) = setup(3);
         let via_ite = m.ite(l[0], l[1], l[2]);
@@ -656,6 +760,20 @@ mod tests {
     }
 
     #[test]
+    fn ite_complement_canonicalization() {
+        let (mut m, l) = setup(3);
+        let r = m.ite(l[0], l[1], l[2]);
+        let n0 = m.not(l[0]);
+        let n1 = m.not(l[1]);
+        let n2 = m.not(l[2]);
+        // ite(¬c, t, e) = ite(c, e, t); ite(c, ¬t, ¬e) = ¬ite(c, t, e).
+        assert_eq!(m.ite(n0, l[2], l[1]), r);
+        let nr = m.not(r);
+        assert_eq!(m.ite(l[0], n1, n2), nr);
+        assert_eq!(m.ite(n0, n2, n1), nr);
+    }
+
+    #[test]
     fn restrict_cofactors() {
         let (mut m, l) = setup(2);
         let f = m.and(l[0], l[1]);
@@ -664,6 +782,16 @@ mod tests {
         // Restricting a variable not in support is identity.
         let g = m.var(1);
         assert_eq!(m.restrict(g, 0, true), g);
+    }
+
+    #[test]
+    fn restrict_commutes_with_complement() {
+        let (mut m, l) = setup(3);
+        let f = m.ite(l[0], l[1], l[2]);
+        let nf = m.not(f);
+        let r = m.restrict(f, 1, true);
+        let nr = m.restrict(nf, 1, true);
+        assert_eq!(nr, !r);
     }
 
     #[test]
@@ -709,6 +837,9 @@ mod tests {
         let f = m.and(l[1], l[3]);
         assert_eq!(m.support(f), vec![1, 3]);
         assert_eq!(m.support(Ref::TRUE), Vec::<Var>::new());
+        // Support is complement-invariant.
+        let nf = m.not(f);
+        assert_eq!(m.support(nf), vec![1, 3]);
         // x2 ∨ ¬x2 collapses to true → empty support.
         let n2 = m.not(l[2]);
         let taut = m.or(l[2], n2);
@@ -724,6 +855,10 @@ mod tests {
         assert!(m.eval(f, |v| v == 0 || v == 1));
         assert!(!m.eval(f, |v| v == 0));
         assert!(!m.eval(f, |_| false));
+        // Complemented references evaluate to the negation pointwise.
+        let nf = m.not(f);
+        assert!(!m.eval(nf, |v| v == 2));
+        assert!(m.eval(nf, |_| false));
     }
 
     #[test]

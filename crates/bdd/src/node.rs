@@ -1,51 +1,83 @@
-//! BDD node representation.
+//! BDD node representation with complement (negation) edges.
 
 /// A variable index. The global variable order is ascending `Var` order.
 pub type Var = u32;
 
-/// A reference to a BDD node (an index into the manager's node table).
+/// A reference to a BDD function: bit 0 is the **complement mark**, the
+/// remaining bits are the index of a node in the manager's arena.
 ///
-/// Because nodes are hash-consed, two `Ref`s are equal iff the Boolean
-/// functions they denote are equal — the property all the equivalence
-/// checks in `policy-symbolic` rely on.
+/// A set mark means "the negation of the node's function", which is what
+/// makes [`crate::Manager::not`] O(1): negation flips one bit instead of
+/// traversing the graph. The manager canonicalizes node construction
+/// (the then-edge of a stored node is never complemented) so that two
+/// `Ref`s are equal iff the Boolean functions they denote are equal —
+/// the property all the equivalence checks in `policy-symbolic` rely on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ref(pub(crate) u32);
 
 impl Ref {
-    /// The constant-false node.
-    pub const FALSE: Ref = Ref(0);
-    /// The constant-true node.
-    pub const TRUE: Ref = Ref(1);
+    /// The constant-true function: the regular edge to the one terminal.
+    pub const TRUE: Ref = Ref(0);
+    /// The constant-false function: the complemented edge to the same
+    /// terminal (there is no separate FALSE node).
+    pub const FALSE: Ref = Ref(1);
 
-    /// Whether this is the constant-false node.
+    /// Whether this is the constant-false function.
     pub fn is_false(self) -> bool {
         self == Ref::FALSE
     }
 
-    /// Whether this is the constant-true node.
+    /// Whether this is the constant-true function.
     pub fn is_true(self) -> bool {
         self == Ref::TRUE
     }
 
-    /// Whether this is either constant.
+    /// Whether this is either constant (both point at the terminal).
     pub fn is_const(self) -> bool {
         self.0 <= 1
     }
 
-    /// The raw index (stable for the life of the manager).
+    /// Whether the complement mark is set.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The arena index of the referenced node (stable for the life of
+    /// the manager). A function and its negation share the same index.
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 >> 1) as usize
+    }
+
+    /// This reference with the complement mark cleared.
+    pub(crate) fn regular(self) -> Ref {
+        Ref(self.0 & !1)
+    }
+}
+
+impl std::ops::Not for Ref {
+    type Output = Ref;
+
+    /// Complement-edge negation: flip the mark. This is the whole of
+    /// `¬f`; [`crate::Manager::not`] is a thin wrapper.
+    #[inline]
+    fn not(self) -> Ref {
+        Ref(self.0 ^ 1)
     }
 }
 
 /// An internal decision node: `if var then hi else lo`.
+///
+/// Canonical-form invariant (enforced by the manager's `mk`, checked by
+/// `check_canonical`): `hi` is never complemented. A triple whose
+/// then-edge would be complemented is stored with both children negated
+/// and referenced through a complemented edge instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
     /// Decision variable.
     pub var: Var,
-    /// Child when `var` is false.
+    /// Child when `var` is false (may carry a complement mark).
     pub lo: Ref,
-    /// Child when `var` is true.
+    /// Child when `var` is true (always regular).
     pub hi: Ref,
 }
 
@@ -64,9 +96,22 @@ mod tests {
     }
 
     #[test]
-    fn non_const_ref() {
+    fn constants_are_complements_of_one_terminal() {
+        assert_eq!(!Ref::TRUE, Ref::FALSE);
+        assert_eq!(!Ref::FALSE, Ref::TRUE);
+        assert_eq!(Ref::TRUE.index(), Ref::FALSE.index());
+        assert!(Ref::FALSE.is_complemented());
+        assert!(!Ref::TRUE.is_complemented());
+    }
+
+    #[test]
+    fn tagging_roundtrip() {
         let r = Ref(5);
         assert!(!r.is_const());
-        assert_eq!(r.index(), 5);
+        assert_eq!(r.index(), 2);
+        assert!(r.is_complemented());
+        assert_eq!(!(!r), r);
+        assert_eq!(r.regular(), Ref(4));
+        assert_eq!((!r).regular(), r.regular());
     }
 }

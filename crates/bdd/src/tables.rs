@@ -52,19 +52,18 @@ pub struct ManagerStats {
     /// Which table engine is compiled in (`"open-addressed"` or
     /// `"naive-hashmap"`).
     pub engine: &'static str,
-    /// Live nodes, including the two constants.
+    /// Live nodes, including the terminal.
     pub node_count: usize,
     /// Slot count of the unique table.
     pub unique_capacity: usize,
     /// Approximate bytes held by the node arena plus all tables.
     pub bytes: usize,
-    /// Apply (and/or/xor) cache counters.
+    /// Apply (and/xor — or is the De Morgan dual of and) cache counters.
     pub apply: CacheStats,
     /// If-then-else cache counters.
     pub ite: CacheStats,
-    /// Negation cache counters.
-    pub not: CacheStats,
-    /// Restrict (cofactor) cache counters.
+    /// Restrict (cofactor) cache counters. (There is no negation cache:
+    /// with complement edges `not` is a bit flip.)
     pub restrict: CacheStats,
 }
 
@@ -75,7 +74,6 @@ pub(crate) struct Sizing {
     pub unique_capacity: usize,
     pub apply_bits: u32,
     pub ite_bits: u32,
-    pub not_bits: u32,
     pub restrict_bits: u32,
 }
 
@@ -90,11 +88,10 @@ impl Sizing {
         Sizing {
             unique_capacity: nodes_hint.clamp(1 << 10, 1 << 28),
             apply_bits,
-            // ite keys are triples of refs with no canonical ordering,
-            // so they spread wider than apply keys; give ite the same
-            // budget as apply. Negation keys are scarce.
+            // The complement-edge canonicalizations collapse ite keys
+            // (regular condition, regular then-branch), so ite spreads
+            // no wider than apply; give it the same budget.
             ite_bits: apply_bits,
-            not_bits: apply_bits.saturating_sub(2).max(12),
             restrict_bits: apply_bits,
         }
     }
@@ -107,9 +104,9 @@ impl Default for Sizing {
 }
 
 #[cfg(not(feature = "naive-tables"))]
-pub(crate) use fast::{Cache1, Cache2, Cache3, UniqueTable, ENGINE};
+pub(crate) use fast::{Cache2, Cache3, UniqueTable, ENGINE};
 #[cfg(feature = "naive-tables")]
-pub(crate) use naive::{Cache1, Cache2, Cache3, UniqueTable, ENGINE};
+pub(crate) use naive::{Cache2, Cache3, UniqueTable, ENGINE};
 
 #[cfg(not(feature = "naive-tables"))]
 mod fast {
@@ -119,12 +116,15 @@ mod fast {
     pub(crate) const ENGINE: &str = "open-addressed";
 
     /// Slot sentinel: no node. Valid node indices stay far below this
-    /// (the arena is indexed by `u32` and holds the two constants).
+    /// (the arena is indexed by tagged `u32` refs and holds the
+    /// terminal).
     const EMPTY: u32 = u32::MAX;
 
     /// One unique-table slot: the node triple inlined next to its arena
-    /// index. Empty slots carry `idx == EMPTY` and `var == u32::MAX`
-    /// (which never matches a probe, since constants are not stored).
+    /// index (`lo`/`hi` are the *tagged* child refs of the canonical
+    /// form — the complement mark is part of the key). Empty slots carry
+    /// `idx == EMPTY` and `var == u32::MAX` (which never matches a
+    /// probe, since the terminal is not stored).
     ///
     /// Inlining the triple means a probe is a single 16-byte load and
     /// three compares — no dependent load into the node arena, which is
@@ -177,8 +177,9 @@ mod fast {
             self.slots.len() * std::mem::size_of::<Slot>()
         }
 
-        /// Finds the canonical `Ref` for `node`, appending it to the
-        /// arena if it is new. Amortized O(1); doubles at 50% load.
+        /// Finds the canonical regular `Ref` for `node` (arena index
+        /// shifted past the complement bit), appending it to the arena
+        /// if it is new. Amortized O(1); doubles at 50% load.
         ///
         /// SAFETY: every probe index is masked by `slots.len() - 1` and
         /// the slot vector's length is a power of two, so the unchecked
@@ -195,10 +196,15 @@ mod fast {
                 debug_assert!(i < self.slots.len());
                 let s = unsafe { *self.slots.get_unchecked(i) };
                 if s.var == var && s.lo == lo && s.hi == hi {
-                    return Ref(s.idx);
+                    return Ref(s.idx << 1);
                 }
                 if s.idx == EMPTY {
                     let r = nodes.len() as u32;
+                    // The complement tag claims bit 0 of a Ref, so the
+                    // arena tops out at 2^31 nodes; wrapping would alias
+                    // new nodes onto existing refs (index 0 is TRUE).
+                    // Misuse must be loud, and the check is insert-only.
+                    assert!(r < 1 << 31, "BDD arena exceeds 2^31 nodes");
                     nodes.push(node);
                     *unsafe { self.slots.get_unchecked_mut(i) } = Slot {
                         var,
@@ -207,7 +213,7 @@ mod fast {
                         idx: r,
                     };
                     self.len += 1;
-                    return Ref(r);
+                    return Ref(r << 1);
                 }
                 i = (i + 1) & mask;
             }
@@ -366,63 +372,6 @@ mod fast {
             *line = Line2 { a, b, r: r.0 };
         }
     }
-
-    #[derive(Clone, Copy)]
-    struct Line1 {
-        a: u32,
-        r: u32,
-    }
-
-    /// Direct-mapped cache keyed by one word (negation).
-    pub(crate) struct Cache1 {
-        lines: Vec<Line1>,
-        pub(crate) stats: CacheStats,
-    }
-
-    impl Cache1 {
-        pub(crate) fn new(bits: u32) -> Cache1 {
-            Cache1 {
-                lines: vec![Line1 { a: EMPTY, r: 0 }; 1 << bits],
-                stats: CacheStats::default(),
-            }
-        }
-
-        pub(crate) fn bytes(&self) -> usize {
-            self.lines.len() * std::mem::size_of::<Line1>()
-        }
-
-        #[inline]
-        fn index(&self, a: u32) -> usize {
-            fx_mix(0, a) as usize & (self.lines.len() - 1)
-        }
-
-        // SAFETY (get/put): masked index, power-of-two length.
-
-        #[inline]
-        pub(crate) fn get(&mut self, a: u32) -> Option<Ref> {
-            let i = self.index(a);
-            debug_assert!(i < self.lines.len());
-            let line = unsafe { *self.lines.get_unchecked(i) };
-            if line.a == a {
-                self.stats.hits += 1;
-                Some(Ref(line.r))
-            } else {
-                self.stats.misses += 1;
-                None
-            }
-        }
-
-        #[inline]
-        pub(crate) fn put(&mut self, a: u32, r: Ref) {
-            let i = self.index(a);
-            debug_assert!(i < self.lines.len());
-            let line = unsafe { self.lines.get_unchecked_mut(i) };
-            if line.a != EMPTY && line.a != a {
-                self.stats.evictions += 1;
-            }
-            *line = Line1 { a, r: r.0 };
-        }
-    }
 }
 
 #[cfg(feature = "naive-tables")]
@@ -462,12 +411,16 @@ mod naive {
         #[inline]
         pub(crate) fn get_or_insert(&mut self, node: Node, nodes: &mut Vec<Node>) -> Ref {
             if let Some(&r) = self.map.get(&node) {
-                return Ref(r);
+                return Ref(r << 1);
             }
             let r = nodes.len() as u32;
+            // Bit 0 of a Ref is the complement tag: the arena tops out
+            // at 2^31 nodes, and wrapping must be loud (see the fast
+            // engine's insert for the aliasing hazard).
+            assert!(r < 1 << 31, "BDD arena exceeds 2^31 nodes");
             nodes.push(node);
             self.map.insert(node, r);
-            Ref(r)
+            Ref(r << 1)
         }
     }
 
@@ -540,44 +493,6 @@ mod naive {
         #[inline]
         pub(crate) fn put(&mut self, _a: u32, _b: u32, _r: Ref) {}
     }
-
-    /// HashMap-backed cache with a 1-word key.
-    pub(crate) struct Cache1 {
-        map: HashMap<u32, u32>,
-        pub(crate) stats: CacheStats,
-    }
-
-    impl Cache1 {
-        pub(crate) fn new(_bits: u32) -> Cache1 {
-            Cache1 {
-                map: HashMap::new(),
-                stats: CacheStats::default(),
-            }
-        }
-
-        pub(crate) fn bytes(&self) -> usize {
-            self.map.capacity() * (std::mem::size_of::<(u32, u32)>())
-        }
-
-        #[inline]
-        pub(crate) fn get(&mut self, a: u32) -> Option<Ref> {
-            match self.map.get(&a) {
-                Some(&r) => {
-                    self.stats.hits += 1;
-                    Some(Ref(r))
-                }
-                None => {
-                    self.stats.misses += 1;
-                    None
-                }
-            }
-        }
-
-        #[inline]
-        pub(crate) fn put(&mut self, a: u32, r: Ref) {
-            self.map.insert(a, r.0);
-        }
-    }
 }
 
 #[cfg(test)]
@@ -593,8 +508,10 @@ mod tests {
         }
     }
 
+    /// An arena holding just the terminal (complement edges: one
+    /// constant node, FALSE is its complemented edge).
     fn arena() -> Vec<Node> {
-        vec![node(u32::MAX, 0, 0), node(u32::MAX, 1, 1)]
+        vec![node(u32::MAX, 0, 0)]
     }
 
     #[test]
@@ -603,15 +520,21 @@ mod tests {
         let mut t = UniqueTable::with_capacity(4);
         let mut refs = Vec::new();
         for v in 0..2000u32 {
-            refs.push(t.get_or_insert(node(v, 0, 1), &mut nodes));
+            refs.push(t.get_or_insert(node(v, 1, 0), &mut nodes));
         }
         assert_eq!(t.len(), 2000);
-        assert_eq!(nodes.len(), 2002);
+        assert_eq!(nodes.len(), 2001);
+        // Returned refs are regular (complement bit clear) and point at
+        // the arena slot that was appended.
+        for (v, r) in refs.iter().enumerate() {
+            assert!(!r.is_complemented());
+            assert_eq!(r.index(), v + 1);
+        }
         // Re-inserting returns the same refs, allocates nothing.
         for v in 0..2000u32 {
-            assert_eq!(t.get_or_insert(node(v, 0, 1), &mut nodes), refs[v as usize]);
+            assert_eq!(t.get_or_insert(node(v, 1, 0), &mut nodes), refs[v as usize]);
         }
-        assert_eq!(nodes.len(), 2002);
+        assert_eq!(nodes.len(), 2001);
     }
 
     #[test]
@@ -635,11 +558,7 @@ mod tests {
     }
 
     #[test]
-    fn cache1_and_cache2_roundtrip() {
-        let mut c1 = Cache1::new(4);
-        c1.put(5, Ref(9));
-        assert_eq!(c1.get(5), Some(Ref(9)));
-        assert_eq!(c1.get(6), None);
+    fn cache2_roundtrip() {
         let mut c2 = Cache2::new(4);
         c2.put(5, 1, Ref(9));
         // The naive baseline's restrict cache is deliberately inert

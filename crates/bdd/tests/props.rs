@@ -142,13 +142,14 @@ fn canonical_forms_coincide() {
     }
 }
 
-/// Structural canonicity: after a long randomized op sequence (including
-/// ite, restrict, and quantification), the table holds no duplicate
-/// `(var, lo, hi)` triple, no redundant node, and respects the variable
-/// order. This is the hash-consing contract every verifier equivalence
-/// check rests on.
+/// Structural canonicity: along a long randomized op sequence (including
+/// ite, restrict, and quantification), **after every single op** the
+/// table holds no duplicate `(var, lo, hi)` triple, no redundant node,
+/// no complemented then-edge, and respects the variable order. This is
+/// the hash-consing + complement-edge contract every verifier
+/// equivalence check rests on.
 #[test]
-fn no_duplicate_triples_after_randomized_ops() {
+fn canonical_invariants_hold_after_every_op() {
     let mut rng = Rng(0x5eed);
     const N_VARS: u32 = 10;
     let mut m = fresh(N_VARS);
@@ -167,12 +168,51 @@ fn no_duplicate_triples_after_randomized_ops() {
             _ => m.exists(a, rng.below(N_VARS as u64) as u32),
         };
         pool.push(r);
-        if round % 150 == 0 {
-            m.check_canonical()
-                .unwrap_or_else(|e| panic!("round {round}: {e}"));
-        }
+        m.check_canonical()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
     }
-    m.check_canonical().expect("final canonicity");
+}
+
+/// Complement-edge laws on random op sequences: double negation is the
+/// exact same `Ref`, negation allocates no nodes, both De Morgan duals
+/// hold as pointer equalities, and xor's polarity identities factor the
+/// marks out exactly as the cache normalization assumes.
+#[test]
+fn complement_edge_laws_on_random_ops() {
+    let mut rng = Rng(0xced6e);
+    const N_VARS: u32 = 8;
+    let mut m = fresh(N_VARS);
+    for _ in 0..150 {
+        let a = build_random(&mut m, &mut rng, N_VARS);
+        let b = build_random(&mut m, &mut rng, N_VARS);
+        let nodes_before = m.node_count();
+        let na = m.not(a);
+        let nb = m.not(b);
+        assert_eq!(m.node_count(), nodes_before, "not() must not allocate");
+        // ¬¬a == a, as refs.
+        assert_eq!(m.not(na), a);
+        // De Morgan both ways.
+        let ab = m.and(a, b);
+        let lhs = m.not(ab);
+        let rhs = m.or(na, nb);
+        assert_eq!(lhs, rhs);
+        let a_or_b = m.or(a, b);
+        let lhs2 = m.not(a_or_b);
+        let rhs2 = m.and(na, nb);
+        assert_eq!(lhs2, rhs2);
+        // Xor polarity: ¬a⊕b == a⊕¬b == ¬(a⊕b); ¬a⊕¬b == a⊕b.
+        let x = m.xor(a, b);
+        let nx = m.not(x);
+        assert_eq!(m.xor(na, b), nx);
+        assert_eq!(m.xor(a, nb), nx);
+        assert_eq!(m.xor(na, nb), x);
+        // Complements of distinct functions stay distinct; a ∧ ¬a == ⊥.
+        assert_ne!(na, a);
+        assert!(m.and(a, na).is_false());
+        assert!(m.or(a, na).is_true());
+    }
+    m.check_canonical()
+        .expect("canonical after complement laws");
 }
 
 /// Sat extraction is sound and complete on random formulas.

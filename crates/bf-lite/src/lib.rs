@@ -30,5 +30,8 @@ pub mod questions;
 pub mod sim;
 
 pub use parse_q::{parse_config, ParsedConfig, Vendor};
-pub use questions::{check_local_policy, search_route_policies_question, LocalPolicyCheck};
+pub use questions::{
+    check_local_policy, check_local_policy_in, search_route_policies_question, space_for_checks,
+    LocalPolicyCheck,
+};
 pub use sim::{BgpSession, Rib, SimReport, Snapshot};

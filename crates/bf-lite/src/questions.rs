@@ -78,6 +78,24 @@ impl LocalPolicyCheck {
         }
     }
 
+    /// Whether the check is decided symbolically (needs a [`RouteSpace`])
+    /// rather than by a concrete probe. Callers that cache spaces per
+    /// router draft (cosynth's `RouteSpaceCache`) use this to skip space
+    /// construction for the concrete variants.
+    pub fn is_symbolic(&self) -> bool {
+        !matches!(self, LocalPolicyCheck::PermittedRoutesSetLocalPref { .. })
+    }
+
+    /// The community the check constrains, for the symbolic variants.
+    fn community(&self) -> Option<Community> {
+        match self {
+            LocalPolicyCheck::PermittedRoutesCarry { community, .. }
+            | LocalPolicyCheck::RoutesWithCommunityDenied { community, .. }
+            | LocalPolicyCheck::PermittedRoutesPreserve { community, .. } => Some(*community),
+            LocalPolicyCheck::PermittedRoutesSetLocalPref { .. } => None,
+        }
+    }
+
     /// The violation query for this check (symbolic variants only; the
     /// local-pref check is concrete and handled in
     /// [`check_local_policy`] directly).
@@ -113,51 +131,97 @@ impl LocalPolicyCheck {
     }
 }
 
-/// Checks a local policy on a device. Returns `Ok(())` when the invariant
-/// holds, or the violating route (the example Batfish prints and the
-/// humanizer forwards).
+/// Checks a local policy on a device, building a fresh symbolic space
+/// for the query. Returns `Ok(())` when the invariant holds, or the
+/// violating route (the example Batfish prints and the humanizer
+/// forwards).
+///
+/// Callers that verify the same router draft repeatedly (the VPP
+/// rectification loop) should build the space once with
+/// [`space_for_checks`] and use [`check_local_policy_in`] instead.
 pub fn check_local_policy(
     device: &Device,
     check: &LocalPolicyCheck,
 ) -> Result<(), RouteAdvertisement> {
-    if let LocalPolicyCheck::PermittedRoutesSetLocalPref { chain, value } = check {
-        // Concrete probe: a preference map must permit and must stamp the
-        // value (a deny would starve the session of the neighbor's
-        // routes). The contract matches the prompt sentence — "set
-        // local-preference N on ALL routes" — so an unconditional
-        // permit+set chain is expected; a map that discriminates by
-        // prefix/community is judged only on this one probe
-        // (local-pref is not a symbolic space variable).
-        let probe = RouteAdvertisement::bgp("192.0.2.0/24".parse().expect("TEST-NET-1"));
-        let env = config_ir::PolicyEnv::new(device);
-        return match config_ir::eval_policy_chain(&env, chain, &probe) {
-            config_ir::PolicyOutcome::Permit(out) if out.local_pref == Some(*value) => Ok(()),
-            config_ir::PolicyOutcome::Permit(out) => Err(out),
-            config_ir::PolicyOutcome::Deny => Err(probe),
-        };
+    if !check.is_symbolic() {
+        return check_local_policy_concrete(device, check);
+    }
+    let mut space = space_for_checks(device, std::slice::from_ref(check));
+    check_local_policy_in(&mut space, device, check)
+}
+
+/// Checks a local policy against a caller-supplied space (built with
+/// [`space_for_checks`] over a check set including this one). The space
+/// may be shared across checks and across verification rounds of the
+/// same draft: the underlying BDD manager is monotone, so reuse only
+/// warms its unique table and op caches.
+pub fn check_local_policy_in(
+    space: &mut RouteSpace,
+    device: &Device,
+    check: &LocalPolicyCheck,
+) -> Result<(), RouteAdvertisement> {
+    if !check.is_symbolic() {
+        return check_local_policy_concrete(device, check);
     }
     let (chain, query) = check.violation_query().expect("symbolic variant");
-    let mut space = ensure_community_in_space(device, check);
-    match search_route_policies(&mut space, device, &chain, &query) {
+    // Release-mode guard, not a debug_assert: a space missing the
+    // check's community would silently make "carries c" constant-false
+    // (the symbolic query treats out-of-universe communities as absent)
+    // and report a spurious violation. Misuse must be loud.
+    assert!(
+        check
+            .community()
+            .is_none_or(|c| space.community_var(c).is_some()),
+        "space was not built over this check's community (build it with \
+         space_for_checks over a check set including this one): {}",
+        check.describe()
+    );
+    match search_route_policies(space, device, &chain, &query) {
         Some(route) => Err(route),
         None => Ok(()),
     }
 }
 
-/// The check's community must be a space variable even if the (possibly
-/// buggy) config never mentions it — otherwise "carries community c"
-/// would be trivially false rather than checkable.
-fn ensure_community_in_space(device: &Device, check: &LocalPolicyCheck) -> RouteSpace {
-    let mut communities = device.community_universe();
-    let c = match check {
-        LocalPolicyCheck::PermittedRoutesCarry { community, .. }
-        | LocalPolicyCheck::RoutesWithCommunityDenied { community, .. }
-        | LocalPolicyCheck::PermittedRoutesPreserve { community, .. } => *community,
-        LocalPolicyCheck::PermittedRoutesSetLocalPref { .. } => {
-            unreachable!("local-pref checks are concrete, not symbolic")
-        }
+/// The concrete probe behind [`LocalPolicyCheck::PermittedRoutesSetLocalPref`]:
+/// a preference map must permit and must stamp the value (a deny would
+/// starve the session of the neighbor's routes). The contract matches
+/// the prompt sentence — "set local-preference N on ALL routes" — so an
+/// unconditional permit+set chain is expected; a map that discriminates
+/// by prefix/community is judged only on this one probe (local-pref is
+/// not a symbolic space variable).
+fn check_local_policy_concrete(
+    device: &Device,
+    check: &LocalPolicyCheck,
+) -> Result<(), RouteAdvertisement> {
+    let LocalPolicyCheck::PermittedRoutesSetLocalPref { chain, value } = check else {
+        unreachable!("symbolic checks are routed through a RouteSpace")
     };
-    communities.insert(c);
+    let probe = RouteAdvertisement::bgp("192.0.2.0/24".parse().expect("TEST-NET-1"));
+    let env = config_ir::PolicyEnv::new(device);
+    match config_ir::eval_policy_chain(&env, chain, &probe) {
+        config_ir::PolicyOutcome::Permit(out) if out.local_pref == Some(*value) => Ok(()),
+        config_ir::PolicyOutcome::Permit(out) => Err(out),
+        config_ir::PolicyOutcome::Deny => Err(probe),
+    }
+}
+
+/// Builds the symbolic space for a device draft under a set of checks:
+/// the device's own community/AS-path universes plus every symbolic
+/// check's community. The checks' communities must be space variables
+/// even if the (possibly buggy) config never mentions them — otherwise
+/// "carries community c" would be trivially false rather than checkable.
+///
+/// One space built here serves *all* the given checks, which is what
+/// makes per-draft caching sound: a community variable unconstrained by
+/// both the policy and the query never appears on a counterexample path,
+/// so witnesses are identical to those from a single-check space.
+pub fn space_for_checks(device: &Device, checks: &[LocalPolicyCheck]) -> RouteSpace {
+    let mut communities = device.community_universe();
+    for check in checks {
+        if let Some(c) = check.community() {
+            communities.insert(c);
+        }
+    }
     let mut aspaths = std::collections::BTreeSet::new();
     for p in &device.policies {
         for cl in &p.clauses {

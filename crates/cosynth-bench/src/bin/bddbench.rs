@@ -85,7 +85,8 @@ struct RoundResult {
     or_ns: f64,
     ite_ns: f64,
     exists_ns: f64,
-    /// Wall time for the whole round's op sequence (all four phases).
+    neg_ns: f64,
+    /// Wall time for the whole round's op sequence (all five phases).
     workload_ns: f64,
     nodes: usize,
     stats: bdd::ManagerStats,
@@ -204,11 +205,38 @@ fn run_round(seed: u64) -> RoundResult {
     }
     let exists_ns = t.elapsed().as_nanos() as f64 / exists_ops as f64;
 
+    // Phase 5 — neg: the negation-heavy binary-op mix of the verifier
+    // queries. `implies_check` is `and(f, ¬g) = ⊥`, Campion's report is
+    // `diff(f, g) = f ∧ ¬g`, and translation equivalence is `iff` — every
+    // one of them negates an operand before the binary op. This is the
+    // class complement edges exist for: `not` becomes O(1), `iff` is a
+    // free complement of the xor already computed, and a negated operand
+    // reuses the same apply-cache lines as its positive form. The pair
+    // rotation advances with the pass so every pass sees fresh operand
+    // pairs — cold negations, which a traversal-based `not` pays for in
+    // full (new nodes per negation) and complement edges do not.
+    let mut neg_ops = 0u64;
+    let t = Instant::now();
+    for pass in 0..PASSES {
+        for (i, &s) in sets.iter().enumerate() {
+            let other = sets[(i + pass + 1) % sets.len()];
+            let d = m.diff(s, other);
+            let _ = m.implies(other, s);
+            let x = m.iff(s, other);
+            let nd = m.not(d);
+            let _ = m.or(nd, x);
+            let _ = m.not(x);
+            neg_ops += 6;
+        }
+    }
+    let neg_ns = t.elapsed().as_nanos() as f64 / neg_ops as f64;
+
     RoundResult {
         and_ns,
         or_ns,
         ite_ns,
         exists_ns,
+        neg_ns,
         workload_ns: round_start.elapsed().as_nanos() as f64,
         nodes: m.node_count(),
         stats: m.stats(),
@@ -231,6 +259,7 @@ fn main() {
     let mut or = Vec::new();
     let mut ite = Vec::new();
     let mut exists = Vec::new();
+    let mut neg = Vec::new();
     let mut workload = Vec::new();
     let mut nodes = 0usize;
     let wall = Instant::now();
@@ -241,6 +270,7 @@ fn main() {
         or.push(res.or_ns);
         ite.push(res.ite_ns);
         exists.push(res.exists_ns);
+        neg.push(res.neg_ns);
         workload.push(res.workload_ns);
         nodes = res.nodes;
         last_stats = Some(res.stats);
@@ -253,44 +283,58 @@ fn main() {
         or_ns: median(&mut or),
         ite_ns: median(&mut ite),
         exists_ns: median(&mut exists),
+        neg_ns: median(&mut neg),
         workload_ns: median(&mut workload),
         nodes,
         total_ms,
     };
     println!(
-        "  median ns/op: and={:.1} or={:.1} ite={:.1} exists={:.1}  (nodes/round={}, total {:.0} ms)",
-        result.and_ns, result.or_ns, result.ite_ns, result.exists_ns, result.nodes, result.total_ms
+        "  median ns/op: and={:.1} or={:.1} ite={:.1} exists={:.1} neg={:.1}  (nodes/round={}, total {:.0} ms)",
+        result.and_ns,
+        result.or_ns,
+        result.ite_ns,
+        result.exists_ns,
+        result.neg_ns,
+        result.nodes,
+        result.total_ms
     );
     let s = &last_stats;
     println!(
-        "  caches: apply {:.0}% hit ({} ev), ite {:.0}% ({} ev), restrict {:.0}% ({} ev), not {:.0}% ({} ev); {} KiB",
+        "  caches: apply {:.0}% hit ({} ev), ite {:.0}% ({} ev), restrict {:.0}% ({} ev); {} KiB",
         s.apply.hit_rate() * 100.0,
         s.apply.evictions,
         s.ite.hit_rate() * 100.0,
         s.ite.evictions,
         s.restrict.hit_rate() * 100.0,
         s.restrict.evictions,
-        s.not.hit_rate() * 100.0,
-        s.not.evictions,
         s.bytes / 1024
     );
 
     let path = "BENCH_bdd.json";
-    let mut engines: Vec<(String, EngineResult)> = match std::fs::read_to_string(path) {
-        Ok(prev) => read_engines(&prev),
-        Err(_) => Vec::new(),
+    let (mut engines, baselines) = match std::fs::read_to_string(path) {
+        Ok(prev) => (
+            read_engines(&prev, "engines"),
+            read_engines(&prev, "baselines"),
+        ),
+        Err(_) => (Vec::new(), Vec::new()),
     };
     engines.retain(|(name, _)| name != engine);
     engines.push((engine.to_string(), result));
     engines.sort_by(|a, b| a.0.cmp(&b.0));
 
-    let json = render(&engines);
+    let json = render(&engines, &baselines);
     std::fs::write(path, &json).expect("write BENCH_bdd.json");
     println!("wrote {path}");
     if let Some(s) = speedup(&engines) {
         println!(
-            "  speedup (open-addressed over naive-hashmap): and={:.1}× or={:.1}× ite={:.1}× exists={:.1}× workload median={:.1}×",
-            s.0, s.1, s.2, s.3, s.4
+            "  speedup (open-addressed over naive-hashmap): and={:.1}× or={:.1}× ite={:.1}× exists={:.1}× neg={:.1}× workload median={:.1}×",
+            s.and, s.or, s.ite, s.exists, s.neg, s.workload
+        );
+    }
+    if let Some(s) = speedup_vs_pr1(&engines, &baselines) {
+        println!(
+            "  speedup vs PR-1 kernel (complement edges over plain): and={:.1}× or={:.1}× ite={:.1}× exists={:.1}× neg={:.1}× workload median={:.1}×",
+            s.and, s.or, s.ite, s.exists, s.neg, s.workload
         );
     }
 }
@@ -301,19 +345,46 @@ struct EngineResult {
     or_ns: f64,
     ite_ns: f64,
     exists_ns: f64,
+    neg_ns: f64,
     /// Median across rounds of the whole round's wall time.
     workload_ns: f64,
     nodes: usize,
     total_ms: f64,
 }
 
-/// Reads previously recorded engine blocks back out of the JSON file.
-fn read_engines(text: &str) -> Vec<(String, EngineResult)> {
+/// Per-op-class ratios between two recorded runs.
+struct Speedup {
+    and: f64,
+    or: f64,
+    ite: f64,
+    exists: f64,
+    neg: f64,
+    workload: f64,
+}
+
+impl Speedup {
+    fn of(slow: EngineResult, fast: EngineResult) -> Speedup {
+        Speedup {
+            and: slow.and_ns / fast.and_ns,
+            or: slow.or_ns / fast.or_ns,
+            ite: slow.ite_ns / fast.ite_ns,
+            exists: slow.exists_ns / fast.exists_ns,
+            neg: slow.neg_ns / fast.neg_ns,
+            workload: slow.workload_ns / fast.workload_ns,
+        }
+    }
+}
+
+/// Reads recorded engine blocks back out of the JSON file. `section` is
+/// `"engines"` (overwritten by reruns of the same engine) or
+/// `"baselines"` (the archived PR-1 kernel numbers, preserved verbatim
+/// so the trajectory vs earlier kernels survives reruns).
+fn read_engines(text: &str, section: &str) -> Vec<(String, EngineResult)> {
     use topo_model::json::{parse, Json};
     let Ok(doc) = parse(text) else {
         return Vec::new();
     };
-    let Some(Json::Obj(engines)) = doc.get("engines").cloned() else {
+    let Some(Json::Obj(engines)) = doc.get(section).cloned() else {
         return Vec::new();
     };
     let num = |v: &Json, k: &str| -> Option<f64> {
@@ -332,6 +403,7 @@ fn read_engines(text: &str) -> Vec<(String, EngineResult)> {
                     or_ns: num(&v, "or_ns")?,
                     ite_ns: num(&v, "ite_ns")?,
                     exists_ns: num(&v, "exists_ns")?,
+                    neg_ns: num(&v, "neg_ns")?,
                     workload_ns: num(&v, "workload_ns")?,
                     nodes: num(&v, "nodes")? as usize,
                     total_ms: num(&v, "total_ms")?,
@@ -344,19 +416,40 @@ fn read_engines(text: &str) -> Vec<(String, EngineResult)> {
 /// Per-class speedups plus the headline figure: the ratio of the two
 /// engines' *median per-round workload times* (the whole op sequence —
 /// what "throughput on the route-space workload" means).
-fn speedup(engines: &[(String, EngineResult)]) -> Option<(f64, f64, f64, f64, f64)> {
+fn speedup(engines: &[(String, EngineResult)]) -> Option<Speedup> {
     let fast = engines.iter().find(|(n, _)| n == "open-addressed")?.1;
     let naive = engines.iter().find(|(n, _)| n == "naive-hashmap")?.1;
-    Some((
-        naive.and_ns / fast.and_ns,
-        naive.or_ns / fast.or_ns,
-        naive.ite_ns / fast.ite_ns,
-        naive.exists_ns / fast.exists_ns,
-        naive.workload_ns / fast.workload_ns,
-    ))
+    Some(Speedup::of(naive, fast))
 }
 
-fn render(engines: &[(String, EngineResult)]) -> String {
+/// The cross-PR trajectory: the current open-addressed kernel against
+/// the archived `open-addressed-pr1` baseline (the PR-1 kernel without
+/// complement edges, measured with this same workload).
+fn speedup_vs_pr1(
+    engines: &[(String, EngineResult)],
+    baselines: &[(String, EngineResult)],
+) -> Option<Speedup> {
+    let now = engines.iter().find(|(n, _)| n == "open-addressed")?.1;
+    let pr1 = baselines.iter().find(|(n, _)| n == "open-addressed-pr1")?.1;
+    Some(Speedup::of(pr1, now))
+}
+
+fn render_entry(out: &mut String, name: &str, r: &EngineResult, last: bool) {
+    out.push_str(&format!(
+        "    \"{name}\": {{ \"and_ns\": {:.2}, \"or_ns\": {:.2}, \"ite_ns\": {:.2}, \"exists_ns\": {:.2}, \"neg_ns\": {:.2}, \"workload_ns\": {:.0}, \"nodes\": {}, \"total_ms\": {:.1} }}{}\n",
+        r.and_ns,
+        r.or_ns,
+        r.ite_ns,
+        r.exists_ns,
+        r.neg_ns,
+        r.workload_ns,
+        r.nodes,
+        r.total_ms,
+        if last { "" } else { "," }
+    ));
+}
+
+fn render(engines: &[(String, EngineResult)], baselines: &[(String, EngineResult)]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bdd_route_space\",\n");
@@ -365,27 +458,29 @@ fn render(engines: &[(String, EngineResult)]) -> String {
     out.push_str(&format!("  \"patterns_per_round\": {PATTERNS},\n"));
     out.push_str("  \"engines\": {\n");
     for (i, (name, r)) in engines.iter().enumerate() {
-        out.push_str(&format!(
-            "    \"{name}\": {{ \"and_ns\": {:.2}, \"or_ns\": {:.2}, \"ite_ns\": {:.2}, \"exists_ns\": {:.2}, \"workload_ns\": {:.0}, \"nodes\": {}, \"total_ms\": {:.1} }}{}\n",
-            r.and_ns,
-            r.or_ns,
-            r.ite_ns,
-            r.exists_ns,
-            r.workload_ns,
-            r.nodes,
-            r.total_ms,
-            if i + 1 < engines.len() { "," } else { "" }
-        ));
+        render_entry(&mut out, name, r, i + 1 == engines.len());
     }
     out.push_str("  }");
+    if !baselines.is_empty() {
+        out.push_str(",\n  \"baselines\": {\n");
+        for (i, (name, r)) in baselines.iter().enumerate() {
+            render_entry(&mut out, name, r, i + 1 == baselines.len());
+        }
+        out.push_str("  }");
+    }
     if let Some(s) = speedup(engines) {
         out.push_str(&format!(
-            ",\n  \"speedup\": {{ \"and\": {:.2}, \"or\": {:.2}, \"ite\": {:.2}, \"exists\": {:.2}, \"median\": {:.2} }}\n",
-            s.0, s.1, s.2, s.3, s.4
+            ",\n  \"speedup\": {{ \"and\": {:.2}, \"or\": {:.2}, \"ite\": {:.2}, \"exists\": {:.2}, \"neg\": {:.2}, \"median\": {:.2} }}",
+            s.and, s.or, s.ite, s.exists, s.neg, s.workload
         ));
-    } else {
-        out.push('\n');
     }
+    if let Some(s) = speedup_vs_pr1(engines, baselines) {
+        out.push_str(&format!(
+            ",\n  \"speedup_vs_pr1\": {{ \"and\": {:.2}, \"or\": {:.2}, \"ite\": {:.2}, \"exists\": {:.2}, \"neg\": {:.2}, \"median\": {:.2} }}",
+            s.and, s.or, s.ite, s.exists, s.neg, s.workload
+        ));
+    }
+    out.push('\n');
     out.push_str("}\n");
     out
 }

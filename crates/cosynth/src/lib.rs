@@ -27,6 +27,9 @@
 //!   prompts the verifier loop could not avoid.
 //! * Session reports → [`report`]: regenerates Table 1, Table 2 and
 //!   Table 3 from live runs.
+//! * Symbolic-space cache → [`space_cache`]: one `RouteSpace` per router
+//!   draft, keyed on a config-IR fingerprint and shared across the
+//!   synthesize–verify–rectify iterations of a session.
 
 pub mod composer;
 pub mod humanizer;
@@ -35,6 +38,7 @@ pub mod leverage;
 pub mod modularizer;
 pub mod report;
 pub mod session;
+pub mod space_cache;
 pub mod synthesis;
 pub mod translation;
 
@@ -45,5 +49,6 @@ pub use leverage::Leverage;
 pub use modularizer::{LocalPolicySpec, Modularizer, RouterAssignment};
 pub use report::{scenario_table, FamilyRow};
 pub use session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
+pub use space_cache::RouteSpaceCache;
 pub use synthesis::{SpecStyle, SynthesisOutcome, SynthesisSession};
 pub use translation::{ErrorRow, TranslationOutcome, TranslationSession};

@@ -16,6 +16,7 @@ use crate::iip::IipDatabase;
 use crate::leverage::Leverage;
 use crate::modularizer::{Modularizer, RouterAssignment};
 use crate::session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
+use crate::space_cache::RouteSpaceCache;
 use bf_lite::Vendor;
 use llm_sim::LanguageModel;
 use net_model::WarningKind;
@@ -48,6 +49,13 @@ pub struct SynthesisOutcome {
     pub leverage: Leverage,
     /// Full prompt log.
     pub log: Vec<LoggedPrompt>,
+    /// Symbolic-space cache lookups answered from a warm space (see
+    /// [`crate::space_cache`]). Zero for the global style, which runs no
+    /// local symbolic checks.
+    pub space_cache_hits: usize,
+    /// Symbolic-space cache (re)builds: first sight of a router draft or
+    /// a rectification edit to it.
+    pub space_cache_misses: usize,
 }
 
 /// The synthesis session driver.
@@ -102,10 +110,12 @@ impl SynthesisSession {
         scenario: &Scenario,
     ) -> SynthesisOutcome {
         let mut t = SessionTranscript::new(llm, self.iips.system_message());
+        let mut spaces = RouteSpaceCache::new();
         let mut configs = BTreeMap::new();
         let mut verified_local = true;
         for assignment in Modularizer::assign_scenario(scenario) {
-            let (config, ok) = self.rectify_router(&mut t, &scenario.topology, &assignment);
+            let (config, ok) =
+                self.rectify_router(&mut t, &mut spaces, &scenario.topology, &assignment);
             if !ok {
                 verified_local = false;
             }
@@ -119,6 +129,8 @@ impl SynthesisSession {
             converged: verified_local,
             leverage: t.leverage,
             log: t.log,
+            space_cache_hits: spaces.hits,
+            space_cache_misses: spaces.misses,
         }
     }
 
@@ -129,10 +141,11 @@ impl SynthesisSession {
         roles: &StarRoles,
     ) -> SynthesisOutcome {
         let mut t = SessionTranscript::new(llm, self.iips.system_message());
+        let mut spaces = RouteSpaceCache::new();
         let mut configs = BTreeMap::new();
         let mut verified_local = true;
         for assignment in Modularizer::assign(topology, roles) {
-            let (config, ok) = self.rectify_router(&mut t, topology, &assignment);
+            let (config, ok) = self.rectify_router(&mut t, &mut spaces, topology, &assignment);
             if !ok {
                 verified_local = false;
             }
@@ -147,14 +160,22 @@ impl SynthesisSession {
             converged: verified_local,
             leverage: t.leverage,
             log: t.log,
+            space_cache_hits: spaces.hits,
+            space_cache_misses: spaces.misses,
         }
     }
 
     /// Drives one router's syntax → topology → semantics loop. Returns
     /// the final config text and whether all three phases verified.
+    ///
+    /// `spaces` is the session-scoped symbolic-space cache: the semantic
+    /// phase reuses one warm `RouteSpace` per draft instead of building
+    /// a fresh BDD manager per check per round, and a rectification edit
+    /// to this router invalidates only this router's entry.
     fn rectify_router<M: LanguageModel + ?Sized>(
         &self,
         t: &mut SessionTranscript<'_, M>,
+        spaces: &mut RouteSpaceCache,
         topology: &Topology,
         assignment: &RouterAssignment,
     ) -> (String, bool) {
@@ -202,9 +223,23 @@ impl SynthesisSession {
                 continue;
             }
             // Phase 3: local policy semantics (policy routers only).
+            // One cached-space lookup per draft serves every symbolic
+            // check this round (the fingerprint is loop-invariant);
+            // concrete checks (local-pref probes) need no space at all.
+            let mut space = assignment
+                .checks
+                .iter()
+                .any(bf_lite::LocalPolicyCheck::is_symbolic)
+                .then(|| spaces.space_for(&assignment.name, &parsed.device, &assignment.checks));
             let mut violation = None;
             for check in &assignment.checks {
-                if let Err(witness) = bf_lite::check_local_policy(&parsed.device, check) {
+                let result = match space.as_mut() {
+                    Some(space) if check.is_symbolic() => {
+                        bf_lite::check_local_policy_in(space, &parsed.device, check)
+                    }
+                    _ => bf_lite::check_local_policy(&parsed.device, check),
+                };
+                if let Err(witness) = result {
                     violation = Some((check.clone(), witness));
                     break;
                 }
@@ -318,6 +353,8 @@ impl SynthesisSession {
             converged,
             leverage: t.leverage,
             log: t.log,
+            space_cache_hits: 0,
+            space_cache_misses: 0,
         }
     }
 }
@@ -415,6 +452,26 @@ mod tests {
         let o2 = s.run(&mut llm2, 3);
         assert_eq!(o.leverage, o2.leverage);
         assert_eq!(o.configs, o2.configs);
+    }
+
+    #[test]
+    fn space_cache_is_exercised_across_rectification_rounds() {
+        // The paper-calibrated model needs several rectification rounds,
+        // so the same draft is re-verified repeatedly: the per-draft
+        // space cache must serve warm spaces (hits) and rebuild only on
+        // actual edits (misses bounded by distinct drafts, not rounds).
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 11);
+        let s = SynthesisSession::default();
+        let outcome = s.run(&mut llm, 6);
+        assert!(outcome.verified_local);
+        assert!(outcome.space_cache_misses > 0, "spaces must be built");
+        assert!(
+            outcome.space_cache_hits > 0,
+            "re-verification of unchanged drafts must hit the cache \
+             (hits={}, misses={})",
+            outcome.space_cache_hits,
+            outcome.space_cache_misses
+        );
     }
 
     #[test]

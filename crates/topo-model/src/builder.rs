@@ -1,6 +1,6 @@
 //! A general topology builder for non-star experiment networks.
 //!
-//! The star generator ([`crate::star`]) hard-codes the paper's Figure 4
+//! The star generator ([`crate::star()`]) hard-codes the paper's Figure 4
 //! addressing; every other topology family (chain, ring, mesh, fat-tree
 //! pod, multi-homed stub) is built with this allocator instead. The
 //! builder owns the addressing plan so generated topologies are valid by

@@ -21,7 +21,7 @@
 //! * [`builder`] — a general topology builder with automatic addressing,
 //!   used by the `scenario-gen` families (chain, ring, mesh, fat-tree
 //!   pod, multi-homed stub) that go beyond the paper's star.
-//! * [`scenario`] — a [`Scenario`](scenario::Scenario): topology +
+//! * [`scenario`] — a [`scenario::Scenario`]: topology +
 //!   per-router policy intents + whole-network expectations, the
 //!   generalized input the VPP loop runs on.
 
