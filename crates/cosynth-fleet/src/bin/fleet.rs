@@ -1,20 +1,53 @@
-//! `fleet` — run N generated scenarios through the full VPP loop on a
-//! work-stealing thread pool and write `BENCH_scenarios.json`.
+//! `fleet` — run N sessions through the VPP loop on a work-stealing
+//! thread pool and write a `BENCH_*.json` report.
 //!
 //! ```sh
 //! cargo run --release --bin fleet -- --sessions 64 --seed 1
+//! cargo run --release --bin fleet -- --use-case repair --sessions 64 --seed 1
 //! ```
 //!
-//! Flags: `--sessions N` (default 16), `--seed S` (default 1),
-//! `--threads T` (default: machine parallelism clamped to [2, 8]),
-//! `--families a,b,c` (filter to those topology families),
-//! `--out PATH` (default `BENCH_scenarios.json`),
-//! `--dump-scenario I` (print scenario I's JSON and exit).
-//!
-//! Exit status is non-zero if any session fails to converge or panics —
-//! the CI smoke contract.
+//! Run with `--help` for the full flag reference. Exit status is
+//! non-zero if any session fails its use case's contract (synthesis:
+//! non-convergence or panic; repair: panic or zero repair rate) — the
+//! CI smoke contract.
 
-use cosynth_fleet::{bench_json, run_fleet, scenario_for, FleetConfig};
+use cosynth_fleet::{
+    bench_json, repair_bench_json, run_fleet, run_repair_fleet, scenario_for, FleetConfig,
+};
+
+const HELP: &str = "\
+fleet — parallel VPP session runner (synthesis and repair use cases)
+
+USAGE:
+    fleet [FLAGS]
+
+FLAGS:
+    --use-case CASE     Which session shape to run: 'synthesis' (the
+                        full generate->draft->verify->rectify loop,
+                        default) or 'repair' (fault-inject breaks each
+                        scenario's known-good snapshot; the session
+                        localizes and repairs it).
+    --sessions N        Sessions to run (default 16).
+    --seed S            Scenario/fault/model stream seed (default 1).
+    --threads T         Worker threads (default: machine parallelism
+                        clamped to [2, 8]; minimum 2).
+    --families a,b,c    Only run sessions whose topology family is in
+                        the list (chain, ring, full-mesh, fat-tree,
+                        multi-homed, star). Applies to both use cases,
+                        so repair and synthesis runs can be sliced
+                        without recompiling.
+    --out PATH          Report path (default BENCH_scenarios.json for
+                        synthesis, BENCH_repair.json for repair).
+    --dump-scenario I   Print scenario I's JSON and exit.
+    --help              Print this reference and exit.
+
+EXIT STATUS:
+    0  every session met the use case's contract
+    1  synthesis: a session failed to converge or panicked;
+       repair: a session panicked or the overall repair rate is zero;
+       either: fewer sessions ran than requested (bad --families?)
+    2  the report file could not be written
+";
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -25,6 +58,10 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
     let seed = arg_value(&args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1u64);
@@ -32,6 +69,7 @@ fn main() {
         println!("{}", scenario_for(seed, i).to_json());
         return;
     }
+    let use_case = arg_value(&args, "--use-case").unwrap_or_else(|| "synthesis".into());
     let cfg = FleetConfig {
         sessions: arg_value(&args, "--sessions")
             .and_then(|s| s.parse().ok())
@@ -43,13 +81,42 @@ fn main() {
         families: arg_value(&args, "--families")
             .map(|s| s.split(',').map(|f| f.trim().to_string()).collect()),
     };
-    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".into());
+    match use_case.as_str() {
+        "synthesis" => run_synthesis(&cfg, &args),
+        "repair" => run_repair(&cfg, &args),
+        other => {
+            eprintln!("fleet: unknown --use-case {other:?} (known: synthesis, repair)");
+            std::process::exit(1);
+        }
+    }
+}
 
+fn write_report(out_path: &str, json: &str) {
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("fleet: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+}
+
+fn check_session_count(ran: usize, requested: usize) {
+    if ran < requested {
+        eprintln!(
+            "fleet: only {ran} of {requested} requested sessions ran (does --families name \
+             a real family? known: {:?})",
+            cosynth_fleet::family_names()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_synthesis(cfg: &FleetConfig, args: &[String]) {
+    let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".into());
     eprintln!(
-        "fleet: {} sessions, seed {}, {} workers",
+        "fleet: synthesis, {} sessions, seed {}, {} workers",
         cfg.sessions, cfg.seed, cfg.threads
     );
-    let report = run_fleet(&cfg);
+    let report = run_fleet(cfg);
 
     println!("{}", cosynth::scenario_table(&report.rows));
     println!(
@@ -59,17 +126,7 @@ fn main() {
         report.threads,
         report.throughput()
     );
-
-    if report.results.len() < cfg.sessions {
-        eprintln!(
-            "fleet: only {} of {} requested sessions ran (does --families name a real \
-             family? known: {:?})",
-            report.results.len(),
-            cfg.sessions,
-            cosynth_fleet::family_names()
-        );
-        std::process::exit(1);
-    }
+    check_session_count(report.results.len(), cfg.sessions);
 
     let mut failed = 0usize;
     for r in &report.results {
@@ -82,15 +139,47 @@ fn main() {
         }
     }
 
-    let json = bench_json(&report, cfg.sessions);
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("fleet: cannot write {out_path}: {e}");
-        std::process::exit(2);
-    }
-    println!("wrote {out_path}");
+    write_report(&out_path, &bench_json(&report, cfg.sessions));
 
     if failed > 0 {
         eprintln!("fleet: {failed} session(s) failed");
+        std::process::exit(1);
+    }
+}
+
+fn run_repair(cfg: &FleetConfig, args: &[String]) {
+    let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_repair.json".into());
+    eprintln!(
+        "fleet: repair, {} sessions, seed {}, {} workers",
+        cfg.sessions, cfg.seed, cfg.threads
+    );
+    let report = run_repair_fleet(cfg);
+
+    println!("{}", cosynth_fleet::repair_table(&report.rows));
+    println!(
+        "{} sessions in {:.1} ms on {} workers ({:.2} sessions/s); repair rate {:.0}%, \
+         localization precision {:.0}%",
+        report.results.len(),
+        report.wall_ms,
+        report.threads,
+        report.throughput(),
+        100.0 * report.repair_rate(),
+        100.0 * report.localization_precision()
+    );
+    check_session_count(report.results.len(), cfg.sessions);
+
+    for r in report.results.iter().filter(|r| r.panicked) {
+        eprintln!("PANICKED session {} ({})", r.index, r.scenario);
+    }
+
+    write_report(&out_path, &repair_bench_json(&report, cfg.sessions));
+
+    if report.any_panicked() {
+        eprintln!("fleet: a repair session panicked");
+        std::process::exit(1);
+    }
+    if report.repair_rate() == 0.0 {
+        eprintln!("fleet: zero repair rate — the repair loop is broken");
         std::process::exit(1);
     }
 }

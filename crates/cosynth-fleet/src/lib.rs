@@ -1,19 +1,31 @@
 //! # cosynth-fleet — the parallel VPP fleet runner
 //!
-//! Executes N generated verification scenarios end-to-end through the
-//! full VPP loop (generate → modularize → simulated-LLM drafts → verify
-//! → rectify → compose → simulate) across a fixed pool of `std::thread`
-//! workers with a work-stealing queue, then aggregates leverage ratios,
-//! fault-survival counts, and convergence rounds per topology family.
+//! Executes N generated verification scenarios end-to-end across a
+//! fixed pool of `std::thread` workers with a work-stealing queue,
+//! under one of two **use cases**:
+//!
+//! * **synthesis** (the default): the full VPP loop (generate →
+//!   modularize → simulated-LLM drafts → verify → rectify → compose →
+//!   simulate), aggregated into leverage ratios, fault-survival counts,
+//!   and convergence rounds per topology family
+//!   (`BENCH_scenarios.json`).
+//! * **repair** ([`run_repair_fleet`]): each session renders the
+//!   scenario's known-good configs, lets `fault-inject` break exactly
+//!   one router, and drives `cosynth::RepairSession` — localize via the
+//!   verifier channels, prompt, re-verify — aggregating repair rate,
+//!   localization precision, and rounds-to-fix per fault class ×
+//!   topology family (`BENCH_repair.json`).
 //!
 //! Determinism: session `i` of seed `s` always runs the same scenario
-//! against the same simulated-model stream, regardless of worker count
-//! or scheduling — only wall-clock figures vary between runs.
+//! (and, for repair, the same injected fault) against the same
+//! simulated-model stream, regardless of worker count or scheduling —
+//! only wall-clock figures vary between runs.
 
-use cosynth::{FamilyRow, Modularizer, SynthesisSession};
+use cosynth::{FamilyRow, Modularizer, RepairSession, SynthesisSession};
 use criterion::SampleStats;
+use llm_sim::synth_task::SynthesisDraft;
 use llm_sim::{ErrorModel, SimulatedGpt4};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
 use topo_model::Scenario;
@@ -186,13 +198,9 @@ impl FleetReport {
     }
 }
 
-/// Runs the fleet: distributes session indices round-robin over
-/// per-worker deques; each worker pops its own queue from the front and
-/// steals from the back of the others when dry.
-pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
-    let threads = cfg.threads.max(2);
-    // Resolve the job list up front (applying the family filter by
-    // probing the deterministic scenario stream).
+/// Resolves the session-index job list for a fleet run, applying the
+/// family filter by probing the deterministic scenario stream.
+fn job_indices(cfg: &FleetConfig) -> Vec<usize> {
     let mut jobs = Vec::with_capacity(cfg.sessions);
     let mut index = 0usize;
     while jobs.len() < cfg.sessions {
@@ -210,18 +218,31 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             break;
         }
     }
+    jobs
+}
+
+/// The work-stealing pool shared by both use cases: distributes session
+/// indices round-robin over per-worker deques; each worker pops its own
+/// queue from the front and steals from the back of the others when
+/// dry. `run` executes one job; it must be panic-safe on its own
+/// (wrap with `catch_unwind` inside) so one session cannot abort the
+/// fleet. Results come back sorted by index.
+fn run_pool<R: Send>(
+    threads: usize,
+    jobs: &[usize],
+    run: impl Fn(usize) -> R + Sync,
+) -> Vec<(usize, R)> {
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, job) in jobs.iter().enumerate() {
         queues[i % threads].lock().unwrap().push_back(*job);
     }
-    let results: Mutex<Vec<SessionResult>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let t0 = Instant::now();
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     std::thread::scope(|scope| {
         for me in 0..threads {
             let queues = &queues;
             let results = &results;
-            let seed = cfg.seed;
+            let run = &run;
             scope.spawn(move || loop {
                 // Own queue first (front), then steal from the back of
                 // the busiest-looking victim.
@@ -234,33 +255,43 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                     })
                 };
                 let Some(index) = job else { break };
-                // The fallback must not touch the scenario generator —
-                // if generation is what panicked, a second call would
-                // re-panic and abort the whole fleet.
-                let result =
-                    std::panic::catch_unwind(|| run_session(seed, index)).unwrap_or_else(|_| {
-                        SessionResult {
-                            index,
-                            scenario: format!("panic-i{index}"),
-                            family: family_of(index).to_string(),
-                            intent: String::new(),
-                            auto: 0,
-                            human: 0,
-                            local_ok: false,
-                            global_ok: false,
-                            sim_rounds: 0,
-                            violations: 0,
-                            wall_ms: 0.0,
-                            panicked: true,
-                        }
-                    });
-                results.lock().unwrap().push(result);
+                let result = run(index);
+                results.lock().unwrap().push((index, result));
             });
         }
     });
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let mut results = results.into_inner().unwrap();
-    results.sort_by_key(|r| r.index);
+    results.sort_by_key(|r| r.0);
+    results
+}
+
+/// Runs the synthesis fleet.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let threads = cfg.threads.max(2);
+    let jobs = job_indices(cfg);
+    let seed = cfg.seed;
+    let t0 = Instant::now();
+    let results = run_pool(threads, &jobs, |index| {
+        // The fallback must not touch the scenario generator — if
+        // generation is what panicked, a second call would re-panic and
+        // abort the whole fleet.
+        std::panic::catch_unwind(|| run_session(seed, index)).unwrap_or_else(|_| SessionResult {
+            index,
+            scenario: format!("panic-i{index}"),
+            family: family_of(index).to_string(),
+            intent: String::new(),
+            auto: 0,
+            human: 0,
+            local_ok: false,
+            global_ok: false,
+            sim_rounds: 0,
+            violations: 0,
+            wall_ms: 0.0,
+            panicked: true,
+        })
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let results: Vec<SessionResult> = results.into_iter().map(|(_, r)| r).collect();
     let rows = aggregate(&results);
     FleetReport {
         results,
@@ -346,6 +377,348 @@ pub fn bench_json(report: &FleetReport, sessions_requested: usize) -> String {
     out
 }
 
+// ---- the repair use case ----
+
+/// Renders the known-good config for every internal router of a
+/// scenario (the snapshot `fault-inject` breaks and the fixed point a
+/// repair session should restore).
+pub fn clean_configs_for(scenario: &Scenario) -> BTreeMap<String, String> {
+    Modularizer::assign_scenario(scenario)
+        .iter()
+        .map(|a| {
+            (
+                a.name.clone(),
+                SynthesisDraft::new(&a.prompt, BTreeSet::new()).render(),
+            )
+        })
+        .collect()
+}
+
+/// The deterministic fault-stream seed for repair session `index` of
+/// fleet seed `seed` (distinct mixing constants from the scenario and
+/// model streams, so the three stay uncorrelated).
+pub fn fault_seed(seed: u64, index: usize) -> u64 {
+    seed.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add((index as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+}
+
+/// One repair session's outcome, reduced to the fleet's metrics.
+#[derive(Debug, Clone)]
+pub struct RepairSessionResult {
+    /// Session index in the stream.
+    pub index: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// Topology family.
+    pub family: String,
+    /// Intent family.
+    pub intent: String,
+    /// Injected fault class (kebab-case name).
+    pub class: String,
+    /// Router the fault was injected into.
+    pub device: String,
+    /// Whether the snapshot verified again (local + global).
+    pub repaired: bool,
+    /// Repair prompts issued before the verdict.
+    pub rounds: usize,
+    /// Whether the first localization agreed with the ground truth
+    /// (same device, overlapping line span).
+    pub localized: bool,
+    /// Automated prompts issued.
+    pub auto: usize,
+    /// Human prompts issued.
+    pub human: usize,
+    /// Space-cache hits across the session's verification rounds.
+    pub space_hits: usize,
+    /// Space-cache (re)builds.
+    pub space_misses: usize,
+    /// Session wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Whether the session panicked (counted as failed).
+    pub panicked: bool,
+}
+
+/// Runs one repair session: scenario `index` of stream `seed`, broken
+/// by its deterministic fault, repaired by the paper-calibrated
+/// simulated model with the repair error-model pathologies.
+pub fn run_repair_session(seed: u64, index: usize) -> RepairSessionResult {
+    let scenario = scenario_for(seed, index);
+    let configs = clean_configs_for(&scenario);
+    let injection = fault_inject::inject(&configs, fault_seed(seed, index))
+        .expect("every rendered snapshot has an applicable fault class");
+    let llm_seed = seed
+        .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        .wrapping_add((index as u64).wrapping_mul(0x1656_67B1_9E37_79F9));
+    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), llm_seed);
+    let session = RepairSession::default();
+    let t0 = Instant::now();
+    let outcome = session.run(&mut llm, &scenario, &injection);
+    RepairSessionResult {
+        index,
+        scenario: scenario.name,
+        family: scenario.family,
+        intent: scenario.intent,
+        class: injection.fault.class.as_str().to_string(),
+        device: injection.fault.device.clone(),
+        repaired: outcome.repaired,
+        rounds: outcome.rounds,
+        localized: outcome
+            .first_localization
+            .as_ref()
+            .map(|l| l.agrees(&injection.fault))
+            .unwrap_or(false),
+        auto: outcome.leverage.auto,
+        human: outcome.leverage.human,
+        space_hits: outcome.space_cache_hits,
+        space_misses: outcome.space_cache_misses,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        panicked: false,
+    }
+}
+
+/// One aggregate row of the repair report: every session of one fault
+/// class × topology family cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairRow {
+    /// Fault class (kebab-case).
+    pub class: String,
+    /// Topology family.
+    pub family: String,
+    /// Sessions run in this cell.
+    pub sessions: usize,
+    /// Sessions that verified again.
+    pub repaired: usize,
+    /// Sessions whose first localization matched the ground truth.
+    pub localized: usize,
+    /// Total automated prompts.
+    pub auto: usize,
+    /// Total human prompts.
+    pub human: usize,
+    /// Mean repair prompts until the fix, over repaired sessions.
+    pub mean_rounds_to_fix: f64,
+    /// Per-session wall-clock percentiles, milliseconds.
+    pub p10_ms: f64,
+    /// Median session wall-clock, milliseconds.
+    pub median_ms: f64,
+    /// 90th-percentile session wall-clock, milliseconds.
+    pub p90_ms: f64,
+}
+
+impl RepairRow {
+    /// Fraction of this cell's sessions that verified again.
+    pub fn repair_rate(&self) -> f64 {
+        self.repaired as f64 / self.sessions.max(1) as f64
+    }
+
+    /// Fraction of this cell's sessions whose first localization
+    /// matched the ground truth.
+    pub fn localization_precision(&self) -> f64 {
+        self.localized as f64 / self.sessions.max(1) as f64
+    }
+}
+
+/// The whole repair fleet's outcome.
+#[derive(Debug, Clone)]
+pub struct RepairFleetReport {
+    /// Per-session results, in index order.
+    pub results: Vec<RepairSessionResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Total wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Per class × family aggregates, (class, family) order.
+    pub rows: Vec<RepairRow>,
+}
+
+impl RepairFleetReport {
+    /// Sessions per second of wall-clock.
+    pub fn throughput(&self) -> f64 {
+        self.results.len() as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+
+    /// Overall fraction of sessions that verified again.
+    pub fn repair_rate(&self) -> f64 {
+        let repaired = self.results.iter().filter(|r| r.repaired).count();
+        repaired as f64 / self.results.len().max(1) as f64
+    }
+
+    /// Overall localization precision.
+    pub fn localization_precision(&self) -> f64 {
+        let hits = self.results.iter().filter(|r| r.localized).count();
+        hits as f64 / self.results.len().max(1) as f64
+    }
+
+    /// Whether any session panicked.
+    pub fn any_panicked(&self) -> bool {
+        self.results.iter().any(|r| r.panicked)
+    }
+}
+
+/// Runs the repair fleet over the same work-stealing pool as the
+/// synthesis fleet.
+pub fn run_repair_fleet(cfg: &FleetConfig) -> RepairFleetReport {
+    let threads = cfg.threads.max(2);
+    let jobs = job_indices(cfg);
+    let seed = cfg.seed;
+    let t0 = Instant::now();
+    let results = run_pool(threads, &jobs, |index| {
+        std::panic::catch_unwind(|| run_repair_session(seed, index)).unwrap_or_else(|_| {
+            RepairSessionResult {
+                index,
+                scenario: format!("panic-i{index}"),
+                family: family_of(index).to_string(),
+                intent: String::new(),
+                class: String::new(),
+                device: String::new(),
+                repaired: false,
+                rounds: 0,
+                localized: false,
+                auto: 0,
+                human: 0,
+                space_hits: 0,
+                space_misses: 0,
+                wall_ms: 0.0,
+                panicked: true,
+            }
+        })
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let results: Vec<RepairSessionResult> = results.into_iter().map(|(_, r)| r).collect();
+    let rows = aggregate_repair(&results);
+    RepairFleetReport {
+        results,
+        threads,
+        seed: cfg.seed,
+        wall_ms,
+        rows,
+    }
+}
+
+/// Reduces repair session results to one [`RepairRow`] per fault class
+/// × topology family cell, in (class, family) order.
+pub fn aggregate_repair(results: &[RepairSessionResult]) -> Vec<RepairRow> {
+    let mut cells: BTreeMap<(&str, &str), Vec<&RepairSessionResult>> = BTreeMap::new();
+    for r in results {
+        cells.entry((&r.class, &r.family)).or_default().push(r);
+    }
+    cells
+        .into_iter()
+        .map(|((class, family), rs)| {
+            let walls: Vec<f64> = rs.iter().map(|r| r.wall_ms).collect();
+            let stats = SampleStats::from_samples(&walls).expect("non-empty cell");
+            let repaired: Vec<&&RepairSessionResult> = rs.iter().filter(|r| r.repaired).collect();
+            let mean_rounds = if repaired.is_empty() {
+                0.0
+            } else {
+                repaired.iter().map(|r| r.rounds as f64).sum::<f64>() / repaired.len() as f64
+            };
+            RepairRow {
+                class: class.to_string(),
+                family: family.to_string(),
+                sessions: rs.len(),
+                repaired: repaired.len(),
+                localized: rs.iter().filter(|r| r.localized).count(),
+                auto: rs.iter().map(|r| r.auto).sum(),
+                human: rs.iter().map(|r| r.human).sum(),
+                mean_rounds_to_fix: mean_rounds,
+                p10_ms: stats.p10,
+                median_ms: stats.median,
+                p90_ms: stats.p90,
+            }
+        })
+        .collect()
+}
+
+/// Renders a human-readable repair summary table (one row per fault
+/// class × family cell).
+pub fn repair_table(rows: &[RepairRow]) -> String {
+    let mut out = String::from(
+        "Table R: repair fleet aggregate per fault class x topology family\n\
+         (rate = repaired/sessions; loc = first localization matches ground truth)\n",
+    );
+    out.push_str(&format!(
+        "{:<24} {:<12} {:>5} {:>5} {:>5} {:>6} {:>6} {:>7} {:>9} {:>9}\n",
+        "class", "family", "runs", "fixed", "loc", "rate", "prec", "rounds", "med ms", "p90 ms"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} {:<12} {:>5} {:>5} {:>5} {:>5.0}% {:>5.0}% {:>7.1} {:>9.1} {:>9.1}\n",
+            r.class,
+            r.family,
+            r.sessions,
+            r.repaired,
+            r.localized,
+            100.0 * r.repair_rate(),
+            100.0 * r.localization_precision(),
+            r.mean_rounds_to_fix,
+            r.median_ms,
+            r.p90_ms
+        ));
+    }
+    out
+}
+
+/// Renders `BENCH_repair.json`: run metadata, headline rates, and the
+/// per class × family cells (extending the `BENCH_*.json` trajectory —
+/// `criterion-shim`'s `SampleStats` provides the wall-clock spread, as
+/// everywhere else). Per-seed content is deterministic; re-runs move
+/// only the wall-clock fields.
+pub fn repair_bench_json(report: &RepairFleetReport, sessions_requested: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"cosynth_repair\",");
+    let _ = writeln!(out, "  \"seed\": {},", report.seed);
+    let _ = writeln!(out, "  \"sessions_requested\": {sessions_requested},");
+    let _ = writeln!(out, "  \"sessions_run\": {},", report.results.len());
+    let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(out, "  \"wall_ms\": {:.1},", report.wall_ms);
+    let _ = writeln!(
+        out,
+        "  \"throughput_sessions_per_s\": {:.2},",
+        report.throughput()
+    );
+    let _ = writeln!(out, "  \"repair_rate\": {:.4},", report.repair_rate());
+    let _ = writeln!(
+        out,
+        "  \"localization_precision\": {:.4},",
+        report.localization_precision()
+    );
+    let _ = writeln!(out, "  \"any_panicked\": {},", report.any_panicked());
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"class\": \"{}\", \"family\": \"{}\", \"sessions\": {}, \
+             \"repaired\": {}, \"repair_rate\": {:.4}, \"localized\": {}, \
+             \"localization_precision\": {:.4}, \"auto\": {}, \"human\": {}, \
+             \"mean_rounds_to_fix\": {:.2}, \
+             \"session_ms\": {{ \"p10\": {:.2}, \"median\": {:.2}, \"p90\": {:.2} }} }}",
+            r.class,
+            r.family,
+            r.sessions,
+            r.repaired,
+            r.repair_rate(),
+            r.localized,
+            r.localization_precision(),
+            r.auto,
+            r.human,
+            r.mean_rounds_to_fix,
+            r.p10_ms,
+            r.median_ms,
+            r.p90_ms
+        );
+        out.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,5 +798,73 @@ mod tests {
         });
         assert_eq!(report.results.len(), 3);
         assert!(report.results.iter().all(|r| r.family == "ring"));
+    }
+
+    #[test]
+    fn single_repair_session_runs_end_to_end() {
+        let r = run_repair_session(1, 0);
+        assert!(!r.panicked);
+        assert!(!r.class.is_empty());
+        assert!(!r.device.is_empty());
+        assert!(r.rounds >= 1, "a broken snapshot needs at least one prompt");
+    }
+
+    #[test]
+    fn repair_fleet_is_deterministic_and_aggregates_cells() {
+        let cfg = FleetConfig {
+            sessions: 10,
+            seed: 1,
+            threads: 3,
+            families: None,
+        };
+        let report = run_repair_fleet(&cfg);
+        assert_eq!(report.results.len(), 10);
+        assert!(!report.any_panicked(), "{:#?}", report.results);
+        assert!(
+            report.repair_rate() > 0.5,
+            "most sessions must repair: {:#?}",
+            report.rows
+        );
+        // Deterministic content under a different thread count.
+        let report2 = run_repair_fleet(&FleetConfig {
+            threads: 2,
+            ..cfg.clone()
+        });
+        for (a, b) in report.results.iter().zip(&report2.results) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.device, b.device);
+            assert_eq!(a.repaired, b.repaired);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.localized, b.localized);
+            assert_eq!((a.auto, a.human), (b.auto, b.human));
+        }
+        let total: usize = report.rows.iter().map(|r| r.sessions).sum();
+        assert_eq!(total, 10);
+        let json = repair_bench_json(&report, 10);
+        assert!(json.contains("\"cosynth_repair\""), "{json}");
+        assert!(json.contains("\"localization_precision\""), "{json}");
+        assert!(json.contains("\"mean_rounds_to_fix\""), "{json}");
+    }
+
+    #[test]
+    fn repair_fleet_respects_the_family_filter() {
+        let report = run_repair_fleet(&FleetConfig {
+            sessions: 3,
+            seed: 2,
+            threads: 2,
+            families: Some(vec!["star".into()]),
+        });
+        assert_eq!(report.results.len(), 3);
+        assert!(report.results.iter().all(|r| r.family == "star"));
+    }
+
+    #[test]
+    fn fault_stream_spreads_over_classes() {
+        // Across a window of sessions the injected classes must vary —
+        // the corpus is enumerable, not a single hard-coded mistake.
+        let classes: BTreeSet<String> = (0..12).map(|i| run_repair_session(1, i).class).collect();
+        assert!(classes.len() >= 4, "{classes:?}");
     }
 }

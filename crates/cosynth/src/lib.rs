@@ -17,10 +17,13 @@
 //! * Composer → [`composer`]: per-router outputs reassembled into a
 //!   Batfish-lite snapshot for the whole-network check.
 //! * The VPP drivers → [`translation`] (use case 1: Cisco→Juniper on one
-//!   router, verified by Batfish parse + Campion) and [`synthesis`] (use
+//!   router, verified by Batfish parse + Campion), [`synthesis`] (use
 //!   case 2: no-transit on a star, verified by Batfish parse + topology
 //!   verifier + Batfish searchRoutePolicies, then whole-network
-//!   simulation).
+//!   simulation), and [`repair`] (use case 3: a fault-injected running
+//!   snapshot is localized through the same verifier channels and
+//!   repaired, with escalation to the human rewrite when automated
+//!   repair stalls).
 //! * Leverage accounting → [`leverage`]: `L = automated / human` prompts.
 //!   The initial task prompt is counted as neither (it exists identically
 //!   in plain pair programming); human prompts are the manual correction
@@ -36,6 +39,7 @@ pub mod humanizer;
 pub mod iip;
 pub mod leverage;
 pub mod modularizer;
+pub mod repair;
 pub mod report;
 pub mod session;
 pub mod space_cache;
@@ -47,6 +51,7 @@ pub use humanizer::Humanizer;
 pub use iip::IipDatabase;
 pub use leverage::Leverage;
 pub use modularizer::{LocalPolicySpec, Modularizer, RouterAssignment};
+pub use repair::{Localization, RepairOutcome, RepairSession};
 pub use report::{scenario_table, FamilyRow};
 pub use session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
 pub use space_cache::RouteSpaceCache;

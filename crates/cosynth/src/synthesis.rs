@@ -109,6 +109,39 @@ impl SynthesisSession {
         llm: &mut M,
         scenario: &Scenario,
     ) -> SynthesisOutcome {
+        let drive = self.drive_scenario(llm, scenario);
+        let global = check_scenario(scenario, &drive.configs);
+        drive.into_outcome(global)
+    }
+
+    fn run_local<M: LanguageModel + ?Sized>(
+        &self,
+        llm: &mut M,
+        topology: &Topology,
+        roles: &StarRoles,
+    ) -> SynthesisOutcome {
+        // The star is just a scenario: the per-router loops (and with
+        // them all leverage/escalation accounting) run through the one
+        // shared path, so the two entry points cannot drift. Only the
+        // final whole-network report differs — the star keeps its named
+        // no-transit violation classes (TransitLeak & friends).
+        let scenario = Modularizer::star_scenario(topology, roles);
+        let drive = self.drive_scenario(llm, &scenario);
+        let global = compose_and_check(topology, roles, &drive.configs);
+        drive.into_outcome(global)
+    }
+
+    /// Drives every per-router syntax → topology → semantics loop of a
+    /// scenario through one transcript and one space cache. This is the
+    /// **single** accounting path behind both [`Self::run_on`] (the
+    /// paper's star) and [`Self::run_scenario`] (generated scenarios):
+    /// prompts, escalations from a failed verify, and cache counters are
+    /// tallied here and nowhere else.
+    fn drive_scenario<M: LanguageModel + ?Sized>(
+        &self,
+        llm: &mut M,
+        scenario: &Scenario,
+    ) -> ScenarioDrive {
         let mut t = SessionTranscript::new(llm, self.iips.system_message());
         let mut spaces = RouteSpaceCache::new();
         let mut configs = BTreeMap::new();
@@ -121,43 +154,9 @@ impl SynthesisSession {
             }
             configs.insert(assignment.name.clone(), config);
         }
-        let global = check_scenario(scenario, &configs);
-        SynthesisOutcome {
+        ScenarioDrive {
             configs,
             verified_local,
-            global,
-            converged: verified_local,
-            leverage: t.leverage,
-            log: t.log,
-            space_cache_hits: spaces.hits,
-            space_cache_misses: spaces.misses,
-        }
-    }
-
-    fn run_local<M: LanguageModel + ?Sized>(
-        &self,
-        llm: &mut M,
-        topology: &Topology,
-        roles: &StarRoles,
-    ) -> SynthesisOutcome {
-        let mut t = SessionTranscript::new(llm, self.iips.system_message());
-        let mut spaces = RouteSpaceCache::new();
-        let mut configs = BTreeMap::new();
-        let mut verified_local = true;
-        for assignment in Modularizer::assign(topology, roles) {
-            let (config, ok) = self.rectify_router(&mut t, &mut spaces, topology, &assignment);
-            if !ok {
-                verified_local = false;
-            }
-            configs.insert(assignment.name.clone(), config);
-        }
-        // Final step: whole-network simulation.
-        let global = compose_and_check(topology, roles, &configs);
-        SynthesisOutcome {
-            configs,
-            verified_local,
-            global,
-            converged: verified_local,
             leverage: t.leverage,
             log: t.log,
             space_cache_hits: spaces.hits,
@@ -359,6 +358,32 @@ impl SynthesisSession {
     }
 }
 
+/// The per-router-loop results of one scenario drive, before the final
+/// whole-network check picks its report flavor.
+struct ScenarioDrive {
+    configs: BTreeMap<String, String>,
+    verified_local: bool,
+    leverage: Leverage,
+    log: Vec<LoggedPrompt>,
+    space_cache_hits: usize,
+    space_cache_misses: usize,
+}
+
+impl ScenarioDrive {
+    fn into_outcome(self, global: GlobalCheckReport) -> SynthesisOutcome {
+        SynthesisOutcome {
+            configs: self.configs,
+            verified_local: self.verified_local,
+            global,
+            converged: self.verified_local,
+            leverage: self.leverage,
+            log: self.log,
+            space_cache_hits: self.space_cache_hits,
+            space_cache_misses: self.space_cache_misses,
+        }
+    }
+}
+
 fn bump(attempts: &mut BTreeMap<String, usize>, key: &str) -> usize {
     let e = attempts.entry(key.to_string()).or_insert(0);
     *e += 1;
@@ -452,6 +477,43 @@ mod tests {
         let o2 = s.run(&mut llm2, 3);
         assert_eq!(o.leverage, o2.leverage);
         assert_eq!(o.configs, o2.configs);
+    }
+
+    #[test]
+    fn failed_final_verify_accounts_identically_on_both_paths() {
+        // Regression guard for the unified accounting path: a session
+        // whose routers never verify (and whose final whole-network
+        // check therefore fails) must tally exactly the same automated
+        // and human escalations whether it entered through the star API
+        // or the scenario API. Before the unification the two entry
+        // points duplicated the rectification drive, so their counts
+        // could drift around a failed final verify.
+        use llm_sim::ScriptedLlm;
+        let session = SynthesisSession {
+            limits: crate::session::SessionLimits {
+                attempts_per_finding: 2,
+                max_rounds: 5,
+            },
+            ..Default::default()
+        };
+        // A model that never returns a config: every round re-finds the
+        // same topology/syntax findings until the budget is spent.
+        let (t, roles) = star(3);
+        let mut llm_star = ScriptedLlm::new(vec!["I cannot produce that.".to_string()]);
+        let star_outcome = session.run_on(&mut llm_star, &t, &roles);
+        let scenario = Modularizer::star_scenario(&t, &roles);
+        let mut llm_scenario = ScriptedLlm::new(vec!["I cannot produce that.".to_string()]);
+        let scenario_outcome = session.run_scenario(&mut llm_scenario, &scenario);
+        assert!(!star_outcome.verified_local);
+        assert!(!star_outcome.global.holds());
+        assert!(!scenario_outcome.global.holds());
+        assert_eq!(star_outcome.leverage, scenario_outcome.leverage);
+        assert_eq!(star_outcome.log.len(), scenario_outcome.log.len());
+        for (a, b) in star_outcome.log.iter().zip(&scenario_outcome.log) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.prompt, b.prompt);
+        }
+        assert_eq!(star_outcome.configs, scenario_outcome.configs);
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct ErrorModel {
     /// Whether the model heeds the IIP database (suppresses preventable
     /// classes).
     pub respect_iip: bool,
+    /// Repair sessions: probability an attempted fix lands on the wrong
+    /// line (a cosmetic edit elsewhere; the fault stays in place).
+    pub p_repair_wrong_line: f64,
+    /// Repair sessions: probability a successful fix introduces one
+    /// fresh auto-fixable fault as a regression.
+    pub p_repair_regress: f64,
 }
 
 impl ErrorModel {
@@ -56,6 +62,8 @@ impl ErrorModel {
             p_regress_new: 0.3,
             p_reintroduce: 0.18,
             respect_iip: true,
+            p_repair_wrong_line: 0.25,
+            p_repair_regress: 0.2,
         }
     }
 
@@ -67,6 +75,8 @@ impl ErrorModel {
             p_regress_new: 0.0,
             p_reintroduce: 0.0,
             respect_iip: true,
+            p_repair_wrong_line: 0.0,
+            p_repair_regress: 0.0,
         }
     }
 
@@ -87,6 +97,8 @@ impl ErrorModel {
             p_regress_new: 0.0,
             p_reintroduce: 0.0,
             respect_iip: true,
+            p_repair_wrong_line: 0.0,
+            p_repair_regress: 0.0,
         }
     }
 

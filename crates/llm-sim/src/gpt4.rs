@@ -31,6 +31,9 @@ pub struct SimulatedGpt4 {
     model: ErrorModel,
     rng: SimRng,
     state: Option<TaskState>,
+    /// Wrong-line repair attempts so far (keeps each cosmetic edit
+    /// distinct and the stream deterministic).
+    repair_attempts: usize,
 }
 
 impl SimulatedGpt4 {
@@ -40,6 +43,7 @@ impl SimulatedGpt4 {
             model,
             rng: SimRng::seed_from_u64(seed),
             state: None,
+            repair_attempts: 0,
         }
     }
 
@@ -240,6 +244,46 @@ impl SimulatedGpt4 {
         reply
     }
 
+    /// Handles a repair-task prompt (the third session shape): the
+    /// prompt carries the router description + policy sentences, a
+    /// localization hint, and the broken config in a fence. With
+    /// probability `p_repair_wrong_line` the model "fixes" the wrong
+    /// line (a cosmetic edit; the fault stays); otherwise it re-derives
+    /// the reference config from the description — possibly introducing
+    /// one fresh auto-fixable fault as a regression
+    /// (`p_repair_regress`). The human rewrite escalation
+    /// ([`prompts::REPAIR_REWRITE`]) always lands the reference.
+    fn handle_repair(&mut self, content: &str, iip: bool) -> String {
+        let forced = content.contains(prompts::REPAIR_REWRITE);
+        let broken = last_fenced_block(content).unwrap_or_default();
+        if !forced && self.rng.next_f64() < self.model.p_repair_wrong_line {
+            self.repair_attempts += 1;
+            let patched = patch_unrelated_line(&broken, self.repair_attempts);
+            return format!(
+                "I located the problem and corrected it in place.\n{}",
+                fence(&patched)
+            );
+        }
+        let probe = SynthesisDraft::new(content, BTreeSet::new());
+        let mut faults = BTreeSet::new();
+        if !forced && self.rng.next_f64() < self.model.p_repair_regress {
+            let fresh: Vec<FaultKind> = Self::applicable_synth_faults(&probe)
+                .into_iter()
+                .filter(|f| {
+                    f.repair() == RepairBehavior::AutoFixable && !(iip && f.iip_preventable())
+                })
+                .collect();
+            if !fresh.is_empty() {
+                faults.insert(fresh[self.rng.index(fresh.len())]);
+            }
+        }
+        self.state = Some(TaskState::Synthesis(SynthesisDraft::new(content, faults)));
+        format!(
+            "Here is the repaired configuration:\n{}",
+            fence(&self.render_current())
+        )
+    }
+
     fn apply_fix(&mut self, fault: FaultKind) {
         match self.state.as_mut() {
             Some(TaskState::Translation(d)) => {
@@ -260,6 +304,9 @@ impl LanguageModel for SimulatedGpt4 {
             return "How can I help with your network configuration?".into();
         };
         let content = last.content.clone();
+        if content.contains(prompts::REPAIR_TASK) || content.contains(prompts::REPAIR_REWRITE) {
+            return self.handle_repair(&content, iip);
+        }
         if content.contains(prompts::TRANSLATE_TASK) {
             let cisco = last_fenced_block(&content).unwrap_or_default();
             let faults = self.sample_faults(&FaultKind::TRANSLATION, iip);
@@ -337,6 +384,25 @@ fn signature_strength(fault: FaultKind, prompt: &str) -> u8 {
         FaultKind::AndSemanticsFilter => 2 * hit(&["denied", "separate"]),
         _ => 0,
     }
+}
+
+/// The wrong-line repair "fix": a cosmetic edit far from the fault — a
+/// fresh description on the first interface (descriptions lower to
+/// nothing in the IR, so verification verdicts are unchanged and the
+/// injected fault survives untouched). Falls back to returning the
+/// broken config verbatim when there is no interface to decorate.
+fn patch_unrelated_line(broken: &str, attempt: usize) -> String {
+    let mut out = String::new();
+    let mut inserted = false;
+    for line in broken.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if !inserted && line.starts_with("interface ") {
+            out.push_str(&format!(" description repair-attempt-{attempt}\n"));
+            inserted = true;
+        }
+    }
+    out
 }
 
 /// The oscillating global-task output: strategy alternates between
@@ -510,6 +576,72 @@ route-map ospf_to_bgp permit 10
         let without = gpt.complete(&[Message::user(prompt)]);
         let cfg = last_fenced_block(&without).unwrap();
         assert!(cfg.contains("configure terminal"), "{cfg}");
+    }
+
+    fn repair_prompt(broken: &str, forced: bool) -> String {
+        let task = if forced {
+            prompts::REPAIR_REWRITE
+        } else {
+            prompts::REPAIR_TASK
+        };
+        format!(
+            "Router R2 has AS number 2 and BGP router-id 1.0.0.2.\n\
+             Interface Ethernet0/0 has IP address 2.0.0.2 (mask 255.255.255.0) and connects to R1.\n\
+             It has an eBGP neighbor 2.0.0.1 with AS number 1 (R1).\n\
+             It must announce the following networks in BGP: 2.0.0.0/24.\n\
+             {}\n{task}\n{}",
+            ingress_tag_sentence("2.0.0.1".parse().unwrap(), "100:1".parse().unwrap(), "T"),
+            fence(broken)
+        )
+    }
+
+    #[test]
+    fn repair_returns_reference_when_flawless() {
+        let mut gpt = SimulatedGpt4::new(ErrorModel::flawless(), 1);
+        let broken = "hostname R2\nrouter bgp 9\n";
+        let reply = gpt.complete(&[Message::user(repair_prompt(broken, false))]);
+        let cfg = last_fenced_block(&reply).unwrap();
+        assert!(cfg.contains("router bgp 2"), "{cfg}");
+        assert!(cfg.contains("route-map T"), "{cfg}");
+        let parsed = bf_lite::parse_config(&cfg, None);
+        assert!(parsed.is_clean(), "{:?}", parsed.warnings);
+    }
+
+    #[test]
+    fn wrong_line_repair_keeps_the_fault_and_edits_elsewhere() {
+        let mut model = ErrorModel::flawless();
+        model.p_repair_wrong_line = 1.0;
+        let mut gpt = SimulatedGpt4::new(model, 1);
+        let broken =
+            "hostname R2\ninterface Ethernet0/0\n ip address 2.0.0.2 255.255.255.0\nrouter bgp 9\n";
+        let reply = gpt.complete(&[Message::user(repair_prompt(broken, false))]);
+        let cfg = last_fenced_block(&reply).unwrap();
+        assert!(cfg.contains("router bgp 9"), "fault must survive: {cfg}");
+        assert!(cfg.contains("description repair-attempt-1"), "{cfg}");
+        // The forced rewrite ignores the wrong-line pathology entirely.
+        let reply = gpt.complete(&[Message::user(repair_prompt(&cfg, true))]);
+        let cfg = last_fenced_block(&reply).unwrap();
+        assert!(cfg.contains("router bgp 2"), "{cfg}");
+        assert!(!cfg.contains("repair-attempt"), "{cfg}");
+    }
+
+    #[test]
+    fn repair_regression_is_auto_fixable_by_the_normal_loop() {
+        let mut model = ErrorModel::flawless();
+        model.p_repair_regress = 1.0;
+        let mut gpt = SimulatedGpt4::new(model, 3);
+        let broken = "hostname R2\nrouter bgp 9\n";
+        let reply = gpt.complete(&[Message::user(repair_prompt(broken, false))]);
+        let cfg = last_fenced_block(&reply).unwrap();
+        assert!(cfg.contains("router bgp"), "{cfg}");
+        // The regressed draft differs from the reference the flawless
+        // model would produce, and the model's state now answers normal
+        // rectification prompts (the fault is auto-fixable by design).
+        let mut clean = SimulatedGpt4::new(ErrorModel::flawless(), 3);
+        let reference =
+            last_fenced_block(&clean.complete(&[Message::user(repair_prompt(broken, false))]))
+                .unwrap();
+        assert_ne!(cfg, reference, "regression must perturb the repair");
     }
 
     #[test]

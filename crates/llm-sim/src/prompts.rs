@@ -21,6 +21,17 @@ pub const SYNTH_TASK: &str = "Generate the Cisco IOS configuration file (.cfg) f
 /// Request to print the full current config after a fix.
 pub const PRINT_CONFIG: &str = "Print the entire configuration.";
 
+/// Task sentence for the repair use case: the prompt carries the router
+/// description and policy sentences first, then this sentence, then the
+/// broken config in a fence.
+pub const REPAIR_TASK: &str = "The configuration below for this router is faulty. Repair it so \
+     it satisfies the description and policies above, changing as little as possible.";
+
+/// The human repair escalation: a targeted instruction the automatic
+/// loop falls back to when localized repair prompts stall.
+pub const REPAIR_REWRITE: &str = "Discard the faulty configuration and rewrite it from \
+     scratch, strictly following the description and policies above.";
+
 /// The global-policy prompt of the local-vs-global ablation.
 pub const GLOBAL_TASK: &str = "Make the network follow the no-transit policy: no two ISPs \
      should be able to reach each other, but all ISPs and the CUSTOMER \

@@ -13,6 +13,7 @@ pub use cisco_cfg;
 pub use config_ir;
 pub use cosynth;
 pub use cosynth_fleet;
+pub use fault_inject;
 pub use juniper_cfg;
 pub use llm_sim;
 pub use net_model;
