@@ -134,6 +134,31 @@ impl Manager {
         }
     }
 
+    /// Recycles the manager: drops every node, variable, and memoized
+    /// result while **keeping every allocation** — the node arena, the
+    /// unique table's slot array (at whatever size it grew to), and the
+    /// op-cache line arrays. After `clear()` the manager is
+    /// observationally identical to a freshly constructed one (the same
+    /// call sequence produces the same `Ref` values, because refs are
+    /// assigned in insertion order and both start from an empty arena),
+    /// but the next workload pays no allocation, no page faults, and no
+    /// unique-table doubling up to the previous high-water mark.
+    ///
+    /// Op-cache lines are invalidated rather than kept: node indices are
+    /// reassigned from scratch, so a stale entry would alias a new key
+    /// onto an old result. Cache *counters* survive (they account the
+    /// manager's lifetime, like `reset_stats` documents); callers that
+    /// want per-cycle numbers call [`Manager::reset_stats`] too.
+    pub fn clear(&mut self) {
+        self.nodes.truncate(1);
+        self.unique.clear();
+        self.apply_cache.clear();
+        self.ite_cache.clear();
+        self.restrict_cache.clear();
+        self.lits.clear();
+        self.n_vars = 0;
+    }
+
     /// Zeroes all cache counters (the tables themselves are untouched).
     pub fn reset_stats(&mut self) {
         self.apply_cache.stats = Default::default();
@@ -966,6 +991,65 @@ mod tests {
             acc = m.exists(acc, (i as u32) % 4);
         }
         m.check_canonical().expect("canonical");
+    }
+
+    #[test]
+    fn clear_recycles_to_a_fresh_manager() {
+        // Build a real mixed workload, clear, rebuild the same call
+        // sequence: the recycled manager must reproduce the fresh
+        // manager's Refs bit-for-bit and stay canonical throughout.
+        let build = |m: &mut Manager| {
+            let vars = m.new_vars(12);
+            let lits: Vec<Ref> = vars.iter().map(|&v| m.var(v)).collect();
+            let mut acc = lits[0];
+            for (i, &lit) in lits.iter().enumerate() {
+                acc = match i % 3 {
+                    0 => m.and(acc, lit),
+                    1 => m.or(acc, lit),
+                    _ => m.xor(acc, lit),
+                };
+                let na = m.not(acc);
+                acc = m.ite(lit, acc, na);
+                acc = m.exists(acc, (i as u32) % 5);
+            }
+            (acc, m.node_count())
+        };
+        let mut fresh = Manager::new();
+        let (f_ref, f_nodes) = build(&mut fresh);
+        fresh.check_canonical().expect("fresh canonical");
+
+        let mut recycled = Manager::new();
+        let _ = build(&mut recycled);
+        let grown_capacity = recycled.stats().unique_capacity;
+        recycled.clear();
+        assert_eq!(recycled.node_count(), 1, "only the terminal survives");
+        assert_eq!(recycled.var_count(), 0);
+        assert!(
+            recycled.stats().unique_capacity >= grown_capacity,
+            "clear must keep the grown table"
+        );
+        recycled.check_canonical().expect("empty is canonical");
+        let (r_ref, r_nodes) = build(&mut recycled);
+        assert_eq!(r_ref, f_ref, "recycled refs must match fresh refs");
+        assert_eq!(r_nodes, f_nodes);
+        recycled.check_canonical().expect("recycled canonical");
+
+        // Stale memo entries must not leak across the clear: a third
+        // cycle with a *different* workload over the same variable
+        // range still agrees with a fresh manager.
+        recycled.clear();
+        let other = |m: &mut Manager| {
+            let vars = m.new_vars(6);
+            let lits: Vec<Ref> = vars.iter().map(|&v| m.var(v)).collect();
+            let a = m.and(lits[0], lits[1]);
+            let b = m.or(lits[2], lits[3]);
+            let c = m.xor(lits[4], lits[5]);
+            let i = m.ite(a, b, c);
+            m.exists(i, 2)
+        };
+        let mut fresh2 = Manager::new();
+        assert_eq!(other(&mut recycled), other(&mut fresh2));
+        recycled.check_canonical().expect("third cycle canonical");
     }
 
     #[test]

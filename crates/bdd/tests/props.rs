@@ -309,3 +309,50 @@ fn build_random(m: &mut Manager, rng: &mut Rng, n_vars: u32) -> Ref {
     let f = random_formula(rng, n_vars, 4);
     build(m, &f)
 }
+
+/// Recycling: `clear()` returns the manager to the empty state while
+/// keeping its allocations, and a recycled manager is observationally
+/// identical to a fresh one — same `Ref` for every formula of the same
+/// build sequence, same node count, canonical after every cycle. This is
+/// the contract the worker-resident verifier pools rest on: a pooled
+/// manager must never let one session's state leak into the next.
+#[test]
+fn recycled_manager_is_observationally_fresh() {
+    let mut rng = Rng(0xf1ee7);
+    const N_VARS: u32 = 9;
+    const CYCLES: usize = 8;
+    const FORMULAS_PER_CYCLE: usize = 12;
+    let mut recycled = Manager::new();
+    for cycle in 0..CYCLES {
+        // Clone the generator state so the fresh manager sees the exact
+        // same formula stream as the recycled one.
+        let mut rng_fresh = Rng(rng.0);
+        recycled.clear();
+        recycled.new_vars(N_VARS);
+        let mut fresh_m = fresh(N_VARS);
+        for i in 0..FORMULAS_PER_CYCLE {
+            let f = random_formula(&mut rng, N_VARS, 4);
+            let f2 = random_formula(&mut rng_fresh, N_VARS, 4);
+            let br = build(&mut recycled, &f);
+            let bf = build(&mut fresh_m, &f2);
+            assert_eq!(br, bf, "cycle {cycle}, formula {i}: {f:?}");
+            // Semantics survive recycling too, not just ref identity.
+            for a in [
+                0u32,
+                1,
+                0b1010_1010 & ((1 << N_VARS) - 1),
+                (1 << N_VARS) - 1,
+            ] {
+                assert_eq!(
+                    recycled.eval(br, |v| (a >> v) & 1 == 1),
+                    eval_formula(&f, a),
+                    "cycle {cycle}: {f:?} at {a:#b}"
+                );
+            }
+        }
+        assert_eq!(recycled.node_count(), fresh_m.node_count(), "cycle {cycle}");
+        recycled
+            .check_canonical()
+            .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+    }
+}

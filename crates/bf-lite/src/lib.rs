@@ -32,6 +32,6 @@ pub mod sim;
 pub use parse_q::{parse_config, ParsedConfig, Vendor};
 pub use questions::{
     check_local_policy, check_local_policy_in, search_route_policies_question, space_for_checks,
-    LocalPolicyCheck,
+    space_for_checks_in, LocalPolicyCheck,
 };
 pub use sim::{BgpSession, Rib, SimReport, Snapshot};

@@ -216,6 +216,25 @@ fn check_local_policy_concrete(
 /// both the policy and the query never appears on a counterexample path,
 /// so witnesses are identical to those from a single-check space.
 pub fn space_for_checks(device: &Device, checks: &[LocalPolicyCheck]) -> RouteSpace {
+    space_for_checks_in(
+        bdd::Manager::with_capacity(RouteSpace::DEFAULT_NODE_CAPACITY),
+        device,
+        checks,
+    )
+}
+
+/// [`space_for_checks`] over a caller-supplied BDD manager — the pooled
+/// path. The manager is recycled in place (see
+/// [`RouteSpace::in_manager`]): a worker that keeps managers resident
+/// across sessions pays table allocation once per worker instead of
+/// once per space, and a grown unique table stays grown. Results are
+/// bit-identical to the fresh path — `Ref`s depend only on the op
+/// sequence, never on table capacity.
+pub fn space_for_checks_in(
+    mgr: bdd::Manager,
+    device: &Device,
+    checks: &[LocalPolicyCheck],
+) -> RouteSpace {
     let mut communities = device.community_universe();
     for check in checks {
         if let Some(c) = check.community() {
@@ -232,7 +251,7 @@ pub fn space_for_checks(device: &Device, checks: &[LocalPolicyCheck]) -> RouteSp
             }
         }
     }
-    RouteSpace::new(communities, aspaths)
+    RouteSpace::in_manager(mgr, communities, aspaths)
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ pub mod structural;
 
 pub use align::{align_interfaces, InterfaceAlignment};
 pub use findings::{CampionFinding, Direction};
-pub use structural::compare;
+pub use structural::{compare, compare_in};
 
 #[cfg(test)]
 mod tests {

@@ -4,23 +4,63 @@ use crate::align::align_interfaces;
 use crate::findings::{CampionFinding, Direction};
 use config_ir::Device;
 use policy_symbolic::{
-    behavior_difference, effective_export_behavior, effective_import_behavior, RouteSpace,
+    behavior_difference, effective_export_behavior, effective_import_behavior, Manager, RouteSpace,
 };
 use std::collections::BTreeSet;
+
+/// Node-capacity hint for the behaviour-diff space: behaviour
+/// extraction over two devices' export chains builds the largest BDDs
+/// in the workspace, so one-shot comparisons pre-size generously.
+const BEHAVIOR_NODES_HINT: usize = 1 << 16;
 
 /// Compares an original device against its translation and returns all
 /// findings, sorted structural → attribute → behaviour (the repair order
 /// the paper prescribes: earlier classes mask later ones).
 pub fn compare(original: &Device, translated: &Device) -> Vec<CampionFinding> {
+    compare_impl(None, original, translated).0
+}
+
+/// [`compare`] against a caller-supplied (recycled) BDD manager — the
+/// pooled path for drivers that diff many device pairs, e.g. the repair
+/// session's per-round intent diff. The manager is returned for
+/// release back to the pool; findings are bit-identical to the one-shot
+/// path (BDD structure, and with it every witness, is canonical
+/// regardless of manager history).
+pub fn compare_in(
+    mgr: Manager,
+    original: &Device,
+    translated: &Device,
+) -> (Vec<CampionFinding>, Manager) {
+    let (findings, mgr) = compare_impl(Some(mgr), original, translated);
+    (
+        findings,
+        mgr.expect("a supplied manager is always handed back"),
+    )
+}
+
+/// The one comparison pipeline behind both entry points. `None` means
+/// "allocate the behaviour-diff manager lazily" — behaviour diffs only
+/// run when both sides have a BGP process, so structural/attribute-only
+/// comparisons never pay for the (large) space.
+fn compare_impl(
+    mgr: Option<Manager>,
+    original: &Device,
+    translated: &Device,
+) -> (Vec<CampionFinding>, Option<Manager>) {
     let mut findings = Vec::new();
     structural(original, translated, &mut findings);
     attributes(original, translated, &mut findings);
     // Behaviour diffs are only meaningful once structure aligns; Campion
     // still reports them when possible, and COSYNTH repairs in class
     // order anyway.
-    behavior(original, translated, &mut findings);
+    let mgr = if original.bgp.is_some() && translated.bgp.is_some() {
+        let mgr = mgr.unwrap_or_else(|| Manager::with_capacity(BEHAVIOR_NODES_HINT));
+        Some(behavior(mgr, original, translated, &mut findings))
+    } else {
+        mgr
+    };
     findings.sort_by_key(|f| f.class());
-    findings
+    (findings, mgr)
 }
 
 fn structural(original: &Device, translated: &Device, out: &mut Vec<CampionFinding>) {
@@ -197,15 +237,17 @@ fn attributes(original: &Device, translated: &Device, out: &mut Vec<CampionFindi
     }
 }
 
-fn behavior(original: &Device, translated: &Device, out: &mut Vec<CampionFinding>) {
+fn behavior(
+    mgr: Manager,
+    original: &Device,
+    translated: &Device,
+    out: &mut Vec<CampionFinding>,
+) -> Manager {
     let (Some(ob), Some(tb)) = (&original.bgp, &translated.bgp) else {
-        return;
+        return mgr;
     };
     // One shared space across both devices so behaviours are comparable.
-    // Behaviour extraction over two devices' export chains builds the
-    // largest BDDs in the workspace; pre-size so the unique table never
-    // rehashes mid-comparison.
-    let mut space = RouteSpace::for_devices_sized(&[original, translated], 1 << 16);
+    let mut space = RouteSpace::for_devices_in(mgr, &[original, translated]);
     for o in &ob.neighbors {
         let Some(t) = tb.neighbor(o.addr) else {
             continue;
@@ -235,6 +277,7 @@ fn behavior(original: &Device, translated: &Device, out: &mut Vec<CampionFinding
             });
         }
     }
+    space.into_manager()
 }
 
 #[cfg(test)]

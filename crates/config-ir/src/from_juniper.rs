@@ -170,6 +170,20 @@ pub fn from_juniper(cfg: &JuniperConfig) -> (Device, Vec<String>) {
                 modifiers,
             });
         }
+        // A trailing term carrying the emitter's well-known default
+        // name with no conditions or modifiers *is* the policy default:
+        // fold it into `default_action` instead of keeping a clause, or
+        // every emit→lower cycle would append another copy.
+        if let Some(last) = policy.clauses.last() {
+            if last.id == crate::to_juniper::DEFAULT_TERM
+                && last.conditions.is_empty()
+                && last.modifiers.is_empty()
+                && last.action != ClauseAction::FallThrough
+            {
+                policy.default_action = last.action;
+                policy.clauses.pop();
+            }
+        }
         d.policies.push(policy);
     }
 
@@ -248,6 +262,30 @@ pub fn from_juniper(cfg: &JuniperConfig) -> (Device, Vec<String>) {
                 .map(str::to_string);
             ir.redistributions.push((proto, map));
         }
+        // The origination/redistribution policies are *carriers* the
+        // emitter synthesizes from `IrBgp::networks`/`redistributions`;
+        // having recovered those fields, drop the carriers from the
+        // policy list — re-emission resynthesizes them, so keeping them
+        // here would duplicate one copy per emit→lower cycle. Two
+        // guards keep user-authored look-alikes intact: a
+        // `redistribute-<x>` policy is only a carrier if `<x>` named a
+        // real protocol (i.e. its content actually reached
+        // `ir.redistributions`), and nothing referenced from a
+        // neighbor's import/export chain is ever dropped (a dropped
+        // referenced policy would make the chain resolve to deny-all).
+        let referenced: std::collections::BTreeSet<&str> = ir
+            .neighbors
+            .iter()
+            .flat_map(|n| n.import_policy.iter().chain(&n.export_policy))
+            .map(String::as_str)
+            .collect();
+        d.policies.retain(|p| {
+            let is_carrier = p.name == ORIGINATE_POLICY
+                || p.name
+                    .strip_prefix(crate::to_juniper::REDISTRIBUTE_PREFIX)
+                    .is_some_and(|kw| net_model::Protocol::from_keyword(kw).is_some());
+            !is_carrier || referenced.contains(p.name.as_str())
+        });
         d.bgp = Some(ir);
     }
 
@@ -432,6 +470,57 @@ policy-options {
 }
 "#;
         let (d, _) = lower(input);
-        assert_eq!(d.bgp.unwrap().networks, vec!["7.0.0.0/24".parse().unwrap()]);
+        // Recovered into IrBgp::networks and dropped as a carrier (it
+        // is referenced by no chain) so re-emission cannot duplicate it.
+        assert_eq!(
+            d.bgp.as_ref().unwrap().networks,
+            vec!["7.0.0.0/24".parse().unwrap()]
+        );
+        assert!(d.policy(ORIGINATE_POLICY).is_none());
+    }
+
+    #[test]
+    fn carrier_drop_spares_lookalikes_and_referenced_policies() {
+        // `redistribute-mpls` is NOT a carrier (mpls is no known
+        // protocol keyword, so nothing was recovered from it), and the
+        // originate policy here is referenced from an export chain —
+        // dropping either would break the chain (missing policy =>
+        // deny-all). Both must survive lowering.
+        let input = r#"
+routing-options { autonomous-system 7; }
+protocols { bgp { group g { neighbor 9.9.9.9 {
+    peer-as 2;
+    export originate-networks;
+} } } }
+policy-options {
+    policy-statement redistribute-mpls {
+        term t { then accept; }
+    }
+    policy-statement originate-networks {
+        term nets {
+            from {
+                protocol direct;
+                route-filter 7.0.0.0/24 exact;
+            }
+            then accept;
+        }
+    }
+}
+"#;
+        let (d, _) = lower(input);
+        assert!(
+            d.policy("redistribute-mpls").is_some(),
+            "unknown-protocol lookalike must not be dropped"
+        );
+        assert!(
+            d.policy(ORIGINATE_POLICY).is_some(),
+            "chain-referenced carrier must not be dropped"
+        );
+        let bgp = d.bgp.unwrap();
+        assert_eq!(bgp.networks, vec!["7.0.0.0/24".parse().unwrap()]);
+        assert!(
+            bgp.redistributions.is_empty(),
+            "nothing recoverable from the lookalike"
+        );
     }
 }

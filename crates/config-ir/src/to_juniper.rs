@@ -26,6 +26,14 @@ use std::collections::BTreeSet;
 /// Name prefix for synthesized redistribution carrier policies.
 pub const REDISTRIBUTE_PREFIX: &str = "redistribute-";
 
+/// Name of the explicit trailing term [`to_juniper`] appends to every
+/// policy to mirror the IR's `default_action` (IOS's implicit deny).
+/// [`mod@crate::from_juniper`] folds a trailing term of this name back
+/// into `default_action` rather than lowering it as a clause, so the
+/// emit→parse→lower cycle is idempotent instead of accreting one
+/// default term per round trip.
+pub const DEFAULT_TERM: &str = "default-term";
+
 /// Emits a device as a Junos configuration. Returns the AST and notes for
 /// constructs that required approximation.
 pub fn to_juniper(d: &Device) -> (JuniperConfig, Vec<String>) {
@@ -381,7 +389,7 @@ fn emit_policy(
         ps.terms.push(term);
     }
     // Explicit default term mirrors IOS's implicit deny (or permit).
-    let mut dflt = Term::named("default-term");
+    let mut dflt = Term::named(DEFAULT_TERM);
     dflt.then.push(match p.default_action {
         ClauseAction::Deny => ThenAction::Reject,
         _ => ThenAction::Accept,

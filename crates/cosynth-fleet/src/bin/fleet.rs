@@ -1,18 +1,20 @@
 //! `fleet` — run N sessions through the VPP loop on a work-stealing
-//! thread pool and write a `BENCH_*.json` report.
+//! thread pool and write a `BENCH_*.json` report, or stay resident with
+//! `--serve` and stream batches over stdin/stdout.
 //!
 //! ```sh
 //! cargo run --release --bin fleet -- --sessions 64 --seed 1
 //! cargo run --release --bin fleet -- --use-case repair --sessions 64 --seed 1
+//! echo '{"use_case":"repair","count":8}' | cargo run --release --bin fleet -- --serve
 //! ```
 //!
 //! Run with `--help` for the full flag reference. Exit status is
 //! non-zero if any session fails its use case's contract (synthesis:
 //! non-convergence or panic; repair: panic or zero repair rate) — the
-//! CI smoke contract.
+//! CI smoke contract. Unknown flags are usage errors (exit 2).
 
 use cosynth_fleet::{
-    bench_json, repair_bench_json, run_fleet, run_repair_fleet, scenario_for, FleetConfig,
+    run_case, scenario_for, serve, FleetConfig, Repair, ServeOptions, Synthesis, UseCase,
 };
 
 const HELP: &str = "\
@@ -33,153 +35,240 @@ FLAGS:
                         clamped to [2, 8]; minimum 2).
     --families a,b,c    Only run sessions whose topology family is in
                         the list (chain, ring, full-mesh, fat-tree,
-                        multi-homed, star). Applies to both use cases,
-                        so repair and synthesis runs can be sliced
-                        without recompiling.
+                        multi-homed, star). Applies to both use cases
+                        and to --serve batches without a filter of
+                        their own.
     --out PATH          Report path (default BENCH_scenarios.json for
                         synthesis, BENCH_repair.json for repair).
+    --serve             Resident service mode ('fleetd'): keep the
+                        worker pool and its warm verifier contexts
+                        alive, read newline-delimited JSON batch
+                        requests from stdin ({\"use_case\", \"seed\",
+                        \"count\", \"families\"}), stream one JSON result
+                        line per session as it finishes, and report the
+                        pool's manager/cache reuse counters on drain.
+    --no-pool           Disable manager pooling: workers build every
+                        symbolic space against a fresh BDD manager (the
+                        pre-resident baseline; session content is
+                        byte-identical either way).
+    --no-baseline       Skip the fresh-manager baseline measurement that
+                        synthesis bench runs otherwise record in the
+                        manager_pool block (halves bench wall-clock).
     --dump-scenario I   Print scenario I's JSON and exit.
     --help              Print this reference and exit.
 
 EXIT STATUS:
-    0  every session met the use case's contract
+    0  every session met the use case's contract; --serve: every batch
+       session met its per-session contract (synthesis: converged;
+       repair: repaired — deliberately stricter than the batch repair
+       contract) and every request line was well-formed
     1  synthesis: a session failed to converge or panicked;
        repair: a session panicked or the overall repair rate is zero;
        either: fewer sessions ran than requested (bad --families?)
-    2  the report file could not be written
+    2  usage error (unknown flag, bad value) or the report file could
+       not be written
 ";
 
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Everything the strict parser accepts.
+struct Args {
+    use_case: String,
+    sessions: usize,
+    seed: u64,
+    threads: usize,
+    families: Option<Vec<String>>,
+    out: Option<String>,
+    serve: bool,
+    pool_managers: bool,
+    measure_baseline: bool,
+    dump_scenario: Option<usize>,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("fleet: {message}");
+    eprintln!("Run 'fleet --help' for the flag reference.");
+    std::process::exit(2);
+}
+
+/// Strict flag parsing: every argument must be a known flag (with its
+/// value where one is required); anything else is a usage error.
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args {
+        use_case: "synthesis".into(),
+        sessions: 16,
+        seed: 1,
+        threads: cosynth_fleet::default_threads(),
+        families: None,
+        out: None,
+        serve: false,
+        pool_managers: true,
+        measure_baseline: true,
+        dump_scenario: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match argv.get(*i) {
+            Some(v) => v.clone(),
+            None => usage_error(&format!("{flag} requires a value")),
+        }
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            "--serve" => args.serve = true,
+            "--no-pool" => args.pool_managers = false,
+            "--no-baseline" => args.measure_baseline = false,
+            "--use-case" => args.use_case = value(&mut i, "--use-case"),
+            "--sessions" => {
+                let v = value(&mut i, "--sessions");
+                args.sessions = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("--sessions: bad count {v:?}")));
+            }
+            "--seed" => {
+                let v = value(&mut i, "--seed");
+                args.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("--seed: bad seed {v:?}")));
+            }
+            "--threads" => {
+                let v = value(&mut i, "--threads");
+                args.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("--threads: bad count {v:?}")));
+            }
+            "--families" => {
+                let v = value(&mut i, "--families");
+                args.families = Some(v.split(',').map(|f| f.trim().to_string()).collect());
+            }
+            "--out" => args.out = Some(value(&mut i, "--out")),
+            "--dump-scenario" => {
+                let v = value(&mut i, "--dump-scenario");
+                args.dump_scenario =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        usage_error(&format!("--dump-scenario: bad index {v:?}"))
+                    }));
+            }
+            other => usage_error(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    args
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        print!("{HELP}");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv);
+    if let Some(index) = args.dump_scenario {
+        println!("{}", scenario_for(args.seed, index).to_json());
         return;
     }
-    let seed = arg_value(&args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1u64);
-    if let Some(i) = arg_value(&args, "--dump-scenario").and_then(|s| s.parse::<usize>().ok()) {
-        println!("{}", scenario_for(seed, i).to_json());
+    if args.serve {
+        run_serve(&args);
         return;
     }
-    let use_case = arg_value(&args, "--use-case").unwrap_or_else(|| "synthesis".into());
     let cfg = FleetConfig {
-        sessions: arg_value(&args, "--sessions")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(16),
-        seed,
-        threads: arg_value(&args, "--threads")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(cosynth_fleet::default_threads),
-        families: arg_value(&args, "--families")
-            .map(|s| s.split(',').map(|f| f.trim().to_string()).collect()),
+        sessions: args.sessions,
+        seed: args.seed,
+        threads: args.threads,
+        families: args.families.clone(),
+        pool_managers: args.pool_managers,
     };
-    match use_case.as_str() {
-        "synthesis" => run_synthesis(&cfg, &args),
-        "repair" => run_repair(&cfg, &args),
-        other => {
-            eprintln!("fleet: unknown --use-case {other:?} (known: synthesis, repair)");
-            std::process::exit(1);
+    match args.use_case.as_str() {
+        "synthesis" => run_and_report::<Synthesis>(&cfg, &args),
+        "repair" => run_and_report::<Repair>(&cfg, &args),
+        other => usage_error(&format!(
+            "unknown --use-case {other:?} (known: synthesis, repair)"
+        )),
+    }
+}
+
+/// Resident service mode: stdin → worker pool → stdout, exit non-zero
+/// if any session failed its contract or a request was malformed.
+fn run_serve(args: &Args) {
+    let opts = ServeOptions {
+        threads: args.threads,
+        pool_managers: args.pool_managers,
+        default_families: args.families.clone(),
+    };
+    eprintln!(
+        "fleetd: serving on stdin/stdout, {} workers, pooling {}",
+        opts.threads.max(2),
+        if opts.pool_managers { "on" } else { "off" }
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match serve(stdin.lock(), stdout.lock(), &opts) {
+        Ok(summary) => {
+            eprintln!(
+                "fleetd: drained after {} batch(es), {} session(s), {} failure(s)",
+                summary.batches, summary.sessions, summary.failures
+            );
+            if !summary.ok() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("fleetd: I/O error: {e}");
+            std::process::exit(2);
         }
     }
 }
 
-fn write_report(out_path: &str, json: &str) {
-    if let Err(e) = std::fs::write(out_path, json) {
-        eprintln!("fleet: cannot write {out_path}: {e}");
-        std::process::exit(2);
+/// The one batch pipeline both use cases run through: fleet, console
+/// table, bench JSON, contract-checked exit status.
+fn run_and_report<U: UseCase>(cfg: &FleetConfig, args: &Args) {
+    let out_path = args.out.clone().unwrap_or_else(|| U::DEFAULT_OUT.into());
+    eprintln!(
+        "fleet: {}, {} sessions, seed {}, {} workers, pooling {}",
+        U::NAME,
+        cfg.sessions,
+        cfg.seed,
+        cfg.threads.max(2),
+        if cfg.pool_managers { "on" } else { "off" }
+    );
+    let mut report = run_case::<U>(cfg);
+    // The before/after pooling comparison for the manager_pool bench
+    // block: re-run the same shape with fresh-per-space managers.
+    // Content is deterministic, so only throughput is kept.
+    if cfg.pool_managers && args.measure_baseline {
+        eprintln!("fleet: measuring fresh-manager baseline (--no-baseline to skip)");
+        let baseline = run_case::<U>(&FleetConfig {
+            pool_managers: false,
+            ..cfg.clone()
+        });
+        report.baseline_sessions_per_s = Some(baseline.throughput());
     }
-    println!("wrote {out_path}");
-}
 
-fn check_session_count(ran: usize, requested: usize) {
-    if ran < requested {
+    println!("{}", U::table(&report.rows));
+    println!("{}", U::summary_line(&report));
+    if report.results.len() < cfg.sessions {
         eprintln!(
-            "fleet: only {ran} of {requested} requested sessions ran (does --families name \
+            "fleet: only {} of {} requested sessions ran (does --families name \
              a real family? known: {:?})",
+            report.results.len(),
+            cfg.sessions,
             cosynth_fleet::family_names()
         );
         std::process::exit(1);
     }
-}
 
-fn run_synthesis(cfg: &FleetConfig, args: &[String]) {
-    let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".into());
-    eprintln!(
-        "fleet: synthesis, {} sessions, seed {}, {} workers",
-        cfg.sessions, cfg.seed, cfg.threads
-    );
-    let report = run_fleet(cfg);
-
-    println!("{}", cosynth::scenario_table(&report.rows));
-    println!(
-        "{} sessions in {:.1} ms on {} workers ({:.2} sessions/s)",
-        report.results.len(),
-        report.wall_ms,
-        report.threads,
-        report.throughput()
-    );
-    check_session_count(report.results.len(), cfg.sessions);
-
-    let mut failed = 0usize;
-    for r in &report.results {
-        if !r.converged() {
-            failed += 1;
-            eprintln!(
-                "FAILED session {} ({}): panicked={} local_ok={} global_ok={} violations={}",
-                r.index, r.scenario, r.panicked, r.local_ok, r.global_ok, r.violations
-            );
-        }
+    for r in report.results.iter().filter(|r| !U::session_ok(r)) {
+        eprintln!("{}", U::failure_line(r));
     }
 
-    write_report(&out_path, &bench_json(&report, cfg.sessions));
-
-    if failed > 0 {
-        eprintln!("fleet: {failed} session(s) failed");
-        std::process::exit(1);
+    let json = U::bench_json(&report, cfg.sessions);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("fleet: cannot write {out_path}: {e}");
+        std::process::exit(2);
     }
-}
+    println!("wrote {out_path}");
 
-fn run_repair(cfg: &FleetConfig, args: &[String]) {
-    let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_repair.json".into());
-    eprintln!(
-        "fleet: repair, {} sessions, seed {}, {} workers",
-        cfg.sessions, cfg.seed, cfg.threads
-    );
-    let report = run_repair_fleet(cfg);
-
-    println!("{}", cosynth_fleet::repair_table(&report.rows));
-    println!(
-        "{} sessions in {:.1} ms on {} workers ({:.2} sessions/s); repair rate {:.0}%, \
-         localization precision {:.0}%",
-        report.results.len(),
-        report.wall_ms,
-        report.threads,
-        report.throughput(),
-        100.0 * report.repair_rate(),
-        100.0 * report.localization_precision()
-    );
-    check_session_count(report.results.len(), cfg.sessions);
-
-    for r in report.results.iter().filter(|r| r.panicked) {
-        eprintln!("PANICKED session {} ({})", r.index, r.scenario);
-    }
-
-    write_report(&out_path, &repair_bench_json(&report, cfg.sessions));
-
-    if report.any_panicked() {
-        eprintln!("fleet: a repair session panicked");
-        std::process::exit(1);
-    }
-    if report.repair_rate() == 0.0 {
-        eprintln!("fleet: zero repair rate — the repair loop is broken");
+    if !U::fleet_ok(&report) {
+        eprintln!("fleet: the {} contract failed", U::NAME);
         std::process::exit(1);
     }
 }

@@ -1,34 +1,49 @@
-//! # cosynth-fleet — the parallel VPP fleet runner
+//! # cosynth-fleet — the resident VPP session engine
 //!
-//! Executes N generated verification scenarios end-to-end across a
-//! fixed pool of `std::thread` workers with a work-stealing queue,
-//! under one of two **use cases**:
+//! Executes verification sessions across a fixed pool of `std::thread`
+//! workers with a work-stealing queue. Every session shape is a
+//! [`UseCase`] — job construction, per-session run against a
+//! worker-resident [`VerifierContext`], aggregation row, bench-JSON
+//! block — and one generic pipeline ([`run_case`]) drives them all:
 //!
-//! * **synthesis** (the default): the full VPP loop (generate →
+//! * [`cases::Synthesis`] (the default): the full VPP loop (generate →
 //!   modularize → simulated-LLM drafts → verify → rectify → compose →
 //!   simulate), aggregated into leverage ratios, fault-survival counts,
 //!   and convergence rounds per topology family
 //!   (`BENCH_scenarios.json`).
-//! * **repair** ([`run_repair_fleet`]): each session renders the
-//!   scenario's known-good configs, lets `fault-inject` break exactly
-//!   one router, and drives `cosynth::RepairSession` — localize via the
-//!   verifier channels, prompt, re-verify — aggregating repair rate,
-//!   localization precision, and rounds-to-fix per fault class ×
-//!   topology family (`BENCH_repair.json`).
+//! * [`cases::Repair`]: each session renders the scenario's known-good
+//!   configs, lets `fault-inject` break exactly one router, and drives
+//!   `cosynth::RepairSession` — localize via the verifier channels,
+//!   prompt, re-verify — aggregating repair rate, localization
+//!   precision, and rounds-to-fix per fault class × topology family
+//!   (`BENCH_repair.json`).
+//!
+//! Workers are **resident**: each owns a [`VerifierContext`] whose
+//! manager pool recycles BDD tables across every session the worker
+//! runs (see `cosynth::verifier_ctx`), and the [`service`] module keeps
+//! the whole pool alive between batches for the `fleet --serve` mode.
 //!
 //! Determinism: session `i` of seed `s` always runs the same scenario
 //! (and, for repair, the same injected fault) against the same
-//! simulated-model stream, regardless of worker count or scheduling —
-//! only wall-clock figures vary between runs.
+//! simulated-model stream, regardless of worker count, scheduling, or
+//! manager pooling — only wall-clock figures vary between runs. The
+//! `pooling_determinism` test pins pooled against fresh-per-space runs
+//! field by field.
 
-use cosynth::{FamilyRow, Modularizer, RepairSession, SynthesisSession};
-use criterion::SampleStats;
-use llm_sim::synth_task::SynthesisDraft;
-use llm_sim::{ErrorModel, SimulatedGpt4};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use cosynth::{Modularizer, VerifierContext};
+use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 use topo_model::Scenario;
+
+pub mod cases;
+pub mod service;
+
+pub use cases::{
+    clean_configs_for, fault_seed, run_repair_session, run_repair_session_in, run_session,
+    run_session_in, Repair, RepairRow, RepairSessionResult, SessionResult, Synthesis,
+};
+pub use service::{serve, ServeOptions, ServeSummary};
 
 /// Fleet run parameters.
 #[derive(Debug, Clone)]
@@ -41,6 +56,10 @@ pub struct FleetConfig {
     pub threads: usize,
     /// Optional family filter (names from [`family_names`]).
     pub families: Option<Vec<String>>,
+    /// Whether workers recycle BDD managers across sessions (the
+    /// resident-engine default). `false` is the fresh-per-space
+    /// baseline: identical session content, no allocation amortization.
+    pub pool_managers: bool,
 }
 
 impl Default for FleetConfig {
@@ -50,6 +69,7 @@ impl Default for FleetConfig {
             seed: 1,
             threads: default_threads(),
             families: None,
+            pool_managers: true,
         }
     }
 }
@@ -108,103 +128,152 @@ pub fn scenario_for(seed: u64, index: usize) -> Scenario {
     }
 }
 
-/// One session's outcome, reduced to the fleet's metrics.
-#[derive(Debug, Clone)]
-pub struct SessionResult {
-    /// Session index in the stream.
-    pub index: usize,
-    /// Scenario name.
-    pub scenario: String,
-    /// Topology family.
-    pub family: String,
-    /// Intent family.
-    pub intent: String,
-    /// Automated prompts issued.
-    pub auto: usize,
-    /// Human prompts issued.
-    pub human: usize,
-    /// Whether all per-router loops verified.
-    pub local_ok: bool,
-    /// Whether the whole-network expectations held.
-    pub global_ok: bool,
-    /// BGP simulation rounds to the fixed point.
-    pub sim_rounds: usize,
-    /// Global violations found.
-    pub violations: usize,
-    /// Session wall-clock, milliseconds.
-    pub wall_ms: f64,
-    /// Whether the session panicked (counted as failed).
-    pub panicked: bool,
+/// A use case the generic fleet pipeline can drive: how to run one
+/// session against a worker-resident [`VerifierContext`], how to reduce
+/// session results to aggregate rows, and how to render reports. The
+/// synthesis and repair shapes implement this in [`cases`]; a future
+/// backend (a real LLM API, a new session shape, sharded managers)
+/// plugs in here without touching the pipeline.
+pub trait UseCase: Sized + Sync {
+    /// Kebab-case use-case name (`--use-case` value, JSONL tag).
+    const NAME: &'static str;
+    /// Default report path for `fleet`.
+    const DEFAULT_OUT: &'static str;
+    /// One session's outcome, reduced to the fleet's metrics.
+    type Result: Send + Clone + std::fmt::Debug;
+    /// One aggregate row of the report.
+    type Row: Clone + std::fmt::Debug;
+
+    /// Runs session `index` of stream `seed` against `ctx`. Must be
+    /// deterministic per `(seed, index)` — content independent of the
+    /// context's history (the context's `begin_session` guarantees the
+    /// cache side; manager recycling guarantees the kernel side).
+    fn run_session(seed: u64, index: usize, ctx: &mut VerifierContext) -> Self::Result;
+
+    /// The sentinel result for a session that panicked.
+    fn panic_result(index: usize) -> Self::Result;
+
+    /// The session's index in the stream.
+    fn index(result: &Self::Result) -> usize;
+
+    /// Whether this session met the use case's per-session contract
+    /// (synthesis: converged; repair: repaired without panicking).
+    fn session_ok(result: &Self::Result) -> bool;
+
+    /// One diagnostic line for a failed session.
+    fn failure_line(result: &Self::Result) -> String;
+
+    /// Reduces session results to aggregate rows.
+    fn aggregate(results: &[Self::Result]) -> Vec<Self::Row>;
+
+    /// Renders the human-readable aggregate table.
+    fn table(rows: &[Self::Row]) -> String;
+
+    /// One-line run summary for the console.
+    fn summary_line(report: &FleetReport<Self>) -> String;
+
+    /// Whether the whole fleet met the use case's contract (the CI
+    /// smoke criterion; the `fleet` binary's exit status).
+    fn fleet_ok(report: &FleetReport<Self>) -> bool;
+
+    /// Renders the use case's `BENCH_*.json` document.
+    fn bench_json(report: &FleetReport<Self>, sessions_requested: usize) -> String;
+
+    /// Renders one session result as a single-line JSON object (the
+    /// `fleet --serve` streaming format).
+    fn result_json(result: &Self::Result) -> String;
 }
 
-impl SessionResult {
-    /// Converged = locally verified and globally clean.
-    pub fn converged(&self) -> bool {
-        self.local_ok && self.global_ok && !self.panicked
+/// Reuse counters aggregated across every worker of a run: the manager
+/// pool's allocation amortization plus the space cache's per-session
+/// hit profile. This is the observability payload behind the
+/// `manager_pool` bench block and the `fleetd` drain report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Workers that contributed.
+    pub workers: usize,
+    /// Sessions started across all workers.
+    pub sessions: usize,
+    /// Space builds served by a recycled manager.
+    pub manager_reuses: usize,
+    /// Space builds that allocated a fresh manager.
+    pub manager_allocs: usize,
+    /// Largest BDD node arena seen at any space release
+    /// (`Manager::stats().node_count` at its high-water mark).
+    pub peak_nodes: usize,
+    /// Space-cache lookups served warm, across all sessions.
+    pub cache_hits: usize,
+    /// Space-cache (re)builds, across all sessions.
+    pub cache_misses: usize,
+}
+
+impl PoolCounters {
+    /// Folds one worker's finished context into the totals.
+    fn absorb(&mut self, ctx: &VerifierContext) {
+        self.workers += 1;
+        self.sessions += ctx.sessions;
+        self.manager_reuses += ctx.pool.reuses;
+        self.manager_allocs += ctx.pool.allocs;
+        self.peak_nodes = self.peak_nodes.max(ctx.pool.peak_nodes);
+        let (hits, misses) = ctx.cache_totals();
+        self.cache_hits += hits;
+        self.cache_misses += misses;
+    }
+
+    /// Fraction of space builds served by a recycled manager.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.manager_reuses + self.manager_allocs;
+        if total == 0 {
+            0.0
+        } else {
+            self.manager_reuses as f64 / total as f64
+        }
     }
 }
 
-/// Runs one session: scenario `index` of stream `seed` through the full
-/// VPP loop with the paper-calibrated simulated model.
-pub fn run_session(seed: u64, index: usize) -> SessionResult {
-    let scenario = scenario_for(seed, index);
-    let llm_seed = seed
-        .wrapping_mul(0xA24B_AED4_963E_E407)
-        .wrapping_add((index as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
-    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), llm_seed);
-    let session = SynthesisSession::default();
-    let t0 = Instant::now();
-    let outcome = session.run_scenario(&mut llm, &scenario);
-    SessionResult {
-        index,
-        scenario: scenario.name,
-        family: scenario.family,
-        intent: scenario.intent,
-        auto: outcome.leverage.auto,
-        human: outcome.leverage.human,
-        local_ok: outcome.verified_local,
-        global_ok: outcome.global.holds(),
-        sim_rounds: outcome.global.sim_rounds,
-        violations: outcome.global.violations.len(),
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        panicked: false,
-    }
-}
-
-/// The whole fleet's outcome.
+/// The whole fleet's outcome for one use case.
 #[derive(Debug, Clone)]
-pub struct FleetReport {
+pub struct FleetReport<U: UseCase> {
     /// Per-session results, in index order.
-    pub results: Vec<SessionResult>,
+    pub results: Vec<U::Result>,
+    /// Aggregate rows (per family for synthesis, per class × family for
+    /// repair).
+    pub rows: Vec<U::Row>,
     /// Worker threads used.
     pub threads: usize,
     /// Stream seed.
     pub seed: u64,
     /// Total wall-clock, milliseconds.
     pub wall_ms: f64,
-    /// Per-family aggregates, family-name order.
-    pub rows: Vec<FamilyRow>,
+    /// Whether workers recycled managers.
+    pub pooled: bool,
+    /// Manager-pool and space-cache counters, summed over workers.
+    pub pool: PoolCounters,
+    /// Throughput of a fresh-per-space baseline run of the same shape,
+    /// when the caller measured one (the `fleet` binary does for bench
+    /// writes); lands in the `manager_pool` bench block.
+    pub baseline_sessions_per_s: Option<f64>,
 }
 
-impl FleetReport {
+impl<U: UseCase> FleetReport<U> {
     /// Sessions per second of wall-clock.
     pub fn throughput(&self) -> f64 {
         self.results.len() as f64 / (self.wall_ms / 1e3).max(1e-9)
     }
 
-    /// Whether every session converged and none panicked.
-    pub fn all_converged(&self) -> bool {
-        self.results.iter().all(SessionResult::converged)
+    /// Whether every session met the per-session contract.
+    pub fn all_sessions_ok(&self) -> bool {
+        self.results.iter().all(U::session_ok)
     }
 }
 
 /// Resolves the session-index job list for a fleet run, applying the
 /// family filter by probing the deterministic scenario stream.
-fn job_indices(cfg: &FleetConfig) -> Vec<usize> {
-    let mut jobs = Vec::with_capacity(cfg.sessions);
+pub(crate) fn job_indices(sessions: usize, families: Option<&[String]>) -> Vec<usize> {
+    let mut jobs = Vec::with_capacity(sessions);
     let mut index = 0usize;
-    while jobs.len() < cfg.sessions {
-        let keep = match &cfg.families {
+    while jobs.len() < sessions {
+        let keep = match families {
             None => true,
             Some(allow) => allow.iter().any(|f| f == family_of(index)),
         };
@@ -214,129 +283,123 @@ fn job_indices(cfg: &FleetConfig) -> Vec<usize> {
         index += 1;
         // A filter naming no real family would loop forever; probe a
         // bounded window instead.
-        if index > cfg.sessions * 64 + 64 {
+        if index > sessions * 64 + 64 {
             break;
         }
     }
     jobs
 }
 
-/// The work-stealing pool shared by both use cases: distributes session
-/// indices round-robin over per-worker deques; each worker pops its own
-/// queue from the front and steals from the back of the others when
-/// dry. `run` executes one job; it must be panic-safe on its own
-/// (wrap with `catch_unwind` inside) so one session cannot abort the
-/// fleet. Results come back sorted by index.
+/// The work-stealing pool shared by every use case: distributes session
+/// indices round-robin over per-worker deques; each worker owns a
+/// resident [`VerifierContext`] for its whole lifetime, pops its own
+/// queue from the front, and steals from the back of the others when
+/// dry. `run` executes one job; it must be panic-safe on its own (wrap
+/// with `catch_unwind` inside) so one session cannot abort the fleet.
+/// Results come back sorted by index, along with the workers' pooled
+/// reuse counters.
 fn run_pool<R: Send>(
     threads: usize,
     jobs: &[usize],
-    run: impl Fn(usize) -> R + Sync,
-) -> Vec<(usize, R)> {
+    pooling: bool,
+    run: impl Fn(usize, &mut VerifierContext) -> R + Sync,
+) -> (Vec<(usize, R)>, PoolCounters) {
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, job) in jobs.iter().enumerate() {
         queues[i % threads].lock().unwrap().push_back(*job);
     }
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let counters: Mutex<PoolCounters> = Mutex::new(PoolCounters::default());
     std::thread::scope(|scope| {
         for me in 0..threads {
             let queues = &queues;
             let results = &results;
+            let counters = &counters;
             let run = &run;
-            scope.spawn(move || loop {
-                // Own queue first (front), then steal from the back of
-                // the busiest-looking victim.
-                let job = {
-                    let mine = queues[me].lock().unwrap().pop_front();
-                    mine.or_else(|| {
-                        (0..queues.len())
-                            .filter(|&v| v != me)
-                            .find_map(|v| queues[v].lock().unwrap().pop_back())
-                    })
+            scope.spawn(move || {
+                let mut ctx = if pooling {
+                    VerifierContext::new()
+                } else {
+                    VerifierContext::without_pooling()
                 };
-                let Some(index) = job else { break };
-                let result = run(index);
-                results.lock().unwrap().push((index, result));
+                loop {
+                    // Own queue first (front), then steal from the back
+                    // of the busiest-looking victim.
+                    let job = {
+                        let mine = queues[me].lock().unwrap().pop_front();
+                        mine.or_else(|| {
+                            (0..queues.len())
+                                .filter(|&v| v != me)
+                                .find_map(|v| queues[v].lock().unwrap().pop_back())
+                        })
+                    };
+                    let Some(index) = job else { break };
+                    let result = run(index, &mut ctx);
+                    results.lock().unwrap().push((index, result));
+                }
+                // Fold the final session's cache counters into the
+                // context totals before reporting.
+                ctx.flush();
+                counters.lock().unwrap().absorb(&ctx);
             });
         }
     });
     let mut results = results.into_inner().unwrap();
     results.sort_by_key(|r| r.0);
-    results
+    (results, counters.into_inner().unwrap())
 }
 
-/// Runs the synthesis fleet.
-pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+/// Runs a fleet of `U` sessions — the one pipeline behind both use
+/// cases (and any future one).
+pub fn run_case<U: UseCase>(cfg: &FleetConfig) -> FleetReport<U> {
     let threads = cfg.threads.max(2);
-    let jobs = job_indices(cfg);
+    let jobs = job_indices(cfg.sessions, cfg.families.as_deref());
     let seed = cfg.seed;
     let t0 = Instant::now();
-    let results = run_pool(threads, &jobs, |index| {
+    let (results, pool) = run_pool(threads, &jobs, cfg.pool_managers, |index, ctx| {
         // The fallback must not touch the scenario generator — if
         // generation is what panicked, a second call would re-panic and
-        // abort the whole fleet.
-        std::panic::catch_unwind(|| run_session(seed, index)).unwrap_or_else(|_| SessionResult {
-            index,
-            scenario: format!("panic-i{index}"),
-            family: family_of(index).to_string(),
-            intent: String::new(),
-            auto: 0,
-            human: 0,
-            local_ok: false,
-            global_ok: false,
-            sim_rounds: 0,
-            violations: 0,
-            wall_ms: 0.0,
-            panicked: true,
-        })
+        // abort the whole fleet. AssertUnwindSafe is sound because the
+        // next session's begin_session resets every piece of context
+        // state a mid-session panic could leave behind.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            U::run_session(seed, index, ctx)
+        }))
+        .unwrap_or_else(|_| U::panic_result(index))
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let results: Vec<SessionResult> = results.into_iter().map(|(_, r)| r).collect();
-    let rows = aggregate(&results);
+    let results: Vec<U::Result> = results.into_iter().map(|(_, r)| r).collect();
+    let rows = U::aggregate(&results);
     FleetReport {
         results,
+        rows,
         threads,
         seed: cfg.seed,
         wall_ms,
-        rows,
+        pooled: cfg.pool_managers,
+        pool,
+        baseline_sessions_per_s: None,
     }
 }
 
-/// Reduces session results to one [`FamilyRow`] per topology family.
-pub fn aggregate(results: &[SessionResult]) -> Vec<FamilyRow> {
-    let mut by_family: BTreeMap<&str, Vec<&SessionResult>> = BTreeMap::new();
-    for r in results {
-        by_family.entry(&r.family).or_default().push(r);
-    }
-    by_family
-        .into_iter()
-        .map(|(family, rs)| {
-            let walls: Vec<f64> = rs.iter().map(|r| r.wall_ms).collect();
-            let stats = SampleStats::from_samples(&walls).expect("non-empty family");
-            FamilyRow {
-                family: family.to_string(),
-                sessions: rs.len(),
-                converged: rs.iter().filter(|r| r.converged()).count(),
-                fault_survivals: rs.iter().filter(|r| r.local_ok && !r.global_ok).count(),
-                auto: rs.iter().map(|r| r.auto).sum(),
-                human: rs.iter().map(|r| r.human).sum(),
-                mean_sim_rounds: rs.iter().map(|r| r.sim_rounds as f64).sum::<f64>()
-                    / rs.len() as f64,
-                p10_ms: stats.p10,
-                median_ms: stats.median,
-                p90_ms: stats.p90,
-            }
-        })
-        .collect()
+/// Runs the synthesis fleet (convenience wrapper over
+/// [`run_case`]`::<`[`Synthesis`]`>`).
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport<Synthesis> {
+    run_case::<Synthesis>(cfg)
 }
 
-/// Renders `BENCH_scenarios.json`: run metadata, throughput, and the
-/// per-family aggregates (extending the `BENCH_*.json` trajectory begun
-/// by `BENCH_bdd.json`, not replacing it).
-pub fn bench_json(report: &FleetReport, sessions_requested: usize) -> String {
+/// Writes the shared head of every fleet `BENCH_*.json` document: run
+/// metadata, throughput, and the `manager_pool` reuse block. Use-case
+/// impls append their own aggregate blocks after this.
+pub fn bench_prelude<U: UseCase>(
+    bench: &str,
+    report: &FleetReport<U>,
+    sessions_requested: usize,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"bench\": \"cosynth_fleet\",");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
     let _ = writeln!(out, "  \"seed\": {},", report.seed);
     let _ = writeln!(out, "  \"sessions_requested\": {sessions_requested},");
     let _ = writeln!(out, "  \"sessions_run\": {},", report.results.len());
@@ -347,375 +410,39 @@ pub fn bench_json(report: &FleetReport, sessions_requested: usize) -> String {
         "  \"throughput_sessions_per_s\": {:.2},",
         report.throughput()
     );
-    let _ = writeln!(out, "  \"all_converged\": {},", report.all_converged());
-    out.push_str("  \"families\": {\n");
-    for (i, r) in report.rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    \"{}\": {{ \"sessions\": {}, \"converged\": {}, \"fault_survivals\": {}, \
-             \"auto\": {}, \"human\": {}, \"leverage\": {:.2}, \"mean_sim_rounds\": {:.1}, \
-             \"session_ms\": {{ \"p10\": {:.2}, \"median\": {:.2}, \"p90\": {:.2} }} }}",
-            r.family,
-            r.sessions,
-            r.converged,
-            r.fault_survivals,
-            r.auto,
-            r.human,
-            r.leverage(),
-            r.mean_sim_rounds,
-            r.p10_ms,
-            r.median_ms,
-            r.p90_ms
-        );
-        out.push_str(if i + 1 < report.rows.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
+    let p = &report.pool;
+    let _ = writeln!(out, "  \"manager_pool\": {{");
+    let _ = writeln!(out, "    \"pooling\": {},", report.pooled);
+    let _ = writeln!(out, "    \"workers\": {},", p.workers);
+    let _ = writeln!(out, "    \"manager_allocs\": {},", p.manager_allocs);
+    let _ = writeln!(out, "    \"manager_reuses\": {},", p.manager_reuses);
+    let _ = writeln!(out, "    \"reuse_rate\": {:.4},", p.reuse_rate());
+    let _ = writeln!(out, "    \"peak_nodes\": {},", p.peak_nodes);
+    let _ = writeln!(out, "    \"space_cache_hits\": {},", p.cache_hits);
+    let _ = writeln!(out, "    \"space_cache_misses\": {},", p.cache_misses);
+    match report.baseline_sessions_per_s {
+        Some(fresh) => {
+            let _ = writeln!(out, "    \"sessions_per_s_fresh\": {fresh:.2},");
+            let _ = writeln!(
+                out,
+                "    \"sessions_per_s_pooled\": {:.2},",
+                report.throughput()
+            );
+            let _ = writeln!(
+                out,
+                "    \"pooling_speedup\": {:.2}",
+                report.throughput() / fresh.max(1e-9)
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "    \"sessions_per_s_pooled\": {:.2}",
+                report.throughput()
+            );
+        }
     }
-    out.push_str("  }\n}\n");
-    out
-}
-
-// ---- the repair use case ----
-
-/// Renders the known-good config for every internal router of a
-/// scenario (the snapshot `fault-inject` breaks and the fixed point a
-/// repair session should restore).
-pub fn clean_configs_for(scenario: &Scenario) -> BTreeMap<String, String> {
-    Modularizer::assign_scenario(scenario)
-        .iter()
-        .map(|a| {
-            (
-                a.name.clone(),
-                SynthesisDraft::new(&a.prompt, BTreeSet::new()).render(),
-            )
-        })
-        .collect()
-}
-
-/// The deterministic fault-stream seed for repair session `index` of
-/// fleet seed `seed` (distinct mixing constants from the scenario and
-/// model streams, so the three stay uncorrelated).
-pub fn fault_seed(seed: u64, index: usize) -> u64 {
-    seed.wrapping_mul(0xBF58_476D_1CE4_E5B9)
-        .wrapping_add((index as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
-}
-
-/// One repair session's outcome, reduced to the fleet's metrics.
-#[derive(Debug, Clone)]
-pub struct RepairSessionResult {
-    /// Session index in the stream.
-    pub index: usize,
-    /// Scenario name.
-    pub scenario: String,
-    /// Topology family.
-    pub family: String,
-    /// Intent family.
-    pub intent: String,
-    /// Injected fault class (kebab-case name).
-    pub class: String,
-    /// Router the fault was injected into.
-    pub device: String,
-    /// Whether the snapshot verified again (local + global).
-    pub repaired: bool,
-    /// Repair prompts issued before the verdict.
-    pub rounds: usize,
-    /// Whether the first localization agreed with the ground truth
-    /// (same device, overlapping line span).
-    pub localized: bool,
-    /// Automated prompts issued.
-    pub auto: usize,
-    /// Human prompts issued.
-    pub human: usize,
-    /// Space-cache hits across the session's verification rounds.
-    pub space_hits: usize,
-    /// Space-cache (re)builds.
-    pub space_misses: usize,
-    /// Session wall-clock, milliseconds.
-    pub wall_ms: f64,
-    /// Whether the session panicked (counted as failed).
-    pub panicked: bool,
-}
-
-/// Runs one repair session: scenario `index` of stream `seed`, broken
-/// by its deterministic fault, repaired by the paper-calibrated
-/// simulated model with the repair error-model pathologies.
-pub fn run_repair_session(seed: u64, index: usize) -> RepairSessionResult {
-    let scenario = scenario_for(seed, index);
-    let configs = clean_configs_for(&scenario);
-    let injection = fault_inject::inject(&configs, fault_seed(seed, index))
-        .expect("every rendered snapshot has an applicable fault class");
-    let llm_seed = seed
-        .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-        .wrapping_add((index as u64).wrapping_mul(0x1656_67B1_9E37_79F9));
-    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), llm_seed);
-    let session = RepairSession::default();
-    let t0 = Instant::now();
-    let outcome = session.run(&mut llm, &scenario, &injection);
-    RepairSessionResult {
-        index,
-        scenario: scenario.name,
-        family: scenario.family,
-        intent: scenario.intent,
-        class: injection.fault.class.as_str().to_string(),
-        device: injection.fault.device.clone(),
-        repaired: outcome.repaired,
-        rounds: outcome.rounds,
-        localized: outcome
-            .first_localization
-            .as_ref()
-            .map(|l| l.agrees(&injection.fault))
-            .unwrap_or(false),
-        auto: outcome.leverage.auto,
-        human: outcome.leverage.human,
-        space_hits: outcome.space_cache_hits,
-        space_misses: outcome.space_cache_misses,
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        panicked: false,
-    }
-}
-
-/// One aggregate row of the repair report: every session of one fault
-/// class × topology family cell.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RepairRow {
-    /// Fault class (kebab-case).
-    pub class: String,
-    /// Topology family.
-    pub family: String,
-    /// Sessions run in this cell.
-    pub sessions: usize,
-    /// Sessions that verified again.
-    pub repaired: usize,
-    /// Sessions whose first localization matched the ground truth.
-    pub localized: usize,
-    /// Total automated prompts.
-    pub auto: usize,
-    /// Total human prompts.
-    pub human: usize,
-    /// Mean repair prompts until the fix, over repaired sessions.
-    pub mean_rounds_to_fix: f64,
-    /// Per-session wall-clock percentiles, milliseconds.
-    pub p10_ms: f64,
-    /// Median session wall-clock, milliseconds.
-    pub median_ms: f64,
-    /// 90th-percentile session wall-clock, milliseconds.
-    pub p90_ms: f64,
-}
-
-impl RepairRow {
-    /// Fraction of this cell's sessions that verified again.
-    pub fn repair_rate(&self) -> f64 {
-        self.repaired as f64 / self.sessions.max(1) as f64
-    }
-
-    /// Fraction of this cell's sessions whose first localization
-    /// matched the ground truth.
-    pub fn localization_precision(&self) -> f64 {
-        self.localized as f64 / self.sessions.max(1) as f64
-    }
-}
-
-/// The whole repair fleet's outcome.
-#[derive(Debug, Clone)]
-pub struct RepairFleetReport {
-    /// Per-session results, in index order.
-    pub results: Vec<RepairSessionResult>,
-    /// Worker threads used.
-    pub threads: usize,
-    /// Stream seed.
-    pub seed: u64,
-    /// Total wall-clock, milliseconds.
-    pub wall_ms: f64,
-    /// Per class × family aggregates, (class, family) order.
-    pub rows: Vec<RepairRow>,
-}
-
-impl RepairFleetReport {
-    /// Sessions per second of wall-clock.
-    pub fn throughput(&self) -> f64 {
-        self.results.len() as f64 / (self.wall_ms / 1e3).max(1e-9)
-    }
-
-    /// Overall fraction of sessions that verified again.
-    pub fn repair_rate(&self) -> f64 {
-        let repaired = self.results.iter().filter(|r| r.repaired).count();
-        repaired as f64 / self.results.len().max(1) as f64
-    }
-
-    /// Overall localization precision.
-    pub fn localization_precision(&self) -> f64 {
-        let hits = self.results.iter().filter(|r| r.localized).count();
-        hits as f64 / self.results.len().max(1) as f64
-    }
-
-    /// Whether any session panicked.
-    pub fn any_panicked(&self) -> bool {
-        self.results.iter().any(|r| r.panicked)
-    }
-}
-
-/// Runs the repair fleet over the same work-stealing pool as the
-/// synthesis fleet.
-pub fn run_repair_fleet(cfg: &FleetConfig) -> RepairFleetReport {
-    let threads = cfg.threads.max(2);
-    let jobs = job_indices(cfg);
-    let seed = cfg.seed;
-    let t0 = Instant::now();
-    let results = run_pool(threads, &jobs, |index| {
-        std::panic::catch_unwind(|| run_repair_session(seed, index)).unwrap_or_else(|_| {
-            RepairSessionResult {
-                index,
-                scenario: format!("panic-i{index}"),
-                family: family_of(index).to_string(),
-                intent: String::new(),
-                class: String::new(),
-                device: String::new(),
-                repaired: false,
-                rounds: 0,
-                localized: false,
-                auto: 0,
-                human: 0,
-                space_hits: 0,
-                space_misses: 0,
-                wall_ms: 0.0,
-                panicked: true,
-            }
-        })
-    });
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let results: Vec<RepairSessionResult> = results.into_iter().map(|(_, r)| r).collect();
-    let rows = aggregate_repair(&results);
-    RepairFleetReport {
-        results,
-        threads,
-        seed: cfg.seed,
-        wall_ms,
-        rows,
-    }
-}
-
-/// Reduces repair session results to one [`RepairRow`] per fault class
-/// × topology family cell, in (class, family) order.
-pub fn aggregate_repair(results: &[RepairSessionResult]) -> Vec<RepairRow> {
-    let mut cells: BTreeMap<(&str, &str), Vec<&RepairSessionResult>> = BTreeMap::new();
-    for r in results {
-        cells.entry((&r.class, &r.family)).or_default().push(r);
-    }
-    cells
-        .into_iter()
-        .map(|((class, family), rs)| {
-            let walls: Vec<f64> = rs.iter().map(|r| r.wall_ms).collect();
-            let stats = SampleStats::from_samples(&walls).expect("non-empty cell");
-            let repaired: Vec<&&RepairSessionResult> = rs.iter().filter(|r| r.repaired).collect();
-            let mean_rounds = if repaired.is_empty() {
-                0.0
-            } else {
-                repaired.iter().map(|r| r.rounds as f64).sum::<f64>() / repaired.len() as f64
-            };
-            RepairRow {
-                class: class.to_string(),
-                family: family.to_string(),
-                sessions: rs.len(),
-                repaired: repaired.len(),
-                localized: rs.iter().filter(|r| r.localized).count(),
-                auto: rs.iter().map(|r| r.auto).sum(),
-                human: rs.iter().map(|r| r.human).sum(),
-                mean_rounds_to_fix: mean_rounds,
-                p10_ms: stats.p10,
-                median_ms: stats.median,
-                p90_ms: stats.p90,
-            }
-        })
-        .collect()
-}
-
-/// Renders a human-readable repair summary table (one row per fault
-/// class × family cell).
-pub fn repair_table(rows: &[RepairRow]) -> String {
-    let mut out = String::from(
-        "Table R: repair fleet aggregate per fault class x topology family\n\
-         (rate = repaired/sessions; loc = first localization matches ground truth)\n",
-    );
-    out.push_str(&format!(
-        "{:<24} {:<12} {:>5} {:>5} {:>5} {:>6} {:>6} {:>7} {:>9} {:>9}\n",
-        "class", "family", "runs", "fixed", "loc", "rate", "prec", "rounds", "med ms", "p90 ms"
-    ));
-    for r in rows {
-        out.push_str(&format!(
-            "{:<24} {:<12} {:>5} {:>5} {:>5} {:>5.0}% {:>5.0}% {:>7.1} {:>9.1} {:>9.1}\n",
-            r.class,
-            r.family,
-            r.sessions,
-            r.repaired,
-            r.localized,
-            100.0 * r.repair_rate(),
-            100.0 * r.localization_precision(),
-            r.mean_rounds_to_fix,
-            r.median_ms,
-            r.p90_ms
-        ));
-    }
-    out
-}
-
-/// Renders `BENCH_repair.json`: run metadata, headline rates, and the
-/// per class × family cells (extending the `BENCH_*.json` trajectory —
-/// `criterion-shim`'s `SampleStats` provides the wall-clock spread, as
-/// everywhere else). Per-seed content is deterministic; re-runs move
-/// only the wall-clock fields.
-pub fn repair_bench_json(report: &RepairFleetReport, sessions_requested: usize) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"bench\": \"cosynth_repair\",");
-    let _ = writeln!(out, "  \"seed\": {},", report.seed);
-    let _ = writeln!(out, "  \"sessions_requested\": {sessions_requested},");
-    let _ = writeln!(out, "  \"sessions_run\": {},", report.results.len());
-    let _ = writeln!(out, "  \"threads\": {},", report.threads);
-    let _ = writeln!(out, "  \"wall_ms\": {:.1},", report.wall_ms);
-    let _ = writeln!(
-        out,
-        "  \"throughput_sessions_per_s\": {:.2},",
-        report.throughput()
-    );
-    let _ = writeln!(out, "  \"repair_rate\": {:.4},", report.repair_rate());
-    let _ = writeln!(
-        out,
-        "  \"localization_precision\": {:.4},",
-        report.localization_precision()
-    );
-    let _ = writeln!(out, "  \"any_panicked\": {},", report.any_panicked());
-    out.push_str("  \"cells\": [\n");
-    for (i, r) in report.rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{ \"class\": \"{}\", \"family\": \"{}\", \"sessions\": {}, \
-             \"repaired\": {}, \"repair_rate\": {:.4}, \"localized\": {}, \
-             \"localization_precision\": {:.4}, \"auto\": {}, \"human\": {}, \
-             \"mean_rounds_to_fix\": {:.2}, \
-             \"session_ms\": {{ \"p10\": {:.2}, \"median\": {:.2}, \"p90\": {:.2} }} }}",
-            r.class,
-            r.family,
-            r.sessions,
-            r.repaired,
-            r.repair_rate(),
-            r.localized,
-            r.localization_precision(),
-            r.auto,
-            r.human,
-            r.mean_rounds_to_fix,
-            r.p10_ms,
-            r.median_ms,
-            r.p90_ms
-        );
-        out.push_str(if i + 1 < report.rows.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
-    }
-    out.push_str("  ]\n}\n");
+    let _ = writeln!(out, "  }},");
     out
 }
 
@@ -740,35 +467,17 @@ mod tests {
     }
 
     #[test]
-    fn single_session_runs_end_to_end() {
-        let r = run_session(1, 0);
-        assert!(r.converged(), "{r:?}");
-        assert!(r.auto > 0, "paper model must need rectification: {r:?}");
-        assert!(r.sim_rounds > 0);
-    }
-
-    #[test]
-    fn star_sessions_flow_through_the_fleet() {
-        let n_families = scenario_gen::FAMILIES.len() + 1;
-        let star_index = scenario_gen::FAMILIES.len(); // first star slot
-        assert_eq!(star_index % n_families, scenario_gen::FAMILIES.len());
-        let s = scenario_for(3, star_index);
-        assert_eq!(s.family, "star");
-        let r = run_session(3, star_index);
-        assert!(r.converged(), "{r:?}");
-    }
-
-    #[test]
     fn fleet_runs_in_parallel_and_aggregates() {
         let cfg = FleetConfig {
             sessions: 8,
             seed: 1,
             threads: 3,
             families: None,
+            pool_managers: true,
         };
         let report = run_fleet(&cfg);
         assert_eq!(report.results.len(), 8);
-        assert!(report.all_converged(), "{:#?}", report.results);
+        assert!(report.all_sessions_ok(), "{:#?}", report.results);
         // Deterministic content under a different thread count.
         let report2 = run_fleet(&FleetConfig {
             threads: 2,
@@ -781,11 +490,16 @@ mod tests {
             assert_eq!(a.human, b.human);
             assert_eq!(a.sim_rounds, b.sim_rounds);
         }
-        let json = bench_json(&report, 8);
+        let json = Synthesis::bench_json(&report, 8);
         assert!(json.contains("\"cosynth_fleet\""), "{json}");
         assert!(json.contains("\"families\""), "{json}");
+        assert!(json.contains("\"manager_pool\""), "{json}");
         let total: usize = report.rows.iter().map(|r| r.sessions).sum();
         assert_eq!(total, 8);
+        // Resident workers really recycled: 8 sessions across ≤3
+        // workers must reuse managers, and the counters must say so.
+        assert!(report.pool.manager_reuses > 0, "{:?}", report.pool);
+        assert_eq!(report.pool.sessions, 8);
     }
 
     #[test]
@@ -795,18 +509,10 @@ mod tests {
             seed: 2,
             threads: 2,
             families: Some(vec!["ring".into()]),
+            pool_managers: true,
         });
         assert_eq!(report.results.len(), 3);
         assert!(report.results.iter().all(|r| r.family == "ring"));
-    }
-
-    #[test]
-    fn single_repair_session_runs_end_to_end() {
-        let r = run_repair_session(1, 0);
-        assert!(!r.panicked);
-        assert!(!r.class.is_empty());
-        assert!(!r.device.is_empty());
-        assert!(r.rounds >= 1, "a broken snapshot needs at least one prompt");
     }
 
     #[test]
@@ -816,17 +522,13 @@ mod tests {
             seed: 1,
             threads: 3,
             families: None,
+            pool_managers: true,
         };
-        let report = run_repair_fleet(&cfg);
+        let report = run_case::<Repair>(&cfg);
         assert_eq!(report.results.len(), 10);
-        assert!(!report.any_panicked(), "{:#?}", report.results);
-        assert!(
-            report.repair_rate() > 0.5,
-            "most sessions must repair: {:#?}",
-            report.rows
-        );
+        assert!(report.all_sessions_ok(), "{:#?}", report.results);
         // Deterministic content under a different thread count.
-        let report2 = run_repair_fleet(&FleetConfig {
+        let report2 = run_case::<Repair>(&FleetConfig {
             threads: 2,
             ..cfg.clone()
         });
@@ -842,29 +544,23 @@ mod tests {
         }
         let total: usize = report.rows.iter().map(|r| r.sessions).sum();
         assert_eq!(total, 10);
-        let json = repair_bench_json(&report, 10);
+        let json = Repair::bench_json(&report, 10);
         assert!(json.contains("\"cosynth_repair\""), "{json}");
         assert!(json.contains("\"localization_precision\""), "{json}");
         assert!(json.contains("\"mean_rounds_to_fix\""), "{json}");
+        assert!(json.contains("\"manager_pool\""), "{json}");
     }
 
     #[test]
     fn repair_fleet_respects_the_family_filter() {
-        let report = run_repair_fleet(&FleetConfig {
+        let report = run_case::<Repair>(&FleetConfig {
             sessions: 3,
             seed: 2,
             threads: 2,
             families: Some(vec!["star".into()]),
+            pool_managers: true,
         });
         assert_eq!(report.results.len(), 3);
         assert!(report.results.iter().all(|r| r.family == "star"));
-    }
-
-    #[test]
-    fn fault_stream_spreads_over_classes() {
-        // Across a window of sessions the injected classes must vary —
-        // the corpus is enumerable, not a single hard-coded mistake.
-        let classes: BTreeSet<String> = (0..12).map(|i| run_repair_session(1, i).class).collect();
-        assert!(classes.len() >= 4, "{classes:?}");
     }
 }

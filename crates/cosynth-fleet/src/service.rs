@@ -1,0 +1,491 @@
+//! `fleetd` — the resident service front-end behind `fleet --serve`.
+//!
+//! Keeps the worker pool and its warm [`VerifierContext`]s alive across
+//! batches: workers are spawned once, each owns a manager pool for its
+//! whole lifetime, and job batches stream through a shared queue. The
+//! protocol is line-oriented on both sides:
+//!
+//! * **Requests** (one JSON object per line on stdin):
+//!   `{"use_case": "synthesis" | "repair", "seed": 1, "count": 8,
+//!   "families": ["ring", "star"]}` — `use_case` defaults to
+//!   `synthesis`, `seed` to 1, `count` to 1; `families` (array or
+//!   comma-separated string; `family` is accepted as an alias) filters
+//!   the deterministic scenario stream exactly like `fleet --families`.
+//! * **Results** (one JSON object per line on stdout): each session's
+//!   metrics as rendered by [`UseCase::result_json`], streamed in
+//!   completion order as workers finish them.
+//! * **Batch end**: after every batch, one
+//!   `{"event":"batch","requested":N,"completed":N,"failed":N}` line.
+//! * **Drain**: on stdin EOF the pool drains and the final line reports
+//!   the resident-engine counters —
+//!   `{"event":"drain", ..., "manager_reuses": R, "manager_allocs": A,
+//!   "peak_nodes": P, "space_cache_hits": H, ...}`.
+//! * **Errors**: a malformed request emits
+//!   `{"event":"error","message":...}` and the service keeps serving.
+//!
+//! Batches run one at a time (requests are read between batches), which
+//! keeps result attribution trivial; the residency win — warm managers
+//! and one-time worker spawn — is across batches, where it matters.
+
+use crate::{cases, job_indices, PoolCounters, UseCase};
+use cosynth::VerifierContext;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use topo_model::json::{self, Json};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Resident worker threads (min 2).
+    pub threads: usize,
+    /// Whether workers recycle BDD managers across sessions.
+    pub pool_managers: bool,
+    /// Topology-family filter applied to requests that carry none of
+    /// their own (the CLI's `--families` under `--serve`).
+    pub default_families: Option<Vec<String>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: crate::default_threads(),
+            pool_managers: true,
+            default_families: None,
+        }
+    }
+}
+
+/// What the service did before draining.
+///
+/// The service's exit contract is deliberately **stricter** than the
+/// batch fleet's: every served session must meet its *per-session*
+/// contract (synthesis: converged; repair: repaired without panic),
+/// where batch-mode repair only requires no panics and a non-zero
+/// overall rate. A service consumer submits jobs it expects to
+/// succeed, and the CI smoke asserts exactly this; a legitimately
+/// hard batch can still be judged from the streamed per-session lines
+/// while ignoring the exit status.
+#[derive(Debug, Clone, Default)]
+pub struct ServeSummary {
+    /// Batches accepted.
+    pub batches: usize,
+    /// Sessions run.
+    pub sessions: usize,
+    /// Sessions that failed their use case's per-session contract.
+    pub failures: usize,
+    /// Malformed request lines.
+    pub protocol_errors: usize,
+    /// Resident-pool counters summed over workers at drain.
+    pub pool: PoolCounters,
+}
+
+impl ServeSummary {
+    /// The service met its contract: every session ok, every request
+    /// well-formed.
+    pub fn ok(&self) -> bool {
+        self.failures == 0 && self.protocol_errors == 0
+    }
+}
+
+/// One parsed batch request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Which session shape to run.
+    pub use_case: CaseKind,
+    /// Scenario/fault/model stream seed.
+    pub seed: u64,
+    /// Sessions to run.
+    pub count: usize,
+    /// Optional topology-family filter.
+    pub families: Option<Vec<String>>,
+}
+
+/// The use cases the service can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    /// Full VPP synthesis sessions.
+    Synthesis,
+    /// Fault-injection repair sessions.
+    Repair,
+}
+
+/// Parses one request line. Unknown fields are ignored (forward
+/// compatibility); a wrong type or unknown use case is an error.
+pub fn parse_request(line: &str) -> Result<BatchRequest, String> {
+    let v = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let use_case = match v.get("use_case").or_else(|| v.get("use-case")) {
+        None => CaseKind::Synthesis,
+        Some(Json::Str(s)) if s == cases::Synthesis::NAME => CaseKind::Synthesis,
+        Some(Json::Str(s)) if s == cases::Repair::NAME => CaseKind::Repair,
+        Some(Json::Str(s)) => {
+            return Err(format!("unknown use_case {s:?} (known: synthesis, repair)"))
+        }
+        Some(_) => return Err("use_case must be a string".into()),
+    };
+    let seed = match v.get("seed") {
+        None => 1,
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+        Some(_) => return Err("seed must be a non-negative integer".into()),
+    };
+    let count = match v.get("count").or_else(|| v.get("sessions")) {
+        None => 1,
+        Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 && *n <= 1e6 => *n as usize,
+        Some(_) => return Err("count must be a positive integer".into()),
+    };
+    let families = match v.get("families").or_else(|| v.get("family")) {
+        None => None,
+        Some(Json::Str(s)) => Some(s.split(',').map(|f| f.trim().to_string()).collect()),
+        Some(Json::Arr(items)) => {
+            let mut fams = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_str() {
+                    Some(f) => fams.push(f.to_string()),
+                    None => return Err("families entries must be strings".into()),
+                }
+            }
+            Some(fams)
+        }
+        Some(_) => return Err("families must be a string or an array of strings".into()),
+    };
+    Ok(BatchRequest {
+        use_case,
+        seed,
+        count,
+        families,
+    })
+}
+
+/// One enqueued session job.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    kind: CaseKind,
+    seed: u64,
+    index: usize,
+}
+
+/// What a worker sends back per session.
+struct Completion {
+    line: String,
+    ok: bool,
+}
+
+/// Runs one job on a worker's resident context, panic-contained.
+fn run_job(job: Job, ctx: &mut VerifierContext) -> Completion {
+    fn one<U: UseCase>(seed: u64, index: usize, ctx: &mut VerifierContext) -> Completion {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            U::run_session(seed, index, ctx)
+        }))
+        .unwrap_or_else(|_| U::panic_result(index));
+        Completion {
+            line: U::result_json(&result),
+            ok: U::session_ok(&result),
+        }
+    }
+    match job.kind {
+        CaseKind::Synthesis => one::<cases::Synthesis>(job.seed, job.index, ctx),
+        CaseKind::Repair => one::<cases::Repair>(job.seed, job.index, ctx),
+    }
+}
+
+/// Runs the service loop: reads request lines from `input`, streams
+/// result lines to `output`, drains on EOF, and returns the summary.
+/// Workers (and their warm contexts) live for the whole call.
+pub fn serve(
+    input: impl BufRead,
+    mut output: impl Write,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeSummary> {
+    let threads = opts.threads.max(2);
+    let queue: Mutex<(VecDeque<Job>, bool)> = Mutex::new((VecDeque::new(), false));
+    let available = Condvar::new();
+    let counters: Mutex<PoolCounters> = Mutex::new(PoolCounters::default());
+    let (tx, rx) = mpsc::channel::<Completion>();
+    let mut summary = ServeSummary::default();
+
+    let io_result = std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = &queue;
+            let available = &available;
+            let counters = &counters;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut ctx = if opts.pool_managers {
+                    VerifierContext::new()
+                } else {
+                    VerifierContext::without_pooling()
+                };
+                loop {
+                    let job = {
+                        let mut state = queue.lock().unwrap();
+                        loop {
+                            if let Some(job) = state.0.pop_front() {
+                                break Some(job);
+                            }
+                            if state.1 {
+                                break None; // shut down
+                            }
+                            state = available.wait(state).unwrap();
+                        }
+                    };
+                    let Some(job) = job else { break };
+                    // A send can only fail after serve() returned, which
+                    // cannot happen while workers are still scoped.
+                    let _ = tx.send(run_job(job, &mut ctx));
+                }
+                ctx.flush();
+                counters.lock().unwrap().absorb(&ctx);
+            });
+        }
+
+        // The request loop runs inside a closure so every exit path —
+        // EOF or I/O error — still flips the shutdown flag below;
+        // otherwise a failed write would leave workers parked on the
+        // condvar and the scope would never join.
+        let pump = || -> std::io::Result<()> {
+            for line in input.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let request = match parse_request(&line) {
+                    Ok(r) => r,
+                    Err(message) => {
+                        summary.protocol_errors += 1;
+                        writeln!(
+                            output,
+                            "{{\"event\":\"error\",\"message\":{}}}",
+                            json::quote(&message)
+                        )?;
+                        output.flush()?;
+                        continue;
+                    }
+                };
+                summary.batches += 1;
+                let families = request
+                    .families
+                    .as_deref()
+                    .or(opts.default_families.as_deref());
+                let jobs = job_indices(request.count, families);
+                {
+                    let mut state = queue.lock().unwrap();
+                    for &index in &jobs {
+                        state.0.push_back(Job {
+                            kind: request.use_case,
+                            seed: request.seed,
+                            index,
+                        });
+                    }
+                }
+                available.notify_all();
+                let mut failed = 0usize;
+                for _ in 0..jobs.len() {
+                    let done = rx.recv().expect("workers outlive the batch");
+                    if !done.ok {
+                        failed += 1;
+                    }
+                    writeln!(output, "{}", done.line)?;
+                    output.flush()?;
+                }
+                summary.sessions += jobs.len();
+                summary.failures += failed;
+                if jobs.len() < request.count {
+                    // The family filter matched nothing in the probe window
+                    // — surface it instead of silently under-delivering.
+                    summary.protocol_errors += 1;
+                    writeln!(
+                        output,
+                        "{{\"event\":\"error\",\"message\":{}}}",
+                        json::quote(&format!(
+                            "only {} of {} requested sessions matched the family filter \
+                         (known families: {:?})",
+                            jobs.len(),
+                            request.count,
+                            crate::family_names()
+                        ))
+                    )?;
+                }
+                writeln!(
+                    output,
+                    "{{\"event\":\"batch\",\"requested\":{},\"completed\":{},\"failed\":{failed}}}",
+                    request.count,
+                    jobs.len()
+                )?;
+                output.flush()?;
+            }
+            Ok(())
+        };
+        let result = pump();
+
+        // EOF (or error): drain the pool.
+        queue.lock().unwrap().1 = true;
+        available.notify_all();
+        result
+    });
+    io_result?;
+
+    summary.pool = counters.into_inner().unwrap();
+    let p = &summary.pool;
+    writeln!(
+        output,
+        "{{\"event\":\"drain\",\"batches\":{},\"sessions\":{},\"failures\":{},\
+         \"protocol_errors\":{},\"workers\":{},\"pooling\":{},\"manager_reuses\":{},\
+         \"manager_allocs\":{},\"reuse_rate\":{:.4},\"peak_nodes\":{},\
+         \"space_cache_hits\":{},\"space_cache_misses\":{}}}",
+        summary.batches,
+        summary.sessions,
+        summary.failures,
+        summary.protocol_errors,
+        p.workers,
+        opts.pool_managers,
+        p.manager_reuses,
+        p.manager_allocs,
+        p.reuse_rate(),
+        p.peak_nodes,
+        p.cache_hits,
+        p.cache_misses
+    )?;
+    output.flush()?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parsing_accepts_the_documented_shapes() {
+        let r = parse_request(r#"{"use_case":"repair","seed":3,"count":5}"#).unwrap();
+        assert_eq!(r.use_case, CaseKind::Repair);
+        assert_eq!((r.seed, r.count), (3, 5));
+        assert_eq!(r.families, None);
+        // Defaults.
+        let r = parse_request("{}").unwrap();
+        assert_eq!(r.use_case, CaseKind::Synthesis);
+        assert_eq!((r.seed, r.count), (1, 1));
+        // families as array, family as comma string.
+        let r = parse_request(r#"{"families":["ring","star"]}"#).unwrap();
+        assert_eq!(
+            r.families.as_deref(),
+            Some(&["ring".into(), "star".into()][..])
+        );
+        let r = parse_request(r#"{"family":"chain, ring"}"#).unwrap();
+        assert_eq!(
+            r.families.as_deref(),
+            Some(&["chain".into(), "ring".into()][..])
+        );
+        // Errors.
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"use_case":"translate"}"#).is_err());
+        assert!(parse_request(r#"{"count":0}"#).is_err());
+        assert!(parse_request(r#"{"seed":"one"}"#).is_err());
+        assert!(parse_request("[1,2]").is_err());
+    }
+
+    #[test]
+    fn serve_streams_a_mixed_batch_and_drains() {
+        let input = b"{\"use_case\":\"synthesis\",\"seed\":1,\"count\":3}\n\
+                      {\"use_case\":\"repair\",\"seed\":1,\"count\":2}\n";
+        let mut out = Vec::new();
+        let summary = serve(
+            &input[..],
+            &mut out,
+            &ServeOptions {
+                threads: 2,
+                pool_managers: true,
+                default_families: None,
+            },
+        )
+        .expect("serve io");
+        assert!(summary.ok(), "{summary:?}");
+        assert_eq!(summary.batches, 2);
+        assert_eq!(summary.sessions, 5);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 5 session lines + 2 batch lines + 1 drain line, all valid JSON.
+        assert_eq!(lines.len(), 8, "{text}");
+        for line in &lines {
+            json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"use_case\":\"synthesis\""))
+                .count(),
+            3
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"use_case\":\"repair\""))
+                .count(),
+            2
+        );
+        let drain = lines.last().unwrap();
+        assert!(drain.contains("\"event\":\"drain\""), "{drain}");
+        assert!(drain.contains("\"manager_reuses\""), "{drain}");
+        // The second batch reuses the first batch's managers: residency
+        // across batches is the whole point.
+        assert!(summary.pool.manager_reuses > 0, "{:?}", summary.pool);
+        assert_eq!(summary.pool.sessions, 5);
+    }
+
+    #[test]
+    fn serve_reports_malformed_lines_and_keeps_going() {
+        let input = b"this is not json\n{\"count\":1}\n";
+        let mut out = Vec::new();
+        let summary = serve(&input[..], &mut out, &ServeOptions::default()).expect("serve io");
+        assert_eq!(summary.protocol_errors, 1);
+        assert_eq!(summary.sessions, 1);
+        assert!(!summary.ok());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"event\":\"error\""), "{text}");
+        assert!(text.contains("\"event\":\"drain\""), "{text}");
+    }
+
+    #[test]
+    fn default_families_applies_only_to_unfiltered_requests() {
+        // The CLI's --serve --families becomes the default filter for
+        // requests that carry none of their own; a request-level filter
+        // still wins.
+        let input = b"{\"count\":2}\n{\"count\":2,\"families\":\"star\"}\n";
+        let mut out = Vec::new();
+        let summary = serve(
+            &input[..],
+            &mut out,
+            &ServeOptions {
+                threads: 2,
+                pool_managers: true,
+                default_families: Some(vec!["ring".into()]),
+            },
+        )
+        .expect("serve io");
+        assert!(summary.ok(), "{summary:?}");
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.matches("\"family\":\"ring\"").count(),
+            2,
+            "first batch takes the default filter:\n{text}"
+        );
+        assert_eq!(
+            text.matches("\"family\":\"star\"").count(),
+            2,
+            "second batch's own filter wins:\n{text}"
+        );
+    }
+
+    #[test]
+    fn serve_flags_an_unmatchable_family_filter() {
+        let input = b"{\"count\":2,\"families\":\"nonesuch\"}\n";
+        let mut out = Vec::new();
+        let summary = serve(&input[..], &mut out, &ServeOptions::default()).expect("serve io");
+        assert_eq!(summary.sessions, 0);
+        assert!(!summary.ok(), "{summary:?}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("family filter"), "{text}");
+    }
+}

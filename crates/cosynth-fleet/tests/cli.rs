@@ -1,0 +1,86 @@
+//! CLI contract tests for the `fleet` binary: `--help` documents the
+//! service flags and exits 0; unknown flags and bad values exit
+//! non-zero with a message that names the offender.
+
+use std::process::Command;
+
+fn fleet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fleet"))
+}
+
+#[test]
+fn help_covers_the_serve_flags_and_exits_zero() {
+    let out = fleet().arg("--help").output().expect("spawn fleet");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    for flag in [
+        "--use-case",
+        "--sessions",
+        "--seed",
+        "--threads",
+        "--families",
+        "--out",
+        "--serve",
+        "--no-pool",
+        "--no-baseline",
+        "--dump-scenario",
+        "--help",
+    ] {
+        assert!(text.contains(flag), "--help must document {flag}:\n{text}");
+    }
+    assert!(text.contains("EXIT STATUS"), "{text}");
+    assert!(
+        text.contains("stdin"),
+        "--serve docs must describe the batch protocol:\n{text}"
+    );
+}
+
+#[test]
+fn unknown_flag_exits_nonzero_with_a_usable_message() {
+    let out = fleet().arg("--bogus-flag").output().expect("spawn fleet");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2: {out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--bogus-flag"), "{err}");
+    assert!(err.contains("--help"), "must point at the reference: {err}");
+}
+
+#[test]
+fn bad_values_and_unknown_use_cases_exit_nonzero() {
+    let out = fleet()
+        .args(["--sessions", "many"])
+        .output()
+        .expect("spawn fleet");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--sessions"), "{err}");
+
+    let out = fleet()
+        .args(["--use-case", "translate"])
+        .output()
+        .expect("spawn fleet");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("translate"), "{err}");
+    assert!(
+        err.contains("synthesis"),
+        "must list the known cases: {err}"
+    );
+
+    // A value-taking flag at the end of the line is missing its value.
+    let out = fleet().arg("--seed").output().expect("spawn fleet");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--seed"), "{err}");
+}
+
+#[test]
+fn dump_scenario_prints_json_and_exits_zero() {
+    let out = fleet()
+        .args(["--dump-scenario", "0", "--seed", "5"])
+        .output()
+        .expect("spawn fleet");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    topo_model::json::parse(text.trim()).expect("scenario dump is valid JSON");
+}

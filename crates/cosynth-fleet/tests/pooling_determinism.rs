@@ -1,0 +1,93 @@
+//! Determinism guard for the resident engine: a fleet run whose workers
+//! recycle BDD managers (`pool_managers: true`) must produce **byte-
+//! identical** session content to a run that builds every symbolic
+//! space against a fresh manager — across both use cases. Only
+//! wall-clock fields may differ.
+//!
+//! This is the contract that lets the pooled path replace the fresh
+//! path without re-validating any committed `BENCH_*.json` provenance:
+//! `Ref`s depend on the op sequence alone, and
+//! `VerifierContext::begin_session` makes each session start from an
+//! observationally fresh cache.
+
+use cosynth_fleet::{run_case, FleetConfig, Repair, Synthesis};
+
+const SESSIONS: usize = 16;
+
+fn cfg(pool_managers: bool) -> FleetConfig {
+    FleetConfig {
+        sessions: SESSIONS,
+        seed: 1,
+        threads: 2,
+        families: None,
+        pool_managers,
+    }
+}
+
+#[test]
+fn pooled_and_fresh_synthesis_fleets_are_byte_identical() {
+    let fresh = run_case::<Synthesis>(&cfg(false));
+    let pooled = run_case::<Synthesis>(&cfg(true));
+    assert_eq!(fresh.results.len(), SESSIONS);
+    assert_eq!(pooled.results.len(), SESSIONS);
+    // The pooled run must actually have recycled — otherwise this test
+    // compares the fresh path against itself.
+    assert!(
+        pooled.pool.manager_reuses > 0,
+        "pooled run never recycled: {:?}",
+        pooled.pool
+    );
+    assert_eq!(fresh.pool.manager_reuses, 0, "{:?}", fresh.pool);
+    for (a, b) in fresh.results.iter().zip(&pooled.results) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.scenario, b.scenario, "session {}", a.index);
+        assert_eq!(a.family, b.family, "session {}", a.index);
+        assert_eq!(a.intent, b.intent, "session {}", a.index);
+        // Convergence + leverage fields: the committed BENCH content.
+        assert_eq!(a.auto, b.auto, "session {}", a.index);
+        assert_eq!(a.human, b.human, "session {}", a.index);
+        assert_eq!(a.local_ok, b.local_ok, "session {}", a.index);
+        assert_eq!(a.global_ok, b.global_ok, "session {}", a.index);
+        assert_eq!(a.sim_rounds, b.sim_rounds, "session {}", a.index);
+        assert_eq!(a.violations, b.violations, "session {}", a.index);
+        assert_eq!(a.panicked, b.panicked, "session {}", a.index);
+    }
+    // Aggregate rows agree on everything except wall-clock spreads.
+    for (a, b) in fresh.rows.iter().zip(&pooled.rows) {
+        assert_eq!(a.family, b.family);
+        assert_eq!(a.sessions, b.sessions);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.fault_survivals, b.fault_survivals);
+        assert_eq!((a.auto, a.human), (b.auto, b.human));
+    }
+}
+
+#[test]
+fn pooled_and_fresh_repair_fleets_are_byte_identical() {
+    let fresh = run_case::<Repair>(&cfg(false));
+    let pooled = run_case::<Repair>(&cfg(true));
+    assert!(
+        pooled.pool.manager_reuses > 0,
+        "pooled run never recycled: {:?}",
+        pooled.pool
+    );
+    for (a, b) in fresh.results.iter().zip(&pooled.results) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.scenario, b.scenario, "session {}", a.index);
+        assert_eq!(a.class, b.class, "session {}", a.index);
+        assert_eq!(a.device, b.device, "session {}", a.index);
+        // Repair fields: the committed BENCH content.
+        assert_eq!(a.repaired, b.repaired, "session {}", a.index);
+        assert_eq!(a.rounds, b.rounds, "session {}", a.index);
+        assert_eq!(a.localized, b.localized, "session {}", a.index);
+        assert_eq!((a.auto, a.human), (b.auto, b.human), "session {}", a.index);
+        // Even the space-cache profile is identical: pooling changes
+        // where managers come from, never what the cache does.
+        assert_eq!(a.space_hits, b.space_hits, "session {}", a.index);
+        assert_eq!(a.space_misses, b.space_misses, "session {}", a.index);
+        assert_eq!(a.panicked, b.panicked, "session {}", a.index);
+    }
+    // The peak arena is a property of the session content, so both
+    // shapes observe the same high-water mark.
+    assert_eq!(fresh.pool.peak_nodes, pooled.pool.peak_nodes);
+}

@@ -33,6 +33,10 @@
 //! * Symbolic-space cache → [`space_cache`]: one `RouteSpace` per router
 //!   draft, keyed on a config-IR fingerprint and shared across the
 //!   synthesize–verify–rectify iterations of a session.
+//! * Verifier context → [`verifier_ctx`]: the worker-resident pairing of
+//!   a recycled-BDD-manager pool with the space cache, so a resident
+//!   worker amortizes table allocation across every session it runs
+//!   (`run_scenario_in` / `run_in` are the pooled session entry points).
 
 pub mod composer;
 pub mod humanizer;
@@ -45,6 +49,7 @@ pub mod session;
 pub mod space_cache;
 pub mod synthesis;
 pub mod translation;
+pub mod verifier_ctx;
 
 pub use composer::{check_scenario, compose_and_check, GlobalCheckReport, GlobalViolation};
 pub use humanizer::Humanizer;
@@ -57,3 +62,4 @@ pub use session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
 pub use space_cache::RouteSpaceCache;
 pub use synthesis::{SpecStyle, SynthesisOutcome, SynthesisSession};
 pub use translation::{ErrorRow, TranslationOutcome, TranslationSession};
+pub use verifier_ctx::{ManagerPool, VerifierContext};

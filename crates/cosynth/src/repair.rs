@@ -26,7 +26,7 @@ use crate::iip::IipDatabase;
 use crate::leverage::Leverage;
 use crate::modularizer::{Modularizer, RouterAssignment};
 use crate::session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
-use crate::space_cache::RouteSpaceCache;
+use crate::verifier_ctx::VerifierContext;
 use bf_lite::{LocalPolicyCheck, Vendor};
 use campion_lite::CampionFinding;
 use fault_inject::{GroundTruth, Injection};
@@ -113,21 +113,42 @@ impl Default for RepairSession {
 impl RepairSession {
     /// Runs the session: localize, prompt, re-verify, until the
     /// scenario's expectations hold or the round budget is spent.
+    /// Builds a one-shot verifier context; resident workers use
+    /// [`RepairSession::run_in`].
     pub fn run<M: LanguageModel + ?Sized>(
         &self,
         llm: &mut M,
         scenario: &Scenario,
         injection: &Injection,
     ) -> RepairOutcome {
+        self.run_in(
+            llm,
+            scenario,
+            injection,
+            &mut VerifierContext::without_pooling(),
+        )
+    }
+
+    /// [`RepairSession::run`] against a caller-owned [`VerifierContext`]
+    /// whose manager pool survives the session — the resident-worker
+    /// entry point. Content and accounting are byte-identical to the
+    /// one-shot path.
+    pub fn run_in<M: LanguageModel + ?Sized>(
+        &self,
+        llm: &mut M,
+        scenario: &Scenario,
+        injection: &Injection,
+        ctx: &mut VerifierContext,
+    ) -> RepairOutcome {
+        ctx.begin_session();
         let assignments = Modularizer::assign_scenario(scenario);
         let mut configs = injection.configs.clone();
         let mut t = SessionTranscript::new(llm, self.iips.system_message());
-        let mut spaces = RouteSpaceCache::new();
         let mut first_localization: Option<Localization> = None;
         let mut rounds = 0usize;
         let mut global = check_scenario(scenario, &configs);
         let repaired = loop {
-            let loc = localize(scenario, &assignments, &configs, &mut spaces);
+            let loc = localize(scenario, &assignments, &configs, ctx);
             if loc.is_none() && global.holds() {
                 break true;
             }
@@ -166,8 +187,8 @@ impl RepairSession {
             global,
             leverage: t.leverage,
             log: t.log,
-            space_cache_hits: spaces.hits,
-            space_cache_misses: spaces.misses,
+            space_cache_hits: ctx.cache.hits,
+            space_cache_misses: ctx.cache.misses,
         }
     }
 }
@@ -219,7 +240,7 @@ pub fn localize(
     scenario: &Scenario,
     assignments: &[RouterAssignment],
     configs: &BTreeMap<String, String>,
-    spaces: &mut RouteSpaceCache,
+    ctx: &mut VerifierContext,
 ) -> Option<Localization> {
     let mut clean: Vec<(&RouterAssignment, &String, config_ir::Device)> = Vec::new();
     for assignment in assignments {
@@ -258,7 +279,7 @@ pub fn localize(
             .checks
             .iter()
             .any(LocalPolicyCheck::is_symbolic)
-            .then(|| spaces.space_for(&assignment.name, &device, &assignment.checks));
+            .then(|| ctx.space_for(&assignment.name, &device, &assignment.checks));
         for check in &assignment.checks {
             let result = match space.as_mut() {
                 Some(space) if check.is_symbolic() => {
@@ -288,7 +309,12 @@ pub fn localize(
         let intended = llm_sim::synth_task::reference_device(
             &llm_sim::synth_task::understand_prompt(&assignment.prompt),
         );
-        let findings = campion_lite::compare(&intended, &device);
+        // The behaviour diff builds the largest BDDs in the workspace;
+        // drawing its manager from the worker pool is what keeps the
+        // final (all-channels-silent) verification round off the
+        // fresh-allocation path.
+        let (findings, mgr) = campion_lite::compare_in(ctx.pool.acquire(), &intended, &device);
+        ctx.pool.release(mgr);
         if let Some(f) = findings.first() {
             let (line_start, line_end) = campion_span(text, f);
             return Some(Localization {
@@ -520,8 +546,8 @@ mod tests {
             let scenario = scenario_gen::generate(11, index);
             let assignments = Modularizer::assign_scenario(&scenario);
             let configs = clean_configs(&scenario);
-            let mut spaces = RouteSpaceCache::new();
-            let loc = localize(&scenario, &assignments, &configs, &mut spaces);
+            let mut ctx = VerifierContext::new();
+            let loc = localize(&scenario, &assignments, &configs, &mut ctx);
             assert!(loc.is_none(), "{}: {loc:?}", scenario.name);
         }
     }
@@ -534,8 +560,8 @@ mod tests {
             let assignments = Modularizer::assign_scenario(&scenario);
             let configs = clean_configs(&scenario);
             for injection in fault_inject::corpus(&configs, 100 + index as u64) {
-                let mut spaces = RouteSpaceCache::new();
-                let loc = localize(&scenario, &assignments, &injection.configs, &mut spaces)
+                let mut ctx = VerifierContext::new();
+                let loc = localize(&scenario, &assignments, &injection.configs, &mut ctx)
                     .unwrap_or_else(|| {
                         panic!(
                             "{}: {:?} must be localizable",

@@ -67,37 +67,61 @@ impl RouteSpaceCache {
     }
 
     /// The space for `router`'s current draft, rebuilt iff the draft's
-    /// IR (or the check set) changed since the last call.
+    /// IR (or the check set) changed since the last call. Builds are
+    /// fresh (unpooled); resident workers use
+    /// [`RouteSpaceCache::space_for_in`] via
+    /// [`crate::verifier_ctx::VerifierContext`] instead.
     pub fn space_for(
         &mut self,
         router: &str,
         device: &Device,
         checks: &[LocalPolicyCheck],
     ) -> &mut RouteSpace {
+        let mut pool = crate::verifier_ctx::ManagerPool::disabled();
+        self.space_for_in(&mut pool, router, device, checks)
+    }
+
+    /// [`RouteSpaceCache::space_for`] with (re)builds drawing their BDD
+    /// manager from `pool` — and invalidated entries releasing theirs
+    /// back to it — so a worker amortizes table allocation across every
+    /// session it runs. Verdicts and witnesses are bit-identical to the
+    /// fresh path.
+    pub fn space_for_in(
+        &mut self,
+        pool: &mut crate::verifier_ctx::ManagerPool,
+        router: &str,
+        device: &Device,
+        checks: &[LocalPolicyCheck],
+    ) -> &mut RouteSpace {
         let fingerprint = ir_fingerprint(device, checks);
-        match self.entries.entry(router.to_string()) {
-            std::collections::btree_map::Entry::Occupied(mut o) => {
-                if o.get().fingerprint == fingerprint {
-                    self.hits += 1;
-                } else {
-                    self.misses += 1;
-                    *o.get_mut() = Entry {
-                        fingerprint,
-                        space: bf_lite::space_for_checks(device, checks),
-                    };
-                }
-                &mut o.into_mut().space
+        let hit = self
+            .entries
+            .get(router)
+            .is_some_and(|e| e.fingerprint == fingerprint);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            // Release the stale manager *before* acquiring, so an
+            // invalidated entry's own manager can serve its rebuild
+            // instead of forcing a fresh allocation per invalidation.
+            if let Some(stale) = self.entries.remove(router) {
+                pool.release(stale.space.into_manager());
             }
-            std::collections::btree_map::Entry::Vacant(v) => {
-                self.misses += 1;
-                &mut v
-                    .insert(Entry {
-                        fingerprint,
-                        space: bf_lite::space_for_checks(device, checks),
-                    })
-                    .space
-            }
+            let space = bf_lite::space_for_checks_in(pool.acquire(), device, checks);
+            self.entries
+                .insert(router.to_string(), Entry { fingerprint, space });
         }
+        &mut self.entries.get_mut(router).expect("just ensured").space
+    }
+
+    /// Empties the cache, yielding every cached space (so a pool can
+    /// reclaim the managers). Counters are left untouched.
+    pub fn drain(&mut self) -> Vec<RouteSpace> {
+        std::mem::take(&mut self.entries)
+            .into_values()
+            .map(|e| e.space)
+            .collect()
     }
 }
 

@@ -16,7 +16,7 @@ use crate::iip::IipDatabase;
 use crate::leverage::Leverage;
 use crate::modularizer::{Modularizer, RouterAssignment};
 use crate::session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
-use crate::space_cache::RouteSpaceCache;
+use crate::verifier_ctx::VerifierContext;
 use bf_lite::Vendor;
 use llm_sim::LanguageModel;
 use net_model::WarningKind;
@@ -103,13 +103,28 @@ impl SynthesisSession {
 
     /// Runs the session on any generated scenario: the same per-router
     /// VPP loop as the star experiment, followed by the scenario's own
-    /// whole-network expectations.
+    /// whole-network expectations. Builds a one-shot verifier context;
+    /// resident workers use [`SynthesisSession::run_scenario_in`].
     pub fn run_scenario<M: LanguageModel + ?Sized>(
         &self,
         llm: &mut M,
         scenario: &Scenario,
     ) -> SynthesisOutcome {
-        let drive = self.drive_scenario(llm, scenario);
+        self.run_scenario_in(llm, scenario, &mut VerifierContext::without_pooling())
+    }
+
+    /// [`SynthesisSession::run_scenario`] against a caller-owned
+    /// [`VerifierContext`]: the context's manager pool survives the
+    /// session, so a worker that runs many sessions amortizes BDD table
+    /// allocation across all of them. Session content and accounting
+    /// are byte-identical to the one-shot path.
+    pub fn run_scenario_in<M: LanguageModel + ?Sized>(
+        &self,
+        llm: &mut M,
+        scenario: &Scenario,
+        ctx: &mut VerifierContext,
+    ) -> SynthesisOutcome {
+        let drive = self.drive_scenario(llm, scenario, ctx);
         let global = check_scenario(scenario, &drive.configs);
         drive.into_outcome(global)
     }
@@ -126,7 +141,8 @@ impl SynthesisSession {
         // final whole-network report differs — the star keeps its named
         // no-transit violation classes (TransitLeak & friends).
         let scenario = Modularizer::star_scenario(topology, roles);
-        let drive = self.drive_scenario(llm, &scenario);
+        let mut ctx = VerifierContext::without_pooling();
+        let drive = self.drive_scenario(llm, &scenario, &mut ctx);
         let global = compose_and_check(topology, roles, &drive.configs);
         drive.into_outcome(global)
     }
@@ -141,14 +157,14 @@ impl SynthesisSession {
         &self,
         llm: &mut M,
         scenario: &Scenario,
+        ctx: &mut VerifierContext,
     ) -> ScenarioDrive {
+        ctx.begin_session();
         let mut t = SessionTranscript::new(llm, self.iips.system_message());
-        let mut spaces = RouteSpaceCache::new();
         let mut configs = BTreeMap::new();
         let mut verified_local = true;
         for assignment in Modularizer::assign_scenario(scenario) {
-            let (config, ok) =
-                self.rectify_router(&mut t, &mut spaces, &scenario.topology, &assignment);
+            let (config, ok) = self.rectify_router(&mut t, ctx, &scenario.topology, &assignment);
             if !ok {
                 verified_local = false;
             }
@@ -159,22 +175,23 @@ impl SynthesisSession {
             verified_local,
             leverage: t.leverage,
             log: t.log,
-            space_cache_hits: spaces.hits,
-            space_cache_misses: spaces.misses,
+            space_cache_hits: ctx.cache.hits,
+            space_cache_misses: ctx.cache.misses,
         }
     }
 
     /// Drives one router's syntax → topology → semantics loop. Returns
     /// the final config text and whether all three phases verified.
     ///
-    /// `spaces` is the session-scoped symbolic-space cache: the semantic
-    /// phase reuses one warm `RouteSpace` per draft instead of building
-    /// a fresh BDD manager per check per round, and a rectification edit
-    /// to this router invalidates only this router's entry.
+    /// `ctx` carries the session-scoped symbolic-space cache (and the
+    /// worker's manager pool behind it): the semantic phase reuses one
+    /// warm `RouteSpace` per draft instead of building a fresh BDD
+    /// manager per check per round, and a rectification edit to this
+    /// router invalidates only this router's entry.
     fn rectify_router<M: LanguageModel + ?Sized>(
         &self,
         t: &mut SessionTranscript<'_, M>,
-        spaces: &mut RouteSpaceCache,
+        ctx: &mut VerifierContext,
         topology: &Topology,
         assignment: &RouterAssignment,
     ) -> (String, bool) {
@@ -229,7 +246,7 @@ impl SynthesisSession {
                 .checks
                 .iter()
                 .any(bf_lite::LocalPolicyCheck::is_symbolic)
-                .then(|| spaces.space_for(&assignment.name, &parsed.device, &assignment.checks));
+                .then(|| ctx.space_for(&assignment.name, &parsed.device, &assignment.checks));
             let mut violation = None;
             for check in &assignment.checks {
                 let result = match space.as_mut() {

@@ -1,0 +1,334 @@
+//! The worker-resident verifier context: a pool of recycled BDD
+//! managers plus the per-session [`RouteSpaceCache`].
+//!
+//! Every symbolic local check runs inside a `RouteSpace`, and before
+//! pooling every space build paid `Manager::with_capacity` — ~1.3 MB of
+//! fresh table allocation per policy router per session, released again
+//! a few milliseconds later. A fleet worker that stays resident can
+//! amortize that: [`ManagerPool`] keeps cleared managers (tables intact
+//! at whatever size they grew to) and hands them back to the next space
+//! build, so a worker allocates tables once per concurrent space, not
+//! once per session.
+//!
+//! The split of responsibilities:
+//!
+//! * [`ManagerPool`] — **worker-lifetime** state: cleared managers plus
+//!   reuse/allocation counters and the peak node count observed at
+//!   release time (read from `Manager::stats` by way of `node_count`).
+//! * [`RouteSpaceCache`] — **session-lifetime** state: one warm space
+//!   per router draft, invalidated by config-IR fingerprint.
+//! * [`VerifierContext`] — both, wired together. Sessions call
+//!   [`VerifierContext::begin_session`], which drains the previous
+//!   session's spaces back into the pool and zeroes the cache counters,
+//!   so per-session accounting (and with it every committed
+//!   `BENCH_*.json` field) is byte-identical to a context created
+//!   fresh for that one session.
+//!
+//! Determinism: a recycled manager reproduces a fresh manager's `Ref`s
+//! for the same op sequence (refs are assigned in insertion order from
+//! an empty arena; table capacity never enters the result), so pooled
+//! and fresh-per-space fleets produce identical session content — the
+//! determinism guard in `cosynth-fleet` pins this.
+
+use crate::space_cache::RouteSpaceCache;
+use bdd::Manager;
+use policy_symbolic::RouteSpace;
+
+/// A pool of cleared, ready-to-recycle BDD managers with reuse
+/// accounting. Managers are cleared on [`ManagerPool::release`] (not on
+/// acquire), so the peak node count is captured while the arena is
+/// still populated and an acquire is a plain `Vec::pop`.
+#[derive(Default)]
+pub struct ManagerPool {
+    free: Vec<Manager>,
+    /// When false, released managers are dropped instead of retained —
+    /// the fresh-per-space baseline the determinism guard and the
+    /// `manager_pool` bench block compare against.
+    retain: bool,
+    /// Acquisitions served by a recycled manager.
+    pub reuses: usize,
+    /// Acquisitions that had to allocate a fresh manager.
+    pub allocs: usize,
+    /// Largest node arena seen at release time (from
+    /// [`Manager::node_count`], the `node_count` field of
+    /// [`bdd::ManagerStats`]).
+    pub peak_nodes: usize,
+}
+
+impl ManagerPool {
+    /// A pool that retains and recycles released managers.
+    pub fn new() -> Self {
+        ManagerPool {
+            retain: true,
+            ..Default::default()
+        }
+    }
+
+    /// A pool that never retains: every acquire allocates, every
+    /// release drops. Counters still run, so baselines report the same
+    /// shape.
+    pub fn disabled() -> Self {
+        ManagerPool::default()
+    }
+
+    /// Whether released managers are recycled.
+    pub fn is_pooling(&self) -> bool {
+        self.retain
+    }
+
+    /// Managers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Hands out a cleared manager: recycled if one is parked, freshly
+    /// allocated otherwise.
+    ///
+    /// A *pooling* pool sizes fresh allocations to the workload it has
+    /// actually observed (the node high-water mark of released
+    /// managers, floor 2^10) instead of the conservative
+    /// [`RouteSpace::DEFAULT_NODE_CAPACITY`]. This is the pool's
+    /// second, larger lever after allocation reuse: per-device route
+    /// spaces on this workload peak in the hundreds of nodes, so
+    /// right-sized tables stay L2-resident and a build (or a
+    /// [`Manager::clear`]) touches a couple hundred KB rather than the
+    /// default sizing's ~1.2 MB — a one-shot construction cannot know
+    /// that and must over-provision. If a workload outgrows the hint,
+    /// the unique table grows organically and the grown manager is what
+    /// gets recycled. A *disabled* pool reproduces the historical
+    /// fresh-per-space path exactly (default capacity per build), which
+    /// is what the `manager_pool` bench block's baseline measures.
+    pub fn acquire(&mut self) -> Manager {
+        match self.free.pop() {
+            Some(m) => {
+                self.reuses += 1;
+                m
+            }
+            None => {
+                self.allocs += 1;
+                let hint = if self.retain {
+                    self.peak_nodes.next_power_of_two().max(1 << 10)
+                } else {
+                    RouteSpace::DEFAULT_NODE_CAPACITY
+                };
+                Manager::with_capacity(hint)
+            }
+        }
+    }
+
+    /// Takes a manager back: records its high-water mark, clears it,
+    /// and parks it for the next acquire (or drops it when pooling is
+    /// disabled).
+    pub fn release(&mut self, mut mgr: Manager) {
+        self.peak_nodes = self.peak_nodes.max(mgr.node_count());
+        if self.retain {
+            mgr.clear();
+            self.free.push(mgr);
+        }
+    }
+}
+
+/// Worker-resident verifier state: the manager pool plus the
+/// session-scoped route-space cache. Create one per worker (or one per
+/// session for one-shot runs — a context is also the cheap way to get
+/// the old behaviour), call [`VerifierContext::begin_session`] at every
+/// session start, and hand it to
+/// [`crate::SynthesisSession::run_scenario_in`] /
+/// [`crate::RepairSession::run_in`].
+pub struct VerifierContext {
+    /// Worker-lifetime manager pool.
+    pub pool: ManagerPool,
+    /// Session-lifetime space cache (drained back into the pool by
+    /// [`VerifierContext::begin_session`]).
+    pub cache: RouteSpaceCache,
+    /// Sessions started on this context.
+    pub sessions: usize,
+    /// Space-cache hits accumulated over *completed* sessions (the
+    /// live session's counters sit in `cache.hits` until the next
+    /// `begin_session` folds them in).
+    pub cache_hits_total: usize,
+    /// Space-cache misses accumulated over completed sessions.
+    pub cache_misses_total: usize,
+}
+
+impl Default for VerifierContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VerifierContext {
+    /// A context with manager pooling on — the resident-worker shape.
+    pub fn new() -> Self {
+        Self::with_pool(ManagerPool::new())
+    }
+
+    /// A context that builds every space fresh — the baseline shape
+    /// (identical results, no reuse).
+    pub fn without_pooling() -> Self {
+        Self::with_pool(ManagerPool::disabled())
+    }
+
+    fn with_pool(pool: ManagerPool) -> Self {
+        VerifierContext {
+            pool,
+            cache: RouteSpaceCache::new(),
+            sessions: 0,
+            cache_hits_total: 0,
+            cache_misses_total: 0,
+        }
+    }
+
+    /// Starts a session: folds the previous session's cache counters
+    /// into the lifetime totals, drains its warm spaces back into the
+    /// manager pool, and zeroes the per-session counters. After this
+    /// the cache is observationally a fresh `RouteSpaceCache`, which is
+    /// what keeps per-session content and accounting byte-identical to
+    /// an unpooled run.
+    pub fn begin_session(&mut self) {
+        self.sessions += 1;
+        self.flush();
+    }
+
+    /// Folds the live session's cache counters into the lifetime totals
+    /// and parks its spaces in the pool, without opening a new session.
+    /// Workers call this once at retirement so the final session's
+    /// counters (and manager high-water marks) reach the fleet report.
+    pub fn flush(&mut self) {
+        self.cache_hits_total += self.cache.hits;
+        self.cache_misses_total += self.cache.misses;
+        for space in self.cache.drain() {
+            self.pool.release(space.into_manager());
+        }
+        self.cache.hits = 0;
+        self.cache.misses = 0;
+    }
+
+    /// The space for `router`'s current draft — the pooled equivalent
+    /// of [`RouteSpaceCache::space_for`].
+    pub fn space_for(
+        &mut self,
+        router: &str,
+        device: &config_ir::Device,
+        checks: &[bf_lite::LocalPolicyCheck],
+    ) -> &mut RouteSpace {
+        self.cache
+            .space_for_in(&mut self.pool, router, device, checks)
+    }
+
+    /// Lifetime cache totals including the live session's counters.
+    pub fn cache_totals(&self) -> (usize, usize) {
+        (
+            self.cache_hits_total + self.cache.hits,
+            self.cache_misses_total + self.cache.misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config_ir::{ClauseAction, IrClause, IrPolicy, Modifier};
+    use std::collections::BTreeSet;
+
+    fn tagging_device(name: &str, community: &str) -> config_ir::Device {
+        let mut d = config_ir::Device::named(name);
+        let mut p = IrPolicy::new("ADD_COMM");
+        p.clauses.push(IrClause {
+            id: "10".into(),
+            action: ClauseAction::Permit,
+            conditions: vec![],
+            modifiers: vec![Modifier::SetCommunities {
+                communities: BTreeSet::from([community.parse().unwrap()]),
+                additive: true,
+            }],
+        });
+        d.policies.push(p);
+        d
+    }
+
+    fn carry_check(community: &str) -> bf_lite::LocalPolicyCheck {
+        bf_lite::LocalPolicyCheck::PermittedRoutesCarry {
+            chain: vec!["ADD_COMM".into()],
+            community: community.parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn pool_recycles_released_managers() {
+        let mut pool = ManagerPool::new();
+        let m1 = pool.acquire();
+        assert_eq!((pool.reuses, pool.allocs), (0, 1));
+        pool.release(m1);
+        assert_eq!(pool.idle(), 1);
+        let _m2 = pool.acquire();
+        assert_eq!((pool.reuses, pool.allocs), (1, 1));
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn disabled_pool_never_retains_but_still_counts() {
+        let mut pool = ManagerPool::disabled();
+        let mut m = pool.acquire();
+        m.new_vars(3);
+        let v = m.var(0);
+        let w = m.var(1);
+        let _ = m.and(v, w);
+        let nodes = m.node_count();
+        pool.release(m);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.peak_nodes, nodes);
+        let _ = pool.acquire();
+        assert_eq!((pool.reuses, pool.allocs), (0, 2));
+    }
+
+    #[test]
+    fn begin_session_resets_cache_and_refills_pool() {
+        let mut ctx = VerifierContext::new();
+        ctx.begin_session();
+        let d = tagging_device("r1", "100:1");
+        let checks = [carry_check("100:1")];
+        let space = ctx.space_for("r1", &d, &checks);
+        assert!(bf_lite::check_local_policy_in(space, &d, &checks[0]).is_ok());
+        let _ = ctx.space_for("r1", &d, &checks);
+        assert_eq!((ctx.cache.hits, ctx.cache.misses), (1, 1));
+        assert_eq!(ctx.pool.allocs, 1);
+
+        // Next session: counters reset, the space's manager is parked,
+        // and the rebuild is served from the pool.
+        ctx.begin_session();
+        assert_eq!((ctx.cache.hits, ctx.cache.misses), (0, 0));
+        assert_eq!(ctx.cache.len(), 0, "spaces drained");
+        assert_eq!(ctx.pool.idle(), 1);
+        let _ = ctx.space_for("r1", &d, &checks);
+        assert_eq!(ctx.pool.reuses, 1);
+        assert_eq!(ctx.pool.allocs, 1, "no second allocation");
+        assert_eq!(ctx.cache_totals(), (1, 2));
+        assert!(ctx.pool.peak_nodes > 1, "release recorded the arena size");
+    }
+
+    #[test]
+    fn pooled_and_fresh_spaces_agree_on_witnesses() {
+        // A buggy draft checked through a *recycled* manager must yield
+        // the exact witness a fresh space yields.
+        let mut d = config_ir::Device::named("r1");
+        let mut p = IrPolicy::new("ADD_COMM");
+        p.clauses.push(IrClause::permit_all("10"));
+        d.policies.push(p);
+        let checks = [carry_check("100:1")];
+        let fresh = bf_lite::check_local_policy(&d, &checks[0]).unwrap_err();
+
+        let mut ctx = VerifierContext::new();
+        // Warm the pool with an unrelated tenant first.
+        ctx.begin_session();
+        let other = tagging_device("r9", "222:2");
+        let other_checks = [carry_check("222:2")];
+        let _ = ctx.space_for("r9", &other, &other_checks);
+        ctx.begin_session();
+        assert!(ctx.pool.idle() > 0, "recycled manager available");
+        let space = ctx.space_for("r1", &d, &checks);
+        let pooled = bf_lite::check_local_policy_in(space, &d, &checks[0]).unwrap_err();
+        assert_eq!(ctx.pool.reuses, 1, "the build must have recycled");
+        assert_eq!(fresh, pooled);
+    }
+}

@@ -42,3 +42,7 @@ pub use query::{
 };
 pub use space::RouteSpace;
 pub use transfer::{walk_policy, SymState, ValueState, WalkResult};
+
+/// Re-exported so downstream crates can pool/recycle managers through
+/// [`RouteSpace::in_manager`] without depending on `bdd` directly.
+pub use bdd::Manager;

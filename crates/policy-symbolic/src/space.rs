@@ -31,8 +31,9 @@ pub struct RouteSpace {
 impl RouteSpace {
     /// Default node-capacity hint: a single device's policies over the
     /// 40+ variable route space stay in the low tens of thousands of
-    /// nodes.
-    const DEFAULT_NODE_CAPACITY: usize = 1 << 14;
+    /// nodes. Public so manager pools size their fresh allocations the
+    /// way [`RouteSpace::new`] does.
+    pub const DEFAULT_NODE_CAPACITY: usize = 1 << 14;
 
     /// Builds a space with explicit universes.
     pub fn new(communities: BTreeSet<Community>, aspath_patterns: BTreeSet<String>) -> Self {
@@ -47,7 +48,29 @@ impl RouteSpace {
         aspath_patterns: BTreeSet<String>,
         nodes_hint: usize,
     ) -> Self {
-        let mut mgr = Manager::with_capacity(nodes_hint);
+        Self::in_manager(
+            Manager::with_capacity(nodes_hint),
+            communities,
+            aspath_patterns,
+        )
+    }
+
+    /// Builds a space inside a caller-supplied [`Manager`] — the
+    /// recycling entry point behind worker-resident verifier pools. A
+    /// dirty manager (left-over nodes or variables from a previous
+    /// space) is cleared first; a fresh or pre-cleared one is used as
+    /// is, so the double wipe costs nothing on the construction paths.
+    /// The manager keeps whatever table capacity it grew to, which is
+    /// exactly what amortizes allocation across the sessions a worker
+    /// runs.
+    pub fn in_manager(
+        mut mgr: Manager,
+        communities: BTreeSet<Community>,
+        aspath_patterns: BTreeSet<String>,
+    ) -> Self {
+        if mgr.node_count() > 1 || mgr.var_count() > 0 {
+            mgr.clear();
+        }
         let communities: Vec<Community> = communities.into_iter().collect();
         let aspath_patterns: Vec<String> = aspath_patterns.into_iter().collect();
         let total = PREFIX_BITS
@@ -63,6 +86,13 @@ impl RouteSpace {
         }
     }
 
+    /// Releases the underlying manager (for return to a pool). The
+    /// caller is expected to [`Manager::clear`] it before reuse —
+    /// [`RouteSpace::in_manager`] does so defensively either way.
+    pub fn into_manager(self) -> Manager {
+        self.mgr
+    }
+
     /// Kernel statistics for this space's manager (node count, table
     /// bytes, cache hit rates) — the observability hook the benches and
     /// Campion's instrumentation read.
@@ -73,6 +103,13 @@ impl RouteSpace {
     /// Builds a space covering the universes of all given devices, with
     /// a capacity hint scaled to the device count.
     pub fn for_devices_sized(devices: &[&Device], nodes_hint: usize) -> Self {
+        Self::for_devices_in(Manager::with_capacity(nodes_hint), devices)
+    }
+
+    /// Builds a space covering all given devices' universes inside a
+    /// caller-supplied (recycled) manager — see
+    /// [`RouteSpace::in_manager`].
+    pub fn for_devices_in(mgr: Manager, devices: &[&Device]) -> Self {
         let mut communities = BTreeSet::new();
         let mut aspaths = BTreeSet::new();
         for d in devices {
@@ -87,7 +124,7 @@ impl RouteSpace {
                 }
             }
         }
-        RouteSpace::with_node_capacity(communities, aspaths, nodes_hint)
+        RouteSpace::in_manager(mgr, communities, aspaths)
     }
 
     /// Builds a space covering the universes of all given devices.
@@ -445,6 +482,45 @@ mod tests {
         }
         let g = s.len_in(33, 40);
         assert!(g.is_false());
+    }
+
+    #[test]
+    fn recycled_space_yields_identical_verdicts_and_witnesses() {
+        // Build a space, run a query, recycle its manager into a space
+        // over a *different* universe, then back to the original one:
+        // every answer must match a fresh space's answer bit for bit.
+        let pat = PrefixPattern::with_bounds(pfx("10.0.0.0/8"), Some(16), Some(24)).unwrap();
+        let run = |s: &mut RouteSpace| {
+            let f = s.pattern(&pat);
+            let c = s.community("100:1".parse().unwrap());
+            let both = s.mgr.and(f, c);
+            (both, s.example(both))
+        };
+        let mut fresh = space();
+        let (fresh_ref, fresh_example) = run(&mut fresh);
+
+        let mut first = space();
+        let _ = run(&mut first);
+        let mgr = first.into_manager();
+        // Intermediate tenant with another universe — its state must not
+        // leak into the next tenant.
+        let other = RouteSpace::in_manager(
+            mgr,
+            BTreeSet::from(["999:9".parse().unwrap()]),
+            BTreeSet::from(["^65000_".to_string()]),
+        );
+        assert!(other
+            .communities
+            .contains(&"999:9".parse::<Community>().unwrap()));
+        let mut recycled = RouteSpace::in_manager(
+            other.into_manager(),
+            BTreeSet::from(["100:1".parse().unwrap(), "101:1".parse().unwrap()]),
+            BTreeSet::new(),
+        );
+        let (rec_ref, rec_example) = run(&mut recycled);
+        assert_eq!(rec_ref, fresh_ref, "recycled refs must match fresh");
+        assert_eq!(rec_example, fresh_example, "witnesses must be identical");
+        recycled.mgr.check_canonical().expect("canonical");
     }
 
     #[test]
