@@ -1,11 +1,13 @@
 //! `fleet` — run N sessions through the VPP loop on a work-stealing
-//! thread pool and write a `BENCH_*.json` report, or stay resident with
-//! `--serve` and stream batches over stdin/stdout.
+//! thread pool and write a `BENCH_*.json` report, stay resident with
+//! `--serve` and stream batches over stdin/stdout, or run the seeded
+//! fault gauntlet with `--chaos`.
 //!
 //! ```sh
 //! cargo run --release --bin fleet -- --sessions 64 --seed 1
 //! cargo run --release --bin fleet -- --use-case repair --sessions 64 --seed 1
 //! echo '{"use_case":"repair","count":8}' | cargo run --release --bin fleet -- --serve
+//! cargo run --release --bin fleet -- --chaos --sessions 64 --seed 1
 //! ```
 //!
 //! Run with `--help` for the full flag reference. Exit status is
@@ -13,8 +15,10 @@
 //! non-convergence or panic; repair: panic or zero repair rate) — the
 //! CI smoke contract. Unknown flags are usage errors (exit 2).
 
+use cosynth_fleet::SessionBudget;
 use cosynth_fleet::{
-    run_case, scenario_for, serve, FleetConfig, Repair, ServeOptions, Synthesis, UseCase,
+    run_case, run_chaos, scenario_for, serve, ChaosConfig, ChaosPlan, FleetConfig, Repair,
+    ServeOptions, SessionTuning, Synthesis, UseCase,
 };
 
 const HELP: &str = "\
@@ -29,8 +33,10 @@ FLAGS:
                         default) or 'repair' (fault-inject breaks each
                         scenario's known-good snapshot; the session
                         localizes and repairs it).
-    --sessions N        Sessions to run (default 16).
-    --seed S            Scenario/fault/model stream seed (default 1).
+    --sessions N        Sessions to run (default 16; --chaos submits
+                        exactly N jobs across its scripted batches).
+    --seed S            Scenario/fault/model stream seed (default 1;
+                        --chaos also seeds its fault schedule from S).
     --threads T         Worker threads (default: machine parallelism
                         clamped to [2, 8]; minimum 2).
     --families a,b,c    Only run sessions whose topology family is in
@@ -39,14 +45,36 @@ FLAGS:
                         and to --serve batches without a filter of
                         their own.
     --out PATH          Report path (default BENCH_scenarios.json for
-                        synthesis, BENCH_repair.json for repair).
+                        synthesis, BENCH_repair.json for repair,
+                        BENCH_robustness.json for --chaos).
     --serve             Resident service mode ('fleetd'): keep the
                         worker pool and its warm verifier contexts
                         alive, read newline-delimited JSON batch
                         requests from stdin ({\"use_case\", \"seed\",
-                        \"count\", \"families\"}), stream one JSON result
-                        line per session as it finishes, and report the
-                        pool's manager/cache reuse counters on drain.
+                        \"count\", \"families\", \"deadline_ms\"}), stream
+                        one JSON result line per session as it finishes
+                        (each with a typed 'outcome'), emit typed
+                        {\"event\":\"reject\"} lines for refused work
+                        (reasons: bad_request, queue_full,
+                        over_deadline), and report the pool counters
+                        plus the robustness ledger on drain.
+    --chaos             Seeded fault gauntlet: drive the service through
+                        malformed requests, a queue-overflow batch, an
+                        expired-deadline batch, and per-job injected
+                        worker panics / slow sessions / flaky backends
+                        (schedule is a pure function of --seed), then
+                        write BENCH_robustness.json. Combined with
+                        --serve, applies the same fault schedule to
+                        jobs read from stdin instead.
+    --queue-depth N     Admission control: max jobs one batch may
+                        enqueue; the excess is shed with a typed
+                        queue_full reject (default 1024; --chaos
+                        defaults to 8 so its oversized batch sheds).
+    --deadline-ms MS    Per-session wall-clock budget: a session still
+                        running past it stops at the next checkpoint
+                        with the typed deadline_exceeded outcome
+                        (default: unlimited). Applies to batch, serve,
+                        and chaos sessions alike.
     --no-pool           Disable manager pooling: workers build every
                         symbolic space against a fresh BDD manager (the
                         pre-resident baseline; session content is
@@ -61,10 +89,14 @@ EXIT STATUS:
     0  every session met the use case's contract; --serve: every batch
        session met its per-session contract (synthesis: converged;
        repair: repaired — deliberately stricter than the batch repair
-       contract) and every request line was well-formed
+       contract), every request line was well-formed, and nothing was
+       shed; --chaos: the gauntlet drained with every submitted job in
+       exactly one typed outcome (submitted = completed + shed +
+       deadline_exceeded + quarantined) and every fault class exercised
     1  synthesis: a session failed to converge or panicked;
        repair: a session panicked or the overall repair rate is zero;
-       either: fewer sessions ran than requested (bad --families?)
+       either: fewer sessions ran than requested (bad --families?);
+       --serve/--chaos: the exit contract above failed
     2  usage error (unknown flag, bad value) or the report file could
        not be written
 ";
@@ -78,6 +110,9 @@ struct Args {
     families: Option<Vec<String>>,
     out: Option<String>,
     serve: bool,
+    chaos: bool,
+    queue_depth: Option<usize>,
+    deadline_ms: Option<u64>,
     pool_managers: bool,
     measure_baseline: bool,
     dump_scenario: Option<usize>,
@@ -100,6 +135,9 @@ fn parse_args(argv: &[String]) -> Args {
         families: None,
         out: None,
         serve: false,
+        chaos: false,
+        queue_depth: None,
+        deadline_ms: None,
         pool_managers: true,
         measure_baseline: true,
         dump_scenario: None,
@@ -119,6 +157,7 @@ fn parse_args(argv: &[String]) -> Args {
                 std::process::exit(0);
             }
             "--serve" => args.serve = true,
+            "--chaos" => args.chaos = true,
             "--no-pool" => args.pool_managers = false,
             "--no-baseline" => args.measure_baseline = false,
             "--use-case" => args.use_case = value(&mut i, "--use-case"),
@@ -140,6 +179,19 @@ fn parse_args(argv: &[String]) -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage_error(&format!("--threads: bad count {v:?}")));
             }
+            "--queue-depth" => {
+                let v = value(&mut i, "--queue-depth");
+                args.queue_depth =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        usage_error(&format!("--queue-depth: bad depth {v:?}"))
+                    }));
+            }
+            "--deadline-ms" => {
+                let v = value(&mut i, "--deadline-ms");
+                args.deadline_ms = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--deadline-ms: bad deadline {v:?}"))
+                }));
+            }
             "--families" => {
                 let v = value(&mut i, "--families");
                 args.families = Some(v.split(',').map(|f| f.trim().to_string()).collect());
@@ -159,6 +211,41 @@ fn parse_args(argv: &[String]) -> Args {
     args
 }
 
+/// The robustness knobs shared by every mode: only the wall deadline is
+/// CLI-settable today (transport faults and retry policy keep their
+/// paper defaults).
+fn tuning_of(args: &Args) -> SessionTuning {
+    SessionTuning {
+        budget: SessionBudget {
+            max_wall_ms: args.deadline_ms,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Injected chaos panics are part of the experiment, not crashes:
+/// silence their default-hook backtrace spam while letting every
+/// organic panic report as loudly as ever.
+fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("chaos: injected"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("chaos: injected"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv);
@@ -166,8 +253,15 @@ fn main() {
         println!("{}", scenario_for(args.seed, index).to_json());
         return;
     }
+    if args.chaos {
+        quiet_injected_panics();
+    }
     if args.serve {
         run_serve(&args);
+        return;
+    }
+    if args.chaos {
+        run_chaos_bench(&args);
         return;
     }
     let cfg = FleetConfig {
@@ -176,6 +270,7 @@ fn main() {
         threads: args.threads,
         families: args.families.clone(),
         pool_managers: args.pool_managers,
+        tuning: tuning_of(&args),
     };
     match args.use_case.as_str() {
         "synthesis" => run_and_report::<Synthesis>(&cfg, &args),
@@ -186,28 +281,45 @@ fn main() {
     }
 }
 
-/// Resident service mode: stdin → worker pool → stdout, exit non-zero
-/// if any session failed its contract or a request was malformed.
+/// Resident service mode: stdin → worker pool → stdout. Exit contract:
+/// strict (every session ok, nothing shed) normally; under --chaos the
+/// point is surviving faults, so the contract is the accounting
+/// identity instead.
 fn run_serve(args: &Args) {
     let opts = ServeOptions {
         threads: args.threads,
         pool_managers: args.pool_managers,
         default_families: args.families.clone(),
+        queue_depth: args.queue_depth.unwrap_or(1024),
+        tuning: tuning_of(args),
+        chaos: args.chaos.then(|| ChaosPlan::paper_default(args.seed)),
     };
     eprintln!(
-        "fleetd: serving on stdin/stdout, {} workers, pooling {}",
+        "fleetd: serving on stdin/stdout, {} workers, pooling {}, queue depth {}{}",
         opts.threads.max(2),
-        if opts.pool_managers { "on" } else { "off" }
+        if opts.pool_managers { "on" } else { "off" },
+        opts.queue_depth,
+        if args.chaos { ", chaos on" } else { "" }
     );
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     match serve(stdin.lock(), stdout.lock(), &opts) {
         Ok(summary) => {
             eprintln!(
-                "fleetd: drained after {} batch(es), {} session(s), {} failure(s)",
-                summary.batches, summary.sessions, summary.failures
+                "fleetd: drained after {} batch(es), {} session(s), {} failure(s), \
+                 {} shed, {} quarantined",
+                summary.batches,
+                summary.sessions,
+                summary.failures,
+                summary.shed_queue_full + summary.shed_over_deadline,
+                summary.quarantined
             );
-            if !summary.ok() {
+            let met = if args.chaos {
+                summary.accounted()
+            } else {
+                summary.ok()
+            };
+            if !met {
                 std::process::exit(1);
             }
         }
@@ -215,6 +327,71 @@ fn run_serve(args: &Args) {
             eprintln!("fleetd: I/O error: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// `--chaos` without `--serve`: the scripted gauntlet, then the
+/// robustness bench report.
+fn run_chaos_bench(args: &Args) {
+    let cfg = ChaosConfig {
+        sessions: args.sessions.max(16),
+        seed: args.seed,
+        threads: args.threads,
+        queue_depth: args.queue_depth.unwrap_or(8),
+    };
+    eprintln!(
+        "fleet: chaos gauntlet, {} sessions, seed {}, {} workers, queue depth {}",
+        cfg.sessions,
+        cfg.seed,
+        cfg.threads.max(2),
+        cfg.queue_depth
+    );
+    let report = match run_chaos(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet: chaos I/O error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let s = &report.summary;
+    println!(
+        "chaos: submitted {} | completed {} | shed {}+{} | deadline {} | \
+         quarantined {} | retries {} | rejects {} | survival {:.1}%",
+        s.submitted,
+        s.completed,
+        s.shed_queue_full,
+        s.shed_over_deadline,
+        s.deadline_exceeded,
+        s.quarantined,
+        s.transport_retries,
+        s.protocol_errors,
+        report.survival_rate() * 100.0
+    );
+    for (name, hit) in report.fault_classes() {
+        println!(
+            "chaos:   fault class {name:<18} {}",
+            if hit { "exercised" } else { "NOT EXERCISED" }
+        );
+    }
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_robustness.json".into());
+    if let Err(e) = std::fs::write(&out_path, report.bench_json()) {
+        eprintln!("fleet: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+    if !report.survived() {
+        eprintln!("fleet: chaos accounting identity failed: {s:?}");
+        std::process::exit(1);
+    }
+    if !report.all_faults_exercised() {
+        eprintln!(
+            "fleet: a fault class was not exercised at this seed/scale — \
+             raise --sessions or change --seed"
+        );
+        std::process::exit(1);
     }
 }
 

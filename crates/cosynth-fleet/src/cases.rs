@@ -6,7 +6,8 @@
 //! root; this module only knows how to run *one* session of each shape
 //! and how to fold results into rows and JSON.
 
-use crate::{bench_prelude, family_of, FleetReport, UseCase};
+use crate::{bench_prelude, family_of, FleetReport, SessionTuning, UseCase};
+use cosynth::session::RetryPolicy;
 use cosynth::{FamilyRow, Modularizer, RepairSession, SynthesisSession, VerifierContext};
 use criterion::SampleStats;
 use llm_sim::synth_task::SynthesisDraft;
@@ -45,25 +46,70 @@ pub struct SessionResult {
     pub wall_ms: f64,
     /// Whether the session panicked (counted as failed).
     pub panicked: bool,
+    /// Whether the session stopped on its deadline (typed outcome,
+    /// counted as failed but *accounted*, never a panic).
+    pub deadline_exceeded: bool,
+    /// Transport retries the session's retry/backoff layer absorbed.
+    pub retries: usize,
 }
 
 impl SessionResult {
-    /// Converged = locally verified and globally clean.
+    /// Converged = locally verified and globally clean, within budget.
     pub fn converged(&self) -> bool {
-        self.local_ok && self.global_ok && !self.panicked
+        self.local_ok && self.global_ok && !self.panicked && !self.deadline_exceeded
+    }
+
+    /// The session's typed outcome class (the accounting identity's
+    /// vocabulary: every session is exactly one of these).
+    pub fn outcome(&self) -> &'static str {
+        outcome_of(self.panicked, self.deadline_exceeded)
     }
 }
 
-/// Runs one synthesis session against a caller-owned verifier context:
-/// scenario `index` of stream `seed` through the full VPP loop with the
-/// paper-calibrated simulated model.
-pub fn run_session_in(seed: u64, index: usize, ctx: &mut VerifierContext) -> SessionResult {
+/// The shared outcome vocabulary for both use cases.
+pub(crate) fn outcome_of(panicked: bool, deadline_exceeded: bool) -> &'static str {
+    if panicked {
+        "panicked"
+    } else if deadline_exceeded {
+        "deadline_exceeded"
+    } else {
+        "completed"
+    }
+}
+
+/// The per-session retry policy: the fleet policy with its jitter seed
+/// mixed per `(seed, index)`, so backoff accounting is deterministic per
+/// session regardless of worker scheduling.
+fn session_retry(tuning: &SessionTuning, llm_seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        jitter_seed: tuning.retry.jitter_seed ^ llm_seed,
+        ..tuning.retry
+    }
+}
+
+/// Runs one synthesis session against a caller-owned verifier context
+/// under the fleet's robustness tuning: scenario `index` of stream
+/// `seed` through the full VPP loop with the paper-calibrated simulated
+/// model (plus the tuning's transport faults, deadline, and retry
+/// policy).
+pub fn run_session_tuned(
+    seed: u64,
+    index: usize,
+    ctx: &mut VerifierContext,
+    tuning: &SessionTuning,
+) -> SessionResult {
     let scenario = crate::scenario_for(seed, index);
     let llm_seed = seed
         .wrapping_mul(0xA24B_AED4_963E_E407)
         .wrapping_add((index as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
-    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), llm_seed);
-    let session = SynthesisSession::default();
+    let mut model = ErrorModel::paper_default();
+    model.transport = tuning.transport;
+    let mut llm = SimulatedGpt4::new(model, llm_seed);
+    let session = SynthesisSession {
+        budget: tuning.budget,
+        retry: session_retry(tuning, llm_seed),
+        ..Default::default()
+    };
     let t0 = Instant::now();
     let outcome = session.run_scenario_in(&mut llm, &scenario, ctx);
     SessionResult {
@@ -79,7 +125,15 @@ pub fn run_session_in(seed: u64, index: usize, ctx: &mut VerifierContext) -> Ses
         violations: outcome.global.violations.len(),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         panicked: false,
+        deadline_exceeded: outcome.deadline_exceeded,
+        retries: outcome.transport.retries,
     }
+}
+
+/// [`run_session_tuned`] under the default (trusting) tuning — the
+/// pre-robustness entry point, byte-identical content.
+pub fn run_session_in(seed: u64, index: usize, ctx: &mut VerifierContext) -> SessionResult {
+    run_session_tuned(seed, index, ctx, &SessionTuning::default())
 }
 
 /// [`run_session_in`] with a one-shot (unpooled) context — the
@@ -99,8 +153,13 @@ impl UseCase for Synthesis {
     type Result = SessionResult;
     type Row = FamilyRow;
 
-    fn run_session(seed: u64, index: usize, ctx: &mut VerifierContext) -> SessionResult {
-        run_session_in(seed, index, ctx)
+    fn run_session(
+        seed: u64,
+        index: usize,
+        ctx: &mut VerifierContext,
+        tuning: &SessionTuning,
+    ) -> SessionResult {
+        run_session_tuned(seed, index, ctx, tuning)
     }
 
     fn panic_result(index: usize) -> SessionResult {
@@ -117,7 +176,21 @@ impl UseCase for Synthesis {
             violations: 0,
             wall_ms: 0.0,
             panicked: true,
+            deadline_exceeded: false,
+            retries: 0,
         }
+    }
+
+    fn deadline_exceeded(r: &SessionResult) -> bool {
+        r.deadline_exceeded
+    }
+
+    fn retries(r: &SessionResult) -> usize {
+        r.retries
+    }
+
+    fn wall_ms(r: &SessionResult) -> f64 {
+        r.wall_ms
     }
 
     fn index(r: &SessionResult) -> usize {
@@ -222,7 +295,8 @@ impl UseCase for Synthesis {
         format!(
             "{{\"use_case\":\"synthesis\",\"session\":{},\"scenario\":{},\"family\":{},\
              \"intent\":{},\"converged\":{},\"auto\":{},\"human\":{},\"sim_rounds\":{},\
-             \"violations\":{},\"wall_ms\":{:.2},\"panicked\":{}}}",
+             \"violations\":{},\"wall_ms\":{:.2},\"panicked\":{},\"outcome\":{},\
+             \"retries\":{}}}",
             r.index,
             quote(&r.scenario),
             quote(&r.family),
@@ -233,7 +307,9 @@ impl UseCase for Synthesis {
             r.sim_rounds,
             r.violations,
             r.wall_ms,
-            r.panicked
+            r.panicked,
+            quote(r.outcome()),
+            r.retries
         )
     }
 }
@@ -297,16 +373,29 @@ pub struct RepairSessionResult {
     pub wall_ms: f64,
     /// Whether the session panicked (counted as failed).
     pub panicked: bool,
+    /// Whether the session stopped on its deadline (typed outcome).
+    pub deadline_exceeded: bool,
+    /// Transport retries the session's retry/backoff layer absorbed.
+    pub retries: usize,
 }
 
-/// Runs one repair session against a caller-owned verifier context:
-/// scenario `index` of stream `seed`, broken by its deterministic
-/// fault, repaired by the paper-calibrated simulated model with the
-/// repair error-model pathologies.
-pub fn run_repair_session_in(
+impl RepairSessionResult {
+    /// The session's typed outcome class.
+    pub fn outcome(&self) -> &'static str {
+        outcome_of(self.panicked, self.deadline_exceeded)
+    }
+}
+
+/// Runs one repair session against a caller-owned verifier context
+/// under the fleet's robustness tuning: scenario `index` of stream
+/// `seed`, broken by its deterministic fault, repaired by the
+/// paper-calibrated simulated model with the repair error-model
+/// pathologies.
+pub fn run_repair_session_tuned(
     seed: u64,
     index: usize,
     ctx: &mut VerifierContext,
+    tuning: &SessionTuning,
 ) -> RepairSessionResult {
     let scenario = crate::scenario_for(seed, index);
     let configs = clean_configs_for(&scenario);
@@ -315,8 +404,14 @@ pub fn run_repair_session_in(
     let llm_seed = seed
         .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
         .wrapping_add((index as u64).wrapping_mul(0x1656_67B1_9E37_79F9));
-    let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), llm_seed);
-    let session = RepairSession::default();
+    let mut model = ErrorModel::paper_default();
+    model.transport = tuning.transport;
+    let mut llm = SimulatedGpt4::new(model, llm_seed);
+    let session = RepairSession {
+        budget: tuning.budget,
+        retry: session_retry(tuning, llm_seed),
+        ..Default::default()
+    };
     let t0 = Instant::now();
     let outcome = session.run_in(&mut llm, &scenario, &injection, ctx);
     RepairSessionResult {
@@ -339,7 +434,19 @@ pub fn run_repair_session_in(
         space_misses: outcome.space_cache_misses,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         panicked: false,
+        deadline_exceeded: outcome.deadline_exceeded,
+        retries: outcome.transport.retries,
     }
+}
+
+/// [`run_repair_session_tuned`] under the default (trusting) tuning —
+/// the pre-robustness entry point, byte-identical content.
+pub fn run_repair_session_in(
+    seed: u64,
+    index: usize,
+    ctx: &mut VerifierContext,
+) -> RepairSessionResult {
+    run_repair_session_tuned(seed, index, ctx, &SessionTuning::default())
 }
 
 /// [`run_repair_session_in`] with a one-shot (unpooled) context.
@@ -418,8 +525,13 @@ impl UseCase for Repair {
     type Result = RepairSessionResult;
     type Row = RepairRow;
 
-    fn run_session(seed: u64, index: usize, ctx: &mut VerifierContext) -> RepairSessionResult {
-        run_repair_session_in(seed, index, ctx)
+    fn run_session(
+        seed: u64,
+        index: usize,
+        ctx: &mut VerifierContext,
+        tuning: &SessionTuning,
+    ) -> RepairSessionResult {
+        run_repair_session_tuned(seed, index, ctx, tuning)
     }
 
     fn panic_result(index: usize) -> RepairSessionResult {
@@ -439,7 +551,21 @@ impl UseCase for Repair {
             space_misses: 0,
             wall_ms: 0.0,
             panicked: true,
+            deadline_exceeded: false,
+            retries: 0,
         }
+    }
+
+    fn deadline_exceeded(r: &RepairSessionResult) -> bool {
+        r.deadline_exceeded
+    }
+
+    fn retries(r: &RepairSessionResult) -> usize {
+        r.retries
+    }
+
+    fn wall_ms(r: &RepairSessionResult) -> f64 {
+        r.wall_ms
     }
 
     fn index(r: &RepairSessionResult) -> usize {
@@ -447,7 +573,7 @@ impl UseCase for Repair {
     }
 
     fn session_ok(r: &RepairSessionResult) -> bool {
-        r.repaired && !r.panicked
+        r.repaired && !r.panicked && !r.deadline_exceeded
     }
 
     fn failure_line(r: &RepairSessionResult) -> String {
@@ -591,7 +717,8 @@ impl UseCase for Repair {
         format!(
             "{{\"use_case\":\"repair\",\"session\":{},\"scenario\":{},\"family\":{},\
              \"class\":{},\"device\":{},\"repaired\":{},\"localized\":{},\"rounds\":{},\
-             \"auto\":{},\"human\":{},\"wall_ms\":{:.2},\"panicked\":{}}}",
+             \"auto\":{},\"human\":{},\"wall_ms\":{:.2},\"panicked\":{},\"outcome\":{},\
+             \"retries\":{}}}",
             r.index,
             quote(&r.scenario),
             quote(&r.family),
@@ -603,7 +730,9 @@ impl UseCase for Repair {
             r.auto,
             r.human,
             r.wall_ms,
-            r.panicked
+            r.panicked,
+            quote(r.outcome()),
+            r.retries
         )
     }
 }

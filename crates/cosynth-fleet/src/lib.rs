@@ -30,20 +30,36 @@
 //! `pooling_determinism` test pins pooled against fresh-per-space runs
 //! field by field.
 
+use cosynth::session::RetryPolicy;
 use cosynth::{Modularizer, VerifierContext};
+use llm_sim::TransportModel;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 use topo_model::Scenario;
 
 pub mod cases;
+pub mod chaos;
 pub mod service;
 
 pub use cases::{
-    clean_configs_for, fault_seed, run_repair_session, run_repair_session_in, run_session,
-    run_session_in, Repair, RepairRow, RepairSessionResult, SessionResult, Synthesis,
+    clean_configs_for, fault_seed, run_repair_session, run_repair_session_in,
+    run_repair_session_tuned, run_session, run_session_in, run_session_tuned, Repair, RepairRow,
+    RepairSessionResult, SessionResult, Synthesis,
 };
-pub use service::{serve, ServeOptions, ServeSummary};
+pub use chaos::{run_chaos, ChaosConfig, ChaosPlan, ChaosReport, SessionDirective};
+pub use cosynth::session::{RetryPolicy as SessionRetryPolicy, SessionBudget};
+pub use service::{serve, RequestError, ServeOptions, ServeSummary};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// The fleet's shared state (job deques, result vectors, counters) is
+/// only ever mutated through single whole-value operations, so a
+/// poisoned guard is still structurally sound — before this recovery,
+/// one panicking worker poisoned the queue and every *other* worker's
+/// `.unwrap()` aborted the whole fleet.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Fleet run parameters.
 #[derive(Debug, Clone)]
@@ -60,6 +76,11 @@ pub struct FleetConfig {
     /// resident-engine default). `false` is the fresh-per-space
     /// baseline: identical session content, no allocation amortization.
     pub pool_managers: bool,
+    /// Robustness knobs applied to every session: deadline, transport
+    /// fault rates, retry policy. The default is the trusting shape
+    /// (unlimited budget, perfect transport) — byte-identical to the
+    /// pre-robustness fleet.
+    pub tuning: SessionTuning,
 }
 
 impl Default for FleetConfig {
@@ -70,8 +91,23 @@ impl Default for FleetConfig {
             threads: default_threads(),
             families: None,
             pool_managers: true,
+            tuning: SessionTuning::default(),
         }
     }
+}
+
+/// Per-session robustness knobs threaded from the fleet (or the served
+/// request) down into the session drivers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionTuning {
+    /// Per-session deadline (wall-clock and/or prompt ceiling).
+    pub budget: SessionBudget,
+    /// Transport fault rates for the simulated backend.
+    pub transport: TransportModel,
+    /// Retry policy for transport failures. The per-session jitter seed
+    /// is derived from `(seed, index)` on top of this policy's seed, so
+    /// backoff accounting stays deterministic per session.
+    pub retry: RetryPolicy,
 }
 
 /// Default worker count: the machine's parallelism, clamped to [2, 8].
@@ -144,14 +180,29 @@ pub trait UseCase: Sized + Sync {
     /// One aggregate row of the report.
     type Row: Clone + std::fmt::Debug;
 
-    /// Runs session `index` of stream `seed` against `ctx`. Must be
-    /// deterministic per `(seed, index)` — content independent of the
-    /// context's history (the context's `begin_session` guarantees the
-    /// cache side; manager recycling guarantees the kernel side).
-    fn run_session(seed: u64, index: usize, ctx: &mut VerifierContext) -> Self::Result;
+    /// Runs session `index` of stream `seed` against `ctx` under the
+    /// fleet's robustness `tuning`. Must be deterministic per
+    /// `(seed, index, tuning)` — content independent of the context's
+    /// history (the context's `begin_session` guarantees the cache side;
+    /// manager recycling guarantees the kernel side).
+    fn run_session(
+        seed: u64,
+        index: usize,
+        ctx: &mut VerifierContext,
+        tuning: &SessionTuning,
+    ) -> Self::Result;
 
     /// The sentinel result for a session that panicked.
     fn panic_result(index: usize) -> Self::Result;
+
+    /// Whether this session stopped on its deadline (typed outcome).
+    fn deadline_exceeded(result: &Self::Result) -> bool;
+
+    /// Transport retries this session recorded.
+    fn retries(result: &Self::Result) -> usize;
+
+    /// The session's wall-clock, milliseconds.
+    fn wall_ms(result: &Self::Result) -> f64;
 
     /// The session's index in the stream.
     fn index(result: &Self::Result) -> usize;
@@ -205,6 +256,9 @@ pub struct PoolCounters {
     pub cache_hits: usize,
     /// Space-cache (re)builds, across all sessions.
     pub cache_misses: usize,
+    /// Managers dropped (never recycled) because the session that owned
+    /// them panicked — see `VerifierContext::quarantine`.
+    pub quarantined: usize,
 }
 
 impl PoolCounters {
@@ -215,6 +269,7 @@ impl PoolCounters {
         self.manager_reuses += ctx.pool.reuses;
         self.manager_allocs += ctx.pool.allocs;
         self.peak_nodes = self.peak_nodes.max(ctx.pool.peak_nodes);
+        self.quarantined += ctx.pool.quarantined;
         let (hits, misses) = ctx.cache_totals();
         self.cache_hits += hits;
         self.cache_misses += misses;
@@ -294,8 +349,15 @@ pub(crate) fn job_indices(sessions: usize, families: Option<&[String]>) -> Vec<u
 /// indices round-robin over per-worker deques; each worker owns a
 /// resident [`VerifierContext`] for its whole lifetime, pops its own
 /// queue from the front, and steals from the back of the others when
-/// dry. `run` executes one job; it must be panic-safe on its own (wrap
-/// with `catch_unwind` inside) so one session cannot abort the fleet.
+/// dry.
+///
+/// Panic containment lives *here*, not in the job closures: a `run`
+/// that panics is caught, the worker's context is quarantined (its
+/// session's managers are dropped, never recycled — see
+/// `VerifierContext::quarantine`), `on_panic` supplies the sentinel
+/// result, and the worker carries on. Shared locks are taken through
+/// [`lock_clean`], so even a panic that escapes the catch (e.g. inside
+/// a result's `Clone`) cannot cascade into aborting every other worker.
 /// Results come back sorted by index, along with the workers' pooled
 /// reuse counters.
 fn run_pool<R: Send>(
@@ -303,11 +365,12 @@ fn run_pool<R: Send>(
     jobs: &[usize],
     pooling: bool,
     run: impl Fn(usize, &mut VerifierContext) -> R + Sync,
+    on_panic: impl Fn(usize) -> R + Sync,
 ) -> (Vec<(usize, R)>, PoolCounters) {
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, job) in jobs.iter().enumerate() {
-        queues[i % threads].lock().unwrap().push_back(*job);
+        lock_clean(&queues[i % threads]).push_back(*job);
     }
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let counters: Mutex<PoolCounters> = Mutex::new(PoolCounters::default());
@@ -317,6 +380,7 @@ fn run_pool<R: Send>(
             let results = &results;
             let counters = &counters;
             let run = &run;
+            let on_panic = &on_panic;
             scope.spawn(move || {
                 let mut ctx = if pooling {
                     VerifierContext::new()
@@ -327,27 +391,41 @@ fn run_pool<R: Send>(
                     // Own queue first (front), then steal from the back
                     // of the busiest-looking victim.
                     let job = {
-                        let mine = queues[me].lock().unwrap().pop_front();
+                        let mine = lock_clean(&queues[me]).pop_front();
                         mine.or_else(|| {
                             (0..queues.len())
                                 .filter(|&v| v != me)
-                                .find_map(|v| queues[v].lock().unwrap().pop_back())
+                                .find_map(|v| lock_clean(&queues[v]).pop_back())
                         })
                     };
                     let Some(index) = job else { break };
-                    let result = run(index, &mut ctx);
-                    results.lock().unwrap().push((index, result));
+                    // AssertUnwindSafe is sound because quarantine drops
+                    // every piece of state a mid-session panic could
+                    // have left half-mutated, and the fallback must not
+                    // re-enter the generator (if generation panicked, a
+                    // second call would re-panic).
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run(index, &mut ctx)
+                    }))
+                    .unwrap_or_else(|_| {
+                        ctx.quarantine();
+                        on_panic(index)
+                    });
+                    lock_clean(results).push((index, result));
                 }
                 // Fold the final session's cache counters into the
                 // context totals before reporting.
                 ctx.flush();
-                counters.lock().unwrap().absorb(&ctx);
+                lock_clean(counters).absorb(&ctx);
             });
         }
     });
-    let mut results = results.into_inner().unwrap();
+    let mut results = results.into_inner().unwrap_or_else(|e| e.into_inner());
     results.sort_by_key(|r| r.0);
-    (results, counters.into_inner().unwrap())
+    (
+        results,
+        counters.into_inner().unwrap_or_else(|e| e.into_inner()),
+    )
 }
 
 /// Runs a fleet of `U` sessions — the one pipeline behind both use
@@ -356,18 +434,15 @@ pub fn run_case<U: UseCase>(cfg: &FleetConfig) -> FleetReport<U> {
     let threads = cfg.threads.max(2);
     let jobs = job_indices(cfg.sessions, cfg.families.as_deref());
     let seed = cfg.seed;
+    let tuning = cfg.tuning;
     let t0 = Instant::now();
-    let (results, pool) = run_pool(threads, &jobs, cfg.pool_managers, |index, ctx| {
-        // The fallback must not touch the scenario generator — if
-        // generation is what panicked, a second call would re-panic and
-        // abort the whole fleet. AssertUnwindSafe is sound because the
-        // next session's begin_session resets every piece of context
-        // state a mid-session panic could leave behind.
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            U::run_session(seed, index, ctx)
-        }))
-        .unwrap_or_else(|_| U::panic_result(index))
-    });
+    let (results, pool) = run_pool(
+        threads,
+        &jobs,
+        cfg.pool_managers,
+        |index, ctx| U::run_session(seed, index, ctx, &tuning),
+        U::panic_result,
+    );
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let results: Vec<U::Result> = results.into_iter().map(|(_, r)| r).collect();
     let rows = U::aggregate(&results);
@@ -474,6 +549,7 @@ mod tests {
             threads: 3,
             families: None,
             pool_managers: true,
+            tuning: SessionTuning::default(),
         };
         let report = run_fleet(&cfg);
         assert_eq!(report.results.len(), 8);
@@ -510,6 +586,7 @@ mod tests {
             threads: 2,
             families: Some(vec!["ring".into()]),
             pool_managers: true,
+            tuning: SessionTuning::default(),
         });
         assert_eq!(report.results.len(), 3);
         assert!(report.results.iter().all(|r| r.family == "ring"));
@@ -523,6 +600,7 @@ mod tests {
             threads: 3,
             families: None,
             pool_managers: true,
+            tuning: SessionTuning::default(),
         };
         let report = run_case::<Repair>(&cfg);
         assert_eq!(report.results.len(), 10);
@@ -552,6 +630,96 @@ mod tests {
     }
 
     #[test]
+    fn lock_clean_recovers_a_poisoned_mutex() {
+        let m = Mutex::new(41);
+        // Poison it: a panic while the guard is held.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(m.is_poisoned());
+        *lock_clean(&m) += 1;
+        assert_eq!(*lock_clean(&m), 42);
+    }
+
+    #[test]
+    fn one_panicking_job_does_not_abort_the_fleet() {
+        // Regression: the shared queues and result vector used
+        // `.lock().unwrap()`, so a panic inside `run` (while other
+        // workers contend for the same locks) could cascade into
+        // aborting the whole pool. Now the pool catches the panic,
+        // quarantines the worker's context, and substitutes the
+        // sentinel.
+        let jobs: Vec<usize> = (0..12).collect();
+        let (results, counters) = run_pool(
+            3,
+            &jobs,
+            true,
+            |index, _ctx| {
+                if index % 4 == 2 {
+                    panic!("injected worker panic");
+                }
+                index * 10
+            },
+            |index| usize::MAX - index,
+        );
+        assert_eq!(results.len(), 12, "every job gets a result");
+        for (index, r) in &results {
+            if index % 4 == 2 {
+                assert_eq!(*r, usize::MAX - index, "sentinel for panicked job");
+            } else {
+                assert_eq!(*r, index * 10);
+            }
+        }
+        assert_eq!(counters.workers, 3, "all workers survived to report");
+    }
+
+    #[test]
+    fn panicked_session_quarantines_its_managers() {
+        // A job that builds a space and then panics: its manager must be
+        // dropped (quarantined), not parked for the next session.
+        let jobs: Vec<usize> = (0..6).collect();
+        let (results, counters) = run_pool(
+            2,
+            &jobs,
+            true,
+            |index, ctx| {
+                ctx.begin_session();
+                let scenario = scenario_for(1, 0);
+                let assignments = Modularizer::assign_scenario(&scenario);
+                let a = assignments
+                    .iter()
+                    .find(|a| a.checks.iter().any(bf_lite::LocalPolicyCheck::is_symbolic))
+                    .expect("scenario has a symbolic policy router");
+                let d = bf_lite::parse_config(
+                    &llm_sim::synth_task::SynthesisDraft::new(
+                        &a.prompt,
+                        std::collections::BTreeSet::new(),
+                    )
+                    .render(),
+                    Some(bf_lite::Vendor::Cisco),
+                )
+                .device;
+                let _ = ctx.space_for(&a.name, &d, &a.checks);
+                if index % 2 == 1 {
+                    panic!("injected worker panic");
+                }
+                index
+            },
+            |index| index + 1000,
+        );
+        assert_eq!(results.len(), 6);
+        assert!(
+            counters.quarantined >= 1,
+            "panicked sessions must quarantine: {counters:?}"
+        );
+        // Conservation: every alloc is recycled-or-parked or quarantined
+        // — the absorbed totals can't count a quarantined manager as
+        // reusable.
+        assert!(counters.manager_allocs >= counters.quarantined);
+    }
+
+    #[test]
     fn repair_fleet_respects_the_family_filter() {
         let report = run_case::<Repair>(&FleetConfig {
             sessions: 3,
@@ -559,6 +727,7 @@ mod tests {
             threads: 2,
             families: Some(vec!["star".into()]),
             pool_managers: true,
+            tuning: SessionTuning::default(),
         });
         assert_eq!(report.results.len(), 3);
         assert!(report.results.iter().all(|r| r.family == "star"));

@@ -7,32 +7,47 @@
 //!
 //! * **Requests** (one JSON object per line on stdin):
 //!   `{"use_case": "synthesis" | "repair", "seed": 1, "count": 8,
-//!   "families": ["ring", "star"]}` — `use_case` defaults to
-//!   `synthesis`, `seed` to 1, `count` to 1; `families` (array or
-//!   comma-separated string; `family` is accepted as an alias) filters
-//!   the deterministic scenario stream exactly like `fleet --families`.
+//!   "families": ["ring", "star"], "deadline_ms": 500}` — `use_case`
+//!   defaults to `synthesis`, `seed` to 1, `count` to 1; `families`
+//!   (array or comma-separated string; `family` is accepted as an
+//!   alias) filters the deterministic scenario stream exactly like
+//!   `fleet --families`; `deadline_ms` is the batch's admission
+//!   deadline (jobs still queued when it expires are shed, and `0`
+//!   means already-expired: the whole batch is shed at admission).
 //! * **Results** (one JSON object per line on stdout): each session's
 //!   metrics as rendered by [`UseCase::result_json`], streamed in
-//!   completion order as workers finish them.
+//!   completion order as workers finish them. Every session result
+//!   carries a typed `outcome`: `completed`, `deadline_exceeded`, or
+//!   `panicked`.
+//! * **Rejects**: work the service refuses is *accounted*, never
+//!   dropped silently — one `{"event":"reject","reason":...}` line per
+//!   refusal (aggregated with a `shed` count for admission-time sheds).
+//!   Reasons: `bad_request` (with the [`RequestError`] `code`),
+//!   `queue_full`, `over_deadline`.
 //! * **Batch end**: after every batch, one
-//!   `{"event":"batch","requested":N,"completed":N,"failed":N}` line.
+//!   `{"event":"batch","requested":N,"completed":N,"failed":N,"shed":S}`
+//!   line.
 //! * **Drain**: on stdin EOF the pool drains and the final line reports
-//!   the resident-engine counters —
-//!   `{"event":"drain", ..., "manager_reuses": R, "manager_allocs": A,
-//!   "peak_nodes": P, "space_cache_hits": H, ...}`.
-//! * **Errors**: a malformed request emits
-//!   `{"event":"error","message":...}` and the service keeps serving.
+//!   the resident-engine counters plus the robustness ledger —
+//!   submitted/completed/shed/deadline-exceeded/quarantined and
+//!   `"accounted":true` when the identity
+//!   `submitted = completed + shed + deadline_exceeded + quarantined`
+//!   holds.
 //!
 //! Batches run one at a time (requests are read between batches), which
-//! keeps result attribution trivial; the residency win — warm managers
-//! and one-time worker spawn — is across batches, where it matters.
+//! keeps result attribution trivial and makes admission deterministic:
+//! the queue is empty at every enqueue, so `queue_full` sheds exactly
+//! `max(0, batch - depth)` jobs regardless of worker scheduling.
 
-use crate::{cases, job_indices, PoolCounters, UseCase};
+use crate::{cases, chaos, job_indices, lock_clean, PoolCounters, SessionTuning, UseCase};
+use cosynth::session::SessionBudget;
 use cosynth::VerifierContext;
+use llm_sim::TransportModel;
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 use topo_model::json::{self, Json};
 
 /// Service configuration.
@@ -45,6 +60,17 @@ pub struct ServeOptions {
     /// Topology-family filter applied to requests that carry none of
     /// their own (the CLI's `--families` under `--serve`).
     pub default_families: Option<Vec<String>>,
+    /// Admission control: jobs a single batch may enqueue. A batch
+    /// larger than this is admitted up to the depth and the excess is
+    /// shed with a typed `queue_full` reject.
+    pub queue_depth: usize,
+    /// Robustness knobs applied to every served session.
+    pub tuning: SessionTuning,
+    /// Seeded chaos plan: per-job fault directives (worker panics, slow
+    /// sessions, flaky backends) assigned by global job sequence number
+    /// at enqueue time, so injection is deterministic per plan seed
+    /// regardless of worker scheduling.
+    pub chaos: Option<chaos::ChaosPlan>,
 }
 
 impl Default for ServeOptions {
@@ -53,6 +79,9 @@ impl Default for ServeOptions {
             threads: crate::default_threads(),
             pool_managers: true,
             default_families: None,
+            queue_depth: 1024,
+            tuning: SessionTuning::default(),
+            chaos: None,
         }
     }
 }
@@ -71,21 +100,109 @@ impl Default for ServeOptions {
 pub struct ServeSummary {
     /// Batches accepted.
     pub batches: usize,
-    /// Sessions run.
+    /// Sessions run (all typed outcomes: completed + deadline-exceeded
+    /// + quarantined).
     pub sessions: usize,
     /// Sessions that failed their use case's per-session contract.
     pub failures: usize,
-    /// Malformed request lines.
+    /// Malformed request lines (each also a `bad_request` reject).
     pub protocol_errors: usize,
+    /// Jobs submitted across all well-formed batches (run + shed).
+    pub submitted: usize,
+    /// Sessions that ran to a `completed` outcome (whether or not they
+    /// met the per-session contract).
+    pub completed: usize,
+    /// Jobs shed at admission because the batch overflowed the queue.
+    pub shed_queue_full: usize,
+    /// Jobs shed because their batch deadline expired before a worker
+    /// picked them up (or the batch arrived already expired).
+    pub shed_over_deadline: usize,
+    /// Sessions that stopped on their own deadline (typed outcome).
+    pub deadline_exceeded: usize,
+    /// Sessions that panicked; each quarantined its worker's managers.
+    pub quarantined: usize,
+    /// Transport retries absorbed across all sessions.
+    pub transport_retries: usize,
+    /// Wall-clock of every run session, milliseconds, in completion
+    /// order (the chaos harness folds these into latency percentiles).
+    pub latencies_ms: Vec<f64>,
     /// Resident-pool counters summed over workers at drain.
     pub pool: PoolCounters,
 }
 
 impl ServeSummary {
-    /// The service met its contract: every session ok, every request
-    /// well-formed.
+    /// Whether every submitted job is accounted for by exactly one
+    /// typed outcome: `submitted = completed + shed + deadline_exceeded
+    /// + quarantined`. This is the robustness layer's conservation law.
+    pub fn accounted(&self) -> bool {
+        self.submitted
+            == self.completed
+                + self.shed_queue_full
+                + self.shed_over_deadline
+                + self.deadline_exceeded
+                + self.quarantined
+    }
+
+    /// The service met its strict contract: every session ok, every
+    /// request well-formed, nothing shed, everything accounted.
     pub fn ok(&self) -> bool {
-        self.failures == 0 && self.protocol_errors == 0
+        self.failures == 0
+            && self.protocol_errors == 0
+            && self.shed_queue_full == 0
+            && self.shed_over_deadline == 0
+            && self.accounted()
+    }
+}
+
+/// A typed request-parse failure: the `code` is what lands in the
+/// `bad_request` reject event, so consumers can dispatch without
+/// string-matching the human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The line is not JSON at all (includes a line truncated at EOF).
+    BadJson(String),
+    /// The line is JSON but not an object.
+    NotAnObject,
+    /// `use_case` names no known session shape.
+    UnknownUseCase(String),
+    /// A known field carries the wrong type or range.
+    BadField {
+        /// The offending field.
+        field: &'static str,
+        /// What it must be.
+        expected: &'static str,
+    },
+    /// `count` is zero: a batch with no sessions is a protocol error,
+    /// not a no-op.
+    EmptyBatch,
+}
+
+impl RequestError {
+    /// Stable snake_case code for the reject event.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RequestError::BadJson(_) => "bad_json",
+            RequestError::NotAnObject => "not_an_object",
+            RequestError::UnknownUseCase(_) => "unknown_use_case",
+            RequestError::BadField { .. } => "bad_field",
+            RequestError::EmptyBatch => "empty_batch",
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::BadJson(e) => write!(f, "bad JSON: {e}"),
+            RequestError::NotAnObject => write!(f, "request must be a JSON object"),
+            RequestError::UnknownUseCase(s) => {
+                write!(f, "unknown use_case {s:?} (known: synthesis, repair)")
+            }
+            RequestError::BadField { field, expected } => {
+                write!(f, "{field} must be {expected}")
+            }
+            RequestError::EmptyBatch => write!(f, "count must be at least 1"),
+        }
     }
 }
 
@@ -100,6 +217,9 @@ pub struct BatchRequest {
     pub count: usize,
     /// Optional topology-family filter.
     pub families: Option<Vec<String>>,
+    /// Optional admission deadline for the batch, milliseconds from
+    /// admission. `Some(0)` means already expired.
+    pub deadline_ms: Option<u64>,
 }
 
 /// The use cases the service can run.
@@ -111,31 +231,55 @@ pub enum CaseKind {
     Repair,
 }
 
+impl CaseKind {
+    fn name(self) -> &'static str {
+        match self {
+            CaseKind::Synthesis => cases::Synthesis::NAME,
+            CaseKind::Repair => cases::Repair::NAME,
+        }
+    }
+}
+
 /// Parses one request line. Unknown fields are ignored (forward
-/// compatibility); a wrong type or unknown use case is an error.
-pub fn parse_request(line: &str) -> Result<BatchRequest, String> {
-    let v = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+/// compatibility); a wrong type, unknown use case, or empty batch is a
+/// typed [`RequestError`].
+pub fn parse_request(line: &str) -> Result<BatchRequest, RequestError> {
+    let v = json::parse(line).map_err(|e| RequestError::BadJson(e.to_string()))?;
     if !matches!(v, Json::Obj(_)) {
-        return Err("request must be a JSON object".into());
+        return Err(RequestError::NotAnObject);
     }
     let use_case = match v.get("use_case").or_else(|| v.get("use-case")) {
         None => CaseKind::Synthesis,
         Some(Json::Str(s)) if s == cases::Synthesis::NAME => CaseKind::Synthesis,
         Some(Json::Str(s)) if s == cases::Repair::NAME => CaseKind::Repair,
-        Some(Json::Str(s)) => {
-            return Err(format!("unknown use_case {s:?} (known: synthesis, repair)"))
+        Some(Json::Str(s)) => return Err(RequestError::UnknownUseCase(s.clone())),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "use_case",
+                expected: "a string",
+            })
         }
-        Some(_) => return Err("use_case must be a string".into()),
     };
     let seed = match v.get("seed") {
         None => 1,
         Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
-        Some(_) => return Err("seed must be a non-negative integer".into()),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "seed",
+                expected: "a non-negative integer",
+            })
+        }
     };
     let count = match v.get("count").or_else(|| v.get("sessions")) {
         None => 1,
+        Some(Json::Num(n)) if *n == 0.0 => return Err(RequestError::EmptyBatch),
         Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 && *n <= 1e6 => *n as usize,
-        Some(_) => return Err("count must be a positive integer".into()),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "count",
+                expected: "a positive integer",
+            })
+        }
     };
     let families = match v.get("families").or_else(|| v.get("family")) {
         None => None,
@@ -145,18 +289,39 @@ pub fn parse_request(line: &str) -> Result<BatchRequest, String> {
             for item in items {
                 match item.as_str() {
                     Some(f) => fams.push(f.to_string()),
-                    None => return Err("families entries must be strings".into()),
+                    None => {
+                        return Err(RequestError::BadField {
+                            field: "families",
+                            expected: "a string or an array of strings",
+                        })
+                    }
                 }
             }
             Some(fams)
         }
-        Some(_) => return Err("families must be a string or an array of strings".into()),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "families",
+                expected: "a string or an array of strings",
+            })
+        }
+    };
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "deadline_ms",
+                expected: "a non-negative integer",
+            })
+        }
     };
     Ok(BatchRequest {
         use_case,
         seed,
         count,
         families,
+        deadline_ms,
     })
 }
 
@@ -166,29 +331,116 @@ struct Job {
     kind: CaseKind,
     seed: u64,
     index: usize,
+    /// Chaos directive assigned at enqueue (by global sequence number).
+    directive: Option<chaos::SessionDirective>,
+    /// Wall-clock admission deadline; a job still queued past it is
+    /// shed at dequeue.
+    deadline: Option<Instant>,
 }
 
-/// What a worker sends back per session.
+/// The typed outcome class of one dequeued job.
+enum CompletionClass {
+    /// The session ran to completion; `ok` is the per-session contract.
+    Completed { ok: bool },
+    /// The session stopped on its own deadline budget.
+    DeadlineExceeded,
+    /// The session panicked; the worker quarantined its context.
+    Panicked,
+    /// The job was shed at dequeue: its admission deadline had expired.
+    Shed,
+}
+
+/// What a worker sends back per dequeued job.
 struct Completion {
     line: String,
-    ok: bool,
+    class: CompletionClass,
+    wall_ms: f64,
+    retries: usize,
 }
 
-/// Runs one job on a worker's resident context, panic-contained.
-fn run_job(job: Job, ctx: &mut VerifierContext) -> Completion {
-    fn one<U: UseCase>(seed: u64, index: usize, ctx: &mut VerifierContext) -> Completion {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            U::run_session(seed, index, ctx)
-        }))
-        .unwrap_or_else(|_| U::panic_result(index));
-        Completion {
-            line: U::result_json(&result),
-            ok: U::session_ok(&result),
+/// Runs one job on a worker's resident context, panic-contained: a
+/// panicking session (organic or chaos-injected) quarantines the
+/// context's live managers and reports the typed `panicked` outcome.
+fn run_job(job: Job, ctx: &mut VerifierContext, base: &SessionTuning) -> Completion {
+    if let Some(deadline) = job.deadline {
+        if Instant::now() >= deadline {
+            return Completion {
+                line: format!(
+                    "{{\"event\":\"reject\",\"reason\":\"over_deadline\",\
+                     \"use_case\":\"{}\",\"session\":{}}}",
+                    job.kind.name(),
+                    job.index
+                ),
+                class: CompletionClass::Shed,
+                wall_ms: 0.0,
+                retries: 0,
+            };
+        }
+    }
+    let mut tuning = *base;
+    let inject_panic = match job.directive {
+        Some(d) => {
+            if d.flaky {
+                tuning.transport = TransportModel::flaky();
+            }
+            if d.slow {
+                // A "slow" session is modelled as a prompt budget of
+                // zero — it trips its deadline immediately and
+                // deterministically (a wall-clock stall would make the
+                // injection racy).
+                tuning.budget = SessionBudget {
+                    max_prompts: Some(0),
+                    ..tuning.budget
+                };
+            }
+            d.inject_panic
+        }
+        None => false,
+    };
+    fn one<U: UseCase>(
+        seed: u64,
+        index: usize,
+        ctx: &mut VerifierContext,
+        tuning: &SessionTuning,
+        inject_panic: bool,
+    ) -> Completion {
+        let t0 = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                chaos::poison_and_panic(ctx);
+            }
+            U::run_session(seed, index, ctx, tuning)
+        }));
+        match outcome {
+            Ok(result) => Completion {
+                class: if U::deadline_exceeded(&result) {
+                    CompletionClass::DeadlineExceeded
+                } else {
+                    CompletionClass::Completed {
+                        ok: U::session_ok(&result),
+                    }
+                },
+                wall_ms: U::wall_ms(&result),
+                retries: U::retries(&result),
+                line: U::result_json(&result),
+            },
+            Err(_) => {
+                ctx.quarantine();
+                let result = U::panic_result(index);
+                Completion {
+                    line: U::result_json(&result),
+                    class: CompletionClass::Panicked,
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    retries: 0,
+                }
+            }
         }
     }
     match job.kind {
-        CaseKind::Synthesis => one::<cases::Synthesis>(job.seed, job.index, ctx),
-        CaseKind::Repair => one::<cases::Repair>(job.seed, job.index, ctx),
+        CaseKind::Synthesis => {
+            one::<cases::Synthesis>(job.seed, job.index, ctx, &tuning, inject_panic)
+        }
+        CaseKind::Repair => one::<cases::Repair>(job.seed, job.index, ctx, &tuning, inject_panic),
     }
 }
 
@@ -201,6 +453,7 @@ pub fn serve(
     opts: &ServeOptions,
 ) -> std::io::Result<ServeSummary> {
     let threads = opts.threads.max(2);
+    let queue_depth = opts.queue_depth.max(1);
     let queue: Mutex<(VecDeque<Job>, bool)> = Mutex::new((VecDeque::new(), false));
     let available = Condvar::new();
     let counters: Mutex<PoolCounters> = Mutex::new(PoolCounters::default());
@@ -212,6 +465,7 @@ pub fn serve(
             let queue = &queue;
             let available = &available;
             let counters = &counters;
+            let tuning = &opts.tuning;
             let tx = tx.clone();
             scope.spawn(move || {
                 let mut ctx = if opts.pool_managers {
@@ -221,7 +475,7 @@ pub fn serve(
                 };
                 loop {
                     let job = {
-                        let mut state = queue.lock().unwrap();
+                        let mut state = lock_clean(queue);
                         loop {
                             if let Some(job) = state.0.pop_front() {
                                 break Some(job);
@@ -229,16 +483,16 @@ pub fn serve(
                             if state.1 {
                                 break None; // shut down
                             }
-                            state = available.wait(state).unwrap();
+                            state = available.wait(state).unwrap_or_else(|e| e.into_inner());
                         }
                     };
                     let Some(job) = job else { break };
                     // A send can only fail after serve() returned, which
                     // cannot happen while workers are still scoped.
-                    let _ = tx.send(run_job(job, &mut ctx));
+                    let _ = tx.send(run_job(job, &mut ctx, tuning));
                 }
                 ctx.flush();
-                counters.lock().unwrap().absorb(&ctx);
+                lock_clean(counters).absorb(&ctx);
             });
         }
 
@@ -246,20 +500,40 @@ pub fn serve(
         // EOF or I/O error — still flips the shutdown flag below;
         // otherwise a failed write would leave workers parked on the
         // condvar and the scope would never join.
-        let pump = || -> std::io::Result<()> {
+        let mut chaos_seq: u64 = 0;
+        let pump = |summary: &mut ServeSummary| -> std::io::Result<()> {
             for line in input.lines() {
-                let line = line?;
+                // A stdin read error (e.g. a final line with invalid
+                // bytes, cut off mid-write) is a bad request, not a
+                // service abort: reject it and drain gracefully so the
+                // summary still balances.
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        summary.protocol_errors += 1;
+                        writeln!(
+                            output,
+                            "{{\"event\":\"reject\",\"reason\":\"bad_request\",\
+                             \"code\":\"read_error\",\"message\":{}}}",
+                            json::quote(&e.to_string())
+                        )?;
+                        output.flush()?;
+                        break;
+                    }
+                };
                 if line.trim().is_empty() {
                     continue;
                 }
                 let request = match parse_request(&line) {
                     Ok(r) => r,
-                    Err(message) => {
+                    Err(err) => {
                         summary.protocol_errors += 1;
                         writeln!(
                             output,
-                            "{{\"event\":\"error\",\"message\":{}}}",
-                            json::quote(&message)
+                            "{{\"event\":\"reject\",\"reason\":\"bad_request\",\
+                             \"code\":\"{}\",\"message\":{}}}",
+                            err.code(),
+                            json::quote(&err.to_string())
                         )?;
                         output.flush()?;
                         continue;
@@ -271,27 +545,100 @@ pub fn serve(
                     .as_deref()
                     .or(opts.default_families.as_deref());
                 let jobs = job_indices(request.count, families);
+                summary.submitted += jobs.len();
+
+                // Admission, stage 1: an already-expired batch deadline
+                // sheds the whole batch (deterministically — no timing
+                // race against the workers).
+                if request.deadline_ms == Some(0) {
+                    summary.shed_over_deadline += jobs.len();
+                    writeln!(
+                        output,
+                        "{{\"event\":\"reject\",\"reason\":\"over_deadline\",\
+                         \"use_case\":\"{}\",\"shed\":{}}}",
+                        request.use_case.name(),
+                        jobs.len()
+                    )?;
+                    writeln!(
+                        output,
+                        "{{\"event\":\"batch\",\"requested\":{},\"completed\":0,\
+                         \"failed\":0,\"shed\":{}}}",
+                        request.count,
+                        jobs.len()
+                    )?;
+                    output.flush()?;
+                    continue;
+                }
+
+                // Admission, stage 2: the queue is bounded. Batches run
+                // one at a time, so the queue is empty here and the
+                // shed count is exactly max(0, batch - depth).
+                let accepted = jobs.len().min(queue_depth);
+                let shed = jobs.len() - accepted;
+                if shed > 0 {
+                    summary.shed_queue_full += shed;
+                    writeln!(
+                        output,
+                        "{{\"event\":\"reject\",\"reason\":\"queue_full\",\
+                         \"use_case\":\"{}\",\"shed\":{},\"queue_depth\":{}}}",
+                        request.use_case.name(),
+                        shed,
+                        queue_depth
+                    )?;
+                }
+                let deadline = request
+                    .deadline_ms
+                    .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
                 {
-                    let mut state = queue.lock().unwrap();
-                    for &index in &jobs {
+                    let mut state = lock_clean(&queue);
+                    for &index in jobs.iter().take(accepted) {
+                        let directive = opts.chaos.as_ref().map(|p| p.directive(chaos_seq));
+                        chaos_seq += 1;
                         state.0.push_back(Job {
                             kind: request.use_case,
                             seed: request.seed,
                             index,
+                            directive,
+                            deadline,
                         });
                     }
                 }
                 available.notify_all();
                 let mut failed = 0usize;
-                for _ in 0..jobs.len() {
+                let mut batch_shed = shed;
+                for _ in 0..accepted {
                     let done = rx.recv().expect("workers outlive the batch");
-                    if !done.ok {
-                        failed += 1;
+                    match done.class {
+                        CompletionClass::Completed { ok } => {
+                            summary.sessions += 1;
+                            summary.completed += 1;
+                            summary.latencies_ms.push(done.wall_ms);
+                            summary.transport_retries += done.retries;
+                            if !ok {
+                                failed += 1;
+                            }
+                        }
+                        CompletionClass::DeadlineExceeded => {
+                            summary.sessions += 1;
+                            summary.deadline_exceeded += 1;
+                            summary.latencies_ms.push(done.wall_ms);
+                            summary.transport_retries += done.retries;
+                            failed += 1;
+                        }
+                        CompletionClass::Panicked => {
+                            summary.sessions += 1;
+                            summary.quarantined += 1;
+                            summary.latencies_ms.push(done.wall_ms);
+                            failed += 1;
+                        }
+                        CompletionClass::Shed => {
+                            summary.shed_over_deadline += 1;
+                            batch_shed += 1;
+                        }
                     }
                     writeln!(output, "{}", done.line)?;
                     output.flush()?;
                 }
-                summary.sessions += jobs.len();
                 summary.failures += failed;
                 if jobs.len() < request.count {
                     // The family filter matched nothing in the probe window
@@ -299,7 +646,8 @@ pub fn serve(
                     summary.protocol_errors += 1;
                     writeln!(
                         output,
-                        "{{\"event\":\"error\",\"message\":{}}}",
+                        "{{\"event\":\"reject\",\"reason\":\"bad_request\",\
+                         \"code\":\"family_filter\",\"message\":{}}}",
                         json::quote(&format!(
                             "only {} of {} requested sessions matched the family filter \
                          (known families: {:?})",
@@ -311,39 +659,52 @@ pub fn serve(
                 }
                 writeln!(
                     output,
-                    "{{\"event\":\"batch\",\"requested\":{},\"completed\":{},\"failed\":{failed}}}",
+                    "{{\"event\":\"batch\",\"requested\":{},\"completed\":{},\
+                     \"failed\":{failed},\"shed\":{batch_shed}}}",
                     request.count,
-                    jobs.len()
+                    accepted - (batch_shed - shed)
                 )?;
                 output.flush()?;
             }
             Ok(())
         };
-        let result = pump();
+        let result = pump(&mut summary);
 
         // EOF (or error): drain the pool.
-        queue.lock().unwrap().1 = true;
+        lock_clean(&queue).1 = true;
         available.notify_all();
         result
     });
     io_result?;
 
-    summary.pool = counters.into_inner().unwrap();
+    summary.pool = counters.into_inner().unwrap_or_else(|e| e.into_inner());
     let p = &summary.pool;
     writeln!(
         output,
         "{{\"event\":\"drain\",\"batches\":{},\"sessions\":{},\"failures\":{},\
-         \"protocol_errors\":{},\"workers\":{},\"pooling\":{},\"manager_reuses\":{},\
-         \"manager_allocs\":{},\"reuse_rate\":{:.4},\"peak_nodes\":{},\
-         \"space_cache_hits\":{},\"space_cache_misses\":{}}}",
+         \"protocol_errors\":{},\"submitted\":{},\"completed\":{},\
+         \"shed_queue_full\":{},\"shed_over_deadline\":{},\"deadline_exceeded\":{},\
+         \"quarantined\":{},\"transport_retries\":{},\"accounted\":{},\
+         \"workers\":{},\"pooling\":{},\"manager_reuses\":{},\
+         \"manager_allocs\":{},\"manager_quarantined\":{},\"reuse_rate\":{:.4},\
+         \"peak_nodes\":{},\"space_cache_hits\":{},\"space_cache_misses\":{}}}",
         summary.batches,
         summary.sessions,
         summary.failures,
         summary.protocol_errors,
+        summary.submitted,
+        summary.completed,
+        summary.shed_queue_full,
+        summary.shed_over_deadline,
+        summary.deadline_exceeded,
+        summary.quarantined,
+        summary.transport_retries,
+        summary.accounted(),
         p.workers,
         opts.pool_managers,
         p.manager_reuses,
         p.manager_allocs,
+        p.quarantined,
         p.reuse_rate(),
         p.peak_nodes,
         p.cache_hits,
@@ -363,6 +724,7 @@ mod tests {
         assert_eq!(r.use_case, CaseKind::Repair);
         assert_eq!((r.seed, r.count), (3, 5));
         assert_eq!(r.families, None);
+        assert_eq!(r.deadline_ms, None);
         // Defaults.
         let r = parse_request("{}").unwrap();
         assert_eq!(r.use_case, CaseKind::Synthesis);
@@ -378,12 +740,64 @@ mod tests {
             r.families.as_deref(),
             Some(&["chain".into(), "ring".into()][..])
         );
-        // Errors.
-        assert!(parse_request("not json").is_err());
-        assert!(parse_request(r#"{"use_case":"translate"}"#).is_err());
-        assert!(parse_request(r#"{"count":0}"#).is_err());
-        assert!(parse_request(r#"{"seed":"one"}"#).is_err());
-        assert!(parse_request("[1,2]").is_err());
+        let r = parse_request(r#"{"count":2,"deadline_ms":500}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(500));
+    }
+
+    #[test]
+    fn request_errors_are_typed_per_failure_mode() {
+        // Malformed JSON — including a line truncated at EOF.
+        assert!(matches!(
+            parse_request("not json"),
+            Err(RequestError::BadJson(_))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"use_case":"synth"#),
+            Err(RequestError::BadJson(_))
+        ));
+        // JSON but not an object.
+        assert_eq!(parse_request("[1,2]"), Err(RequestError::NotAnObject));
+        // Unknown use case.
+        assert_eq!(
+            parse_request(r#"{"use_case":"translate"}"#),
+            Err(RequestError::UnknownUseCase("translate".into()))
+        );
+        // Empty batch is its own error, not a generic bad field.
+        assert_eq!(
+            parse_request(r#"{"count":0}"#),
+            Err(RequestError::EmptyBatch)
+        );
+        // Wrong-typed fields.
+        assert!(matches!(
+            parse_request(r#"{"seed":"one"}"#),
+            Err(RequestError::BadField { field: "seed", .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"count":-3}"#),
+            Err(RequestError::BadField { field: "count", .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"deadline_ms":"soon"}"#),
+            Err(RequestError::BadField {
+                field: "deadline_ms",
+                ..
+            })
+        ));
+        // Codes are stable.
+        assert_eq!(parse_request("x").unwrap_err().code(), "bad_json");
+        assert_eq!(parse_request("[]").unwrap_err().code(), "not_an_object");
+        assert_eq!(
+            parse_request(r#"{"count":0}"#).unwrap_err().code(),
+            "empty_batch"
+        );
+        assert_eq!(
+            parse_request(r#"{"use_case":"x"}"#).unwrap_err().code(),
+            "unknown_use_case"
+        );
+        assert_eq!(
+            parse_request(r#"{"seed":-1}"#).unwrap_err().code(),
+            "bad_field"
+        );
     }
 
     #[test]
@@ -396,14 +810,16 @@ mod tests {
             &mut out,
             &ServeOptions {
                 threads: 2,
-                pool_managers: true,
-                default_families: None,
+                ..Default::default()
             },
         )
         .expect("serve io");
         assert!(summary.ok(), "{summary:?}");
         assert_eq!(summary.batches, 2);
         assert_eq!(summary.sessions, 5);
+        assert_eq!(summary.submitted, 5);
+        assert_eq!(summary.completed, 5);
+        assert!(summary.accounted());
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         // 5 session lines + 2 batch lines + 1 drain line, all valid JSON.
@@ -428,6 +844,7 @@ mod tests {
         let drain = lines.last().unwrap();
         assert!(drain.contains("\"event\":\"drain\""), "{drain}");
         assert!(drain.contains("\"manager_reuses\""), "{drain}");
+        assert!(drain.contains("\"accounted\":true"), "{drain}");
         // The second batch reuses the first batch's managers: residency
         // across batches is the whole point.
         assert!(summary.pool.manager_reuses > 0, "{:?}", summary.pool);
@@ -435,16 +852,96 @@ mod tests {
     }
 
     #[test]
-    fn serve_reports_malformed_lines_and_keeps_going() {
-        let input = b"this is not json\n{\"count\":1}\n";
+    fn serve_rejects_malformed_lines_with_typed_codes_and_keeps_going() {
+        let input =
+            b"this is not json\n[1]\n{\"count\":0}\n{\"use_case\":\"nope\"}\n{\"count\":1}\n";
         let mut out = Vec::new();
         let summary = serve(&input[..], &mut out, &ServeOptions::default()).expect("serve io");
-        assert_eq!(summary.protocol_errors, 1);
+        assert_eq!(summary.protocol_errors, 4);
         assert_eq!(summary.sessions, 1);
         assert!(!summary.ok());
+        assert!(summary.accounted(), "{summary:?}");
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("\"event\":\"error\""), "{text}");
+        for code in [
+            "bad_json",
+            "not_an_object",
+            "empty_batch",
+            "unknown_use_case",
+        ] {
+            assert!(
+                text.contains(&format!(
+                    "\"event\":\"reject\",\"reason\":\"bad_request\",\"code\":\"{code}\""
+                )),
+                "missing {code} reject:\n{text}"
+            );
+        }
         assert!(text.contains("\"event\":\"drain\""), "{text}");
+    }
+
+    #[test]
+    fn serve_survives_a_truncated_final_line() {
+        // A final request cut off mid-JSON (no newline, half an object)
+        // must produce a typed bad_request reject and a clean drain —
+        // never a panic or a wedged worker pool.
+        let input = b"{\"count\":1}\n{\"use_case\":\"synth";
+        let mut out = Vec::new();
+        let summary = serve(&input[..], &mut out, &ServeOptions::default()).expect("serve io");
+        assert_eq!(summary.sessions, 1);
+        assert_eq!(summary.protocol_errors, 1);
+        assert!(summary.accounted());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"code\":\"bad_json\""), "{text}");
+        assert!(text.contains("\"event\":\"drain\""), "{text}");
+    }
+
+    #[test]
+    fn queue_depth_sheds_the_batch_excess_with_a_typed_reject() {
+        let input = b"{\"count\":5,\"seed\":1}\n";
+        let mut out = Vec::new();
+        let summary = serve(
+            &input[..],
+            &mut out,
+            &ServeOptions {
+                threads: 2,
+                queue_depth: 3,
+                ..Default::default()
+            },
+        )
+        .expect("serve io");
+        assert_eq!(summary.submitted, 5);
+        assert_eq!(summary.completed, 3);
+        assert_eq!(summary.shed_queue_full, 2);
+        assert!(summary.accounted(), "{summary:?}");
+        assert!(!summary.ok(), "shed work fails the strict contract");
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains(
+                "\"event\":\"reject\",\"reason\":\"queue_full\",\"use_case\":\"synthesis\",\
+                 \"shed\":2,\"queue_depth\":3"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"shed\":2}"),
+            "batch line carries the shed: {text}"
+        );
+    }
+
+    #[test]
+    fn expired_batch_deadline_sheds_everything_at_admission() {
+        let input = b"{\"count\":4,\"deadline_ms\":0}\n{\"count\":1}\n";
+        let mut out = Vec::new();
+        let summary = serve(&input[..], &mut out, &ServeOptions::default()).expect("serve io");
+        assert_eq!(summary.submitted, 5);
+        assert_eq!(summary.shed_over_deadline, 4);
+        assert_eq!(summary.completed, 1, "the next batch still runs");
+        assert!(summary.accounted(), "{summary:?}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("\"event\":\"reject\",\"reason\":\"over_deadline\""),
+            "{text}"
+        );
+        assert!(text.contains("\"shed\":4"), "{text}");
     }
 
     #[test]
@@ -459,8 +956,8 @@ mod tests {
             &mut out,
             &ServeOptions {
                 threads: 2,
-                pool_managers: true,
                 default_families: Some(vec!["ring".into()]),
+                ..Default::default()
             },
         )
         .expect("serve io");
@@ -487,5 +984,39 @@ mod tests {
         assert!(!summary.ok(), "{summary:?}");
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("family filter"), "{text}");
+        assert!(text.contains("\"code\":\"family_filter\""), "{text}");
+    }
+
+    #[test]
+    fn served_sessions_carry_typed_outcomes_under_a_prompt_budget() {
+        // A serve-wide prompt budget of zero forces every session into
+        // the deadline_exceeded outcome — typed, accounted, no panic.
+        let input = b"{\"count\":3,\"seed\":1}\n";
+        let mut out = Vec::new();
+        let summary = serve(
+            &input[..],
+            &mut out,
+            &ServeOptions {
+                threads: 2,
+                tuning: SessionTuning {
+                    budget: SessionBudget {
+                        max_prompts: Some(0),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("serve io");
+        assert_eq!(summary.deadline_exceeded, 3);
+        assert_eq!(summary.completed, 0);
+        assert!(summary.accounted(), "{summary:?}");
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.matches("\"outcome\":\"deadline_exceeded\"").count(),
+            3,
+            "{text}"
+        );
     }
 }

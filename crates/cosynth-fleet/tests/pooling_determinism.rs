@@ -10,7 +10,7 @@
 //! `VerifierContext::begin_session` makes each session start from an
 //! observationally fresh cache.
 
-use cosynth_fleet::{run_case, FleetConfig, Repair, Synthesis};
+use cosynth_fleet::{run_case, FleetConfig, Repair, SessionTuning, Synthesis};
 
 const SESSIONS: usize = 16;
 
@@ -21,6 +21,7 @@ fn cfg(pool_managers: bool) -> FleetConfig {
         threads: 2,
         families: None,
         pool_managers,
+        tuning: SessionTuning::default(),
     }
 }
 

@@ -1,0 +1,152 @@
+//! End-to-end robustness gauntlet: run `fleet --chaos` as a real
+//! subprocess at the committed scale (64 sessions, seed 1) and hold it
+//! to the acceptance contract — it survives every injected fault class
+//! without aborting, every submitted job lands in exactly one typed
+//! outcome, and the whole run is deterministic per seed. Also smokes
+//! `--serve --chaos`: the resident service under the same fault
+//! schedule, fed over stdin.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+use topo_model::json::Json;
+
+fn chaos_bench(out_path: &str) -> Json {
+    let out = Command::new(env!("CARGO_BIN_EXE_fleet"))
+        .args([
+            "--chaos",
+            "--sessions",
+            "64",
+            "--seed",
+            "1",
+            "--threads",
+            "4",
+            "--out",
+            out_path,
+        ])
+        .output()
+        .expect("run fleet --chaos");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status.code()
+    );
+    let text = std::fs::read_to_string(out_path).expect("bench file written");
+    topo_model::json::parse(&text).expect("bench file parses")
+}
+
+fn count(bench: &Json, field: &str) -> u64 {
+    bench
+        .get(field)
+        .and_then(|v| v.as_u32())
+        .unwrap_or_else(|| panic!("bench field {field} missing")) as u64
+}
+
+#[test]
+fn chaos_gauntlet_survives_accounts_and_replays_deterministically() {
+    let dir = std::env::temp_dir();
+    let a_path = dir.join("BENCH_robustness_test_a.json");
+    let b_path = dir.join("BENCH_robustness_test_b.json");
+    let a = chaos_bench(a_path.to_str().unwrap());
+    let b = chaos_bench(b_path.to_str().unwrap());
+
+    // The accounting identity, from the bench file itself.
+    let submitted = count(&a, "submitted");
+    assert_eq!(submitted, 64);
+    assert_eq!(
+        submitted,
+        count(&a, "completed")
+            + count(&a, "shed_queue_full")
+            + count(&a, "shed_over_deadline")
+            + count(&a, "deadline_exceeded")
+            + count(&a, "quarantined"),
+        "{a:?}"
+    );
+    assert_eq!(a.get("accounted").and_then(Json::as_bool), Some(true));
+    assert_eq!(a.get("survived").and_then(Json::as_bool), Some(true));
+
+    // Every fault class fired at this seed/scale.
+    let classes = a.get("fault_classes").expect("fault_classes block");
+    for class in [
+        "malformed_request",
+        "queue_full",
+        "over_deadline",
+        "worker_panic",
+        "slow_session",
+        "flaky_backend",
+    ] {
+        assert_eq!(
+            classes.get(class).and_then(Json::as_bool),
+            Some(true),
+            "fault class {class} not exercised: {a:?}"
+        );
+    }
+
+    // Each panicked session quarantined at least one manager.
+    assert!(count(&a, "manager_quarantined") >= count(&a, "quarantined"));
+    // The latency block exists (values are wall-clock, not pinned).
+    assert!(a.get("latency_ms").and_then(|l| l.get("p90")).is_some());
+
+    // Determinism: every counter replays exactly; only latency moves.
+    for field in [
+        "submitted",
+        "completed",
+        "shed_queue_full",
+        "shed_over_deadline",
+        "deadline_exceeded",
+        "quarantined",
+        "manager_quarantined",
+        "transport_retries",
+        "protocol_errors",
+    ] {
+        assert_eq!(
+            count(&a, field),
+            count(&b, field),
+            "chaos counter {field} must be deterministic per seed"
+        );
+    }
+    let _ = std::fs::remove_file(a_path);
+    let _ = std::fs::remove_file(b_path);
+}
+
+#[test]
+fn serve_under_chaos_stays_accounted_and_never_aborts() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fleet"))
+        .args(["--serve", "--chaos", "--threads", "2", "--seed", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn fleet --serve --chaos");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        // Enough jobs that the seeded schedule injects real faults,
+        // plus one malformed line the service must reject and outlive.
+        stdin
+            .write_all(
+                b"{\"use_case\":\"synthesis\",\"seed\":1,\"count\":12}\n\
+                  half a reque\n\
+                  {\"use_case\":\"repair\",\"seed\":1,\"count\":12}\n",
+            )
+            .expect("write requests");
+    } // drop -> EOF -> drain
+    let out = child.wait_with_output().expect("collect output");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        out.status.success(),
+        "serve under chaos must drain accounted, exit {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status.code()
+    );
+    // Sessions stream with typed outcomes; the drain line balances.
+    assert!(stdout.contains("\"outcome\":"), "{stdout}");
+    assert!(
+        stdout.contains("\"code\":\"bad_json\""),
+        "the malformed line must be rejected, not fatal: {stdout}"
+    );
+    let drain = stdout.lines().last().unwrap();
+    assert!(drain.contains("\"event\":\"drain\""), "{drain}");
+    assert!(drain.contains("\"accounted\":true"), "{drain}");
+    assert!(drain.contains("\"submitted\":24"), "{drain}");
+}

@@ -93,5 +93,8 @@ fn serve_exits_nonzero_on_a_malformed_request() {
     let out = child.wait_with_output().expect("collect output");
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("\"event\":\"error\""), "{stdout}");
+    assert!(
+        stdout.contains("\"event\":\"reject\",\"reason\":\"bad_request\",\"code\":\"bad_json\""),
+        "{stdout}"
+    );
 }

@@ -25,7 +25,10 @@ use crate::humanizer::Humanizer;
 use crate::iip::IipDatabase;
 use crate::leverage::Leverage;
 use crate::modularizer::{Modularizer, RouterAssignment};
-use crate::session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
+use crate::session::{
+    LoggedPrompt, PromptKind, RetryPolicy, SessionBudget, SessionLimits, SessionTranscript,
+    TransportStats,
+};
 use crate::verifier_ctx::VerifierContext;
 use bf_lite::{LocalPolicyCheck, Vendor};
 use campion_lite::CampionFinding;
@@ -84,6 +87,10 @@ pub struct RepairOutcome {
     pub space_cache_hits: usize,
     /// Space (re)builds: first sight of a router or a repair edit to it.
     pub space_cache_misses: usize,
+    /// Whether the session stopped early on its [`SessionBudget`].
+    pub deadline_exceeded: bool,
+    /// Transport retry/escalation accounting for the whole session.
+    pub transport: TransportStats,
 }
 
 /// The repair session driver.
@@ -96,6 +103,10 @@ pub struct RepairSession {
     pub limits: SessionLimits,
     /// The IIP database loaded at chat start.
     pub iips: IipDatabase,
+    /// Per-session deadline (default unlimited).
+    pub budget: SessionBudget,
+    /// Transport retry policy.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RepairSession {
@@ -106,6 +117,8 @@ impl Default for RepairSession {
                 max_rounds: 6,
             },
             iips: IipDatabase::paper_default(),
+            budget: SessionBudget::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -143,14 +156,21 @@ impl RepairSession {
         ctx.begin_session();
         let assignments = Modularizer::assign_scenario(scenario);
         let mut configs = injection.configs.clone();
-        let mut t = SessionTranscript::new(llm, self.iips.system_message());
+        let mut t = SessionTranscript::new(llm, self.iips.system_message())
+            .with_budget(self.budget)
+            .with_retry(self.retry);
         let mut first_localization: Option<Localization> = None;
         let mut rounds = 0usize;
+        let mut deadline_exceeded = false;
         let mut global = check_scenario(scenario, &configs);
         let repaired = loop {
             let loc = localize(scenario, &assignments, &configs, ctx);
             if loc.is_none() && global.holds() {
                 break true;
+            }
+            if t.over_budget() {
+                deadline_exceeded = true;
+                break false;
             }
             if rounds >= self.limits.max_rounds {
                 break false;
@@ -189,6 +209,8 @@ impl RepairSession {
             log: t.log,
             space_cache_hits: ctx.cache.hits,
             space_cache_misses: ctx.cache.misses,
+            deadline_exceeded,
+            transport: t.transport,
         }
     }
 }
@@ -604,6 +626,53 @@ mod tests {
             injection.fault
         );
         assert!(outcome.global.holds());
+    }
+
+    #[test]
+    fn repair_deadline_yields_typed_outcome() {
+        let scenario = scenario_gen::generate(3, 1);
+        let configs = clean_configs(&scenario);
+        let injection = fault_inject::inject(&configs, 5).expect("applicable fault");
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 17);
+        let session = RepairSession {
+            budget: SessionBudget {
+                max_wall_ms: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let outcome = session.run(&mut llm, &scenario, &injection);
+        assert!(outcome.deadline_exceeded, "an expired budget must trip");
+        assert!(!outcome.repaired);
+        assert_eq!(outcome.rounds, 0, "no repair prompt past the deadline");
+    }
+
+    #[test]
+    fn dead_transport_repair_escalates_every_send_and_still_fixes() {
+        // Every request times out: each send burns its whole retry
+        // budget, escalates to the human re-issue, and the session still
+        // lands the fix — the worst transport cannot wedge a repair.
+        let scenario = scenario_gen::generate(3, 1);
+        let configs = clean_configs(&scenario);
+        let injection = fault_inject::inject(&configs, 5).expect("applicable fault");
+        let mut model = ErrorModel::paper_default();
+        model.transport = llm_sim::TransportModel {
+            p_timeout: 1.0,
+            ..Default::default()
+        };
+        let mut llm = SimulatedGpt4::new(model, 17);
+        let outcome = RepairSession::default().run(&mut llm, &scenario, &injection);
+        assert!(outcome.repaired, "{:#?}", outcome.log.last());
+        assert!(outcome.transport.retries > 0, "dead backend forces retries");
+        assert_eq!(
+            outcome.transport.escalations,
+            outcome.log.len(),
+            "every send exhausts its budget"
+        );
+        assert_eq!(
+            outcome.transport.retries,
+            outcome.log.len() * RetryPolicy::default().max_retries
+        );
     }
 
     #[test]

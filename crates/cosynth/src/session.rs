@@ -1,8 +1,10 @@
-//! Shared session machinery: transcripts, limits, and the LLM chat
-//! wrapper.
+//! Shared session machinery: transcripts, limits, budgets, and the LLM
+//! chat wrapper (including transport retry/backoff).
 
 use crate::leverage::Leverage;
+use llm_sim::rng::SimRng;
 use llm_sim::{LanguageModel, Message};
+use std::time::Instant;
 
 /// Who issued a prompt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +49,88 @@ impl Default for SessionLimits {
     }
 }
 
+/// A per-session deadline: wall-clock and/or prompt-count ceilings. The
+/// default is unlimited, so every pre-existing caller keeps its
+/// behaviour. A session that trips either ceiling stops where it is and
+/// reports a typed `deadline_exceeded` outcome instead of occupying a
+/// fleet worker forever.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionBudget {
+    /// Wall-clock ceiling in milliseconds (None = unlimited).
+    pub max_wall_ms: Option<u64>,
+    /// Prompt-count ceiling across the whole session (None = unlimited).
+    pub max_prompts: Option<usize>,
+}
+
+impl SessionBudget {
+    /// Whether a session at `elapsed_ms` / `prompts` is over budget.
+    pub fn exceeded(&self, elapsed_ms: u128, prompts: usize) -> bool {
+        if let Some(ms) = self.max_wall_ms {
+            if elapsed_ms >= u128::from(ms) {
+                return true;
+            }
+        }
+        if let Some(p) = self.max_prompts {
+            if prompts >= p {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any ceiling is set at all.
+    pub fn is_limited(&self) -> bool {
+        self.max_wall_ms.is_some() || self.max_prompts.is_some()
+    }
+}
+
+/// Bounded retry-with-backoff for transport failures. Backoff is
+/// *accounted*, not slept — the simulated transport has no real latency,
+/// so sleeping would only slow the fleet; the session instead records
+/// the delay it would have paid so latency reports stay honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per prompt before escalating to the human channel.
+    pub max_retries: usize,
+    /// Base backoff in milliseconds; attempt `n` waits
+    /// `base << (n-1)` plus seeded jitter.
+    pub base_backoff_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 100,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Transport-layer accounting for one session: how many sends were
+/// retried, how many exhausted their retries (escalating to the human
+/// channel), and the total simulated backoff delay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Individual retried attempts (a send that fails twice counts 2).
+    pub retries: usize,
+    /// Sends whose retry budget ran out.
+    pub escalations: usize,
+    /// Total accounted (not slept) backoff delay in milliseconds.
+    pub backoff_ms_total: u64,
+}
+
+impl TransportStats {
+    /// Folds another session's counters into this one.
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.retries += other.retries;
+        self.escalations += other.escalations;
+        self.backoff_ms_total += other.backoff_ms_total;
+    }
+}
+
 /// A running chat with the LLM plus the prompt accounting.
 pub struct SessionTranscript<'a, M: LanguageModel + ?Sized> {
     llm: &'a mut M,
@@ -55,6 +139,16 @@ pub struct SessionTranscript<'a, M: LanguageModel + ?Sized> {
     pub log: Vec<LoggedPrompt>,
     /// Leverage counters.
     pub leverage: Leverage,
+    /// The session's deadline (default unlimited).
+    budget: SessionBudget,
+    /// When the session started (for the wall-clock ceiling).
+    started: Instant,
+    /// Transport retry policy.
+    retry: RetryPolicy,
+    /// Seeded jitter stream for backoff accounting.
+    jitter: SimRng,
+    /// Transport retry/escalation counters for this session.
+    pub transport: TransportStats,
 }
 
 impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
@@ -64,15 +158,49 @@ impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
         if let Some(s) = system {
             messages.push(Message::system(s));
         }
+        let retry = RetryPolicy::default();
         SessionTranscript {
             llm,
             messages,
             log: Vec::new(),
             leverage: Leverage::default(),
+            budget: SessionBudget::default(),
+            started: Instant::now(),
+            jitter: SimRng::seed_from_u64(retry.jitter_seed),
+            retry,
+            transport: TransportStats::default(),
         }
     }
 
+    /// Sets the session deadline (builder style).
+    pub fn with_budget(mut self, budget: SessionBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the transport retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self.jitter = SimRng::seed_from_u64(retry.jitter_seed);
+        self
+    }
+
+    /// Whether the session has tripped its deadline. Callers check this
+    /// at loop tops and stop work; the transcript itself never refuses a
+    /// send (the caller may want one final wrap-up prompt).
+    pub fn over_budget(&self) -> bool {
+        self.budget
+            .exceeded(self.started.elapsed().as_millis(), self.log.len())
+    }
+
     /// Sends a prompt, records it, and returns the response text.
+    ///
+    /// Transport failures are retried up to the policy's budget with
+    /// exponential backoff (accounted, not slept). When the budget runs
+    /// out the failure escalates to the human channel — a human re-issues
+    /// the request out of band, so the extra prompt is charged as human
+    /// effort and leverage accounting stays honest — and the final
+    /// attempt goes through the infallible `complete` path.
     pub fn send(&mut self, kind: PromptKind, prompt: impl Into<String>) -> String {
         let prompt = prompt.into();
         match kind {
@@ -81,7 +209,30 @@ impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
             PromptKind::Human => self.leverage.record_human(),
         }
         self.messages.push(Message::user(prompt.clone()));
-        let response = self.llm.complete(&self.messages);
+        let mut attempt = 0usize;
+        let response = loop {
+            match self.llm.try_complete(&self.messages) {
+                Ok(r) => break r,
+                Err(_err) if attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    self.transport.retries += 1;
+                    let base = self.retry.base_backoff_ms << (attempt - 1);
+                    let jitter = if base == 0 {
+                        0
+                    } else {
+                        self.jitter.next_u64() % (base / 2 + 1)
+                    };
+                    self.transport.backoff_ms_total += base + jitter;
+                }
+                Err(_err) => {
+                    // Retry budget exhausted: the human channel re-issues
+                    // the request, which always lands.
+                    self.transport.escalations += 1;
+                    self.leverage.record_human();
+                    break self.llm.complete(&self.messages);
+                }
+            }
+        };
         self.messages.push(Message::assistant(response.clone()));
         self.log.push(LoggedPrompt {
             kind,
@@ -150,5 +301,112 @@ mod tests {
         let l = SessionLimits::default();
         assert!(l.attempts_per_finding >= 1);
         assert!(l.max_rounds >= 10);
+    }
+
+    /// A model whose transport fails the first `failures` attempts.
+    struct FlakyLlm {
+        failures: usize,
+        completions: usize,
+    }
+
+    impl LanguageModel for FlakyLlm {
+        fn complete(&mut self, _t: &[Message]) -> String {
+            self.completions += 1;
+            "ok".into()
+        }
+
+        fn try_complete(&mut self, t: &[Message]) -> Result<String, llm_sim::TransportError> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                Err(llm_sim::TransportError::Timeout)
+            } else {
+                Ok(self.complete(t))
+            }
+        }
+    }
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let mut llm = ScriptedLlm::new(vec!["ok".to_string()]);
+        let mut t = SessionTranscript::new(&mut llm, None);
+        for _ in 0..50 {
+            t.send(PromptKind::Auto, "p");
+        }
+        assert!(!t.over_budget());
+    }
+
+    #[test]
+    fn prompt_budget_trips_after_ceiling() {
+        let mut llm = ScriptedLlm::new(vec!["ok".to_string()]);
+        let mut t = SessionTranscript::new(&mut llm, None).with_budget(SessionBudget {
+            max_prompts: Some(2),
+            ..Default::default()
+        });
+        assert!(!t.over_budget());
+        t.send(PromptKind::Task, "task");
+        assert!(!t.over_budget());
+        t.send(PromptKind::Auto, "fix");
+        assert!(t.over_budget());
+    }
+
+    #[test]
+    fn zero_wall_budget_is_immediately_exceeded() {
+        let mut llm = ScriptedLlm::new(vec!["ok".to_string()]);
+        let t = SessionTranscript::new(&mut llm, None).with_budget(SessionBudget {
+            max_wall_ms: Some(0),
+            ..Default::default()
+        });
+        assert!(t.over_budget());
+    }
+
+    #[test]
+    fn transient_transport_failure_is_retried() {
+        let mut llm = FlakyLlm {
+            failures: 2,
+            completions: 0,
+        };
+        let mut t = SessionTranscript::new(&mut llm, None);
+        let r = t.send(PromptKind::Auto, "p");
+        assert_eq!(r, "ok");
+        assert_eq!(t.transport.retries, 2);
+        assert_eq!(t.transport.escalations, 0);
+        assert!(t.transport.backoff_ms_total >= 100 + 200);
+        assert_eq!(t.leverage.human, 0, "retries are not human effort");
+    }
+
+    #[test]
+    fn exhausted_retries_escalate_to_human() {
+        let mut llm = FlakyLlm {
+            failures: 10,
+            completions: 0,
+        };
+        let mut t = SessionTranscript::new(&mut llm, None).with_retry(RetryPolicy {
+            max_retries: 1,
+            base_backoff_ms: 50,
+            jitter_seed: 9,
+        });
+        let r = t.send(PromptKind::Auto, "p");
+        assert_eq!(r, "ok", "the human re-issue always lands");
+        assert_eq!(t.transport.retries, 1);
+        assert_eq!(t.transport.escalations, 1);
+        assert_eq!(t.leverage.human, 1, "escalation is charged to the human");
+        assert_eq!(t.leverage.auto, 1, "the original auto prompt still counts");
+    }
+
+    #[test]
+    fn backoff_accounting_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut llm = FlakyLlm {
+                failures: 2,
+                completions: 0,
+            };
+            let mut t = SessionTranscript::new(&mut llm, None).with_retry(RetryPolicy {
+                jitter_seed: seed,
+                ..Default::default()
+            });
+            t.send(PromptKind::Auto, "p");
+            t.transport.backoff_ms_total
+        };
+        assert_eq!(run(4), run(4));
     }
 }

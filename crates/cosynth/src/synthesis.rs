@@ -15,7 +15,10 @@ use crate::humanizer::{HumanFixKind, Humanizer};
 use crate::iip::IipDatabase;
 use crate::leverage::Leverage;
 use crate::modularizer::{Modularizer, RouterAssignment};
-use crate::session::{LoggedPrompt, PromptKind, SessionLimits, SessionTranscript};
+use crate::session::{
+    LoggedPrompt, PromptKind, RetryPolicy, SessionBudget, SessionLimits, SessionTranscript,
+    TransportStats,
+};
 use crate::verifier_ctx::VerifierContext;
 use bf_lite::Vendor;
 use llm_sim::LanguageModel;
@@ -56,6 +59,11 @@ pub struct SynthesisOutcome {
     /// Symbolic-space cache (re)builds: first sight of a router draft or
     /// a rectification edit to it.
     pub space_cache_misses: usize,
+    /// Whether the session stopped early because it tripped its
+    /// [`SessionBudget`] (a typed outcome, not a panic).
+    pub deadline_exceeded: bool,
+    /// Transport retry/escalation accounting for the whole session.
+    pub transport: TransportStats,
 }
 
 /// The synthesis session driver.
@@ -68,6 +76,10 @@ pub struct SynthesisSession {
     pub style: SpecStyle,
     /// Attempt bound for the global style before declaring divergence.
     pub max_global_attempts: usize,
+    /// Per-session deadline (default unlimited).
+    pub budget: SessionBudget,
+    /// Transport retry policy.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SynthesisSession {
@@ -77,6 +89,8 @@ impl Default for SynthesisSession {
             iips: IipDatabase::paper_default(),
             style: SpecStyle::Local,
             max_global_attempts: 6,
+            budget: SessionBudget::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -160,11 +174,26 @@ impl SynthesisSession {
         ctx: &mut VerifierContext,
     ) -> ScenarioDrive {
         ctx.begin_session();
-        let mut t = SessionTranscript::new(llm, self.iips.system_message());
+        let mut t = SessionTranscript::new(llm, self.iips.system_message())
+            .with_budget(self.budget)
+            .with_retry(self.retry);
         let mut configs = BTreeMap::new();
         let mut verified_local = true;
+        let mut deadline_exceeded = false;
         for assignment in Modularizer::assign_scenario(scenario) {
-            let (config, ok) = self.rectify_router(&mut t, ctx, &scenario.topology, &assignment);
+            if t.over_budget() {
+                // The deadline tripped between routers: remaining routers
+                // get no drafts and the session reports the typed outcome.
+                deadline_exceeded = true;
+                verified_local = false;
+                configs.insert(assignment.name.clone(), String::new());
+                continue;
+            }
+            let (config, ok, over) =
+                self.rectify_router(&mut t, ctx, &scenario.topology, &assignment);
+            if over {
+                deadline_exceeded = true;
+            }
             if !ok {
                 verified_local = false;
             }
@@ -177,6 +206,8 @@ impl SynthesisSession {
             log: t.log,
             space_cache_hits: ctx.cache.hits,
             space_cache_misses: ctx.cache.misses,
+            deadline_exceeded,
+            transport: t.transport,
         }
     }
 
@@ -194,12 +225,17 @@ impl SynthesisSession {
         ctx: &mut VerifierContext,
         topology: &Topology,
         assignment: &RouterAssignment,
-    ) -> (String, bool) {
+    ) -> (String, bool, bool) {
         let mut current = t.send_expecting_config(PromptKind::Task, assignment.prompt.clone(), "");
         let mut attempts: BTreeMap<String, usize> = BTreeMap::new();
         let mut rounds = 0usize;
         let mut router_ok = false;
+        let mut over_budget = false;
         while rounds < self.limits.max_rounds {
+            if t.over_budget() {
+                over_budget = true;
+                break;
+            }
             rounds += 1;
             // Phase 1: syntax.
             let parsed = bf_lite::parse_config(&current, Some(Vendor::Cisco));
@@ -295,7 +331,7 @@ impl SynthesisSession {
             router_ok = true;
             break;
         }
-        (current, router_ok)
+        (current, router_ok, over_budget)
     }
 
     fn run_global<M: LanguageModel + ?Sized>(
@@ -304,15 +340,22 @@ impl SynthesisSession {
         topology: &Topology,
         roles: &StarRoles,
     ) -> SynthesisOutcome {
-        let mut t = SessionTranscript::new(llm, self.iips.system_message());
+        let mut t = SessionTranscript::new(llm, self.iips.system_message())
+            .with_budget(self.budget)
+            .with_retry(self.retry);
         let prompt = Modularizer::global_prompt(topology);
         let mut response = t.send(PromptKind::Task, prompt);
         let mut configs = parse_multi_configs(&response);
         let mut converged = false;
         let mut global = compose_and_check(topology, roles, &configs);
+        let mut deadline_exceeded = false;
         for _ in 0..self.max_global_attempts {
             if global.holds() {
                 converged = true;
+                break;
+            }
+            if t.over_budget() {
+                deadline_exceeded = true;
                 break;
             }
             // Whole-network counterexample feedback (Minesweeper-style),
@@ -371,6 +414,8 @@ impl SynthesisSession {
             log: t.log,
             space_cache_hits: 0,
             space_cache_misses: 0,
+            deadline_exceeded,
+            transport: t.transport,
         }
     }
 }
@@ -384,6 +429,8 @@ struct ScenarioDrive {
     log: Vec<LoggedPrompt>,
     space_cache_hits: usize,
     space_cache_misses: usize,
+    deadline_exceeded: bool,
+    transport: TransportStats,
 }
 
 impl ScenarioDrive {
@@ -397,6 +444,8 @@ impl ScenarioDrive {
             log: self.log,
             space_cache_hits: self.space_cache_hits,
             space_cache_misses: self.space_cache_misses,
+            deadline_exceeded: self.deadline_exceeded,
+            transport: self.transport,
         }
     }
 }
@@ -573,6 +622,62 @@ mod tests {
         assert_eq!(configs.len(), 2);
         assert!(configs["R1"].contains("router bgp 1"));
         assert!(configs["R2"].contains("hostname R2"));
+    }
+
+    #[test]
+    fn prompt_budget_yields_typed_deadline_outcome() {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 11);
+        let s = SynthesisSession {
+            budget: crate::session::SessionBudget {
+                max_prompts: Some(3),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let outcome = s.run(&mut llm, 6);
+        assert!(
+            outcome.deadline_exceeded,
+            "3 prompts cannot finish 7 routers"
+        );
+        assert!(!outcome.converged);
+        assert!(
+            outcome.log.len() <= 4,
+            "at most one send past the ceiling, got {}",
+            outcome.log.len()
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_never_reports_deadline() {
+        let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 11);
+        let outcome = SynthesisSession::default().run(&mut llm, 6);
+        assert!(!outcome.deadline_exceeded);
+        assert_eq!(outcome.transport, TransportStats::default());
+    }
+
+    #[test]
+    fn flaky_transport_retries_and_still_converges() {
+        let mut model = ErrorModel::paper_default();
+        model.transport = llm_sim::TransportModel::flaky();
+        let mut llm = SimulatedGpt4::new(model, 11);
+        let s = SynthesisSession {
+            retry: crate::session::RetryPolicy {
+                max_retries: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let outcome = s.run(&mut llm, 6);
+        assert!(
+            outcome.transport.retries > 0,
+            "flaky backend forces retries"
+        );
+        assert!(
+            outcome.global.holds(),
+            "retry absorbs transport faults: {:#?}",
+            outcome.global.violations
+        );
+        assert!(outcome.transport.backoff_ms_total > 0);
     }
 
     #[test]

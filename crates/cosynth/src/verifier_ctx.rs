@@ -53,6 +53,10 @@ pub struct ManagerPool {
     /// [`Manager::node_count`], the `node_count` field of
     /// [`bdd::ManagerStats`]).
     pub peak_nodes: usize,
+    /// Managers dropped by [`VerifierContext::quarantine`] instead of
+    /// recycled: a panicked session may have left them mid-mutation, so
+    /// their arenas cannot be trusted by the next tenant.
+    pub quarantined: usize,
 }
 
 impl ManagerPool {
@@ -223,6 +227,25 @@ impl VerifierContext {
             self.cache_misses_total + self.cache.misses,
         )
     }
+
+    /// Poisons the live session's state after a panic: its counters are
+    /// folded into the lifetime totals (the work *was* done), but every
+    /// manager it owned is **dropped**, never released back into the
+    /// pool — a panic may have unwound mid-mutation, leaving an arena no
+    /// future tenant can trust. Each dropped manager bumps
+    /// [`ManagerPool::quarantined`]. The context itself stays usable:
+    /// after quarantine it is observationally a context whose pool is
+    /// merely colder.
+    pub fn quarantine(&mut self) {
+        self.cache_hits_total += self.cache.hits;
+        self.cache_misses_total += self.cache.misses;
+        self.cache.hits = 0;
+        self.cache.misses = 0;
+        for space in self.cache.drain() {
+            self.pool.quarantined += 1;
+            drop(space);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +328,63 @@ mod tests {
         assert_eq!(ctx.pool.allocs, 1, "no second allocation");
         assert_eq!(ctx.cache_totals(), (1, 2));
         assert!(ctx.pool.peak_nodes > 1, "release recorded the arena size");
+    }
+
+    #[test]
+    fn quarantine_drops_managers_instead_of_recycling() {
+        let mut ctx = VerifierContext::new();
+        ctx.begin_session();
+        let d = tagging_device("r1", "100:1");
+        let checks = [carry_check("100:1")];
+        let _ = ctx.space_for("r1", &d, &checks);
+        assert_eq!(ctx.pool.allocs, 1);
+        // The session panics: its manager must not reach the free list.
+        ctx.quarantine();
+        assert_eq!(ctx.pool.quarantined, 1);
+        assert_eq!(ctx.pool.idle(), 0, "poisoned manager never parked");
+        assert_eq!(ctx.cache.len(), 0);
+        // The next session on this context allocates fresh.
+        ctx.begin_session();
+        let _ = ctx.space_for("r1", &d, &checks);
+        assert_eq!(ctx.pool.reuses, 0, "nothing to recycle after quarantine");
+        assert_eq!(ctx.pool.allocs, 2);
+    }
+
+    #[test]
+    fn quarantine_conservation_law_over_random_op_sequences() {
+        // Property-style: over a seeded random interleaving of sessions,
+        // space builds, and quarantines, every manager ever allocated is
+        // exactly one of parked / cached / quarantined — a quarantined
+        // manager is never recycled and no counter drifts.
+        let mut rng = llm_sim::rng::SimRng::seed_from_u64(0xC0FFEE);
+        let routers = ["r1", "r2", "r3", "r4", "r5"];
+        let mut ctx = VerifierContext::new();
+        ctx.begin_session();
+        for step in 0..400 {
+            match rng.index(10) {
+                0 => ctx.begin_session(),
+                1 | 2 => ctx.quarantine(),
+                _ => {
+                    let name = routers[rng.index(routers.len())];
+                    let community = format!("100:{}", 1 + rng.index(3));
+                    let d = tagging_device(name, &community);
+                    let checks = [carry_check(&community)];
+                    let _ = ctx.space_for(name, &d, &checks);
+                }
+            }
+            assert_eq!(
+                ctx.pool.allocs,
+                ctx.pool.idle() + ctx.cache.len() + ctx.pool.quarantined,
+                "conservation violated at step {step}: allocs={} idle={} \
+                 cached={} quarantined={}",
+                ctx.pool.allocs,
+                ctx.pool.idle(),
+                ctx.cache.len(),
+                ctx.pool.quarantined
+            );
+        }
+        assert!(ctx.pool.quarantined > 0, "the sequence must quarantine");
+        assert!(ctx.pool.reuses > 0, "and still exercise recycling");
     }
 
     #[test]

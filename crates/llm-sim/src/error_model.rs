@@ -3,6 +3,52 @@
 use crate::faults::FaultKind;
 use std::collections::BTreeMap;
 
+/// Transport-level failure rates for the simulated chat API: the layer
+/// *under* the content error model. Content faults (the Table 2/3
+/// catalogue) are things the model says wrongly; transport faults are
+/// completions the client never usably receives — the request times
+/// out, the response is cut off mid-fence, or the payload arrives
+/// garbled. All three surface as a typed
+/// [`crate::model::TransportError`] from
+/// [`crate::model::LanguageModel::try_complete`], which is what the
+/// session retry/backoff layer keys on.
+///
+/// Every stock [`ErrorModel`] constructor leaves these at zero, so the
+/// content streams of all committed benches are byte-identical to the
+/// pre-transport model; only callers that opt in (the chaos harness's
+/// flaky-backend directive) consume draws from the transport stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransportModel {
+    /// Probability a request times out (no server-side state advances —
+    /// the request never arrived).
+    pub p_timeout: f64,
+    /// Probability the completion is truncated in flight (the server
+    /// answered and its state advanced, but the client can't use it).
+    pub p_truncated: f64,
+    /// Probability the payload is garbled in flight (same server-side
+    /// semantics as truncation; a different client-side detection path).
+    pub p_malformed: f64,
+}
+
+impl TransportModel {
+    /// Whether any transport fault can fire. When false the transport
+    /// RNG stream is never consumed — the zero-knob guarantee above.
+    pub fn any(&self) -> bool {
+        self.p_timeout > 0.0 || self.p_truncated > 0.0 || self.p_malformed > 0.0
+    }
+
+    /// The chaos harness's flaky-backend profile: faults are common
+    /// enough to force retries in nearly every session, rare enough
+    /// that a bounded retry budget still converges.
+    pub fn flaky() -> Self {
+        TransportModel {
+            p_timeout: 0.25,
+            p_truncated: 0.15,
+            p_malformed: 0.10,
+        }
+    }
+}
+
 /// Probabilistic model of the simulated GPT-4's error behaviour.
 ///
 /// Calibration targets (see EXPERIMENTS.md): with `paper_default`, the
@@ -28,6 +74,9 @@ pub struct ErrorModel {
     /// Repair sessions: probability a successful fix introduces one
     /// fresh auto-fixable fault as a regression.
     pub p_repair_regress: f64,
+    /// Transport-level failure rates (zero in every stock constructor;
+    /// see [`TransportModel`]).
+    pub transport: TransportModel,
 }
 
 impl ErrorModel {
@@ -64,6 +113,7 @@ impl ErrorModel {
             respect_iip: true,
             p_repair_wrong_line: 0.25,
             p_repair_regress: 0.2,
+            transport: TransportModel::default(),
         }
     }
 
@@ -77,6 +127,7 @@ impl ErrorModel {
             respect_iip: true,
             p_repair_wrong_line: 0.0,
             p_repair_regress: 0.0,
+            transport: TransportModel::default(),
         }
     }
 
@@ -99,6 +150,7 @@ impl ErrorModel {
             respect_iip: true,
             p_repair_wrong_line: 0.0,
             p_repair_regress: 0.0,
+            transport: TransportModel::default(),
         }
     }
 

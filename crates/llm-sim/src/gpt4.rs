@@ -3,7 +3,7 @@
 
 use crate::error_model::ErrorModel;
 use crate::faults::{FaultKind, RepairBehavior};
-use crate::model::{fence, last_fenced_block, LanguageModel, Message, Role};
+use crate::model::{fence, last_fenced_block, LanguageModel, Message, Role, TransportError};
 use crate::prompts::{self, PromptClass};
 use crate::rng::SimRng;
 use crate::synth_task::SynthesisDraft;
@@ -30,6 +30,11 @@ enum TaskState {
 pub struct SimulatedGpt4 {
     model: ErrorModel,
     rng: SimRng,
+    /// A second, independent stream for transport-fault rolls: content
+    /// sampling stays byte-identical for a given seed whether or not the
+    /// transport knobs are set (the stream is only *consumed* when they
+    /// are — see `try_complete`).
+    transport_rng: SimRng,
     state: Option<TaskState>,
     /// Wrong-line repair attempts so far (keeps each cosmetic edit
     /// distinct and the stream deterministic).
@@ -42,6 +47,7 @@ impl SimulatedGpt4 {
         SimulatedGpt4 {
             model,
             rng: SimRng::seed_from_u64(seed),
+            transport_rng: SimRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D),
             state: None,
             repair_attempts: 0,
         }
@@ -298,6 +304,32 @@ impl SimulatedGpt4 {
 }
 
 impl LanguageModel for SimulatedGpt4 {
+    fn try_complete(&mut self, transcript: &[Message]) -> Result<String, TransportError> {
+        let t = self.model.transport;
+        if !t.any() {
+            // Zero-knob fast path: no draw from the transport stream, so
+            // content is byte-identical to the pre-transport model.
+            return Ok(self.complete(transcript));
+        }
+        let roll = self.transport_rng.next_f64();
+        if roll < t.p_timeout {
+            // The request never reached the backend: no state advances,
+            // and a retry regenerates from the same point.
+            return Err(TransportError::Timeout);
+        }
+        if roll < t.p_timeout + t.p_truncated {
+            // The backend answered (its state advanced) but the client
+            // can't use the response.
+            let _ = self.complete(transcript);
+            return Err(TransportError::TruncatedResponse);
+        }
+        if roll < t.p_timeout + t.p_truncated + t.p_malformed {
+            let _ = self.complete(transcript);
+            return Err(TransportError::MalformedPayload);
+        }
+        Ok(self.complete(transcript))
+    }
+
     fn complete(&mut self, transcript: &[Message]) -> String {
         let iip = self.iip_active(transcript);
         let Some(last) = transcript.iter().rev().find(|m| m.role == Role::User) else {
@@ -674,5 +706,72 @@ route-map ospf_to_bgp permit 10
             last_fenced_block(&reply).unwrap(),
             "a cost prompt cannot fix a MED fault"
         );
+    }
+
+    #[test]
+    fn zero_transport_knobs_never_fail_and_match_complete() {
+        // try_complete with all knobs at zero must be byte-identical to
+        // complete on a twin model (no transport draws, no divergence).
+        let mut a = SimulatedGpt4::new(ErrorModel::paper_default(), 7);
+        let mut b = SimulatedGpt4::new(ErrorModel::paper_default(), 7);
+        let prompt = [Message::user(translation_prompt())];
+        let via_try = a.try_complete(&prompt).expect("perfect transport");
+        let via_plain = b.complete(&prompt);
+        assert_eq!(via_try, via_plain);
+    }
+
+    #[test]
+    fn transport_faults_are_deterministic_per_seed() {
+        let stream = |seed: u64| {
+            let mut model = ErrorModel::flawless();
+            model.transport = crate::error_model::TransportModel::flaky();
+            let mut gpt = SimulatedGpt4::new(model, seed);
+            let prompt = [Message::user(translation_prompt())];
+            (0..32)
+                .map(|_| match gpt.try_complete(&prompt) {
+                    Ok(_) => "ok",
+                    Err(e) => e.code(),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stream(5), stream(5), "same seed, same fault stream");
+        assert_ne!(stream(5), stream(6), "different seed, different stream");
+        let s = stream(5);
+        assert!(s.contains(&"ok"), "some completions succeed");
+        assert!(s.iter().any(|c| *c != "ok"), "some faults fire");
+    }
+
+    #[test]
+    fn timeout_does_not_advance_backend_state() {
+        // Force a certain timeout: the draft must not be sampled, so a
+        // subsequent successful call still produces the first draft.
+        let mut model = ErrorModel::only(FaultKind::WrongMed);
+        model.transport = crate::error_model::TransportModel {
+            p_timeout: 1.0,
+            ..Default::default()
+        };
+        let mut gpt = SimulatedGpt4::new(model, 11);
+        let prompt = [Message::user(translation_prompt())];
+        assert_eq!(gpt.try_complete(&prompt), Err(TransportError::Timeout));
+        assert!(gpt.state.is_none(), "timed-out request never arrived");
+        gpt.model.transport = crate::error_model::TransportModel::default();
+        let draft = gpt.try_complete(&prompt).unwrap();
+        assert!(last_fenced_block(&draft).is_some(), "first draft intact");
+    }
+
+    #[test]
+    fn truncation_advances_backend_state() {
+        let mut model = ErrorModel::only(FaultKind::WrongMed);
+        model.transport = crate::error_model::TransportModel {
+            p_truncated: 1.0,
+            ..Default::default()
+        };
+        let mut gpt = SimulatedGpt4::new(model, 11);
+        let prompt = [Message::user(translation_prompt())];
+        assert_eq!(
+            gpt.try_complete(&prompt),
+            Err(TransportError::TruncatedResponse)
+        );
+        assert!(gpt.state.is_some(), "server answered before the cut");
     }
 }

@@ -37,8 +37,8 @@ pub mod rng;
 pub mod synth_task;
 pub mod translate_task;
 
-pub use error_model::ErrorModel;
+pub use error_model::{ErrorModel, TransportModel};
 pub use faults::{FaultKind, RepairBehavior};
 pub use gpt4::SimulatedGpt4;
-pub use model::{LanguageModel, Message, Role, ScriptedLlm};
+pub use model::{LanguageModel, Message, Role, ScriptedLlm, TransportError};
 pub use prompts::PromptClass;

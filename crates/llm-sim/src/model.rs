@@ -46,12 +46,53 @@ impl Message {
     }
 }
 
+/// A typed transport-level failure from [`LanguageModel::try_complete`]:
+/// the request produced no usable completion. Distinct from a *content*
+/// error (a wrong config is still a completion) — transport failures are
+/// what the session retry/backoff layer retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The request timed out; the backend never saw it.
+    Timeout,
+    /// The response was cut off in flight (e.g. an unterminated fence).
+    TruncatedResponse,
+    /// The payload arrived but was garbled beyond use.
+    MalformedPayload,
+}
+
+impl TransportError {
+    /// Stable kebab-case code for logs and JSON events.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TransportError::Timeout => "timeout",
+            TransportError::TruncatedResponse => "truncated-response",
+            TransportError::MalformedPayload => "malformed-payload",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
 /// A chat-completion language model. COSYNTH drives everything through
 /// this trait; `SimulatedGpt4` implements it here, and a real API client
 /// could implement it elsewhere.
 pub trait LanguageModel {
     /// Produces the assistant's next message for a transcript.
     fn complete(&mut self, transcript: &[Message]) -> String;
+
+    /// [`LanguageModel::complete`] over a fallible transport: returns a
+    /// typed [`TransportError`] when no usable completion arrives. The
+    /// default implementation models a perfect transport, so every
+    /// existing backend (and every test double) keeps its behaviour;
+    /// `SimulatedGpt4` overrides this to roll its
+    /// [`crate::error_model::TransportModel`] knobs.
+    fn try_complete(&mut self, transcript: &[Message]) -> Result<String, TransportError> {
+        Ok(self.complete(transcript))
+    }
 
     /// Model name for reports.
     fn name(&self) -> &str {

@@ -45,6 +45,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric payload as u32, if this is a non-negative integer.
     pub fn as_u32(&self) -> Option<u32> {
         match self {
