@@ -17,9 +17,11 @@
 
 use cosynth_fleet::SessionBudget;
 use cosynth_fleet::{
-    run_case, run_chaos, scenario_for, serve, ChaosConfig, ChaosPlan, FleetConfig, Repair,
-    ServeOptions, SessionTuning, Synthesis, UseCase,
+    family_names, family_of, run_case, run_chaos, scenario_for, serve, ChaosConfig, ChaosPlan,
+    FleetConfig, Repair, ServeOptions, SessionTuning, Synthesis, UseCase,
 };
+use telemetry::{Registry, Stage, StageHists};
+use topo_model::json::ObjBuilder;
 
 const HELP: &str = "\
 fleet — parallel VPP session runner (synthesis and repair use cases)
@@ -75,6 +77,24 @@ FLAGS:
                         with the typed deadline_exceeded outcome
                         (default: unlimited). Applies to batch, serve,
                         and chaos sessions alike.
+    --trace             Stream one {\"event\":\"trace\"} line per session
+                        with its per-stage wall-clock spans (prompt
+                        render, backend, parse, space build/hit, check,
+                        sim, localize). Batch mode prints them after
+                        the run; --serve streams each one right after
+                        its session's result line.
+    --metrics           (--serve only) Emit a {\"event\":\"metrics\"}
+                        registry snapshot at drain: the accounting
+                        counters, queue high-water mark, pool reuse and
+                        space-cache hit rates, and per-stage latency
+                        histograms. A {\"metrics\":true} request line
+                        gets a mid-run snapshot whether or not this
+                        flag is set.
+    --profile           Stage-cost profile: run the synthesis AND repair
+                        fleets at --sessions/--seed, fold every
+                        session's trace into per-family stage
+                        histograms, and write BENCH_telemetry.json
+                        (default --out) instead of the usual reports.
     --no-pool           Disable manager pooling: workers build every
                         symbolic space against a fresh BDD manager (the
                         pre-resident baseline; session content is
@@ -111,6 +131,9 @@ struct Args {
     out: Option<String>,
     serve: bool,
     chaos: bool,
+    trace: bool,
+    metrics: bool,
+    profile: bool,
     queue_depth: Option<usize>,
     deadline_ms: Option<u64>,
     pool_managers: bool,
@@ -136,6 +159,9 @@ fn parse_args(argv: &[String]) -> Args {
         out: None,
         serve: false,
         chaos: false,
+        trace: false,
+        metrics: false,
+        profile: false,
         queue_depth: None,
         deadline_ms: None,
         pool_managers: true,
@@ -158,6 +184,9 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--serve" => args.serve = true,
             "--chaos" => args.chaos = true,
+            "--trace" => args.trace = true,
+            "--metrics" => args.metrics = true,
+            "--profile" => args.profile = true,
             "--no-pool" => args.pool_managers = false,
             "--no-baseline" => args.measure_baseline = false,
             "--use-case" => args.use_case = value(&mut i, "--use-case"),
@@ -256,12 +285,22 @@ fn main() {
     if args.chaos {
         quiet_injected_panics();
     }
+    if args.metrics && !args.serve {
+        usage_error("--metrics only applies to --serve (batch runs report through --out)");
+    }
+    if args.profile && (args.serve || args.chaos) {
+        usage_error("--profile is a batch mode; it cannot combine with --serve or --chaos");
+    }
     if args.serve {
         run_serve(&args);
         return;
     }
     if args.chaos {
         run_chaos_bench(&args);
+        return;
+    }
+    if args.profile {
+        run_profile(&args);
         return;
     }
     let cfg = FleetConfig {
@@ -293,6 +332,8 @@ fn run_serve(args: &Args) {
         queue_depth: args.queue_depth.unwrap_or(1024),
         tuning: tuning_of(args),
         chaos: args.chaos.then(|| ChaosPlan::paper_default(args.seed)),
+        emit_metrics: args.metrics,
+        stream_traces: args.trace,
     };
     eprintln!(
         "fleetd: serving on stdin/stdout, {} workers, pooling {}, queue depth {}{}",
@@ -395,6 +436,125 @@ fn run_chaos_bench(args: &Args) {
     }
 }
 
+/// `--profile`: run both use cases at the requested scale, fold every
+/// session's stage trace into per-(use case × family) histograms, and
+/// write the stage-cost breakdown as `BENCH_telemetry.json`.
+fn run_profile(args: &Args) {
+    let cfg = FleetConfig {
+        sessions: args.sessions,
+        seed: args.seed,
+        threads: args.threads,
+        families: args.families.clone(),
+        pool_managers: args.pool_managers,
+        tuning: tuning_of(args),
+    };
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_telemetry.json".into());
+    let mut reg = Registry::new(1);
+    let mut hists = std::collections::BTreeMap::new();
+    for case in [Synthesis::NAME, Repair::NAME] {
+        for family in family_names() {
+            hists.insert(
+                (case, family),
+                StageHists::register(&mut reg, &format!("{case}.{family}.")),
+            );
+        }
+    }
+    fn fold<U: UseCase>(
+        cfg: &FleetConfig,
+        reg: &Registry,
+        hists: &std::collections::BTreeMap<(&str, &str), StageHists>,
+    ) -> (usize, f64, bool) {
+        eprintln!(
+            "fleet: profiling {}, {} sessions, seed {}, {} workers",
+            U::NAME,
+            cfg.sessions,
+            cfg.seed,
+            cfg.threads.max(2)
+        );
+        let report = run_case::<U>(cfg);
+        for r in &report.results {
+            hists[&(U::NAME, family_of(U::index(r)))].observe(reg, 0, &U::trace(r));
+        }
+        (
+            report.results.len(),
+            report.throughput(),
+            report.results.len() >= cfg.sessions,
+        )
+    }
+    let (syn_n, syn_tput, syn_full) = fold::<Synthesis>(&cfg, &reg, &hists);
+    let (rep_n, rep_tput, rep_full) = fold::<Repair>(&cfg, &reg, &hists);
+
+    let snap = reg.snapshot();
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"telemetry\",");
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"sessions\": {},", cfg.sessions);
+    let _ = writeln!(out, "  \"threads\": {},", cfg.threads.max(2));
+    let _ = writeln!(out, "  \"use_cases\": {{");
+    let cases = [
+        (Synthesis::NAME, syn_n, syn_tput),
+        (Repair::NAME, rep_n, rep_tput),
+    ];
+    for (ci, (case, n, tput)) in cases.iter().enumerate() {
+        let _ = writeln!(out, "    \"{case}\": {{");
+        let _ = writeln!(out, "      \"sessions\": {n},");
+        let _ = writeln!(out, "      \"sessions_per_s\": {tput:.2},");
+        let _ = writeln!(out, "      \"stage_ms\": {{");
+        // Families (then stages) that never recorded a span are
+        // omitted rather than written as empty objects.
+        let mut family_blocks = Vec::new();
+        for family in family_names() {
+            let mut stage_lines = Vec::new();
+            for stage in Stage::ALL {
+                let stats = snap
+                    .hist(&format!("{case}.{family}.{}", stage.name()))
+                    .and_then(|h| h.stats_ms());
+                if let Some(stats) = stats {
+                    stage_lines.push(format!(
+                        "          \"{}\": {}",
+                        stage.name(),
+                        stats.to_json()
+                    ));
+                }
+            }
+            if !stage_lines.is_empty() {
+                family_blocks.push(format!(
+                    "        \"{family}\": {{\n{}\n        }}",
+                    stage_lines.join(",\n")
+                ));
+            }
+        }
+        let _ = writeln!(out, "{}", family_blocks.join(",\n"));
+        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "    }}{}", if ci == 0 { "," } else { "" });
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &out) {
+        eprintln!("fleet: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "profile: synthesis {syn_n} sessions at {syn_tput:.0}/s | repair {rep_n} \
+         sessions at {rep_tput:.0}/s"
+    );
+    println!("wrote {out_path}");
+    if !(syn_full && rep_full) {
+        eprintln!(
+            "fleet: fewer sessions ran than requested (does --families name a real \
+             family? known: {:?})",
+            family_names()
+        );
+        std::process::exit(1);
+    }
+}
+
 /// The one batch pipeline both use cases run through: fleet, console
 /// table, bench JSON, contract-checked exit status.
 fn run_and_report<U: UseCase>(cfg: &FleetConfig, args: &Args) {
@@ -420,6 +580,18 @@ fn run_and_report<U: UseCase>(cfg: &FleetConfig, args: &Args) {
         report.baseline_sessions_per_s = Some(baseline.throughput());
     }
 
+    if args.trace {
+        for r in &report.results {
+            println!(
+                "{}",
+                ObjBuilder::event("trace")
+                    .str("use_case", U::NAME)
+                    .u64("session", U::index(r) as u64)
+                    .raw("stages", &U::trace(r).to_json())
+                    .finish()
+            );
+        }
+    }
     println!("{}", U::table(&report.rows));
     println!("{}", U::summary_line(&report));
     if report.results.len() < cfg.sessions {

@@ -14,7 +14,8 @@ use llm_sim::synth_task::SynthesisDraft;
 use llm_sim::{ErrorModel, SimulatedGpt4};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
-use topo_model::json::quote;
+use telemetry::SessionTrace;
+use topo_model::json::ObjBuilder;
 use topo_model::Scenario;
 
 // ---- the synthesis use case ----
@@ -51,6 +52,8 @@ pub struct SessionResult {
     pub deadline_exceeded: bool,
     /// Transport retries the session's retry/backoff layer absorbed.
     pub retries: usize,
+    /// Per-stage span trace (counts are content, durations wall-clock).
+    pub trace: SessionTrace,
 }
 
 impl SessionResult {
@@ -127,6 +130,7 @@ pub fn run_session_tuned(
         panicked: false,
         deadline_exceeded: outcome.deadline_exceeded,
         retries: outcome.transport.retries,
+        trace: outcome.trace,
     }
 }
 
@@ -178,6 +182,7 @@ impl UseCase for Synthesis {
             panicked: true,
             deadline_exceeded: false,
             retries: 0,
+            trace: SessionTrace::new(),
         }
     }
 
@@ -195,6 +200,10 @@ impl UseCase for Synthesis {
 
     fn index(r: &SessionResult) -> usize {
         r.index
+    }
+
+    fn trace(r: &SessionResult) -> SessionTrace {
+        r.trace
     }
 
     fn session_ok(r: &SessionResult) -> bool {
@@ -228,9 +237,7 @@ impl UseCase for Synthesis {
                     human: rs.iter().map(|r| r.human).sum(),
                     mean_sim_rounds: rs.iter().map(|r| r.sim_rounds as f64).sum::<f64>()
                         / rs.len() as f64,
-                    p10_ms: stats.p10,
-                    median_ms: stats.median,
-                    p90_ms: stats.p90,
+                    session_ms: stats,
                 }
             })
             .collect()
@@ -268,7 +275,7 @@ impl UseCase for Synthesis {
                 out,
                 "    \"{}\": {{ \"sessions\": {}, \"converged\": {}, \"fault_survivals\": {}, \
                  \"auto\": {}, \"human\": {}, \"leverage\": {:.2}, \"mean_sim_rounds\": {:.1}, \
-                 \"session_ms\": {{ \"p10\": {:.2}, \"median\": {:.2}, \"p90\": {:.2} }} }}",
+                 \"session_ms\": {} }}",
                 r.family,
                 r.sessions,
                 r.converged,
@@ -277,9 +284,7 @@ impl UseCase for Synthesis {
                 r.human,
                 r.leverage(),
                 r.mean_sim_rounds,
-                r.p10_ms,
-                r.median_ms,
-                r.p90_ms
+                r.session_ms.to_json()
             );
             out.push_str(if i + 1 < report.rows.len() {
                 ",\n"
@@ -292,25 +297,22 @@ impl UseCase for Synthesis {
     }
 
     fn result_json(r: &SessionResult) -> String {
-        format!(
-            "{{\"use_case\":\"synthesis\",\"session\":{},\"scenario\":{},\"family\":{},\
-             \"intent\":{},\"converged\":{},\"auto\":{},\"human\":{},\"sim_rounds\":{},\
-             \"violations\":{},\"wall_ms\":{:.2},\"panicked\":{},\"outcome\":{},\
-             \"retries\":{}}}",
-            r.index,
-            quote(&r.scenario),
-            quote(&r.family),
-            quote(&r.intent),
-            r.converged(),
-            r.auto,
-            r.human,
-            r.sim_rounds,
-            r.violations,
-            r.wall_ms,
-            r.panicked,
-            quote(r.outcome()),
-            r.retries
-        )
+        ObjBuilder::new()
+            .str("use_case", "synthesis")
+            .u64("session", r.index as u64)
+            .str("scenario", &r.scenario)
+            .str("family", &r.family)
+            .str("intent", &r.intent)
+            .bool("converged", r.converged())
+            .u64("auto", r.auto as u64)
+            .u64("human", r.human as u64)
+            .u64("sim_rounds", r.sim_rounds as u64)
+            .u64("violations", r.violations as u64)
+            .f64("wall_ms", r.wall_ms, 2)
+            .bool("panicked", r.panicked)
+            .str("outcome", r.outcome())
+            .u64("retries", r.retries as u64)
+            .finish()
     }
 }
 
@@ -377,6 +379,8 @@ pub struct RepairSessionResult {
     pub deadline_exceeded: bool,
     /// Transport retries the session's retry/backoff layer absorbed.
     pub retries: usize,
+    /// Per-stage span trace (counts are content, durations wall-clock).
+    pub trace: SessionTrace,
 }
 
 impl RepairSessionResult {
@@ -436,6 +440,7 @@ pub fn run_repair_session_tuned(
         panicked: false,
         deadline_exceeded: outcome.deadline_exceeded,
         retries: outcome.transport.retries,
+        trace: outcome.trace,
     }
 }
 
@@ -474,12 +479,8 @@ pub struct RepairRow {
     pub human: usize,
     /// Mean repair prompts until the fix, over repaired sessions.
     pub mean_rounds_to_fix: f64,
-    /// Per-session wall-clock percentiles, milliseconds.
-    pub p10_ms: f64,
-    /// Median session wall-clock, milliseconds.
-    pub median_ms: f64,
-    /// 90th-percentile session wall-clock, milliseconds.
-    pub p90_ms: f64,
+    /// Per-session wall-clock spread, milliseconds.
+    pub session_ms: SampleStats,
 }
 
 impl RepairRow {
@@ -553,6 +554,7 @@ impl UseCase for Repair {
             panicked: true,
             deadline_exceeded: false,
             retries: 0,
+            trace: SessionTrace::new(),
         }
     }
 
@@ -570,6 +572,10 @@ impl UseCase for Repair {
 
     fn index(r: &RepairSessionResult) -> usize {
         r.index
+    }
+
+    fn trace(r: &RepairSessionResult) -> SessionTrace {
+        r.trace
     }
 
     fn session_ok(r: &RepairSessionResult) -> bool {
@@ -611,9 +617,7 @@ impl UseCase for Repair {
                     auto: rs.iter().map(|r| r.auto).sum(),
                     human: rs.iter().map(|r| r.human).sum(),
                     mean_rounds_to_fix: mean_rounds,
-                    p10_ms: stats.p10,
-                    median_ms: stats.median,
-                    p90_ms: stats.p90,
+                    session_ms: stats,
                 }
             })
             .collect()
@@ -641,8 +645,8 @@ impl UseCase for Repair {
                 100.0 * r.repair_rate(),
                 100.0 * r.localization_precision(),
                 r.mean_rounds_to_fix,
-                r.median_ms,
-                r.p90_ms
+                r.session_ms.median,
+                r.session_ms.p90
             ));
         }
         out
@@ -688,7 +692,7 @@ impl UseCase for Repair {
                  \"repaired\": {}, \"repair_rate\": {:.4}, \"localized\": {}, \
                  \"localization_precision\": {:.4}, \"auto\": {}, \"human\": {}, \
                  \"mean_rounds_to_fix\": {:.2}, \
-                 \"session_ms\": {{ \"p10\": {:.2}, \"median\": {:.2}, \"p90\": {:.2} }} }}",
+                 \"session_ms\": {} }}",
                 r.class,
                 r.family,
                 r.sessions,
@@ -699,9 +703,7 @@ impl UseCase for Repair {
                 r.auto,
                 r.human,
                 r.mean_rounds_to_fix,
-                r.p10_ms,
-                r.median_ms,
-                r.p90_ms
+                r.session_ms.to_json()
             );
             out.push_str(if i + 1 < report.rows.len() {
                 ",\n"
@@ -714,26 +716,23 @@ impl UseCase for Repair {
     }
 
     fn result_json(r: &RepairSessionResult) -> String {
-        format!(
-            "{{\"use_case\":\"repair\",\"session\":{},\"scenario\":{},\"family\":{},\
-             \"class\":{},\"device\":{},\"repaired\":{},\"localized\":{},\"rounds\":{},\
-             \"auto\":{},\"human\":{},\"wall_ms\":{:.2},\"panicked\":{},\"outcome\":{},\
-             \"retries\":{}}}",
-            r.index,
-            quote(&r.scenario),
-            quote(&r.family),
-            quote(&r.class),
-            quote(&r.device),
-            r.repaired,
-            r.localized,
-            r.rounds,
-            r.auto,
-            r.human,
-            r.wall_ms,
-            r.panicked,
-            quote(r.outcome()),
-            r.retries
-        )
+        ObjBuilder::new()
+            .str("use_case", "repair")
+            .u64("session", r.index as u64)
+            .str("scenario", &r.scenario)
+            .str("family", &r.family)
+            .str("class", &r.class)
+            .str("device", &r.device)
+            .bool("repaired", r.repaired)
+            .bool("localized", r.localized)
+            .u64("rounds", r.rounds as u64)
+            .u64("auto", r.auto as u64)
+            .u64("human", r.human as u64)
+            .f64("wall_ms", r.wall_ms, 2)
+            .bool("panicked", r.panicked)
+            .str("outcome", r.outcome())
+            .u64("retries", r.retries as u64)
+            .finish()
     }
 }
 

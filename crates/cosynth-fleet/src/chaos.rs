@@ -217,13 +217,7 @@ impl ChaosReport {
         let _ = writeln!(out, "  }},");
         match self.latency {
             Some(l) => {
-                let _ = writeln!(out, "  \"latency_ms\": {{");
-                let _ = writeln!(out, "    \"min\": {:.3},", l.min);
-                let _ = writeln!(out, "    \"p10\": {:.3},", l.p10);
-                let _ = writeln!(out, "    \"median\": {:.3},", l.median);
-                let _ = writeln!(out, "    \"p90\": {:.3},", l.p90);
-                let _ = writeln!(out, "    \"max\": {:.3}", l.max);
-                let _ = writeln!(out, "  }}");
+                let _ = writeln!(out, "  \"latency_ms\": {}", l.to_json());
             }
             None => {
                 let _ = writeln!(out, "  \"latency_ms\": null");
@@ -307,6 +301,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
             queue_depth: cfg.queue_depth,
             tuning: SessionTuning::default(),
             chaos: Some(ChaosPlan::paper_default(cfg.seed)),
+            emit_metrics: false,
+            stream_traces: false,
         },
     )?;
     let latency = SampleStats::from_samples(&summary.latencies_ms);

@@ -207,6 +207,10 @@ pub trait UseCase: Sized + Sync {
     /// The session's index in the stream.
     fn index(result: &Self::Result) -> usize;
 
+    /// The session's per-stage span trace (span counts are
+    /// deterministic content; durations are wall-clock).
+    fn trace(result: &Self::Result) -> telemetry::SessionTrace;
+
     /// Whether this session met the use case's per-session contract
     /// (synthesis: converged; repair: repaired without panicking).
     fn session_ok(result: &Self::Result) -> bool;

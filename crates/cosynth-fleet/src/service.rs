@@ -48,7 +48,8 @@ use std::io::{BufRead, Write};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
-use topo_model::json::{self, Json};
+use telemetry::{CounterId, GaugeId, HistId, Registry, SessionTrace, StageHists};
+use topo_model::json::{self, Json, ObjBuilder};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +72,13 @@ pub struct ServeOptions {
     /// at enqueue time, so injection is deterministic per plan seed
     /// regardless of worker scheduling.
     pub chaos: Option<chaos::ChaosPlan>,
+    /// Emit a `{"event":"metrics"}` registry snapshot at drain (the
+    /// CLI's `--metrics`). A `{"metrics":true}` request line always
+    /// gets one regardless of this flag.
+    pub emit_metrics: bool,
+    /// Stream one `{"event":"trace"}` line (the session's per-stage
+    /// span totals) after each session result (the CLI's `--trace`).
+    pub stream_traces: bool,
 }
 
 impl Default for ServeOptions {
@@ -82,6 +90,8 @@ impl Default for ServeOptions {
             queue_depth: 1024,
             tuning: SessionTuning::default(),
             chaos: None,
+            emit_metrics: false,
+            stream_traces: false,
         }
     }
 }
@@ -206,6 +216,16 @@ impl std::fmt::Display for RequestError {
     }
 }
 
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a batch of sessions.
+    Batch(BatchRequest),
+    /// `{"metrics":true}` — emit one `{"event":"metrics"}` snapshot of
+    /// the service's telemetry registry and read the next line.
+    Metrics,
+}
+
 /// One parsed batch request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchRequest {
@@ -243,10 +263,20 @@ impl CaseKind {
 /// Parses one request line. Unknown fields are ignored (forward
 /// compatibility); a wrong type, unknown use case, or empty batch is a
 /// typed [`RequestError`].
-pub fn parse_request(line: &str) -> Result<BatchRequest, RequestError> {
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let v = json::parse(line).map_err(|e| RequestError::BadJson(e.to_string()))?;
     if !matches!(v, Json::Obj(_)) {
         return Err(RequestError::NotAnObject);
+    }
+    match v.get("metrics") {
+        None => {}
+        Some(Json::Bool(true)) => return Ok(Request::Metrics),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "metrics",
+                expected: "the literal true",
+            })
+        }
     }
     let use_case = match v.get("use_case").or_else(|| v.get("use-case")) {
         None => CaseKind::Synthesis,
@@ -316,13 +346,13 @@ pub fn parse_request(line: &str) -> Result<BatchRequest, RequestError> {
             })
         }
     };
-    Ok(BatchRequest {
+    Ok(Request::Batch(BatchRequest {
         use_case,
         seed,
         count,
         families,
         deadline_ms,
-    })
+    }))
 }
 
 /// One enqueued session job.
@@ -356,24 +386,35 @@ struct Completion {
     class: CompletionClass,
     wall_ms: f64,
     retries: usize,
+    /// The session's per-stage spans (empty for shed/panicked jobs);
+    /// folded into the service registry's stage histograms.
+    trace: SessionTrace,
+    /// Pre-rendered `{"event":"trace"}` line when trace streaming is on.
+    trace_line: Option<String>,
 }
 
 /// Runs one job on a worker's resident context, panic-contained: a
 /// panicking session (organic or chaos-injected) quarantines the
 /// context's live managers and reports the typed `panicked` outcome.
-fn run_job(job: Job, ctx: &mut VerifierContext, base: &SessionTuning) -> Completion {
+fn run_job(
+    job: Job,
+    ctx: &mut VerifierContext,
+    base: &SessionTuning,
+    want_trace: bool,
+) -> Completion {
     if let Some(deadline) = job.deadline {
         if Instant::now() >= deadline {
             return Completion {
-                line: format!(
-                    "{{\"event\":\"reject\",\"reason\":\"over_deadline\",\
-                     \"use_case\":\"{}\",\"session\":{}}}",
-                    job.kind.name(),
-                    job.index
-                ),
+                line: ObjBuilder::event("reject")
+                    .str("reason", "over_deadline")
+                    .str("use_case", job.kind.name())
+                    .u64("session", job.index as u64)
+                    .finish(),
                 class: CompletionClass::Shed,
                 wall_ms: 0.0,
                 retries: 0,
+                trace: SessionTrace::new(),
+                trace_line: None,
             };
         }
     }
@@ -403,6 +444,7 @@ fn run_job(job: Job, ctx: &mut VerifierContext, base: &SessionTuning) -> Complet
         ctx: &mut VerifierContext,
         tuning: &SessionTuning,
         inject_panic: bool,
+        want_trace: bool,
     ) -> Completion {
         let t0 = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -412,18 +454,29 @@ fn run_job(job: Job, ctx: &mut VerifierContext, base: &SessionTuning) -> Complet
             U::run_session(seed, index, ctx, tuning)
         }));
         match outcome {
-            Ok(result) => Completion {
-                class: if U::deadline_exceeded(&result) {
-                    CompletionClass::DeadlineExceeded
-                } else {
-                    CompletionClass::Completed {
-                        ok: U::session_ok(&result),
-                    }
-                },
-                wall_ms: U::wall_ms(&result),
-                retries: U::retries(&result),
-                line: U::result_json(&result),
-            },
+            Ok(result) => {
+                let trace = U::trace(&result);
+                Completion {
+                    class: if U::deadline_exceeded(&result) {
+                        CompletionClass::DeadlineExceeded
+                    } else {
+                        CompletionClass::Completed {
+                            ok: U::session_ok(&result),
+                        }
+                    },
+                    wall_ms: U::wall_ms(&result),
+                    retries: U::retries(&result),
+                    trace,
+                    trace_line: want_trace.then(|| {
+                        ObjBuilder::event("trace")
+                            .str("use_case", U::NAME)
+                            .u64("session", index as u64)
+                            .raw("stages", &trace.to_json())
+                            .finish()
+                    }),
+                    line: U::result_json(&result),
+                }
+            }
             Err(_) => {
                 ctx.quarantine();
                 let result = U::panic_result(index);
@@ -432,16 +485,92 @@ fn run_job(job: Job, ctx: &mut VerifierContext, base: &SessionTuning) -> Complet
                     class: CompletionClass::Panicked,
                     wall_ms: t0.elapsed().as_secs_f64() * 1e3,
                     retries: 0,
+                    trace: SessionTrace::new(),
+                    trace_line: None,
                 }
             }
         }
     }
     match job.kind {
         CaseKind::Synthesis => {
-            one::<cases::Synthesis>(job.seed, job.index, ctx, &tuning, inject_panic)
+            one::<cases::Synthesis>(job.seed, job.index, ctx, &tuning, inject_panic, want_trace)
         }
-        CaseKind::Repair => one::<cases::Repair>(job.seed, job.index, ctx, &tuning, inject_panic),
+        CaseKind::Repair => {
+            one::<cases::Repair>(job.seed, job.index, ctx, &tuning, inject_panic, want_trace)
+        }
     }
+}
+
+/// The service's telemetry registry handles: one counter per ledger
+/// field, the queue-depth high-water gauge, the per-stage latency
+/// histograms, and a whole-session one. Counter names mirror the
+/// [`ServeSummary`] fields so the `{"event":"metrics"}` snapshot can be
+/// reconciled against the drain line by name.
+struct MetricIds {
+    batches: CounterId,
+    submitted: CounterId,
+    completed: CounterId,
+    shed_queue_full: CounterId,
+    shed_over_deadline: CounterId,
+    deadline_exceeded: CounterId,
+    quarantined: CounterId,
+    protocol_errors: CounterId,
+    transport_retries: CounterId,
+    queue_depth_hwm: GaugeId,
+    session: HistId,
+    stages: StageHists,
+}
+
+impl MetricIds {
+    fn register(reg: &mut Registry) -> MetricIds {
+        MetricIds {
+            batches: reg.counter("batches"),
+            submitted: reg.counter("submitted"),
+            completed: reg.counter("completed"),
+            shed_queue_full: reg.counter("shed_queue_full"),
+            shed_over_deadline: reg.counter("shed_over_deadline"),
+            deadline_exceeded: reg.counter("deadline_exceeded"),
+            quarantined: reg.counter("quarantined"),
+            protocol_errors: reg.counter("protocol_errors"),
+            transport_retries: reg.counter("transport_retries"),
+            queue_depth_hwm: reg.gauge("queue_depth_hwm"),
+            session: reg.histogram("session"),
+            stages: StageHists::register(reg, "stage_"),
+        }
+    }
+}
+
+/// Renders one `{"event":"metrics"}` line: the accounting counters,
+/// queue high-water mark, and per-stage latency histograms, with
+/// `accounted` recomputed from the snapshot itself (so a consumer can
+/// check the conservation law without waiting for the drain line).
+/// Pool-derived rates are only available at drain, after the workers
+/// have reported their contexts.
+fn metrics_json(reg: &Registry, drain: bool, pool: Option<&PoolCounters>) -> String {
+    let snap = reg.snapshot();
+    let accounted = snap.counter("submitted")
+        == snap.counter("completed")
+            + snap.counter("shed_queue_full")
+            + snap.counter("shed_over_deadline")
+            + snap.counter("deadline_exceeded")
+            + snap.counter("quarantined");
+    let mut b = ObjBuilder::event("metrics")
+        .bool("drain", drain)
+        .bool("accounted", accounted);
+    if let Some(p) = pool {
+        let lookups = p.cache_hits + p.cache_misses;
+        b = b.f64("manager_reuse_rate", p.reuse_rate(), 4).f64(
+            "space_cache_hit_rate",
+            if lookups == 0 {
+                0.0
+            } else {
+                p.cache_hits as f64 / lookups as f64
+            },
+            4,
+        );
+    }
+    b.raw("registry", &format!("{{{}}}", snap.to_json_fields()))
+        .finish()
 }
 
 /// Runs the service loop: reads request lines from `input`, streams
@@ -459,6 +588,13 @@ pub fn serve(
     let counters: Mutex<PoolCounters> = Mutex::new(PoolCounters::default());
     let (tx, rx) = mpsc::channel::<Completion>();
     let mut summary = ServeSummary::default();
+    // The telemetry registry shadows the summary's ledger so a
+    // `{"metrics":true}` request can snapshot it mid-run; all updates
+    // happen on the pump thread (shard 0) — the workers report through
+    // the completion channel, never the registry.
+    let mut reg = Registry::new(1);
+    let ids = MetricIds::register(&mut reg);
+    let reg = &reg;
 
     let io_result = std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -466,6 +602,7 @@ pub fn serve(
             let available = &available;
             let counters = &counters;
             let tuning = &opts.tuning;
+            let stream_traces = opts.stream_traces;
             let tx = tx.clone();
             scope.spawn(move || {
                 let mut ctx = if opts.pool_managers {
@@ -489,7 +626,7 @@ pub fn serve(
                     let Some(job) = job else { break };
                     // A send can only fail after serve() returned, which
                     // cannot happen while workers are still scoped.
-                    let _ = tx.send(run_job(job, &mut ctx, tuning));
+                    let _ = tx.send(run_job(job, &mut ctx, tuning, stream_traces));
                 }
                 ctx.flush();
                 lock_clean(counters).absorb(&ctx);
@@ -511,11 +648,15 @@ pub fn serve(
                     Ok(l) => l,
                     Err(e) => {
                         summary.protocol_errors += 1;
+                        reg.inc(0, ids.protocol_errors);
                         writeln!(
                             output,
-                            "{{\"event\":\"reject\",\"reason\":\"bad_request\",\
-                             \"code\":\"read_error\",\"message\":{}}}",
-                            json::quote(&e.to_string())
+                            "{}",
+                            ObjBuilder::event("reject")
+                                .str("reason", "bad_request")
+                                .str("code", "read_error")
+                                .str("message", &e.to_string())
+                                .finish()
                         )?;
                         output.flush()?;
                         break;
@@ -525,46 +666,62 @@ pub fn serve(
                     continue;
                 }
                 let request = match parse_request(&line) {
-                    Ok(r) => r,
+                    Ok(Request::Batch(r)) => r,
+                    Ok(Request::Metrics) => {
+                        writeln!(output, "{}", metrics_json(reg, false, None))?;
+                        output.flush()?;
+                        continue;
+                    }
                     Err(err) => {
                         summary.protocol_errors += 1;
+                        reg.inc(0, ids.protocol_errors);
                         writeln!(
                             output,
-                            "{{\"event\":\"reject\",\"reason\":\"bad_request\",\
-                             \"code\":\"{}\",\"message\":{}}}",
-                            err.code(),
-                            json::quote(&err.to_string())
+                            "{}",
+                            ObjBuilder::event("reject")
+                                .str("reason", "bad_request")
+                                .str("code", err.code())
+                                .str("message", &err.to_string())
+                                .finish()
                         )?;
                         output.flush()?;
                         continue;
                     }
                 };
                 summary.batches += 1;
+                reg.inc(0, ids.batches);
                 let families = request
                     .families
                     .as_deref()
                     .or(opts.default_families.as_deref());
                 let jobs = job_indices(request.count, families);
                 summary.submitted += jobs.len();
+                reg.add(0, ids.submitted, jobs.len() as u64);
 
                 // Admission, stage 1: an already-expired batch deadline
                 // sheds the whole batch (deterministically — no timing
                 // race against the workers).
                 if request.deadline_ms == Some(0) {
                     summary.shed_over_deadline += jobs.len();
+                    reg.add(0, ids.shed_over_deadline, jobs.len() as u64);
                     writeln!(
                         output,
-                        "{{\"event\":\"reject\",\"reason\":\"over_deadline\",\
-                         \"use_case\":\"{}\",\"shed\":{}}}",
-                        request.use_case.name(),
-                        jobs.len()
+                        "{}",
+                        ObjBuilder::event("reject")
+                            .str("reason", "over_deadline")
+                            .str("use_case", request.use_case.name())
+                            .u64("shed", jobs.len() as u64)
+                            .finish()
                     )?;
                     writeln!(
                         output,
-                        "{{\"event\":\"batch\",\"requested\":{},\"completed\":0,\
-                         \"failed\":0,\"shed\":{}}}",
-                        request.count,
-                        jobs.len()
+                        "{}",
+                        ObjBuilder::event("batch")
+                            .u64("requested", request.count as u64)
+                            .u64("completed", 0)
+                            .u64("failed", 0)
+                            .u64("shed", jobs.len() as u64)
+                            .finish()
                     )?;
                     output.flush()?;
                     continue;
@@ -575,15 +732,19 @@ pub fn serve(
                 // shed count is exactly max(0, batch - depth).
                 let accepted = jobs.len().min(queue_depth);
                 let shed = jobs.len() - accepted;
+                reg.gauge_max(ids.queue_depth_hwm, accepted as u64);
                 if shed > 0 {
                     summary.shed_queue_full += shed;
+                    reg.add(0, ids.shed_queue_full, shed as u64);
                     writeln!(
                         output,
-                        "{{\"event\":\"reject\",\"reason\":\"queue_full\",\
-                         \"use_case\":\"{}\",\"shed\":{},\"queue_depth\":{}}}",
-                        request.use_case.name(),
-                        shed,
-                        queue_depth
+                        "{}",
+                        ObjBuilder::event("reject")
+                            .str("reason", "queue_full")
+                            .str("use_case", request.use_case.name())
+                            .u64("shed", shed as u64)
+                            .u64("queue_depth", queue_depth as u64)
+                            .finish()
                     )?;
                 }
                 let deadline = request
@@ -608,10 +769,12 @@ pub fn serve(
                 let mut batch_shed = shed;
                 for _ in 0..accepted {
                     let done = rx.recv().expect("workers outlive the batch");
+                    let ran = !matches!(done.class, CompletionClass::Shed);
                     match done.class {
                         CompletionClass::Completed { ok } => {
                             summary.sessions += 1;
                             summary.completed += 1;
+                            reg.inc(0, ids.completed);
                             summary.latencies_ms.push(done.wall_ms);
                             summary.transport_retries += done.retries;
                             if !ok {
@@ -621,6 +784,7 @@ pub fn serve(
                         CompletionClass::DeadlineExceeded => {
                             summary.sessions += 1;
                             summary.deadline_exceeded += 1;
+                            reg.inc(0, ids.deadline_exceeded);
                             summary.latencies_ms.push(done.wall_ms);
                             summary.transport_retries += done.retries;
                             failed += 1;
@@ -628,15 +792,25 @@ pub fn serve(
                         CompletionClass::Panicked => {
                             summary.sessions += 1;
                             summary.quarantined += 1;
+                            reg.inc(0, ids.quarantined);
                             summary.latencies_ms.push(done.wall_ms);
                             failed += 1;
                         }
                         CompletionClass::Shed => {
                             summary.shed_over_deadline += 1;
+                            reg.inc(0, ids.shed_over_deadline);
                             batch_shed += 1;
                         }
                     }
+                    if ran {
+                        reg.add(0, ids.transport_retries, done.retries as u64);
+                        reg.observe_ns(0, ids.session, (done.wall_ms * 1e6) as u64);
+                        ids.stages.observe(reg, 0, &done.trace);
+                    }
                     writeln!(output, "{}", done.line)?;
+                    if let Some(trace_line) = &done.trace_line {
+                        writeln!(output, "{trace_line}")?;
+                    }
                     output.flush()?;
                 }
                 summary.failures += failed;
@@ -644,25 +818,35 @@ pub fn serve(
                     // The family filter matched nothing in the probe window
                     // — surface it instead of silently under-delivering.
                     summary.protocol_errors += 1;
+                    reg.inc(0, ids.protocol_errors);
                     writeln!(
                         output,
-                        "{{\"event\":\"reject\",\"reason\":\"bad_request\",\
-                         \"code\":\"family_filter\",\"message\":{}}}",
-                        json::quote(&format!(
-                            "only {} of {} requested sessions matched the family filter \
-                         (known families: {:?})",
-                            jobs.len(),
-                            request.count,
-                            crate::family_names()
-                        ))
+                        "{}",
+                        ObjBuilder::event("reject")
+                            .str("reason", "bad_request")
+                            .str("code", "family_filter")
+                            .str(
+                                "message",
+                                &format!(
+                                    "only {} of {} requested sessions matched the family filter \
+                                     (known families: {:?})",
+                                    jobs.len(),
+                                    request.count,
+                                    crate::family_names()
+                                ),
+                            )
+                            .finish()
                     )?;
                 }
                 writeln!(
                     output,
-                    "{{\"event\":\"batch\",\"requested\":{},\"completed\":{},\
-                     \"failed\":{failed},\"shed\":{batch_shed}}}",
-                    request.count,
-                    accepted - (batch_shed - shed)
+                    "{}",
+                    ObjBuilder::event("batch")
+                        .u64("requested", request.count as u64)
+                        .u64("completed", (accepted - (batch_shed - shed)) as u64)
+                        .u64("failed", failed as u64)
+                        .u64("shed", batch_shed as u64)
+                        .finish()
                 )?;
                 output.flush()?;
             }
@@ -679,36 +863,37 @@ pub fn serve(
 
     summary.pool = counters.into_inner().unwrap_or_else(|e| e.into_inner());
     let p = &summary.pool;
+    // The metrics snapshot (when asked for) goes out before the drain
+    // line so the drain line stays the stream's last word.
+    if opts.emit_metrics {
+        writeln!(output, "{}", metrics_json(reg, true, Some(p)))?;
+    }
     writeln!(
         output,
-        "{{\"event\":\"drain\",\"batches\":{},\"sessions\":{},\"failures\":{},\
-         \"protocol_errors\":{},\"submitted\":{},\"completed\":{},\
-         \"shed_queue_full\":{},\"shed_over_deadline\":{},\"deadline_exceeded\":{},\
-         \"quarantined\":{},\"transport_retries\":{},\"accounted\":{},\
-         \"workers\":{},\"pooling\":{},\"manager_reuses\":{},\
-         \"manager_allocs\":{},\"manager_quarantined\":{},\"reuse_rate\":{:.4},\
-         \"peak_nodes\":{},\"space_cache_hits\":{},\"space_cache_misses\":{}}}",
-        summary.batches,
-        summary.sessions,
-        summary.failures,
-        summary.protocol_errors,
-        summary.submitted,
-        summary.completed,
-        summary.shed_queue_full,
-        summary.shed_over_deadline,
-        summary.deadline_exceeded,
-        summary.quarantined,
-        summary.transport_retries,
-        summary.accounted(),
-        p.workers,
-        opts.pool_managers,
-        p.manager_reuses,
-        p.manager_allocs,
-        p.quarantined,
-        p.reuse_rate(),
-        p.peak_nodes,
-        p.cache_hits,
-        p.cache_misses
+        "{}",
+        ObjBuilder::event("drain")
+            .u64("batches", summary.batches as u64)
+            .u64("sessions", summary.sessions as u64)
+            .u64("failures", summary.failures as u64)
+            .u64("protocol_errors", summary.protocol_errors as u64)
+            .u64("submitted", summary.submitted as u64)
+            .u64("completed", summary.completed as u64)
+            .u64("shed_queue_full", summary.shed_queue_full as u64)
+            .u64("shed_over_deadline", summary.shed_over_deadline as u64)
+            .u64("deadline_exceeded", summary.deadline_exceeded as u64)
+            .u64("quarantined", summary.quarantined as u64)
+            .u64("transport_retries", summary.transport_retries as u64)
+            .bool("accounted", summary.accounted())
+            .u64("workers", p.workers as u64)
+            .bool("pooling", opts.pool_managers)
+            .u64("manager_reuses", p.manager_reuses as u64)
+            .u64("manager_allocs", p.manager_allocs as u64)
+            .u64("manager_quarantined", p.quarantined as u64)
+            .f64("reuse_rate", p.reuse_rate(), 4)
+            .u64("peak_nodes", p.peak_nodes as u64)
+            .u64("space_cache_hits", p.cache_hits as u64)
+            .u64("space_cache_misses", p.cache_misses as u64)
+            .finish()
     )?;
     output.flush()?;
     Ok(summary)
@@ -718,30 +903,58 @@ pub fn serve(
 mod tests {
     use super::*;
 
+    /// Parses a line that must be a batch request.
+    fn batch(line: &str) -> Result<BatchRequest, RequestError> {
+        parse_request(line).map(|r| match r {
+            Request::Batch(b) => b,
+            Request::Metrics => panic!("{line:?} parsed as a metrics request"),
+        })
+    }
+
     #[test]
     fn request_parsing_accepts_the_documented_shapes() {
-        let r = parse_request(r#"{"use_case":"repair","seed":3,"count":5}"#).unwrap();
+        let r = batch(r#"{"use_case":"repair","seed":3,"count":5}"#).unwrap();
         assert_eq!(r.use_case, CaseKind::Repair);
         assert_eq!((r.seed, r.count), (3, 5));
         assert_eq!(r.families, None);
         assert_eq!(r.deadline_ms, None);
         // Defaults.
-        let r = parse_request("{}").unwrap();
+        let r = batch("{}").unwrap();
         assert_eq!(r.use_case, CaseKind::Synthesis);
         assert_eq!((r.seed, r.count), (1, 1));
         // families as array, family as comma string.
-        let r = parse_request(r#"{"families":["ring","star"]}"#).unwrap();
+        let r = batch(r#"{"families":["ring","star"]}"#).unwrap();
         assert_eq!(
             r.families.as_deref(),
             Some(&["ring".into(), "star".into()][..])
         );
-        let r = parse_request(r#"{"family":"chain, ring"}"#).unwrap();
+        let r = batch(r#"{"family":"chain, ring"}"#).unwrap();
         assert_eq!(
             r.families.as_deref(),
             Some(&["chain".into(), "ring".into()][..])
         );
-        let r = parse_request(r#"{"count":2,"deadline_ms":500}"#).unwrap();
+        let r = batch(r#"{"count":2,"deadline_ms":500}"#).unwrap();
         assert_eq!(r.deadline_ms, Some(500));
+    }
+
+    #[test]
+    fn a_metrics_request_is_its_own_shape() {
+        assert_eq!(parse_request(r#"{"metrics":true}"#), Ok(Request::Metrics));
+        // Anything but the literal true is a typed bad field.
+        assert!(matches!(
+            parse_request(r#"{"metrics":false}"#),
+            Err(RequestError::BadField {
+                field: "metrics",
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"metrics":1}"#),
+            Err(RequestError::BadField {
+                field: "metrics",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -1018,5 +1231,136 @@ mod tests {
             3,
             "{text}"
         );
+    }
+
+    /// Pulls a counter out of a parsed `{"event":"metrics"}` line.
+    fn counter(metrics: &Json, name: &str) -> u64 {
+        metrics
+            .get("registry")
+            .and_then(|r| r.get(name))
+            .and_then(Json::as_u32)
+            .unwrap_or_else(|| panic!("metrics line missing counter {name}: {metrics:?}"))
+            as u64
+    }
+
+    #[test]
+    fn metrics_snapshots_balance_the_ledger_even_under_chaos() {
+        // The registry must satisfy the same conservation law as the
+        // drain ledger — submitted = completed + shed + deadline_exceeded
+        // + quarantined — at any snapshot point, chaos or not.
+        for chaos in [None, Some(chaos::ChaosPlan::paper_default(7))] {
+            let input = b"{\"count\":4,\"seed\":1}\n\
+                          {\"metrics\":true}\n\
+                          {\"use_case\":\"repair\",\"count\":3,\"seed\":1}\n\
+                          {\"count\":4,\"deadline_ms\":0}\n";
+            let mut out = Vec::new();
+            let summary = serve(
+                &input[..],
+                &mut out,
+                &ServeOptions {
+                    threads: 2,
+                    chaos,
+                    emit_metrics: true,
+                    ..Default::default()
+                },
+            )
+            .expect("serve io");
+            assert!(summary.accounted(), "{summary:?}");
+            let text = String::from_utf8(out).unwrap();
+            let metrics: Vec<Json> = text
+                .lines()
+                .filter(|l| l.contains("\"event\":\"metrics\""))
+                .map(|l| json::parse(l).unwrap_or_else(|e| panic!("{l}: {e}")))
+                .collect();
+            // One mid-run snapshot (the {"metrics":true} request) and
+            // one at drain (--metrics).
+            assert_eq!(metrics.len(), 2, "{text}");
+            for m in &metrics {
+                assert_eq!(m.get("accounted").and_then(Json::as_bool), Some(true));
+                let spent = counter(m, "completed")
+                    + counter(m, "shed_queue_full")
+                    + counter(m, "shed_over_deadline")
+                    + counter(m, "deadline_exceeded")
+                    + counter(m, "quarantined");
+                assert_eq!(counter(m, "submitted"), spent, "{text}");
+            }
+            // The mid-run snapshot only covers the first batch; the
+            // drain one covers everything and adds the pool rates.
+            assert_eq!(counter(&metrics[0], "submitted"), 4);
+            let drain = &metrics[1];
+            assert_eq!(drain.get("drain").and_then(Json::as_bool), Some(true));
+            assert_eq!(counter(drain, "submitted"), summary.submitted as u64);
+            assert_eq!(counter(drain, "quarantined"), summary.quarantined as u64);
+            assert!(drain.get("manager_reuse_rate").is_some(), "{text}");
+            assert!(drain.get("space_cache_hit_rate").is_some(), "{text}");
+            assert!(
+                drain
+                    .get("registry")
+                    .and_then(|r| r.get("latency_ms"))
+                    .is_some(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_and_metrics_streaming_never_change_session_content() {
+        // Telemetry is an observer: a 64-session fleet must produce
+        // byte-identical session results with streaming on and off —
+        // only the wall-clock field may differ.
+        let input: &[u8] = b"{\"count\":32,\"seed\":1}\n\
+                             {\"use_case\":\"repair\",\"count\":32,\"seed\":1}\n";
+        let run = |instrumented: bool| {
+            let mut out = Vec::new();
+            serve(
+                input,
+                &mut out,
+                &ServeOptions {
+                    threads: 4,
+                    emit_metrics: instrumented,
+                    stream_traces: instrumented,
+                    ..Default::default()
+                },
+            )
+            .expect("serve io");
+            String::from_utf8(out).unwrap()
+        };
+        let plain = run(false);
+        let instrumented = run(true);
+        // Session lines stream in completion order, which races across
+        // threads: compare the sorted multiset, with the one legitimate
+        // timing field cut out.
+        let content = |text: &str| -> Vec<String> {
+            let mut lines: Vec<String> = text
+                .lines()
+                .filter(|l| !l.contains("\"event\":"))
+                .map(|l| {
+                    let start = l.find("\"wall_ms\":").expect("session line has wall_ms");
+                    let rest = &l[start..];
+                    let end = start + rest.find(",\"").expect("wall_ms is not last") + 1;
+                    format!("{}{}", &l[..start], &l[end..])
+                })
+                .collect();
+            lines.sort();
+            lines
+        };
+        let plain_content = content(&plain);
+        assert_eq!(plain_content.len(), 64, "{plain}");
+        assert_eq!(plain_content, content(&instrumented));
+        // And the instrumented run actually streamed its traces.
+        let traces: Vec<Json> = instrumented
+            .lines()
+            .filter(|l| l.contains("\"event\":\"trace\""))
+            .map(|l| json::parse(l).unwrap_or_else(|e| panic!("{l}: {e}")))
+            .collect();
+        assert_eq!(traces.len(), 64, "{instrumented}");
+        assert!(
+            traces
+                .iter()
+                .any(|t| t.get("stages").is_some_and(|s| matches!(s, Json::Obj(_)))),
+            "at least one trace carries stage spans"
+        );
+        assert!(!plain.contains("\"event\":\"trace\""));
+        assert!(!plain.contains("\"event\":\"metrics\""));
     }
 }

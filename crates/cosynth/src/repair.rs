@@ -35,6 +35,7 @@ use campion_lite::CampionFinding;
 use fault_inject::{GroundTruth, Injection};
 use llm_sim::{prompts, LanguageModel};
 use std::collections::BTreeMap;
+use telemetry::Stage;
 use topo_model::{Scenario, TopologyFinding};
 
 /// A localized fault: the suspect router and a 1-based inclusive line
@@ -91,6 +92,10 @@ pub struct RepairOutcome {
     pub deadline_exceeded: bool,
     /// Transport retry/escalation accounting for the whole session.
     pub transport: TransportStats,
+    /// Where the session's wall-clock went, by pipeline stage
+    /// (localization rounds, backend calls, re-simulations). Span
+    /// counts are deterministic; durations are wall-clock.
+    pub trace: telemetry::SessionTrace,
 }
 
 /// The repair session driver.
@@ -162,9 +167,17 @@ impl RepairSession {
         let mut first_localization: Option<Localization> = None;
         let mut rounds = 0usize;
         let mut deadline_exceeded = false;
-        let mut global = check_scenario(scenario, &configs);
+        let mut global = t
+            .trace
+            .time(Stage::Sim, || check_scenario(scenario, &configs));
         let repaired = loop {
-            let loc = localize(scenario, &assignments, &configs, ctx);
+            // The localize span covers the whole sweep; the space
+            // build/hit (and parse) spans it contains are recorded
+            // separately into the context's trace, so stage totals
+            // overlap by design.
+            let loc = t.trace.time(Stage::Localize, || {
+                localize(scenario, &assignments, &configs, ctx)
+            });
             if loc.is_none() && global.holds() {
                 break true;
             }
@@ -197,8 +210,12 @@ impl RepairSession {
             let prompt = repair_prompt(assignment, &loc, &current, escalate);
             let next = t.send_expecting_config(kind, prompt, &current);
             configs.insert(loc.device.clone(), next);
-            global = check_scenario(scenario, &configs);
+            global = t
+                .trace
+                .time(Stage::Sim, || check_scenario(scenario, &configs));
         };
+        let mut trace = t.trace;
+        trace.merge(&ctx.trace);
         RepairOutcome {
             configs,
             repaired,
@@ -211,6 +228,7 @@ impl RepairSession {
             space_cache_misses: ctx.cache.misses,
             deadline_exceeded,
             transport: t.transport,
+            trace,
         }
     }
 }
@@ -269,7 +287,9 @@ pub fn localize(
         let Some(text) = configs.get(&assignment.name) else {
             continue;
         };
-        let parsed = bf_lite::parse_config(text, Some(Vendor::Cisco));
+        let parsed = ctx.trace.time(Stage::Parse, || {
+            bf_lite::parse_config(text, Some(Vendor::Cisco))
+        });
         if let Some(w) = parsed.warnings.first() {
             let (line_start, line_end) = if w.line > 0 {
                 (w.line, w.line)

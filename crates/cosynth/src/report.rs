@@ -2,6 +2,7 @@
 
 use crate::translation::{ErrorRow, TranslationOutcome};
 use crate::SynthesisOutcome;
+use criterion::SampleStats;
 
 /// Renders Table 1 (sample rectification prompts for translation) from a
 /// session log: one representative automated prompt per error class.
@@ -118,12 +119,8 @@ pub struct FamilyRow {
     pub human: usize,
     /// Mean BGP simulation rounds to the fixed point.
     pub mean_sim_rounds: f64,
-    /// Per-session wall-clock percentiles, milliseconds.
-    pub p10_ms: f64,
-    /// Median session wall-clock, milliseconds.
-    pub median_ms: f64,
-    /// 90th-percentile session wall-clock, milliseconds.
-    pub p90_ms: f64,
+    /// Per-session wall-clock spread, milliseconds.
+    pub session_ms: SampleStats,
 }
 
 impl FamilyRow {
@@ -170,9 +167,9 @@ pub fn scenario_table(rows: &[FamilyRow]) -> String {
             r.human,
             r.leverage(),
             r.mean_sim_rounds,
-            r.p10_ms,
-            r.median_ms,
-            r.p90_ms
+            r.session_ms.p10,
+            r.session_ms.median,
+            r.session_ms.p90
         ));
     }
     out
@@ -249,9 +246,7 @@ route-map ospf_to_bgp permit 10
             auto: 40,
             human: 5,
             mean_sim_rounds: 6.5,
-            p10_ms: 1.0,
-            median_ms: 2.0,
-            p90_ms: 4.0,
+            session_ms: SampleStats::from_samples(&[1.0, 2.0, 4.0]).unwrap(),
         }];
         let t = scenario_table(&rows);
         assert!(t.contains("ring"), "{t}");

@@ -5,6 +5,7 @@ use crate::leverage::Leverage;
 use llm_sim::rng::SimRng;
 use llm_sim::{LanguageModel, Message};
 use std::time::Instant;
+use telemetry::SessionTrace;
 
 /// Who issued a prompt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +150,11 @@ pub struct SessionTranscript<'a, M: LanguageModel + ?Sized> {
     jitter: SimRng,
     /// Transport retry/escalation counters for this session.
     pub transport: TransportStats,
+    /// Per-session stage trace. The transcript records one
+    /// [`telemetry::Stage::Backend`] span per completion *attempt*
+    /// (retries included); session drivers record their pipeline stages
+    /// here too and merge the context-held trace at outcome assembly.
+    pub trace: SessionTrace,
 }
 
 impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
@@ -169,6 +175,7 @@ impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
             jitter: SimRng::seed_from_u64(retry.jitter_seed),
             retry,
             transport: TransportStats::default(),
+            trace: SessionTrace::new(),
         }
     }
 
@@ -211,7 +218,10 @@ impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
         self.messages.push(Message::user(prompt.clone()));
         let mut attempt = 0usize;
         let response = loop {
-            match self.llm.try_complete(&self.messages) {
+            match self
+                .llm
+                .try_complete_traced(&self.messages, &mut self.trace)
+            {
                 Ok(r) => break r,
                 Err(_err) if attempt < self.retry.max_retries => {
                     attempt += 1;
@@ -229,7 +239,7 @@ impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
                     // the request, which always lands.
                     self.transport.escalations += 1;
                     self.leverage.record_human();
-                    break self.llm.complete(&self.messages);
+                    break self.llm.complete_traced(&self.messages, &mut self.trace);
                 }
             }
         };
@@ -372,6 +382,11 @@ mod tests {
         assert_eq!(t.transport.escalations, 0);
         assert!(t.transport.backoff_ms_total >= 100 + 200);
         assert_eq!(t.leverage.human, 0, "retries are not human effort");
+        assert_eq!(
+            t.trace.get(telemetry::Stage::Backend).count,
+            3,
+            "one backend span per attempt: two failures plus the success"
+        );
     }
 
     #[test]

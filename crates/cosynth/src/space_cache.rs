@@ -115,6 +115,14 @@ impl RouteSpaceCache {
         &mut self.entries.get_mut(router).expect("just ensured").space
     }
 
+    /// The cached space for `router`, if one is live — a plain map
+    /// lookup with no fingerprint work. Used by
+    /// [`crate::verifier_ctx::VerifierContext`] to re-borrow the space
+    /// it just ensured after recording the lookup's timing.
+    pub fn space_mut(&mut self, router: &str) -> Option<&mut RouteSpace> {
+        self.entries.get_mut(router).map(|e| &mut e.space)
+    }
+
     /// Empties the cache, yielding every cached space (so a pool can
     /// reclaim the managers). Counters are left untouched.
     pub fn drain(&mut self) -> Vec<RouteSpace> {

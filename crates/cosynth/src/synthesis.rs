@@ -24,6 +24,7 @@ use bf_lite::Vendor;
 use llm_sim::LanguageModel;
 use net_model::WarningKind;
 use std::collections::BTreeMap;
+use telemetry::{SessionTrace, Stage};
 use topo_model::{star, Scenario, StarRoles, Topology};
 
 /// Whether the policy is specified per router (local) or all at once
@@ -64,6 +65,10 @@ pub struct SynthesisOutcome {
     pub deadline_exceeded: bool,
     /// Transport retry/escalation accounting for the whole session.
     pub transport: TransportStats,
+    /// Where the session's wall-clock went, by pipeline stage. Span
+    /// *counts* are deterministic session content; durations are
+    /// wall-clock (and excluded from trace equality).
+    pub trace: SessionTrace,
 }
 
 /// The synthesis session driver.
@@ -138,8 +143,10 @@ impl SynthesisSession {
         scenario: &Scenario,
         ctx: &mut VerifierContext,
     ) -> SynthesisOutcome {
-        let drive = self.drive_scenario(llm, scenario, ctx);
-        let global = check_scenario(scenario, &drive.configs);
+        let mut drive = self.drive_scenario(llm, scenario, ctx);
+        let global = drive
+            .trace
+            .time(Stage::Sim, || check_scenario(scenario, &drive.configs));
         drive.into_outcome(global)
     }
 
@@ -156,8 +163,10 @@ impl SynthesisSession {
         // no-transit violation classes (TransitLeak & friends).
         let scenario = Modularizer::star_scenario(topology, roles);
         let mut ctx = VerifierContext::without_pooling();
-        let drive = self.drive_scenario(llm, &scenario, &mut ctx);
-        let global = compose_and_check(topology, roles, &drive.configs);
+        let mut drive = self.drive_scenario(llm, &scenario, &mut ctx);
+        let global = drive.trace.time(Stage::Sim, || {
+            compose_and_check(topology, roles, &drive.configs)
+        });
         drive.into_outcome(global)
     }
 
@@ -180,7 +189,10 @@ impl SynthesisSession {
         let mut configs = BTreeMap::new();
         let mut verified_local = true;
         let mut deadline_exceeded = false;
-        for assignment in Modularizer::assign_scenario(scenario) {
+        let assignments = t.trace.time(Stage::PromptRender, || {
+            Modularizer::assign_scenario(scenario)
+        });
+        for assignment in assignments {
             if t.over_budget() {
                 // The deadline tripped between routers: remaining routers
                 // get no drafts and the session reports the typed outcome.
@@ -199,6 +211,8 @@ impl SynthesisSession {
             }
             configs.insert(assignment.name.clone(), config);
         }
+        let mut trace = t.trace;
+        trace.merge(&ctx.trace);
         ScenarioDrive {
             configs,
             verified_local,
@@ -208,6 +222,7 @@ impl SynthesisSession {
             space_cache_misses: ctx.cache.misses,
             deadline_exceeded,
             transport: t.transport,
+            trace,
         }
     }
 
@@ -238,7 +253,9 @@ impl SynthesisSession {
             }
             rounds += 1;
             // Phase 1: syntax.
-            let parsed = bf_lite::parse_config(&current, Some(Vendor::Cisco));
+            let parsed = t.trace.time(Stage::Parse, || {
+                bf_lite::parse_config(&current, Some(Vendor::Cisco))
+            });
             if let Some(w) = parsed.warnings.first() {
                 let key = format!("syntax:{:?}:{}", w.kind, w.text);
                 let failed = attempts.get(&key).copied().unwrap_or(0);
@@ -285,12 +302,15 @@ impl SynthesisSession {
                 .then(|| ctx.space_for(&assignment.name, &parsed.device, &assignment.checks));
             let mut violation = None;
             for check in &assignment.checks {
-                let result = match space.as_mut() {
+                // The space mutably borrows `ctx`, so the check span is
+                // recorded into the transcript-held trace; the two merge
+                // at outcome assembly.
+                let result = t.trace.time(Stage::Check, || match space.as_mut() {
                     Some(space) if check.is_symbolic() => {
                         bf_lite::check_local_policy_in(space, &parsed.device, check)
                     }
                     _ => bf_lite::check_local_policy(&parsed.device, check),
-                };
+                });
                 if let Err(witness) = result {
                     violation = Some((check.clone(), witness));
                     break;
@@ -343,11 +363,15 @@ impl SynthesisSession {
         let mut t = SessionTranscript::new(llm, self.iips.system_message())
             .with_budget(self.budget)
             .with_retry(self.retry);
-        let prompt = Modularizer::global_prompt(topology);
+        let prompt = t
+            .trace
+            .time(Stage::PromptRender, || Modularizer::global_prompt(topology));
         let mut response = t.send(PromptKind::Task, prompt);
         let mut configs = parse_multi_configs(&response);
         let mut converged = false;
-        let mut global = compose_and_check(topology, roles, &configs);
+        let mut global = t
+            .trace
+            .time(Stage::Sim, || compose_and_check(topology, roles, &configs));
         let mut deadline_exceeded = false;
         for _ in 0..self.max_global_attempts {
             if global.holds() {
@@ -403,7 +427,9 @@ impl SynthesisSession {
             };
             response = t.send(PromptKind::Auto, feedback);
             configs = parse_multi_configs(&response);
-            global = compose_and_check(topology, roles, &configs);
+            global = t
+                .trace
+                .time(Stage::Sim, || compose_and_check(topology, roles, &configs));
         }
         SynthesisOutcome {
             configs,
@@ -411,11 +437,12 @@ impl SynthesisSession {
             global,
             converged,
             leverage: t.leverage,
-            log: t.log,
             space_cache_hits: 0,
             space_cache_misses: 0,
             deadline_exceeded,
             transport: t.transport,
+            trace: t.trace,
+            log: t.log,
         }
     }
 }
@@ -431,6 +458,7 @@ struct ScenarioDrive {
     space_cache_misses: usize,
     deadline_exceeded: bool,
     transport: TransportStats,
+    trace: SessionTrace,
 }
 
 impl ScenarioDrive {
@@ -446,6 +474,7 @@ impl ScenarioDrive {
             space_cache_misses: self.space_cache_misses,
             deadline_exceeded: self.deadline_exceeded,
             transport: self.transport,
+            trace: self.trace,
         }
     }
 }
@@ -599,6 +628,47 @@ mod tests {
              (hits={}, misses={})",
             outcome.space_cache_hits,
             outcome.space_cache_misses
+        );
+    }
+
+    #[test]
+    fn trace_counts_are_deterministic_and_reconcile_with_counters() {
+        let run = || {
+            let mut llm = SimulatedGpt4::new(ErrorModel::paper_default(), 11);
+            SynthesisSession::default().run(&mut llm, 6)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.trace, b.trace, "span counts are session content");
+        assert_eq!(
+            a.trace.get(Stage::Backend).count as usize,
+            a.log.len(),
+            "clean transport: one backend span per logged prompt"
+        );
+        assert_eq!(
+            a.trace.get(Stage::SpaceBuild).count as usize,
+            a.space_cache_misses,
+            "every cache miss is a build span"
+        );
+        assert_eq!(
+            a.trace.get(Stage::SpaceHit).count as usize,
+            a.space_cache_hits,
+            "every cache hit is a hit span"
+        );
+        assert_eq!(a.trace.get(Stage::Sim).count, 1, "one final global check");
+        assert_eq!(a.trace.get(Stage::PromptRender).count, 1);
+        assert!(
+            a.trace.get(Stage::Parse).count > 0,
+            "parse rounds are traced"
+        );
+        assert!(
+            a.trace.get(Stage::Check).count > 0,
+            "local checks are traced"
+        );
+        assert_eq!(
+            a.trace.get(Stage::Localize).count,
+            0,
+            "synthesis sessions never localize"
         );
     }
 

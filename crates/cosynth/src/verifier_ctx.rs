@@ -33,6 +33,7 @@
 use crate::space_cache::RouteSpaceCache;
 use bdd::Manager;
 use policy_symbolic::RouteSpace;
+use telemetry::{SessionTrace, Stage};
 
 /// A pool of cleared, ready-to-recycle BDD managers with reuse
 /// accounting. Managers are cleared on [`ManagerPool::release`] (not on
@@ -153,6 +154,12 @@ pub struct VerifierContext {
     pub cache_hits_total: usize,
     /// Space-cache misses accumulated over completed sessions.
     pub cache_misses_total: usize,
+    /// The live session's stage trace: [`Stage::SpaceBuild`] /
+    /// [`Stage::SpaceHit`] spans recorded by [`Self::space_for`], plus
+    /// any spans the session driver records here (repair localization's
+    /// parse rounds). Reset by [`Self::begin_session`] and merged into
+    /// the outcome's trace by the session driver.
+    pub trace: SessionTrace,
 }
 
 impl Default for VerifierContext {
@@ -180,6 +187,7 @@ impl VerifierContext {
             sessions: 0,
             cache_hits_total: 0,
             cache_misses_total: 0,
+            trace: SessionTrace::new(),
         }
     }
 
@@ -191,6 +199,7 @@ impl VerifierContext {
     /// an unpooled run.
     pub fn begin_session(&mut self) {
         self.sessions += 1;
+        self.trace = SessionTrace::new();
         self.flush();
     }
 
@@ -209,15 +218,29 @@ impl VerifierContext {
     }
 
     /// The space for `router`'s current draft — the pooled equivalent
-    /// of [`RouteSpaceCache::space_for`].
+    /// of [`RouteSpaceCache::space_for`]. The lookup is timed into the
+    /// live session's trace: a rebuild records a [`Stage::SpaceBuild`]
+    /// span, a warm answer a [`Stage::SpaceHit`] span (classified by
+    /// whether the cache's miss counter moved, so trace counts always
+    /// reconcile with the cache counters).
     pub fn space_for(
         &mut self,
         router: &str,
         device: &config_ir::Device,
         checks: &[bf_lite::LocalPolicyCheck],
     ) -> &mut RouteSpace {
-        self.cache
-            .space_for_in(&mut self.pool, router, device, checks)
+        let misses_before = self.cache.misses;
+        let start = std::time::Instant::now();
+        let _ = self
+            .cache
+            .space_for_in(&mut self.pool, router, device, checks);
+        let stage = if self.cache.misses > misses_before {
+            Stage::SpaceBuild
+        } else {
+            Stage::SpaceHit
+        };
+        self.trace.record(stage, start.elapsed());
+        self.cache.space_mut(router).expect("space just ensured")
     }
 
     /// Lifetime cache totals including the live session's counters.

@@ -32,6 +32,10 @@ pub use std::hint::black_box;
 /// spread), so every bench file carries the same notion of spread.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleStats {
+    /// Number of samples the stats were computed over.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
     /// Smallest sample.
     pub min: f64,
     /// 10th percentile.
@@ -54,12 +58,26 @@ impl SampleStats {
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
         Some(SampleStats {
+            count: sorted.len() as u64,
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             min: sorted[0],
             p10: percentile_of_sorted(&sorted, 0.10),
             median: percentile_of_sorted(&sorted, 0.50),
             p90: percentile_of_sorted(&sorted, 0.90),
             max: sorted[sorted.len() - 1],
         })
+    }
+
+    /// Renders the stats as a compact JSON object, two decimal places —
+    /// the one serialization every `BENCH_*.json` latency block uses
+    /// (previously copy-pasted per writer):
+    /// `{"count":64,"mean":2.31,"min":...,"p10":...,"median":...,"p90":...,"max":...}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"count\": {}, \"mean\": {:.2}, \"min\": {:.2}, \"p10\": {:.2}, \
+             \"median\": {:.2}, \"p90\": {:.2}, \"max\": {:.2} }}",
+            self.count, self.mean, self.min, self.p10, self.median, self.p90, self.max
+        )
     }
 }
 
@@ -370,8 +388,21 @@ mod tests {
         assert_eq!(s.median, 3.0);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
         assert!(s.p10 < s.median && s.median < s.p90);
         assert!(SampleStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn stats_serialize_to_parseable_json() {
+        let s = SampleStats::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let j = s.to_json();
+        assert_eq!(
+            j,
+            "{ \"count\": 4, \"mean\": 2.50, \"min\": 1.00, \"p10\": 1.30, \
+             \"median\": 2.50, \"p90\": 3.70, \"max\": 4.00 }"
+        );
     }
 
     #[test]

@@ -94,6 +94,32 @@ pub trait LanguageModel {
         Ok(self.complete(transcript))
     }
 
+    /// [`LanguageModel::try_complete`] with the attempt timed into
+    /// `trace` as one [`telemetry::Stage::Backend`] span. Retrying
+    /// callers record one span per attempt, so the trace's backend
+    /// *count* is the attempt count (completions + transport failures)
+    /// while the session's prompt log only grows on success — the gap
+    /// between the two is the retry traffic. Timing is recorded after
+    /// the call returns and never inspected by the backend, so traced
+    /// and untraced runs produce byte-identical completions.
+    fn try_complete_traced(
+        &mut self,
+        transcript: &[Message],
+        trace: &mut telemetry::SessionTrace,
+    ) -> Result<String, TransportError> {
+        trace.time(telemetry::Stage::Backend, || self.try_complete(transcript))
+    }
+
+    /// [`LanguageModel::complete`] with the call timed into `trace` as
+    /// one backend span (the infallible escalation path).
+    fn complete_traced(
+        &mut self,
+        transcript: &[Message],
+        trace: &mut telemetry::SessionTrace,
+    ) -> String {
+        trace.time(telemetry::Stage::Backend, || self.complete(transcript))
+    }
+
     /// Model name for reports.
     fn name(&self) -> &str {
         "llm"
@@ -199,6 +225,24 @@ mod tests {
         assert_eq!(m.complete(&[]), "a");
         assert_eq!(m.complete(&[]), "b");
         assert_eq!(m.complete(&[]), "b");
+    }
+
+    #[test]
+    fn traced_calls_match_untraced_content_and_record_backend_spans() {
+        use telemetry::{SessionTrace, Stage};
+        let transcript = [Message::user("go")];
+        let mut plain = ScriptedLlm::new(vec!["a".to_string(), "b".to_string()]);
+        let mut traced = ScriptedLlm::new(vec!["a".to_string(), "b".to_string()]);
+        let mut trace = SessionTrace::new();
+        assert_eq!(
+            traced.try_complete_traced(&transcript, &mut trace).unwrap(),
+            plain.try_complete(&transcript).unwrap()
+        );
+        assert_eq!(
+            traced.complete_traced(&transcript, &mut trace),
+            plain.complete(&transcript)
+        );
+        assert_eq!(trace.get(Stage::Backend).count, 2, "one span per call");
     }
 
     #[test]

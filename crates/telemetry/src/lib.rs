@@ -1,0 +1,30 @@
+//! Zero-dependency observability for the synthesis fleet.
+//!
+//! The workspace builds offline, so the usual `metrics`/`tracing`
+//! ecosystem is unavailable; this crate implements the slice the fleet
+//! actually needs, in two layers:
+//!
+//! * [`trace`] — **session-stage tracing**. A [`SessionTrace`] is a
+//!   fixed array of per-[`Stage`] `{count, total_ns}` cells carried on
+//!   synthesis/repair outcomes. Recording is two relaxed integer adds;
+//!   nothing in the pipeline ever *reads* a trace mid-session, so
+//!   timing can never influence session content (the determinism guard
+//!   in `cosynth-fleet` pins this).
+//! * [`registry`] — a **metrics registry** for the long-running fleetd
+//!   surface: named monotonic counters, gauges, and fixed-bucket log2
+//!   latency histograms. Hot-path updates are relaxed atomics into
+//!   per-worker shards (one cache line per shard); [`Registry::snapshot`]
+//!   merges the shards into plain numbers. Histograms export
+//!   [`criterion::SampleStats`]-compatible percentiles so `BENCH_*.json`
+//!   writers and the `{"event":"metrics"}` line speak the same schema.
+//!
+//! Everything is `std`-only; the only workspace dependency is the
+//! criterion shim, for the shared [`SampleStats`] spread type.
+//!
+//! [`SampleStats`]: criterion::SampleStats
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{CounterId, GaugeId, HistId, HistSnapshot, Registry, Snapshot, StageHists};
+pub use trace::{SessionTrace, Stage, StageCell};

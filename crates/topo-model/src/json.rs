@@ -291,6 +291,89 @@ pub fn quote(s: &str) -> String {
     out
 }
 
+/// An incremental writer for single-line JSON objects — the shape every
+/// fleetd `{"event":...}` line and result line uses. Each field method
+/// escapes its value through [`quote`], so ad-hoc event kinds can't
+/// silently emit invalid JSON the way hand-assembled `format!` strings
+/// could. Builder-by-value so call sites chain:
+///
+/// ```
+/// use topo_model::json::ObjBuilder;
+/// let line = ObjBuilder::event("reject")
+///     .str("reason", "bad_request")
+///     .u64("line", 3)
+///     .finish();
+/// assert_eq!(line, r#"{"event":"reject","reason":"bad_request","line":3}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct ObjBuilder {
+    buf: String,
+    any: bool,
+}
+
+impl ObjBuilder {
+    /// An empty object.
+    pub fn new() -> Self {
+        ObjBuilder::default()
+    }
+
+    /// An object opening with `"event":"<kind>"` — the fleetd line
+    /// convention.
+    pub fn event(kind: &str) -> Self {
+        ObjBuilder::new().str("event", kind)
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push_str(&quote(key));
+        self.buf.push(':');
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(&quote(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field with `decimals` places.
+    pub fn f64(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value:.decimals$}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (for nested objects or
+    /// arrays built elsewhere). The caller vouches for its validity.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +402,37 @@ mod tests {
         assert_eq!(quote("a\"b\\c\n"), r#""a\"b\\c\n""#);
         let round = parse(&quote("weird \u{1} – ok")).unwrap();
         assert_eq!(round.as_str(), Some("weird \u{1} – ok"));
+    }
+
+    #[test]
+    fn builder_escapes_and_round_trips() {
+        let line = ObjBuilder::event("reject")
+            .str("reason", "bad \"quote\"\nline")
+            .u64("n", 42)
+            .f64("ms", 1.2345, 2)
+            .bool("ok", false)
+            .raw("nested", r#"{"a":[1,2]}"#)
+            .finish();
+        let v = parse(&line).expect("builder output must parse");
+        assert_eq!(v.get("event").unwrap().as_str(), Some("reject"));
+        assert_eq!(
+            v.get("reason").unwrap().as_str(),
+            Some("bad \"quote\"\nline")
+        );
+        assert_eq!(v.get("n").unwrap().as_u32(), Some(42));
+        assert_eq!(v.get("ms"), Some(&Json::Num(1.23)));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            v.get("nested")
+                .unwrap()
+                .get("a")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(ObjBuilder::new().finish(), "{}");
     }
 
     #[test]

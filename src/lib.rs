@@ -19,6 +19,7 @@ pub use llm_sim;
 pub use net_model;
 pub use policy_symbolic;
 pub use scenario_gen;
+pub use telemetry;
 pub use topo_model;
 
 /// The bundled border-router configuration used by the translation
