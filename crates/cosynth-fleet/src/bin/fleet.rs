@@ -20,6 +20,7 @@ use cosynth_fleet::{
     family_names, family_of, run_case, run_chaos, scenario_for, serve, ChaosConfig, ChaosPlan,
     FleetConfig, Repair, ServeOptions, SessionTuning, Synthesis, UseCase,
 };
+use llm_sim::{BackendChoice, Tier};
 use telemetry::{Registry, Stage, StageHists};
 use topo_model::json::ObjBuilder;
 
@@ -48,7 +49,28 @@ FLAGS:
                         their own.
     --out PATH          Report path (default BENCH_scenarios.json for
                         synthesis, BENCH_repair.json for repair,
-                        BENCH_robustness.json for --chaos).
+                        BENCH_robustness.json for --chaos,
+                        BENCH_backends.json for --bench-backends).
+    --backend NAME      Model backend serving every session's
+                        completions: 'simulated-gpt4' (the paper's
+                        error model, default), or one of the derived
+                        price/quality tiers 'sim-cheap', 'sim-std',
+                        'sim-premium'. Applies to batch, serve, and
+                        chaos sessions alike.
+    --route NAME        Cost-aware cascade routing instead of a fixed
+                        backend: 'cheap-first' starts every session on
+                        sim-cheap and escalates one tier each time the
+                        verifier's feedback exhausts the cheaper
+                        model's patience. Mutually exclusive with
+                        --backend.
+    --bench-backends    Backend cost sweep: run both use cases at
+                        --sessions/--seed once per tier plus the
+                        cheap-first cascade and write
+                        BENCH_backends.json (default --out) with each
+                        backend's cost ledger and the cascade's
+                        cost-leverage (milli-cost of always-premium
+                        over milli-cost of the cascade at the same
+                        convergence).
     --serve             Resident service mode ('fleetd'): keep the
                         worker pool and its warm verifier contexts
                         alive, read newline-delimited JSON batch
@@ -139,6 +161,8 @@ struct Args {
     pool_managers: bool,
     measure_baseline: bool,
     dump_scenario: Option<usize>,
+    backend: BackendChoice,
+    bench_backends: bool,
 }
 
 fn usage_error(message: &str) -> ! {
@@ -167,7 +191,11 @@ fn parse_args(argv: &[String]) -> Args {
         pool_managers: true,
         measure_baseline: true,
         dump_scenario: None,
+        backend: BackendChoice::default(),
+        bench_backends: false,
     };
+    let mut backend_set = false;
+    let mut route_set = false;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -189,6 +217,27 @@ fn parse_args(argv: &[String]) -> Args {
             "--profile" => args.profile = true,
             "--no-pool" => args.pool_managers = false,
             "--no-baseline" => args.measure_baseline = false,
+            "--bench-backends" => args.bench_backends = true,
+            "--backend" => {
+                let v = value(&mut i, "--backend");
+                args.backend = BackendChoice::parse_backend(&v).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "unknown --backend {v:?} (known: {})",
+                        BackendChoice::BACKEND_NAMES.join(", ")
+                    ))
+                });
+                backend_set = true;
+            }
+            "--route" => {
+                let v = value(&mut i, "--route");
+                args.backend = BackendChoice::parse_route(&v).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "unknown --route {v:?} (known: {})",
+                        BackendChoice::ROUTE_NAMES.join(", ")
+                    ))
+                });
+                route_set = true;
+            }
             "--use-case" => args.use_case = value(&mut i, "--use-case"),
             "--sessions" => {
                 let v = value(&mut i, "--sessions");
@@ -237,6 +286,11 @@ fn parse_args(argv: &[String]) -> Args {
         }
         i += 1;
     }
+    if backend_set && route_set {
+        usage_error(
+            "--backend and --route are mutually exclusive (--route picks its own tier ladder)",
+        );
+    }
     args
 }
 
@@ -249,6 +303,7 @@ fn tuning_of(args: &Args) -> SessionTuning {
             max_wall_ms: args.deadline_ms,
             ..Default::default()
         },
+        backend: args.backend,
         ..Default::default()
     }
 }
@@ -290,6 +345,15 @@ fn main() {
     }
     if args.profile && (args.serve || args.chaos) {
         usage_error("--profile is a batch mode; it cannot combine with --serve or --chaos");
+    }
+    if args.bench_backends && (args.serve || args.chaos || args.profile) {
+        usage_error(
+            "--bench-backends is a batch mode; it cannot combine with --serve, --chaos, or --profile",
+        );
+    }
+    if args.bench_backends {
+        run_bench_backends(&args);
+        return;
     }
     if args.serve {
         run_serve(&args);
@@ -550,6 +614,178 @@ fn run_profile(args: &Args) {
             "fleet: fewer sessions ran than requested (does --families name a real \
              family? known: {:?})",
             family_names()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// One backend's column of the `--bench-backends` sweep: a whole fleet
+/// run reduced to its contract counts and cost ledger totals.
+struct BackendSweepRow {
+    label: &'static str,
+    sessions: usize,
+    /// Sessions that met the use case's per-session contract
+    /// (synthesis: converged; repair: repaired).
+    ok: usize,
+    auto: usize,
+    human: usize,
+    llm_calls: u64,
+    milli_cost: u64,
+}
+
+impl BackendSweepRow {
+    /// This backend's cost-leverage against always-premium: how many
+    /// times cheaper the same fleet ran. 1.0 for premium itself; > 1
+    /// is the cascade's win condition.
+    fn leverage_vs(&self, premium_milli_cost: u64) -> f64 {
+        premium_milli_cost as f64 / (self.milli_cost.max(1)) as f64
+    }
+}
+
+/// `--bench-backends`: run both use cases once per backend tier plus
+/// the cheap-first cascade, and report what verifier-driven escalation
+/// saves against always-premium at the same convergence.
+fn run_bench_backends(args: &Args) {
+    let choices: Vec<BackendChoice> = Tier::ALL
+        .iter()
+        .map(|t| BackendChoice::Tier(*t))
+        .chain(std::iter::once(BackendChoice::CheapFirst))
+        .collect();
+    let cfg_for = |choice: BackendChoice| FleetConfig {
+        sessions: args.sessions,
+        seed: args.seed,
+        threads: args.threads,
+        families: args.families.clone(),
+        pool_managers: args.pool_managers,
+        tuning: SessionTuning {
+            backend: choice,
+            ..tuning_of(args)
+        },
+    };
+    fn sweep<U: UseCase>(
+        cfg: &FleetConfig,
+        label: &'static str,
+        auto_human: impl Fn(&U::Result) -> (usize, usize),
+    ) -> BackendSweepRow {
+        eprintln!(
+            "fleet: backend sweep: {} on {}, {} sessions, seed {}",
+            U::NAME,
+            label,
+            cfg.sessions,
+            cfg.seed
+        );
+        let report = run_case::<U>(cfg);
+        let mut row = BackendSweepRow {
+            label,
+            sessions: report.results.len(),
+            ok: 0,
+            auto: 0,
+            human: 0,
+            llm_calls: 0,
+            milli_cost: 0,
+        };
+        for r in &report.results {
+            if U::session_ok(r) {
+                row.ok += 1;
+            }
+            let (a, h) = auto_human(r);
+            row.auto += a;
+            row.human += h;
+            row.llm_calls += U::cost(r).total_calls();
+            row.milli_cost += U::cost(r).total_milli_cost();
+        }
+        row
+    }
+    let syn_rows: Vec<BackendSweepRow> = choices
+        .iter()
+        .map(|c| sweep::<Synthesis>(&cfg_for(*c), c.label(), |r| (r.auto, r.human)))
+        .collect();
+    let rep_rows: Vec<BackendSweepRow> = choices
+        .iter()
+        .map(|c| sweep::<Repair>(&cfg_for(*c), c.label(), |r| (r.auto, r.human)))
+        .collect();
+
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"backends\",");
+    let _ = writeln!(out, "  \"seed\": {},", args.seed);
+    let _ = writeln!(out, "  \"sessions\": {},", args.sessions);
+    let _ = writeln!(out, "  \"threads\": {},", args.threads.max(2));
+    let _ = writeln!(out, "  \"unit_milli_cost\": {{");
+    for (i, t) in Tier::ALL.iter().enumerate() {
+        let comma = if i + 1 < Tier::ALL.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {}{comma}", t.name(), t.unit_milli_cost());
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"use_cases\": {{");
+    let mut contract_ok = true;
+    let premium = Tier::Premium.name();
+    let cases: [(&str, &str, &[BackendSweepRow]); 2] = [
+        ("synthesis", "converged", &syn_rows),
+        ("repair", "repaired", &rep_rows),
+    ];
+    for (ci, (case, ok_key, rows)) in cases.iter().enumerate() {
+        let premium_row = rows.iter().find(|r| r.label == premium).unwrap();
+        let cascade_row = rows.iter().find(|r| r.label == "cheap-first").unwrap();
+        let _ = writeln!(out, "    \"{case}\": {{");
+        let _ = writeln!(out, "      \"backends\": {{");
+        for (ri, r) in rows.iter().enumerate() {
+            let comma = if ri + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        \"{}\": {{\"sessions\": {}, \"{ok_key}\": {}, \"auto\": {}, \
+                 \"human\": {}, \"llm_calls\": {}, \"milli_cost\": {}, \
+                 \"cost_leverage\": {:.4}}}{comma}",
+                r.label,
+                r.sessions,
+                r.ok,
+                r.auto,
+                r.human,
+                r.llm_calls,
+                r.milli_cost,
+                r.leverage_vs(premium_row.milli_cost)
+            );
+        }
+        let _ = writeln!(out, "      }},");
+        let leverage = cascade_row.leverage_vs(premium_row.milli_cost);
+        let _ = writeln!(out, "      \"cascade_cost_leverage\": {leverage:.4},");
+        let _ = writeln!(
+            out,
+            "      \"cascade_convergence_unchanged\": {}",
+            cascade_row.ok >= premium_row.ok
+        );
+        let _ = writeln!(out, "    }}{}", if ci == 0 { "," } else { "" });
+        println!(
+            "backends: {case}: cascade cost-leverage {leverage:.2}x \
+             (premium {} m$, cascade {} m$), {ok_key} {} vs premium {}",
+            premium_row.milli_cost, cascade_row.milli_cost, cascade_row.ok, premium_row.ok
+        );
+        // Cheap tiers are allowed to miss sessions — that gap is the
+        // experiment. The contract binds the cascade: full fleet, at
+        // least premium's convergence, for less money.
+        let full = rows.iter().all(|r| r.sessions == args.sessions);
+        if !(leverage > 1.0 && cascade_row.ok >= premium_row.ok && full) {
+            contract_ok = false;
+        }
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_backends.json".into());
+    if let Err(e) = std::fs::write(&out_path, &out) {
+        eprintln!("fleet: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+    if !contract_ok {
+        eprintln!(
+            "fleet: the backend-sweep contract failed (every backend must run the \
+             full fleet, and the cascade must beat premium on cost without \
+             losing convergence)"
         );
         std::process::exit(1);
     }

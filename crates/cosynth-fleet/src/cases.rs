@@ -11,7 +11,7 @@ use cosynth::session::RetryPolicy;
 use cosynth::{FamilyRow, Modularizer, RepairSession, SynthesisSession, VerifierContext};
 use criterion::SampleStats;
 use llm_sim::synth_task::SynthesisDraft;
-use llm_sim::{ErrorModel, SimulatedGpt4};
+use llm_sim::CostLedger;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 use telemetry::SessionTrace;
@@ -54,6 +54,8 @@ pub struct SessionResult {
     pub retries: usize,
     /// Per-stage span trace (counts are content, durations wall-clock).
     pub trace: SessionTrace,
+    /// Per-backend model-cost ledger for the session.
+    pub cost: CostLedger,
 }
 
 impl SessionResult {
@@ -105,16 +107,14 @@ pub fn run_session_tuned(
     let llm_seed = seed
         .wrapping_mul(0xA24B_AED4_963E_E407)
         .wrapping_add((index as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
-    let mut model = ErrorModel::paper_default();
-    model.transport = tuning.transport;
-    let mut llm = SimulatedGpt4::new(model, llm_seed);
+    let mut llm = tuning.backend.build(llm_seed, tuning.transport);
     let session = SynthesisSession {
         budget: tuning.budget,
         retry: session_retry(tuning, llm_seed),
         ..Default::default()
     };
     let t0 = Instant::now();
-    let outcome = session.run_scenario_in(&mut llm, &scenario, ctx);
+    let outcome = session.run_scenario_in(&mut *llm, &scenario, ctx);
     SessionResult {
         index,
         scenario: scenario.name,
@@ -131,6 +131,7 @@ pub fn run_session_tuned(
         deadline_exceeded: outcome.deadline_exceeded,
         retries: outcome.transport.retries,
         trace: outcome.trace,
+        cost: outcome.cost,
     }
 }
 
@@ -183,6 +184,7 @@ impl UseCase for Synthesis {
             deadline_exceeded: false,
             retries: 0,
             trace: SessionTrace::new(),
+            cost: CostLedger::new(),
         }
     }
 
@@ -204,6 +206,10 @@ impl UseCase for Synthesis {
 
     fn trace(r: &SessionResult) -> SessionTrace {
         r.trace
+    }
+
+    fn cost(r: &SessionResult) -> &CostLedger {
+        &r.cost
     }
 
     fn session_ok(r: &SessionResult) -> bool {
@@ -237,6 +243,8 @@ impl UseCase for Synthesis {
                     human: rs.iter().map(|r| r.human).sum(),
                     mean_sim_rounds: rs.iter().map(|r| r.sim_rounds as f64).sum::<f64>()
                         / rs.len() as f64,
+                    llm_calls: rs.iter().map(|r| r.cost.total_calls()).sum(),
+                    milli_cost: rs.iter().map(|r| r.cost.total_milli_cost()).sum(),
                     session_ms: stats,
                 }
             })
@@ -275,6 +283,7 @@ impl UseCase for Synthesis {
                 out,
                 "    \"{}\": {{ \"sessions\": {}, \"converged\": {}, \"fault_survivals\": {}, \
                  \"auto\": {}, \"human\": {}, \"leverage\": {:.2}, \"mean_sim_rounds\": {:.1}, \
+                 \"llm_calls\": {}, \"milli_cost\": {}, \
                  \"session_ms\": {} }}",
                 r.family,
                 r.sessions,
@@ -284,6 +293,8 @@ impl UseCase for Synthesis {
                 r.human,
                 r.leverage(),
                 r.mean_sim_rounds,
+                r.llm_calls,
+                r.milli_cost,
                 r.session_ms.to_json()
             );
             out.push_str(if i + 1 < report.rows.len() {
@@ -312,6 +323,8 @@ impl UseCase for Synthesis {
             .bool("panicked", r.panicked)
             .str("outcome", r.outcome())
             .u64("retries", r.retries as u64)
+            .u64("llm_calls", r.cost.total_calls())
+            .u64("milli_cost", r.cost.total_milli_cost())
             .finish()
     }
 }
@@ -381,6 +394,8 @@ pub struct RepairSessionResult {
     pub retries: usize,
     /// Per-stage span trace (counts are content, durations wall-clock).
     pub trace: SessionTrace,
+    /// Per-backend model-cost ledger for the session.
+    pub cost: CostLedger,
 }
 
 impl RepairSessionResult {
@@ -408,16 +423,14 @@ pub fn run_repair_session_tuned(
     let llm_seed = seed
         .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
         .wrapping_add((index as u64).wrapping_mul(0x1656_67B1_9E37_79F9));
-    let mut model = ErrorModel::paper_default();
-    model.transport = tuning.transport;
-    let mut llm = SimulatedGpt4::new(model, llm_seed);
+    let mut llm = tuning.backend.build(llm_seed, tuning.transport);
     let session = RepairSession {
         budget: tuning.budget,
         retry: session_retry(tuning, llm_seed),
         ..Default::default()
     };
     let t0 = Instant::now();
-    let outcome = session.run_in(&mut llm, &scenario, &injection, ctx);
+    let outcome = session.run_in(&mut *llm, &scenario, &injection, ctx);
     RepairSessionResult {
         index,
         scenario: scenario.name,
@@ -441,6 +454,7 @@ pub fn run_repair_session_tuned(
         deadline_exceeded: outcome.deadline_exceeded,
         retries: outcome.transport.retries,
         trace: outcome.trace,
+        cost: outcome.cost,
     }
 }
 
@@ -479,6 +493,10 @@ pub struct RepairRow {
     pub human: usize,
     /// Mean repair prompts until the fix, over repaired sessions.
     pub mean_rounds_to_fix: f64,
+    /// Total backend calls across the cell's sessions.
+    pub llm_calls: u64,
+    /// Total model cost across the cell's sessions, milli-units.
+    pub milli_cost: u64,
     /// Per-session wall-clock spread, milliseconds.
     pub session_ms: SampleStats,
 }
@@ -555,6 +573,7 @@ impl UseCase for Repair {
             deadline_exceeded: false,
             retries: 0,
             trace: SessionTrace::new(),
+            cost: CostLedger::new(),
         }
     }
 
@@ -576,6 +595,10 @@ impl UseCase for Repair {
 
     fn trace(r: &RepairSessionResult) -> SessionTrace {
         r.trace
+    }
+
+    fn cost(r: &RepairSessionResult) -> &CostLedger {
+        &r.cost
     }
 
     fn session_ok(r: &RepairSessionResult) -> bool {
@@ -617,6 +640,8 @@ impl UseCase for Repair {
                     auto: rs.iter().map(|r| r.auto).sum(),
                     human: rs.iter().map(|r| r.human).sum(),
                     mean_rounds_to_fix: mean_rounds,
+                    llm_calls: rs.iter().map(|r| r.cost.total_calls()).sum(),
+                    milli_cost: rs.iter().map(|r| r.cost.total_milli_cost()).sum(),
                     session_ms: stats,
                 }
             })
@@ -692,6 +717,7 @@ impl UseCase for Repair {
                  \"repaired\": {}, \"repair_rate\": {:.4}, \"localized\": {}, \
                  \"localization_precision\": {:.4}, \"auto\": {}, \"human\": {}, \
                  \"mean_rounds_to_fix\": {:.2}, \
+                 \"llm_calls\": {}, \"milli_cost\": {}, \
                  \"session_ms\": {} }}",
                 r.class,
                 r.family,
@@ -703,6 +729,8 @@ impl UseCase for Repair {
                 r.auto,
                 r.human,
                 r.mean_rounds_to_fix,
+                r.llm_calls,
+                r.milli_cost,
                 r.session_ms.to_json()
             );
             out.push_str(if i + 1 < report.rows.len() {
@@ -732,6 +760,8 @@ impl UseCase for Repair {
             .bool("panicked", r.panicked)
             .str("outcome", r.outcome())
             .u64("retries", r.retries as u64)
+            .u64("llm_calls", r.cost.total_calls())
+            .u64("milli_cost", r.cost.total_milli_cost())
             .finish()
     }
 }

@@ -206,6 +206,9 @@ impl ChaosReport {
         let _ = writeln!(out, "  \"transport_retries\": {},", s.transport_retries);
         let _ = writeln!(out, "  \"protocol_errors\": {},", s.protocol_errors);
         let _ = writeln!(out, "  \"survival_rate\": {:.4},", self.survival_rate());
+        let _ = writeln!(out, "  \"llm_calls\": {},", s.cost.total_calls());
+        let _ = writeln!(out, "  \"milli_cost\": {},", s.cost.total_milli_cost());
+        let _ = writeln!(out, "  \"cost_conserved\": {},", s.cost.conserved());
         let _ = writeln!(out, "  \"accounted\": {},", s.accounted());
         let _ = writeln!(out, "  \"survived\": {},", self.survived());
         let _ = writeln!(out, "  \"fault_classes\": {{");

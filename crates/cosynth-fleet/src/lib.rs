@@ -32,7 +32,7 @@
 
 use cosynth::session::RetryPolicy;
 use cosynth::{Modularizer, VerifierContext};
-use llm_sim::TransportModel;
+use llm_sim::{BackendChoice, CostLedger, TransportModel};
 use std::collections::VecDeque;
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
@@ -108,6 +108,11 @@ pub struct SessionTuning {
     /// is derived from `(seed, index)` on top of this policy's seed, so
     /// backoff accounting stays deterministic per session.
     pub retry: RetryPolicy,
+    /// Which model backend serves the session's completions (a single
+    /// sim tier, or the cost-aware cascade route). The default is the
+    /// historical `simulated-gpt4` — byte-identical session content to
+    /// the pre-backend fleet.
+    pub backend: BackendChoice,
 }
 
 /// Default worker count: the machine's parallelism, clamped to [2, 8].
@@ -210,6 +215,9 @@ pub trait UseCase: Sized + Sync {
     /// The session's per-stage span trace (span counts are
     /// deterministic content; durations are wall-clock).
     fn trace(result: &Self::Result) -> telemetry::SessionTrace;
+
+    /// The session's per-backend cost ledger.
+    fn cost(result: &Self::Result) -> &CostLedger;
 
     /// Whether this session met the use case's per-session contract
     /// (synthesis: converged; repair: repaired without panicking).

@@ -42,7 +42,7 @@
 use crate::{cases, chaos, job_indices, lock_clean, PoolCounters, SessionTuning, UseCase};
 use cosynth::session::SessionBudget;
 use cosynth::VerifierContext;
-use llm_sim::TransportModel;
+use llm_sim::{CostLedger, Tier, TransportModel};
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
@@ -136,6 +136,9 @@ pub struct ServeSummary {
     /// Wall-clock of every run session, milliseconds, in completion
     /// order (the chaos harness folds these into latency percentiles).
     pub latencies_ms: Vec<f64>,
+    /// Per-backend model-cost ledger folded over every session that ran
+    /// (shed jobs and panicked sessions contribute empty ledgers).
+    pub cost: CostLedger,
     /// Resident-pool counters summed over workers at drain.
     pub pool: PoolCounters,
 }
@@ -391,6 +394,8 @@ struct Completion {
     trace: SessionTrace,
     /// Pre-rendered `{"event":"trace"}` line when trace streaming is on.
     trace_line: Option<String>,
+    /// The session's cost ledger (empty for shed/panicked jobs).
+    cost: CostLedger,
 }
 
 /// Runs one job on a worker's resident context, panic-contained: a
@@ -415,6 +420,7 @@ fn run_job(
                 retries: 0,
                 trace: SessionTrace::new(),
                 trace_line: None,
+                cost: CostLedger::new(),
             };
         }
     }
@@ -474,6 +480,7 @@ fn run_job(
                             .raw("stages", &trace.to_json())
                             .finish()
                     }),
+                    cost: U::cost(&result).clone(),
                     line: U::result_json(&result),
                 }
             }
@@ -487,6 +494,7 @@ fn run_job(
                     retries: 0,
                     trace: SessionTrace::new(),
                     trace_line: None,
+                    cost: CostLedger::new(),
                 }
             }
         }
@@ -516,6 +524,12 @@ struct MetricIds {
     quarantined: CounterId,
     protocol_errors: CounterId,
     transport_retries: CounterId,
+    llm_calls: CounterId,
+    milli_cost: CounterId,
+    /// Per-tier call counters (`backend_calls_<tier>`), indexed like
+    /// [`Tier::ALL`]; together with the unit prices they let any
+    /// snapshot recompute the cost-conservation identity.
+    backend_calls: [CounterId; Tier::ALL.len()],
     queue_depth_hwm: GaugeId,
     session: HistId,
     stages: StageHists,
@@ -533,6 +547,10 @@ impl MetricIds {
             quarantined: reg.counter("quarantined"),
             protocol_errors: reg.counter("protocol_errors"),
             transport_retries: reg.counter("transport_retries"),
+            llm_calls: reg.counter("llm_calls"),
+            milli_cost: reg.counter("milli_cost"),
+            backend_calls: Tier::ALL
+                .map(|t| reg.counter(&format!("backend_calls_{}", t.metric_suffix()))),
             queue_depth_hwm: reg.gauge("queue_depth_hwm"),
             session: reg.histogram("session"),
             stages: StageHists::register(reg, "stage_"),
@@ -554,9 +572,20 @@ fn metrics_json(reg: &Registry, drain: bool, pool: Option<&PoolCounters>) -> Str
             + snap.counter("shed_over_deadline")
             + snap.counter("deadline_exceeded")
             + snap.counter("quarantined");
+    // The cost conservation identity, recomputed from the snapshot's
+    // own counters: total milli-cost equals the per-tier call counters
+    // priced at the tiers' unit costs.
+    let cost_accounted = snap.counter("milli_cost")
+        == Tier::ALL
+            .iter()
+            .map(|t| {
+                snap.counter(&format!("backend_calls_{}", t.metric_suffix())) * t.unit_milli_cost()
+            })
+            .sum::<u64>();
     let mut b = ObjBuilder::event("metrics")
         .bool("drain", drain)
-        .bool("accounted", accounted);
+        .bool("accounted", accounted)
+        .bool("cost_accounted", cost_accounted);
     if let Some(p) = pool {
         let lookups = p.cache_hits + p.cache_misses;
         b = b.f64("manager_reuse_rate", p.reuse_rate(), 4).f64(
@@ -806,6 +835,15 @@ pub fn serve(
                         reg.add(0, ids.transport_retries, done.retries as u64);
                         reg.observe_ns(0, ids.session, (done.wall_ms * 1e6) as u64);
                         ids.stages.observe(reg, 0, &done.trace);
+                        reg.add(0, ids.llm_calls, done.cost.total_calls());
+                        reg.add(0, ids.milli_cost, done.cost.total_milli_cost());
+                        for (i, t) in Tier::ALL.iter().enumerate() {
+                            let calls = done.cost.calls_for(t.name());
+                            if calls > 0 {
+                                reg.add(0, ids.backend_calls[i], calls);
+                            }
+                        }
+                        summary.cost.absorb(&done.cost);
                     }
                     writeln!(output, "{}", done.line)?;
                     if let Some(trace_line) = &done.trace_line {
@@ -884,6 +922,9 @@ pub fn serve(
             .u64("quarantined", summary.quarantined as u64)
             .u64("transport_retries", summary.transport_retries as u64)
             .bool("accounted", summary.accounted())
+            .u64("llm_calls", summary.cost.total_calls())
+            .u64("milli_cost", summary.cost.total_milli_cost())
+            .bool("cost_accounted", summary.cost.conserved())
             .u64("workers", p.workers as u64)
             .bool("pooling", opts.pool_managers)
             .u64("manager_reuses", p.manager_reuses as u64)

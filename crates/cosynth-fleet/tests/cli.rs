@@ -24,6 +24,9 @@ fn help_covers_the_serve_flags_and_exits_zero() {
         "--no-pool",
         "--no-baseline",
         "--dump-scenario",
+        "--backend",
+        "--route",
+        "--bench-backends",
         "--help",
     ] {
         assert!(text.contains(flag), "--help must document {flag}:\n{text}");
@@ -72,6 +75,43 @@ fn bad_values_and_unknown_use_cases_exit_nonzero() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("--seed"), "{err}");
+}
+
+#[test]
+fn unknown_backend_exits_two_and_lists_the_known_tiers() {
+    let out = fleet()
+        .args(["--backend", "gpt5"])
+        .output()
+        .expect("spawn fleet");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("gpt5"), "{err}");
+    for name in ["sim-cheap", "sim-std", "sim-premium", "simulated-gpt4"] {
+        assert!(err.contains(name), "must list {name}: {err}");
+    }
+}
+
+#[test]
+fn unknown_route_exits_two_and_lists_the_known_routes() {
+    let out = fleet()
+        .args(["--route", "premium-first"])
+        .output()
+        .expect("spawn fleet");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("premium-first"), "{err}");
+    assert!(err.contains("cheap-first"), "must list the routes: {err}");
+}
+
+#[test]
+fn backend_and_route_are_mutually_exclusive() {
+    let out = fleet()
+        .args(["--backend", "sim-cheap", "--route", "cheap-first"])
+        .output()
+        .expect("spawn fleet");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("mutually exclusive"), "{err}");
 }
 
 #[test]

@@ -83,6 +83,12 @@ fn chaos_gauntlet_survives_accounts_and_replays_deterministically() {
         );
     }
 
+    // The model-cost ledger drained conserved: total milli-cost equals
+    // per-backend calls × unit cost even with sessions shed, panicked,
+    // and retried.
+    assert_eq!(a.get("cost_conserved").and_then(Json::as_bool), Some(true));
+    assert!(count(&a, "llm_calls") >= count(&a, "completed"));
+
     // Each panicked session quarantined at least one manager.
     assert!(count(&a, "manager_quarantined") >= count(&a, "quarantined"));
     // The latency block exists (values are wall-clock, not pinned).
@@ -99,6 +105,8 @@ fn chaos_gauntlet_survives_accounts_and_replays_deterministically() {
         "manager_quarantined",
         "transport_retries",
         "protocol_errors",
+        "llm_calls",
+        "milli_cost",
     ] {
         assert_eq!(
             count(&a, field),
@@ -149,4 +157,5 @@ fn serve_under_chaos_stays_accounted_and_never_aborts() {
     assert!(drain.contains("\"event\":\"drain\""), "{drain}");
     assert!(drain.contains("\"accounted\":true"), "{drain}");
     assert!(drain.contains("\"submitted\":24"), "{drain}");
+    assert!(drain.contains("\"cost_accounted\":true"), "{drain}");
 }

@@ -33,7 +33,7 @@ use crate::verifier_ctx::VerifierContext;
 use bf_lite::{LocalPolicyCheck, Vendor};
 use campion_lite::CampionFinding;
 use fault_inject::{GroundTruth, Injection};
-use llm_sim::{prompts, LanguageModel};
+use llm_sim::{prompts, CostLedger, LanguageModel};
 use std::collections::BTreeMap;
 use telemetry::Stage;
 use topo_model::{Scenario, TopologyFinding};
@@ -96,6 +96,9 @@ pub struct RepairOutcome {
     /// (localization rounds, backend calls, re-simulations). Span
     /// counts are deterministic; durations are wall-clock.
     pub trace: telemetry::SessionTrace,
+    /// Per-backend model-cost accounting for this session (calls ×
+    /// unit milli-cost, with simulated latency).
+    pub cost: CostLedger,
 }
 
 /// The repair session driver.
@@ -161,6 +164,7 @@ impl RepairSession {
         ctx.begin_session();
         let assignments = Modularizer::assign_scenario(scenario);
         let mut configs = injection.configs.clone();
+        let cost0 = llm.cost();
         let mut t = SessionTranscript::new(llm, self.iips.system_message())
             .with_budget(self.budget)
             .with_retry(self.retry);
@@ -216,6 +220,7 @@ impl RepairSession {
         };
         let mut trace = t.trace;
         trace.merge(&ctx.trace);
+        let cost = t.backend_cost().since(&cost0);
         RepairOutcome {
             configs,
             repaired,
@@ -229,6 +234,7 @@ impl RepairSession {
             deadline_exceeded,
             transport: t.transport,
             trace,
+            cost,
         }
     }
 }

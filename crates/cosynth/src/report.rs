@@ -119,6 +119,10 @@ pub struct FamilyRow {
     pub human: usize,
     /// Mean BGP simulation rounds to the fixed point.
     pub mean_sim_rounds: f64,
+    /// Total backend calls across the family's sessions.
+    pub llm_calls: u64,
+    /// Total model cost across the family's sessions, milli-units.
+    pub milli_cost: u64,
     /// Per-session wall-clock spread, milliseconds.
     pub session_ms: SampleStats,
 }
@@ -143,7 +147,7 @@ pub fn scenario_table(rows: &[FamilyRow]) -> String {
          (leverage = automated/human prompts; surv = faults surviving local checks)\n",
     );
     out.push_str(&format!(
-        "{:<12} {:>5} {:>5} {:>5} {:>6} {:>6} {:>9} {:>7} {:>9} {:>9} {:>9}\n",
+        "{:<12} {:>5} {:>5} {:>5} {:>6} {:>6} {:>9} {:>7} {:>7} {:>8} {:>9} {:>9} {:>9}\n",
         "family",
         "runs",
         "conv",
@@ -152,13 +156,15 @@ pub fn scenario_table(rows: &[FamilyRow]) -> String {
         "human",
         "leverage",
         "rounds",
+        "calls",
+        "m$",
         "p10 ms",
         "med ms",
         "p90 ms"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<12} {:>5} {:>5} {:>5} {:>6} {:>6} {:>8.1}x {:>7.1} {:>9.1} {:>9.1} {:>9.1}\n",
+            "{:<12} {:>5} {:>5} {:>5} {:>6} {:>6} {:>8.1}x {:>7.1} {:>7} {:>8} {:>9.1} {:>9.1} {:>9.1}\n",
             r.family,
             r.sessions,
             r.converged,
@@ -167,6 +173,8 @@ pub fn scenario_table(rows: &[FamilyRow]) -> String {
             r.human,
             r.leverage(),
             r.mean_sim_rounds,
+            r.llm_calls,
+            r.milli_cost,
             r.session_ms.p10,
             r.session_ms.median,
             r.session_ms.p90
@@ -246,12 +254,16 @@ route-map ospf_to_bgp permit 10
             auto: 40,
             human: 5,
             mean_sim_rounds: 6.5,
+            llm_calls: 52,
+            milli_cost: 1300,
             session_ms: SampleStats::from_samples(&[1.0, 2.0, 4.0]).unwrap(),
         }];
         let t = scenario_table(&rows);
         assert!(t.contains("ring"), "{t}");
         assert!(t.contains("8.0x"), "{t}");
         assert!(t.contains("p90 ms"), "{t}");
+        assert!(t.contains("1300"), "{t}");
+        assert!(t.contains(" m$"), "{t}");
     }
 
     #[test]

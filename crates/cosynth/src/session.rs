@@ -192,6 +192,14 @@ impl<'a, M: LanguageModel + ?Sized> SessionTranscript<'a, M> {
         self
     }
 
+    /// The backend's cumulative cost ledger. The transcript borrows the
+    /// backend exclusively, so outcome assembly reads the ledger through
+    /// here; callers that reuse one backend across sessions snapshot the
+    /// ledger first and diff with `CostLedger::since`.
+    pub fn backend_cost(&self) -> llm_sim::CostLedger {
+        self.llm.cost()
+    }
+
     /// Whether the session has tripped its deadline. Callers check this
     /// at loop tops and stop work; the transcript itself never refuses a
     /// send (the caller may want one final wrap-up prompt).

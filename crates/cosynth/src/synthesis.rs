@@ -21,7 +21,7 @@ use crate::session::{
 };
 use crate::verifier_ctx::VerifierContext;
 use bf_lite::Vendor;
-use llm_sim::LanguageModel;
+use llm_sim::{CostLedger, LanguageModel};
 use net_model::WarningKind;
 use std::collections::BTreeMap;
 use telemetry::{SessionTrace, Stage};
@@ -69,6 +69,10 @@ pub struct SynthesisOutcome {
     /// *counts* are deterministic session content; durations are
     /// wall-clock (and excluded from trace equality).
     pub trace: SessionTrace,
+    /// Per-backend model-cost accounting for this session (calls ×
+    /// unit milli-cost, with simulated latency). Empty for cost-free
+    /// backends like the scripted test doubles.
+    pub cost: CostLedger,
 }
 
 /// The synthesis session driver.
@@ -183,6 +187,7 @@ impl SynthesisSession {
         ctx: &mut VerifierContext,
     ) -> ScenarioDrive {
         ctx.begin_session();
+        let cost0 = llm.cost();
         let mut t = SessionTranscript::new(llm, self.iips.system_message())
             .with_budget(self.budget)
             .with_retry(self.retry);
@@ -213,6 +218,7 @@ impl SynthesisSession {
         }
         let mut trace = t.trace;
         trace.merge(&ctx.trace);
+        let cost = t.backend_cost().since(&cost0);
         ScenarioDrive {
             configs,
             verified_local,
@@ -223,6 +229,7 @@ impl SynthesisSession {
             deadline_exceeded,
             transport: t.transport,
             trace,
+            cost,
         }
     }
 
@@ -360,6 +367,7 @@ impl SynthesisSession {
         topology: &Topology,
         roles: &StarRoles,
     ) -> SynthesisOutcome {
+        let cost0 = llm.cost();
         let mut t = SessionTranscript::new(llm, self.iips.system_message())
             .with_budget(self.budget)
             .with_retry(self.retry);
@@ -431,6 +439,7 @@ impl SynthesisSession {
                 .trace
                 .time(Stage::Sim, || compose_and_check(topology, roles, &configs));
         }
+        let cost = t.backend_cost().since(&cost0);
         SynthesisOutcome {
             configs,
             verified_local: false,
@@ -443,6 +452,7 @@ impl SynthesisSession {
             transport: t.transport,
             trace: t.trace,
             log: t.log,
+            cost,
         }
     }
 }
@@ -459,6 +469,7 @@ struct ScenarioDrive {
     deadline_exceeded: bool,
     transport: TransportStats,
     trace: SessionTrace,
+    cost: CostLedger,
 }
 
 impl ScenarioDrive {
@@ -475,6 +486,7 @@ impl ScenarioDrive {
             deadline_exceeded: self.deadline_exceeded,
             transport: self.transport,
             trace: self.trace,
+            cost: self.cost,
         }
     }
 }

@@ -131,6 +131,54 @@ impl ErrorModel {
         }
     }
 
+    /// The `sim-cheap` backend tier: a noisier model. Topology-fault
+    /// draft rates are bumped and the repair pathologies (wrong-line
+    /// fixes, regressions, reintroductions) are markedly more common, so
+    /// sessions need more verify rounds — the tier the cascade router
+    /// tries first because its calls are nearly free.
+    pub fn sim_cheap() -> Self {
+        let mut m = Self::paper_default();
+        m.p_regress_new = 0.45;
+        m.p_reintroduce = 0.3;
+        m.p_repair_wrong_line = 0.45;
+        m.p_repair_regress = 0.35;
+        m.p_fault.insert(FaultKind::WrongIfaceAddress, 0.25);
+        m.p_fault.insert(FaultKind::WrongLocalAs, 0.18);
+        m.p_fault.insert(FaultKind::WrongRouterId, 0.25);
+        m.p_fault.insert(FaultKind::MissingNeighbor, 0.25);
+        m.p_fault.insert(FaultKind::MissingNetwork, 0.3);
+        m.p_fault.insert(FaultKind::ExtraNetwork, 0.18);
+        m.p_fault.insert(FaultKind::ExtraNeighbor, 0.15);
+        m
+    }
+
+    /// The `sim-std` backend tier: the paper calibration at a
+    /// mid-market price point. Identical error behaviour to
+    /// [`ErrorModel::paper_default`]; only the tier's unit cost differs.
+    pub fn sim_std() -> Self {
+        Self::paper_default()
+    }
+
+    /// The `sim-premium` backend tier: a more accurate model. Topology
+    /// draft-fault rates are halved and the repair pathologies tamed;
+    /// the paper's two hard cases stay certain (they are findings about
+    /// the task, not the tier).
+    pub fn sim_premium() -> Self {
+        let mut m = Self::paper_default();
+        m.p_regress_new = 0.1;
+        m.p_reintroduce = 0.05;
+        m.p_repair_wrong_line = 0.1;
+        m.p_repair_regress = 0.05;
+        m.p_fault.insert(FaultKind::WrongIfaceAddress, 0.075);
+        m.p_fault.insert(FaultKind::WrongLocalAs, 0.05);
+        m.p_fault.insert(FaultKind::WrongRouterId, 0.075);
+        m.p_fault.insert(FaultKind::MissingNeighbor, 0.075);
+        m.p_fault.insert(FaultKind::MissingNetwork, 0.1);
+        m.p_fault.insert(FaultKind::ExtraNetwork, 0.05);
+        m.p_fault.insert(FaultKind::ExtraNeighbor, 0.04);
+        m
+    }
+
     /// `paper_default` with the IIP database ignored (the IIP ablation).
     pub fn without_iip() -> Self {
         ErrorModel {

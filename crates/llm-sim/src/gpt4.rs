@@ -1,7 +1,8 @@
 //! `SimulatedGpt4`: the calibrated stand-in for the paper's manual
 //! ChatGPT sessions.
 
-use crate::error_model::ErrorModel;
+use crate::backend::{CostLedger, Tier};
+use crate::error_model::{ErrorModel, TransportModel};
 use crate::faults::{FaultKind, RepairBehavior};
 use crate::model::{fence, last_fenced_block, LanguageModel, Message, Role, TransportError};
 use crate::prompts::{self, PromptClass};
@@ -39,10 +40,18 @@ pub struct SimulatedGpt4 {
     /// Wrong-line repair attempts so far (keeps each cosmetic edit
     /// distinct and the stream deterministic).
     repair_attempts: usize,
+    /// The backend tier this instance bills as (name, unit price,
+    /// simulated latency). Purely accounting: it never touches the
+    /// content or transport RNG streams.
+    tier: Tier,
+    /// Calls charged so far. Charging draws no randomness, so ledgers
+    /// ride along without perturbing any committed content stream.
+    cost: CostLedger,
 }
 
 impl SimulatedGpt4 {
-    /// Creates a simulated model with an error model and RNG seed.
+    /// Creates a simulated model with an error model and RNG seed,
+    /// billing as the historical `simulated-gpt4` backend.
     pub fn new(model: ErrorModel, seed: u64) -> Self {
         SimulatedGpt4 {
             model,
@@ -50,7 +59,30 @@ impl SimulatedGpt4 {
             transport_rng: SimRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D),
             state: None,
             repair_attempts: 0,
+            tier: Tier::Gpt4,
+            cost: CostLedger::new(),
         }
+    }
+
+    /// Creates a simulated model for a backend tier: the tier's error
+    /// model, and the tier's name/price on every charge. For
+    /// [`Tier::Gpt4`] this is exactly [`SimulatedGpt4::new`] with
+    /// [`ErrorModel::paper_default`].
+    pub fn for_tier(tier: Tier, seed: u64) -> Self {
+        let mut gpt = Self::new(tier.error_model(), seed);
+        gpt.tier = tier;
+        gpt
+    }
+
+    /// Sets the transport-fault knobs (builder style).
+    pub fn with_transport(mut self, transport: TransportModel) -> Self {
+        self.model.transport = transport;
+        self
+    }
+
+    /// The tier this instance bills as.
+    pub fn tier(&self) -> Tier {
+        self.tier
     }
 
     /// The faults a draft can exhibit given what the task actually
@@ -331,6 +363,15 @@ impl LanguageModel for SimulatedGpt4 {
     }
 
     fn complete(&mut self, transcript: &[Message]) -> String {
+        // Every completion the backend actually serves is billed —
+        // including ones the transport then loses (truncation/garbling
+        // burn a completion in `try_complete`). A timeout never gets
+        // here and is never charged.
+        self.cost.charge(
+            self.tier.name(),
+            self.tier.unit_milli_cost(),
+            self.tier.latency_ms(),
+        );
         let iip = self.iip_active(transcript);
         let Some(last) = transcript.iter().rev().find(|m| m.role == Role::User) else {
             return "How can I help with your network configuration?".into();
@@ -391,7 +432,11 @@ impl LanguageModel for SimulatedGpt4 {
     }
 
     fn name(&self) -> &str {
-        "simulated-gpt4"
+        self.tier.name()
+    }
+
+    fn cost(&self) -> CostLedger {
+        self.cost.clone()
     }
 }
 

@@ -28,6 +28,7 @@
 //! The trait boundary means a real API client can replace the simulation
 //! without touching COSYNTH.
 
+pub mod backend;
 pub mod error_model;
 pub mod faults;
 pub mod gpt4;
@@ -37,6 +38,7 @@ pub mod rng;
 pub mod synth_task;
 pub mod translate_task;
 
+pub use backend::{BackendChoice, CascadeRouter, CostLedger, CostRecord, ModelBackend, Tier};
 pub use error_model::{ErrorModel, TransportModel};
 pub use faults::{FaultKind, RepairBehavior};
 pub use gpt4::SimulatedGpt4;

@@ -124,6 +124,15 @@ pub trait LanguageModel {
     fn name(&self) -> &str {
         "llm"
     }
+
+    /// The backend's cumulative cost ledger
+    /// ([`crate::backend::CostLedger`]). The default is a cost-free
+    /// model — an always-empty ledger — so test doubles and thin
+    /// wrappers keep compiling; self-accounting backends
+    /// (`SimulatedGpt4`, `CascadeRouter`) override it.
+    fn cost(&self) -> crate::backend::CostLedger {
+        crate::backend::CostLedger::new()
+    }
 }
 
 /// Extracts the last ``` fenced block from a message, if any — the
