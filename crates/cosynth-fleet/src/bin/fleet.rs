@@ -105,6 +105,22 @@ FLAGS:
                         sim, localize). Batch mode prints them after
                         the run; --serve streams each one right after
                         its session's result line.
+    --listen ADDR       (--serve only) Socket front-end: accept
+                        connections on ADDR (host:port) instead of
+                        reading stdin. Every connection speaks the same
+                        newline-JSON protocol, pipelining freely; all
+                        connections share one admission queue and the
+                        resident worker pool. A {\"shutdown\":true} line
+                        on any connection drains the daemon (same exit
+                        contract as stdin EOF).
+    --metrics-addr ADDR (--listen only) Serve GET /metrics on ADDR in
+                        Prometheus text format: the ledger counters,
+                        per-tier backend call/cost counters, per-tenant
+                        (client-labeled) families, queue/in-flight/
+                        connection gauges, latency histograms with
+                        cumulative buckets, and the fleetd_accounted /
+                        fleetd_cost_accounted conservation verdicts
+                        recomputed per scrape.
     --metrics           (--serve only) Emit a {\"event\":\"metrics\"}
                         registry snapshot at drain: the accounting
                         counters, queue high-water mark, pool reuse and
@@ -132,9 +148,13 @@ EXIT STATUS:
        session met its per-session contract (synthesis: converged;
        repair: repaired — deliberately stricter than the batch repair
        contract), every request line was well-formed, and nothing was
-       shed; --chaos: the gauntlet drained with every submitted job in
-       exactly one typed outcome (submitted = completed + shed +
-       deadline_exceeded + quarantined) and every fault class exercised
+       shed; --serve --listen: every ran session met its per-session
+       contract and the drain ledger balanced (sheds are legitimate —
+       admission control under competing clients — so only losing or
+       double-counting work fails the daemon); --chaos: the gauntlet
+       drained with every submitted job in exactly one typed outcome
+       (submitted = completed + shed + deadline_exceeded + quarantined)
+       and every fault class exercised
     1  synthesis: a session failed to converge or panicked;
        repair: a session panicked or the overall repair rate is zero;
        either: fewer sessions ran than requested (bad --families?);
@@ -152,6 +172,8 @@ struct Args {
     families: Option<Vec<String>>,
     out: Option<String>,
     serve: bool,
+    listen: Option<String>,
+    metrics_addr: Option<String>,
     chaos: bool,
     trace: bool,
     metrics: bool,
@@ -182,6 +204,8 @@ fn parse_args(argv: &[String]) -> Args {
         families: None,
         out: None,
         serve: false,
+        listen: None,
+        metrics_addr: None,
         chaos: false,
         trace: false,
         metrics: false,
@@ -211,6 +235,8 @@ fn parse_args(argv: &[String]) -> Args {
                 std::process::exit(0);
             }
             "--serve" => args.serve = true,
+            "--listen" => args.listen = Some(value(&mut i, "--listen")),
+            "--metrics-addr" => args.metrics_addr = Some(value(&mut i, "--metrics-addr")),
             "--chaos" => args.chaos = true,
             "--trace" => args.trace = true,
             "--metrics" => args.metrics = true,
@@ -343,6 +369,15 @@ fn main() {
     if args.metrics && !args.serve {
         usage_error("--metrics only applies to --serve (batch runs report through --out)");
     }
+    if args.listen.is_some() && !args.serve {
+        usage_error("--listen only applies to --serve (it replaces the stdin front-end)");
+    }
+    if args.metrics_addr.is_some() && args.listen.is_none() {
+        usage_error(
+            "--metrics-addr requires --serve --listen (the scrape endpoint belongs \
+             to the socket daemon; stdin mode reports through --metrics)",
+        );
+    }
     if args.profile && (args.serve || args.chaos) {
         usage_error("--profile is a batch mode; it cannot combine with --serve or --chaos");
     }
@@ -399,16 +434,56 @@ fn run_serve(args: &Args) {
         emit_metrics: args.metrics,
         stream_traces: args.trace,
     };
-    eprintln!(
-        "fleetd: serving on stdin/stdout, {} workers, pooling {}, queue depth {}{}",
-        opts.threads.max(2),
-        if opts.pool_managers { "on" } else { "off" },
-        opts.queue_depth,
-        if args.chaos { ", chaos on" } else { "" }
-    );
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    match serve(stdin.lock(), stdout.lock(), &opts) {
+    let served = if let Some(addr) = &args.listen {
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("fleetd: cannot listen on {addr}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let metrics_listener =
+            args.metrics_addr
+                .as_ref()
+                .map(|m| match std::net::TcpListener::bind(m) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("fleetd: cannot serve /metrics on {m}: {e}");
+                        std::process::exit(2);
+                    }
+                });
+        eprintln!(
+            "fleetd: listening on {}{}, {} workers, pooling {}, queue depth {}{}",
+            listener
+                .local_addr()
+                .map_or_else(|_| addr.clone(), |a| a.to_string()),
+            match &metrics_listener {
+                Some(m) => format!(
+                    ", /metrics on {}",
+                    m.local_addr()
+                        .map_or_else(|_| String::new(), |a| a.to_string())
+                ),
+                None => String::new(),
+            },
+            opts.threads.max(2),
+            if opts.pool_managers { "on" } else { "off" },
+            opts.queue_depth,
+            if args.chaos { ", chaos on" } else { "" }
+        );
+        cosynth_fleet::serve_listener(listener, metrics_listener, &opts)
+    } else {
+        eprintln!(
+            "fleetd: serving on stdin/stdout, {} workers, pooling {}, queue depth {}{}",
+            opts.threads.max(2),
+            if opts.pool_managers { "on" } else { "off" },
+            opts.queue_depth,
+            if args.chaos { ", chaos on" } else { "" }
+        );
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        serve(stdin.lock(), stdout.lock(), &opts)
+    };
+    match served {
         Ok(summary) => {
             eprintln!(
                 "fleetd: drained after {} batch(es), {} session(s), {} failure(s), \
@@ -419,8 +494,18 @@ fn run_serve(args: &Args) {
                 summary.shed_queue_full + summary.shed_over_deadline,
                 summary.quarantined
             );
+            // Exit contract: stdin batches are work the caller expects
+            // to succeed wholesale, so the strict no-shed `ok()` binds.
+            // The socket daemon serves competing clients that may drive
+            // it past saturation on purpose — shedding there is the
+            // admission control working, so its contract is the ledger:
+            // nothing lost (accounted) and every ran session met its
+            // per-session contract. Chaos keeps the accounting identity
+            // alone (failures are the experiment).
             let met = if args.chaos {
                 summary.accounted()
+            } else if args.listen.is_some() {
+                summary.failures == 0 && summary.accounted()
             } else {
                 summary.ok()
             };

@@ -1,0 +1,195 @@
+//! `loadgen` — open-loop load generator for a running `fleetd` socket
+//! daemon, producing `BENCH_service.json`.
+//!
+//! ```sh
+//! cargo run --release --bin fleet -- --serve --listen 127.0.0.1:7433 &
+//! cargo run --release --bin loadgen -- --connect 127.0.0.1:7433 \
+//!     --qps 2,8,32 --duration-ms 2000 --shutdown
+//! ```
+//!
+//! Each sweep point offers batches at a fixed arrival schedule (open
+//! loop: the schedule never waits for the daemon), measures offered vs
+//! achieved throughput and the scheduled-arrival→batch-echo latency
+//! spread, and reads its ledger off the connection's drain line. See
+//! [`cosynth_fleet::loadgen`] for the methodology. Unknown flags are
+//! usage errors (exit 2).
+
+use cosynth_fleet::loadgen::{bench_json, run_sweep, saturation_knee_qps, LoadgenConfig};
+
+const HELP: &str = "\
+loadgen — open-loop load generator for the fleetd socket front-end
+
+USAGE:
+    loadgen --connect HOST:PORT [FLAGS]
+
+FLAGS:
+    --connect ADDR      Daemon address (required): the fleetd started
+                        with --serve --listen ADDR.
+    --use-case CASE     'synthesis' (default) or 'repair'.
+    --seed S            Base content seed (default 1). Arrival k of a
+                        point runs seed S+k, so the content side of the
+                        sweep (completions, llm_calls, milli_cost) is
+                        deterministic run over run.
+    --qps A,B,C         Sweep points: target offered rates in sessions
+                        per second (default 2,8,32,128).
+    --duration-ms MS    Offered-load duration per point (default 2000).
+    --client NAME       Tenant id stamped on every request (default
+                        'loadgen'; shows up in the daemon's per-client
+                        labeled counters).
+    --deadline-ms MS    Forward a per-batch admission deadline; under
+                        overload the backlog then sheds with typed
+                        rejects instead of queueing without bound.
+    --out PATH          Report path (default BENCH_service.json).
+    --shutdown          After the sweep, send {\"shutdown\":true} on a
+                        final connection and wait for the daemon to
+                        drain.
+    --help              Print this reference and exit.
+
+EXIT STATUS:
+    0  every point's connection drain line balanced (accounted) and
+       every offered session reached a typed outcome or typed shed
+    1  a point lost sessions (drain line did not balance) or a
+       connection ended without one
+    2  usage error (unknown flag, bad value), connection failure, or
+       the report file could not be written
+";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    eprintln!("Run 'loadgen --help' for the flag reference.");
+    std::process::exit(2);
+}
+
+fn parse_args(argv: &[String]) -> (LoadgenConfig, String) {
+    let mut cfg = LoadgenConfig {
+        addr: String::new(),
+        ..LoadgenConfig::default()
+    };
+    let mut out = "BENCH_service.json".to_string();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match argv.get(*i) {
+            Some(v) => v.clone(),
+            None => usage_error(&format!("{flag} requires a value")),
+        }
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            "--connect" => cfg.addr = value(&mut i, "--connect"),
+            "--use-case" => {
+                let v = value(&mut i, "--use-case");
+                if v != "synthesis" && v != "repair" {
+                    usage_error(&format!(
+                        "unknown --use-case {v:?} (known: synthesis, repair)"
+                    ));
+                }
+                cfg.use_case = v;
+            }
+            "--seed" => {
+                let v = value(&mut i, "--seed");
+                cfg.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("--seed: bad seed {v:?}")));
+            }
+            "--qps" => {
+                let v = value(&mut i, "--qps");
+                cfg.qps = v
+                    .split(',')
+                    .map(|q| {
+                        let q: f64 = q
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage_error(&format!("--qps: bad rate {q:?}")));
+                        if q <= 0.0 {
+                            usage_error(&format!("--qps: rates must be positive, got {q}"));
+                        }
+                        q
+                    })
+                    .collect();
+                if cfg.qps.is_empty() {
+                    usage_error("--qps: at least one rate required");
+                }
+            }
+            "--duration-ms" => {
+                let v = value(&mut i, "--duration-ms");
+                cfg.duration_ms = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("--duration-ms: bad duration {v:?}")));
+            }
+            "--client" => cfg.client = value(&mut i, "--client"),
+            "--deadline-ms" => {
+                let v = value(&mut i, "--deadline-ms");
+                cfg.deadline_ms = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--deadline-ms: bad deadline {v:?}"))
+                }));
+            }
+            "--out" => out = value(&mut i, "--out"),
+            "--shutdown" => cfg.shutdown = true,
+            other => usage_error(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if cfg.addr.is_empty() {
+        usage_error("--connect is required (where is the daemon?)");
+    }
+    (cfg, out)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, out_path) = parse_args(&argv);
+    eprintln!(
+        "loadgen: sweeping {} at {:?} qps, {} ms per point, seed {}, client {:?}",
+        cfg.addr, cfg.qps, cfg.duration_ms, cfg.seed, cfg.client
+    );
+    let points = match run_sweep(&cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    for p in &points {
+        println!(
+            "loadgen: offered {:>7.2}/s -> achieved {:>7.2}/s | {} sessions, {} shed \
+             ({:.1}%), {} failed | median {} ms, p99 {} ms",
+            p.offered_qps,
+            p.achieved_qps,
+            p.completed,
+            p.shed,
+            p.shed_rate() * 100.0,
+            p.failed,
+            p.latency_ms
+                .as_ref()
+                .map_or_else(|| "-".into(), |s| format!("{:.1}", s.median)),
+            p.latency_ms
+                .as_ref()
+                .map_or_else(|| "-".into(), |s| format!("{:.1}", s.p99)),
+        );
+    }
+    match saturation_knee_qps(&points) {
+        Some(knee) => println!("loadgen: saturation knee at {knee:.2} offered qps"),
+        None => println!("loadgen: the daemon kept up with every point (no knee found)"),
+    }
+    if let Err(e) = std::fs::write(&out_path, bench_json(&cfg, &points)) {
+        eprintln!("loadgen: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out_path}");
+    // The ledger contract: every point's drain line must balance, and
+    // every offered session must be accounted (completed or shed).
+    for p in &points {
+        if !p.accounted || p.completed + p.shed != p.offered {
+            eprintln!(
+                "loadgen: point {:.2} qps lost sessions: offered {} != completed {} + shed {}",
+                p.offered_qps, p.offered, p.completed, p.shed
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -40,6 +40,8 @@ use topo_model::Scenario;
 
 pub mod cases;
 pub mod chaos;
+pub mod loadgen;
+pub mod server;
 pub mod service;
 
 pub use cases::{
@@ -49,6 +51,7 @@ pub use cases::{
 };
 pub use chaos::{run_chaos, ChaosConfig, ChaosPlan, ChaosReport, SessionDirective};
 pub use cosynth::session::{RetryPolicy as SessionRetryPolicy, SessionBudget};
+pub use server::serve_listener;
 pub use service::{serve, RequestError, ServeOptions, ServeSummary};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.

@@ -1,0 +1,359 @@
+//! Open-loop load generator for the `fleetd` socket front-end.
+//!
+//! Drives a running daemon (`fleet --serve --listen <addr>`) through a
+//! sweep of target arrival rates and reports, per point, offered vs
+//! achieved throughput, the client-observed latency spread, and the
+//! shed rate — the numbers behind `BENCH_service.json` and its
+//! saturation knee.
+//!
+//! **Open loop** means arrivals follow a fixed schedule that does not
+//! wait for responses: arrival `k` of a point targeting `qps` is due at
+//! `t0 + k/qps`, whether or not the daemon has kept up. Past the
+//! saturation knee the daemon falls behind the schedule and the
+//! *achieved* rate plateaus while client-observed latency grows with
+//! the backlog — exactly the signal a closed loop (send, wait, send)
+//! structurally cannot produce, because a closed loop slows its own
+//! offered rate to match the service.
+//!
+//! Each arrival is a single-session batch tagged `b<k>` and seeded
+//! `base_seed + k`, so the *content* side of a point — sessions run,
+//! `llm_calls`, `milli_cost`, per-session verdicts — is a pure function
+//! of the seed and sweep shape, reproducible run over run (the
+//! determinism tests pin this); only the wall-clock fields (latency
+//! percentiles, achieved QPS) move between runs. Latency is measured
+//! from the arrival's *scheduled* time to its `{"event":"batch"}` echo,
+//! so queueing delay born of the client falling behind its own schedule
+//! counts — the standard guard against coordinated omission.
+//!
+//! One TCP connection per sweep point keeps attribution trivial: the
+//! point's ledger is the connection's own `{"event":"drain"}` line.
+
+use criterion::SampleStats;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+use topo_model::json::{self, Json};
+
+/// One sweep configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// `use_case` sent on every request (`synthesis` or `repair`).
+    pub use_case: String,
+    /// Base content seed; arrival `k` of every point runs seed
+    /// `base + k`, so equal-length points replay identical content.
+    pub seed: u64,
+    /// Target offered rates, sessions per second, one point each.
+    pub qps: Vec<f64>,
+    /// How long each point offers load, in milliseconds.
+    pub duration_ms: u64,
+    /// Tenant id stamped on every request (per-tenant accounting).
+    pub client: String,
+    /// Optional per-batch admission deadline forwarded to the daemon;
+    /// under overload this converts backlog into typed sheds.
+    pub deadline_ms: Option<u64>,
+    /// Send `{"shutdown":true}` on a final connection after the sweep,
+    /// draining the daemon (its exit code then reflects the ledger).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7433".into(),
+            use_case: "synthesis".into(),
+            seed: 1,
+            qps: vec![2.0, 8.0, 32.0, 128.0],
+            duration_ms: 2_000,
+            client: "loadgen".into(),
+            deadline_ms: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// What one sweep point measured.
+#[derive(Debug, Clone)]
+pub struct PointReport {
+    /// The point's target arrival rate.
+    pub offered_qps: f64,
+    /// Arrivals sent (schedule length).
+    pub offered: usize,
+    /// Sessions the daemon completed (ran to a typed outcome).
+    pub completed: usize,
+    /// Sessions that failed their per-session contract (from the
+    /// connection drain line: failures).
+    pub failed: usize,
+    /// Jobs shed (admission or dequeue).
+    pub shed: usize,
+    /// Model calls across the point (content-deterministic per seed).
+    pub llm_calls: u64,
+    /// Milli-cost across the point (content-deterministic per seed).
+    pub milli_cost: u64,
+    /// Completions per second of wall time, first send to last echo.
+    pub achieved_qps: f64,
+    /// Scheduled-arrival → batch-echo latency spread, milliseconds.
+    pub latency_ms: Option<SampleStats>,
+    /// The connection drain line's own conservation verdict.
+    pub accounted: bool,
+}
+
+impl PointReport {
+    /// Shed fraction of offered work.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+fn get_u64(v: &Json, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Json::Num(n)) => *n as u64,
+        _ => 0,
+    }
+}
+
+/// Runs one open-loop point against the daemon on its own connection.
+pub fn run_point(cfg: &LoadgenConfig, offered_qps: f64) -> io::Result<PointReport> {
+    let n = ((offered_qps * cfg.duration_ms as f64 / 1e3).round() as usize).max(1);
+    let interval = Duration::from_secs_f64(1.0 / offered_qps.max(1e-9));
+    let stream = TcpStream::connect(&cfg.addr)?;
+    // One small request line per arrival: Nagle would trade the latency
+    // this tool exists to measure for throughput it doesn't need.
+    stream.set_nodelay(true)?;
+    let read_half = stream.try_clone()?;
+
+    // The reader collects batch-echo times by tag and the connection's
+    // drain ledger; it ends when the daemon closes its write half.
+    let reader = std::thread::spawn(
+        move || -> io::Result<(HashMap<String, Instant>, Option<Json>)> {
+            let mut echoes: HashMap<String, Instant> = HashMap::new();
+            let mut drain = None;
+            for line in BufReader::new(read_half).lines() {
+                let line = line?;
+                let Ok(v) = json::parse(&line) else { continue };
+                match v.get("event") {
+                    Some(Json::Str(e)) if e == "batch" => {
+                        if let Some(Json::Str(tag)) = v.get("tag") {
+                            echoes.insert(tag.clone(), Instant::now());
+                        }
+                    }
+                    Some(Json::Str(e)) if e == "drain" => drain = Some(v),
+                    _ => {}
+                }
+            }
+            Ok((echoes, drain))
+        },
+    );
+
+    let mut out = stream.try_clone()?;
+    let deadline_field = match cfg.deadline_ms {
+        Some(ms) => format!(",\"deadline_ms\":{ms}"),
+        None => String::new(),
+    };
+    let t0 = Instant::now();
+    let mut scheduled: Vec<Instant> = Vec::with_capacity(n);
+    for k in 0..n {
+        let due = t0 + interval.mul_f64(k as f64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        scheduled.push(due);
+        writeln!(
+            out,
+            "{{\"use_case\":\"{}\",\"seed\":{},\"count\":1,\"client\":\"{}\",\"tag\":\"b{k}\"{deadline_field}}}",
+            cfg.use_case,
+            cfg.seed + k as u64,
+            cfg.client,
+        )?;
+    }
+    out.flush()?;
+    // Half-close: the daemon sees EOF, drains this connection's
+    // in-flight batches, answers the drain line, and closes.
+    stream.shutdown(Shutdown::Write)?;
+    let (echoes, drain) = reader
+        .join()
+        .map_err(|_| io::Error::other("loadgen reader panicked"))??;
+    let drain = drain.ok_or_else(|| io::Error::other("daemon closed without a drain line"))?;
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut last_echo = t0;
+    for (k, due) in scheduled.iter().enumerate() {
+        if let Some(&echo) = echoes.get(&format!("b{k}")) {
+            latencies.push(echo.saturating_duration_since(*due).as_secs_f64() * 1e3);
+            last_echo = last_echo.max(echo);
+        }
+    }
+    let completed = get_u64(&drain, "completed") as usize;
+    let wall_s = last_echo.saturating_duration_since(t0).as_secs_f64();
+    Ok(PointReport {
+        offered_qps,
+        offered: n,
+        completed,
+        failed: get_u64(&drain, "failures") as usize,
+        shed: (get_u64(&drain, "shed_queue_full") + get_u64(&drain, "shed_over_deadline")) as usize,
+        llm_calls: get_u64(&drain, "llm_calls"),
+        milli_cost: get_u64(&drain, "milli_cost"),
+        achieved_qps: if wall_s > 0.0 {
+            completed as f64 / wall_s
+        } else {
+            completed as f64 / 1e-3 // all echoes within a clock tick
+        },
+        latency_ms: SampleStats::from_samples(&latencies),
+        accounted: matches!(drain.get("accounted"), Some(Json::Bool(true))),
+    })
+}
+
+/// Runs the whole sweep (and the optional final shutdown).
+pub fn run_sweep(cfg: &LoadgenConfig) -> io::Result<Vec<PointReport>> {
+    let mut points = Vec::with_capacity(cfg.qps.len());
+    for &qps in &cfg.qps {
+        points.push(run_point(cfg, qps)?);
+    }
+    if cfg.shutdown {
+        shutdown_daemon(&cfg.addr)?;
+    }
+    Ok(points)
+}
+
+/// Sends `{"shutdown":true}` on a fresh connection and waits for the
+/// daemon to close it (the drain is complete when the read half ends).
+pub fn shutdown_daemon(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut out = stream.try_clone()?;
+    writeln!(out, "{{\"shutdown\":true}}")?;
+    out.flush()?;
+    stream.shutdown(Shutdown::Write)?;
+    for line in BufReader::new(stream).lines() {
+        line?; // drain until EOF: ack + connection drain line
+    }
+    Ok(())
+}
+
+/// The saturation knee: the lowest offered rate whose achieved rate
+/// fell short of 90% of offered. `None` means the daemon kept up with
+/// every point (the sweep never found saturation).
+pub fn saturation_knee_qps(points: &[PointReport]) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| p.achieved_qps < 0.9 * p.offered_qps)
+        .map(|p| p.offered_qps)
+}
+
+/// Renders `BENCH_service.json`: sweep metadata, one block per point,
+/// and the knee. Content fields (`completed`, `llm_calls`,
+/// `milli_cost`) are deterministic per `(seed, sweep)`; wall-clock
+/// fields (`achieved_qps`, `latency_ms`) move between runs.
+pub fn bench_json(cfg: &LoadgenConfig, points: &[PointReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"service\",");
+    let _ = writeln!(out, "  \"use_case\": \"{}\",", cfg.use_case);
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"duration_ms_per_point\": {},", cfg.duration_ms);
+    let _ = writeln!(out, "  \"client\": \"{}\",", cfg.client);
+    match cfg.deadline_ms {
+        Some(ms) => {
+            let _ = writeln!(out, "  \"deadline_ms\": {ms},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"deadline_ms\": null,");
+        }
+    }
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"offered_qps\": {:.2},", p.offered_qps);
+        let _ = writeln!(out, "      \"offered\": {},", p.offered);
+        let _ = writeln!(out, "      \"completed\": {},", p.completed);
+        let _ = writeln!(out, "      \"failed\": {},", p.failed);
+        let _ = writeln!(out, "      \"shed\": {},", p.shed);
+        let _ = writeln!(out, "      \"shed_rate\": {:.4},", p.shed_rate());
+        let _ = writeln!(out, "      \"llm_calls\": {},", p.llm_calls);
+        let _ = writeln!(out, "      \"milli_cost\": {},", p.milli_cost);
+        let _ = writeln!(out, "      \"accounted\": {},", p.accounted);
+        let _ = writeln!(out, "      \"achieved_qps\": {:.2},", p.achieved_qps);
+        match &p.latency_ms {
+            Some(stats) => {
+                let _ = writeln!(out, "      \"latency_ms\": {}", stats.to_json());
+            }
+            None => {
+                let _ = writeln!(out, "      \"latency_ms\": null");
+            }
+        }
+        let _ = writeln!(out, "    }}{}", if i + 1 < points.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    match saturation_knee_qps(points) {
+        Some(knee) => {
+            let _ = writeln!(out, "  \"saturation_knee_qps\": {knee:.2}");
+        }
+        None => {
+            let _ = writeln!(out, "  \"saturation_knee_qps\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(offered: f64, achieved: f64) -> PointReport {
+        PointReport {
+            offered_qps: offered,
+            offered: 10,
+            completed: 10,
+            failed: 0,
+            shed: 0,
+            llm_calls: 100,
+            milli_cost: 500,
+            achieved_qps: achieved,
+            latency_ms: SampleStats::from_samples(&[1.0, 2.0, 3.0]),
+            accounted: true,
+        }
+    }
+
+    #[test]
+    fn knee_is_the_first_point_below_ninety_percent() {
+        let points = [point(2.0, 2.0), point(8.0, 7.9), point(32.0, 11.0)];
+        assert_eq!(saturation_knee_qps(&points), Some(32.0));
+        let kept_up = [point(2.0, 2.0), point(8.0, 7.9)];
+        assert_eq!(saturation_knee_qps(&kept_up), None);
+        assert_eq!(saturation_knee_qps(&[]), None);
+    }
+
+    #[test]
+    fn shed_rate_divides_by_offered() {
+        let mut p = point(2.0, 2.0);
+        p.shed = 5;
+        p.offered = 20;
+        assert!((p.shed_rate() - 0.25).abs() < 1e-12);
+        p.offered = 0;
+        assert_eq!(p.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn bench_json_is_valid_json_with_a_point_per_sweep_entry() {
+        let cfg = LoadgenConfig::default();
+        let points = [point(2.0, 2.0), point(8.0, 4.0)];
+        let text = bench_json(&cfg, &points);
+        let v = topo_model::json::parse(&text).expect("bench json parses");
+        let Some(Json::Arr(arr)) = v.get("points") else {
+            panic!("points array missing: {text}");
+        };
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            v.get("saturation_knee_qps"),
+            Some(&Json::Num(8.0)),
+            "{text}"
+        );
+        assert!(text.contains("\"p99\":"), "{text}");
+    }
+}

@@ -1,0 +1,874 @@
+//! The `fleetd` socket front-end: `fleet --serve --listen <addr>`.
+//!
+//! Promotes the stdin pipe to a concurrent daemon with zero new
+//! dependencies: a [`std::net::TcpListener`] accept loop spawns one
+//! reader/writer thread pair per client connection, every connection
+//! speaks the same newline-JSON batch protocol as stdin `--serve`, and
+//! all of them feed the **one** shared bounded admission queue drained
+//! by the resident worker pool. Where the stdin pump runs batches one
+//! at a time, connections here pipeline freely — a client may have any
+//! number of batches in flight, and batch requests may carry a `tag`
+//! that is echoed on the `{"event":"batch"}` line for attribution (the
+//! `loadgen` bin relies on this).
+//!
+//! ## Connection lifecycle
+//!
+//! * **accept** — the open-connections gauge rises; a reader thread
+//!   parses request lines (50 ms read timeout so it can notice a
+//!   server-wide drain), a writer thread owns the socket's write half.
+//! * **admission** — under the accounting lock: the batch's jobs are
+//!   admitted up to the shared queue's remaining depth, the excess is
+//!   shed with a typed `queue_full` reject, and the `submitted`/shed
+//!   counters move together with the queue-depth gauge.
+//! * **completion** — workers run jobs from the shared queue, fold the
+//!   global and per-tenant counters, and route each `Completion` back
+//!   to its connection's writer, which streams the result line and, on
+//!   the batch's last completion, the batch line.
+//! * **EOF** — the writer waits out the connection's in-flight batches
+//!   and ends the stream with a per-connection
+//!   `{"event":"drain","scope":"connection",...}` ledger line.
+//!
+//! ## Accounting under concurrency
+//!
+//! The drain ledger's conservation law must now hold *mid-flight*: a
+//! `GET /metrics` scrape can land while jobs sit in the queue or on a
+//! worker. The exposed identity is therefore
+//!
+//! ```text
+//! submitted = completed + shed_queue_full + shed_over_deadline
+//!           + deadline_exceeded + quarantined
+//!           + queue_depth + in_flight_sessions
+//! ```
+//!
+//! and every transition that moves a job between those states happens
+//! under one small `accounting` mutex, which the scrape also takes
+//! while snapshotting — so `fleetd_accounted 1` is exact at any scrape
+//! point, chaos or not. (The stdin pump satisfies the same identity
+//! trivially: its gauges are always zero at snapshot points.)
+//!
+//! ## `/metrics`
+//!
+//! With `--metrics-addr`, a minimal HTTP responder serves the registry
+//! in Prometheus text format ([`telemetry::prom`]): the ledger
+//! counters, per-tier backend call/cost counters, per-tenant labeled
+//! families, queue/in-flight/connection gauges, the session and
+//! queue-wait histograms with cumulative buckets, plus `fleetd_accounted`,
+//! `fleetd_cost_accounted`, and `fleetd_uptime_seconds` computed per
+//! scrape.
+//!
+//! ## Graceful drain
+//!
+//! A `{"shutdown":true}` control line on any connection is acknowledged
+//! with `{"event":"shutdown","draining":true}`, stops the accept loop,
+//! lets every connection finish its in-flight batches (readers stop
+//! taking new requests), closes the queue, joins the workers, and
+//! returns the final [`ServeSummary`] — no session lost or counted
+//! twice, which the regression tests pin.
+
+use crate::service::{
+    metrics_json, parse_request, run_job, Completion, CompletionClass, Job, MetricIds, Request,
+    ServeOptions, ServeSummary, ANONYMOUS_CLIENT,
+};
+use crate::{job_indices, lock_clean, PoolCounters};
+use llm_sim::Tier;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use telemetry::{Registry, Snapshot};
+use topo_model::json::ObjBuilder;
+
+/// How often blocked accept/read loops wake to check the drain flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// One job on the shared queue, routed back to its connection.
+struct SrvJob {
+    job: Job,
+    /// Connection-local batch sequence number (keys the writer's
+    /// batch-state map).
+    batch: u64,
+    /// Tenant label the completion folds under.
+    client: String,
+    /// Admission instant, for the queue-wait histogram.
+    enqueued: Instant,
+    reply: mpsc::Sender<ConnEvent>,
+}
+
+/// What flows to a connection's writer thread.
+enum ConnEvent {
+    /// A pre-rendered protocol line from the reader (reject, ack,
+    /// metrics snapshot, or an all-shed batch line).
+    Line(String),
+    /// One completion for the connection's batch `.0`.
+    Done(u64, Box<Completion>),
+    /// The reader is finished; drain in-flight batches and close.
+    Eof,
+}
+
+/// Jobs-in-states guarded by the accounting lock (see module docs).
+#[derive(Default)]
+struct Accounting {
+    queued: u64,
+    in_flight: u64,
+}
+
+/// Everything the worker pool, connections, and scrape loop share.
+struct Core<'o> {
+    opts: &'o ServeOptions,
+    queue_depth: usize,
+    queue: Mutex<(VecDeque<SrvJob>, bool)>,
+    available: Condvar,
+    reg: Registry,
+    ids: MetricIds,
+    /// Guards every multi-counter state transition plus the scrape's
+    /// snapshot, making the extended accounting identity exact at any
+    /// scrape point.
+    accounting: Mutex<Accounting>,
+    /// The global drain ledger (the socket analogue of the stdin
+    /// pump's local summary).
+    ledger: Mutex<ServeSummary>,
+    counters: Mutex<PoolCounters>,
+    /// Set by a `{"shutdown":true}` line: stop accepting connections
+    /// and new requests, drain what's in flight.
+    draining: AtomicBool,
+    /// Set once the queue is closed; tells the scrape loop to exit.
+    done: AtomicBool,
+    open_conns: AtomicUsize,
+    chaos_seq: AtomicU64,
+    started: Instant,
+}
+
+impl Core<'_> {
+    /// Mirrors the accounting fields into their registry gauges; call
+    /// with the accounting lock held.
+    fn mirror(&self, acc: &Accounting) {
+        self.reg.gauge_set(self.ids.queue_depth, acc.queued);
+        self.reg
+            .gauge_set(self.ids.in_flight_sessions, acc.in_flight);
+        self.reg.gauge_max(self.ids.queue_depth_hwm, acc.queued);
+    }
+}
+
+/// Serves the socket front-end on an already-bound listener (tests bind
+/// port 0 and pass the listener in; the CLI resolves `--listen`).
+/// Returns after a graceful drain — a `{"shutdown":true}` line on any
+/// connection — with the global ledger, exactly like stdin [`serve`]
+/// returns at EOF.
+///
+/// [`serve`]: crate::service::serve
+pub fn serve_listener(
+    listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
+    opts: &ServeOptions,
+) -> io::Result<ServeSummary> {
+    let threads = opts.threads.max(2);
+    // Shard 0 belongs to the connection front-ends; workers get 1..=N.
+    let mut reg = Registry::new(threads + 1);
+    let ids = MetricIds::register(&mut reg);
+    let core = Core {
+        opts,
+        queue_depth: opts.queue_depth.max(1),
+        queue: Mutex::new((VecDeque::new(), false)),
+        available: Condvar::new(),
+        reg,
+        ids,
+        accounting: Mutex::new(Accounting::default()),
+        ledger: Mutex::new(ServeSummary::default()),
+        counters: Mutex::new(PoolCounters::default()),
+        draining: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        open_conns: AtomicUsize::new(0),
+        chaos_seq: AtomicU64::new(0),
+        started: Instant::now(),
+    };
+    let core = &core;
+
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| -> io::Result<()> {
+        for w in 0..threads {
+            scope.spawn(move || worker_loop(core, w + 1));
+        }
+        if let Some(ml) = metrics_listener {
+            scope.spawn(move || metrics_loop(ml, core));
+        }
+        let mut conn_id: u64 = 0;
+        let accept_result = loop {
+            if core.draining.load(Relaxed) {
+                break Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Result/batch lines are tiny and latency-sensitive;
+                    // Nagle would batch them against the client's ACKs.
+                    let _ = stream.set_nodelay(true);
+                    core.open_conns.fetch_add(1, Relaxed);
+                    core.reg.gauge_add(core.ids.open_connections, 1);
+                    let id = conn_id;
+                    conn_id += 1;
+                    scope.spawn(move || {
+                        handle_conn(stream, core, id);
+                        core.reg.gauge_sub(core.ids.open_connections, 1);
+                        core.open_conns.fetch_sub(1, Relaxed);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    core.draining.store(true, Relaxed);
+                    break Err(e);
+                }
+            }
+        };
+        drop(listener); // stop the OS backlog while connections drain
+        while core.open_conns.load(Relaxed) > 0 {
+            std::thread::sleep(POLL);
+        }
+        lock_clean(&core.queue).1 = true;
+        core.available.notify_all();
+        core.done.store(true, Relaxed);
+        accept_result
+    })?;
+
+    let mut summary = core
+        .ledger
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    summary.pool = *lock_clean(&core.counters);
+    Ok(summary)
+}
+
+/// One resident worker: pops jobs off the shared queue, runs them
+/// panic-contained, folds the registry and global ledger, and routes
+/// the completion back to its connection.
+fn worker_loop(core: &Core<'_>, shard: usize) {
+    let mut ctx = if core.opts.pool_managers {
+        cosynth::VerifierContext::new()
+    } else {
+        cosynth::VerifierContext::without_pooling()
+    };
+    loop {
+        let sj = {
+            let mut state = lock_clean(&core.queue);
+            loop {
+                if let Some(sj) = state.0.pop_front() {
+                    break Some(sj);
+                }
+                if state.1 {
+                    break None;
+                }
+                state = core
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(sj) = sj else { break };
+        {
+            let mut acc = lock_clean(&core.accounting);
+            acc.queued -= 1;
+            acc.in_flight += 1;
+            core.mirror(&acc);
+            core.reg.observe_ns(
+                shard,
+                core.ids.queue_wait,
+                sj.enqueued.elapsed().as_nanos() as u64,
+            );
+        }
+        let done = run_job(sj.job, &mut ctx, &core.opts.tuning, core.opts.stream_traces);
+        let ran = !matches!(done.class, CompletionClass::Shed);
+        {
+            // One critical section per completion: the outcome counter
+            // and the in-flight gauge move together, so the scrape
+            // identity never sees a job in zero or two states.
+            let mut acc = lock_clean(&core.accounting);
+            acc.in_flight -= 1;
+            core.mirror(&acc);
+            let reg = &core.reg;
+            let ids = &core.ids;
+            match done.class {
+                CompletionClass::Completed { .. } => {
+                    reg.inc(shard, ids.completed);
+                    reg.add_labeled(ids.tenant_sessions, &sj.client, 1);
+                }
+                CompletionClass::DeadlineExceeded => {
+                    reg.inc(shard, ids.deadline_exceeded);
+                    reg.add_labeled(ids.tenant_sessions, &sj.client, 1);
+                    reg.add_labeled(ids.tenant_deadline_exceeded, &sj.client, 1);
+                }
+                CompletionClass::Panicked => {
+                    reg.inc(shard, ids.quarantined);
+                    reg.add_labeled(ids.tenant_sessions, &sj.client, 1);
+                }
+                CompletionClass::Shed => {
+                    reg.inc(shard, ids.shed_over_deadline);
+                    reg.add_labeled(ids.tenant_shed, &sj.client, 1);
+                }
+            }
+            if ran {
+                reg.add(shard, ids.transport_retries, done.retries as u64);
+                reg.observe_ns(shard, ids.session, (done.wall_ms * 1e6) as u64);
+                ids.stages.observe(reg, shard, &done.trace);
+                ids.fold_cost(reg, shard, &done.cost, &sj.client);
+            }
+        }
+        {
+            let mut ledger = lock_clean(&core.ledger);
+            match done.class {
+                CompletionClass::Completed { ok } => {
+                    ledger.sessions += 1;
+                    ledger.completed += 1;
+                    if !ok {
+                        ledger.failures += 1;
+                    }
+                }
+                CompletionClass::DeadlineExceeded => {
+                    ledger.sessions += 1;
+                    ledger.deadline_exceeded += 1;
+                    ledger.failures += 1;
+                }
+                CompletionClass::Panicked => {
+                    ledger.sessions += 1;
+                    ledger.quarantined += 1;
+                    ledger.failures += 1;
+                }
+                CompletionClass::Shed => ledger.shed_over_deadline += 1,
+            }
+            if ran {
+                ledger.latencies_ms.push(done.wall_ms);
+                ledger.transport_retries += done.retries;
+                ledger.cost.absorb(&done.cost);
+            }
+        }
+        // The connection may already be gone (client hung up): the
+        // completion is accounted above either way.
+        let _ = sj.reply.send(ConnEvent::Done(sj.batch, Box::new(done)));
+    }
+    ctx.flush();
+    lock_clean(&core.counters).absorb(&ctx);
+}
+
+/// Per-batch bookkeeping shared between a connection's reader (inserts
+/// before enqueue) and writer (folds completions, emits the batch
+/// line).
+struct BatchState {
+    requested: usize,
+    accepted: usize,
+    /// Admission-time sheds (queue_full, expired deadline).
+    shed: usize,
+    /// Dequeue-time sheds (deadline expired in the queue).
+    dequeue_shed: usize,
+    failed: usize,
+    remaining: usize,
+    tag: Option<String>,
+}
+
+/// One client connection: this thread reads and parses request lines;
+/// a paired writer thread owns the socket's write half and streams
+/// results, batch lines, and the per-connection drain line. The writer
+/// is a plain (unscoped) thread over `Arc`-shared state, joined before
+/// this function returns, so nothing outlives the connection.
+fn handle_conn(stream: TcpStream, core: &Core<'_>, conn_id: u64) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(POLL));
+    let (tx, rx) = mpsc::channel::<ConnEvent>();
+    let batches = Arc::new(Mutex::new(HashMap::<u64, BatchState>::new()));
+    let conn_ledger = Arc::new(Mutex::new(ServeSummary::default()));
+
+    let writer = {
+        let batches = Arc::clone(&batches);
+        let conn_ledger = Arc::clone(&conn_ledger);
+        std::thread::spawn(move || writer_loop(write_half, rx, &batches, &conn_ledger, conn_id))
+    };
+
+    let mut reader = ConnReader {
+        core,
+        tx: tx.clone(),
+        batches: &batches,
+        conn_ledger: &conn_ledger,
+        next_batch: 0,
+    };
+    read_lines(stream, core, |line| reader.handle_line(line));
+    let _ = tx.send(ConnEvent::Eof);
+    drop(tx);
+    drop(reader);
+    let _ = writer.join();
+}
+
+/// Reads newline-delimited lines off the socket, polling the drain flag
+/// every [`POLL`]; a line truncated by the peer's close is still handed
+/// to `handle` (it becomes a typed `bad_json` reject, like the stdin
+/// pump's truncated final line). `handle` returns `false` to stop
+/// reading (shutdown request).
+fn read_lines(mut stream: TcpStream, core: &Core<'_>, mut handle: impl FnMut(&str) -> bool) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'outer: loop {
+        if core.draining.load(Relaxed) {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..pos]);
+                    if !handle(&line) {
+                        break 'outer;
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break, // peer reset: same as EOF
+        }
+    }
+    if !core.draining.load(Relaxed) && !buf.is_empty() {
+        let line = String::from_utf8_lossy(&buf);
+        if !line.trim().is_empty() {
+            handle(&line);
+        }
+    }
+}
+
+/// The reader half's state and admission logic.
+struct ConnReader<'a, 'o> {
+    core: &'a Core<'o>,
+    tx: mpsc::Sender<ConnEvent>,
+    batches: &'a Mutex<HashMap<u64, BatchState>>,
+    conn_ledger: &'a Mutex<ServeSummary>,
+    next_batch: u64,
+}
+
+impl ConnReader<'_, '_> {
+    fn send_line(&self, line: String) {
+        let _ = self.tx.send(ConnEvent::Line(line));
+    }
+
+    fn reject(&self, code: &str, message: &str) {
+        let core = self.core;
+        lock_clean(self.conn_ledger).protocol_errors += 1;
+        lock_clean(&core.ledger).protocol_errors += 1;
+        core.reg.inc(0, core.ids.protocol_errors);
+        self.send_line(
+            ObjBuilder::event("reject")
+                .str("reason", "bad_request")
+                .str("code", code)
+                .str("message", message)
+                .finish(),
+        );
+    }
+
+    /// Returns `false` when the connection must stop reading (a
+    /// shutdown request).
+    fn handle_line(&mut self, line: &str) -> bool {
+        if line.trim().is_empty() {
+            return true;
+        }
+        let core = self.core;
+        let request = match parse_request(line) {
+            Ok(Request::Batch(r)) => r,
+            Ok(Request::Metrics) => {
+                let _acc = lock_clean(&core.accounting);
+                self.send_line(metrics_json(&core.reg, false, None));
+                return true;
+            }
+            Ok(Request::Shutdown) => {
+                self.send_line(
+                    ObjBuilder::event("shutdown")
+                        .bool("draining", true)
+                        .finish(),
+                );
+                core.draining.store(true, Relaxed);
+                return false;
+            }
+            Err(err) => {
+                self.reject(err.code(), &err.to_string());
+                return true;
+            }
+        };
+
+        let client = request
+            .client
+            .clone()
+            .unwrap_or_else(|| ANONYMOUS_CLIENT.to_string());
+        let families = request
+            .families
+            .as_deref()
+            .or(core.opts.default_families.as_deref());
+        let jobs = job_indices(request.count, families);
+        {
+            let mut conn = lock_clean(self.conn_ledger);
+            conn.batches += 1;
+            conn.submitted += jobs.len();
+            let mut ledger = lock_clean(&core.ledger);
+            ledger.batches += 1;
+            ledger.submitted += jobs.len();
+        }
+        core.reg.inc(0, core.ids.batches);
+
+        // Admission stage 1: an already-expired deadline sheds the
+        // whole batch before it touches the queue.
+        if request.deadline_ms == Some(0) {
+            {
+                let acc = lock_clean(&core.accounting);
+                core.reg.add(0, core.ids.submitted, jobs.len() as u64);
+                core.reg
+                    .add(0, core.ids.shed_over_deadline, jobs.len() as u64);
+                core.reg
+                    .add_labeled(core.ids.tenant_shed, &client, jobs.len() as u64);
+                drop(acc);
+            }
+            lock_clean(self.conn_ledger).shed_over_deadline += jobs.len();
+            lock_clean(&core.ledger).shed_over_deadline += jobs.len();
+            self.send_line(
+                ObjBuilder::event("reject")
+                    .str("reason", "over_deadline")
+                    .str("use_case", request.use_case.name())
+                    .u64("shed", jobs.len() as u64)
+                    .finish(),
+            );
+            self.send_line(batch_line(
+                request.count,
+                0,
+                0,
+                jobs.len(),
+                request.tag.as_deref(),
+            ));
+            return true;
+        }
+
+        // Admission stage 2: the shared queue is bounded; concurrent
+        // connections compete for the remaining depth, so unlike the
+        // one-batch-at-a-time stdin pump the shed count here depends on
+        // live occupancy — that is the admission control working.
+        let deadline = request
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let (accepted, shed) = {
+            let mut acc = lock_clean(&core.accounting);
+            let room = (self.core.queue_depth as u64).saturating_sub(acc.queued) as usize;
+            let accepted = jobs.len().min(room);
+            let shed = jobs.len() - accepted;
+            acc.queued += accepted as u64;
+            core.reg.add(0, core.ids.submitted, jobs.len() as u64);
+            if shed > 0 {
+                core.reg.add(0, core.ids.shed_queue_full, shed as u64);
+                core.reg
+                    .add_labeled(core.ids.tenant_shed, &client, shed as u64);
+            }
+            core.mirror(&acc);
+            (accepted, shed)
+        };
+        if shed > 0 {
+            lock_clean(self.conn_ledger).shed_queue_full += shed;
+            lock_clean(&core.ledger).shed_queue_full += shed;
+            self.send_line(
+                ObjBuilder::event("reject")
+                    .str("reason", "queue_full")
+                    .str("use_case", request.use_case.name())
+                    .u64("shed", shed as u64)
+                    .u64("queue_depth", core.queue_depth as u64)
+                    .finish(),
+            );
+        }
+        if jobs.len() < request.count {
+            self.reject(
+                "family_filter",
+                &format!(
+                    "only {} of {} requested sessions matched the family filter \
+                     (known families: {:?})",
+                    jobs.len(),
+                    request.count,
+                    crate::family_names()
+                ),
+            );
+        }
+        if accepted == 0 {
+            self.send_line(batch_line(
+                request.count,
+                0,
+                0,
+                shed,
+                request.tag.as_deref(),
+            ));
+            return true;
+        }
+
+        let seq = self.next_batch;
+        self.next_batch += 1;
+        lock_clean(self.batches).insert(
+            seq,
+            BatchState {
+                requested: request.count,
+                accepted,
+                shed,
+                dequeue_shed: 0,
+                failed: 0,
+                remaining: accepted,
+                tag: request.tag.clone(),
+            },
+        );
+        {
+            let mut state = lock_clean(&core.queue);
+            let enqueued = Instant::now();
+            for &index in jobs.iter().take(accepted) {
+                let directive = core
+                    .opts
+                    .chaos
+                    .as_ref()
+                    .map(|p| p.directive(core.chaos_seq.fetch_add(1, Relaxed)));
+                state.0.push_back(SrvJob {
+                    job: Job {
+                        kind: request.use_case,
+                        seed: request.seed,
+                        index,
+                        directive,
+                        deadline,
+                    },
+                    batch: seq,
+                    client: client.clone(),
+                    enqueued,
+                    reply: self.tx.clone(),
+                });
+            }
+        }
+        core.available.notify_all();
+        true
+    }
+}
+
+fn batch_line(
+    requested: usize,
+    completed: usize,
+    failed: usize,
+    shed: usize,
+    tag: Option<&str>,
+) -> String {
+    let mut b = ObjBuilder::event("batch")
+        .u64("requested", requested as u64)
+        .u64("completed", completed as u64)
+        .u64("failed", failed as u64)
+        .u64("shed", shed as u64);
+    if let Some(tag) = tag {
+        b = b.str("tag", tag);
+    }
+    b.finish()
+}
+
+/// The connection's writer half: serializes every outbound line, folds
+/// completions into the per-connection ledger, emits batch lines as
+/// batches finish, and ends with the per-connection drain line. A write
+/// failure (client hung up) switches to sink mode — completions still
+/// drain so the global ledger stays balanced.
+fn writer_loop(
+    stream: TcpStream,
+    rx: mpsc::Receiver<ConnEvent>,
+    batches: &Mutex<HashMap<u64, BatchState>>,
+    conn_ledger: &Mutex<ServeSummary>,
+    conn_id: u64,
+) {
+    let mut out = BufWriter::new(stream);
+    let mut dead = false;
+    let mut eof = false;
+    let write = |out: &mut BufWriter<TcpStream>, dead: &mut bool, line: &str| {
+        if !*dead && (writeln!(out, "{line}").is_err() || out.flush().is_err()) {
+            *dead = true;
+        }
+    };
+    loop {
+        if eof && lock_clean(batches).is_empty() {
+            break;
+        }
+        let Ok(event) = rx.recv() else { break };
+        match event {
+            ConnEvent::Line(line) => write(&mut out, &mut dead, &line),
+            ConnEvent::Eof => eof = true,
+            ConnEvent::Done(seq, done) => {
+                {
+                    let mut conn = lock_clean(conn_ledger);
+                    match done.class {
+                        CompletionClass::Completed { ok } => {
+                            conn.sessions += 1;
+                            conn.completed += 1;
+                            if !ok {
+                                conn.failures += 1;
+                            }
+                        }
+                        CompletionClass::DeadlineExceeded => {
+                            conn.sessions += 1;
+                            conn.deadline_exceeded += 1;
+                            conn.failures += 1;
+                        }
+                        CompletionClass::Panicked => {
+                            conn.sessions += 1;
+                            conn.quarantined += 1;
+                            conn.failures += 1;
+                        }
+                        CompletionClass::Shed => conn.shed_over_deadline += 1,
+                    }
+                    if !matches!(done.class, CompletionClass::Shed) {
+                        conn.latencies_ms.push(done.wall_ms);
+                        conn.transport_retries += done.retries;
+                        conn.cost.absorb(&done.cost);
+                    }
+                }
+                write(&mut out, &mut dead, &done.line);
+                if let Some(trace_line) = &done.trace_line {
+                    write(&mut out, &mut dead, trace_line);
+                }
+                let mut map = lock_clean(batches);
+                if let Some(state) = map.get_mut(&seq) {
+                    match done.class {
+                        CompletionClass::Shed => state.dequeue_shed += 1,
+                        CompletionClass::Completed { ok: true } => {}
+                        _ => state.failed += 1,
+                    }
+                    state.remaining -= 1;
+                    if state.remaining == 0 {
+                        let line = batch_line(
+                            state.requested,
+                            state.accepted - state.dequeue_shed,
+                            state.failed,
+                            state.shed + state.dequeue_shed,
+                            state.tag.as_deref(),
+                        );
+                        map.remove(&seq);
+                        drop(map);
+                        write(&mut out, &mut dead, &line);
+                    }
+                }
+            }
+        }
+    }
+    let conn = lock_clean(conn_ledger);
+    let line = ObjBuilder::event("drain")
+        .str("scope", "connection")
+        .u64("conn", conn_id)
+        .u64("batches", conn.batches as u64)
+        .u64("sessions", conn.sessions as u64)
+        .u64("failures", conn.failures as u64)
+        .u64("protocol_errors", conn.protocol_errors as u64)
+        .u64("submitted", conn.submitted as u64)
+        .u64("completed", conn.completed as u64)
+        .u64("shed_queue_full", conn.shed_queue_full as u64)
+        .u64("shed_over_deadline", conn.shed_over_deadline as u64)
+        .u64("deadline_exceeded", conn.deadline_exceeded as u64)
+        .u64("quarantined", conn.quarantined as u64)
+        .u64("transport_retries", conn.transport_retries as u64)
+        .bool("accounted", conn.accounted())
+        .u64("llm_calls", conn.cost.total_calls())
+        .u64("milli_cost", conn.cost.total_milli_cost())
+        .bool("cost_accounted", conn.cost.conserved())
+        .finish();
+    write(&mut out, &mut dead, &line);
+    let _ = out.flush();
+    if let Ok(stream) = out.into_inner() {
+        let _ = stream.shutdown(Shutdown::Write);
+    }
+}
+
+/// Computes the scrape-time identities and renders the full Prometheus
+/// payload. Takes the accounting lock around the snapshot so the
+/// extended conservation law is exact (see the module docs).
+fn render_prometheus(core: &Core<'_>) -> String {
+    use std::fmt::Write as _;
+    let snap: Snapshot = {
+        let _acc = lock_clean(&core.accounting);
+        core.reg.snapshot()
+    };
+    let accounted = snap.counter("submitted")
+        == snap.counter("completed")
+            + snap.counter("shed_queue_full")
+            + snap.counter("shed_over_deadline")
+            + snap.counter("deadline_exceeded")
+            + snap.counter("quarantined")
+            + snap.gauge("queue_depth")
+            + snap.gauge("in_flight_sessions");
+    let cost_accounted = snap.counter("milli_cost")
+        == Tier::ALL
+            .iter()
+            .map(|t| {
+                snap.counter(&format!("backend_calls_{}", t.metric_suffix())) * t.unit_milli_cost()
+            })
+            .sum::<u64>();
+    let mut out = snap.to_prometheus("fleetd_");
+    let _ = writeln!(out, "# TYPE fleetd_accounted gauge");
+    let _ = writeln!(out, "fleetd_accounted {}", accounted as u8);
+    let _ = writeln!(out, "# TYPE fleetd_cost_accounted gauge");
+    let _ = writeln!(out, "fleetd_cost_accounted {}", cost_accounted as u8);
+    let _ = writeln!(out, "# TYPE fleetd_uptime_seconds gauge");
+    let _ = writeln!(
+        out,
+        "fleetd_uptime_seconds {}",
+        core.started.elapsed().as_secs_f64()
+    );
+    out
+}
+
+/// The `--metrics-addr` responder: a deliberately minimal HTTP/1.0
+/// server (read the request head, answer one response, close). Only
+/// `GET /metrics` exists; everything else is 404, non-GET is 405.
+fn metrics_loop(listener: TcpListener, core: &Core<'_>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !core.done.load(Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = serve_scrape(&mut stream, core);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_scrape(stream: &mut TcpStream, core: &Core<'_>) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read the request head (first line is all we route on; cap the
+    // head at 8 KiB so a misbehaving client can't balloon memory).
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == "/metrics" {
+        ("200 OK", render_prometheus(core))
+    } else {
+        ("404 Not Found", "only /metrics lives here\n".to_string())
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}

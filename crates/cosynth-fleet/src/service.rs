@@ -48,7 +48,7 @@ use std::io::{BufRead, Write};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
-use telemetry::{CounterId, GaugeId, HistId, Registry, SessionTrace, StageHists};
+use telemetry::{CounterId, GaugeId, HistId, LabeledId, Registry, SessionTrace, StageHists};
 use topo_model::json::{self, Json, ObjBuilder};
 
 /// Service configuration.
@@ -227,6 +227,10 @@ pub enum Request {
     /// `{"metrics":true}` — emit one `{"event":"metrics"}` snapshot of
     /// the service's telemetry registry and read the next line.
     Metrics,
+    /// `{"shutdown":true}` — graceful drain: stop accepting work (and,
+    /// on the socket front-end, new connections), finish every
+    /// in-flight batch, and emit the final drain summary.
+    Shutdown,
 }
 
 /// One parsed batch request.
@@ -243,7 +247,19 @@ pub struct BatchRequest {
     /// Optional admission deadline for the batch, milliseconds from
     /// admission. `Some(0)` means already expired.
     pub deadline_ms: Option<u64>,
+    /// Optional tenant id: completions fold into the per-`client`
+    /// labeled counters (sessions, shed, deadline-exceeded, llm_calls,
+    /// milli_cost). Batches without one are accounted under
+    /// [`ANONYMOUS_CLIENT`].
+    pub client: Option<String>,
+    /// Optional opaque batch tag, echoed on the `{"event":"batch"}`
+    /// line so pipelined clients (the `loadgen` bin) can attribute
+    /// batch completions without counting lines.
+    pub tag: Option<String>,
 }
+
+/// The tenant label batches without a `client` id fold into.
+pub const ANONYMOUS_CLIENT: &str = "anonymous";
 
 /// The use cases the service can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,7 +271,7 @@ pub enum CaseKind {
 }
 
 impl CaseKind {
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             CaseKind::Synthesis => cases::Synthesis::NAME,
             CaseKind::Repair => cases::Repair::NAME,
@@ -277,6 +293,16 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         Some(_) => {
             return Err(RequestError::BadField {
                 field: "metrics",
+                expected: "the literal true",
+            })
+        }
+    }
+    match v.get("shutdown") {
+        None => {}
+        Some(Json::Bool(true)) => return Ok(Request::Shutdown),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "shutdown",
                 expected: "the literal true",
             })
         }
@@ -349,30 +375,52 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             })
         }
     };
+    let client = match v.get("client") {
+        None => None,
+        Some(Json::Str(s)) if !s.is_empty() && s.len() <= 64 => Some(s.clone()),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "client",
+                expected: "a non-empty string of at most 64 bytes",
+            })
+        }
+    };
+    let tag = match v.get("tag") {
+        None => None,
+        Some(Json::Str(s)) if s.len() <= 128 => Some(s.clone()),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "tag",
+                expected: "a string of at most 128 bytes",
+            })
+        }
+    };
     Ok(Request::Batch(BatchRequest {
         use_case,
         seed,
         count,
         families,
         deadline_ms,
+        client,
+        tag,
     }))
 }
 
 /// One enqueued session job.
 #[derive(Debug, Clone, Copy)]
-struct Job {
-    kind: CaseKind,
-    seed: u64,
-    index: usize,
+pub(crate) struct Job {
+    pub(crate) kind: CaseKind,
+    pub(crate) seed: u64,
+    pub(crate) index: usize,
     /// Chaos directive assigned at enqueue (by global sequence number).
-    directive: Option<chaos::SessionDirective>,
+    pub(crate) directive: Option<chaos::SessionDirective>,
     /// Wall-clock admission deadline; a job still queued past it is
     /// shed at dequeue.
-    deadline: Option<Instant>,
+    pub(crate) deadline: Option<Instant>,
 }
 
 /// The typed outcome class of one dequeued job.
-enum CompletionClass {
+pub(crate) enum CompletionClass {
     /// The session ran to completion; `ok` is the per-session contract.
     Completed { ok: bool },
     /// The session stopped on its own deadline budget.
@@ -384,24 +432,24 @@ enum CompletionClass {
 }
 
 /// What a worker sends back per dequeued job.
-struct Completion {
-    line: String,
-    class: CompletionClass,
-    wall_ms: f64,
-    retries: usize,
+pub(crate) struct Completion {
+    pub(crate) line: String,
+    pub(crate) class: CompletionClass,
+    pub(crate) wall_ms: f64,
+    pub(crate) retries: usize,
     /// The session's per-stage spans (empty for shed/panicked jobs);
     /// folded into the service registry's stage histograms.
-    trace: SessionTrace,
+    pub(crate) trace: SessionTrace,
     /// Pre-rendered `{"event":"trace"}` line when trace streaming is on.
-    trace_line: Option<String>,
+    pub(crate) trace_line: Option<String>,
     /// The session's cost ledger (empty for shed/panicked jobs).
-    cost: CostLedger,
+    pub(crate) cost: CostLedger,
 }
 
 /// Runs one job on a worker's resident context, panic-contained: a
 /// panicking session (organic or chaos-injected) quarantines the
 /// context's live managers and reports the typed `panicked` outcome.
-fn run_job(
+pub(crate) fn run_job(
     job: Job,
     ctx: &mut VerifierContext,
     base: &SessionTuning,
@@ -514,29 +562,48 @@ fn run_job(
 /// histograms, and a whole-session one. Counter names mirror the
 /// [`ServeSummary`] fields so the `{"event":"metrics"}` snapshot can be
 /// reconciled against the drain line by name.
-struct MetricIds {
-    batches: CounterId,
-    submitted: CounterId,
-    completed: CounterId,
-    shed_queue_full: CounterId,
-    shed_over_deadline: CounterId,
-    deadline_exceeded: CounterId,
-    quarantined: CounterId,
-    protocol_errors: CounterId,
-    transport_retries: CounterId,
-    llm_calls: CounterId,
-    milli_cost: CounterId,
+pub(crate) struct MetricIds {
+    pub(crate) batches: CounterId,
+    pub(crate) submitted: CounterId,
+    pub(crate) completed: CounterId,
+    pub(crate) shed_queue_full: CounterId,
+    pub(crate) shed_over_deadline: CounterId,
+    pub(crate) deadline_exceeded: CounterId,
+    pub(crate) quarantined: CounterId,
+    pub(crate) protocol_errors: CounterId,
+    pub(crate) transport_retries: CounterId,
+    pub(crate) llm_calls: CounterId,
+    pub(crate) milli_cost: CounterId,
     /// Per-tier call counters (`backend_calls_<tier>`), indexed like
     /// [`Tier::ALL`]; together with the unit prices they let any
     /// snapshot recompute the cost-conservation identity.
-    backend_calls: [CounterId; Tier::ALL.len()],
-    queue_depth_hwm: GaugeId,
-    session: HistId,
-    stages: StageHists,
+    pub(crate) backend_calls: [CounterId; Tier::ALL.len()],
+    /// Per-tier milli-cost counters (`backend_milli_cost_<tier>`), the
+    /// priced side of the same identity, exposed so a scrape can chart
+    /// spend per tier without knowing the unit prices.
+    pub(crate) backend_milli_cost: [CounterId; Tier::ALL.len()],
+    pub(crate) queue_depth_hwm: GaugeId,
+    /// Instantaneous queue depth (socket front-end; the stdin pump's
+    /// queue is empty at every snapshot point by construction).
+    pub(crate) queue_depth: GaugeId,
+    /// Sessions currently running on a worker (socket front-end).
+    pub(crate) in_flight_sessions: GaugeId,
+    /// Open client connections (socket front-end).
+    pub(crate) open_connections: GaugeId,
+    pub(crate) session: HistId,
+    /// Admission-to-dequeue wait per job (socket front-end).
+    pub(crate) queue_wait: HistId,
+    pub(crate) stages: StageHists,
+    /// Per-tenant (`client`-labeled) accounting families.
+    pub(crate) tenant_sessions: LabeledId,
+    pub(crate) tenant_shed: LabeledId,
+    pub(crate) tenant_deadline_exceeded: LabeledId,
+    pub(crate) tenant_llm_calls: LabeledId,
+    pub(crate) tenant_milli_cost: LabeledId,
 }
 
 impl MetricIds {
-    fn register(reg: &mut Registry) -> MetricIds {
+    pub(crate) fn register(reg: &mut Registry) -> MetricIds {
         MetricIds {
             batches: reg.counter("batches"),
             submitted: reg.counter("submitted"),
@@ -551,10 +618,41 @@ impl MetricIds {
             milli_cost: reg.counter("milli_cost"),
             backend_calls: Tier::ALL
                 .map(|t| reg.counter(&format!("backend_calls_{}", t.metric_suffix()))),
+            backend_milli_cost: Tier::ALL
+                .map(|t| reg.counter(&format!("backend_milli_cost_{}", t.metric_suffix()))),
             queue_depth_hwm: reg.gauge("queue_depth_hwm"),
+            queue_depth: reg.gauge("queue_depth"),
+            in_flight_sessions: reg.gauge("in_flight_sessions"),
+            open_connections: reg.gauge("open_connections"),
             session: reg.histogram("session"),
+            queue_wait: reg.histogram("queue_wait"),
             stages: StageHists::register(reg, "stage_"),
+            tenant_sessions: reg.labeled_counter("tenant_sessions", "client"),
+            tenant_shed: reg.labeled_counter("tenant_shed", "client"),
+            tenant_deadline_exceeded: reg.labeled_counter("tenant_deadline_exceeded", "client"),
+            tenant_llm_calls: reg.labeled_counter("tenant_llm_calls", "client"),
+            tenant_milli_cost: reg.labeled_counter("tenant_milli_cost", "client"),
         }
+    }
+
+    /// Folds one *ran* completion's cost ledger into the global and
+    /// per-tenant cost counters (shard `shard`).
+    pub(crate) fn fold_cost(&self, reg: &Registry, shard: usize, cost: &CostLedger, client: &str) {
+        reg.add(shard, self.llm_calls, cost.total_calls());
+        reg.add(shard, self.milli_cost, cost.total_milli_cost());
+        for (i, t) in Tier::ALL.iter().enumerate() {
+            let calls = cost.calls_for(t.name());
+            if calls > 0 {
+                reg.add(shard, self.backend_calls[i], calls);
+                reg.add(
+                    shard,
+                    self.backend_milli_cost[i],
+                    calls * t.unit_milli_cost(),
+                );
+            }
+        }
+        reg.add_labeled(self.tenant_llm_calls, client, cost.total_calls());
+        reg.add_labeled(self.tenant_milli_cost, client, cost.total_milli_cost());
     }
 }
 
@@ -564,14 +662,20 @@ impl MetricIds {
 /// check the conservation law without waiting for the drain line).
 /// Pool-derived rates are only available at drain, after the workers
 /// have reported their contexts.
-fn metrics_json(reg: &Registry, drain: bool, pool: Option<&PoolCounters>) -> String {
+pub(crate) fn metrics_json(reg: &Registry, drain: bool, pool: Option<&PoolCounters>) -> String {
     let snap = reg.snapshot();
+    // The extended conservation law: on the socket front-end a snapshot
+    // can land mid-flight, so jobs sitting in the queue or on a worker
+    // count as their own states. The stdin pump's gauges are zero at
+    // every snapshot point, so this reduces to the drain identity there.
     let accounted = snap.counter("submitted")
         == snap.counter("completed")
             + snap.counter("shed_queue_full")
             + snap.counter("shed_over_deadline")
             + snap.counter("deadline_exceeded")
-            + snap.counter("quarantined");
+            + snap.counter("quarantined")
+            + snap.gauge("queue_depth")
+            + snap.gauge("in_flight_sessions");
     // The cost conservation identity, recomputed from the snapshot's
     // own counters: total milli-cost equals the per-tier call counters
     // priced at the tiers' unit costs.
@@ -701,6 +805,20 @@ pub fn serve(
                         output.flush()?;
                         continue;
                     }
+                    Ok(Request::Shutdown) => {
+                        // Graceful drain: acknowledge, stop reading, and
+                        // fall through to the EOF path (workers drain,
+                        // the final line is the drain summary).
+                        writeln!(
+                            output,
+                            "{}",
+                            ObjBuilder::event("shutdown")
+                                .bool("draining", true)
+                                .finish()
+                        )?;
+                        output.flush()?;
+                        break;
+                    }
                     Err(err) => {
                         summary.protocol_errors += 1;
                         reg.inc(0, ids.protocol_errors);
@@ -719,6 +837,7 @@ pub fn serve(
                 };
                 summary.batches += 1;
                 reg.inc(0, ids.batches);
+                let client = request.client.as_deref().unwrap_or(ANONYMOUS_CLIENT);
                 let families = request
                     .families
                     .as_deref()
@@ -733,6 +852,7 @@ pub fn serve(
                 if request.deadline_ms == Some(0) {
                     summary.shed_over_deadline += jobs.len();
                     reg.add(0, ids.shed_over_deadline, jobs.len() as u64);
+                    reg.add_labeled(ids.tenant_shed, client, jobs.len() as u64);
                     writeln!(
                         output,
                         "{}",
@@ -742,16 +862,15 @@ pub fn serve(
                             .u64("shed", jobs.len() as u64)
                             .finish()
                     )?;
-                    writeln!(
-                        output,
-                        "{}",
-                        ObjBuilder::event("batch")
-                            .u64("requested", request.count as u64)
-                            .u64("completed", 0)
-                            .u64("failed", 0)
-                            .u64("shed", jobs.len() as u64)
-                            .finish()
-                    )?;
+                    let mut b = ObjBuilder::event("batch")
+                        .u64("requested", request.count as u64)
+                        .u64("completed", 0)
+                        .u64("failed", 0)
+                        .u64("shed", jobs.len() as u64);
+                    if let Some(tag) = &request.tag {
+                        b = b.str("tag", tag);
+                    }
+                    writeln!(output, "{}", b.finish())?;
                     output.flush()?;
                     continue;
                 }
@@ -765,6 +884,7 @@ pub fn serve(
                 if shed > 0 {
                     summary.shed_queue_full += shed;
                     reg.add(0, ids.shed_queue_full, shed as u64);
+                    reg.add_labeled(ids.tenant_shed, client, shed as u64);
                     writeln!(
                         output,
                         "{}",
@@ -804,6 +924,7 @@ pub fn serve(
                             summary.sessions += 1;
                             summary.completed += 1;
                             reg.inc(0, ids.completed);
+                            reg.add_labeled(ids.tenant_sessions, client, 1);
                             summary.latencies_ms.push(done.wall_ms);
                             summary.transport_retries += done.retries;
                             if !ok {
@@ -814,6 +935,8 @@ pub fn serve(
                             summary.sessions += 1;
                             summary.deadline_exceeded += 1;
                             reg.inc(0, ids.deadline_exceeded);
+                            reg.add_labeled(ids.tenant_sessions, client, 1);
+                            reg.add_labeled(ids.tenant_deadline_exceeded, client, 1);
                             summary.latencies_ms.push(done.wall_ms);
                             summary.transport_retries += done.retries;
                             failed += 1;
@@ -822,12 +945,14 @@ pub fn serve(
                             summary.sessions += 1;
                             summary.quarantined += 1;
                             reg.inc(0, ids.quarantined);
+                            reg.add_labeled(ids.tenant_sessions, client, 1);
                             summary.latencies_ms.push(done.wall_ms);
                             failed += 1;
                         }
                         CompletionClass::Shed => {
                             summary.shed_over_deadline += 1;
                             reg.inc(0, ids.shed_over_deadline);
+                            reg.add_labeled(ids.tenant_shed, client, 1);
                             batch_shed += 1;
                         }
                     }
@@ -835,14 +960,7 @@ pub fn serve(
                         reg.add(0, ids.transport_retries, done.retries as u64);
                         reg.observe_ns(0, ids.session, (done.wall_ms * 1e6) as u64);
                         ids.stages.observe(reg, 0, &done.trace);
-                        reg.add(0, ids.llm_calls, done.cost.total_calls());
-                        reg.add(0, ids.milli_cost, done.cost.total_milli_cost());
-                        for (i, t) in Tier::ALL.iter().enumerate() {
-                            let calls = done.cost.calls_for(t.name());
-                            if calls > 0 {
-                                reg.add(0, ids.backend_calls[i], calls);
-                            }
-                        }
+                        ids.fold_cost(reg, 0, &done.cost, client);
                         summary.cost.absorb(&done.cost);
                     }
                     writeln!(output, "{}", done.line)?;
@@ -876,16 +994,15 @@ pub fn serve(
                             .finish()
                     )?;
                 }
-                writeln!(
-                    output,
-                    "{}",
-                    ObjBuilder::event("batch")
-                        .u64("requested", request.count as u64)
-                        .u64("completed", (accepted - (batch_shed - shed)) as u64)
-                        .u64("failed", failed as u64)
-                        .u64("shed", batch_shed as u64)
-                        .finish()
-                )?;
+                let mut b = ObjBuilder::event("batch")
+                    .u64("requested", request.count as u64)
+                    .u64("completed", (accepted - (batch_shed - shed)) as u64)
+                    .u64("failed", failed as u64)
+                    .u64("shed", batch_shed as u64);
+                if let Some(tag) = &request.tag {
+                    b = b.str("tag", tag);
+                }
+                writeln!(output, "{}", b.finish())?;
                 output.flush()?;
             }
             Ok(())
@@ -949,6 +1066,7 @@ mod tests {
         parse_request(line).map(|r| match r {
             Request::Batch(b) => b,
             Request::Metrics => panic!("{line:?} parsed as a metrics request"),
+            Request::Shutdown => panic!("{line:?} parsed as a shutdown request"),
         })
     }
 

@@ -115,6 +115,60 @@ fn backend_and_route_are_mutually_exclusive() {
 }
 
 #[test]
+fn help_covers_the_socket_flags() {
+    let out = fleet().arg("--help").output().expect("spawn fleet");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    for flag in ["--listen", "--metrics-addr"] {
+        assert!(text.contains(flag), "--help must document {flag}:\n{text}");
+    }
+    assert!(
+        text.contains("/metrics"),
+        "--metrics-addr docs must name the endpoint:\n{text}"
+    );
+}
+
+#[test]
+fn listen_without_serve_exits_two() {
+    let out = fleet()
+        .args(["--listen", "127.0.0.1:0"])
+        .output()
+        .expect("spawn fleet");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--listen"), "{err}");
+    assert!(err.contains("--serve"), "must name the missing flag: {err}");
+}
+
+#[test]
+fn metrics_addr_without_listen_exits_two() {
+    // Even with --serve: the scrape endpoint belongs to the socket
+    // front-end, not the stdin pump.
+    for args in [
+        vec!["--metrics-addr", "127.0.0.1:0"],
+        vec!["--serve", "--metrics-addr", "127.0.0.1:0"],
+    ] {
+        let out = fleet().args(&args).output().expect("spawn fleet");
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("--metrics-addr"), "{err}");
+        assert!(
+            err.contains("--listen"),
+            "must name the missing flag: {err}"
+        );
+    }
+}
+
+#[test]
+fn metrics_without_serve_exits_two() {
+    let out = fleet().arg("--metrics").output().expect("spawn fleet");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--metrics"), "{err}");
+    assert!(err.contains("--serve"), "must name the missing flag: {err}");
+}
+
+#[test]
 fn dump_scenario_prints_json_and_exits_zero() {
     let out = fleet()
         .args(["--dump-scenario", "0", "--seed", "5"])

@@ -44,6 +44,8 @@ pub struct SampleStats {
     pub median: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// 99th percentile (the service-level tail-latency signal).
+    pub p99: f64,
     /// Largest sample.
     pub max: f64,
 }
@@ -64,6 +66,7 @@ impl SampleStats {
             p10: percentile_of_sorted(&sorted, 0.10),
             median: percentile_of_sorted(&sorted, 0.50),
             p90: percentile_of_sorted(&sorted, 0.90),
+            p99: percentile_of_sorted(&sorted, 0.99),
             max: sorted[sorted.len() - 1],
         })
     }
@@ -71,12 +74,12 @@ impl SampleStats {
     /// Renders the stats as a compact JSON object, two decimal places —
     /// the one serialization every `BENCH_*.json` latency block uses
     /// (previously copy-pasted per writer):
-    /// `{"count":64,"mean":2.31,"min":...,"p10":...,"median":...,"p90":...,"max":...}`.
+    /// `{"count":64,"mean":2.31,"min":...,"p10":...,"median":...,"p90":...,"p99":...,"max":...}`.
     pub fn to_json(&self) -> String {
         format!(
             "{{ \"count\": {}, \"mean\": {:.2}, \"min\": {:.2}, \"p10\": {:.2}, \
-             \"median\": {:.2}, \"p90\": {:.2}, \"max\": {:.2} }}",
-            self.count, self.mean, self.min, self.p10, self.median, self.p90, self.max
+             \"median\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}, \"max\": {:.2} }}",
+            self.count, self.mean, self.min, self.p10, self.median, self.p90, self.p99, self.max
         )
     }
 }
@@ -391,6 +394,7 @@ mod tests {
         assert_eq!(s.count, 5);
         assert_eq!(s.mean, 3.0);
         assert!(s.p10 < s.median && s.median < s.p90);
+        assert!(s.p90 <= s.p99 && s.p99 <= s.max);
         assert!(SampleStats::from_samples(&[]).is_none());
     }
 
@@ -401,7 +405,7 @@ mod tests {
         assert_eq!(
             j,
             "{ \"count\": 4, \"mean\": 2.50, \"min\": 1.00, \"p10\": 1.30, \
-             \"median\": 2.50, \"p90\": 3.70, \"max\": 4.00 }"
+             \"median\": 2.50, \"p90\": 3.70, \"p99\": 3.97, \"max\": 4.00 }"
         );
     }
 

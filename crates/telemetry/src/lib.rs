@@ -17,14 +17,22 @@
 //!   merges the shards into plain numbers. Histograms export
 //!   [`criterion::SampleStats`]-compatible percentiles so `BENCH_*.json`
 //!   writers and the `{"event":"metrics"}` line speak the same schema.
+//! * [`prom`] — **Prometheus text exposition** over
+//!   [`registry::Snapshot`]: counters/gauges/labeled families and
+//!   cumulative histogram buckets in scrape format 0.0.4, the payload
+//!   behind `fleetd`'s `GET /metrics` endpoint.
 //!
 //! Everything is `std`-only; the only workspace dependency is the
 //! criterion shim, for the shared [`SampleStats`] spread type.
 //!
 //! [`SampleStats`]: criterion::SampleStats
 
+pub mod prom;
 pub mod registry;
 pub mod trace;
 
-pub use registry::{CounterId, GaugeId, HistId, HistSnapshot, Registry, Snapshot, StageHists};
+pub use registry::{
+    CounterId, GaugeId, HistId, HistSnapshot, LabeledId, LabeledSnapshot, Registry, Snapshot,
+    StageHists,
+};
 pub use trace::{SessionTrace, Stage, StageCell};

@@ -1,0 +1,217 @@
+//! Prometheus text exposition (format 0.0.4) for [`Snapshot`].
+//!
+//! The registry's counters, gauges, log2 histograms, and labeled
+//! counter families render into the plain-text scrape format served by
+//! `fleetd`'s `GET /metrics` endpoint:
+//!
+//! * counters become `<prefix><name>_total` (monotonic, so the
+//!   conventional `_total` suffix applies),
+//! * gauges keep their name verbatim,
+//! * labeled families become one `<prefix><name>_total{key="value"}`
+//!   sample per cell, with label values escaped per the exposition
+//!   rules (`\\`, `\"`, `\n`),
+//! * histograms become `<prefix><name>_seconds` with **cumulative**
+//!   `_bucket{le="..."}` samples plus `_sum`/`_count`. A log2 bucket
+//!   `i` covers `[2^i, 2^(i+1))` ns, so its exposition upper bound is
+//!   `2^(i+1)` ns converted to seconds; the final bucket is always
+//!   `le="+Inf"` and equals `_count` by construction.
+//!
+//! Metric names are sanitized to the Prometheus charset
+//! (`[a-zA-Z0-9_:]`): the registry allows dots (the `--profile`
+//! aggregator keys histograms as `case.family.stage`), which map to
+//! underscores here.
+
+use crate::registry::{HistSnapshot, Snapshot, BUCKETS};
+use std::fmt::Write;
+
+/// Maps a registry metric name into the Prometheus charset: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit
+/// gets an underscore prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be escaped; everything else passes through.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_hist(out: &mut String, name: &str, h: &HistSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    if h.count > 0 {
+        let hi = h
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .expect("count > 0 implies a non-empty bucket");
+        // Finite upper bounds stop at 2^63 ns (bucket 62); bucket 63's
+        // bound would overflow and is subsumed by +Inf.
+        for (i, &n) in h.buckets.iter().enumerate().take(hi.min(BUCKETS - 2) + 1) {
+            cumulative += n;
+            let le = (1u64 << (i + 1)) as f64 * 1e-9;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum_ns as f64 * 1e-9);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+impl Snapshot {
+    /// Renders the whole snapshot in Prometheus text exposition format,
+    /// every metric name prefixed with `prefix` (e.g. `fleetd_`).
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = format!("{prefix}{}_total", sanitize_metric_name(name));
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for fam in &self.labeled {
+            let name = format!("{prefix}{}_total", sanitize_metric_name(&fam.name));
+            let key = sanitize_metric_name(&fam.label_key);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (label, v) in &fam.cells {
+                let _ = writeln!(out, "{name}{{{key}=\"{}\"}} {v}", escape_label_value(label));
+            }
+        }
+        for (name, v) in &self.gauges {
+            let name = format!("{prefix}{}", sanitize_metric_name(name));
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.hists {
+            let name = format!("{prefix}{}_seconds", sanitize_metric_name(name));
+            render_hist(&mut out, &name, h);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    /// Pulls `name{...} value` samples (skipping `# TYPE` comments).
+    fn samples(text: &str, name: &str) -> Vec<(String, f64)> {
+        text.lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(|l| {
+                let (key, value) = l.rsplit_once(' ')?;
+                key.starts_with(name)
+                    .then(|| (key.to_string(), value.parse().expect(l)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn names_sanitize_to_the_prometheus_charset() {
+        assert_eq!(sanitize_metric_name("session"), "session");
+        assert_eq!(
+            sanitize_metric_name("synthesis.ring.backend"),
+            "synthesis_ring_backend"
+        );
+        assert_eq!(sanitize_metric_name("1weird-name"), "_1weird_name");
+    }
+
+    #[test]
+    fn label_values_escape_per_the_exposition_rules() {
+        assert_eq!(escape_label_value("tenant-a"), "tenant-a");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+    }
+
+    #[test]
+    fn counters_gauges_and_labels_render() {
+        let mut reg = Registry::new(2);
+        let c = reg.counter("submitted");
+        let g = reg.gauge("queue_depth");
+        let t = reg.labeled_counter("tenant_sessions", "client");
+        reg.add(0, c, 5);
+        reg.add(1, c, 2);
+        reg.gauge_set(g, 3);
+        reg.add_labeled(t, "alice", 4);
+        reg.add_labeled(t, "bo\"b", 1);
+        let text = reg.snapshot().to_prometheus("fleetd_");
+        assert!(text.contains("# TYPE fleetd_submitted_total counter"));
+        assert!(text.contains("fleetd_submitted_total 7\n"));
+        assert!(text.contains("# TYPE fleetd_queue_depth gauge"));
+        assert!(text.contains("fleetd_queue_depth 3\n"));
+        assert!(text.contains("fleetd_tenant_sessions_total{client=\"alice\"} 4"));
+        assert!(
+            text.contains("fleetd_tenant_sessions_total{client=\"bo\\\"b\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_monotone_and_inf_equals_count() {
+        let mut reg = Registry::new(2);
+        let h = reg.histogram("session");
+        for (shard, ns) in [(0u64, 900u64), (1, 1_100), (0, 2_000_000), (1, 64)] {
+            reg.observe_ns(shard as usize, h, ns);
+        }
+        let text = reg.snapshot().to_prometheus("fleetd_");
+        let buckets = samples(&text, "fleetd_session_seconds_bucket");
+        assert!(buckets.len() >= 2, "{text}");
+        // Cumulative counts never decrease in le order (render order).
+        for w in buckets.windows(2) {
+            assert!(w[0].1 <= w[1].1, "{text}");
+        }
+        let (inf_key, inf) = buckets.last().unwrap();
+        assert!(inf_key.contains("le=\"+Inf\""), "{text}");
+        let count = samples(&text, "fleetd_session_seconds_count")[0].1;
+        assert_eq!(*inf, count);
+        assert_eq!(count, 4.0);
+        let sum = samples(&text, "fleetd_session_seconds_sum")[0].1;
+        assert!((sum - 2_002_064e-9).abs() < 1e-12, "{text}");
+        // Every finite le is the log2 bucket upper bound in seconds.
+        for (key, _) in &buckets[..buckets.len() - 1] {
+            let le: f64 = key
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.strip_suffix("\"}"))
+                .unwrap()
+                .parse()
+                .unwrap();
+            let ns = le * 1e9;
+            assert!((ns.log2().round() - ns.log2()).abs() < 1e-9, "{key}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_inf_sum_count() {
+        let mut reg = Registry::new(1);
+        reg.histogram("empty");
+        let text = reg.snapshot().to_prometheus("x_");
+        assert!(text.contains("x_empty_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("x_empty_seconds_sum 0\n"));
+        assert!(text.contains("x_empty_seconds_count 0\n"));
+    }
+}

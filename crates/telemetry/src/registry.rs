@@ -22,7 +22,9 @@
 
 use crate::trace::{SessionTrace, Stage};
 use criterion::SampleStats;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 
 /// Log2 buckets per histogram: bucket `i` holds observations in
 /// `[2^i, 2^(i+1))` ns (bucket 0 also takes 0 ns).
@@ -69,6 +71,16 @@ struct HistSlot {
     shards: Vec<HistShard>,
 }
 
+/// A counter family keyed by a label value (e.g. per-tenant session
+/// counts keyed by `client`). Labels arrive at runtime, so the cells
+/// live behind a mutex instead of the pre-registered atomic lanes —
+/// per-tenant folds happen once per completion, not on the hot path.
+struct LabeledSlot {
+    name: String,
+    label_key: String,
+    cells: Mutex<BTreeMap<String, u64>>,
+}
+
 /// Handle to a registered monotonic counter.
 #[derive(Debug, Clone, Copy)]
 pub struct CounterId(usize);
@@ -80,6 +92,10 @@ pub struct GaugeId(usize);
 /// Handle to a registered histogram.
 #[derive(Debug, Clone, Copy)]
 pub struct HistId(usize);
+
+/// Handle to a registered labeled counter family.
+#[derive(Debug, Clone, Copy)]
+pub struct LabeledId(usize);
 
 fn bucket_of(ns: u64) -> usize {
     if ns == 0 {
@@ -96,6 +112,7 @@ pub struct Registry {
     counters: Vec<CounterSlot>,
     gauges: Vec<GaugeSlot>,
     hists: Vec<HistSlot>,
+    labeled: Vec<LabeledSlot>,
 }
 
 impl Registry {
@@ -109,6 +126,7 @@ impl Registry {
             counters: Vec::new(),
             gauges: Vec::new(),
             hists: Vec::new(),
+            labeled: Vec::new(),
         }
     }
 
@@ -141,6 +159,28 @@ impl Registry {
         HistId(self.hists.len() - 1)
     }
 
+    /// Registers a labeled counter family: one logical counter fanned
+    /// out by the runtime value of `label_key` (e.g. per-tenant session
+    /// counts keyed by `client`). Call before sharing the registry.
+    pub fn labeled_counter(&mut self, name: &str, label_key: &str) -> LabeledId {
+        self.labeled.push(LabeledSlot {
+            name: name.to_string(),
+            label_key: label_key.to_string(),
+            cells: Mutex::new(BTreeMap::new()),
+        });
+        LabeledId(self.labeled.len() - 1)
+    }
+
+    /// Adds `n` to a labeled counter's cell for `label`, creating the
+    /// cell on first sight.
+    pub fn add_labeled(&self, id: LabeledId, label: &str, n: u64) {
+        let mut cells = self.labeled[id.0]
+            .cells
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *cells.entry(label.to_string()).or_insert(0) += n;
+    }
+
     /// Adds `n` to a counter on the caller's shard.
     pub fn add(&self, shard: usize, id: CounterId, n: u64) {
         self.counters[id.0].shards[shard % self.shards]
@@ -161,6 +201,18 @@ impl Registry {
     /// Raises a gauge to `v` if `v` is higher (high-water mark).
     pub fn gauge_max(&self, id: GaugeId, v: u64) {
         self.gauges[id.0].cell.fetch_max(v, Relaxed);
+    }
+
+    /// Adds `n` to a gauge (e.g. a connection opened).
+    pub fn gauge_add(&self, id: GaugeId, n: u64) {
+        self.gauges[id.0].cell.fetch_add(n, Relaxed);
+    }
+
+    /// Subtracts `n` from a gauge, saturating at zero.
+    pub fn gauge_sub(&self, id: GaugeId, n: u64) {
+        let _ = self.gauges[id.0]
+            .cell
+            .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(n)));
     }
 
     /// Records one observation of `ns` nanoseconds on the caller's
@@ -205,6 +257,21 @@ impl Registry {
                         snap.max_ns = snap.max_ns.max(s.max_ns.load(Relaxed));
                     }
                     (h.name.clone(), snap)
+                })
+                .collect(),
+            labeled: self
+                .labeled
+                .iter()
+                .map(|l| LabeledSnapshot {
+                    name: l.name.clone(),
+                    label_key: l.label_key.clone(),
+                    cells: l
+                        .cells
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .iter()
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect(),
                 })
                 .collect(),
         }
@@ -328,9 +395,21 @@ impl HistSnapshot {
             p10: self.percentile_ns(0.10) / MS,
             median: self.percentile_ns(0.50) / MS,
             p90: self.percentile_ns(0.90) / MS,
+            p99: self.percentile_ns(0.99) / MS,
             max: self.max_ns as f64 / MS,
         })
     }
+}
+
+/// One labeled counter family at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSnapshot {
+    /// Family name.
+    pub name: String,
+    /// The label key every cell is keyed by (e.g. `client`).
+    pub label_key: String,
+    /// `(label value, total)` per cell, in label order.
+    pub cells: Vec<(String, u64)>,
 }
 
 /// A point-in-time merge of the whole registry, in registration order.
@@ -342,6 +421,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, u64)>,
     /// `(name, merged histogram)` per histogram.
     pub hists: Vec<(String, HistSnapshot)>,
+    /// Labeled counter families.
+    pub labeled: Vec<LabeledSnapshot>,
 }
 
 impl Snapshot {
@@ -367,6 +448,19 @@ impl Snapshot {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// A labeled counter family by name.
+    pub fn labeled(&self, name: &str) -> Option<&LabeledSnapshot> {
+        self.labeled.iter().find(|l| l.name == name)
+    }
+
+    /// One cell of a labeled family (0 when the family or label is
+    /// absent, matching [`Snapshot::counter`]'s convention).
+    pub fn labeled_value(&self, name: &str, label: &str) -> u64 {
+        self.labeled(name)
+            .and_then(|l| l.cells.iter().find(|(k, _)| k == label))
+            .map_or(0, |(_, v)| *v)
+    }
+
     /// Renders the snapshot as the payload fields of a
     /// `{"event":"metrics"}` line: counters and gauges flat, non-empty
     /// histograms as `SampleStats` blocks in ms under `"latency_ms"`.
@@ -376,6 +470,16 @@ impl Snapshot {
         let mut out = String::new();
         for (name, v) in self.counters.iter().chain(self.gauges.iter()) {
             out.push_str(&format!("\"{name}\":{v},"));
+        }
+        for fam in &self.labeled {
+            out.push_str(&format!("\"{}\":{{", fam.name));
+            for (i, (label, v)) in fam.cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{v}", json_quote(label)));
+            }
+            out.push_str("},");
         }
         out.push_str("\"latency_ms\":{");
         let mut first = true;
@@ -391,6 +495,27 @@ impl Snapshot {
         out.push('}');
         out
     }
+}
+
+/// Quotes a string as a JSON string literal (the telemetry crate can't
+/// use `topo_model::json::quote` — dependency direction — so the tiny
+/// escaper lives here too).
+pub(crate) fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
