@@ -36,6 +36,16 @@ FLAGS:
     --client NAME       Tenant id stamped on every request (default
                         'loadgen'; shows up in the daemon's per-client
                         labeled counters).
+    --families a,b,c    Family filter forwarded on every request. Small
+                        families (chain, ring, full-mesh, fat-tree,
+                        multi-homed, star) filter the daemon's rotation;
+                        a large internet-scale family (fat-tree-36,
+                        fat-tree-72, fat-tree-144, as-graph-64,
+                        as-graph-128, as-graph-256, as-graph-512) only
+                        runs when the daemon itself was started pinned
+                        to it (fleet --serve --families <large>), since
+                        the pin replaces the rotation server-side.
+                        Unknown names are usage errors (exit 2).
     --deadline-ms MS    Forward a per-batch admission deadline; under
                         overload the backlog then sheds with typed
                         rejects instead of queueing without bound.
@@ -122,6 +132,20 @@ fn parse_args(argv: &[String]) -> (LoadgenConfig, String) {
                     .unwrap_or_else(|_| usage_error(&format!("--duration-ms: bad duration {v:?}")));
             }
             "--client" => cfg.client = value(&mut i, "--client"),
+            "--families" => {
+                let v = value(&mut i, "--families");
+                let fams: Vec<String> = v.split(',').map(|f| f.trim().to_string()).collect();
+                let known = cosynth_fleet::all_family_names();
+                for f in &fams {
+                    if !known.contains(&f.as_str()) {
+                        usage_error(&format!(
+                            "unknown family {f:?} in --families (known: {})",
+                            known.join(", ")
+                        ));
+                    }
+                }
+                cfg.families = Some(fams);
+            }
             "--deadline-ms" => {
                 let v = value(&mut i, "--deadline-ms");
                 cfg.deadline_ms = Some(v.parse().unwrap_or_else(|_| {

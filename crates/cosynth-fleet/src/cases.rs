@@ -103,7 +103,7 @@ pub fn run_session_tuned(
     ctx: &mut VerifierContext,
     tuning: &SessionTuning,
 ) -> SessionResult {
-    let scenario = crate::scenario_for(seed, index);
+    let scenario = crate::scenario_for_tuned(seed, index, tuning);
     let llm_seed = seed
         .wrapping_mul(0xA24B_AED4_963E_E407)
         .wrapping_add((index as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
@@ -111,6 +111,7 @@ pub fn run_session_tuned(
     let session = SynthesisSession {
         budget: tuning.budget,
         retry: session_retry(tuning, llm_seed),
+        verify: tuning.verify,
         ..Default::default()
     };
     let t0 = Instant::now();
@@ -416,7 +417,7 @@ pub fn run_repair_session_tuned(
     ctx: &mut VerifierContext,
     tuning: &SessionTuning,
 ) -> RepairSessionResult {
-    let scenario = crate::scenario_for(seed, index);
+    let scenario = crate::scenario_for_tuned(seed, index, tuning);
     let configs = clean_configs_for(&scenario);
     let injection = fault_inject::inject(&configs, fault_seed(seed, index))
         .expect("every rendered snapshot has an applicable fault class");
@@ -427,6 +428,7 @@ pub fn run_repair_session_tuned(
     let session = RepairSession {
         budget: tuning.budget,
         retry: session_retry(tuning, llm_seed),
+        verify: tuning.verify,
         ..Default::default()
     };
     let t0 = Instant::now();

@@ -116,6 +116,18 @@ pub struct SessionTuning {
     /// historical `simulated-gpt4` — byte-identical session content to
     /// the pre-backend fleet.
     pub backend: BackendChoice,
+    /// Re-verification strategy (incremental dirty-set bookkeeping and
+    /// the parallel sweep fan-out; see `cosynth::incremental`). Per-seed
+    /// session content is byte-identical across modes — the `fleet`
+    /// flags `--no-incremental` / `--parallel-verify` map onto this.
+    pub verify: cosynth::VerifyMode,
+    /// Pin every session to one named scenario family instead of the
+    /// default rotation — how the large internet-scale families
+    /// (`scenario_gen::LARGE_FAMILIES`) are reached, since adding them
+    /// to the rotation would shift every committed per-seed pin. When
+    /// set, session `index` runs `generate_family(family, seed, index)`
+    /// and job indices are simply `0..sessions`.
+    pub scenario_family: Option<&'static str>,
 }
 
 /// Default worker count: the machine's parallelism, clamped to [2, 8].
@@ -131,6 +143,16 @@ pub fn default_threads() -> usize {
 pub fn family_names() -> Vec<&'static str> {
     let mut v = scenario_gen::FAMILIES.to_vec();
     v.push("star");
+    v
+}
+
+/// Every family name a `--families` filter may legally name: the
+/// rotation (including the star) plus the large internet-scale
+/// families. CLIs validate against this and exit 2 on anything else —
+/// an unknown name used to silently yield an empty rotation.
+pub fn all_family_names() -> Vec<&'static str> {
+    let mut v = family_names();
+    v.extend(scenario_gen::LARGE_FAMILIES);
     v
 }
 
@@ -169,6 +191,27 @@ pub fn scenario_for(seed: u64, index: usize) -> Scenario {
         // `index % 6` while staying unique per fleet index.
         let gen_index = index - index / n_families;
         scenario_gen::generate(seed, gen_index)
+    }
+}
+
+/// [`scenario_for`] honoring the tuning's family pin: a pinned family
+/// (large or rotation) generates by name with the fleet index as the
+/// stream index; otherwise the default rotation applies.
+pub fn scenario_for_tuned(seed: u64, index: usize, tuning: &SessionTuning) -> Scenario {
+    match tuning.scenario_family {
+        Some("star") => {
+            let n = 3 + llm_sim::rng::SimRng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(index as u64),
+            )
+            .index(6);
+            let (topology, roles) = topo_model::star(n);
+            let mut s = Modularizer::star_scenario(&topology, &roles);
+            s.name = format!("star-no-transit-s{seed}-i{index}");
+            s
+        }
+        Some(family) => scenario_gen::generate_family(family, seed, index),
+        None => scenario_for(seed, index),
     }
 }
 
@@ -447,7 +490,12 @@ fn run_pool<R: Send>(
 /// cases (and any future one).
 pub fn run_case<U: UseCase>(cfg: &FleetConfig) -> FleetReport<U> {
     let threads = cfg.threads.max(2);
-    let jobs = job_indices(cfg.sessions, cfg.families.as_deref());
+    // A pinned family has no rotation to probe: every index runs it.
+    let jobs = if cfg.tuning.scenario_family.is_some() {
+        (0..cfg.sessions).collect()
+    } else {
+        job_indices(cfg.sessions, cfg.families.as_deref())
+    };
     let seed = cfg.seed;
     let tuning = cfg.tuning;
     let t0 = Instant::now();

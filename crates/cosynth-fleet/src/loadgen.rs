@@ -51,6 +51,12 @@ pub struct LoadgenConfig {
     pub duration_ms: u64,
     /// Tenant id stamped on every request (per-tenant accounting).
     pub client: String,
+    /// Family filter forwarded on every request. Small families filter
+    /// the daemon's rotation; a large internet-scale family only runs
+    /// when the daemon itself was started pinned to it (`fleetd
+    /// --families <large>`), since the pin replaces the rotation
+    /// server-side.
+    pub families: Option<Vec<String>>,
     /// Optional per-batch admission deadline forwarded to the daemon;
     /// under overload this converts backlog into typed sheds.
     pub deadline_ms: Option<u64>,
@@ -68,6 +74,7 @@ impl Default for LoadgenConfig {
             qps: vec![2.0, 8.0, 32.0, 128.0],
             duration_ms: 2_000,
             client: "loadgen".into(),
+            families: None,
             deadline_ms: None,
             shutdown: false,
         }
@@ -156,6 +163,10 @@ pub fn run_point(cfg: &LoadgenConfig, offered_qps: f64) -> io::Result<PointRepor
         Some(ms) => format!(",\"deadline_ms\":{ms}"),
         None => String::new(),
     };
+    let families_field = match &cfg.families {
+        Some(fams) => format!(",\"families\":\"{}\"", fams.join(",")),
+        None => String::new(),
+    };
     let t0 = Instant::now();
     let mut scheduled: Vec<Instant> = Vec::with_capacity(n);
     for k in 0..n {
@@ -166,7 +177,7 @@ pub fn run_point(cfg: &LoadgenConfig, offered_qps: f64) -> io::Result<PointRepor
         scheduled.push(due);
         writeln!(
             out,
-            "{{\"use_case\":\"{}\",\"seed\":{},\"count\":1,\"client\":\"{}\",\"tag\":\"b{k}\"{deadline_field}}}",
+            "{{\"use_case\":\"{}\",\"seed\":{},\"count\":1,\"client\":\"{}\",\"tag\":\"b{k}\"{families_field}{deadline_field}}}",
             cfg.use_case,
             cfg.seed + k as u64,
             cfg.client,
@@ -257,6 +268,15 @@ pub fn bench_json(cfg: &LoadgenConfig, points: &[PointReport]) -> String {
     let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
     let _ = writeln!(out, "  \"duration_ms_per_point\": {},", cfg.duration_ms);
     let _ = writeln!(out, "  \"client\": \"{}\",", cfg.client);
+    match &cfg.families {
+        Some(fams) => {
+            let list: Vec<String> = fams.iter().map(|f| format!("\"{f}\"")).collect();
+            let _ = writeln!(out, "  \"families\": [{}],", list.join(", "));
+        }
+        None => {
+            let _ = writeln!(out, "  \"families\": null,");
+        }
+    }
     match cfg.deadline_ms {
         Some(ms) => {
             let _ = writeln!(out, "  \"deadline_ms\": {ms},");

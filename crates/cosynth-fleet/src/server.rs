@@ -4,8 +4,10 @@
 //! dependencies: a [`std::net::TcpListener`] accept loop spawns one
 //! reader/writer thread pair per client connection, every connection
 //! speaks the same newline-JSON batch protocol as stdin `--serve`, and
-//! all of them feed the **one** shared bounded admission queue drained
-//! by the resident worker pool. Where the stdin pump runs batches one
+//! all of them feed one bounded admission queue — sharded per worker
+//! with work-stealing ([`ShardedQueue`]) so the hot pop path never
+//! contends across the pool — drained by the resident workers. Where
+//! the stdin pump runs batches one
 //! at a time, connections here pipeline freely — a client may have any
 //! number of batches in flight, and batch requests may carry a `tag`
 //! that is echoed on the `{"event":"batch"}` line for attribution (the
@@ -17,9 +19,11 @@
 //!   parses request lines (50 ms read timeout so it can notice a
 //!   server-wide drain), a writer thread owns the socket's write half.
 //! * **admission** — under the accounting lock: the batch's jobs are
-//!   admitted up to the shared queue's remaining depth, the excess is
-//!   shed with a typed `queue_full` reject, and the `submitted`/shed
-//!   counters move together with the queue-depth gauge.
+//!   admitted up to the queue's remaining **total** depth (the bound
+//!   spans all shards), the excess is shed with a typed `queue_full`
+//!   reject, and the `submitted`/shed counters move together with the
+//!   queue-depth gauge. Admitted jobs are then distributed round-robin
+//!   across the per-worker shards.
 //! * **completion** — workers run jobs from the shared queue, fold the
 //!   global and per-tenant counters, and route each `Completion` back
 //!   to its connection's writer, which streams the result line and, on
@@ -67,16 +71,15 @@
 
 use crate::service::{
     metrics_json, parse_request, run_job, Completion, CompletionClass, Job, MetricIds, Request,
-    ServeOptions, ServeSummary, ANONYMOUS_CLIENT,
+    ServeOptions, ServeSummary, ShardedQueue, ANONYMOUS_CLIENT,
 };
 use crate::{job_indices, lock_clean, PoolCounters};
 use llm_sim::Tier;
 use std::collections::HashMap;
-use std::collections::VecDeque;
 use std::io::{self, BufWriter, ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use telemetry::{Registry, Snapshot};
 use topo_model::json::ObjBuilder;
@@ -119,8 +122,10 @@ struct Accounting {
 struct Core<'o> {
     opts: &'o ServeOptions,
     queue_depth: usize,
-    queue: Mutex<(VecDeque<SrvJob>, bool)>,
-    available: Condvar,
+    /// Per-worker admission shards with work-stealing; `queue_depth`
+    /// bounds **total** occupancy (tracked in [`Accounting::queued`]),
+    /// not any single shard.
+    queue: ShardedQueue<SrvJob>,
     reg: Registry,
     ids: MetricIds,
     /// Guards every multi-counter state transition plus the scrape's
@@ -171,8 +176,7 @@ pub fn serve_listener(
     let core = Core {
         opts,
         queue_depth: opts.queue_depth.max(1),
-        queue: Mutex::new((VecDeque::new(), false)),
-        available: Condvar::new(),
+        queue: ShardedQueue::new(threads),
         reg,
         ids,
         accounting: Mutex::new(Accounting::default()),
@@ -226,8 +230,7 @@ pub fn serve_listener(
         while core.open_conns.load(Relaxed) > 0 {
             std::thread::sleep(POLL);
         }
-        lock_clean(&core.queue).1 = true;
-        core.available.notify_all();
+        core.queue.close();
         core.done.store(true, Relaxed);
         accept_result
     })?;
@@ -250,23 +253,9 @@ fn worker_loop(core: &Core<'_>, shard: usize) {
     } else {
         cosynth::VerifierContext::without_pooling()
     };
-    loop {
-        let sj = {
-            let mut state = lock_clean(&core.queue);
-            loop {
-                if let Some(sj) = state.0.pop_front() {
-                    break Some(sj);
-                }
-                if state.1 {
-                    break None;
-                }
-                state = core
-                    .available
-                    .wait(state)
-                    .unwrap_or_else(|e| e.into_inner());
-            }
-        };
-        let Some(sj) = sj else { break };
+    // Registry shards are 1-based (shard 0 belongs to the front-ends);
+    // queue shards are 0-based per worker.
+    while let Some(sj) = core.queue.pop(shard - 1) {
         {
             let mut acc = lock_clean(&core.accounting);
             acc.queued -= 1;
@@ -502,7 +491,13 @@ impl ConnReader<'_, '_> {
             .families
             .as_deref()
             .or(core.opts.default_families.as_deref());
-        let jobs = job_indices(request.count, families);
+        // A daemon pinned to a large family has no rotation to filter:
+        // every index runs the pinned family (mirrors batch `run_case`).
+        let jobs: Vec<usize> = if core.opts.tuning.scenario_family.is_some() {
+            (0..request.count).collect()
+        } else {
+            job_indices(request.count, families)
+        };
         {
             let mut conn = lock_clean(self.conn_ledger);
             conn.batches += 1;
@@ -615,31 +610,28 @@ impl ConnReader<'_, '_> {
                 tag: request.tag.clone(),
             },
         );
-        {
-            let mut state = lock_clean(&core.queue);
-            let enqueued = Instant::now();
-            for &index in jobs.iter().take(accepted) {
-                let directive = core
-                    .opts
-                    .chaos
-                    .as_ref()
-                    .map(|p| p.directive(core.chaos_seq.fetch_add(1, Relaxed)));
-                state.0.push_back(SrvJob {
-                    job: Job {
-                        kind: request.use_case,
-                        seed: request.seed,
-                        index,
-                        directive,
-                        deadline,
-                    },
-                    batch: seq,
-                    client: client.clone(),
-                    enqueued,
-                    reply: self.tx.clone(),
-                });
-            }
+        let enqueued = Instant::now();
+        for &index in jobs.iter().take(accepted) {
+            let directive = core
+                .opts
+                .chaos
+                .as_ref()
+                .map(|p| p.directive(core.chaos_seq.fetch_add(1, Relaxed)));
+            core.queue.push(SrvJob {
+                job: Job {
+                    kind: request.use_case,
+                    seed: request.seed,
+                    index,
+                    directive,
+                    deadline,
+                },
+                batch: seq,
+                client: client.clone(),
+                enqueued,
+                reply: self.tx.clone(),
+            });
         }
-        core.available.notify_all();
+        core.queue.notify();
         true
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! Keeps the worker pool and its warm [`VerifierContext`]s alive across
 //! batches: workers are spawned once, each owns a manager pool for its
-//! whole lifetime, and job batches stream through a shared queue. The
+//! whole lifetime, and job batches stream through a per-worker sharded
+//! queue with work-stealing ([`ShardedQueue`]). The
 //! protocol is line-oriented on both sides:
 //!
 //! * **Requests** (one JSON object per line on stdin):
@@ -45,6 +46,7 @@ use cosynth::VerifierContext;
 use llm_sim::{CostLedger, Tier, TransportModel};
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -93,6 +95,101 @@ impl Default for ServeOptions {
             emit_metrics: false,
             stream_traces: false,
         }
+    }
+}
+
+/// The admission queue behind both service front-ends: one bounded
+/// `VecDeque` shard per worker, with work-stealing.
+///
+/// Sharding keeps the hot path a short, mostly-uncontended lock: a
+/// worker pops its own shard first and only scans the others when it
+/// comes up empty. Producers distribute jobs round-robin via an atomic
+/// cursor, so the **total** admission bound (`queue_depth`) stays the
+/// single occupancy check it always was — per-shard occupancy is at
+/// most `ceil(depth / shards)` by construction, never enforced
+/// per-push — and the shed accounting is byte-identical to the old
+/// single-queue design.
+///
+/// Wakeups go through one doorbell mutex + condvar. A producer pushes
+/// to the shards *then* takes the doorbell to notify; a worker that
+/// found every shard empty re-scans while holding the doorbell before
+/// parking. A push therefore cannot slip between a worker's last scan
+/// and its wait: if the notification fired before the wait began, the
+/// producer held the doorbell after its push, which orders the push
+/// before the worker's re-scan.
+pub(crate) struct ShardedQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    /// Round-robin producer cursor.
+    cursor: AtomicUsize,
+    /// `true` once the queue is closed; workers drain, then exit.
+    doorbell: Mutex<bool>,
+    available: Condvar,
+}
+
+impl<T> ShardedQueue<T> {
+    pub(crate) fn new(shards: usize) -> Self {
+        ShardedQueue {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            cursor: AtomicUsize::new(0),
+            doorbell: Mutex::new(false),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Pushes one item onto the next shard in round-robin order. Call
+    /// [`Self::notify`] once the batch is distributed.
+    pub(crate) fn push(&self, item: T) {
+        let s = self.cursor.fetch_add(1, Relaxed) % self.shards.len();
+        lock_clean(&self.shards[s]).push_back(item);
+    }
+
+    /// Wakes every parked worker, holding the doorbell so the
+    /// notification orders after the pushes (see the type docs).
+    pub(crate) fn notify(&self) {
+        let _held = lock_clean(&self.doorbell);
+        self.available.notify_all();
+    }
+
+    /// One steal scan: worker `w`'s own shard first, then the others in
+    /// ring order.
+    fn try_pop(&self, w: usize) -> Option<T> {
+        let n = self.shards.len();
+        (0..n).find_map(|i| lock_clean(&self.shards[(w + i) % n]).pop_front())
+    }
+
+    /// Pops the next job for worker `w`, parking on the doorbell while
+    /// the queue is globally empty. Returns `None` only once the queue
+    /// is closed **and** drained, so no admitted job is ever dropped.
+    pub(crate) fn pop(&self, w: usize) -> Option<T> {
+        loop {
+            if let Some(item) = self.try_pop(w) {
+                return Some(item);
+            }
+            let closed = lock_clean(&self.doorbell);
+            // Re-scan under the doorbell: any producer that pushed after
+            // the scan above must take this lock to notify, so either
+            // its item is visible here or its notification has not yet
+            // fired and will wake the wait below.
+            if let Some(item) = self.try_pop(w) {
+                return Some(item);
+            }
+            if *closed {
+                return None;
+            }
+            drop(
+                self.available
+                    .wait(closed)
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
+        }
+    }
+
+    /// Closes the queue: workers drain what remains, then exit.
+    pub(crate) fn close(&self) {
+        *lock_clean(&self.doorbell) = true;
+        self.available.notify_all();
     }
 }
 
@@ -716,8 +813,7 @@ pub fn serve(
 ) -> std::io::Result<ServeSummary> {
     let threads = opts.threads.max(2);
     let queue_depth = opts.queue_depth.max(1);
-    let queue: Mutex<(VecDeque<Job>, bool)> = Mutex::new((VecDeque::new(), false));
-    let available = Condvar::new();
+    let queue: ShardedQueue<Job> = ShardedQueue::new(threads);
     let counters: Mutex<PoolCounters> = Mutex::new(PoolCounters::default());
     let (tx, rx) = mpsc::channel::<Completion>();
     let mut summary = ServeSummary::default();
@@ -730,9 +826,8 @@ pub fn serve(
     let reg = &reg;
 
     let io_result = std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for w in 0..threads {
             let queue = &queue;
-            let available = &available;
             let counters = &counters;
             let tuning = &opts.tuning;
             let stream_traces = opts.stream_traces;
@@ -743,20 +838,7 @@ pub fn serve(
                 } else {
                     VerifierContext::without_pooling()
                 };
-                loop {
-                    let job = {
-                        let mut state = lock_clean(queue);
-                        loop {
-                            if let Some(job) = state.0.pop_front() {
-                                break Some(job);
-                            }
-                            if state.1 {
-                                break None; // shut down
-                            }
-                            state = available.wait(state).unwrap_or_else(|e| e.into_inner());
-                        }
-                    };
-                    let Some(job) = job else { break };
+                while let Some(job) = queue.pop(w) {
                     // A send can only fail after serve() returned, which
                     // cannot happen while workers are still scoped.
                     let _ = tx.send(run_job(job, &mut ctx, tuning, stream_traces));
@@ -842,7 +924,14 @@ pub fn serve(
                     .families
                     .as_deref()
                     .or(opts.default_families.as_deref());
-                let jobs = job_indices(request.count, families);
+                // A daemon pinned to a large family has no rotation to
+                // filter: every index runs the pinned family, exactly
+                // like `run_case` in batch mode.
+                let jobs: Vec<usize> = if opts.tuning.scenario_family.is_some() {
+                    (0..request.count).collect()
+                } else {
+                    job_indices(request.count, families)
+                };
                 summary.submitted += jobs.len();
                 reg.add(0, ids.submitted, jobs.len() as u64);
 
@@ -899,21 +988,18 @@ pub fn serve(
                 let deadline = request
                     .deadline_ms
                     .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
-                {
-                    let mut state = lock_clean(&queue);
-                    for &index in jobs.iter().take(accepted) {
-                        let directive = opts.chaos.as_ref().map(|p| p.directive(chaos_seq));
-                        chaos_seq += 1;
-                        state.0.push_back(Job {
-                            kind: request.use_case,
-                            seed: request.seed,
-                            index,
-                            directive,
-                            deadline,
-                        });
-                    }
+                for &index in jobs.iter().take(accepted) {
+                    let directive = opts.chaos.as_ref().map(|p| p.directive(chaos_seq));
+                    chaos_seq += 1;
+                    queue.push(Job {
+                        kind: request.use_case,
+                        seed: request.seed,
+                        index,
+                        directive,
+                        deadline,
+                    });
                 }
-                available.notify_all();
+                queue.notify();
                 let mut failed = 0usize;
                 let mut batch_shed = shed;
                 for _ in 0..accepted {
@@ -1010,8 +1096,7 @@ pub fn serve(
         let result = pump(&mut summary);
 
         // EOF (or error): drain the pool.
-        lock_clean(&queue).1 = true;
-        available.notify_all();
+        queue.close();
         result
     });
     io_result?;

@@ -105,22 +105,35 @@ pub fn device_from_spec(spec: &RouterSpec) -> Device {
     d
 }
 
+/// The default internal-router lowering: parse the config text and
+/// apply the hostname fixup (config files may omit the hostname; the
+/// composer names devices from the folder layout as Batfish does).
+/// Pure in `(name, text)` — the incremental verifier's parse hook
+/// relies on this to substitute memoized parses for fresh ones.
+pub(crate) fn parse_internal(name: &str, text: &str) -> Device {
+    let parsed = bf_lite::parse_config(text, Some(bf_lite::Vendor::Cisco));
+    let mut device = parsed.device;
+    if device.name.is_empty() {
+        device.name = name.to_string();
+    }
+    device
+}
+
 /// Assembles the simulation snapshot: internal routers from their
-/// (parsed) configs, stubs straight from their topology specs.
-fn build_snapshot(topology: &Topology, configs: &BTreeMap<String, String>) -> Snapshot {
+/// (parsed) configs, stubs straight from their topology specs. `parse`
+/// lowers one internal router's config text; it must agree with
+/// [`parse_internal`] (the incremental verifier passes a memo-backed
+/// hook that clones already-parsed devices instead of re-parsing the
+/// whole network per simulation).
+fn build_snapshot_with(
+    topology: &Topology,
+    configs: &BTreeMap<String, String>,
+    parse: &mut dyn FnMut(&str, &str) -> Device,
+) -> Snapshot {
     let mut devices = Vec::new();
     for spec in topology.internal_routers() {
         match configs.get(&spec.name) {
-            Some(text) => {
-                let parsed = bf_lite::parse_config(text, Some(bf_lite::Vendor::Cisco));
-                let mut device = parsed.device;
-                // Config files may omit the hostname; the composer names
-                // devices from the folder layout as Batfish does.
-                if device.name.is_empty() {
-                    device.name = spec.name.clone();
-                }
-                devices.push(device);
-            }
+            Some(text) => devices.push(parse(&spec.name, text)),
             None => {
                 // A missing config is an empty device — sessions to it
                 // fail and show up in session_problems.
@@ -134,6 +147,12 @@ fn build_snapshot(topology: &Topology, configs: &BTreeMap<String, String>) -> Sn
     Snapshot::new(devices)
 }
 
+fn build_snapshot(topology: &Topology, configs: &BTreeMap<String, String>) -> Snapshot {
+    build_snapshot_with(topology, configs, &mut |name, text| {
+        parse_internal(name, text)
+    })
+}
+
 /// Composes a scenario's configs, runs the simulation, and evaluates the
 /// scenario's expectations — the whole-network check for any generated
 /// scenario.
@@ -141,7 +160,21 @@ pub fn check_scenario(
     scenario: &Scenario,
     configs: &BTreeMap<String, String>,
 ) -> GlobalCheckReport {
-    let snapshot = build_snapshot(&scenario.topology, configs);
+    check_scenario_with(scenario, configs, parse_internal)
+}
+
+/// [`check_scenario`] with a caller-supplied internal-router lowering.
+/// The hook must return exactly what [`parse_internal`] returns for the
+/// same `(name, text)` — the incremental verifier serves clones of
+/// devices it already parsed during localization, which keeps the
+/// report byte-identical while skipping an O(network) reparse per
+/// simulation.
+pub(crate) fn check_scenario_with(
+    scenario: &Scenario,
+    configs: &BTreeMap<String, String>,
+    mut parse: impl FnMut(&str, &str) -> Device,
+) -> GlobalCheckReport {
+    let snapshot = build_snapshot_with(&scenario.topology, configs, &mut parse);
     let report = run(&snapshot);
     let mut violations = Vec::new();
     for e in &scenario.expectations {

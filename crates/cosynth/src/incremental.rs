@@ -1,0 +1,946 @@
+//! Incremental re-verification: session cost that scales with the
+//! *edit*, not the network.
+//!
+//! The repair loop historically re-verified the whole snapshot after
+//! every model edit — every router re-parsed, re-checked against the
+//! topology, re-checked symbolically, and (when all local channels were
+//! silent) re-diffed against its intent with `campion-lite`, plus a
+//! whole-network simulation per round. At 5–12 routers that is noise; at
+//! the internet-scale families (36–512 routers) the campion BDD
+//! behaviour diffs and the sweep dominate the session, even though a
+//! repair round edits exactly one device.
+//!
+//! This module lifts the `bf-lite::sim` dirty-set idea to the symbolic
+//! layer:
+//!
+//! * [`DependencyTracker`] maps a rectification edit to the set of
+//!   devices whose import/export reachability can change: the edited
+//!   device itself plus its internal BGP neighbors (an edit changes what
+//!   the device announces, so the neighbors' imports move). This is
+//!   deliberately **conservative** — the per-device verdicts below
+//!   depend only on the device's own config, so `{edited}` alone would
+//!   already be sound; the BGP neighborhood is the honest bound on
+//!   reachability influence and is what the soundness property test
+//!   pins.
+//! * [`IncrementalVerifier`] memoizes the two per-device verdicts the
+//!   sweep computes — the *local* verdict (parse warnings → topology
+//!   verifier → symbolic local checks) and the *campion* verdict (the
+//!   structural/behavioral diff against the router's intent) — and
+//!   invalidates exactly the dirty set after each edit. Verdicts are
+//!   pure functions of `(scenario, assignment, config text)` (see
+//!   `repair::local_verdict_in`), so a memo hit is byte-identical to a
+//!   recompute; each entry stores the fingerprint of the text it was
+//!   computed from and debug-asserts it on every hit.
+//!
+//! The sweep preserves the full sweep's semantics exactly: devices are
+//! visited in assignment order, the first local finding wins, and the
+//! campion phase runs only when every device's local channels are
+//! silent. Lazily-memoized early exit means the first rounds do no more
+//! work than the full sweep did — the win is that rounds 2..n recompute
+//! only the dirty neighborhood instead of everything before the suspect.
+//!
+//! ## Cross-session sharing
+//!
+//! The fleet pins one topology per `(seed, family)` and varies only the
+//! intent and fault per session, so almost everything a session derives
+//! from the scenario is derivable once per family:
+//!
+//! * [`SessionStatics`] — the assignments, the per-device memo-key
+//!   bases, the name→index map, and the dependency tracker — is a pure
+//!   function of `(topology, policies)` and is shared through an `Arc`
+//!   in the worker memo; a later session pays one streamed hash of the
+//!   topology instead of re-deriving ~n prompts and keys.
+//! * [`VerdictMemo`] keeps per-device local/campion verdicts and whole
+//!   `GlobalCheckReport`s keyed by content fingerprints, so a warm
+//!   worker answers the sweeps and the final simulation of session
+//!   *k+1* from session *k*'s work.
+//!
+//! ## Parallel mode
+//!
+//! With [`VerifyMode::parallel`] the one-time O(n) sweeps fan out over
+//! scoped threads: each missing local verdict is computed standalone on
+//! a worker with a pooled BDD manager from the [`VerifierContext`]
+//! (spaces built via `bf_lite::space_for_checks_in` come back with
+//! their fingerprint and are installed warm into the session cache),
+//! and missing campion verdicts are chunked across workers that each
+//! reuse one pooled manager for their whole chunk (campion findings are
+//! canonical regardless of manager history). Per-device verdicts are
+//! pure, so the fan-out returns the same first-in-assignment-order
+//! localization the sequential sweep returns; the only difference is
+//! that a parallel round computes *all* missing verdicts instead of
+//! early-exiting, which pre-warms later rounds.
+//!
+//! ## What "byte-identical" excludes
+//!
+//! Per-seed session **content** — configs, repaired, rounds,
+//! localizations, the global report, leverage, the prompt log, cost —
+//! is identical across full / incremental / incremental+parallel; the
+//! fleet A/B test pins this. Wall-clock, trace span *counts* (skipped
+//! parses, deferred sims), and space-cache/pool counters necessarily
+//! differ between modes and are excluded from the identity.
+
+use crate::modularizer::{Modularizer, RouterAssignment};
+use crate::repair::{self, Localization};
+use crate::verifier_ctx::VerifierContext;
+use bdd::FxHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::hash::{Hash as _, Hasher as _};
+use std::sync::Arc;
+use topo_model::Scenario;
+
+fn fx(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Streams `Debug` renderings straight into an `FxHasher`, skipping the
+/// intermediate `String` a format-then-hash pass would allocate — at
+/// 512 routers those allocations are a measurable slice of a warm
+/// session once everything else is memoized.
+struct HashWriter<'a>(&'a mut FxHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Re-verification strategy for a session. Default: incremental on,
+/// parallel off — the `--no-incremental` / `--parallel-verify` fleet
+/// flags map straight onto the two fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyMode {
+    /// Memoize per-device verdicts across rounds and re-verify only the
+    /// dirty set after each edit (plus defer unobservable sims).
+    pub incremental: bool,
+    /// Fan the one-time per-device sweeps out over scoped threads with
+    /// pooled managers. Implies the incremental bookkeeping.
+    pub parallel: bool,
+}
+
+impl Default for VerifyMode {
+    fn default() -> Self {
+        VerifyMode {
+            incremental: true,
+            parallel: false,
+        }
+    }
+}
+
+impl VerifyMode {
+    /// The historical schedule: full re-verification every round.
+    pub fn full() -> Self {
+        VerifyMode {
+            incremental: false,
+            parallel: false,
+        }
+    }
+}
+
+/// Maps a rectification edit to the devices whose import/export
+/// reachability can change: the edited device plus its internal BGP
+/// neighbors, precomputed from the scenario topology.
+#[derive(Debug, Clone)]
+pub struct DependencyTracker {
+    neighbors: BTreeMap<String, Vec<String>>,
+}
+
+impl DependencyTracker {
+    /// Builds the tracker from the scenario's internal BGP adjacency.
+    /// Reads each router's interface peer list directly — one pass over
+    /// the edges — rather than `Topology::internal_neighbors_of`, whose
+    /// all-pairs probing is quadratic in the router count and was the
+    /// single largest fixed cost of an incremental session on the
+    /// 512-router families. Same sets: an interface's `peer_router` is
+    /// exactly what `internal_neighbors_of` probes for.
+    pub fn new(scenario: &Scenario) -> Self {
+        let internal: BTreeSet<&str> = scenario
+            .topology
+            .internal_routers()
+            .map(|r| r.name.as_str())
+            .collect();
+        let neighbors = scenario
+            .topology
+            .internal_routers()
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    r.interfaces
+                        .iter()
+                        .filter(|i| internal.contains(i.peer_router.as_str()))
+                        .map(|i| i.peer_router.clone())
+                        .collect(),
+                )
+            })
+            .collect();
+        DependencyTracker { neighbors }
+    }
+
+    /// The dirty set of an edit to `device`: the device itself plus its
+    /// internal BGP neighbors. Every device outside this set keeps a
+    /// byte-identical rendered config and verdict across the edit — the
+    /// soundness property the `cosynth-fleet` test suite pins.
+    pub fn dirty_of(&self, device: &str) -> BTreeSet<String> {
+        let mut dirty = BTreeSet::from([device.to_string()]);
+        if let Some(ns) = self.neighbors.get(device) {
+            dirty.extend(ns.iter().cloned());
+        }
+        dirty
+    }
+}
+
+/// A memoized verdict and the fingerprint of the config text it was
+/// computed from (the text is the verdict's entire input besides the
+/// immutable scenario, so the fingerprint doubles as a soundness
+/// witness for the dirty-set bookkeeping).
+#[derive(Clone)]
+struct MemoEntry {
+    textfx: u64,
+    verdict: Option<Localization>,
+}
+
+/// A cross-session local verdict: the parsed device (reused by the
+/// deferred whole-network simulation) plus the first local finding.
+pub(crate) struct CachedLocal {
+    pub(crate) device: config_ir::Device,
+    pub(crate) verdict: Option<Localization>,
+}
+
+/// The two memo-key bases of one device, fixed for a topology+policy
+/// pair: the local base hashes the router's topology spec and check
+/// set, the campion base its name and prompt. The full memo key appends
+/// the config-text fingerprint.
+#[derive(Clone, Copy)]
+struct DeviceKeys {
+    local: u64,
+    campion: u64,
+}
+
+/// Everything a repair session derives from the scenario that is a pure
+/// function of `(topology, policies)`: the modular assignments, the
+/// per-device memo-key bases, the assignment index of each router, and
+/// the dependency tracker. Built once per `(topology, policies)` per
+/// worker and shared via `Arc` — a session on a pinned family pays one
+/// streamed topology hash instead of re-deriving ~n prompts, keys, and
+/// adjacency lists.
+pub(crate) struct SessionStatics {
+    assignments: Arc<Vec<RouterAssignment>>,
+    /// Memo-key bases, aligned with `assignments`.
+    keys: Vec<DeviceKeys>,
+    /// Assignment index of each internal router.
+    index: HashMap<String, usize>,
+    tracker: DependencyTracker,
+}
+
+impl SessionStatics {
+    fn build(scenario: &Scenario) -> Self {
+        let assignments = Modularizer::assign_scenario(scenario);
+        let spec_hash: HashMap<&str, u64> = scenario
+            .topology
+            .routers
+            .iter()
+            .map(|r| {
+                let mut h = FxHasher::default();
+                r.hash(&mut h);
+                (r.name.as_str(), h.finish())
+            })
+            .collect();
+        let keys = assignments
+            .iter()
+            .map(|a| {
+                let mut h = FxHasher::default();
+                h.write(
+                    &spec_hash
+                        .get(a.name.as_str())
+                        .copied()
+                        .unwrap_or_default()
+                        .to_le_bytes(),
+                );
+                let _ = write!(HashWriter(&mut h), "{:?}", a.checks);
+                let local = h.finish();
+                let mut h = FxHasher::default();
+                h.write(a.name.as_bytes());
+                h.write(a.prompt.as_bytes());
+                DeviceKeys {
+                    local,
+                    campion: h.finish(),
+                }
+            })
+            .collect();
+        let index = assignments
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), i))
+            .collect();
+        SessionStatics {
+            assignments: Arc::new(assignments),
+            keys,
+            index,
+            tracker: DependencyTracker::new(scenario),
+        }
+    }
+}
+
+/// Entries per cross-session verdict map before the map is cleared
+/// wholesale. A worker pinned to one large family needs one entry per
+/// device per distinct config text — a few thousand covers every family
+/// with room for the faulted/repaired variants; clearing on overflow
+/// only costs recomputation, never correctness.
+const CROSS_CAP: usize = 4096;
+
+/// Distinct `(topology, policies)` bundles kept per worker — one per
+/// family the worker has seen.
+const STATICS_CAP: usize = 64;
+
+/// The **worker-lifetime** verdict memo, resident in the
+/// [`VerifierContext`] next to the manager pool.
+///
+/// Per-device verdicts are pure functions of `(own topology spec, check
+/// set, config text)` — local — and `(assignment name, prompt, config
+/// text)` — campion. On the internet-scale families the fleet pins one
+/// topology per `(seed, family)` and varies only the intent and fault
+/// per session, so almost every device of session *k+1* carries the
+/// same spec, checks, and text as in session *k*: a resident worker can
+/// answer those sweeps from this memo without recomputing anything.
+///
+/// Keys are `(input fingerprint, text fingerprint)` 64-bit FxHash
+/// pairs; a wrong answer needs a collision on both halves
+/// simultaneously (~2⁻¹²⁸ per candidate pair), which is treated as
+/// impossible. Only the **incremental** verifier consults the memo —
+/// `--no-incremental` keeps the historical recompute-everything path
+/// untouched — and hits return clones of pure values, so session
+/// content stays byte-identical across modes and across worker
+/// placements.
+#[derive(Default)]
+pub(crate) struct VerdictMemo {
+    local: HashMap<(u64, u64), CachedLocal>,
+    campion: HashMap<(u64, u64), Option<Localization>>,
+    /// Whole-network check reports, keyed on `(topology + expectations,
+    /// every internal config text)` — `check_scenario` is pure in
+    /// exactly those inputs, so sessions that converge back to the same
+    /// snapshot (the common case: a repair restores the reference text)
+    /// share one simulation.
+    global: HashMap<(u64, u64), crate::composer::GlobalCheckReport>,
+    /// Whole-sweep localizations, keyed on `(topology + policies, every
+    /// internal config text)`. The sweep is pure in exactly those
+    /// inputs (assignment order, checks, and prompts all derive from
+    /// topology + policies), so a snapshot the worker has swept before
+    /// — above all the per-intent reference snapshot every converging
+    /// session ends on, whose clean sweep is the costliest scan of the
+    /// session — returns its verdict for the cost of hashing the texts.
+    sweep: HashMap<(u64, u64), Option<Localization>>,
+    /// Scenario-static bundles, keyed on `(topology fingerprint,
+    /// policies fingerprint)`.
+    statics: HashMap<(u64, u64), Arc<SessionStatics>>,
+    /// Sweep verdicts answered from the memo.
+    pub(crate) hits: usize,
+    /// Sweep verdicts computed (and inserted).
+    pub(crate) misses: usize,
+}
+
+impl VerdictMemo {
+    fn insert_local(&mut self, key: (u64, u64), entry: CachedLocal) {
+        if self.local.len() >= CROSS_CAP {
+            self.local.clear();
+        }
+        self.local.insert(key, entry);
+    }
+
+    fn insert_campion(&mut self, key: (u64, u64), verdict: Option<Localization>) {
+        if self.campion.len() >= CROSS_CAP {
+            self.campion.clear();
+        }
+        self.campion.insert(key, verdict);
+    }
+
+    fn insert_global(&mut self, key: (u64, u64), report: crate::composer::GlobalCheckReport) {
+        if self.global.len() >= CROSS_CAP {
+            self.global.clear();
+        }
+        self.global.insert(key, report);
+    }
+
+    fn insert_sweep(&mut self, key: (u64, u64), verdict: Option<Localization>) {
+        if self.sweep.len() >= CROSS_CAP {
+            self.sweep.clear();
+        }
+        self.sweep.insert(key, verdict);
+    }
+
+    fn insert_statics(&mut self, key: (u64, u64), statics: Arc<SessionStatics>) {
+        if self.statics.len() >= STATICS_CAP {
+            self.statics.clear();
+        }
+        self.statics.insert(key, statics);
+    }
+}
+
+/// Session-scoped incremental re-verification state: the shared
+/// scenario statics plus the two per-device verdict memos (index-
+/// aligned with the assignments). Created per repair session by
+/// `RepairSession::run_in` when [`VerifyMode::incremental`] is on.
+pub(crate) struct IncrementalVerifier {
+    statics: Arc<SessionStatics>,
+    parallel: bool,
+    /// FxHash of everything `check_scenario` reads besides the configs:
+    /// the topology fingerprint plus the expectations. Scenarios at
+    /// different indices that share topology and intent collide here on
+    /// purpose — that is what lets their simulations share a memo entry.
+    scenario_hash: u64,
+    /// Input-side base of the whole-sweep memo key: topology +
+    /// policies, i.e. everything a sweep reads besides the configs.
+    sweep_base: u64,
+    local: Vec<Option<MemoEntry>>,
+    campion: Vec<Option<MemoEntry>>,
+}
+
+/// Below this many missing verdicts the fan-out costs more than it
+/// saves (thread spawn + manager shuffling); the sweep stays sequential.
+const PARALLEL_THRESHOLD: usize = 8;
+
+/// Upper bound on worker threads for one fan-out.
+const MAX_WORKERS: usize = 8;
+
+/// A worker-memo key: `(input fingerprint, config-text fingerprint)`.
+type MemoKey = (u64, u64);
+/// One local-prefill work item: device index, memo key, pooled manager.
+type LocalItem = (usize, MemoKey, bdd::Manager);
+/// One campion-prefill work item: device index, campion key, local key
+/// (the local key lets a worker reuse the memoized parse).
+type CampionItem = (usize, MemoKey, MemoKey);
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_WORKERS)
+        .min(items)
+        .max(1)
+}
+
+impl IncrementalVerifier {
+    pub(crate) fn new(scenario: &Scenario, parallel: bool, ctx: &mut VerifierContext) -> Self {
+        // The topology fingerprint is the session's only O(network)
+        // hashing cost; everything derived from it comes out of the
+        // worker memo on a pinned family. Field-walk hashing via the
+        // derived `Hash` impls — an order of magnitude cheaper than
+        // rendering `Debug` text at 512 routers.
+        let mut h = FxHasher::default();
+        scenario.topology.routers.hash(&mut h);
+        let topo_hash = h.finish();
+        let mut p = FxHasher::default();
+        scenario.policies.hash(&mut p);
+        let skey = (topo_hash, p.finish());
+        let statics = match ctx.memo.statics.get(&skey) {
+            Some(s) => Arc::clone(s),
+            None => {
+                let s = Arc::new(SessionStatics::build(scenario));
+                ctx.memo.insert_statics(skey, Arc::clone(&s));
+                s
+            }
+        };
+        let mut h = FxHasher::default();
+        h.write(&topo_hash.to_le_bytes());
+        scenario.expectations.hash(&mut h);
+        let mut sb = FxHasher::default();
+        sb.write(&skey.0.to_le_bytes());
+        sb.write(&skey.1.to_le_bytes());
+        let n = statics.assignments.len();
+        IncrementalVerifier {
+            statics,
+            parallel,
+            scenario_hash: h.finish(),
+            sweep_base: sb.finish(),
+            local: vec![None; n],
+            campion: vec![None; n],
+        }
+    }
+
+    /// The session's modular assignments, shared with every other
+    /// session on the same `(topology, policies)` pair.
+    pub(crate) fn assignments(&self) -> Arc<Vec<RouterAssignment>> {
+        Arc::clone(&self.statics.assignments)
+    }
+
+    /// The deferred whole-network check. Two memo layers, both sound by
+    /// purity of `check_scenario` in `(topology, expectations, configs)`:
+    /// the whole **report** is served from the worker memo when this
+    /// exact snapshot was simulated before (sessions that converge back
+    /// to the reference text share one simulation), and on a report
+    /// miss the parse hook serves clones of devices the sweeps already
+    /// parsed instead of re-parsing every internal router. Devices the
+    /// memo does not hold — evicted, or never swept this session — are
+    /// parsed fresh, so the report is byte-identical to the hook-free
+    /// path either way.
+    pub(crate) fn check_global(
+        &self,
+        scenario: &Scenario,
+        configs: &BTreeMap<String, String>,
+        ctx: &mut VerifierContext,
+    ) -> crate::composer::GlobalCheckReport {
+        let mut h = FxHasher::default();
+        for (name, text) in configs {
+            h.write(name.as_bytes());
+            h.write(&[0]);
+            h.write(text.as_bytes());
+            h.write(&[1]);
+        }
+        let key = (self.scenario_hash, h.finish());
+        if let Some(report) = ctx.memo.global.get(&key) {
+            ctx.memo.hits += 1;
+            return report.clone();
+        }
+        ctx.memo.misses += 1;
+        let statics = &self.statics;
+        let memo = &ctx.memo;
+        let report = crate::composer::check_scenario_with(scenario, configs, |name, text| {
+            if let Some(&i) = statics.index.get(name) {
+                let k = statics.keys[i];
+                if let Some(c) = memo.local.get(&(k.local, fx(text.as_bytes()))) {
+                    return c.device.clone();
+                }
+            }
+            crate::composer::parse_internal(name, text)
+        });
+        ctx.memo.insert_global(key, report.clone());
+        report
+    }
+
+    /// Drops the memo entries of every device in the edit's dirty set;
+    /// the next sweep recomputes exactly those.
+    pub(crate) fn invalidate_edit(&mut self, device: &str) {
+        for d in self.statics.tracker.dirty_of(device) {
+            if let Some(&i) = self.statics.index.get(&d) {
+                self.local[i] = None;
+                self.campion[i] = None;
+            }
+        }
+    }
+
+    /// The memoized sweep: identical semantics to `repair::localize`
+    /// (assignment order, first local finding wins, campion only when
+    /// all local channels are silent), with verdicts served from the
+    /// memo where the dependency tracker proved them still valid.
+    ///
+    /// The whole sweep is itself a pure function of `(topology,
+    /// policies, configs)`, so a snapshot the worker has swept before is
+    /// answered from the worker memo for the cost of hashing the config
+    /// texts — the per-intent reference snapshot every converging
+    /// session ends on makes this the common case on a pinned family.
+    pub(crate) fn localize(
+        &mut self,
+        scenario: &Scenario,
+        configs: &BTreeMap<String, String>,
+        ctx: &mut VerifierContext,
+    ) -> Option<Localization> {
+        let mut h = FxHasher::default();
+        for (name, text) in configs {
+            h.write(name.as_bytes());
+            h.write(&[0]);
+            h.write(text.as_bytes());
+            h.write(&[1]);
+        }
+        let skey = (self.sweep_base, h.finish());
+        if let Some(v) = ctx.memo.sweep.get(&skey) {
+            ctx.memo.hits += 1;
+            return v.clone();
+        }
+        let verdict = self.localize_uncached(scenario, configs, ctx);
+        ctx.memo.insert_sweep(skey, verdict.clone());
+        verdict
+    }
+
+    fn localize_uncached(
+        &mut self,
+        scenario: &Scenario,
+        configs: &BTreeMap<String, String>,
+        ctx: &mut VerifierContext,
+    ) -> Option<Localization> {
+        let statics = Arc::clone(&self.statics);
+        if self.parallel {
+            self.prefill_local(scenario, &statics, configs, ctx);
+        }
+        for (i, assignment) in statics.assignments.iter().enumerate() {
+            let Some(text) = configs.get(&assignment.name) else {
+                continue;
+            };
+            let verdict = match &self.local[i] {
+                Some(m) => {
+                    debug_assert_eq!(
+                        m.textfx,
+                        fx(text.as_bytes()),
+                        "memo entry for {} outlived an edit the tracker missed",
+                        assignment.name
+                    );
+                    m.verdict.clone()
+                }
+                None => {
+                    let textfx = fx(text.as_bytes());
+                    let tkey = (statics.keys[i].local, textfx);
+                    let cached = ctx.memo.local.get(&tkey).map(|c| c.verdict.clone());
+                    let verdict = match cached {
+                        Some(v) => {
+                            ctx.memo.hits += 1;
+                            v
+                        }
+                        None => {
+                            ctx.memo.misses += 1;
+                            let (device, verdict) =
+                                repair::local_verdict_in(scenario, assignment, text, ctx);
+                            ctx.memo.insert_local(
+                                tkey,
+                                CachedLocal {
+                                    device,
+                                    verdict: verdict.clone(),
+                                },
+                            );
+                            verdict
+                        }
+                    };
+                    self.local[i] = Some(MemoEntry {
+                        textfx,
+                        verdict: verdict.clone(),
+                    });
+                    verdict
+                }
+            };
+            if verdict.is_some() {
+                return verdict;
+            }
+        }
+        if self.parallel {
+            self.prefill_campion(&statics, configs, ctx);
+        }
+        for (i, assignment) in statics.assignments.iter().enumerate() {
+            let Some(text) = configs.get(&assignment.name) else {
+                continue;
+            };
+            let verdict = match &self.campion[i] {
+                Some(m) => {
+                    debug_assert_eq!(
+                        m.textfx,
+                        fx(text.as_bytes()),
+                        "campion memo for {} outlived an edit the tracker missed",
+                        assignment.name
+                    );
+                    m.verdict.clone()
+                }
+                None => {
+                    let textfx = fx(text.as_bytes());
+                    let keys = statics.keys[i];
+                    let ckey = (keys.campion, textfx);
+                    let cached = ctx.memo.campion.get(&ckey).cloned();
+                    let verdict = match cached {
+                        Some(v) => {
+                            ctx.memo.hits += 1;
+                            v
+                        }
+                        None => {
+                            ctx.memo.misses += 1;
+                            // The device passed its local channels this
+                            // round, so the reparse is warning-free —
+                            // and skippable when the worker memo still
+                            // holds the parse.
+                            let device = match ctx.memo.local.get(&(keys.local, textfx)) {
+                                Some(c) => c.device.clone(),
+                                None => repair::parse_device(text, &assignment.name).device,
+                            };
+                            let verdict =
+                                repair::campion_verdict_in(assignment, text, &device, ctx);
+                            ctx.memo.insert_campion(ckey, verdict.clone());
+                            verdict
+                        }
+                    };
+                    self.campion[i] = Some(MemoEntry {
+                        textfx,
+                        verdict: verdict.clone(),
+                    });
+                    verdict
+                }
+            };
+            if verdict.is_some() {
+                return verdict;
+            }
+        }
+        None
+    }
+
+    /// Computes every missing local verdict on scoped worker threads.
+    /// Each worker takes a chunk of devices and one pooled manager per
+    /// device (the same count the sequential sweep would pin in the
+    /// cache); built spaces come back with their fingerprint and are
+    /// installed warm, so the post-fill sequential pass is all memo
+    /// hits and the cache is exactly as warm as a sequential sweep
+    /// would have left it.
+    fn prefill_local(
+        &mut self,
+        scenario: &Scenario,
+        statics: &SessionStatics,
+        configs: &BTreeMap<String, String>,
+        ctx: &mut VerifierContext,
+    ) {
+        // Resolve worker-memo hits inline first — a warm worker answers
+        // most of the sweep without touching a thread — and fan out only
+        // the true misses.
+        let mut todo: Vec<(usize, MemoKey)> = Vec::new();
+        for (i, a) in statics.assignments.iter().enumerate() {
+            if self.local[i].is_some() {
+                continue;
+            }
+            let Some(text) = configs.get(&a.name) else {
+                continue;
+            };
+            let textfx = fx(text.as_bytes());
+            let tkey = (statics.keys[i].local, textfx);
+            match ctx.memo.local.get(&tkey) {
+                Some(c) => {
+                    ctx.memo.hits += 1;
+                    self.local[i] = Some(MemoEntry {
+                        textfx,
+                        verdict: c.verdict.clone(),
+                    });
+                }
+                None => todo.push((i, tkey)),
+            }
+        }
+        if todo.len() < PARALLEL_THRESHOLD {
+            return;
+        }
+        let workers = worker_count(todo.len());
+        let mut work: Vec<Vec<LocalItem>> = (0..workers).map(|_| Vec::new()).collect();
+        for (j, (i, tkey)) in todo.into_iter().enumerate() {
+            work[j % workers].push((i, tkey, ctx.pool.acquire()));
+        }
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(i, tkey, mgr)| {
+                                let a = &statics.assignments[i];
+                                let text = configs[&a.name].as_str();
+                                let (device, verdict, built) =
+                                    repair::local_verdict_standalone(scenario, a, text, mgr);
+                                (i, tkey, device, verdict, built)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("local-verdict worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (i, tkey, device, verdict, built) in results {
+            match built {
+                Ok((fingerprint, space)) => {
+                    let start = std::time::Instant::now();
+                    ctx.cache.install(
+                        &mut ctx.pool,
+                        &statics.assignments[i].name,
+                        fingerprint,
+                        space,
+                    );
+                    // The build itself ran on a worker; the span records
+                    // the install so SpaceBuild counts still mirror the
+                    // cache's miss counter.
+                    ctx.trace
+                        .record(telemetry::Stage::SpaceBuild, start.elapsed());
+                }
+                Err(mgr) => ctx.pool.release(mgr),
+            }
+            ctx.memo.misses += 1;
+            ctx.memo.insert_local(
+                tkey,
+                CachedLocal {
+                    device,
+                    verdict: verdict.clone(),
+                },
+            );
+            self.local[i] = Some(MemoEntry {
+                textfx: tkey.1,
+                verdict,
+            });
+        }
+    }
+
+    /// Computes every missing campion verdict on scoped worker threads;
+    /// each worker reuses one pooled manager across its whole chunk.
+    fn prefill_campion(
+        &mut self,
+        statics: &SessionStatics,
+        configs: &BTreeMap<String, String>,
+        ctx: &mut VerifierContext,
+    ) {
+        // Same shape as the local prefill: worker-memo hits inline,
+        // threads only for the misses. Each fan-out item carries both
+        // its campion key and its local key so a worker can reuse the
+        // memoized parse instead of re-parsing the text.
+        let mut todo: Vec<CampionItem> = Vec::new();
+        for (i, a) in statics.assignments.iter().enumerate() {
+            if self.campion[i].is_some() {
+                continue;
+            }
+            let Some(text) = configs.get(&a.name) else {
+                continue;
+            };
+            let keys = statics.keys[i];
+            let textfx = fx(text.as_bytes());
+            let ckey = (keys.campion, textfx);
+            match ctx.memo.campion.get(&ckey) {
+                Some(v) => {
+                    ctx.memo.hits += 1;
+                    self.campion[i] = Some(MemoEntry {
+                        textfx,
+                        verdict: v.clone(),
+                    });
+                }
+                None => todo.push((i, ckey, (keys.local, textfx))),
+            }
+        }
+        if todo.len() < PARALLEL_THRESHOLD {
+            return;
+        }
+        let workers = worker_count(todo.len());
+        let mut work: Vec<(Vec<CampionItem>, bdd::Manager)> = (0..workers)
+            .map(|_| (Vec::new(), ctx.pool.acquire()))
+            .collect();
+        for (j, item) in todo.into_iter().enumerate() {
+            work[j % workers].0.push(item);
+        }
+        let memo = &ctx.memo;
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|(chunk, mut mgr)| {
+                    s.spawn(move || {
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for (i, ckey, lkey) in chunk {
+                            let a = &statics.assignments[i];
+                            let text = configs[&a.name].as_str();
+                            let device = match memo.local.get(&lkey) {
+                                Some(c) => c.device.clone(),
+                                None => repair::parse_device(text, &a.name).device,
+                            };
+                            let (verdict, back) =
+                                repair::campion_verdict_with(a, text, &device, mgr);
+                            mgr = back;
+                            out.push((i, ckey, lkey.1, verdict));
+                        }
+                        (out, mgr)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campion worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (chunk, mgr) in results {
+            ctx.pool.release(mgr);
+            for (i, ckey, textfx, verdict) in chunk {
+                ctx.memo.misses += 1;
+                ctx.memo.insert_campion(ckey, verdict.clone());
+                self.campion[i] = Some(MemoEntry { textfx, verdict });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_incremental_sequential() {
+        assert_eq!(
+            VerifyMode::default(),
+            VerifyMode {
+                incremental: true,
+                parallel: false
+            }
+        );
+        assert!(!VerifyMode::full().incremental);
+    }
+
+    #[test]
+    fn dirty_set_is_the_edit_plus_its_internal_neighbors() {
+        let scenario = scenario_gen::generate(1, 0); // chain family
+        let tracker = DependencyTracker::new(&scenario);
+        let internal: Vec<String> = scenario
+            .topology
+            .internal_routers()
+            .map(|r| r.name.clone())
+            .collect();
+        for name in &internal {
+            let dirty = tracker.dirty_of(name);
+            assert!(dirty.contains(name), "the edit itself is always dirty");
+            for d in &dirty {
+                assert!(
+                    d == name || scenario.topology.has_link(name, d),
+                    "{d} is dirty for an edit to {name} without an adjacency"
+                );
+            }
+            // Everything outside the set is a non-neighbor.
+            for other in &internal {
+                if !dirty.contains(other) {
+                    assert!(!scenario.topology.has_link(name, other));
+                }
+            }
+        }
+        // A chain interior router has exactly two internal neighbors.
+        let mid = &internal[1];
+        assert_eq!(tracker.dirty_of(mid).len(), 3);
+    }
+
+    #[test]
+    fn dirty_set_stays_bounded_on_large_families() {
+        // The whole point: on the 144-router fat tree the dirty set of
+        // any edit is a bounded neighborhood, not the network.
+        let scenario = scenario_gen::generate_family("fat-tree-144", 1, 0);
+        let tracker = DependencyTracker::new(&scenario);
+        let n = scenario.topology.internal_routers().count();
+        assert_eq!(n, 144);
+        for r in scenario.topology.internal_routers() {
+            let dirty = tracker.dirty_of(&r.name);
+            assert!(
+                dirty.len() <= 17,
+                "{}: dirty set of {} devices on a degree-bounded topology",
+                r.name,
+                dirty.len()
+            );
+        }
+    }
+
+    #[test]
+    fn session_statics_are_shared_across_sessions_on_a_pinned_family() {
+        // Two sessions on the same (seed, family) share the topology;
+        // when they also share the intent (and thus the policies) the
+        // second must reuse the first's statics bundle. A different
+        // seed — different topology — must not.
+        let mut ctx = VerifierContext::new();
+        let a = scenario_gen::generate_family("as-graph-64", 3, 0);
+        let b = (1..32)
+            .map(|i| scenario_gen::generate_family("as-graph-64", 3, i))
+            .find(|s| s.intent == a.intent)
+            .expect("some later index repeats the intent");
+        assert_eq!(a.policies, b.policies, "same intent, same policies");
+        let v1 = IncrementalVerifier::new(&a, false, &mut ctx);
+        let v2 = IncrementalVerifier::new(&b, false, &mut ctx);
+        assert!(Arc::ptr_eq(&v1.statics, &v2.statics));
+        let c = scenario_gen::generate_family("as-graph-64", 4, 0);
+        let mut c2 = c.clone();
+        c2.policies = a.policies.clone();
+        let v3 = IncrementalVerifier::new(&c2, false, &mut ctx);
+        assert!(
+            !Arc::ptr_eq(&v1.statics, &v3.statics),
+            "a different topology must not share statics even with equal policies"
+        );
+    }
+}

@@ -37,10 +37,16 @@
 //!   a recycled-BDD-manager pool with the space cache, so a resident
 //!   worker amortizes table allocation across every session it runs
 //!   (`run_scenario_in` / `run_in` are the pooled session entry points).
+//! * Incremental re-verification → [`incremental`]: the dependency
+//!   tracker + per-device verdict memo that make repair-session cost
+//!   scale with the edit instead of the network, plus the parallel
+//!   sweep fan-out ([`VerifyMode`] selects the strategy; content is
+//!   byte-identical across modes).
 
 pub mod composer;
 pub mod humanizer;
 pub mod iip;
+pub mod incremental;
 pub mod leverage;
 pub mod modularizer;
 pub mod repair;
@@ -54,6 +60,7 @@ pub mod verifier_ctx;
 pub use composer::{check_scenario, compose_and_check, GlobalCheckReport, GlobalViolation};
 pub use humanizer::Humanizer;
 pub use iip::IipDatabase;
+pub use incremental::{DependencyTracker, VerifyMode};
 pub use leverage::Leverage;
 pub use modularizer::{LocalPolicySpec, Modularizer, RouterAssignment};
 pub use repair::{Localization, RepairOutcome, RepairSession};

@@ -23,6 +23,7 @@
 use crate::composer::{check_scenario, GlobalCheckReport};
 use crate::humanizer::Humanizer;
 use crate::iip::IipDatabase;
+use crate::incremental::{IncrementalVerifier, VerifyMode};
 use crate::leverage::Leverage;
 use crate::modularizer::{Modularizer, RouterAssignment};
 use crate::session::{
@@ -115,6 +116,11 @@ pub struct RepairSession {
     pub budget: SessionBudget,
     /// Transport retry policy.
     pub retry: RetryPolicy,
+    /// Re-verification strategy (default: incremental, sequential).
+    /// Per-seed session content is byte-identical across every mode —
+    /// only wall-clock, trace span counts, and cache/pool counters
+    /// differ; `cosynth-fleet` pins this A/B identity.
+    pub verify: VerifyMode,
 }
 
 impl Default for RepairSession {
@@ -127,6 +133,7 @@ impl Default for RepairSession {
             iips: IipDatabase::paper_default(),
             budget: SessionBudget::default(),
             retry: RetryPolicy::default(),
+            verify: VerifyMode::default(),
         }
     }
 }
@@ -162,7 +169,6 @@ impl RepairSession {
         ctx: &mut VerifierContext,
     ) -> RepairOutcome {
         ctx.begin_session();
-        let assignments = Modularizer::assign_scenario(scenario);
         let mut configs = injection.configs.clone();
         let cost0 = llm.cost();
         let mut t = SessionTranscript::new(llm, self.iips.system_message())
@@ -171,31 +177,80 @@ impl RepairSession {
         let mut first_localization: Option<Localization> = None;
         let mut rounds = 0usize;
         let mut deadline_exceeded = false;
-        let mut global = t
-            .trace
-            .time(Stage::Sim, || check_scenario(scenario, &configs));
+        // Incremental mode memoizes per-device verdicts across rounds
+        // and defers the whole-network simulation until its result is
+        // observable (`global` is `None` while stale). Full mode keeps
+        // the historical eager schedule: one sim up front and one after
+        // every edit. Both modes simulate exactly the configs the
+        // outcome reports, so `outcome.global` — like every other
+        // content field — is byte-identical between them.
+        let mut inc = self
+            .verify
+            .incremental
+            .then(|| IncrementalVerifier::new(scenario, self.verify.parallel, ctx));
+        // Assignments are pure in (topology, policies); incremental mode
+        // shares one Arc'd copy across sessions on a pinned family via
+        // the worker memo instead of re-deriving ~n prompts per session.
+        // Same bytes either way, so content stays identical across modes.
+        let assignments_arc = match inc.as_ref() {
+            Some(inc) => inc.assignments(),
+            None => std::sync::Arc::new(Modularizer::assign_scenario(scenario)),
+        };
+        let assignments: &[RouterAssignment] = &assignments_arc;
+        let mut global = if inc.is_some() {
+            None
+        } else {
+            Some(
+                t.trace
+                    .time(Stage::Sim, || check_scenario(scenario, &configs)),
+            )
+        };
         let repaired = loop {
             // The localize span covers the whole sweep; the space
             // build/hit (and parse) spans it contains are recorded
             // separately into the context's trace, so stage totals
             // overlap by design.
-            let loc = t.trace.time(Stage::Localize, || {
-                localize(scenario, &assignments, &configs, ctx)
+            let loc = t.trace.time(Stage::Localize, || match inc.as_mut() {
+                Some(inc) => inc.localize(scenario, &configs, ctx),
+                None => localize(scenario, assignments, &configs, ctx),
             });
-            if loc.is_none() && global.holds() {
-                break true;
+            // Deferred sims in incremental mode go through the
+            // verifier's parse hook, which serves clones of devices the
+            // sweep already parsed instead of re-parsing the network.
+            if loc.is_none() {
+                if global.is_none() {
+                    global = Some(t.trace.time(Stage::Sim, || match inc.as_ref() {
+                        Some(inc) => inc.check_global(scenario, &configs, ctx),
+                        None => check_scenario(scenario, &configs),
+                    }));
+                }
+                if global.as_ref().expect("just ensured").holds() {
+                    break true;
+                }
             }
             if t.over_budget() {
                 deadline_exceeded = true;
+                if global.is_none() {
+                    global = Some(t.trace.time(Stage::Sim, || match inc.as_ref() {
+                        Some(inc) => inc.check_global(scenario, &configs, ctx),
+                        None => check_scenario(scenario, &configs),
+                    }));
+                }
                 break false;
             }
             if rounds >= self.limits.max_rounds {
+                if global.is_none() {
+                    global = Some(t.trace.time(Stage::Sim, || match inc.as_ref() {
+                        Some(inc) => inc.check_global(scenario, &configs, ctx),
+                        None => check_scenario(scenario, &configs),
+                    }));
+                }
                 break false;
             }
             // A failing global check with every local channel silent
             // still needs a target; fall back to the first policy
             // router (scored as a localization miss).
-            let loc = loc.unwrap_or_else(|| fallback_localization(&assignments, &configs));
+            let loc = loc.unwrap_or_else(|| fallback_localization(assignments, &configs));
             if first_localization.is_none() {
                 first_localization = Some(loc.clone());
             }
@@ -214,10 +269,23 @@ impl RepairSession {
             let prompt = repair_prompt(assignment, &loc, &current, escalate);
             let next = t.send_expecting_config(kind, prompt, &current);
             configs.insert(loc.device.clone(), next);
-            global = t
-                .trace
-                .time(Stage::Sim, || check_scenario(scenario, &configs));
+            match inc.as_mut() {
+                Some(inc) => {
+                    // The edit dirties its dependency neighborhood and
+                    // staleness-marks the sim; both are recomputed only
+                    // when next observed.
+                    inc.invalidate_edit(&loc.device);
+                    global = None;
+                }
+                None => {
+                    global = Some(
+                        t.trace
+                            .time(Stage::Sim, || check_scenario(scenario, &configs)),
+                    );
+                }
+            }
         };
+        let global = global.expect("every break path computes the final report");
         let mut trace = t.trace;
         trace.merge(&ctx.trace);
         let cost = t.backend_cost().since(&cost0);
@@ -293,60 +361,10 @@ pub fn localize(
         let Some(text) = configs.get(&assignment.name) else {
             continue;
         };
-        let parsed = ctx.trace.time(Stage::Parse, || {
-            bf_lite::parse_config(text, Some(Vendor::Cisco))
-        });
-        if let Some(w) = parsed.warnings.first() {
-            let (line_start, line_end) = if w.line > 0 {
-                (w.line, w.line)
-            } else {
-                whole_file(text)
-            };
-            return Some(Localization {
-                device: assignment.name.clone(),
-                line_start,
-                line_end,
-                reason: Humanizer::syntax(w),
-            });
+        match local_verdict_in(scenario, assignment, text, ctx) {
+            (_, Some(loc)) => return Some(loc),
+            (device, None) => clean.push((assignment, text, device)),
         }
-        let mut device = parsed.device;
-        if device.name.is_empty() {
-            device.name = assignment.name.clone();
-        }
-        let findings = topo_model::verify_router(&scenario.topology, &assignment.name, &device);
-        if let Some(f) = findings.first() {
-            let (line_start, line_end) = topology_span(text, f);
-            return Some(Localization {
-                device: assignment.name.clone(),
-                line_start,
-                line_end,
-                reason: Humanizer::topology(f),
-            });
-        }
-        let mut space = assignment
-            .checks
-            .iter()
-            .any(LocalPolicyCheck::is_symbolic)
-            .then(|| ctx.space_for(&assignment.name, &device, &assignment.checks));
-        for check in &assignment.checks {
-            let result = match space.as_mut() {
-                Some(space) if check.is_symbolic() => {
-                    bf_lite::check_local_policy_in(space, &device, check)
-                }
-                _ => bf_lite::check_local_policy(&device, check),
-            };
-            if let Err(witness) = result {
-                let map = check_map(check);
-                let (line_start, line_end) = map_span(text, &map).unwrap_or(whole_file(text));
-                return Some(Localization {
-                    device: assignment.name.clone(),
-                    line_start,
-                    line_end,
-                    reason: Humanizer::semantic(&map, check, &witness),
-                });
-            }
-        }
-        clean.push((assignment, text, device));
     }
     // Campion-style diff against the intent: the reference device
     // rebuilt from the router's own prompt is the embodiment of its
@@ -354,26 +372,229 @@ pub fn localize(
     // fault the local checks could not phrase (e.g. a permit flipped
     // on a clause no check is vacuously quantified over).
     for (assignment, text, device) in clean {
-        let intended = llm_sim::synth_task::reference_device(
-            &llm_sim::synth_task::understand_prompt(&assignment.prompt),
-        );
-        // The behaviour diff builds the largest BDDs in the workspace;
-        // drawing its manager from the worker pool is what keeps the
-        // final (all-channels-silent) verification round off the
-        // fresh-allocation path.
-        let (findings, mgr) = campion_lite::compare_in(ctx.pool.acquire(), &intended, &device);
-        ctx.pool.release(mgr);
-        if let Some(f) = findings.first() {
-            let (line_start, line_end) = campion_span(text, f);
-            return Some(Localization {
-                device: assignment.name.clone(),
-                line_start,
-                line_end,
-                reason: Humanizer::campion(f),
-            });
+        if let Some(loc) = campion_verdict_in(assignment, text, &device, ctx) {
+            return Some(loc);
         }
     }
     None
+}
+
+/// Parses a rendered config and applies the assignment-name fixup the
+/// VPP loop relies on (drafts rarely carry a hostname). Pure in
+/// `(text, name)`; shared by the sequential sweep, the memoized
+/// re-verification in [`crate::incremental`], and the parallel fan-out.
+pub(crate) fn parse_device(text: &str, name: &str) -> bf_lite::ParsedConfig {
+    let mut parsed = bf_lite::parse_config(text, Some(Vendor::Cisco));
+    if parsed.device.name.is_empty() {
+        parsed.device.name = name.to_string();
+    }
+    parsed
+}
+
+/// The local verdict for one device, in VPP order: parse warnings, the
+/// topology verifier, then the symbolic local checks (space served warm
+/// from the context's cache). Returns the parsed device (always — the
+/// whole-network simulation wants it even when the verdict fails) plus
+/// the first finding, `None` when every channel is silent.
+///
+/// The verdict is a pure function of `(scenario, assignment, text)` —
+/// more precisely of the router's own topology spec, its check set, and
+/// the text; `topo_model::verify_router` reads nothing else. The
+/// context only caches the symbolic space, which never changes a
+/// witness. That purity is what makes the per-device memoization in
+/// [`crate::incremental`] sound, both within a session and across
+/// sessions on the same worker.
+pub(crate) fn local_verdict_in(
+    scenario: &Scenario,
+    assignment: &RouterAssignment,
+    text: &str,
+    ctx: &mut VerifierContext,
+) -> (config_ir::Device, Option<Localization>) {
+    let parsed = ctx
+        .trace
+        .time(Stage::Parse, || parse_device(text, &assignment.name));
+    if let Some(w) = parsed.warnings.first() {
+        let (line_start, line_end) = if w.line > 0 {
+            (w.line, w.line)
+        } else {
+            whole_file(text)
+        };
+        let loc = Localization {
+            device: assignment.name.clone(),
+            line_start,
+            line_end,
+            reason: Humanizer::syntax(w),
+        };
+        return (parsed.device, Some(loc));
+    }
+    let device = parsed.device;
+    let findings = topo_model::verify_router(&scenario.topology, &assignment.name, &device);
+    if let Some(f) = findings.first() {
+        let (line_start, line_end) = topology_span(text, f);
+        let loc = Localization {
+            device: assignment.name.clone(),
+            line_start,
+            line_end,
+            reason: Humanizer::topology(f),
+        };
+        return (device, Some(loc));
+    }
+    let mut space = assignment
+        .checks
+        .iter()
+        .any(LocalPolicyCheck::is_symbolic)
+        .then(|| ctx.space_for(&assignment.name, &device, &assignment.checks));
+    for check in &assignment.checks {
+        let result = match space.as_mut() {
+            Some(space) if check.is_symbolic() => {
+                bf_lite::check_local_policy_in(space, &device, check)
+            }
+            _ => bf_lite::check_local_policy(&device, check),
+        };
+        if let Err(witness) = result {
+            let map = check_map(check);
+            let (line_start, line_end) = map_span(text, &map).unwrap_or(whole_file(text));
+            let loc = Localization {
+                device: assignment.name.clone(),
+                line_start,
+                line_end,
+                reason: Humanizer::semantic(&map, check, &witness),
+            };
+            return (device, Some(loc));
+        }
+    }
+    (device, None)
+}
+
+/// [`local_verdict_in`] without the context: the symbolic space (when
+/// the check set needs one) is built into the caller-provided pooled
+/// manager, and comes back with its cache fingerprint so the caller can
+/// install it warm. The parallel fan-out runs this on worker threads,
+/// where neither the cache nor the trace can be borrowed; an unused
+/// manager comes back in the `Err` slot for release. Verdicts are
+/// byte-identical to the context path — same parse, same check order,
+/// and pooled managers reproduce fresh managers' results exactly.
+#[allow(clippy::type_complexity)]
+pub(crate) fn local_verdict_standalone(
+    scenario: &Scenario,
+    assignment: &RouterAssignment,
+    text: &str,
+    mgr: bdd::Manager,
+) -> (
+    config_ir::Device,
+    Option<Localization>,
+    Result<(u64, policy_symbolic::RouteSpace), bdd::Manager>,
+) {
+    let parsed = parse_device(text, &assignment.name);
+    if let Some(w) = parsed.warnings.first() {
+        let (line_start, line_end) = if w.line > 0 {
+            (w.line, w.line)
+        } else {
+            whole_file(text)
+        };
+        let loc = Localization {
+            device: assignment.name.clone(),
+            line_start,
+            line_end,
+            reason: Humanizer::syntax(w),
+        };
+        return (parsed.device, Some(loc), Err(mgr));
+    }
+    let device = parsed.device;
+    let findings = topo_model::verify_router(&scenario.topology, &assignment.name, &device);
+    if let Some(f) = findings.first() {
+        let (line_start, line_end) = topology_span(text, f);
+        let loc = Localization {
+            device: assignment.name.clone(),
+            line_start,
+            line_end,
+            reason: Humanizer::topology(f),
+        };
+        return (device, Some(loc), Err(mgr));
+    }
+    let mut spare = Some(mgr);
+    let mut built = None;
+    if assignment.checks.iter().any(LocalPolicyCheck::is_symbolic) {
+        let fingerprint = crate::space_cache::ir_fingerprint(&device, &assignment.checks);
+        let mgr = spare.take().expect("manager not yet consumed");
+        built = Some((
+            fingerprint,
+            bf_lite::space_for_checks_in(mgr, &device, &assignment.checks),
+        ));
+    }
+    let mut space = built.as_mut().map(|(_, s)| s);
+    for check in &assignment.checks {
+        let result = match space.as_deref_mut() {
+            Some(space) if check.is_symbolic() => {
+                bf_lite::check_local_policy_in(space, &device, check)
+            }
+            _ => bf_lite::check_local_policy(&device, check),
+        };
+        if let Err(witness) = result {
+            let map = check_map(check);
+            let (line_start, line_end) = map_span(text, &map).unwrap_or(whole_file(text));
+            let loc = Localization {
+                device: assignment.name.clone(),
+                line_start,
+                line_end,
+                reason: Humanizer::semantic(&map, check, &witness),
+            };
+            return (
+                device,
+                Some(loc),
+                Ok(built.expect("symbolic witness implies a built space")),
+            );
+        }
+    }
+    (
+        device,
+        None,
+        built.ok_or_else(|| spare.expect("manager unused when no space was built")),
+    )
+}
+
+/// The campion verdict for one locally-clean device: the structural/
+/// behavioral diff against the reference device rebuilt from the
+/// router's own prompt. Pure in `(assignment, text, device)`.
+pub(crate) fn campion_verdict_in(
+    assignment: &RouterAssignment,
+    text: &str,
+    device: &config_ir::Device,
+    ctx: &mut VerifierContext,
+) -> Option<Localization> {
+    // The behaviour diff builds the largest BDDs in the workspace;
+    // drawing its manager from the worker pool is what keeps the
+    // final (all-channels-silent) verification round off the
+    // fresh-allocation path.
+    let (loc, mgr) = campion_verdict_with(assignment, text, device, ctx.pool.acquire());
+    ctx.pool.release(mgr);
+    loc
+}
+
+/// [`campion_verdict_in`] threading the manager explicitly, so a
+/// parallel worker can reuse one pooled manager across its whole chunk
+/// of devices — campion findings are canonical regardless of manager
+/// history, so reuse without clearing is sound.
+pub(crate) fn campion_verdict_with(
+    assignment: &RouterAssignment,
+    text: &str,
+    device: &config_ir::Device,
+    mgr: bdd::Manager,
+) -> (Option<Localization>, bdd::Manager) {
+    let intended = llm_sim::synth_task::reference_device(&llm_sim::synth_task::understand_prompt(
+        &assignment.prompt,
+    ));
+    let (findings, mgr) = campion_lite::compare_in(mgr, &intended, device);
+    let loc = findings.first().map(|f| {
+        let (line_start, line_end) = campion_span(text, f);
+        Localization {
+            device: assignment.name.clone(),
+            line_start,
+            line_end,
+            reason: Humanizer::campion(f),
+        }
+    });
+    (loc, mgr)
 }
 
 fn fallback_localization(

@@ -160,6 +160,14 @@ pub struct VerifierContext {
     /// parse rounds). Reset by [`Self::begin_session`] and merged into
     /// the outcome's trace by the session driver.
     pub trace: SessionTrace,
+    /// Worker-lifetime per-device verdict memo, consulted only by the
+    /// incremental verifier (`crate::incremental`). Survives
+    /// [`Self::begin_session`] by design: on a fleet pinned to one
+    /// `(seed, family)` topology, sessions differ only in their intent
+    /// and fault, so most devices' verdicts recur verbatim across
+    /// sessions. Entries are pure values (no managers), so quarantine
+    /// leaves them alone.
+    pub(crate) memo: crate::incremental::VerdictMemo,
 }
 
 impl Default for VerifierContext {
@@ -188,6 +196,7 @@ impl VerifierContext {
             cache_hits_total: 0,
             cache_misses_total: 0,
             trace: SessionTrace::new(),
+            memo: crate::incremental::VerdictMemo::default(),
         }
     }
 

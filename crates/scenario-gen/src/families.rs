@@ -6,6 +6,7 @@
 //! synthesizers work from. All internal routers use
 //! [`RouterRole::Core`]; stubs are [`RouterRole::ExternalStub`].
 
+use llm_sim::rng::SimRng;
 use net_model::Prefix;
 use topo_model::builder::TopologyBuilder;
 use topo_model::{RouterRole, Topology};
@@ -147,6 +148,148 @@ pub fn multi_homed(n_isps: usize) -> (Topology, StubSet) {
             peers,
         },
     )
+}
+
+/// A multi-pod fat tree: `pods` pods of 4 aggregation + 4 edge routers
+/// (fully bipartite in-pod) plus one core router per pod; core `c`
+/// uplinks aggregation router `c mod 4` of every pod. `9 * pods`
+/// internal routers, so pods ∈ {4, 8, 16} gives the 36/72/144 sweep.
+///
+/// The stub set — and with it the policy-relevant neighborhood — stays
+/// **bounded** regardless of `pods`: the customer hangs off pod 0's
+/// first edge router, a provider peer off pod 0's first aggregation
+/// router (adjacent to the customer's entry router, which is what the
+/// prefer-customer intent needs), and one peer off the first edge
+/// router of each of the next three pods. Internal routers do not
+/// originate their link subnets (see [`originate_stubs_only`]), so the
+/// simulated route universe also stays bounded.
+pub fn fat_tree_multi(pods: usize) -> (Topology, StubSet) {
+    assert!(pods >= 2, "multi-pod fat-tree needs >= 2 pods");
+    let mut b = TopologyBuilder::new();
+    let mut aggs: Vec<Vec<usize>> = Vec::new();
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    for p in 0..pods {
+        let pa: Vec<usize> = (0..4)
+            .map(|i| b.router(format!("P{p}A{i}"), RouterRole::Core))
+            .collect();
+        let pe: Vec<usize> = (0..4)
+            .map(|i| b.router(format!("P{p}E{i}"), RouterRole::Core))
+            .collect();
+        for &a in &pa {
+            for &e in &pe {
+                b.link(a, e);
+            }
+        }
+        aggs.push(pa);
+        edges.push(pe);
+    }
+    for c in 0..pods {
+        let core = b.router(format!("C{c}"), RouterRole::Core);
+        for pod_aggs in &aggs {
+            b.link(core, pod_aggs[c % 4]);
+        }
+    }
+    let (_, customer_prefix) = b.stub("CUSTOMER", edges[0][0]);
+    let mut peers = Vec::new();
+    let (_, p0) = b.stub("PEER-A0", aggs[0][0]);
+    peers.push(("PEER-A0".to_string(), p0));
+    for (p, pod_edges) in edges.iter().enumerate().take(pods.min(4)).skip(1) {
+        let name = format!("PEER-P{p}");
+        let (_, px) = b.stub(name.clone(), pod_edges[0]);
+        peers.push((name, px));
+    }
+    (
+        originate_stubs_only(b.build()),
+        StubSet {
+            customer: "CUSTOMER".into(),
+            customer_prefix,
+            peers,
+        },
+    )
+}
+
+/// An AS-level graph with realistic (hub-heavy) peering degree: a seed
+/// triangle `R0–R1–R2`, then router `k` peers with 2–3 distinct existing
+/// routers drawn proportionally to current degree (the repeated-
+/// endpoints form of preferential attachment). Mean degree ~5 with a
+/// heavy tail, like real AS graphs.
+///
+/// Stubs are bounded regardless of `n`: the customer on `R0`, a provider
+/// peer on `R1` (linked to `R0` by the seed triangle — the
+/// prefer-customer adjacency), and peers on the two highest-degree hubs
+/// outside `{R0, R1}`. Internal routers do not originate link subnets.
+pub fn as_graph(n: usize, rng: &mut SimRng) -> (Topology, StubSet) {
+    assert!(n >= 8, "as-graph needs n >= 8");
+    let mut b = TopologyBuilder::new();
+    let routers: Vec<usize> = (0..n)
+        .map(|k| b.router(format!("R{k}"), RouterRole::Core))
+        .collect();
+    // Degree-weighted endpoint pool: every link pushes both endpoints,
+    // so a uniform draw from the pool is a degree-proportional draw.
+    let mut pool: Vec<usize> = Vec::with_capacity(6 * n);
+    let mut degree = vec![0usize; n];
+    let add_link = |b: &mut TopologyBuilder,
+                    pool: &mut Vec<usize>,
+                    degree: &mut Vec<usize>,
+                    i: usize,
+                    j: usize| {
+        b.link(routers[i], routers[j]);
+        pool.push(i);
+        pool.push(j);
+        degree[i] += 1;
+        degree[j] += 1;
+    };
+    add_link(&mut b, &mut pool, &mut degree, 0, 1);
+    add_link(&mut b, &mut pool, &mut degree, 1, 2);
+    add_link(&mut b, &mut pool, &mut degree, 2, 0);
+    for k in 3..n {
+        let m = 2 + rng.index(2); // 2..=3 new peerings
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < m {
+            let pick = pool[rng.index(pool.len())];
+            if pick != k {
+                chosen.insert(pick);
+            }
+        }
+        for j in chosen {
+            add_link(&mut b, &mut pool, &mut degree, k, j);
+        }
+    }
+    let (_, customer_prefix) = b.stub("CUSTOMER", routers[0]);
+    let mut peers = Vec::new();
+    let (_, p1) = b.stub("PEER-1", routers[1]);
+    peers.push(("PEER-1".to_string(), p1));
+    // The two biggest hubs outside the seed pair get the remaining peers.
+    let mut by_degree: Vec<usize> = (2..n).collect();
+    by_degree.sort_by_key(|&k| (std::cmp::Reverse(degree[k]), k));
+    for &hub in by_degree.iter().take(2) {
+        let name = format!("PEER-R{hub}");
+        let (_, px) = b.stub(name.clone(), routers[hub]);
+        peers.push((name, px));
+    }
+    (
+        originate_stubs_only(b.build()),
+        StubSet {
+            customer: "CUSTOMER".into(),
+            customer_prefix,
+            peers,
+        },
+    )
+}
+
+/// Strips link-subnet announcements from internal routers, leaving only
+/// the stubs as route originators. The large families use this so the
+/// whole-network simulation's route universe — and every per-round
+/// global check — scales with the bounded stub set instead of the link
+/// count, which is what makes 144–512-router sessions tractable while
+/// keeping every expectation about stub prefixes intact.
+fn originate_stubs_only(mut t: Topology) -> Topology {
+    for r in &mut t.routers {
+        if r.role != RouterRole::ExternalStub {
+            r.networks.clear();
+        }
+    }
+    t
 }
 
 /// Shared tail for the uniform families: CUSTOMER on the first router,

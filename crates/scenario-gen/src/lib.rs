@@ -31,6 +31,37 @@ use topo_model::{Scenario, Topology};
 /// The generator's topology families, in rotation order.
 pub const FAMILIES: [&str; 5] = ["chain", "ring", "full-mesh", "fat-tree", "multi-homed"];
 
+/// The large generated families for the internet-scale sweep: multi-pod
+/// fat trees ([`families::fat_tree_multi`]) and preferential-attachment
+/// AS graphs ([`families::as_graph`]). The trailing number is the
+/// internal-router count. These are **not** part of the default
+/// rotation — they are reachable only by name via [`generate_family`] —
+/// so every committed per-seed pin of the rotation stays stable.
+pub const LARGE_FAMILIES: [&str; 7] = [
+    "fat-tree-36",
+    "fat-tree-72",
+    "fat-tree-144",
+    "as-graph-64",
+    "as-graph-128",
+    "as-graph-256",
+    "as-graph-512",
+];
+
+/// The internal-router count of a large family, `None` for rotation
+/// families (whose size is drawn per scenario).
+pub fn large_family_size(family: &str) -> Option<usize> {
+    match family {
+        "fat-tree-36" => Some(36),
+        "fat-tree-72" => Some(72),
+        "fat-tree-144" => Some(144),
+        "as-graph-64" => Some(64),
+        "as-graph-128" => Some(128),
+        "as-graph-256" => Some(256),
+        "as-graph-512" => Some(512),
+        _ => None,
+    }
+}
+
 /// Derives the per-scenario RNG stream: one splitmix64 stream keyed on
 /// `(seed, index)` (golden-ratio mixing keeps neighbouring indices
 /// uncorrelated).
@@ -65,6 +96,45 @@ pub fn generate(seed: u64, index: usize) -> Scenario {
     intents::apply(intent, topology, &stubs, family, name)
 }
 
+/// The AS-graph attachment stream: keyed on `(seed, size)` only — NOT
+/// the index — so every session index at one seed runs against the
+/// same network and only the intent (and downstream fault) varies.
+/// That is the workload the incremental verifier is built for: a fleet
+/// of edits against one topology, where per-device verdicts are
+/// reusable across sessions.
+fn topology_stream(seed: u64, size: usize) -> SimRng {
+    SimRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((size as u64).wrapping_mul(0x94D0_49BB_1331_11EB)),
+    )
+}
+
+/// Generates scenario `index` of the stream `seed` for one **named**
+/// family, bypassing the rotation. Rotation families draw their size
+/// from the stream exactly like [`generate]`; the [`LARGE_FAMILIES`]
+/// have their size fixed by name and their topology fixed per
+/// `(seed, family)` — the multi-pod fat trees structurally, the AS
+/// graphs via [`topology_stream`] — while the intent still varies per
+/// index. Same determinism contract as [`generate`]. Panics on unknown
+/// names — CLIs validate against [`FAMILIES`] + [`LARGE_FAMILIES`]
+/// first.
+pub fn generate_family(family: &str, seed: u64, index: usize) -> Scenario {
+    let mut rng = stream(seed, index);
+    let intent = Intent::ALL[rng.index(Intent::ALL.len())];
+    let (topology, stubs) = match family {
+        "fat-tree-36" => families::fat_tree_multi(4),
+        "fat-tree-72" => families::fat_tree_multi(8),
+        "fat-tree-144" => families::fat_tree_multi(16),
+        "as-graph-64" => families::as_graph(64, &mut topology_stream(seed, 64)),
+        "as-graph-128" => families::as_graph(128, &mut topology_stream(seed, 128)),
+        "as-graph-256" => families::as_graph(256, &mut topology_stream(seed, 256)),
+        "as-graph-512" => families::as_graph(512, &mut topology_stream(seed, 512)),
+        other => build_family(&mut rng, other),
+    };
+    let name = format!("{family}-{}-s{seed}-i{index}", intent.as_str());
+    intents::apply(intent, topology, &stubs, family, name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +154,87 @@ mod tests {
         let seen: std::collections::BTreeSet<String> =
             (0..5).map(|i| generate(1, i).family).collect();
         assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn generate_family_matches_generate_draw_order() {
+        // A rotation family generated by name is identical to the
+        // rotation output at an index that lands on it: the RNG draw
+        // order (intent, then size) is shared.
+        let s = generate(9, 5); // index 5 % 5 == 0 -> "chain"
+        assert_eq!(generate_family("chain", 9, 5), s);
+    }
+
+    #[test]
+    fn large_families_validate_and_have_fixed_size() {
+        for family in LARGE_FAMILIES {
+            let size = large_family_size(family).unwrap();
+            for index in 0..3 {
+                let s = generate_family(family, 11, index);
+                assert_eq!(s, generate_family(family, 11, index), "{family}");
+                assert!(
+                    s.topology.validate().is_empty(),
+                    "{}: {:?}",
+                    s.name,
+                    s.topology.validate()
+                );
+                let internal = s
+                    .topology
+                    .routers
+                    .iter()
+                    .filter(|r| r.role != topo_model::RouterRole::ExternalStub)
+                    .count();
+                assert_eq!(internal, size, "{family}");
+                // Only stubs originate prefixes: the simulated route
+                // universe is bounded by the stub set, not the links.
+                for r in &s.topology.routers {
+                    if r.role != topo_model::RouterRole::ExternalStub {
+                        assert!(r.networks.is_empty(), "{}: {}", s.name, r.name);
+                    }
+                }
+                // The policy-relevant neighborhood stays bounded as the
+                // network grows: stubs, policies, and expectations are
+                // O(1) in the router count.
+                let stubs = s.topology.routers.len() - internal;
+                assert!(stubs <= 6, "{}: {stubs} stubs", s.name);
+                assert!(s.policies.len() <= 12, "{}: {}", s.name, s.policies.len());
+                assert!(!s.expectations.is_empty(), "{}", s.name);
+                assert!(s.expectations.len() <= 24, "{}", s.name);
+                for (r, _) in &s.policies {
+                    assert!(s.topology.router(r).is_some(), "{}: {r}", s.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_family_topology_is_pinned_per_seed() {
+        // The whole point of the large families: every index at one seed
+        // shares one network, so cross-session verdict reuse is sound.
+        for family in ["as-graph-64", "fat-tree-36"] {
+            let a = generate_family(family, 5, 0);
+            let b = generate_family(family, 5, 9);
+            assert_eq!(a.topology, b.topology, "{family}");
+        }
+        // Different seeds still draw different AS graphs.
+        assert_ne!(
+            generate_family("as-graph-64", 5, 0).topology,
+            generate_family("as-graph-64", 6, 0).topology
+        );
+    }
+
+    #[test]
+    fn large_families_support_every_intent() {
+        // Scan a window of indices per family so every intent (drawn
+        // from the stream) is exercised — prefer-customer in particular
+        // requires a provider adjacent to the customer's entry router.
+        for family in LARGE_FAMILIES {
+            let mut intents = std::collections::BTreeSet::new();
+            for index in 0..16 {
+                intents.insert(generate_family(family, 3, index).intent);
+            }
+            assert_eq!(intents.len(), 4, "{family}: {intents:?}");
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::net::Ipv4Addr;
 /// The local policy assigned to one router, in the formulaic vocabulary
 /// the prompt contract supports: ingress community tagging, ingress
 /// local-preference, and egress community filtering.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Hash)]
 pub struct RouterPolicy {
     /// `(neighbor, community, route-map name)` ingress tags.
     pub ingress_tags: Vec<(Ipv4Addr, Community, String)>,
@@ -38,7 +38,7 @@ impl RouterPolicy {
 }
 
 /// A whole-network expectation checked against the converged RIBs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expectation {
     /// `prefix` must appear in `at`'s RIB.
     Reachable {

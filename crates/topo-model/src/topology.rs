@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
 /// The role a router plays in an experiment topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RouterRole {
     /// The hub of a star (R1 in Figure 4), facing the customer.
     Hub,
@@ -43,7 +43,7 @@ impl RouterRole {
 }
 
 /// One interface of a router in the topology.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IfaceSpec {
     /// Interface name (Cisco-shaped; the synthesis use case is IOS).
     pub name: String,
@@ -54,7 +54,7 @@ pub struct IfaceSpec {
 }
 
 /// One expected BGP session of a router.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NeighborSpec {
     /// The peer's address on the shared subnet.
     pub addr: Ipv4Addr,
@@ -65,7 +65,7 @@ pub struct NeighborSpec {
 }
 
 /// A router in the topology.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RouterSpec {
     /// Router name (`R1`, `CUSTOMER`, `ISP-2`).
     pub name: String,
@@ -92,7 +92,7 @@ impl RouterSpec {
 
 /// A whole topology: the JSON dictionary the Modularizer consumes and the
 /// topology verifier checks against.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Topology {
     /// All routers, internal and stub.
     pub routers: Vec<RouterSpec>,
